@@ -1,0 +1,39 @@
+# Convenience targets for the Chandy–Misra (PODC 1982) reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation table (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/cmhbench
+
+experiments.json:
+	$(GO) run ./cmd/cmhbench -json > experiments.json
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/diningphilosophers
+	$(GO) run ./examples/bankledger
+	$(GO) run ./examples/livenet
+	$(GO) run ./examples/messagehub
+
+clean:
+	rm -f experiments.json test_output.txt bench_output.txt

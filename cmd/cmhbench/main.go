@@ -1,0 +1,48 @@
+// Command cmhbench regenerates the evaluation tables of DESIGN.md §4:
+// one table per experiment E1–E12, each reproducing a quantitative
+// claim of Chandy–Misra (PODC 1982) or an ablation of a design choice.
+// With no arguments it runs the whole suite; pass experiment IDs to run
+// a subset, and -json for the machine-readable export.
+//
+//	cmhbench            # all tables
+//	cmhbench E1 E7      # a subset
+//	cmhbench -json E4   # JSON rows instead of tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cmhbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cmhbench", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit JSON rows instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	only := make(map[string]bool, fs.NArg())
+	known := make(map[string]bool)
+	for _, spec := range experiments.All() {
+		known[spec.ID] = true
+	}
+	for _, a := range fs.Args() {
+		if !known[a] {
+			return fmt.Errorf("unknown experiment %q (have E1..E12)", a)
+		}
+		only[a] = true
+	}
+	if *jsonOut {
+		return experiments.RunAllJSON(os.Stdout, only)
+	}
+	return experiments.RunAll(os.Stdout, only)
+}

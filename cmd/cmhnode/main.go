@@ -1,0 +1,167 @@
+// Command cmhnode runs ONE basic-model protocol participant over real
+// TCP — the genuinely distributed deployment: start one cmhnode per
+// machine (or terminal), point them at each other, and watch the probe
+// computation detect a cross-node deadlock.
+//
+// A three-node demo on one machine. Every node lists the peers it
+// talks to in either direction: requests and probes flow forward along
+// wait-for edges, while replies and the §5 WFGD messages flow backward,
+// so ring neighbours need each other's addresses both ways:
+//
+//	cmhnode -id 0 -listen 127.0.0.1:7100 -peer 1=127.0.0.1:7101,2=127.0.0.1:7102 -request 1 -initiate &
+//	cmhnode -id 1 -listen 127.0.0.1:7101 -peer 2=127.0.0.1:7102,0=127.0.0.1:7100 -request 2 &
+//	cmhnode -id 2 -listen 127.0.0.1:7102 -peer 0=127.0.0.1:7100,1=127.0.0.1:7101 -request 0 &
+//
+// Node 0 initiates a probe computation and prints the detection. Each
+// node waits -timeout (default 30s) for a verdict, then reports its
+// final state and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cmhnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cmhnode", flag.ContinueOnError)
+	var (
+		idFlag   = fs.Int("id", 0, "this node's process id")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address")
+		peers    = fs.String("peer", "", "comma-separated peers, id=host:port")
+		request  = fs.String("request", "", "comma-separated process ids to request (AND-wait)")
+		initiate = fs.Bool("initiate", false, "start a probe computation after requesting")
+		timeout  = fs.Duration("timeout", 30*time.Second, "how long to wait for a verdict")
+		settle   = fs.Duration("settle", 500*time.Millisecond, "wait for peers before requesting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	self := id.Proc(*idFlag)
+
+	net := transport.NewTCP()
+	defer net.Close()
+
+	detected := make(chan id.Tag, 1)
+	shim := &addrShim{tcp: net, addr: *listen}
+	proc, err := core.NewProcess(core.Config{
+		ID:        self,
+		Transport: shim,
+		Policy:    core.InitiateManually,
+		OnDeadlock: func(tag id.Tag) {
+			select {
+			case detected <- tag:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if shim.err != nil {
+		return shim.err
+	}
+	fmt.Fprintf(out, "node %v listening on %s\n", self, net.Addr(transport.NodeID(self)))
+
+	if *peers != "" {
+		for _, spec := range strings.Split(*peers, ",") {
+			parts := strings.SplitN(strings.TrimSpace(spec), "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -peer entry %q (want id=host:port)", spec)
+			}
+			pid, perr := strconv.Atoi(parts[0])
+			if perr != nil {
+				return fmt.Errorf("bad peer id in %q: %v", spec, perr)
+			}
+			net.SetPeer(transport.NodeID(pid), parts[1])
+		}
+	}
+
+	// Give the other nodes a moment to come up before requesting.
+	time.Sleep(*settle)
+
+	if *request != "" {
+		var targets []id.Proc
+		for _, s := range strings.Split(*request, ",") {
+			v, perr := strconv.Atoi(strings.TrimSpace(s))
+			if perr != nil {
+				return fmt.Errorf("bad -request id %q: %v", s, perr)
+			}
+			targets = append(targets, id.Proc(v))
+		}
+		if err := proc.Request(targets...); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "node %v requested %v and is blocked\n", self, targets)
+	}
+	if *initiate {
+		if tag, ok := proc.StartProbe(); ok {
+			fmt.Fprintf(out, "node %v initiated probe computation %v\n", self, tag)
+		}
+	}
+
+	// Wait for a verdict: our own declaration, the WFGD computation
+	// informing us (checked by polling), or the timeout.
+	deadline := time.After(*timeout)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case tag := <-detected:
+			fmt.Fprintf(out, "node %v: DEADLOCK detected by computation %v\n", self, tag)
+			// Give the WFGD messages a moment, then report what we know.
+			time.Sleep(200 * time.Millisecond)
+			if edges := proc.BlackPaths(); len(edges) > 0 {
+				fmt.Fprintf(out, "node %v: deadlocked edges %v\n", self, edges)
+			}
+			return nil
+		case <-tick.C:
+			if edges := proc.BlackPaths(); len(edges) > 0 {
+				fmt.Fprintf(out, "node %v: informed of deadlocked edges %v\n", self, edges)
+				return nil
+			}
+		case <-deadline:
+			st := proc.Stats()
+			fmt.Fprintf(out, "node %v: no verdict after %v (blocked=%v, probes sent=%d meaningful=%d)\n",
+				self, *timeout, proc.Blocked(), st.ProbesSent, st.ProbesMeaningful)
+			return nil
+		}
+	}
+}
+
+// addrShim is a transport adapter that routes the process's
+// registration to RegisterAddr with an explicit listen address; sends
+// pass through unchanged.
+type addrShim struct {
+	tcp  *transport.TCP
+	addr string
+	err  error
+}
+
+// Register implements transport.Transport.
+func (s *addrShim) Register(node transport.NodeID, h transport.Handler) {
+	s.err = s.tcp.RegisterAddr(node, s.addr, h)
+}
+
+// Send implements transport.Transport.
+func (s *addrShim) Send(from, to transport.NodeID, m msg.Message) {
+	s.tcp.Send(from, to, m)
+}
+
+var _ transport.Transport = (*addrShim)(nil)

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunTopologies(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "ring", "-n", "5"},
+		{"-topology", "chain", "-n", "5"},
+		{"-topology", "ringtails", "-n", "8", "-ring", "3"},
+		{"-topology", "random", "-n", "10", "-k", "2", "-seed", "3"},
+		{"-topology", "ring", "-n", "6", "-T", "5", "-v"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "nope"},
+		{"-n", "1"},
+		{"-topology", "ringtails", "-n", "4", "-ring", "9"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command ddbsim runs a Menasce–Muntz distributed database (§6) under a
+// random transaction mix with a chosen deadlock detector and reports
+// commits, aborts, declarations and message traffic.
+//
+// Examples:
+//
+//	ddbsim -sites 4 -txns 24 -detector cmh -resolve
+//	ddbsim -sites 4 -txns 24 -detector timeout -resolve
+//	ddbsim -sites 4 -txns 24 -detector centralized
+//	ddbsim -sites 2 -txns 2 -scenario cross    # the paper's 2-site cycle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ddbsim", flag.ContinueOnError)
+	var (
+		sites     = fs.Int("sites", 4, "number of sites")
+		txns      = fs.Int("txns", 24, "number of transactions")
+		resources = fs.Int("resources", 0, "number of resources (default 4/site)")
+		steps     = fs.Int("steps", 3, "locks per transaction")
+		writeFrac = fs.Float64("write", 1.0, "fraction of write locks")
+		localBias = fs.Float64("local", 0.3, "bias toward home-site resources")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		detector  = fs.String("detector", "cmh", "cmh | timeout | centralized | none")
+		resolve   = fs.Bool("resolve", false, "abort victims and retry")
+		horizonS  = fs.Float64("horizon", 5, "virtual horizon in seconds")
+		scenario  = fs.String("scenario", "mix", "mix | cross (deterministic 2-site cycle)")
+		dot       = fs.Bool("dot", false, "print the final dark wait-for graph in Graphviz dot syntax")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := ddb.ClusterOptions{
+		Sites:     *sites,
+		Resources: *resources,
+		Seed:      *seed,
+		HoldTime:  int64(sim.Millisecond),
+	}
+	var det *baseline.TimeoutDetector
+	switch *detector {
+	case "cmh":
+		opts.Mode = ddb.InitiateOnWaitDelay
+		opts.Delay = int64(3 * sim.Millisecond)
+		opts.Resolve = *resolve
+	case "timeout":
+		opts.Mode = ddb.InitiateDisabled
+		opts.OnWaitStart = func(site id.Site, agent id.Agent) { det.Hook(site, agent) }
+	case "centralized", "none":
+		opts.Mode = ddb.InitiateDisabled
+	default:
+		return fmt.Errorf("unknown detector %q", *detector)
+	}
+	cl, err := ddb.NewCluster(opts)
+	if err != nil {
+		return err
+	}
+	if *detector == "timeout" {
+		det = baseline.NewTimeoutDetector(cl, int64(25*sim.Millisecond), *resolve)
+	}
+	var co *baseline.Coordinator
+	homes := make(map[id.Txn]id.Site)
+	if *detector == "centralized" {
+		co = baseline.NewCoordinator(cl, 5*sim.Millisecond, *resolve, func(txn id.Txn) (id.Site, bool) {
+			s, ok := homes[txn]
+			return s, ok
+		})
+	}
+
+	var specs []ddb.TxnSpec
+	switch *scenario {
+	case "cross":
+		if *sites < 2 {
+			return fmt.Errorf("cross scenario needs 2 sites")
+		}
+		w := msg.LockWrite
+		specs = []ddb.TxnSpec{
+			{Txn: 0, Home: 0, Steps: []ddb.LockStep{{Resource: 0, Mode: w}, {Resource: 1, Mode: w}}, Retry: *resolve},
+			{Txn: 1, Home: 1, Steps: []ddb.LockStep{{Resource: 1, Mode: w}, {Resource: 0, Mode: w}}, Retry: *resolve},
+		}
+	case "mix":
+		r := *resources
+		if r == 0 {
+			r = *sites * 4
+		}
+		specs = ddb.GenerateSpecs(*txns, r, *sites, *steps, *writeFrac, *localBias, cl.Sched.Rand())
+		for i := range specs {
+			specs[i].Retry = *resolve
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	for _, s := range specs {
+		homes[s.Txn] = s.Home
+		if err := cl.Submit(s); err != nil {
+			return err
+		}
+	}
+
+	horizon := sim.Time(*horizonS * float64(sim.Second))
+	doneAt, done := cl.RunUntilCommitted(horizon)
+	if co != nil {
+		co.Stop()
+	}
+
+	fmt.Printf("sites=%d txns=%d detector=%s resolve=%v seed=%d\n",
+		*sites, len(specs), *detector, *resolve, *seed)
+	fmt.Printf("committed=%d/%d (all=%v) aborts=%d at t=%.2fms\n",
+		cl.CommittedCount(), len(specs), done, cl.Aborts(),
+		float64(doneAt)/float64(sim.Millisecond))
+	switch *detector {
+	case "cmh":
+		fmt.Printf("declarations=%d false=%d probe_msgs=%d\n",
+			len(cl.Detections), cl.FalseDetections(), cl.Counters.Sent(msg.KindCtrlProbe))
+		for _, d := range cl.Detections {
+			verdict := "true"
+			if !d.True {
+				verdict = "STALE"
+			}
+			fmt.Printf("  DEADLOCK %v via %v at t=%.2fms [%s]\n",
+				d.Target, d.Tag, float64(d.At)/float64(sim.Millisecond), verdict)
+		}
+	case "timeout":
+		fmt.Printf("declarations=%d false=%d\n", len(det.Declarations()), det.FalseCount())
+	case "centralized":
+		fmt.Printf("declarations=%d false=%d reports=%d\n",
+			len(co.Declarations()), co.FalseCount(), co.ReportsSent())
+	}
+	fmt.Printf("total messages=%d\n", cl.Counters.TotalSent())
+	if dead := cl.Oracle.DeadlockedTxns(); len(dead) > 0 {
+		fmt.Printf("oracle: transactions still deadlocked: %v\n", dead)
+	}
+	if *dot {
+		fmt.Print(cl.Oracle.DOT())
+	}
+	return nil
+}

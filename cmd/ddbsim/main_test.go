@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunDetectors(t *testing.T) {
+	cases := [][]string{
+		{"-detector", "cmh", "-txns", "8", "-sites", "2", "-horizon", "1"},
+		{"-detector", "cmh", "-resolve", "-txns", "8", "-sites", "2", "-horizon", "2"},
+		{"-detector", "timeout", "-txns", "6", "-sites", "2", "-horizon", "1"},
+		{"-detector", "centralized", "-txns", "6", "-sites", "2", "-horizon", "1"},
+		{"-detector", "none", "-txns", "6", "-sites", "2", "-horizon", "1"},
+		{"-scenario", "cross", "-sites", "2", "-detector", "cmh", "-horizon", "1"},
+		{"-scenario", "cross", "-sites", "2", "-detector", "cmh", "-resolve", "-horizon", "2"},
+		{"-scenario", "cross", "-sites", "2", "-detector", "none", "-horizon", "0.05", "-dot"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-detector", "nope"},
+		{"-scenario", "nope"},
+		{"-scenario", "cross", "-sites", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Livenet: the probe computation over real TCP sockets. Four processes
+// each listen on a loopback port, exchange gob-encoded requests and
+// probes over per-pair TCP connections, form a request cycle, and the
+// Chandy–Misra algorithm detects it — demonstrating that the protocol
+// participants run unchanged over a real network stack (the transports
+// share one FIFO-per-pair contract).
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	deadlock "repro"
+)
+
+const n = 4
+
+func main() {
+	net := deadlock.NewTCPNetwork()
+	defer net.Close()
+
+	detected := make(chan deadlock.Tag, 1)
+	procs := make([]*deadlock.Process, n)
+	for i := 0; i < n; i++ {
+		cfg := deadlock.ProcessConfig{
+			ID:        deadlock.ProcID(i),
+			Transport: net,
+			Policy:    deadlock.InitiateManually,
+		}
+		if i == 0 {
+			cfg.OnDeadlock = func(tag deadlock.Tag) {
+				select {
+				case detected <- tag:
+				default:
+				}
+			}
+		}
+		p, err := deadlock.NewProcess(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs[i] = p
+		fmt.Printf("process %d listening on %s\n", i, net.Addr(deadlock.NodeID(i)))
+	}
+
+	// Form the request cycle over TCP.
+	for i := 0; i < n; i++ {
+		if err := procs[i].Request(deadlock.ProcID((i + 1) % n)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Initiate one probe computation from p0. TCP preserves FIFO per
+	// connection, so the probe trails the requests (axiom P1) and no
+	// settling delay is needed.
+	start := time.Now()
+	if _, ok := procs[0].StartProbe(); !ok {
+		log.Fatal("initiator not blocked")
+	}
+	select {
+	case tag := <-detected:
+		fmt.Printf("deadlock detected by computation %v over TCP in %v\n", tag, time.Since(start))
+	case <-time.After(10 * time.Second):
+		log.Fatal("detection timed out")
+	}
+	for _, p := range procs {
+		st := p.Stats()
+		fmt.Printf("process %v: probes sent=%d meaningful=%d\n", p.ID(), st.ProbesSent, st.ProbesMeaningful)
+	}
+}

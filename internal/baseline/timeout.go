@@ -1,0 +1,99 @@
+// Package baseline implements the comparison detectors that the
+// paper's introduction motivates (§1 cites Gligor and Shattuck: "few of
+// these protocols are correct and fewer appear to be practical"): a
+// timeout detector, which declares deadlock after a long wait and
+// therefore produces false positives under plain contention, and a
+// centralized detector, which unions asynchronously collected local
+// wait-for fragments at a coordinator and therefore declares phantom
+// deadlocks from mutually stale reports. Experiment E7 measures both
+// failure modes against the probe algorithm's zero false-positive
+// guarantee.
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/sim"
+)
+
+// TimeoutDetector declares a transaction deadlocked whenever one of its
+// agents has been blocked for longer than the timeout. It attaches to a
+// cluster through the OnWaitStart hook.
+type TimeoutDetector struct {
+	cluster *ddb.Cluster
+	timeout int64
+	resolve bool
+
+	mu           sync.Mutex
+	declarations []Declaration
+}
+
+// Declaration records one baseline verdict together with the oracle's
+// ground-truth judgment captured at declaration time.
+type Declaration struct {
+	Txn  id.Txn
+	True bool
+}
+
+// NewTimeoutDetector wires a timeout detector to the cluster. Call
+// before submitting transactions; the returned detector's Hook must be
+// set as the cluster's OnWaitStart (NewCluster option).
+func NewTimeoutDetector(cl *ddb.Cluster, timeout int64, resolve bool) *TimeoutDetector {
+	return &TimeoutDetector{cluster: cl, timeout: timeout, resolve: resolve}
+}
+
+// Hook is the OnWaitStart callback: it arms a timer for the agent's
+// wait and declares if the agent is still blocked when it fires.
+func (d *TimeoutDetector) Hook(site id.Site, agent id.Agent) {
+	ctrl := d.cluster.Controllers[site]
+	d.cluster.Sched.After(sim.Duration(d.timeout), func() {
+		if !ctrl.AgentBlocked(agent.Txn) {
+			return
+		}
+		// Timed out: declare the waiting transaction deadlocked. The
+		// oracle verdict is recorded so the experiments can count the
+		// false positives a pure-timeout scheme produces.
+		onCycle := d.cluster.Oracle.OnCycle(agent)
+		if !onCycle {
+			// The agent may sit behind a deadlocked holder without
+			// being on the cycle itself; a declaration for a
+			// permanently stuck transaction still counts as true.
+			for _, a := range d.cluster.Oracle.DeadlockedAgents() {
+				if a.Txn == agent.Txn {
+					onCycle = true
+					break
+				}
+			}
+		}
+		d.mu.Lock()
+		d.declarations = append(d.declarations, Declaration{Txn: agent.Txn, True: onCycle})
+		d.mu.Unlock()
+		if d.resolve {
+			ctrl.Abort(agent.Txn)
+		}
+	})
+}
+
+// Declarations returns a copy of all verdicts so far.
+func (d *TimeoutDetector) Declarations() []Declaration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Declaration, len(d.declarations))
+	copy(out, d.declarations)
+	return out
+}
+
+// FalseCount returns the number of oracle-refuted declarations.
+func (d *TimeoutDetector) FalseCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, dec := range d.declarations {
+		if !dec.True {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package commdl
+
+import (
+	"sort"
+
+	"repro/internal/id"
+)
+
+// Oracle answers ground-truth queries over a set of communication-model
+// processes: a blocked process is deadlocked iff no active process is
+// reachable from it through dependent edges (someone active could
+// eventually send work that unblocks a dependency chain; if the entire
+// reachable set is blocked, nobody ever will). Tests and experiments
+// use it to audit the detector; the detector never reads it.
+type Oracle struct {
+	procs []*Process
+}
+
+// NewOracle builds an oracle over the given processes.
+func NewOracle(procs []*Process) *Oracle { return &Oracle{procs: procs} }
+
+// snapshot captures blocked flags and dependent sets under each
+// process's lock (exact in the single-threaded simulation).
+func (o *Oracle) snapshot() (blocked map[id.Proc]bool, deps map[id.Proc][]id.Proc) {
+	blocked = make(map[id.Proc]bool, len(o.procs))
+	deps = make(map[id.Proc][]id.Proc, len(o.procs))
+	for _, p := range o.procs {
+		blocked[p.ID()] = p.Blocked()
+		deps[p.ID()] = p.Dependents()
+	}
+	return blocked, deps
+}
+
+// Deadlocked returns the sorted set of processes that can never be
+// unblocked.
+func (o *Oracle) Deadlocked() []id.Proc {
+	blocked, deps := o.snapshot()
+	// saved = can eventually unblock: active processes, plus blocked
+	// processes with a saved dependent (that dependent can become
+	// active and send work).
+	saved := make(map[id.Proc]bool, len(blocked))
+	for v, b := range blocked {
+		if !b {
+			saved[v] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v, b := range blocked {
+			if !b || saved[v] {
+				continue
+			}
+			for _, d := range deps[v] {
+				if saved[d] {
+					saved[v] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []id.Proc
+	for v, b := range blocked {
+		if b && !saved[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsDeadlocked reports whether one process can never be unblocked.
+func (o *Oracle) IsDeadlocked(v id.Proc) bool {
+	for _, d := range o.Deadlocked() {
+		if d == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,330 @@
+// Package commdl implements the communication-model (OR-request)
+// deadlock detector that the PODC 1982 paper cites as its companion
+// work ([1], Chandy, Misra and Haas — the message model where "a
+// process which is waiting to communicate with other processes cannot
+// proceed until it communicates with one of the processes it is
+// waiting for", §1). The paper notes that "the any/all difference in
+// these models results in completely different algorithms"; this
+// package is that other algorithm, included as the natural §7
+// future-work extension ("developing algorithms for different types of
+// distributed systems").
+//
+// A blocked process here waits on a *dependent set* and resumes when
+// ANY member sends it work. A process is deadlocked iff no active
+// process is reachable from it through dependent edges. Detection is a
+// diffusing computation (in the Dijkstra–Scholten sense the authors
+// acknowledge): the initiator floods queries through blocked processes;
+// each blocked process replies once all its own queries have been
+// answered; if the initiator collects replies for all its queries, the
+// whole reachable set was continuously blocked — deadlock.
+package commdl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Timers schedules delayed callbacks (nanoseconds).
+type Timers interface {
+	After(d int64, fn func())
+}
+
+// Config configures a communication-model process.
+type Config struct {
+	// ID is the process identity.
+	ID id.Proc
+	// Transport delivers messages; the process registers on the node id
+	// equal to its process id.
+	Transport transport.Transport
+	// Delay, when positive (and Timers is set), applies §4.3's timer
+	// rule to the OR model: a process that has been blocked
+	// continuously for Delay nanoseconds initiates a diffusing
+	// computation automatically.
+	Delay int64
+	// Timers schedules the Delay; required when Delay > 0.
+	Timers Timers
+	// OnDeadlock fires at most once per blocking episode, when the
+	// process determines it is deadlocked.
+	OnDeadlock func(seq uint64)
+	// OnUnblocked fires when a work message releases the process.
+	OnUnblocked func(from id.Proc)
+}
+
+// compState is per-initiator state of one diffusing computation.
+type compState struct {
+	latest  uint64  // newest sequence number seen from this initiator
+	engager id.Proc // who pulled this process into the computation
+	wait    bool    // still engaged (not unblocked since)
+	num     int     // outstanding queries of this computation
+}
+
+// Process is one vertex of the communication model.
+type Process struct {
+	cfg Config
+
+	mu         sync.Mutex
+	blocked    bool
+	episode    uint64 // increments at every block/unblock transition
+	dependents map[id.Proc]struct{}
+	comps      map[id.Proc]*compState // keyed by initiator
+	nextSeq    uint64
+	declared   bool
+
+	queriesSent  uint64
+	repliesSent  uint64
+	computations uint64
+}
+
+// New creates a process and registers it on its transport.
+func New(cfg Config) (*Process, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("comm process %v: nil transport", cfg.ID)
+	}
+	if cfg.Delay > 0 && cfg.Timers == nil {
+		return nil, fmt.Errorf("comm process %v: Delay requires Timers", cfg.ID)
+	}
+	p := &Process{
+		cfg:        cfg,
+		dependents: make(map[id.Proc]struct{}),
+		comps:      make(map[id.Proc]*compState),
+	}
+	cfg.Transport.Register(transport.NodeID(cfg.ID), p)
+	return p, nil
+}
+
+// ID returns the process identity.
+func (p *Process) ID() id.Proc { return p.cfg.ID }
+
+// Block enters the OR-wait: the process is blocked until any member of
+// deps sends it work. It is an error to block an already blocked
+// process, to block on an empty set, or to depend on oneself.
+func (p *Process) Block(deps ...id.Proc) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.blocked {
+		return fmt.Errorf("comm process %v: already blocked", p.cfg.ID)
+	}
+	if len(deps) == 0 {
+		return fmt.Errorf("comm process %v: empty dependent set", p.cfg.ID)
+	}
+	for _, d := range deps {
+		if d == p.cfg.ID {
+			return fmt.Errorf("comm process %v: self-dependency", p.cfg.ID)
+		}
+	}
+	p.blocked = true
+	p.declared = false
+	p.episode++
+	p.dependents = make(map[id.Proc]struct{}, len(deps))
+	for _, d := range deps {
+		p.dependents[d] = struct{}{}
+	}
+	if p.cfg.Delay > 0 {
+		// §4.3's timer rule: initiate only if this blocking episode is
+		// still in progress after Delay.
+		episode := p.episode
+		p.cfg.Timers.After(p.cfg.Delay, func() {
+			p.mu.Lock()
+			if p.blocked && p.episode == episode {
+				p.startDetectionLocked()
+			}
+			p.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// SendWork sends an application message to another process; if the
+// receiver is blocked with this process in its dependent set, it
+// unblocks.
+func (p *Process) SendWork(to id.Proc) {
+	p.send(to, msg.CommWork{})
+}
+
+// StartDetection initiates one diffusing computation. It returns the
+// computation's sequence number and false if the process is active
+// (nothing to detect).
+func (p *Process) StartDetection() (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.startDetectionLocked()
+}
+
+// startDetectionLocked initiates one diffusing computation. Caller
+// holds p.mu.
+func (p *Process) startDetectionLocked() (uint64, bool) {
+	if !p.blocked {
+		return 0, false
+	}
+	p.nextSeq++
+	p.computations++
+	seq := p.nextSeq
+	me := p.cfg.ID
+	p.comps[me] = &compState{latest: seq, engager: me, wait: true, num: len(p.dependents)}
+	for d := range p.dependents {
+		p.send(d, msg.CommQuery{Init: me, Seq: seq})
+		p.queriesSent++
+	}
+	return seq, true
+}
+
+// HandleMessage implements transport.Handler.
+func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
+	sender := id.Proc(from)
+	var after []func()
+	p.mu.Lock()
+	switch mm := m.(type) {
+	case msg.CommWork:
+		after = p.handleWorkLocked(sender, after)
+	case msg.CommQuery:
+		p.handleQueryLocked(sender, mm)
+	case msg.CommReply:
+		after = p.handleReplyLocked(mm, after)
+	default:
+		p.mu.Unlock()
+		panic(fmt.Sprintf("comm process %v: unexpected message %T", p.cfg.ID, m))
+	}
+	p.mu.Unlock()
+	for _, fn := range after {
+		fn()
+	}
+}
+
+// handleWorkLocked processes an application message: if it comes from a
+// dependent while blocked, the process resumes and abandons every
+// engagement (its wait flags clear, so stale queries and replies die
+// here). Caller holds p.mu.
+func (p *Process) handleWorkLocked(sender id.Proc, after []func()) []func() {
+	if !p.blocked {
+		return after
+	}
+	if _, ok := p.dependents[sender]; !ok {
+		return after
+	}
+	p.blocked = false
+	p.episode++
+	p.dependents = make(map[id.Proc]struct{})
+	// Becoming active invalidates every computation passing through
+	// this process: the OR-wait it was engaged for no longer exists.
+	for _, cs := range p.comps {
+		cs.wait = false
+	}
+	if cb := p.cfg.OnUnblocked; cb != nil {
+		after = append(after, func() { cb(sender) })
+	}
+	return after
+}
+
+// handleQueryLocked implements the query rule. Caller holds p.mu.
+func (p *Process) handleQueryLocked(sender id.Proc, q msg.CommQuery) {
+	if !p.blocked {
+		return // active processes discard queries
+	}
+	cs, seen := p.comps[q.Init]
+	if !seen || q.Seq > cs.latest {
+		// Engaging query: propagate to the whole dependent set.
+		p.comps[q.Init] = &compState{
+			latest:  q.Seq,
+			engager: sender,
+			wait:    true,
+			num:     len(p.dependents),
+		}
+		for d := range p.dependents {
+			p.send(d, msg.CommQuery{Init: q.Init, Seq: q.Seq})
+			p.queriesSent++
+		}
+		return
+	}
+	if cs.wait && q.Seq == cs.latest {
+		// Re-visit within the same computation: reply immediately (this
+		// process is already engaged and continuously blocked).
+		p.send(sender, msg.CommReply{Init: q.Init, Seq: q.Seq})
+		p.repliesSent++
+	}
+	// Older sequence numbers are superseded and dropped (§4.3's rule
+	// carries over unchanged).
+}
+
+// handleReplyLocked implements the reply rule. Caller holds p.mu.
+func (p *Process) handleReplyLocked(r msg.CommReply, after []func()) []func() {
+	cs, seen := p.comps[r.Init]
+	if !seen || !cs.wait || r.Seq != cs.latest || cs.num == 0 {
+		return after
+	}
+	cs.num--
+	if cs.num > 0 {
+		return after
+	}
+	if r.Init == p.cfg.ID {
+		// Every query of our own computation was answered: the entire
+		// reachable set was blocked throughout — deadlock.
+		if !p.declared {
+			p.declared = true
+			if cb := p.cfg.OnDeadlock; cb != nil {
+				seq := r.Seq
+				after = append(after, func() { cb(seq) })
+			}
+		}
+		return after
+	}
+	p.send(cs.engager, msg.CommReply{Init: r.Init, Seq: r.Seq})
+	p.repliesSent++
+	return after
+}
+
+// send hands a message to the transport. Caller may hold p.mu.
+func (p *Process) send(to id.Proc, m msg.Message) {
+	p.cfg.Transport.Send(transport.NodeID(p.cfg.ID), transport.NodeID(to), m)
+}
+
+// Blocked reports whether the process is in an OR-wait.
+func (p *Process) Blocked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked
+}
+
+// Deadlocked reports whether the process has declared deadlock in its
+// current blocking episode.
+func (p *Process) Deadlocked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.declared
+}
+
+// Dependents returns the sorted current dependent set.
+func (p *Process) Dependents() []id.Proc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]id.Proc, 0, len(p.dependents))
+	for d := range p.dependents {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats reports the detector traffic of this process.
+func (p *Process) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		QueriesSent:  p.queriesSent,
+		RepliesSent:  p.repliesSent,
+		Computations: p.computations,
+	}
+}
+
+// Stats holds communication-model detector counters.
+type Stats struct {
+	QueriesSent  uint64
+	RepliesSent  uint64
+	Computations uint64
+}
+
+var _ transport.Handler = (*Process)(nil)

@@ -1,0 +1,389 @@
+package commdl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/id"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// rig is a simulated communication-model system.
+type rig struct {
+	sched    *sim.Scheduler
+	net      *transport.SimNet
+	procs    []*Process
+	declared map[id.Proc]bool
+}
+
+func newRig(t *testing.T, n int, seed int64) *rig {
+	t.Helper()
+	r := &rig{
+		sched:    sim.New(seed),
+		declared: make(map[id.Proc]bool),
+	}
+	r.net = transport.NewSimNet(r.sched, transport.UniformLatency{Min: 10 * sim.Microsecond, Max: sim.Millisecond})
+	for i := 0; i < n; i++ {
+		pid := id.Proc(i)
+		p, err := New(Config{
+			ID:         pid,
+			Transport:  r.net,
+			OnDeadlock: func(uint64) { r.declared[pid] = true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.procs = append(r.procs, p)
+	}
+	return r
+}
+
+func (r *rig) run() {
+	for i := 0; i < 1<<22 && r.sched.Step(); i++ {
+	}
+}
+
+func TestORRingIsDeadlocked(t *testing.T) {
+	// Everyone waits on exactly its successor: in the OR model a ring
+	// with singleton dependent sets is deadlocked.
+	for _, n := range []int{2, 3, 8, 32} {
+		r := newRig(t, n, int64(n))
+		for i := 0; i < n; i++ {
+			if err := r.procs[i].Block(id.Proc((i + 1) % n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, ok := r.procs[0].StartDetection(); !ok {
+			t.Fatal("initiator active?")
+		}
+		r.run()
+		if !r.declared[0] {
+			t.Fatalf("n=%d: OR-ring not detected", n)
+		}
+		oracle := NewOracle(r.procs)
+		if got := oracle.Deadlocked(); len(got) != n {
+			t.Fatalf("oracle deadlocked = %v", got)
+		}
+	}
+}
+
+func TestOREscapeHatchPreventsDetection(t *testing.T) {
+	// A ring where one member ALSO depends on an active outsider is NOT
+	// deadlocked in the OR model (any dependent may answer). The
+	// detector must stay silent: the active outsider discards the
+	// query, so the initiator never collects all replies.
+	const n = 5
+	r := newRig(t, n+1, 99) // process n is the active outsider
+	for i := 0; i < n; i++ {
+		deps := []id.Proc{id.Proc((i + 1) % n)}
+		if i == 2 {
+			deps = append(deps, id.Proc(n))
+		}
+		if err := r.procs[i].Block(deps...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := r.procs[0].StartDetection(); !ok {
+		t.Fatal("initiator active?")
+	}
+	r.run()
+	for i := 0; i <= n; i++ {
+		if r.declared[id.Proc(i)] {
+			t.Fatalf("process %d declared despite escape hatch", i)
+		}
+	}
+	if d := NewOracle(r.procs).Deadlocked(); len(d) != 0 {
+		t.Fatalf("oracle says deadlocked: %v", d)
+	}
+	// The outsider can actually release the whole ring.
+	r.procs[n].SendWork(2)
+	r.run()
+	if r.procs[2].Blocked() {
+		t.Fatal("work message failed to unblock")
+	}
+}
+
+func TestORKnotWithTailsDetectsOnlyCore(t *testing.T) {
+	// 0..2 form a blocked triangle (knot); 3 depends on {0, 4} where 4
+	// is active: 3 is safe, the triangle is not.
+	r := newRig(t, 5, 7)
+	if err := r.procs[0].Block(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.procs[1].Block(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.procs[2].Block(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.procs[3].Block(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r.procs[i].StartDetection()
+	}
+	r.run()
+	for _, v := range []id.Proc{0, 1, 2} {
+		if !r.declared[v] {
+			t.Fatalf("knot member %v undeclared", v)
+		}
+	}
+	if r.declared[3] {
+		t.Fatal("process 3 declared despite active dependent")
+	}
+	want := NewOracle(r.procs).Deadlocked()
+	if len(want) != 3 {
+		t.Fatalf("oracle = %v", want)
+	}
+}
+
+func TestORUnblockClearsEngagements(t *testing.T) {
+	// A process that unblocks mid-computation must kill the computation
+	// passing through it (wait flags cleared), so stale replies cannot
+	// complete a verdict about a dissolved wait.
+	r := newRig(t, 3, 11)
+	if err := r.procs[0].Block(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.procs[1].Block(2); err != nil {
+		t.Fatal(err)
+	}
+	// 2 stays active. 0 initiates; queries flow 0->1->2, 2 discards.
+	r.procs[0].StartDetection()
+	r.run()
+	if r.declared[0] {
+		t.Fatal("declared without deadlock")
+	}
+	// 2 releases 1; 1 releases 0 (after unblocking, 1 sends work).
+	r.procs[2].SendWork(1)
+	r.run()
+	if r.procs[1].Blocked() {
+		t.Fatal("1 still blocked")
+	}
+	r.procs[1].SendWork(0)
+	r.run()
+	if r.procs[0].Blocked() || r.declared[0] {
+		t.Fatal("0 should be released and undeclared")
+	}
+}
+
+func TestORBlockValidation(t *testing.T) {
+	r := newRig(t, 2, 13)
+	if err := r.procs[0].Block(); err == nil {
+		t.Fatal("empty dependent set accepted")
+	}
+	if err := r.procs[0].Block(0); err == nil {
+		t.Fatal("self dependency accepted")
+	}
+	if err := r.procs[0].Block(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.procs[0].Block(1); err == nil {
+		t.Fatal("double block accepted")
+	}
+	if _, ok := r.procs[1].StartDetection(); ok {
+		t.Fatal("active process started detection")
+	}
+}
+
+// TestORRandomScenarios cross-checks detector verdicts against the
+// oracle on random dependency structures: no false positives ever; and
+// every oracle-deadlocked process that initiated detects.
+func TestORRandomScenarios(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 12
+		r := newRigQuiet(n, seed)
+		rng := rand.New(rand.NewSource(seed))
+		// Random subset of processes block on random dependent sets.
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				continue // stays active
+			}
+			k := 1 + rng.Intn(3)
+			seen := map[id.Proc]struct{}{id.Proc(i): {}}
+			var deps []id.Proc
+			for len(deps) < k {
+				d := id.Proc(rng.Intn(n))
+				if _, dup := seen[d]; dup {
+					continue
+				}
+				seen[d] = struct{}{}
+				deps = append(deps, d)
+			}
+			if err := r.procs[i].Block(deps...); err != nil {
+				return false
+			}
+		}
+		// Every blocked process initiates.
+		for _, p := range r.procs {
+			p.StartDetection()
+		}
+		r.run()
+		oracle := NewOracle(r.procs)
+		dead := map[id.Proc]bool{}
+		for _, v := range oracle.Deadlocked() {
+			dead[v] = true
+		}
+		for _, p := range r.procs {
+			if p.Deadlocked() && !dead[p.ID()] {
+				return false // false positive
+			}
+			if dead[p.ID()] && !p.Deadlocked() {
+				return false // missed (it initiated, so it must detect)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(123))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRigQuiet is newRig without the testing.T (for quick properties).
+func newRigQuiet(n int, seed int64) *rig {
+	r := &rig{
+		sched:    sim.New(seed),
+		declared: make(map[id.Proc]bool),
+	}
+	r.net = transport.NewSimNet(r.sched, transport.UniformLatency{Min: 10 * sim.Microsecond, Max: sim.Millisecond})
+	for i := 0; i < n; i++ {
+		pid := id.Proc(i)
+		p, err := New(Config{
+			ID:         pid,
+			Transport:  r.net,
+			OnDeadlock: func(uint64) { r.declared[pid] = true },
+		})
+		if err != nil {
+			panic(err)
+		}
+		r.procs = append(r.procs, p)
+	}
+	return r
+}
+
+// simTimers adapts the scheduler for the delay-policy test.
+type simTimers struct{ sched *sim.Scheduler }
+
+func (t simTimers) After(d int64, fn func()) { t.sched.After(sim.Duration(d), fn) }
+
+func TestORDelayPolicyAutoInitiates(t *testing.T) {
+	sched := sim.New(31)
+	net := transport.NewSimNet(sched, transport.FixedLatency(sim.Millisecond))
+	declared := map[id.Proc]bool{}
+	mk := func(i int) *Process {
+		pid := id.Proc(i)
+		p, err := New(Config{
+			ID:         pid,
+			Transport:  net,
+			Delay:      int64(10 * sim.Millisecond),
+			Timers:     simTimers{sched: sched},
+			OnDeadlock: func(uint64) { declared[pid] = true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b, c := mk(0), mk(1), mk(2)
+	// a <-> b deadlock; c blocks briefly on a... c depends on an
+	// active... make c's wait transient: c blocks on b, but b never
+	// answers — instead keep c out: test transience via a separate
+	// process released before the delay.
+	if err := a.Block(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Block(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Block(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(5 * sim.Millisecond))
+	// Nothing yet: the delay has not elapsed.
+	if len(declared) != 0 {
+		t.Fatalf("declared before T: %v", declared)
+	}
+	sched.Run()
+	if !declared[0] || !declared[1] {
+		t.Fatalf("auto-initiation missed the a<->b deadlock: %v", declared)
+	}
+	// c depends only on deadlocked processes, so it is deadlocked too
+	// and its own computation must find that.
+	if !declared[2] {
+		t.Fatalf("dependent process did not detect: %v", declared)
+	}
+	if mustDeadlocked := NewOracle([]*Process{a, b, c}).Deadlocked(); len(mustDeadlocked) != 3 {
+		t.Fatalf("oracle = %v", mustDeadlocked)
+	}
+}
+
+func TestORDelayPolicySilentForTransientWaits(t *testing.T) {
+	sched := sim.New(32)
+	net := transport.NewSimNet(sched, transport.FixedLatency(sim.Millisecond))
+	declared := false
+	w, err := New(Config{
+		ID:         0,
+		Transport:  net,
+		Delay:      int64(50 * sim.Millisecond),
+		Timers:     simTimers{sched: sched},
+		OnDeadlock: func(uint64) { declared = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := New(Config{ID: 1, Transport: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Block(1); err != nil {
+		t.Fatal(err)
+	}
+	// Release well before the delay elapses: zero detector traffic.
+	sched.After(5*sim.Millisecond, func() { src.SendWork(0) })
+	sched.Run()
+	if declared || w.Blocked() {
+		t.Fatalf("transient wait misbehaved: declared=%v blocked=%v", declared, w.Blocked())
+	}
+	if st := w.Stats(); st.Computations != 0 {
+		t.Fatalf("transient wait initiated %d computations", st.Computations)
+	}
+}
+
+func TestORDelayRequiresTimers(t *testing.T) {
+	sched := sim.New(33)
+	net := transport.NewSimNet(sched, nil)
+	if _, err := New(Config{ID: 0, Transport: net, Delay: 5}); err == nil {
+		t.Fatal("Delay without Timers accepted")
+	}
+}
+
+func TestORQueryBound(t *testing.T) {
+	// One computation sends at most one engaging flood per process:
+	// total queries ≤ sum of dependent-set sizes (edges), per §4.3's
+	// analogous bound.
+	const n = 16
+	r := newRig(t, n, 17)
+	edges := 0
+	for i := 0; i < n; i++ {
+		deps := []id.Proc{id.Proc((i + 1) % n), id.Proc((i + 3) % n)}
+		if err := r.procs[i].Block(deps...); err != nil {
+			t.Fatal(err)
+		}
+		edges += len(deps)
+	}
+	r.procs[0].StartDetection()
+	r.run()
+	var queries uint64
+	for _, p := range r.procs {
+		queries += p.Stats().QueriesSent
+	}
+	if queries > uint64(edges) {
+		t.Fatalf("queries %d exceed edge bound %d", queries, edges)
+	}
+	if !r.declared[0] {
+		t.Fatal("dense OR ring undetected")
+	}
+}

@@ -1,0 +1,496 @@
+// Package core implements the paper's primary contribution for the
+// basic model of §2: a process engine that exchanges requests and
+// replies under the graph axioms G1–G4, runs the probe computation of
+// §3.4 (steps A0, A1, A2), applies the initiation rules of §4.2–4.3,
+// and runs the WFGD deadlocked-set propagation of §5.
+//
+// A Process only ever consults local state, exactly as axiom P3
+// permits: it knows which outgoing edges exist (requests it has sent
+// and not yet seen answered) and which incoming edges are black
+// (requests it has received and not yet answered). It never learns an
+// outgoing edge's colour. The global coloured graph exists only in the
+// test oracle (package wfg).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Timers schedules delayed callbacks; the simulated scheduler and a
+// real-time adapter both implement it. Durations are nanoseconds.
+type Timers interface {
+	After(d int64, fn func())
+}
+
+// InitiationPolicy selects when a process starts probe computations.
+type InitiationPolicy int
+
+// Initiation policies (§4.2–4.3).
+const (
+	// InitiateOnBlock starts a probe computation whenever an outgoing
+	// edge is added (§4.2's rule).
+	InitiateOnBlock InitiationPolicy = iota + 1
+	// InitiateAfterDelay starts a probe computation only if an outgoing
+	// edge has existed continuously for the timer period T (§4.3's
+	// refinement); requires Timers.
+	InitiateAfterDelay
+	// InitiateManually leaves initiation to explicit StartProbe calls.
+	InitiateManually
+)
+
+// Config configures a Process.
+type Config struct {
+	// ID is the process identity (vertex in the wait-for graph).
+	ID id.Proc
+	// Transport delivers messages; the process registers itself on the
+	// node id equal to its process id.
+	Transport transport.Transport
+	// Policy selects the initiation rule; default InitiateOnBlock.
+	Policy InitiationPolicy
+	// Delay is the timer T for InitiateAfterDelay, in nanoseconds.
+	Delay int64
+	// Timers is required for InitiateAfterDelay.
+	Timers Timers
+
+	// OnRequest is called after a request from another process arrives
+	// (the incoming edge just turned black).
+	OnRequest func(from id.Proc)
+	// OnActive is called when the process transitions from blocked to
+	// active (its last outstanding request was answered).
+	OnActive func()
+	// OnDeadlock is called at most once, when the process declares "I
+	// am on a black cycle" (step A1).
+	OnDeadlock func(tag id.Tag)
+	// OnWFGD is called whenever the process's permanent-black-path set
+	// S grows (§5); edges is the updated full set.
+	OnWFGD func(edges []id.Edge)
+}
+
+// Process is one vertex of the basic model. All methods are safe for
+// concurrent use; message handling is additionally serialized by the
+// transport, which yields the paper's atomic-step property.
+type Process struct {
+	cfg Config
+
+	mu sync.Mutex
+	// waitingFor is the set of outgoing edges: processes this one has
+	// requested and not yet been answered by (P3: existence is local
+	// knowledge, colour is not).
+	waitingFor map[id.Proc]struct{}
+	// pendingIn is the set of incoming black edges: processes whose
+	// requests this one has received and not yet answered (P3).
+	pendingIn map[id.Proc]struct{}
+
+	// nextN numbers this process's own probe computations (§3.2).
+	nextN uint64
+	// latest tracks, per initiator, the newest computation number this
+	// process has propagated; older tags are ignored (§4.3: every
+	// vertex keeps only the latest computation per initiator, so the
+	// table is bounded by N entries).
+	latest map[id.Proc]uint64
+	// deadlocked latches once the process declares (a dark cycle
+	// persists forever, §2.4, so there is no way back).
+	deadlocked  bool
+	declaredTag id.Tag
+
+	// blackPaths is S_j of §5: edges this process knows to lie on
+	// permanent black paths leading from it.
+	blackPaths map[id.Edge]struct{}
+	// sentWFGD records, per neighbour, the canonical keys of WFGD
+	// messages already sent, implementing "if it has not already sent
+	// the same message M' to v_k".
+	sentWFGD map[id.Proc]map[string]struct{}
+
+	// stats
+	probesSent       uint64
+	probesMeaningful uint64
+	probesDiscarded  uint64
+	computations     uint64
+}
+
+// NewProcess creates a process and registers it on its transport.
+func NewProcess(cfg Config) (*Process, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("process %v: nil transport", cfg.ID)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = InitiateOnBlock
+	}
+	if cfg.Policy == InitiateAfterDelay {
+		if cfg.Timers == nil {
+			return nil, fmt.Errorf("process %v: InitiateAfterDelay requires Timers", cfg.ID)
+		}
+		if cfg.Delay <= 0 {
+			return nil, fmt.Errorf("process %v: InitiateAfterDelay requires positive Delay", cfg.ID)
+		}
+	}
+	p := &Process{
+		cfg:        cfg,
+		waitingFor: make(map[id.Proc]struct{}),
+		pendingIn:  make(map[id.Proc]struct{}),
+		latest:     make(map[id.Proc]uint64),
+		blackPaths: make(map[id.Edge]struct{}),
+		sentWFGD:   make(map[id.Proc]map[string]struct{}),
+	}
+	cfg.Transport.Register(transport.NodeID(cfg.ID), p)
+	return p, nil
+}
+
+// ID returns the process identity.
+func (p *Process) ID() id.Proc { return p.cfg.ID }
+
+// Request sends requests to each target, creating grey outgoing edges
+// (G1). It is an error to request from oneself or to request from a
+// target an edge to which already exists. Per the initiation policy, a
+// probe computation may be started (§4.2: "a vertex initiates a probe
+// computation when any outgoing edge is added").
+func (p *Process) Request(targets ...id.Proc) error {
+	p.mu.Lock()
+	for _, t := range targets {
+		if t == p.cfg.ID {
+			p.mu.Unlock()
+			return fmt.Errorf("process %v: request to self", p.cfg.ID)
+		}
+		if _, dup := p.waitingFor[t]; dup {
+			p.mu.Unlock()
+			return fmt.Errorf("process %v: edge to %v already exists (G1)", p.cfg.ID, t)
+		}
+	}
+	for _, t := range targets {
+		p.waitingFor[t] = struct{}{}
+		p.send(t, msg.Request{})
+	}
+	switch p.cfg.Policy {
+	case InitiateOnBlock:
+		p.startProbeLocked()
+	case InitiateAfterDelay:
+		// One timer per added edge: initiate only if that edge has
+		// existed continuously for T (§4.3). Edge deletion is the only
+		// way out of waitingFor, and edges are never re-added while
+		// present, so membership after T implies continuous existence.
+		for _, t := range targets {
+			target := t
+			p.cfg.Timers.After(p.cfg.Delay, func() {
+				p.mu.Lock()
+				if _, still := p.waitingFor[target]; still {
+					p.startProbeLocked()
+				}
+				p.mu.Unlock()
+			})
+		}
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Grant answers a pending request from the given process, whitening the
+// edge (G3). Only an active process may reply: Grant returns an error
+// if this process has outstanding requests of its own, enforcing G3
+// locally.
+func (p *Process) Grant(to id.Proc) error {
+	p.mu.Lock()
+	if len(p.waitingFor) != 0 {
+		p.mu.Unlock()
+		return fmt.Errorf("process %v: blocked process may not reply (G3)", p.cfg.ID)
+	}
+	if _, ok := p.pendingIn[to]; !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("process %v: no pending request from %v", p.cfg.ID, to)
+	}
+	delete(p.pendingIn, to)
+	p.send(to, msg.Reply{})
+	p.mu.Unlock()
+	return nil
+}
+
+// GrantAll answers every pending request; it returns the number granted
+// or an error if the process is blocked.
+func (p *Process) GrantAll() (int, error) {
+	p.mu.Lock()
+	if len(p.waitingFor) != 0 {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("process %v: blocked process may not reply (G3)", p.cfg.ID)
+	}
+	n := 0
+	for from := range p.pendingIn {
+		delete(p.pendingIn, from)
+		p.send(from, msg.Reply{})
+		n++
+	}
+	p.mu.Unlock()
+	return n, nil
+}
+
+// StartProbe explicitly initiates a probe computation (step A0): send
+// probes along all outgoing edges. It returns the computation's tag and
+// false if the process is active (an active vertex is on no cycle, so
+// there is nothing to probe).
+func (p *Process) StartProbe() (id.Tag, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.startProbeLocked()
+}
+
+// startProbeLocked implements step A0. Caller holds p.mu.
+func (p *Process) startProbeLocked() (id.Tag, bool) {
+	if len(p.waitingFor) == 0 {
+		return id.Tag{}, false
+	}
+	p.nextN++
+	p.computations++
+	tag := id.Tag{Initiator: p.cfg.ID, N: p.nextN}
+	for t := range p.waitingFor {
+		p.send(t, msg.Probe{Tag: tag})
+		p.probesSent++
+	}
+	return tag, true
+}
+
+// HandleMessage implements transport.Handler. Each invocation is one
+// atomic step in the paper's sense: the transport serializes deliveries
+// to a node, and the lock excludes concurrent application calls.
+func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
+	sender := id.Proc(from)
+	var after []func() // callbacks deferred past the critical section
+
+	p.mu.Lock()
+	switch mm := m.(type) {
+	case msg.Request:
+		// The incoming edge (sender, me) just turned black (G2).
+		p.pendingIn[sender] = struct{}{}
+		// §5 "thereafter sends M": a predecessor that blocks on an
+		// already-deadlocked vertex must still be informed, so WFGD
+		// propagation re-runs when a new incoming edge turns black.
+		// The per-target duplicate suppression keeps this idempotent.
+		if p.deadlocked || len(p.blackPaths) > 0 {
+			after = p.propagateWFGDLocked(after)
+		}
+		if cb := p.cfg.OnRequest; cb != nil {
+			after = append(after, func() { cb(sender) })
+		}
+
+	case msg.Reply:
+		// The outgoing edge (me, sender) just disappeared (G4).
+		if _, ok := p.waitingFor[sender]; !ok {
+			p.mu.Unlock()
+			panic(fmt.Sprintf("process %v: reply from %v without outstanding request", p.cfg.ID, sender))
+		}
+		delete(p.waitingFor, sender)
+		if len(p.waitingFor) == 0 {
+			if cb := p.cfg.OnActive; cb != nil {
+				after = append(after, func() { cb() })
+			}
+		}
+
+	case msg.Probe:
+		after = p.handleProbeLocked(sender, mm.Tag, after)
+
+	case msg.WFGD:
+		after = p.handleWFGDLocked(sender, mm, after)
+
+	default:
+		p.mu.Unlock()
+		panic(fmt.Sprintf("process %v: unexpected message %T", p.cfg.ID, m))
+	}
+	p.mu.Unlock()
+
+	for _, fn := range after {
+		fn()
+	}
+}
+
+// handleProbeLocked implements steps A1 and A2. Caller holds p.mu.
+func (p *Process) handleProbeLocked(sender id.Proc, tag id.Tag, after []func()) []func() {
+	// A probe is meaningful iff the edge (sender, me) exists and is
+	// black at receipt — locally: I hold an unanswered request from the
+	// sender (P3, §3.2).
+	if _, black := p.pendingIn[sender]; !black {
+		p.probesDiscarded++
+		return after
+	}
+	p.probesMeaningful++
+
+	if tag.Initiator == p.cfg.ID {
+		// Step A1: the initiator received a meaningful probe of its own
+		// computation — by Theorem 2 it is on a black cycle right now.
+		if tag.N > p.nextN {
+			panic(fmt.Sprintf("process %v: probe for computation %v never initiated", p.cfg.ID, tag))
+		}
+		if !p.deadlocked {
+			p.deadlocked = true
+			p.declaredTag = tag
+			if cb := p.cfg.OnDeadlock; cb != nil {
+				after = append(after, func() { cb(tag) })
+			}
+			// §5: after declaring, send M = {(vj, vi)} to every vj with
+			// a black incoming edge (vj, vi) — those edges are
+			// permanently black because a deadlocked vi never replies.
+			after = p.propagateWFGDLocked(after)
+		}
+		return after
+	}
+
+	// Step A2: a non-initiator forwards probes on all outgoing edges
+	// upon its FIRST meaningful probe of this computation. Keeping only
+	// the latest computation number per initiator both implements the
+	// first-probe rule and the §4.3 supersession of stale computations.
+	if last, seen := p.latest[tag.Initiator]; seen && last >= tag.N {
+		return after
+	}
+	p.latest[tag.Initiator] = tag.N
+	for t := range p.waitingFor {
+		p.send(t, msg.Probe{Tag: tag})
+		p.probesSent++
+	}
+	return after
+}
+
+// handleWFGDLocked implements the receive rule of §5's WFGD
+// computation. Caller holds p.mu.
+func (p *Process) handleWFGDLocked(_ id.Proc, m msg.WFGD, after []func()) []func() {
+	grew := false
+	for _, e := range m.Edges {
+		if _, dup := p.blackPaths[e]; !dup {
+			p.blackPaths[e] = struct{}{}
+			grew = true
+		}
+	}
+	if !grew {
+		// S_j unchanged: every message we could send now has been sent
+		// already (send-set is a function of S_j), so stop here. This
+		// is what makes the computation terminate.
+		return after
+	}
+	if cb := p.cfg.OnWFGD; cb != nil {
+		edges := p.blackPathEdgesLocked()
+		after = append(after, func() { cb(edges) })
+	}
+	return p.propagateWFGDLocked(after)
+}
+
+// propagateWFGDLocked sends M' = {(vk, vj)} ∪ S_j to every vk with a
+// black incoming edge (vk, vj), suppressing duplicates. Caller holds
+// p.mu.
+func (p *Process) propagateWFGDLocked(after []func()) []func() {
+	for k := range p.pendingIn {
+		out := msg.WFGD{Edges: append(p.blackPathEdgesLocked(), id.Edge{From: k, To: p.cfg.ID})}
+		canon, key := out.Canonical()
+		sent, ok := p.sentWFGD[k]
+		if !ok {
+			sent = make(map[string]struct{})
+			p.sentWFGD[k] = sent
+		}
+		if _, dup := sent[key]; dup {
+			continue
+		}
+		sent[key] = struct{}{}
+		p.send(k, canon)
+	}
+	return after
+}
+
+// blackPathEdgesLocked returns S_j as a slice. Caller holds p.mu.
+func (p *Process) blackPathEdgesLocked() []id.Edge {
+	out := make([]id.Edge, 0, len(p.blackPaths))
+	for e := range p.blackPaths {
+		out = append(out, e)
+	}
+	return out
+}
+
+// send hands a message to the transport. Caller holds p.mu; every
+// transport's Send is non-blocking and never calls back into the
+// process synchronously, so no lock cycle is possible.
+func (p *Process) send(to id.Proc, m msg.Message) {
+	p.cfg.Transport.Send(transport.NodeID(p.cfg.ID), transport.NodeID(to), m)
+}
+
+// Blocked reports whether the process has outstanding requests.
+func (p *Process) Blocked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.waitingFor) > 0
+}
+
+// Deadlocked reports whether the process has declared itself on a black
+// cycle, and the tag of the computation that detected it.
+func (p *Process) Deadlocked() (id.Tag, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.declaredTag, p.deadlocked
+}
+
+// WaitingFor returns the sorted targets of outstanding requests.
+func (p *Process) WaitingFor() []id.Proc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sortedProcs(p.waitingFor)
+}
+
+// PendingIn returns the sorted sources of unanswered incoming requests
+// (the incoming black edges of P3).
+func (p *Process) PendingIn() []id.Proc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sortedProcs(p.pendingIn)
+}
+
+// BlackPaths returns S_j, the sorted set of edges this process knows to
+// lie on permanent black paths leading from it (§5).
+func (p *Process) BlackPaths() []id.Edge {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.blackPathEdgesLocked()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// TagTableSize returns the number of per-initiator entries currently
+// tracked — the O(N) state bound measured by experiment E2.
+func (p *Process) TagTableSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.latest)
+}
+
+// Stats reports detection-traffic counters for this process.
+func (p *Process) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		ProbesSent:       p.probesSent,
+		ProbesMeaningful: p.probesMeaningful,
+		ProbesDiscarded:  p.probesDiscarded,
+		Computations:     p.computations,
+	}
+}
+
+// Stats holds per-process detection counters.
+type Stats struct {
+	ProbesSent       uint64
+	ProbesMeaningful uint64
+	ProbesDiscarded  uint64
+	Computations     uint64
+}
+
+func sortedProcs(s map[id.Proc]struct{}) []id.Proc {
+	out := make([]id.Proc, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var _ transport.Handler = (*Process)(nil)

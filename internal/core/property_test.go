@@ -1,0 +1,201 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wfg"
+)
+
+// scenario builds a fully instrumented system whose OnDeadlock callback
+// audits each declaration against the oracle at the instant it happens
+// (QRP2 is a statement about that instant, not about quiescence).
+type scenario struct {
+	sched    *sim.Scheduler
+	net      *transport.SimNet
+	oracle   *wfg.GraphObserver
+	fifo     *trace.FIFOChecker
+	procs    []*core.Process
+	declared map[id.Proc]bool
+	violated []string
+}
+
+func newScenario(t *testing.T, n int, seed int64) *scenario {
+	t.Helper()
+	sc := &scenario{
+		sched:    sim.New(seed),
+		declared: make(map[id.Proc]bool),
+	}
+	sc.net = transport.NewSimNet(sc.sched, transport.UniformLatency{Min: 10 * sim.Microsecond, Max: 3 * sim.Millisecond})
+	sc.oracle = wfg.NewGraphObserver(nil)
+	sc.fifo = trace.NewFIFOChecker(func(s string) { sc.violated = append(sc.violated, s) })
+	sc.net.Observe(sc.oracle)
+	sc.net.Observe(sc.fifo)
+	for i := 0; i < n; i++ {
+		pid := id.Proc(i)
+		p, err := core.NewProcess(core.Config{
+			ID:        pid,
+			Transport: sc.net,
+			Policy:    core.InitiateOnBlock,
+			OnDeadlock: func(id.Tag) {
+				// QRP2 audit at the declaration instant.
+				onBlack := false
+				sc.oracle.With(func(g *wfg.Graph) { onBlack = g.OnBlackCycle(pid) })
+				if !onBlack {
+					sc.violated = append(sc.violated, "declaration off black cycle: "+pid.String())
+				}
+				sc.declared[pid] = true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.procs = append(sc.procs, p)
+	}
+	return sc
+}
+
+// TestRandomScenarioInvariants drives randomized request/grant
+// schedules and checks the full invariant set: QRP2 at each
+// declaration, QRP1 at quiescence, FIFO delivery, no message loss, and
+// WFGD soundness (S sets contain only oracle-permanent edges).
+func TestRandomScenarioInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 14
+		sc := newScenario(t, n, seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5bf0))
+		// Random request batches at random times; random later grants
+		// by processes that happen to be active.
+		for i := 0; i < n; i++ {
+			pid := id.Proc(i)
+			at := sim.Duration(rng.Int63n(int64(4 * sim.Millisecond)))
+			k := 1 + rng.Intn(2)
+			sc.sched.After(at, func() {
+				p := sc.procs[pid]
+				if p.Blocked() {
+					return
+				}
+				targets := make([]id.Proc, 0, k)
+				seen := map[id.Proc]struct{}{pid: {}}
+				for len(targets) < k {
+					v := id.Proc(rng.Intn(n))
+					if _, dup := seen[v]; dup {
+						continue
+					}
+					seen[v] = struct{}{}
+					targets = append(targets, v)
+				}
+				if err := p.Request(targets...); err != nil {
+					panic(err)
+				}
+			})
+		}
+		// Grant passes: active processes answer everything pending.
+		for round := 0; round < 6; round++ {
+			at := sim.Duration(rng.Int63n(int64(20 * sim.Millisecond)))
+			sc.sched.After(at, func() {
+				for _, p := range sc.procs {
+					if !p.Blocked() {
+						if _, err := p.GrantAll(); err != nil {
+							panic(err)
+						}
+					}
+				}
+			})
+		}
+		for i := 0; i < 1<<22 && sc.sched.Step(); i++ {
+		}
+		if len(sc.violated) != 0 {
+			t.Logf("seed %d: violations: %v", seed, sc.violated)
+			return false
+		}
+		if sc.fifo.Undelivered() != 0 {
+			t.Logf("seed %d: %d undelivered", seed, sc.fifo.Undelivered())
+			return false
+		}
+		// QRP1 at quiescence: every dark SCC has a declarer or informed
+		// members only if someone on it declared.
+		var dark []id.Proc
+		sc.oracle.With(func(g *wfg.Graph) { dark = g.DarkCycleVertices() })
+		for _, v := range dark {
+			if !sc.declared[v] && len(sc.procs[v].BlackPaths()) == 0 {
+				t.Logf("seed %d: %v neither declared nor informed", seed, v)
+				return false
+			}
+		}
+		// No declaration outside the oracle's dark set.
+		darkSet := make(map[id.Proc]bool, len(dark))
+		for _, v := range dark {
+			darkSet[v] = true
+		}
+		for v := range sc.declared {
+			if !darkSet[v] {
+				t.Logf("seed %d: %v declared but not dark at quiescence", seed, v)
+				return false
+			}
+		}
+		// WFGD soundness: S_v never contains a non-permanent edge.
+		for _, p := range sc.procs {
+			edges := p.BlackPaths()
+			if len(edges) == 0 {
+				continue
+			}
+			var want map[id.Edge]bool
+			sc.oracle.With(func(g *wfg.Graph) {
+				want = make(map[id.Edge]bool)
+				for _, e := range g.PermanentBlackEdgesFrom(p.ID()) {
+					want[e] = true
+				}
+			})
+			for _, e := range edges {
+				if !want[e] {
+					t.Logf("seed %d: %v has non-permanent edge %v in S", seed, p.ID(), e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(20260704))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTagTableBoundedByInitiators: a process's table never exceeds the
+// number of distinct initiators whose probes it meaningfully received.
+func TestTagTableBoundedByInitiators(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 10
+		sc := newScenario(t, n, seed)
+		rng := rand.New(rand.NewSource(seed))
+		// A ring guarantees circulation; extra random edges beyond it.
+		for i := 0; i < n; i++ {
+			targets := []id.Proc{id.Proc((i + 1) % n)}
+			if extra := id.Proc(rng.Intn(n)); int(extra) != i && extra != targets[0] {
+				targets = append(targets, extra)
+			}
+			if err := sc.procs[i].Request(targets...); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < 1<<22 && sc.sched.Step(); i++ {
+		}
+		for _, p := range sc.procs {
+			if p.TagTableSize() > n-1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,341 @@
+package ddb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// simTimers adapts the discrete-event scheduler to the Timers
+// interface.
+type simTimers struct {
+	sched *sim.Scheduler
+}
+
+func (t simTimers) After(d int64, fn func()) { t.sched.After(sim.Duration(d), fn) }
+
+// CtrlDetection records one controller-level deadlock declaration, with
+// the oracle's verdict captured at the instant of declaration.
+type CtrlDetection struct {
+	Target id.Agent
+	Tag    id.CtrlTag
+	At     sim.Time
+	True   bool
+}
+
+// TxnSpec describes one transaction for the workload driver.
+type TxnSpec struct {
+	Txn   id.Txn
+	Home  id.Site
+	Steps []LockStep
+	// Retry resubmits the transaction after an abort, with exponential
+	// backoff, until it commits.
+	Retry bool
+}
+
+// ClusterOptions configures a simulated DDB deployment.
+type ClusterOptions struct {
+	Sites     int
+	Resources int
+	Seed      int64
+	Latency   transport.Latency
+	Mode      InitiationMode
+	// Delay is the §4.3 wait timer T (ns) for InitiateOnWaitDelay.
+	Delay int64
+	// Resolve aborts detected victims.
+	Resolve bool
+	// Victim selects the abort target under Resolve.
+	Victim VictimPolicy
+	// PaperEdgesOnly runs strictly the §6.4 edge set (no holder-home
+	// extension); see Config.PaperEdgesOnly.
+	PaperEdgesOnly bool
+	// StepDelay and HoldTime shape transaction pacing (ns).
+	StepDelay int64
+	HoldTime  int64
+	// Backoff is the base retry delay after an abort (ns); the k-th
+	// retry waits k*Backoff plus jitter.
+	Backoff int64
+	// OnWaitStart, if set, fires whenever any controller's agent starts
+	// a wait; baseline detectors attach through it.
+	OnWaitStart func(site id.Site, agent id.Agent)
+}
+
+// Cluster is a simulated DDB: S controllers on a deterministic network,
+// with the oracle, counters and a workload driver that submits
+// transactions and retries aborted ones.
+type Cluster struct {
+	Sched       *sim.Scheduler
+	Net         *transport.SimNet
+	Controllers []*Controller
+	Oracle      *Oracle
+	Counters    *metrics.Counters
+	FIFO        *trace.FIFOChecker
+
+	opts ClusterOptions
+
+	mu         sync.Mutex
+	Detections []CtrlDetection
+	specs      map[id.Txn]TxnSpec
+	incs       map[id.Txn]uint32
+	committed  map[id.Txn]bool
+	abortCount map[id.Txn]int
+}
+
+// NewCluster builds a cluster; resource r is managed by site r mod S.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Sites <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one site")
+	}
+	if opts.Resources <= 0 {
+		opts.Resources = opts.Sites * 4
+	}
+	if opts.Mode == 0 {
+		opts.Mode = InitiateOnWaitDelay
+	}
+	if opts.Delay == 0 {
+		opts.Delay = int64(5 * sim.Millisecond)
+	}
+	if opts.HoldTime == 0 {
+		opts.HoldTime = int64(1 * sim.Millisecond)
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = int64(20 * sim.Millisecond)
+	}
+	sched := sim.New(opts.Seed)
+	net := transport.NewSimNet(sched, opts.Latency)
+	cl := &Cluster{
+		Sched:      sched,
+		Net:        net,
+		Counters:   metrics.NewCounters(),
+		FIFO:       trace.NewFIFOChecker(nil),
+		opts:       opts,
+		specs:      make(map[id.Txn]TxnSpec),
+		incs:       make(map[id.Txn]uint32),
+		committed:  make(map[id.Txn]bool),
+		abortCount: make(map[id.Txn]int),
+	}
+	net.Observe(cl.Counters)
+	net.Observe(cl.FIFO)
+
+	sites := opts.Sites
+	home := func(r id.Resource) id.Site { return id.Site(int(r) % sites) }
+	cl.Controllers = make([]*Controller, sites)
+	for i := 0; i < sites; i++ {
+		site := id.Site(i)
+		c, err := NewController(Config{
+			Site:           site,
+			Transport:      net,
+			Timers:         simTimers{sched: sched},
+			ResourceHome:   home,
+			Mode:           opts.Mode,
+			Delay:          opts.Delay,
+			Resolve:        opts.Resolve,
+			Victim:         opts.Victim,
+			PaperEdgesOnly: opts.PaperEdgesOnly,
+			StepDelay:      opts.StepDelay,
+			HoldTime:       opts.HoldTime,
+			OnDeadlock: func(target id.Agent, tag id.CtrlTag) {
+				cl.recordDetection(target, tag)
+			},
+			OnCommit: func(txn id.Txn) { cl.onCommit(txn) },
+			OnAbort:  func(txn id.Txn) { cl.onAbort(txn) },
+			OnWaitStart: func(agent id.Agent) {
+				if opts.OnWaitStart != nil {
+					opts.OnWaitStart(site, agent)
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.Controllers[i] = c
+	}
+	cl.Oracle = NewOracle(cl.Controllers)
+	return cl, nil
+}
+
+// ResourceHome returns the managing site of a resource.
+func (cl *Cluster) ResourceHome(r id.Resource) id.Site {
+	return id.Site(int(r) % cl.opts.Sites)
+}
+
+// recordDetection stores a declaration with the oracle's instantaneous
+// verdict.
+func (cl *Cluster) recordDetection(target id.Agent, tag id.CtrlTag) {
+	onCycle := cl.Oracle.OnCycle(target)
+	cl.mu.Lock()
+	cl.Detections = append(cl.Detections, CtrlDetection{
+		Target: target,
+		Tag:    tag,
+		At:     cl.Sched.Now(),
+		True:   onCycle,
+	})
+	cl.mu.Unlock()
+}
+
+func (cl *Cluster) onCommit(txn id.Txn) {
+	cl.mu.Lock()
+	cl.committed[txn] = true
+	cl.mu.Unlock()
+}
+
+func (cl *Cluster) onAbort(txn id.Txn) {
+	cl.mu.Lock()
+	spec, ok := cl.specs[txn]
+	retries := cl.abortCount[txn]
+	cl.abortCount[txn] = retries + 1
+	var backoff sim.Duration
+	if ok && spec.Retry {
+		jitter := sim.Duration(cl.Sched.Rand().Int63n(cl.opts.Backoff + 1))
+		backoff = sim.Duration(cl.opts.Backoff)*sim.Duration(retries+1) + jitter
+	}
+	cl.mu.Unlock()
+	if !ok || !spec.Retry {
+		return
+	}
+	cl.Sched.After(backoff, func() {
+		cl.mu.Lock()
+		done := cl.committed[txn]
+		cl.incs[txn]++
+		inc := cl.incs[txn]
+		cl.mu.Unlock()
+		if done {
+			return
+		}
+		if err := cl.Controllers[spec.Home].Submit(txn, inc, spec.Steps); err != nil {
+			panic(fmt.Sprintf("resubmit %v: %v", txn, err))
+		}
+	})
+}
+
+// Submit registers and starts a transaction.
+func (cl *Cluster) Submit(spec TxnSpec) error {
+	cl.mu.Lock()
+	cl.specs[spec.Txn] = spec
+	inc := cl.incs[spec.Txn]
+	cl.mu.Unlock()
+	if int(spec.Home) >= len(cl.Controllers) || spec.Home < 0 {
+		return fmt.Errorf("submit %v: no site %v", spec.Txn, spec.Home)
+	}
+	return cl.Controllers[spec.Home].Submit(spec.Txn, inc, spec.Steps)
+}
+
+// Run executes up to maxEvents simulation events and returns the count
+// executed.
+func (cl *Cluster) Run(maxEvents int) int {
+	n := 0
+	for n < maxEvents && cl.Sched.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntilCommitted steps the simulation until every submitted
+// transaction has committed or virtual time passes the horizon. It
+// returns the virtual completion time and whether everything committed.
+func (cl *Cluster) RunUntilCommitted(horizon sim.Time) (sim.Time, bool) {
+	for i := 0; ; i++ {
+		if i%64 == 0 && cl.AllCommitted() {
+			return cl.Sched.Now(), true
+		}
+		if cl.Sched.Now() > horizon || !cl.Sched.Step() {
+			break
+		}
+	}
+	if cl.AllCommitted() {
+		return cl.Sched.Now(), true
+	}
+	return cl.Sched.Now(), false
+}
+
+// AllCommitted reports whether every submitted transaction committed.
+func (cl *Cluster) AllCommitted() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for txn := range cl.specs {
+		if !cl.committed[txn] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommittedCount returns the number of committed transactions.
+func (cl *Cluster) CommittedCount() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.committed)
+}
+
+// Aborts returns the total number of aborts across all transactions.
+func (cl *Cluster) Aborts() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := 0
+	for _, k := range cl.abortCount {
+		n += k
+	}
+	return n
+}
+
+// FalseDetections returns the declarations the oracle refuted at
+// declaration time.
+func (cl *Cluster) FalseDetections() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := 0
+	for _, d := range cl.Detections {
+		if !d.True {
+			n++
+		}
+	}
+	return n
+}
+
+// GenerateSpecs builds a random transaction mix: each of m transactions
+// runs at a random home site and acquires steps distinct resources in
+// ascending... no — in random order (random order is what makes
+// deadlock possible), each in write mode with probability writeFrac.
+// localBias in [0,1] skews resource choice toward the home site.
+func GenerateSpecs(m, resources, sites, steps int, writeFrac, localBias float64, rng *rand.Rand) []TxnSpec {
+	if steps > resources {
+		steps = resources
+	}
+	specs := make([]TxnSpec, 0, m)
+	for i := 0; i < m; i++ {
+		home := id.Site(rng.Intn(sites))
+		chosen := make(map[int]struct{}, steps)
+		var script []LockStep
+		for len(script) < steps {
+			var r int
+			if rng.Float64() < localBias {
+				// Pick among resources homed at this site.
+				k := rng.Intn((resources + sites - 1) / sites)
+				r = k*sites + int(home)
+				if r >= resources {
+					continue
+				}
+			} else {
+				r = rng.Intn(resources)
+			}
+			if _, dup := chosen[r]; dup {
+				continue
+			}
+			chosen[r] = struct{}{}
+			mode := msg.LockRead
+			if rng.Float64() < writeFrac {
+				mode = msg.LockWrite
+			}
+			script = append(script, LockStep{Resource: id.Resource(r), Mode: mode})
+		}
+		specs = append(specs, TxnSpec{Txn: id.Txn(i), Home: home, Steps: script, Retry: true})
+	}
+	return specs
+}

@@ -1,0 +1,655 @@
+package ddb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Timers schedules delayed callbacks (nanoseconds); the simulated
+// scheduler and a real-time adapter both satisfy it.
+type Timers interface {
+	After(d int64, fn func())
+}
+
+// InitiationMode selects when a controller starts probe computations.
+type InitiationMode int
+
+// Initiation modes for the DDB detector.
+const (
+	// InitiateOnWaitDelay starts a probe computation for an agent that
+	// has been continuously waiting for Delay nanoseconds (§4.3's timer
+	// rule applied per process).
+	InitiateOnWaitDelay InitiationMode = iota + 1
+	// InitiateManual leaves initiation to explicit Check calls.
+	InitiateManual
+	// InitiateDisabled turns the CMH detector off entirely (used when a
+	// baseline detector owns the cluster).
+	InitiateDisabled
+)
+
+// VictimPolicy selects which transaction a declaring controller aborts
+// when Resolve is on. The paper defers deadlock breaking to its
+// references; these are the standard options measured by the E12
+// ablation.
+type VictimPolicy int
+
+// Victim policies.
+const (
+	// VictimDetected aborts the transaction of the process the
+	// computation declared deadlocked (default).
+	VictimDetected VictimPolicy = iota
+	// VictimYoungest aborts the youngest of the two transactions the
+	// declaring controller can prove are on the cycle: the detected
+	// target and the transaction whose probe closed the cycle (the
+	// final meaningful probe's source waits on a chain that reaches
+	// the target, and the target's chain reaches it back). Youngest is
+	// approximated by the highest transaction id — the usual
+	// "least work lost" heuristic when ids are assigned in start
+	// order.
+	VictimYoungest
+)
+
+// String names the policy.
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimDetected:
+		return "detected"
+	case VictimYoungest:
+		return "youngest"
+	default:
+		return "victim-policy-unknown"
+	}
+}
+
+// LockStep is one entry of a transaction script: acquire the resource
+// in the given mode.
+type LockStep struct {
+	Resource id.Resource
+	Mode     msg.LockMode
+}
+
+// TxnStatus is the lifecycle state of a home transaction.
+type TxnStatus int
+
+// Transaction states.
+const (
+	TxnRunning TxnStatus = iota + 1
+	TxnCommitted
+	TxnAborted
+)
+
+// Config configures a Controller.
+type Config struct {
+	// Site is this controller's identity; it registers on the transport
+	// node id equal to the site number.
+	Site id.Site
+	// Transport carries inter-controller traffic.
+	Transport transport.Transport
+	// Timers schedules script steps, hold times and detection delays.
+	Timers Timers
+	// ResourceHome maps each resource to the site that manages it.
+	ResourceHome func(id.Resource) id.Site
+
+	// Mode selects the probe initiation rule; default
+	// InitiateOnWaitDelay with Delay 1ms.
+	Mode InitiationMode
+	// Delay is the continuous-wait threshold T in nanoseconds.
+	Delay int64
+	// Resolve, when true, aborts the detected transaction (victim =
+	// the transaction of the process declared deadlocked).
+	Resolve bool
+	// Victim selects the abort target under Resolve.
+	Victim VictimPolicy
+	// PaperEdgesOnly disables the holder-home edge extension and runs
+	// strictly the §6.4 edge set (intra-controller + acquisition
+	// edges). Used by the E11 ablation to show the extension is
+	// necessary once transactions hold remote locks: with this set, a
+	// cycle through a remotely held resource is invisible.
+	PaperEdgesOnly bool
+	// StepDelay is the virtual time between a grant and the next
+	// script step (models computation between lock points).
+	StepDelay int64
+	// HoldTime is the virtual time a transaction holds all its locks
+	// before committing.
+	HoldTime int64
+
+	// OnDeadlock fires when this controller declares a process
+	// deadlocked.
+	OnDeadlock func(target id.Agent, tag id.CtrlTag)
+	// OnCommit fires when a home transaction commits.
+	OnCommit func(txn id.Txn)
+	// OnAbort fires when a home transaction aborts (victim resolution
+	// or explicit Abort).
+	OnAbort func(txn id.Txn)
+	// OnWaitStart/OnWaitEnd bracket every local lock wait and every
+	// remote acquisition wait of this controller's processes; the
+	// timeout baseline hangs off these.
+	OnWaitStart func(agent id.Agent)
+	OnWaitEnd   func(agent id.Agent)
+}
+
+// agentState is the per-site process (Ti, Sj) of §6.2.
+type agentState struct {
+	txn  id.Txn
+	home id.Site
+	inc  uint32
+	held map[id.Resource]msg.LockMode
+	// waiting is set while the agent has a queued local lock request.
+	waiting     id.Resource
+	waitingMode msg.LockMode
+	hasWaiting  bool
+	// pendingAck is set on a remote agent between receiving a
+	// CtrlAcquire and sending the CtrlGranted — exactly the lifetime of
+	// the incoming black inter-controller edge (§6.4).
+	pendingAck    id.Resource
+	hasPendingAck bool
+}
+
+// txnState is a home transaction.
+type txnState struct {
+	txn      id.Txn
+	inc      uint32
+	steps    []LockStep
+	next     int
+	status   TxnStatus
+	holdTime int64
+	// pendingRemote maps each in-flight remote acquisition to its
+	// target site: the outgoing inter-controller edges of §6.4 (the
+	// home controller knows they exist but not their colour — P3).
+	pendingRemote map[id.Resource]id.Site
+	// heldRemote maps each remotely held resource to the site holding
+	// it, for release at commit/abort.
+	heldRemote map[id.Resource]id.Site
+}
+
+// Controller is the local operating system of one site (§6.2): it
+// schedules its transactions' agents, manages its lock table, routes
+// inter-controller messages, and runs the probe computation of §6.6.
+type Controller struct {
+	cfg Config
+
+	mu     sync.Mutex
+	locks  *lockTable
+	agents map[id.Txn]*agentState
+	txns   map[id.Txn]*txnState
+
+	// Probe-computation state; see probe.go.
+	nextN    uint64
+	comps    map[compKey]*probeComp
+	latestBy map[id.Site]uint64
+
+	// Counters surfaced by Stats.
+	computations   uint64
+	probesSent     uint64
+	probesDropped  uint64
+	declaredLocal  uint64
+	declaredRemote uint64
+	commits        uint64
+	aborts         uint64
+}
+
+// NewController creates a controller and registers it on the transport.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("controller %v: nil transport", cfg.Site)
+	}
+	if cfg.ResourceHome == nil {
+		return nil, fmt.Errorf("controller %v: nil ResourceHome", cfg.Site)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = InitiateOnWaitDelay
+	}
+	if cfg.Mode == InitiateOnWaitDelay {
+		if cfg.Timers == nil {
+			return nil, fmt.Errorf("controller %v: InitiateOnWaitDelay requires Timers", cfg.Site)
+		}
+		if cfg.Delay <= 0 {
+			cfg.Delay = 1_000_000 // 1ms default
+		}
+	}
+	c := &Controller{
+		cfg:      cfg,
+		locks:    newLockTable(),
+		agents:   make(map[id.Txn]*agentState),
+		txns:     make(map[id.Txn]*txnState),
+		comps:    make(map[compKey]*probeComp),
+		latestBy: make(map[id.Site]uint64),
+	}
+	cfg.Transport.Register(transport.NodeID(cfg.Site), c)
+	return c, nil
+}
+
+// Site returns the controller's site identity.
+func (c *Controller) Site() id.Site { return c.cfg.Site }
+
+// Submit registers a home transaction with the given script and starts
+// executing it. inc distinguishes incarnations across abort/retry.
+func (c *Controller) Submit(txn id.Txn, inc uint32, steps []LockStep) error {
+	c.mu.Lock()
+	if old, exists := c.txns[txn]; exists && old.status == TxnRunning {
+		c.mu.Unlock()
+		return fmt.Errorf("controller %v: txn %v already running", c.cfg.Site, txn)
+	}
+	ts := &txnState{
+		txn:           txn,
+		inc:           inc,
+		steps:         steps,
+		status:        TxnRunning,
+		holdTime:      c.cfg.HoldTime,
+		pendingRemote: make(map[id.Resource]id.Site),
+		heldRemote:    make(map[id.Resource]id.Site),
+	}
+	c.txns[txn] = ts
+	c.agents[txn] = &agentState{
+		txn:  txn,
+		home: c.cfg.Site,
+		inc:  inc,
+		held: make(map[id.Resource]msg.LockMode),
+	}
+	after := c.advanceLocked(ts, nil)
+	c.mu.Unlock()
+	runAll(after)
+	return nil
+}
+
+// advanceLocked executes the transaction's next script step, or
+// schedules the commit if the script is done. Caller holds c.mu.
+func (c *Controller) advanceLocked(ts *txnState, after []func()) []func() {
+	if ts.status != TxnRunning {
+		return after
+	}
+	if ts.next >= len(ts.steps) {
+		inc := ts.inc
+		txn := ts.txn
+		c.cfg.Timers.After(ts.holdTime, func() {
+			c.mu.Lock()
+			cur, ok := c.txns[txn]
+			var cbs []func()
+			if ok && cur.inc == inc && cur.status == TxnRunning {
+				cbs = c.commitLocked(cur, nil)
+			}
+			c.mu.Unlock()
+			runAll(cbs)
+		})
+		return after
+	}
+	step := ts.steps[ts.next]
+	ts.next++
+	home := c.cfg.ResourceHome(step.Resource)
+	if home == c.cfg.Site {
+		return c.acquireLocalLocked(ts, step, after)
+	}
+	// Remote resource: create the grey inter-controller edge (G3 of the
+	// DDB axioms) by sending the acquisition to the managing site.
+	ts.pendingRemote[step.Resource] = home
+	c.send(home, msg.CtrlAcquire{Txn: ts.txn, Resource: step.Resource, Mode: step.Mode, Inc: ts.inc})
+	after = c.waitStartLocked(c.agents[ts.txn], after)
+	after = c.maybeScheduleDetectionLocked(ts.txn, after)
+	return after
+}
+
+// acquireLocalLocked requests a locally managed resource for the home
+// agent. Caller holds c.mu.
+func (c *Controller) acquireLocalLocked(ts *txnState, step LockStep, after []func()) []func() {
+	a := c.agents[ts.txn]
+	granted, err := c.locks.acquire(step.Resource, ts.txn, step.Mode)
+	if err != nil {
+		panic(fmt.Sprintf("controller %v: %v", c.cfg.Site, err))
+	}
+	if granted {
+		a.held[step.Resource] = step.Mode
+		return c.scheduleNextStepLocked(ts, after)
+	}
+	a.waiting = step.Resource
+	a.waitingMode = step.Mode
+	a.hasWaiting = true
+	after = c.waitStartLocked(a, after)
+	return c.maybeScheduleDetectionLocked(ts.txn, after)
+}
+
+// scheduleNextStepLocked arranges the next script step after StepDelay.
+// Caller holds c.mu.
+func (c *Controller) scheduleNextStepLocked(ts *txnState, after []func()) []func() {
+	txn, inc := ts.txn, ts.inc
+	c.cfg.Timers.After(c.cfg.StepDelay, func() {
+		c.mu.Lock()
+		cur, ok := c.txns[txn]
+		var cbs []func()
+		if ok && cur.inc == inc && cur.status == TxnRunning {
+			cbs = c.advanceLocked(cur, nil)
+		}
+		c.mu.Unlock()
+		runAll(cbs)
+	})
+	return after
+}
+
+// commitLocked releases everything the transaction holds and marks it
+// committed. Caller holds c.mu.
+func (c *Controller) commitLocked(ts *txnState, after []func()) []func() {
+	ts.status = TxnCommitted
+	c.commits++
+	after = c.releaseAllLocked(ts, after)
+	if cb := c.cfg.OnCommit; cb != nil {
+		txn := ts.txn
+		after = append(after, func() { cb(txn) })
+	}
+	return after
+}
+
+// AbortLocal aborts a home transaction (victim resolution or caller
+// decision). It is a no-op if the transaction is not running.
+func (c *Controller) AbortLocal(txn id.Txn) {
+	c.mu.Lock()
+	ts, ok := c.txns[txn]
+	var after []func()
+	if ok && ts.status == TxnRunning {
+		after = c.abortLocked(ts, nil)
+	}
+	c.mu.Unlock()
+	runAll(after)
+}
+
+// abortLocked cancels waits, releases holds and marks the transaction
+// aborted. Caller holds c.mu.
+func (c *Controller) abortLocked(ts *txnState, after []func()) []func() {
+	ts.status = TxnAborted
+	c.aborts++
+	after = c.releaseAllLocked(ts, after)
+	if cb := c.cfg.OnAbort; cb != nil {
+		txn := ts.txn
+		after = append(after, func() { cb(txn) })
+	}
+	return after
+}
+
+// releaseAllLocked tears down every hold and wait of a finished home
+// transaction: local locks via the lock table (cascading grants),
+// remote holds and pending acquisitions via CtrlRelease. Caller holds
+// c.mu.
+func (c *Controller) releaseAllLocked(ts *txnState, after []func()) []func() {
+	a := c.agents[ts.txn]
+	if a != nil {
+		if a.hasWaiting {
+			after = c.cancelLocalWaitLocked(a, after)
+		}
+		for r := range a.held {
+			after = c.releaseLocalLocked(r, ts.txn, after)
+		}
+		delete(c.agents, ts.txn)
+	}
+	for r, site := range ts.pendingRemote {
+		c.send(site, msg.CtrlRelease{Txn: ts.txn, Resource: r, Inc: ts.inc})
+		delete(ts.pendingRemote, r)
+	}
+	for r, site := range ts.heldRemote {
+		c.send(site, msg.CtrlRelease{Txn: ts.txn, Resource: r, Inc: ts.inc})
+		delete(ts.heldRemote, r)
+	}
+	return after
+}
+
+// cancelLocalWaitLocked removes an agent's queued lock request.
+// Caller holds c.mu.
+func (c *Controller) cancelLocalWaitLocked(a *agentState, after []func()) []func() {
+	r := a.waiting
+	a.hasWaiting = false
+	a.hasPendingAck = false
+	after = c.waitEndLocked(a, after)
+	// Removing a queued entry can unblock compatible requests behind it.
+	granted := c.locks.release(r, a.txn)
+	return c.grantCascadeLocked(r, granted, after)
+}
+
+// releaseLocalLocked releases a held local lock and processes the
+// resulting grants. Caller holds c.mu.
+func (c *Controller) releaseLocalLocked(r id.Resource, txn id.Txn, after []func()) []func() {
+	granted := c.locks.release(r, txn)
+	return c.grantCascadeLocked(r, granted, after)
+}
+
+// grantCascadeLocked delivers lock grants produced by a release: remote
+// agents acknowledge to their home controller (whitening the
+// inter-controller edge, G5), home agents advance their scripts.
+// Caller holds c.mu.
+func (c *Controller) grantCascadeLocked(r id.Resource, granted []waitEntry, after []func()) []func() {
+	for _, w := range granted {
+		a, ok := c.agents[w.txn]
+		if !ok {
+			panic(fmt.Sprintf("controller %v: grant of %v to unknown agent %v", c.cfg.Site, r, w.txn))
+		}
+		a.held[r] = w.mode
+		a.hasWaiting = false
+		after = c.waitEndLocked(a, after)
+		if a.hasPendingAck && a.pendingAck == r {
+			// Remote agent: tell home the resource is acquired.
+			a.hasPendingAck = false
+			c.send(a.home, msg.CtrlGranted{Txn: a.txn, Resource: r, Inc: a.inc})
+			continue
+		}
+		if ts, home := c.txns[a.txn]; home && ts.status == TxnRunning {
+			after = c.scheduleNextStepLocked(ts, after)
+		}
+	}
+	return after
+}
+
+// waitStartLocked emits the wait-start event. Caller holds c.mu.
+func (c *Controller) waitStartLocked(a *agentState, after []func()) []func() {
+	if cb := c.cfg.OnWaitStart; cb != nil && a != nil {
+		ag := id.Agent{Txn: a.txn, Site: c.cfg.Site}
+		after = append(after, func() { cb(ag) })
+	}
+	return after
+}
+
+// waitEndLocked emits the wait-end event. Caller holds c.mu.
+func (c *Controller) waitEndLocked(a *agentState, after []func()) []func() {
+	if cb := c.cfg.OnWaitEnd; cb != nil && a != nil {
+		ag := id.Agent{Txn: a.txn, Site: c.cfg.Site}
+		after = append(after, func() { cb(ag) })
+	}
+	return after
+}
+
+// send hands a message to another controller. Caller may hold c.mu;
+// transports never call back synchronously.
+func (c *Controller) send(to id.Site, m msg.Message) {
+	c.cfg.Transport.Send(transport.NodeID(c.cfg.Site), transport.NodeID(to), m)
+}
+
+// HandleMessage implements transport.Handler.
+func (c *Controller) HandleMessage(from transport.NodeID, m msg.Message) {
+	sender := id.Site(from)
+	var after []func()
+	c.mu.Lock()
+	switch mm := m.(type) {
+	case msg.CtrlAcquire:
+		after = c.handleAcquireLocked(sender, mm, after)
+	case msg.CtrlGranted:
+		after = c.handleGrantedLocked(sender, mm, after)
+	case msg.CtrlRelease:
+		after = c.handleReleaseLocked(sender, mm, after)
+	case msg.CtrlProbe:
+		after = c.handleProbeLocked(sender, mm, after)
+	case msg.CtrlAbort:
+		if ts, ok := c.txns[mm.Txn]; ok && ts.status == TxnRunning {
+			after = c.abortLocked(ts, after)
+		}
+	default:
+		c.mu.Unlock()
+		panic(fmt.Sprintf("controller %v: unexpected message %T", c.cfg.Site, m))
+	}
+	c.mu.Unlock()
+	runAll(after)
+}
+
+// handleAcquireLocked processes a remote acquisition: the grey
+// inter-controller edge turns black on receipt (G4 of the DDB axioms).
+// Caller holds c.mu.
+func (c *Controller) handleAcquireLocked(from id.Site, m msg.CtrlAcquire, after []func()) []func() {
+	a, ok := c.agents[m.Txn]
+	if !ok {
+		a = &agentState{
+			txn:  m.Txn,
+			home: from,
+			inc:  m.Inc,
+			held: make(map[id.Resource]msg.LockMode),
+		}
+		c.agents[m.Txn] = a
+	}
+	if a.home != from || a.inc != m.Inc {
+		// A fresh incarnation after abort: the old one's release
+		// arrives first on the FIFO link, so a mismatch means the old
+		// agent held nothing and can be replaced outright.
+		if len(a.held) != 0 || a.hasWaiting {
+			panic(fmt.Sprintf("controller %v: incarnation clash for %v", c.cfg.Site, m.Txn))
+		}
+		a.home = from
+		a.inc = m.Inc
+	}
+	a.pendingAck = m.Resource
+	a.hasPendingAck = true
+	granted, err := c.locks.acquire(m.Resource, m.Txn, m.Mode)
+	if err != nil {
+		panic(fmt.Sprintf("controller %v: remote acquire: %v", c.cfg.Site, err))
+	}
+	if granted {
+		a.held[m.Resource] = m.Mode
+		a.hasPendingAck = false
+		c.send(from, msg.CtrlGranted{Txn: m.Txn, Resource: m.Resource, Inc: m.Inc})
+		return after
+	}
+	a.waiting = m.Resource
+	a.waitingMode = m.Mode
+	a.hasWaiting = true
+	after = c.waitStartLocked(a, after)
+	return c.maybeScheduleDetectionLocked(m.Txn, after)
+}
+
+// handleGrantedLocked completes a remote acquisition at the home site:
+// the white inter-controller edge disappears on receipt (G6). Caller
+// holds c.mu.
+func (c *Controller) handleGrantedLocked(from id.Site, m msg.CtrlGranted, after []func()) []func() {
+	ts, ok := c.txns[m.Txn]
+	if !ok || ts.inc != m.Inc || ts.status != TxnRunning {
+		// Stale grant for an aborted incarnation: hand the resource
+		// straight back.
+		c.send(from, msg.CtrlRelease{Txn: m.Txn, Resource: m.Resource, Inc: m.Inc})
+		return after
+	}
+	site, pending := ts.pendingRemote[m.Resource]
+	if !pending || site != from {
+		c.send(from, msg.CtrlRelease{Txn: m.Txn, Resource: m.Resource, Inc: m.Inc})
+		return after
+	}
+	delete(ts.pendingRemote, m.Resource)
+	ts.heldRemote[m.Resource] = from
+	after = c.waitEndLocked(c.agents[m.Txn], after)
+	return c.scheduleNextStepLocked(ts, after)
+}
+
+// handleReleaseLocked processes a release (commit, abort, or stale
+// grant) for a remote agent. Caller holds c.mu.
+func (c *Controller) handleReleaseLocked(from id.Site, m msg.CtrlRelease, after []func()) []func() {
+	a, ok := c.agents[m.Txn]
+	if !ok || a.inc != m.Inc || a.home != from {
+		return after // already cleaned up
+	}
+	if a.hasWaiting && a.waiting == m.Resource {
+		after = c.cancelLocalWaitLocked(a, after)
+	} else if _, held := a.held[m.Resource]; held {
+		delete(a.held, m.Resource)
+		after = c.releaseLocalLocked(m.Resource, m.Txn, after)
+	}
+	if len(a.held) == 0 && !a.hasWaiting {
+		delete(c.agents, m.Txn)
+	}
+	return after
+}
+
+// AgentBlocked reports whether the given transaction's agent at this
+// site is currently waiting (locally queued or awaiting a remote
+// acquisition). The timeout baseline polls this.
+func (c *Controller) AgentBlocked(txn id.Txn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.agentBlockedLocked(txn)
+}
+
+// HomeOf returns the home site of a transaction with an agent here.
+func (c *Controller) HomeOf(txn id.Txn) (id.Site, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.agents[txn]
+	if !ok {
+		return 0, false
+	}
+	return a.home, true
+}
+
+// Abort requests the abort of a transaction: locally if this is its
+// home site, otherwise by message to its home controller.
+func (c *Controller) Abort(txn id.Txn) {
+	c.mu.Lock()
+	ts, home := c.txns[txn]
+	var after []func()
+	if home {
+		if ts.status == TxnRunning {
+			after = c.abortLocked(ts, nil)
+		}
+	} else if a, ok := c.agents[txn]; ok {
+		c.send(a.home, msg.CtrlAbort{Txn: txn})
+	}
+	c.mu.Unlock()
+	runAll(after)
+}
+
+// TxnStatusOf reports a home transaction's status.
+func (c *Controller) TxnStatusOf(txn id.Txn) (TxnStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.txns[txn]
+	if !ok {
+		return 0, false
+	}
+	return ts.status, true
+}
+
+// Stats reports this controller's counters.
+func (c *Controller) Stats() ControllerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ControllerStats{
+		Computations:   c.computations,
+		ProbesSent:     c.probesSent,
+		ProbesDropped:  c.probesDropped,
+		DeclaredLocal:  c.declaredLocal,
+		DeclaredRemote: c.declaredRemote,
+		Commits:        c.commits,
+		Aborts:         c.aborts,
+	}
+}
+
+// ControllerStats holds per-controller counters.
+type ControllerStats struct {
+	Computations   uint64
+	ProbesSent     uint64
+	ProbesDropped  uint64
+	DeclaredLocal  uint64
+	DeclaredRemote uint64
+	Commits        uint64
+	Aborts         uint64
+}
+
+func runAll(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+var _ transport.Handler = (*Controller)(nil)

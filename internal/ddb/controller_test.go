@@ -1,0 +1,272 @@
+package ddb
+
+import (
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// harness builds a raw two-controller system with manual detection for
+// handler-level unit tests.
+func harness(t *testing.T, sites int) (*sim.Scheduler, []*Controller) {
+	t.Helper()
+	sched := sim.New(1)
+	net := transport.NewSimNet(sched, transport.FixedLatency(sim.Millisecond))
+	ctrls := make([]*Controller, sites)
+	for i := 0; i < sites; i++ {
+		c, err := NewController(Config{
+			Site:         id.Site(i),
+			Transport:    net,
+			Timers:       simTimers{sched: sched},
+			ResourceHome: func(r id.Resource) id.Site { return id.Site(int(r) % sites) },
+			Mode:         InitiateManual,
+			HoldTime:     int64(sim.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrls[i] = c
+	}
+	return sched, ctrls
+}
+
+func TestControllerConfigValidation(t *testing.T) {
+	if _, err := NewController(Config{}); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	sched := sim.New(1)
+	net := transport.NewSimNet(sched, nil)
+	if _, err := NewController(Config{Site: 0, Transport: net}); err == nil {
+		t.Fatal("nil ResourceHome accepted")
+	}
+	if _, err := NewController(Config{
+		Site: 1, Transport: net,
+		ResourceHome: func(id.Resource) id.Site { return 0 },
+		Mode:         InitiateOnWaitDelay,
+	}); err == nil {
+		t.Fatal("OnWaitDelay without Timers accepted")
+	}
+}
+
+func TestSubmitRejectsDuplicateRunningTxn(t *testing.T) {
+	_, ctrls := harness(t, 1)
+	if err := ctrls[0].Submit(5, 0, []LockStep{{Resource: 0, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrls[0].Submit(5, 1, nil); err == nil {
+		t.Fatal("duplicate running txn accepted")
+	}
+}
+
+func TestStaleGrantIsHandedBack(t *testing.T) {
+	// A CtrlGranted for a transaction that no longer waits (wrong inc)
+	// must be answered with a CtrlRelease so the remote lock frees.
+	sched, ctrls := harness(t, 2)
+	// T0 at S0 acquires remote r1; grant will arrive normally first.
+	if err := ctrls[0].Submit(0, 3, []LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(10 * sim.Millisecond))
+	// T0 holds r1 remotely now. Inject a stale duplicate grant with an
+	// old incarnation: S0 must send a release back, and S1's lock state
+	// for the stale incarnation must be untouched (agent inc differs,
+	// release ignored).
+	ctrls[1].send(0, msg.CtrlGranted{Txn: 0, Resource: 1, Inc: 2})
+	sched.RunUntil(sim.Time(20 * sim.Millisecond))
+	// The real hold survives: r1 still held by T0's agent at S1.
+	ctrls[1].mu.Lock()
+	holders := ctrls[1].locks.holdersOf(1)
+	ctrls[1].mu.Unlock()
+	if len(holders) != 1 || holders[0] != 0 {
+		t.Fatalf("holders of r1 = %v, want [T0]", holders)
+	}
+}
+
+func TestReleaseForUnknownAgentIgnored(t *testing.T) {
+	sched, ctrls := harness(t, 2)
+	ctrls[0].send(1, msg.CtrlRelease{Txn: 9, Resource: 1, Inc: 0})
+	sched.RunUntil(sim.Time(5 * sim.Millisecond))
+	// Nothing to assert beyond "no panic": unknown releases are
+	// already-cleaned-up state.
+}
+
+func TestAbortRoutesToHome(t *testing.T) {
+	sched, ctrls := harness(t, 2)
+	// T0 home S0 acquires remote r1 and holds it; then S1 (which hosts
+	// only T0's remote agent) calls Abort — it must route to S0.
+	if err := ctrls[0].Submit(0, 0, []LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(10 * sim.Millisecond))
+	ctrls[1].Abort(0)
+	sched.RunUntil(sim.Time(30 * sim.Millisecond))
+	if st, ok := ctrls[0].TxnStatusOf(0); !ok || st != TxnAborted {
+		t.Fatalf("status = %v %v, want aborted", st, ok)
+	}
+	// The remote hold must be released.
+	ctrls[1].mu.Lock()
+	holders := ctrls[1].locks.holdersOf(1)
+	agents := len(ctrls[1].agents)
+	ctrls[1].mu.Unlock()
+	if len(holders) != 0 || agents != 0 {
+		t.Fatalf("remote state not cleaned: holders=%v agents=%d", holders, agents)
+	}
+}
+
+func TestAgentBlockedAndHomeOf(t *testing.T) {
+	sched, ctrls := harness(t, 2)
+	w := msg.LockWrite
+	if err := ctrls[0].Submit(0, 0, []LockStep{{Resource: 0, Mode: w}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrls[0].Submit(1, 0, []LockStep{{Resource: 0, Mode: w}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(2 * sim.Millisecond))
+	if ctrls[0].AgentBlocked(0) {
+		t.Fatal("holder reported blocked")
+	}
+	if !ctrls[0].AgentBlocked(1) {
+		t.Fatal("waiter not reported blocked")
+	}
+	if home, ok := ctrls[0].HomeOf(1); !ok || home != 0 {
+		t.Fatalf("HomeOf = %v %v", home, ok)
+	}
+	if _, ok := ctrls[0].HomeOf(99); ok {
+		t.Fatal("HomeOf for unknown txn reported ok")
+	}
+}
+
+func TestCheckAgentOnUnknownOrActive(t *testing.T) {
+	_, ctrls := harness(t, 1)
+	if _, declared := ctrls[0].CheckAgent(42); declared {
+		t.Fatal("unknown agent declared")
+	}
+	if err := ctrls[0].Submit(1, 0, []LockStep{{Resource: 0, Mode: msg.LockRead}}); err != nil {
+		t.Fatal(err)
+	}
+	// Holder (active): computation starts but can declare nothing.
+	if _, declared := ctrls[0].CheckAgent(1); declared {
+		t.Fatal("active agent declared")
+	}
+}
+
+func TestProbeForMissingOwnComputationDropped(t *testing.T) {
+	// A CtrlProbe for an own tag never initiated must be dropped, not
+	// crash.
+	sched, ctrls := harness(t, 2)
+	w := msg.LockWrite
+	if err := ctrls[0].Submit(0, 0, []LockStep{{Resource: 0, Mode: w}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrls[0].Submit(1, 0, []LockStep{{Resource: 0, Mode: w}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(2 * sim.Millisecond))
+	edge := id.AgentEdge{From: id.Agent{Txn: 1, Site: 1}, To: id.Agent{Txn: 1, Site: 0}}
+	ctrls[1].send(0, msg.CtrlProbe{Tag: id.CtrlTag{Initiator: 0, N: 999}, Edge: edge})
+	sched.RunUntil(sim.Time(5 * sim.Millisecond))
+	if got := ctrls[0].Stats().ProbesDropped; got == 0 {
+		t.Fatal("stale own-tag probe not counted as dropped")
+	}
+}
+
+func TestMisroutedProbePanics(t *testing.T) {
+	sched, ctrls := harness(t, 2)
+	edge := id.AgentEdge{From: id.Agent{Txn: 0, Site: 0}, To: id.Agent{Txn: 0, Site: 7}}
+	ctrls[0].send(1, msg.CtrlProbe{Tag: id.CtrlTag{Initiator: 0, N: 1}, Edge: edge})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misrouted probe did not panic")
+		}
+	}()
+	sched.RunUntil(sim.Time(5 * sim.Millisecond))
+}
+
+func TestOracleExcludesWhiteAcquisitionEdges(t *testing.T) {
+	// While a grant is in flight (sent by the remote controller,
+	// not yet received at home) the acquisition edge is white — the
+	// oracle must not count it as dark even though the home controller
+	// still lists it in pendingRemote.
+	sched, ctrls := harness(t, 2)
+	if err := ctrls[0].Submit(0, 0, []LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewOracle(ctrls)
+	// Step until the remote side has granted (agent holds r1) but the
+	// CtrlGranted has not yet been received at home: with 1ms links,
+	// the acquire arrives at t=1ms and the grant at t=2ms.
+	sched.RunUntil(sim.Time(1500 * sim.Microsecond))
+	ctrls[1].mu.Lock()
+	held := len(ctrls[1].locks.holdersOf(1)) == 1
+	ctrls[1].mu.Unlock()
+	if !held {
+		t.Fatal("test premise broken: remote grant not yet issued")
+	}
+	ctrls[0].mu.Lock()
+	_, stillPending := ctrls[0].txns[0].pendingRemote[1]
+	ctrls[0].mu.Unlock()
+	if !stillPending {
+		t.Fatal("test premise broken: grant already received at home")
+	}
+	for _, e := range oracle.DarkEdges() {
+		if e.From.Txn == e.To.Txn && e.From.Site != e.To.Site {
+			t.Fatalf("white acquisition edge reported dark: %v", e)
+		}
+	}
+	// Before the grant (rewind not possible — assert the grey phase on
+	// a fresh harness): at t=0.5ms the acquire is still in flight, so
+	// the edge is grey and must BE dark.
+	sched2, ctrls2 := harness(t, 2)
+	if err := ctrls2[0].Submit(0, 0, []LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	sched2.RunUntil(sim.Time(500 * sim.Microsecond))
+	found := false
+	for _, e := range NewOracle(ctrls2).DarkEdges() {
+		if e.From.Txn == 0 && e.To.Txn == 0 && e.From.Site == 0 && e.To.Site == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("grey acquisition edge missing from dark set")
+	}
+}
+
+func TestWaitingAgentsAndLocalEdges(t *testing.T) {
+	sched, ctrls := harness(t, 2)
+	w := msg.LockWrite
+	// T0 home S0: holds r0, requests remote r1. T1 home S1 holds r1.
+	if err := ctrls[1].Submit(1, 0, []LockStep{{Resource: 1, Mode: w}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(2 * sim.Millisecond))
+	if err := ctrls[0].Submit(0, 0, []LockStep{{Resource: 0, Mode: w}, {Resource: 1, Mode: w}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(10 * sim.Millisecond))
+	// T0's home agent awaits the remote acquisition.
+	waiting := ctrls[0].WaitingAgents()
+	if len(waiting) != 1 || waiting[0].Txn != 0 {
+		t.Fatalf("waiting at S0 = %v", waiting)
+	}
+	// S0's local edges include the acquisition edge (T0,S0)->(T0,S1).
+	found := false
+	for _, e := range ctrls[0].LocalEdges() {
+		if e.From == (id.Agent{Txn: 0, Site: 0}) && e.To == (id.Agent{Txn: 0, Site: 1}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("acquisition edge missing from LocalEdges: %v", ctrls[0].LocalEdges())
+	}
+	// S1 hosts T0's remote agent queued behind T1: intra edge plus the
+	// wait registers there.
+	waiting1 := ctrls[1].WaitingAgents()
+	if len(waiting1) != 1 || waiting1[0].Txn != 0 {
+		t.Fatalf("waiting at S1 = %v", waiting1)
+	}
+}

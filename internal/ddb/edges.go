@@ -1,0 +1,174 @@
+package ddb
+
+import (
+	"sort"
+
+	"repro/internal/id"
+)
+
+// This file derives the wait-for edges a controller knows locally
+// (axiom P3 for the DDB model): intra-controller edges from the lock
+// table, outgoing acquisition edges from pendingRemote, and
+// holder-home edges (see the package comment) from waits on resources
+// held by remote agents. Deriving edges on demand from the lock table
+// means the edge set can never drift out of sync with lock state.
+
+// intraSuccessorsLocked returns the transactions whose agents the given
+// agent waits for through the local lock table: the holders of the
+// resource it is queued on. Caller holds c.mu.
+func (c *Controller) intraSuccessorsLocked(txn id.Txn) []id.Txn {
+	a, ok := c.agents[txn]
+	if !ok || !a.hasWaiting {
+		return nil
+	}
+	var out []id.Txn
+	for _, h := range c.locks.holdersOf(a.waiting) {
+		if _, present := c.agents[h]; present {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// interEdgesLocked returns the inter-controller edges leaving the given
+// agent: the acquisition edges of §6.4 if it is a home agent with
+// remote acquisitions in flight, and holder-home edges if it waits on a
+// resource held locally by a remote agent of another transaction.
+// Caller holds c.mu.
+func (c *Controller) interEdgesLocked(txn id.Txn) []id.AgentEdge {
+	a, ok := c.agents[txn]
+	if !ok {
+		return nil
+	}
+	self := id.Agent{Txn: txn, Site: c.cfg.Site}
+	var out []id.AgentEdge
+	if ts, home := c.txns[txn]; home && ts.status == TxnRunning {
+		for _, site := range sortedSites(ts.pendingRemote) {
+			out = append(out, id.AgentEdge{From: self, To: id.Agent{Txn: txn, Site: site}})
+		}
+	}
+	if a.hasWaiting && !c.cfg.PaperEdgesOnly {
+		for _, h := range c.locks.holdersOf(a.waiting) {
+			holder, present := c.agents[h]
+			if !present || holder.home == c.cfg.Site {
+				continue
+			}
+			out = append(out, id.AgentEdge{From: self, To: id.Agent{Txn: h, Site: holder.home}})
+		}
+	}
+	return out
+}
+
+// labelReachableLocked walks every agent reachable from start along
+// current intra-controller edges. It labels the visited agents into
+// comp.labeled and returns (a) the transactions labeled for the first
+// time — only their inter-controller edges still need probes — and (b)
+// whether the walk reached watch through at least one edge (or, when
+// watchStart is true, by being the start itself). The walk is a fresh
+// BFS every time: the declaration condition of steps A0/A1 is about
+// reachability over the edges as they stand at this atomic step, not
+// about the accumulated label set. Caller holds c.mu.
+func (c *Controller) labelReachableLocked(comp *probeComp, start, watch id.Txn, watchStart bool) (newly []id.Txn, watchReached bool) {
+	if _, present := c.agents[start]; !present {
+		return nil, false
+	}
+	if watchStart && start == watch {
+		watchReached = true
+	}
+	visited := map[id.Txn]bool{start: true}
+	if !comp.labeled[start] {
+		comp.labeled[start] = true
+		newly = append(newly, start)
+	}
+	queue := []id.Txn{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, succ := range c.intraSuccessorsLocked(cur) {
+			if succ == watch {
+				watchReached = true
+			}
+			if visited[succ] {
+				continue
+			}
+			visited[succ] = true
+			if !comp.labeled[succ] {
+				comp.labeled[succ] = true
+				newly = append(newly, succ)
+			}
+			queue = append(queue, succ)
+		}
+	}
+	return newly, watchReached
+}
+
+// LocalEdges returns every wait-for edge this controller currently
+// knows about — intra-controller edges plus outgoing inter-controller
+// edges. The centralized baseline ships exactly this set to its
+// coordinator; note the acquisition edges include grey (in-flight)
+// edges because the home controller cannot observe colour (P3), which
+// is one root of the phantom-deadlock problem the baseline exhibits.
+func (c *Controller) LocalEdges() []id.AgentEdge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []id.AgentEdge
+	for txn, a := range c.agents {
+		self := id.Agent{Txn: txn, Site: c.cfg.Site}
+		if a.hasWaiting {
+			for _, h := range c.intraSuccessorsLocked(txn) {
+				out = append(out, id.AgentEdge{From: self, To: id.Agent{Txn: h, Site: c.cfg.Site}})
+			}
+		}
+		out = append(out, c.interEdgesLocked(txn)...)
+	}
+	sortAgentEdges(out)
+	return out
+}
+
+// WaitingAgents returns this controller's agents that are currently
+// blocked (queued locally or awaiting a remote acquisition).
+func (c *Controller) WaitingAgents() []id.Agent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []id.Agent
+	for txn, a := range c.agents {
+		blocked := a.hasWaiting
+		if ts, home := c.txns[txn]; home && ts.status == TxnRunning && len(ts.pendingRemote) > 0 {
+			blocked = true
+		}
+		if blocked {
+			out = append(out, id.Agent{Txn: txn, Site: c.cfg.Site})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn < out[j].Txn })
+	return out
+}
+
+func sortedSites(m map[id.Resource]id.Site) []id.Site {
+	seen := make(map[id.Site]struct{}, len(m))
+	out := make([]id.Site, 0, len(m))
+	for _, s := range m {
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortAgentEdges(edges []id.AgentEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From.Txn != b.From.Txn {
+			return a.From.Txn < b.From.Txn
+		}
+		if a.From.Site != b.From.Site {
+			return a.From.Site < b.From.Site
+		}
+		if a.To.Txn != b.To.Txn {
+			return a.To.Txn < b.To.Txn
+		}
+		return a.To.Site < b.To.Site
+	})
+}

@@ -1,0 +1,163 @@
+// Package ddb implements the distributed-database model of §6: sites
+// with controllers, transactions implemented by at most one agent
+// process per site, a read/write lock manager per controller,
+// inter-controller resource acquisition, and the controller-level probe
+// computation of §6.6 with the initiation optimization of §6.7.
+//
+// One extension beyond the paper's letter is documented in DESIGN.md:
+// in addition to the acquisition edges of §6.4 (home agent waits for a
+// remote agent to acquire), controllers know the transaction-structure
+// ("locus") edge from each passive remote agent back to the
+// transaction's home agent. Menasce–Muntz transactions are collections
+// of processes that proceed together; without the locus edge, a cycle
+// through a lock held by a remote agent of a transaction blocked at its
+// home site would be invisible to any wait-for analysis. Locus edges
+// have the same black-until-release discipline as intra-controller
+// edges, so Theorem 2's induction goes through unchanged.
+package ddb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+)
+
+// waitEntry is one queued lock request.
+type waitEntry struct {
+	txn  id.Txn
+	mode msg.LockMode
+}
+
+// lockState is the lock table entry for one resource.
+type lockState struct {
+	holders map[id.Txn]msg.LockMode
+	queue   []waitEntry
+}
+
+// lockTable is a controller's local lock manager. Requests are granted
+// in strict FIFO order: a request waits if it is incompatible with the
+// current holders or if any request is already queued (no overtaking,
+// which keeps waits live and the wait-for graph honest).
+type lockTable struct {
+	locks map[id.Resource]*lockState
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{locks: make(map[id.Resource]*lockState)}
+}
+
+func (t *lockTable) state(r id.Resource) *lockState {
+	ls, ok := t.locks[r]
+	if !ok {
+		ls = &lockState{holders: make(map[id.Txn]msg.LockMode)}
+		t.locks[r] = ls
+	}
+	return ls
+}
+
+// compatible reports whether a new request of the given mode can share
+// the resource with the current holders.
+func (ls *lockState) compatible(mode msg.LockMode) bool {
+	if len(ls.holders) == 0 {
+		return true
+	}
+	if mode != msg.LockRead {
+		return false
+	}
+	for _, m := range ls.holders {
+		if m != msg.LockRead {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire requests the resource for txn. It returns true if the lock
+// was granted immediately; otherwise the request is queued. Re-entrant
+// requests and upgrades are rejected as errors — transaction scripts
+// must not request a resource they already hold.
+func (t *lockTable) acquire(r id.Resource, txn id.Txn, mode msg.LockMode) (bool, error) {
+	ls := t.state(r)
+	if _, held := ls.holders[txn]; held {
+		return false, fmt.Errorf("txn %v already holds %v", txn, r)
+	}
+	for _, w := range ls.queue {
+		if w.txn == txn {
+			return false, fmt.Errorf("txn %v already queued for %v", txn, r)
+		}
+	}
+	if len(ls.queue) == 0 && ls.compatible(mode) {
+		ls.holders[txn] = mode
+		return true, nil
+	}
+	ls.queue = append(ls.queue, waitEntry{txn: txn, mode: mode})
+	return false, nil
+}
+
+// release drops txn's hold (or queued request) on r and returns the
+// transactions granted the lock as a consequence, in grant order.
+func (t *lockTable) release(r id.Resource, txn id.Txn) []waitEntry {
+	ls, ok := t.locks[r]
+	if !ok {
+		return nil
+	}
+	if _, held := ls.holders[txn]; held {
+		delete(ls.holders, txn)
+	} else {
+		for i, w := range ls.queue {
+			if w.txn == txn {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	var granted []waitEntry
+	for len(ls.queue) > 0 && ls.compatible(ls.queue[0].mode) {
+		w := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		ls.holders[w.txn] = w.mode
+		granted = append(granted, w)
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(t.locks, r)
+	}
+	return granted
+}
+
+// holders returns the sorted current holders of r.
+func (t *lockTable) holdersOf(r id.Resource) []id.Txn {
+	ls, ok := t.locks[r]
+	if !ok {
+		return nil
+	}
+	out := make([]id.Txn, 0, len(ls.holders))
+	for txn := range ls.holders {
+		out = append(out, txn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// waiters returns every (resource, txn) wait pair, for edge derivation.
+func (t *lockTable) waitPairs() []waitPair {
+	var out []waitPair
+	for r, ls := range t.locks {
+		for _, w := range ls.queue {
+			out = append(out, waitPair{resource: r, txn: w.txn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].resource != out[j].resource {
+			return out[i].resource < out[j].resource
+		}
+		return out[i].txn < out[j].txn
+	})
+	return out
+}
+
+type waitPair struct {
+	resource id.Resource
+	txn      id.Txn
+}

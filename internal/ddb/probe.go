@@ -1,0 +1,298 @@
+package ddb
+
+import (
+	"fmt"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+)
+
+// This file implements the controller-level probe computation of §6.5
+// and §6.6: step A0 (initiation), A1 (initiator receive) and A2
+// (non-initiator receive), plus the §6.7 batch-initiation optimization.
+//
+// Per §4.3 every controller keeps only recent computations per
+// initiator. The paper's strict "latest only" rule assumes one
+// computation at a time per initiator; a controller running the §6.7
+// optimization initiates Q computations concurrently, so we retain a
+// window of recent computation numbers per initiator instead — stale
+// tags outside the window are dropped exactly like superseded ones.
+const compWindow = 256
+
+// compKey identifies one probe computation (j, n).
+type compKey struct {
+	site id.Site
+	n    uint64
+}
+
+// probeComp is this controller's state for one computation: the agents
+// it has labeled here and the inter-controller edges it has already
+// sent probes along (A2's "if such a probe has not already been sent").
+type probeComp struct {
+	tag    id.CtrlTag
+	own    bool
+	target id.Agent // set when own
+	// targetInc pins the incarnation of the target at initiation: a
+	// computation that completes after its target aborted and restarted
+	// is about a process that no longer exists, so its verdict is
+	// discarded rather than declared.
+	targetInc uint32
+	labeled   map[id.Txn]bool
+	probed    map[id.AgentEdge]bool
+	declared  bool
+}
+
+// CheckAgent runs step A0 for one of this controller's processes:
+// determine whether (txn, site) is on a dark cycle. It returns the
+// computation tag and whether a purely local (intra-controller) cycle
+// was declared immediately.
+func (c *Controller) CheckAgent(txn id.Txn) (id.CtrlTag, bool) {
+	c.mu.Lock()
+	tag, declared, after := c.checkAgentLocked(txn, nil)
+	c.mu.Unlock()
+	runAll(after)
+	return tag, declared
+}
+
+// checkAgentLocked implements step A0. Caller holds c.mu.
+func (c *Controller) checkAgentLocked(txn id.Txn, after []func()) (id.CtrlTag, bool, []func()) {
+	agent, present := c.agents[txn]
+	if !present {
+		return id.CtrlTag{}, false, after
+	}
+	c.nextN++
+	c.computations++
+	tag := id.CtrlTag{Initiator: c.cfg.Site, N: c.nextN}
+	comp := &probeComp{
+		tag:       tag,
+		own:       true,
+		target:    id.Agent{Txn: txn, Site: c.cfg.Site},
+		targetInc: agent.inc,
+		labeled:   make(map[id.Txn]bool),
+		probed:    make(map[id.AgentEdge]bool),
+	}
+	c.comps[compKey{site: c.cfg.Site, n: c.nextN}] = comp
+	c.pruneCompsLocked(c.cfg.Site, c.nextN)
+
+	// A0: the target is "reached" only if the walk re-enters it through
+	// at least one intra edge — a purely local cycle.
+	newly, localCycle := c.labelReachableLocked(comp, txn, txn, false)
+	if localCycle {
+		// "If (Ti,Sj) is labelled, declare that it is on a black cycle
+		// of intra-controller edges."
+		after = c.declareLocked(comp, nil, after)
+		return tag, true, after
+	}
+	c.sendProbesLocked(comp, newly)
+	return tag, false, after
+}
+
+// CheckAll implements the §6.7 optimization: first look for purely
+// intra-controller cycles, then initiate one computation per
+// constituent process with an incoming black inter-controller edge
+// (pending remote acquisitions). It returns Q, the number of
+// computations initiated.
+func (c *Controller) CheckAll() int {
+	c.mu.Lock()
+	var after []func()
+	q := 0
+	for txn, a := range c.agents {
+		if !a.hasPendingAck {
+			continue
+		}
+		q++
+		_, _, after = c.checkAgentLocked(txn, after)
+	}
+	c.mu.Unlock()
+	runAll(after)
+	return q
+}
+
+// sendProbesLocked sends probes along every not-yet-probed
+// inter-controller edge leaving the newly labeled agents. Caller holds
+// c.mu.
+func (c *Controller) sendProbesLocked(comp *probeComp, newly []id.Txn) {
+	for _, txn := range newly {
+		for _, e := range c.interEdgesLocked(txn) {
+			if comp.probed[e] {
+				continue
+			}
+			comp.probed[e] = true
+			c.probesSent++
+			c.send(e.To.Site, msg.CtrlProbe{Tag: comp.tag, Edge: e})
+		}
+	}
+}
+
+// handleProbeLocked implements steps A1 and A2. Caller holds c.mu.
+func (c *Controller) handleProbeLocked(_ id.Site, m msg.CtrlProbe, after []func()) []func() {
+	if m.Edge.To.Site != c.cfg.Site {
+		panic(fmt.Sprintf("controller %v: probe for %v misrouted", c.cfg.Site, m.Edge.To))
+	}
+	if !c.meaningfulLocked(m.Edge) {
+		c.probesDropped++
+		return after
+	}
+	comp, ok := c.compForLocked(m.Tag)
+	if !ok {
+		c.probesDropped++
+		return after
+	}
+	// A1/A2 labeling pass: a fresh walk from the probe's entry process.
+	// At the initiator, declaration requires this walk to reach the
+	// target — including the case where the probe lands directly on it.
+	newly, reached := c.labelReachableLocked(comp, m.Edge.To.Txn, comp.target.Txn, comp.own)
+	if comp.own && !comp.declared && reached {
+		// Step A1: the returning probe chain closes on the target — it
+		// is on a black cycle (Theorem 2 carries over, §6.6).
+		after = c.declareLocked(comp, &m.Edge, after)
+		return after
+	}
+	// Step A2 (and the initiator's continued A0 sending rule): forward
+	// along unprobed inter-controller edges of the newly labeled set.
+	c.sendProbesLocked(comp, newly)
+	return after
+}
+
+// meaningfulLocked decides whether a probe along the given edge is
+// meaningful: the edge exists and is black at receipt (§6.5). For an
+// acquisition edge ((Ti,Sj),(Ti,Sm)) received at Sm: the agent exists
+// with a received-but-unanswered acquisition from Sj. For a holder-home
+// edge ((Tw,Sx),(Th,Sm)) received at the holder's home Sm: transaction
+// Th is still running here and holds at least one resource at Sx, so
+// the wait it induces there cannot have dissolved. Caller holds c.mu.
+func (c *Controller) meaningfulLocked(e id.AgentEdge) bool {
+	if e.From.Txn == e.To.Txn {
+		a, ok := c.agents[e.To.Txn]
+		return ok && a.home == e.From.Site && a.hasPendingAck
+	}
+	ts, ok := c.txns[e.To.Txn]
+	if !ok || ts.status != TxnRunning {
+		return false
+	}
+	for _, site := range ts.heldRemote {
+		if site == e.From.Site {
+			return true
+		}
+	}
+	return false
+}
+
+// compForLocked finds or creates the computation state for a tag,
+// applying the per-initiator window (§4.3). Caller holds c.mu.
+func (c *Controller) compForLocked(tag id.CtrlTag) (*probeComp, bool) {
+	key := compKey{site: tag.Initiator, n: tag.N}
+	if comp, ok := c.comps[key]; ok {
+		return comp, true
+	}
+	if tag.Initiator == c.cfg.Site {
+		// An own computation we no longer track: superseded.
+		return nil, false
+	}
+	if latest := c.latestBy[tag.Initiator]; latest > compWindow && tag.N < latest-compWindow {
+		return nil, false // stale beyond the window
+	}
+	comp := &probeComp{
+		tag:     tag,
+		labeled: make(map[id.Txn]bool),
+		probed:  make(map[id.AgentEdge]bool),
+	}
+	c.comps[key] = comp
+	c.pruneCompsLocked(tag.Initiator, tag.N)
+	return comp, true
+}
+
+// pruneCompsLocked advances the per-initiator high-water mark and drops
+// computations outside the window. Caller holds c.mu.
+func (c *Controller) pruneCompsLocked(initiator id.Site, n uint64) {
+	if n > c.latestBy[initiator] {
+		c.latestBy[initiator] = n
+	}
+	latest := c.latestBy[initiator]
+	if latest <= compWindow {
+		return
+	}
+	for key := range c.comps {
+		if key.site == initiator && key.n < latest-compWindow {
+			delete(c.comps, key)
+		}
+	}
+}
+
+// declareLocked latches a declaration, notifies, and — when Resolve is
+// on — aborts the victim (the detected process's transaction), routing
+// the abort to the transaction's home site if the process here is a
+// remote agent. Caller holds c.mu.
+func (c *Controller) declareLocked(comp *probeComp, closing *id.AgentEdge, after []func()) []func() {
+	if comp.declared {
+		return after
+	}
+	// Discard verdicts about a target that no longer exists in the
+	// incarnation the computation was initiated for: the deadlock it
+	// found was already broken by an abort.
+	if a, ok := c.agents[comp.target.Txn]; !ok || a.inc != comp.targetInc {
+		comp.declared = true
+		return after
+	}
+	comp.declared = true
+	if comp.target.Site == c.cfg.Site {
+		c.declaredLocal++
+	} else {
+		c.declaredRemote++
+	}
+	if cb := c.cfg.OnDeadlock; cb != nil {
+		target, tag := comp.target, comp.tag
+		after = append(after, func() { cb(target, tag) })
+	}
+	if !c.cfg.Resolve {
+		return after
+	}
+	// The abort is deferred behind the OnDeadlock callback so observers
+	// (the oracle audit in particular) see the system state at the
+	// moment of declaration, before the victim's edges are torn down.
+	victim := comp.target.Txn
+	if c.cfg.Victim == VictimYoungest && closing != nil && closing.From.Txn > victim {
+		victim = closing.From.Txn
+	}
+	after = append(after, func() { c.Abort(victim) })
+	return after
+}
+
+// maybeScheduleDetectionLocked arms the §4.3 wait timer for a blocked
+// agent under the InitiateOnWaitDelay policy. Caller holds c.mu.
+func (c *Controller) maybeScheduleDetectionLocked(txn id.Txn, after []func()) []func() {
+	if c.cfg.Mode != InitiateOnWaitDelay {
+		return after
+	}
+	a, ok := c.agents[txn]
+	if !ok {
+		return after
+	}
+	inc := a.inc
+	c.cfg.Timers.After(c.cfg.Delay, func() {
+		c.mu.Lock()
+		var cbs []func()
+		if cur, still := c.agents[txn]; still && cur.inc == inc && c.agentBlockedLocked(txn) {
+			_, _, cbs = c.checkAgentLocked(txn, nil)
+		}
+		c.mu.Unlock()
+		runAll(cbs)
+	})
+	return after
+}
+
+// agentBlockedLocked reports whether the agent is waiting locally or
+// (for a home agent) awaiting a remote acquisition. Caller holds c.mu.
+func (c *Controller) agentBlockedLocked(txn id.Txn) bool {
+	a, ok := c.agents[txn]
+	if !ok {
+		return false
+	}
+	if a.hasWaiting {
+		return true
+	}
+	if ts, home := c.txns[txn]; home && ts.status == TxnRunning && len(ts.pendingRemote) > 0 {
+		return true
+	}
+	return false
+}

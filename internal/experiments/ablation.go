@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// E11Row is one edge-model configuration of the ablation.
+type E11Row struct {
+	EdgeModel        string
+	AcqCycleDetected bool // the paper's own scenario (acquisition-phase cycle)
+	HoldCycleOracle  bool // the remote-hold scenario truly deadlocks
+	HoldCycleFound   bool // ... and the detector sees it
+}
+
+// E11EdgeModelAblation justifies the holder-home edge extension
+// documented in DESIGN.md: with the paper's §6.4 edge set alone
+// (acquisition edges + intra-controller edges), a cycle through a lock
+// that a transaction retains at a remote site is invisible to any
+// wait-for analysis, because the retained lock's agent has no outgoing
+// edge. The ablation runs two deterministic scenarios under both edge
+// models:
+//
+//   - acq-cycle: both transactions deadlock while ACQUIRING remote
+//     resources (the paper's own situation) — both models must detect.
+//   - hold-cycle: both transactions first acquire a remote resource,
+//     then deadlock waiting LOCALLY on the resource the other retains —
+//     only the extended model can detect.
+func E11EdgeModelAblation() ([]E11Row, *metrics.Table, error) {
+	table := metrics.NewTable(
+		"E11 — ablation: §6.4 edges only vs holder-home extension",
+		"edge_model", "acq_cycle_detected", "hold_cycle_is_deadlock", "hold_cycle_detected")
+	w := msg.LockWrite
+	scenario := func(paperOnly bool, remoteHold bool) (detected, oracleDead bool, err error) {
+		cl, cerr := ddb.NewCluster(ddb.ClusterOptions{
+			Sites: 2, Resources: 2, Seed: 11,
+			HoldTime:       int64(sim.Second),
+			Delay:          int64(2 * sim.Millisecond),
+			PaperEdgesOnly: paperOnly,
+		})
+		if cerr != nil {
+			return false, false, cerr
+		}
+		var specs []ddb.TxnSpec
+		if remoteHold {
+			// Acquire the remote resource first, then block on the
+			// local one the other transaction holds: at deadlock time
+			// no acquisition edge exists anywhere.
+			specs = []ddb.TxnSpec{
+				{Txn: 0, Home: 0, Steps: []ddb.LockStep{{Resource: 1, Mode: w}, {Resource: 0, Mode: w}}},
+				{Txn: 1, Home: 1, Steps: []ddb.LockStep{{Resource: 0, Mode: w}, {Resource: 1, Mode: w}}},
+			}
+		} else {
+			// The paper's canonical scenario: hold local, acquire
+			// remote.
+			specs = []ddb.TxnSpec{
+				{Txn: 0, Home: 0, Steps: []ddb.LockStep{{Resource: 0, Mode: w}, {Resource: 1, Mode: w}}},
+				{Txn: 1, Home: 1, Steps: []ddb.LockStep{{Resource: 1, Mode: w}, {Resource: 0, Mode: w}}},
+			}
+		}
+		for _, s := range specs {
+			if serr := cl.Submit(s); serr != nil {
+				return false, false, serr
+			}
+		}
+		cl.Sched.RunUntil(sim.Time(200 * sim.Millisecond))
+		return len(cl.Detections) > 0, len(cl.Oracle.DeadlockedTxns()) > 0, nil
+	}
+
+	var rows []E11Row
+	for _, model := range []struct {
+		name      string
+		paperOnly bool
+	}{
+		{name: "paper-§6.4-only", paperOnly: true},
+		{name: "with-holder-home", paperOnly: false},
+	} {
+		acqDetected, _, err := scenario(model.paperOnly, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		holdDetected, holdOracle, err := scenario(model.paperOnly, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := E11Row{
+			EdgeModel:        model.name,
+			AcqCycleDetected: acqDetected,
+			HoldCycleOracle:  holdOracle,
+			HoldCycleFound:   holdDetected,
+		}
+		rows = append(rows, row)
+		table.AddRow(model.name, acqDetected, holdOracle, holdDetected)
+	}
+	return rows, table, nil
+}
+
+// E12Row is one victim-policy configuration of the resolution ablation.
+type E12Row struct {
+	Policy     string
+	Aborts     int
+	DoneMs     float64
+	AllDone    bool
+	Detections int
+}
+
+// victimSeeds are shared across policies so the mixes are identical.
+var victimSeeds = []int64{121, 122, 123, 124}
+
+// E12VictimPolicyAblation compares victim-selection policies for
+// resolution (the paper defers breaking to [3,6]; this measures the
+// design space): aborting the detected process's transaction (default)
+// versus aborting the youngest transaction known to the detecting
+// controller on the cycle's local fragment.
+func E12VictimPolicyAblation() ([]E12Row, *metrics.Table, error) {
+	table := metrics.NewTable(
+		"E12 — victim policy: detected-transaction vs youngest-on-fragment",
+		"policy", "aborts", "mean_done_ms", "all_done", "detections")
+	var rows []E12Row
+	for _, policy := range []ddb.VictimPolicy{ddb.VictimDetected, ddb.VictimYoungest} {
+		aborts, detections := 0, 0
+		done := 0
+		meanDone := 0.0
+		for _, seed := range victimSeeds {
+			cl, err := ddb.NewCluster(ddb.ClusterOptions{
+				Sites: 3, Resources: 6, Seed: seed,
+				Resolve:  true,
+				Victim:   policy,
+				HoldTime: int64(sim.Millisecond),
+				Delay:    int64(3 * sim.Millisecond),
+				Backoff:  int64(10 * sim.Millisecond),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			specs := deadlockProneMix(seed)
+			for _, s := range specs {
+				if err := cl.Submit(s); err != nil {
+					return nil, nil, err
+				}
+			}
+			at, ok := cl.RunUntilCommitted(sim.Time(8 * sim.Second))
+			if ok {
+				done++
+			}
+			aborts += cl.Aborts()
+			detections += len(cl.Detections)
+			meanDone += float64(at) / float64(sim.Millisecond) / float64(len(victimSeeds))
+		}
+		row := E12Row{
+			Policy:     policy.String(),
+			Aborts:     aborts,
+			DoneMs:     meanDone,
+			AllDone:    done == len(victimSeeds),
+			Detections: detections,
+		}
+		rows = append(rows, row)
+		table.AddRow(row.Policy, row.Aborts, row.DoneMs, row.AllDone, row.Detections)
+	}
+	return rows, table, nil
+}
+
+// deadlockProneMix builds the shared E12 workload.
+func deadlockProneMix(seed int64) []ddb.TxnSpec {
+	// Each transaction locks (i mod 6) then ((i+2) mod 6): transactions
+	// whose first resources are 0, 2, 4 (or 1, 3, 5) chase each other
+	// around a 3-cycle of resources — dining philosophers with three
+	// seats per table, two tables, spread over three sites, with a
+	// second wave doubling the contention.
+	w := msg.LockWrite
+	var specs []ddb.TxnSpec
+	for i := 0; i < 12; i++ {
+		a := id.Resource(i % 6)
+		b := id.Resource((i + 2) % 6)
+		specs = append(specs, ddb.TxnSpec{
+			Txn:   id.Txn(i),
+			Home:  id.Site(i % 3),
+			Steps: []ddb.LockStep{{Resource: a, Mode: w}, {Resource: b, Mode: w}},
+			Retry: true,
+		})
+	}
+	_ = seed
+	return specs
+}

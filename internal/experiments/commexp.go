@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/commdl"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// E10Row is one configuration of the communication-model experiment.
+type E10Row struct {
+	N          int
+	Fanout     int
+	Deadlocked int
+	Declared   int
+	FalseDecls int
+	Queries    int64
+	Replies    int64
+	EdgeBound  int
+}
+
+// E10CommunicationModel exercises the OR-request extension (the
+// companion algorithm the paper cites as [1]): random dependency
+// structures across seeds, detector verdicts audited against the
+// knot-reachability oracle, and the query-message bound (at most one
+// engaging flood per process per computation, so total queries of one
+// computation never exceed the number of dependent edges).
+func E10CommunicationModel(configs [][2]int) ([]E10Row, *metrics.Table, error) {
+	if len(configs) == 0 {
+		configs = [][2]int{{8, 1}, {16, 2}, {32, 2}, {64, 3}}
+	}
+	table := metrics.NewTable(
+		"E10 — OR-model extension: detector vs knot oracle, query bound",
+		"N", "fanout", "oracle_deadlocked", "declared", "false", "queries", "edge_bound")
+	rows := make([]E10Row, 0, len(configs))
+	for _, cfg := range configs {
+		n, fanout := cfg[0], cfg[1]
+		sched := sim.New(int64(100*n + fanout))
+		net := transport.NewSimNet(sched, transport.UniformLatency{Min: 10 * sim.Microsecond, Max: sim.Millisecond})
+		counters := metrics.NewCounters()
+		net.Observe(counters)
+		declared := make(map[id.Proc]bool)
+		procs := make([]*commdl.Process, n)
+		for i := 0; i < n; i++ {
+			pid := id.Proc(i)
+			p, err := commdl.New(commdl.Config{
+				ID:         pid,
+				Transport:  net,
+				OnDeadlock: func(uint64) { declared[pid] = true },
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			procs[i] = p
+		}
+		// Lower half: a closed cluster whose members depend only on each
+		// other — with every member blocked this is a knot (the OR-model
+		// deadlock). Upper half: periphery with dependents anywhere and
+		// some processes left active, so waits there are escapable.
+		rng := rand.New(rand.NewSource(int64(n)))
+		core := n / 2
+		edges := 0
+		for i := 0; i < n; i++ {
+			if i >= core && rng.Intn(4) == 0 {
+				continue // periphery process stays active
+			}
+			limit := n
+			if i < core {
+				limit = core
+			}
+			seen := map[id.Proc]struct{}{id.Proc(i): {}}
+			var deps []id.Proc
+			for len(deps) < fanout && len(seen) < limit {
+				d := id.Proc(rng.Intn(limit))
+				if _, dup := seen[d]; dup {
+					continue
+				}
+				seen[d] = struct{}{}
+				deps = append(deps, d)
+			}
+			if len(deps) == 0 {
+				continue
+			}
+			if err := procs[i].Block(deps...); err != nil {
+				return nil, nil, err
+			}
+			edges += len(deps)
+		}
+		for _, p := range procs {
+			p.StartDetection()
+		}
+		for i := 0; i < 1<<24 && sched.Step(); i++ {
+		}
+		oracle := commdl.NewOracle(procs)
+		dead := oracle.Deadlocked()
+		deadSet := make(map[id.Proc]bool, len(dead))
+		for _, v := range dead {
+			deadSet[v] = true
+		}
+		falseDecls := 0
+		for v := range declared {
+			if !deadSet[v] {
+				falseDecls++
+			}
+		}
+		for _, v := range dead {
+			if !declared[v] {
+				return nil, nil, fmt.Errorf("E10: n=%d deadlocked %v undeclared", n, v)
+			}
+		}
+		row := E10Row{
+			N:          n,
+			Fanout:     fanout,
+			Deadlocked: len(dead),
+			Declared:   len(declared),
+			FalseDecls: falseDecls,
+			Queries:    counters.Sent(msg.KindCommQuery),
+			Replies:    counters.Sent(msg.KindCommReply),
+			EdgeBound:  edges,
+		}
+		rows = append(rows, row)
+		table.AddRow(n, fanout, row.Deadlocked, row.Declared, falseDecls, row.Queries, edges)
+	}
+	return rows, table, nil
+}

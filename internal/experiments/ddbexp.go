@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// E6Row is one remote-ratio setting of the §6.7 experiment.
+type E6Row struct {
+	RemoteFrac float64
+	Blocked    int // processes a naive controller would test (one computation each)
+	Q          int // §6.7: processes with incoming black inter-controller edges
+	SavedPct   float64
+}
+
+// E6DDBInitiation measures the §6.7 optimization: instead of one probe
+// computation per blocked constituent process, a controller initiates Q
+// computations, where Q counts only processes with incoming black
+// inter-controller edges. We freeze random mixes mid-flight and compare
+// Q against the naive per-blocked-process count.
+func E6DDBInitiation(fracs []float64) ([]E6Row, *metrics.Table, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0.0, 0.25, 0.5, 0.75, 1.0}
+	}
+	table := metrics.NewTable(
+		"E6 — §6.7 initiation optimization: Q vs naive per-process computations",
+		"remote_frac", "blocked_procs", "Q", "saved_pct")
+	rows := make([]E6Row, 0, len(fracs))
+	for i, frac := range fracs {
+		seed := int64(6000 + i)
+		cl, err := ddb.NewCluster(ddb.ClusterOptions{
+			Sites: 4, Resources: 16, Seed: seed,
+			Mode:     ddb.InitiateManual,
+			HoldTime: int64(sim.Second), // long holds freeze contention
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		specs := ddb.GenerateSpecs(24, 16, 4, 3, 1.0, 1.0-frac, rng)
+		for _, s := range specs {
+			s.Retry = false
+			if err := cl.Submit(s); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Run until the mix is wedged in waits (events drain because
+		// Manual mode arms no timers beyond holds).
+		cl.Sched.RunUntil(sim.Time(200 * sim.Millisecond))
+		blocked, q := 0, 0
+		for _, c := range cl.Controllers {
+			blocked += len(c.WaitingAgents())
+			q += c.CheckAll()
+		}
+		saved := 0.0
+		if blocked > 0 {
+			saved = 100 * float64(blocked-q) / float64(blocked)
+		}
+		rows = append(rows, E6Row{RemoteFrac: frac, Blocked: blocked, Q: q, SavedPct: saved})
+		table.AddRow(frac, blocked, q, saved)
+	}
+	return rows, table, nil
+}
+
+// E7Row is one detector's results on the shared comparison workload.
+type E7Row struct {
+	Detector     string
+	FalseDecls   int
+	TrueDecls    int
+	DeadlockRuns int // seeds where the oracle saw at least one deadlock
+	CoveredRuns  int // of those, seeds where the detector declared one
+	Messages     int64
+	DetectionMsg int64 // messages attributable to detection
+}
+
+// E7BaselineComparison reproduces the paper's headline qualitative
+// claim (§1): the probe algorithm reports no false deadlocks and misses
+// none, while a timeout detector misfires under benign contention and a
+// centralized snapshot detector pays a standing report stream (and can
+// declare phantoms from stale fragments). All three observe identical
+// transaction mixes in detection-only mode — the paper scopes deadlock
+// breaking out (§5), and resolution is measured separately in E9.
+func E7BaselineComparison(seeds []int64) ([]E7Row, *metrics.Table, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{71, 72, 73, 74, 75, 76, 77, 78}
+	}
+	table := metrics.NewTable(
+		"E7 — detector comparison, detection-only, identical mixes (sums across seeds)",
+		"detector", "false_decls", "true_decls", "deadlock_runs", "covered_runs", "total_msgs", "detect_msgs")
+	const (
+		txns      = 20
+		resources = 8
+		sites     = 4
+	)
+	sums := map[string]*E7Row{
+		"cmh-probe":    {Detector: "cmh-probe"},
+		"timeout":      {Detector: "timeout"},
+		"centralized":  {Detector: "centralized"},
+		"path-pushing": {Detector: "path-pushing"},
+	}
+	horizon := sim.Time(2 * sim.Second)
+	for _, seed := range seeds {
+		mix := func() []ddb.TxnSpec {
+			rng := rand.New(rand.NewSource(seed))
+			specs := ddb.GenerateSpecs(txns, resources, sites, 3, 1.0, 0.3, rng)
+			for i := range specs {
+				specs[i].Retry = false
+			}
+			return specs
+		}
+
+		// CMH probes.
+		{
+			cl, err := ddb.NewCluster(ddb.ClusterOptions{
+				Sites: sites, Resources: resources, Seed: seed,
+				Mode: ddb.InitiateOnWaitDelay, Delay: int64(3 * sim.Millisecond),
+				HoldTime: int64(sim.Millisecond),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, s := range mix() {
+				if err := cl.Submit(s); err != nil {
+					return nil, nil, err
+				}
+			}
+			cl.Sched.RunUntil(horizon)
+			r := sums["cmh-probe"]
+			r.FalseDecls += cl.FalseDetections()
+			r.TrueDecls += len(cl.Detections) - cl.FalseDetections()
+			r.Messages += cl.Counters.TotalSent()
+			r.DetectionMsg += cl.Counters.Sent(msg.KindCtrlProbe)
+			if len(cl.Oracle.DeadlockedTxns()) > 0 {
+				r.DeadlockRuns++
+				if len(cl.Detections) > 0 {
+					r.CoveredRuns++
+				}
+			}
+		}
+
+		// Timeout.
+		{
+			var det *baseline.TimeoutDetector
+			cl, err := ddb.NewCluster(ddb.ClusterOptions{
+				Sites: sites, Resources: resources, Seed: seed,
+				Mode:     ddb.InitiateDisabled,
+				HoldTime: int64(sim.Millisecond),
+				OnWaitStart: func(site id.Site, agent id.Agent) {
+					det.Hook(site, agent)
+				},
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			det = baseline.NewTimeoutDetector(cl, int64(3*sim.Millisecond), false)
+			for _, s := range mix() {
+				if err := cl.Submit(s); err != nil {
+					return nil, nil, err
+				}
+			}
+			cl.Sched.RunUntil(horizon)
+			r := sums["timeout"]
+			r.FalseDecls += det.FalseCount()
+			r.TrueDecls += len(det.Declarations()) - det.FalseCount()
+			r.Messages += cl.Counters.TotalSent()
+			if len(cl.Oracle.DeadlockedTxns()) > 0 {
+				r.DeadlockRuns++
+				if len(det.Declarations()) > 0 {
+					r.CoveredRuns++
+				}
+			}
+		}
+
+		// Centralized snapshots.
+		{
+			cl, err := ddb.NewCluster(ddb.ClusterOptions{
+				Sites: sites, Resources: resources, Seed: seed,
+				Mode:     ddb.InitiateDisabled,
+				HoldTime: int64(sim.Millisecond),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			homes := make(map[id.Txn]id.Site)
+			specs := mix()
+			for _, s := range specs {
+				homes[s.Txn] = s.Home
+			}
+			co := baseline.NewCoordinator(cl, 3*sim.Millisecond, false, func(txn id.Txn) (id.Site, bool) {
+				s, ok := homes[txn]
+				return s, ok
+			})
+			for _, s := range specs {
+				if err := cl.Submit(s); err != nil {
+					return nil, nil, err
+				}
+			}
+			cl.Sched.RunUntil(horizon)
+			co.Stop()
+			r := sums["centralized"]
+			r.FalseDecls += co.FalseCount()
+			r.TrueDecls += len(co.Declarations()) - co.FalseCount()
+			r.Messages += cl.Counters.TotalSent()
+			r.DetectionMsg += cl.Counters.Sent(msg.KindBaselineReport)
+			if len(cl.Oracle.DeadlockedTxns()) > 0 {
+				r.DeadlockRuns++
+				if len(co.Declarations()) > 0 {
+					r.CoveredRuns++
+				}
+			}
+		}
+
+		// Path-pushing (Obermarck-style, the paper's reference [7]).
+		{
+			cl, err := ddb.NewCluster(ddb.ClusterOptions{
+				Sites: sites, Resources: resources, Seed: seed,
+				Mode:     ddb.InitiateDisabled,
+				HoldTime: int64(sim.Millisecond),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			pp := baseline.NewPathPushing(cl, 3*sim.Millisecond, false)
+			for _, s := range mix() {
+				if err := cl.Submit(s); err != nil {
+					return nil, nil, err
+				}
+			}
+			cl.Sched.RunUntil(horizon)
+			pp.Stop()
+			r := sums["path-pushing"]
+			r.FalseDecls += pp.FalseCount()
+			r.TrueDecls += len(pp.Declarations()) - pp.FalseCount()
+			r.Messages += cl.Counters.TotalSent()
+			r.DetectionMsg += cl.Counters.Sent(msg.KindBaselineReport)
+			if len(cl.Oracle.DeadlockedTxns()) > 0 {
+				r.DeadlockRuns++
+				if len(pp.Declarations()) > 0 {
+					r.CoveredRuns++
+				}
+			}
+		}
+	}
+	rows := []E7Row{*sums["cmh-probe"], *sums["timeout"], *sums["centralized"], *sums["path-pushing"]}
+	for _, r := range rows {
+		table.AddRow(r.Detector, r.FalseDecls, r.TrueDecls, r.DeadlockRuns, r.CoveredRuns, r.Messages, r.DetectionMsg)
+	}
+	return rows, table, nil
+}
+
+// E9Row is one resolution strategy's end-to-end outcome.
+type E9Row struct {
+	Strategy     string
+	CommitAllPct float64
+	Aborts       int
+	MeanDoneMs   float64
+	Messages     int64
+}
+
+// E9Resolution measures end-to-end recovery: probe detection with
+// victim abort versus timeout-based abort on identical deadlock-prone
+// mixes, comparing aborts spent and completion.
+func E9Resolution(seeds []int64) ([]E9Row, *metrics.Table, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{91, 92, 93, 94, 95, 96}
+	}
+	table := metrics.NewTable(
+		"E9 — recovery: probe+abort vs timeout+abort",
+		"strategy", "all_committed_pct", "aborts", "mean_done_ms", "msgs")
+	const (
+		txns      = 16
+		resources = 6
+		sites     = 3
+	)
+	horizon := sim.Time(8 * sim.Second)
+	var rows []E9Row
+	for _, strategy := range []string{"cmh-probe", "timeout"} {
+		committedAll := 0
+		aborts := 0
+		var msgs int64
+		meanDone := 0.0
+		for _, seed := range seeds {
+			rng := rand.New(rand.NewSource(seed))
+			specs := ddb.GenerateSpecs(txns, resources, sites, 3, 1.0, 0.2, rng)
+			var det *baseline.TimeoutDetector
+			opts := ddb.ClusterOptions{
+				Sites: sites, Resources: resources, Seed: seed,
+				HoldTime: int64(sim.Millisecond),
+				Backoff:  int64(10 * sim.Millisecond),
+			}
+			if strategy == "cmh-probe" {
+				opts.Mode = ddb.InitiateOnWaitDelay
+				opts.Delay = int64(3 * sim.Millisecond)
+				opts.Resolve = true
+			} else {
+				opts.Mode = ddb.InitiateDisabled
+				opts.OnWaitStart = func(site id.Site, agent id.Agent) { det.Hook(site, agent) }
+			}
+			cl, err := ddb.NewCluster(opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			if strategy == "timeout" {
+				// A practical timeout must exceed typical benign waits;
+				// even so it aborts on long-but-live queues.
+				det = baseline.NewTimeoutDetector(cl, int64(25*sim.Millisecond), true)
+			}
+			for _, s := range specs {
+				if err := cl.Submit(s); err != nil {
+					return nil, nil, err
+				}
+			}
+			doneAt, done := cl.RunUntilCommitted(horizon)
+			if done {
+				committedAll++
+			}
+			aborts += cl.Aborts()
+			msgs += cl.Counters.TotalSent()
+			meanDone += float64(doneAt) / float64(sim.Millisecond) / float64(len(seeds))
+		}
+		row := E9Row{
+			Strategy:     strategy,
+			CommitAllPct: 100 * float64(committedAll) / float64(len(seeds)),
+			Aborts:       aborts,
+			MeanDoneMs:   meanDone,
+			Messages:     msgs,
+		}
+		rows = append(rows, row)
+		table.AddRow(row.Strategy, row.CommitAllPct, row.Aborts, row.MeanDoneMs, row.Messages)
+	}
+	return rows, table, nil
+}

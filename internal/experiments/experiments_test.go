@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The experiment functions are exercised at small scale so the full
+// table pipeline (workload -> rows -> rendered table) stays correct;
+// the root benchmark suite runs them at paper scale.
+
+func TestE1SmallScale(t *testing.T) {
+	rows, table, err := E1ProbesPerComputation([]int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Detected || !r.WithinBound {
+			t.Fatalf("row %+v", r)
+		}
+		if r.Probes != int64(r.N) {
+			t.Fatalf("N-cycle should cost exactly N probes: %+v", r)
+		}
+		if r.DiscardCount != 0 {
+			t.Fatalf("ring probes should all be meaningful: %+v", r)
+		}
+	}
+	if !strings.Contains(table.String(), "E1") {
+		t.Fatal("table missing title")
+	}
+}
+
+func TestE2SmallScale(t *testing.T) {
+	rows, _, err := E2StateBound([]int{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxTagTable != r.N-1 {
+			t.Fatalf("tag table should hold exactly N-1 entries on a full ring: %+v", r)
+		}
+	}
+}
+
+func TestE3SmallScale(t *testing.T) {
+	rows, _, err := E3TimerTradeoff([]sim.Duration{0, 20 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Computations >= rows[0].Computations {
+		t.Fatalf("T=20ms should initiate fewer computations than T=0: %+v", rows)
+	}
+	if rows[1].DetectMs < 20 {
+		t.Fatalf("latency below T: %+v", rows[1])
+	}
+}
+
+func TestE4SmallScale(t *testing.T) {
+	rows, _, err := E4Correctness([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Counts.FP != 0 || r.Counts.FN != 0 {
+			t.Fatalf("correctness breach: %+v", r)
+		}
+	}
+}
+
+func TestE5SmallScale(t *testing.T) {
+	rows, _, err := E5WFGD([][2]int{{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].ExactSets || rows[0].Informed != rows[0].Blocked {
+		t.Fatalf("WFGD row %+v", rows[0])
+	}
+}
+
+func TestE6SmallScale(t *testing.T) {
+	rows, _, err := E6DDBInitiation([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Q != 0 {
+		t.Fatalf("fully local mix should need zero inter-controller computations: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Q > r.Blocked {
+			t.Fatalf("Q exceeds blocked: %+v", r)
+		}
+	}
+}
+
+func TestE7SmallScale(t *testing.T) {
+	rows, _, err := E7BaselineComparison([]int64{71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E7Row{}
+	for _, r := range rows {
+		byName[r.Detector] = r
+	}
+	if byName["cmh-probe"].FalseDecls != 0 {
+		t.Fatalf("probe algorithm declared falsely: %+v", byName["cmh-probe"])
+	}
+	if byName["cmh-probe"].DeadlockRuns != byName["cmh-probe"].CoveredRuns {
+		t.Fatalf("probe algorithm missed a deadlocked run: %+v", byName["cmh-probe"])
+	}
+}
+
+func TestE8SmallScale(t *testing.T) {
+	rows, _, err := E8Scalability([]int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SimDetectMs != float64(r.N) {
+			t.Fatalf("sim detection should be exactly N hops: %+v", r)
+		}
+		if r.LiveDetectUs <= 0 {
+			t.Fatalf("live leg did not run: %+v", r)
+		}
+	}
+}
+
+func TestE9SmallScale(t *testing.T) {
+	rows, _, err := E9Resolution([]int64{91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Strategy == "cmh-probe" && r.CommitAllPct < 100 {
+			t.Fatalf("probe resolution failed: %+v", r)
+		}
+	}
+}
+
+func TestE10SmallScale(t *testing.T) {
+	rows, _, err := E10CommunicationModel([][2]int{{8, 1}, {12, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FalseDecls != 0 || r.Declared != r.Deadlocked {
+			t.Fatalf("OR verdicts wrong: %+v", r)
+		}
+	}
+}
+
+func TestE11Ablation(t *testing.T) {
+	rows, _, err := E11EdgeModelAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string]E11Row{}
+	for _, r := range rows {
+		byModel[r.EdgeModel] = r
+	}
+	paper := byModel["paper-§6.4-only"]
+	ext := byModel["with-holder-home"]
+	if !paper.AcqCycleDetected || !ext.AcqCycleDetected {
+		t.Fatalf("acquisition cycle must be detected by both models: %+v", rows)
+	}
+	if !paper.HoldCycleOracle || !ext.HoldCycleOracle {
+		t.Fatalf("remote-hold scenario must truly deadlock: %+v", rows)
+	}
+	if paper.HoldCycleFound {
+		t.Fatalf("paper-only model should MISS the remote-hold cycle: %+v", paper)
+	}
+	if !ext.HoldCycleFound {
+		t.Fatalf("extended model must detect the remote-hold cycle: %+v", ext)
+	}
+}
+
+func TestE12Ablation(t *testing.T) {
+	rows, _, err := E12VictimPolicyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.AllDone {
+			t.Fatalf("policy %s failed to restore liveness: %+v", r.Policy, r)
+		}
+	}
+}
+
+func TestExperimentsAreDeterministic(t *testing.T) {
+	// Everything runs on the seeded simulator, so two runs of the same
+	// experiment must render byte-identical tables.
+	_, t1, err := E1ProbesPerComputation([]int{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := E1ProbesPerComputation([]int{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("E1 not deterministic:\n%s\nvs\n%s", t1, t2)
+	}
+	_, t3, err := E6DDBInitiation([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t4, err := E6DDBInitiation([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.String() != t4.String() {
+		t.Fatalf("E6 not deterministic:\n%s\nvs\n%s", t3, t4)
+	}
+}
+
+func TestRunAllJSONSubset(t *testing.T) {
+	var sb strings.Builder
+	if err := RunAllJSON(&sb, map[string]bool{"E5": true}); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal([]byte(sb.String()), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(results) != 1 || results[0].ID != "E5" {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Rows == nil {
+		t.Fatal("rows missing from JSON export")
+	}
+}
+
+func TestRunAllSubset(t *testing.T) {
+	var sb strings.Builder
+	if err := RunAll(&sb, map[string]bool{"E1": true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== E1") || strings.Contains(out, "== E2") {
+		t.Fatalf("subset run wrong:\n%s", out)
+	}
+	ids := map[string]bool{}
+	for _, s := range All() {
+		if ids[s.ID] {
+			t.Fatalf("duplicate experiment id %s", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	if len(ids) != 12 {
+		t.Fatalf("expected 12 experiments, have %d", len(ids))
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// RealTimers adapts wall-clock timers to the core.Timers interface for
+// live (goroutine) deployments.
+type RealTimers struct{}
+
+// After implements core.Timers.
+func (RealTimers) After(d int64, fn func()) { time.AfterFunc(time.Duration(d), fn) }
+
+var _ core.Timers = RealTimers{}
+
+// E8Row is one ring size of the scalability experiment.
+type E8Row struct {
+	N            int
+	SimDetectMs  float64 // deterministic simulator, fixed 1ms links
+	SimExpectMs  float64 // N x latency: one probe lap around the cycle
+	LiveDetectUs float64 // goroutine runtime, real clock
+	Probes       int64
+}
+
+// E8Scalability measures detection latency versus cycle length: the
+// probe must travel the whole cycle once, so latency is linear in N.
+// With on-block initiation the first probes leave together with the
+// requests and FIFO links deliver them back-to-back, so the simulator
+// shows exactly N fixed-latency hops. The live goroutine runtime
+// confirms the same linear shape on real hardware.
+func E8Scalability(sizes []int) ([]E8Row, *metrics.Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 16, 32, 64, 128}
+	}
+	table := metrics.NewTable(
+		"E8 — detection latency vs cycle length (one probe lap)",
+		"N", "sim_ms", "expected_ms", "live_us", "probes")
+	rows := make([]E8Row, 0, len(sizes))
+	for _, n := range sizes {
+		// Simulator leg.
+		sys, err := workload.NewBasicSystem(n, workload.BasicOptions{
+			Seed:    int64(n),
+			Latency: transport.FixedLatency(sim.Millisecond),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sys.Apply(workload.Ring(n)); err != nil {
+			return nil, nil, err
+		}
+		sys.Run(1 << 24)
+		if len(sys.Detections) == 0 {
+			return nil, nil, fmt.Errorf("E8: sim ring %d not detected", n)
+		}
+		simMs := float64(sys.Detections[0].At) / float64(sim.Millisecond)
+
+		// Live goroutine leg.
+		liveUs, probes, err := LiveRingDetect(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := E8Row{
+			N:            n,
+			SimDetectMs:  simMs,
+			SimExpectMs:  float64(n),
+			LiveDetectUs: liveUs,
+			Probes:       probes,
+		}
+		rows = append(rows, row)
+		table.AddRow(n, row.SimDetectMs, row.SimExpectMs, row.LiveDetectUs, probes)
+	}
+	return rows, table, nil
+}
+
+// LiveRingDetect builds an n-process request cycle over the live
+// goroutine transport, initiates one probe computation, and returns the
+// wall-clock detection latency in microseconds plus the number of
+// probes sent. FIFO links make the probes trail the requests, so no
+// settling wait is needed (axiom P1 at work).
+func LiveRingDetect(n int) (latencyUs float64, probes int64, err error) {
+	net := transport.NewLive()
+	defer net.Close()
+	detected := make(chan struct{})
+	procs := make([]*core.Process, n)
+	for i := 0; i < n; i++ {
+		cfg := core.Config{
+			ID:        id.Proc(i),
+			Transport: net,
+			Policy:    core.InitiateManually,
+		}
+		if i == 0 {
+			var once bool
+			cfg.OnDeadlock = func(id.Tag) {
+				if !once {
+					once = true
+					close(detected)
+				}
+			}
+		}
+		p, perr := core.NewProcess(cfg)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		procs[i] = p
+	}
+	for i := 0; i < n; i++ {
+		if rerr := procs[i].Request(id.Proc((i + 1) % n)); rerr != nil {
+			return 0, 0, rerr
+		}
+	}
+	start := time.Now()
+	if _, ok := procs[0].StartProbe(); !ok {
+		return 0, 0, fmt.Errorf("live ring %d: initiator not blocked", n)
+	}
+	select {
+	case <-detected:
+	case <-time.After(30 * time.Second):
+		return 0, 0, fmt.Errorf("live ring %d: detection timed out", n)
+	}
+	elapsed := time.Since(start)
+	for _, p := range procs {
+		probes += int64(p.Stats().ProbesSent)
+	}
+	return float64(elapsed.Nanoseconds()) / 1e3, probes, nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Spec names one experiment, the paper claim it reproduces, and a
+// runner returning both typed rows (for the JSON export) and the
+// rendered table (for the text report).
+type Spec struct {
+	ID    string
+	Claim string
+	Run   func() (rows any, table *metrics.Table, err error)
+}
+
+// All returns the full experiment suite in DESIGN.md order.
+func All() []Spec {
+	return []Spec{
+		{
+			ID:    "E1",
+			Claim: "§4.3: at most one probe per edge, ≤ N probes on an N-cycle",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E1ProbesPerComputation(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E2",
+			Claim: "§4.3: per-process detector state is one entry per initiator (≤ N)",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E2StateBound(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E3",
+			Claim: "§4.3: timer T trades probe computations for detection latency (≥ T)",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E3TimerTradeoff(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E4",
+			Claim: "Theorems 1 & 2: all true deadlocks detected, none reported falsely",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E4Correctness(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E5",
+			Claim: "§5: WFGD delivers every deadlocked vertex its permanent black paths",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E5WFGD(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E6",
+			Claim: "§6.7: Q computations instead of one per blocked process",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E6DDBInitiation(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E7",
+			Claim: "§1: probes are exact; timeout and centralized baselines misfire",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E7BaselineComparison(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E8",
+			Claim: "detection latency is one probe lap: linear in cycle length",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E8Scalability(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E9",
+			Claim: "§6: probe detection + victim abort restores liveness efficiently",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E9Resolution(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E10",
+			Claim: "extension [1]: communication-model (OR) detection is exact too",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E10CommunicationModel(nil)
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E11",
+			Claim: "ablation: §6.4 edges alone miss remote-hold cycles; holder-home edges fix it",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E11EdgeModelAblation()
+				return r, t, err
+			},
+		},
+		{
+			ID:    "E12",
+			Claim: "ablation: victim-selection policy for resolution",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E12VictimPolicyAblation()
+				return r, t, err
+			},
+		},
+	}
+}
+
+// RunAll executes every experiment (or the subset whose IDs are in
+// only, if non-empty) and writes the rendered tables to w.
+func RunAll(w io.Writer, only map[string]bool) error {
+	for _, spec := range All() {
+		if len(only) > 0 && !only[spec.ID] {
+			continue
+		}
+		fmt.Fprintf(w, "== %s: %s\n", spec.ID, spec.Claim)
+		_, table, err := spec.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		fmt.Fprintln(w, table.String())
+	}
+	return nil
+}
+
+// Result is the JSON export record of one experiment.
+type Result struct {
+	ID    string `json:"id"`
+	Claim string `json:"claim"`
+	Rows  any    `json:"rows"`
+}
+
+// RunAllJSON executes the selected experiments and writes an indented
+// JSON array of Result records to w — the machine-readable companion of
+// EXPERIMENTS.md.
+func RunAllJSON(w io.Writer, only map[string]bool) error {
+	var results []Result
+	for _, spec := range All() {
+		if len(only) > 0 && !only[spec.ID] {
+			continue
+		}
+		rows, _, err := spec.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		results = append(results, Result{ID: spec.ID, Claim: spec.Claim, Rows: rows})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

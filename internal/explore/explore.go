@@ -1,0 +1,228 @@
+// Package explore is a systematic schedule explorer — a lightweight
+// model checker for the protocol. The paper's theorems quantify over
+// every execution permitted by the axioms; randomized simulation
+// samples that space, while this package enumerates it exhaustively for
+// small configurations: every interleaving of message deliveries that
+// respects per-link FIFO order is executed, and the caller's invariant
+// check runs after (and during) each complete schedule.
+//
+// The engine re-executes the scenario from scratch for every schedule,
+// steering each run by a recorded choice path (which link delivers
+// next). Processes are deterministic functions of their delivery
+// sequence, so replaying a prefix reproduces the same reachable state
+// without any state snapshotting.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// ChoiceNet is a transport whose delivery order is chosen externally:
+// sends queue per ordered pair (preserving FIFO within the pair), and
+// Deliver hands the head of a chosen pair to its destination. It is
+// intended for single-goroutine use by the explorer.
+type ChoiceNet struct {
+	handlers  map[transport.NodeID]transport.Handler
+	queues    map[link][]pending
+	links     []link // stable insertion order of live links
+	observers []transport.Observer
+	delivered int
+}
+
+type link struct {
+	from, to transport.NodeID
+}
+
+type pending struct {
+	m msg.Message
+}
+
+// NewChoiceNet returns an empty choice-driven network.
+func NewChoiceNet() *ChoiceNet {
+	return &ChoiceNet{
+		handlers: make(map[transport.NodeID]transport.Handler),
+		queues:   make(map[link][]pending),
+	}
+}
+
+// Observe attaches an observer.
+func (n *ChoiceNet) Observe(o transport.Observer) { n.observers = append(n.observers, o) }
+
+// Register implements transport.Transport.
+func (n *ChoiceNet) Register(id transport.NodeID, h transport.Handler) { n.handlers[id] = h }
+
+// Send implements transport.Transport: the message queues on its link.
+func (n *ChoiceNet) Send(from, to transport.NodeID, m msg.Message) {
+	if m == nil {
+		panic("choicenet: nil message")
+	}
+	for _, o := range n.observers {
+		o.OnSend(from, to, m)
+	}
+	l := link{from: from, to: to}
+	if _, seen := n.queues[l]; !seen {
+		n.links = append(n.links, l)
+	}
+	n.queues[l] = append(n.queues[l], pending{m: m})
+}
+
+// Live returns the links that currently have queued messages, ordered
+// by (from, to). Ordering by link identity — never by creation order —
+// is what makes replays stable: a handler that sends to several links
+// may do so in map-iteration order, so first-use order differs between
+// otherwise identical runs, but the SET of live links (and each link's
+// queue content) does not.
+func (n *ChoiceNet) Live() []int {
+	var live []int
+	for i, l := range n.links {
+		if len(n.queues[l]) > 0 {
+			live = append(live, i)
+		}
+	}
+	sort.Slice(live, func(a, b int) bool {
+		la, lb := n.links[live[a]], n.links[live[b]]
+		if la.from != lb.from {
+			return la.from < lb.from
+		}
+		return la.to < lb.to
+	})
+	return live
+}
+
+// Deliver delivers the head message of the link with the given index
+// (an element of Live()).
+func (n *ChoiceNet) Deliver(idx int) {
+	l := n.links[idx]
+	q := n.queues[l]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("choicenet: deliver on empty link %v", l))
+	}
+	p := q[0]
+	n.queues[l] = q[1:]
+	h, ok := n.handlers[l.to]
+	if !ok {
+		panic(fmt.Sprintf("choicenet: no handler for node %d", l.to))
+	}
+	for _, o := range n.observers {
+		o.OnDeliver(l.from, l.to, p.m)
+	}
+	n.delivered++
+	h.HandleMessage(l.from, p.m)
+}
+
+// Delivered returns the number of messages delivered so far in this
+// run.
+func (n *ChoiceNet) Delivered() int { return n.delivered }
+
+var _ transport.Transport = (*ChoiceNet)(nil)
+
+// Scenario builds a system on the given network (creating processes,
+// issuing the initial requests) and returns a check invoked after the
+// run quiesces. Checks during the run belong in the scenario's own
+// callbacks; returning an error from either fails the exploration with
+// the offending schedule attached.
+type Scenario func(net *ChoiceNet) (check func() error, err error)
+
+// Result summarizes an exploration.
+type Result struct {
+	Schedules int  // complete schedules executed
+	Truncated bool // hit MaxSchedules or MaxDepth before exhausting
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxSchedules caps the number of complete schedules (0 = 1<<20).
+	MaxSchedules int
+	// MaxDepth caps deliveries per schedule (0 = 4096); scenarios that
+	// exceed it fail, since a correct scenario must quiesce.
+	MaxDepth int
+}
+
+// Run exhaustively explores every FIFO-respecting delivery schedule of
+// the scenario via depth-first search over link choices, re-executing
+// from scratch along each path.
+func Run(scenario Scenario, opts Options) (Result, error) {
+	if opts.MaxSchedules == 0 {
+		opts.MaxSchedules = 1 << 20
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 4096
+	}
+	var res Result
+
+	// DFS over choice paths. path[i] is the index into Live() taken at
+	// step i. After each complete run, advance the path like an odometer
+	// using the branching factors observed during that run.
+	path := []int{}
+	for {
+		branching, check, err := execute(scenario, path, opts.MaxDepth)
+		if err != nil {
+			return res, fmt.Errorf("schedule %v: %w", path, err)
+		}
+		if err := check(); err != nil {
+			return res, fmt.Errorf("schedule %v: %w", path, err)
+		}
+		res.Schedules++
+		if res.Schedules >= opts.MaxSchedules {
+			res.Truncated = true
+			return res, nil
+		}
+		// Advance: find the deepest step with an untaken branch.
+		next := advance(path, branching)
+		if next == nil {
+			return res, nil
+		}
+		path = next
+	}
+}
+
+// execute replays one schedule: follow path where it has entries, take
+// branch 0 beyond it, and record the branching factor at every step.
+func execute(scenario Scenario, path []int, maxDepth int) (branching []int, check func() error, err error) {
+	net := NewChoiceNet()
+	check, err = scenario(net)
+	if err != nil {
+		return nil, nil, err
+	}
+	for step := 0; ; step++ {
+		live := net.Live()
+		if len(live) == 0 {
+			return branching, check, nil
+		}
+		if step >= maxDepth {
+			return nil, nil, fmt.Errorf("schedule exceeds MaxDepth %d (non-quiescing scenario?)", maxDepth)
+		}
+		choice := 0
+		if step < len(path) {
+			choice = path[step]
+		}
+		if choice >= len(live) {
+			return nil, nil, fmt.Errorf("internal: stale choice %d of %d at step %d", choice, len(live), step)
+		}
+		branching = append(branching, len(live))
+		net.Deliver(live[choice])
+	}
+}
+
+// advance returns the next DFS path after a completed run with the
+// given per-step branching factors, or nil when the space is exhausted.
+func advance(path []int, branching []int) []int {
+	// Extend the path to the run's full depth with the zero choices the
+	// run implicitly took.
+	full := make([]int, len(branching))
+	copy(full, path)
+	// Find deepest position with remaining branches.
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i]+1 < branching[i] {
+			next := make([]int, i+1)
+			copy(next, full[:i+1])
+			next[i]++
+			return next
+		}
+	}
+	return nil
+}

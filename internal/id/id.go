@@ -1,0 +1,107 @@
+// Package id defines the identifier and tag types shared by every layer
+// of the deadlock-detection library: process, site, transaction and
+// resource identifiers, the (initiator, sequence) probe-computation tags
+// of Chandy–Misra §3.2, and edge identities for both the basic model and
+// the distributed-database model of §6.
+package id
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Proc identifies a process (a vertex of the wait-for graph) in the
+// basic model. Values are small dense integers so they can index arrays.
+type Proc int32
+
+// String returns a short human-readable form such as "p3".
+func (p Proc) String() string { return "p" + strconv.Itoa(int(p)) }
+
+// Site identifies a computer S_j in the DDB model (§6.2).
+type Site int32
+
+// String returns a short human-readable form such as "S2".
+func (s Site) String() string { return "S" + strconv.Itoa(int(s)) }
+
+// Txn identifies a transaction T_i in the DDB model (§6.2).
+type Txn int32
+
+// String returns a short human-readable form such as "T5".
+func (t Txn) String() string { return "T" + strconv.Itoa(int(t)) }
+
+// Resource identifies a lockable resource managed by some controller.
+type Resource int32
+
+// String returns a short human-readable form such as "r7".
+func (r Resource) String() string { return "r" + strconv.Itoa(int(r)) }
+
+// Agent identifies a DDB process (T_i, S_j): the agent of transaction
+// T_i running at site S_j. The paper writes it as the tuple (Ti,Sj);
+// the tuple uniquely identifies a process (§6.2).
+type Agent struct {
+	Txn  Txn
+	Site Site
+}
+
+// String renders the paper's tuple notation, e.g. "(T5,S2)".
+func (a Agent) String() string { return fmt.Sprintf("(%v,%v)", a.Txn, a.Site) }
+
+// Tag distinguishes probe computations: the n-th computation initiated
+// by vertex i is tagged (i,n) (§3.2). Later computations by the same
+// initiator supersede earlier ones (§4.3).
+type Tag struct {
+	Initiator Proc
+	N         uint64
+}
+
+// String renders the paper's tag notation, e.g. "(p4,n=2)".
+func (t Tag) String() string { return fmt.Sprintf("(%v,n=%d)", t.Initiator, t.N) }
+
+// Supersedes reports whether computation t makes computation u obsolete:
+// same initiator, strictly newer sequence number (§4.3: "If probe
+// computation (i,n) is initiated, all probe computations (i,k) with k<n
+// may be ignored").
+func (t Tag) Supersedes(u Tag) bool {
+	return t.Initiator == u.Initiator && t.N > u.N
+}
+
+// CtrlTag distinguishes probe computations in the DDB model, where the
+// initiator is a controller, not a process (§6.5: "the n-th probe
+// computation initiated by controller Cj is tagged (j,n)").
+type CtrlTag struct {
+	Initiator Site
+	N         uint64
+}
+
+// String renders the DDB tag, e.g. "(S1,n=3)".
+func (t CtrlTag) String() string { return fmt.Sprintf("(%v,n=%d)", t.Initiator, t.N) }
+
+// Supersedes reports whether computation t makes computation u obsolete.
+func (t CtrlTag) Supersedes(u CtrlTag) bool {
+	return t.Initiator == u.Initiator && t.N > u.N
+}
+
+// Edge identifies a directed wait-for edge (v_i, v_j) in the basic
+// model: From has sent To a request and has not yet received a reply.
+type Edge struct {
+	From Proc
+	To   Proc
+}
+
+// String renders the paper's edge notation, e.g. "(p1,p2)".
+func (e Edge) String() string { return fmt.Sprintf("(%v,%v)", e.From, e.To) }
+
+// AgentEdge identifies a directed wait-for edge between DDB processes.
+// Intra-controller edges connect agents at the same site; the
+// inter-controller edges of §6.4 connect two agents of one transaction
+// at different sites.
+type AgentEdge struct {
+	From Agent
+	To   Agent
+}
+
+// String renders the edge, e.g. "((T1,S1),(T1,S2))".
+func (e AgentEdge) String() string { return fmt.Sprintf("(%v,%v)", e.From, e.To) }
+
+// Intra reports whether the edge joins two agents at the same site.
+func (e AgentEdge) Intra() bool { return e.From.Site == e.To.Site }

@@ -1,0 +1,49 @@
+package id
+
+import "testing"
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Proc(3).String(), "p3"},
+		{Site(2).String(), "S2"},
+		{Txn(5).String(), "T5"},
+		{Resource(7).String(), "r7"},
+		{Agent{Txn: 5, Site: 2}.String(), "(T5,S2)"},
+		{Tag{Initiator: 4, N: 2}.String(), "(p4,n=2)"},
+		{CtrlTag{Initiator: 1, N: 3}.String(), "(S1,n=3)"},
+		{Edge{From: 1, To: 2}.String(), "(p1,p2)"},
+		{AgentEdge{From: Agent{Txn: 1, Site: 1}, To: Agent{Txn: 1, Site: 2}}.String(), "((T1,S1),(T1,S2))"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestTagSupersedes(t *testing.T) {
+	a := Tag{Initiator: 1, N: 2}
+	if !a.Supersedes(Tag{Initiator: 1, N: 1}) {
+		t.Error("newer tag should supersede older")
+	}
+	if a.Supersedes(Tag{Initiator: 1, N: 2}) {
+		t.Error("tag should not supersede itself")
+	}
+	if a.Supersedes(Tag{Initiator: 2, N: 1}) {
+		t.Error("different initiators never supersede")
+	}
+	b := CtrlTag{Initiator: 1, N: 5}
+	if !b.Supersedes(CtrlTag{Initiator: 1, N: 4}) || b.Supersedes(CtrlTag{Initiator: 2, N: 1}) {
+		t.Error("CtrlTag supersession wrong")
+	}
+}
+
+func TestAgentEdgeIntra(t *testing.T) {
+	intra := AgentEdge{From: Agent{Txn: 1, Site: 3}, To: Agent{Txn: 2, Site: 3}}
+	inter := AgentEdge{From: Agent{Txn: 1, Site: 3}, To: Agent{Txn: 1, Site: 4}}
+	if !intra.Intra() || inter.Intra() {
+		t.Error("Intra classification wrong")
+	}
+}

@@ -1,0 +1,239 @@
+// Package metrics collects the quantities the experiment harness
+// reports: message counts by kind, detection latencies, probe-computation
+// counts, and the confusion matrix of detector verdicts against the
+// oracle. A Counters value doubles as a transport.Observer so it can be
+// attached to any network.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Counters tallies message traffic. It is safe for concurrent use so it
+// can observe the live and TCP transports.
+type Counters struct {
+	mu    sync.Mutex
+	sent  map[msg.Kind]int64
+	recvd map[msg.Kind]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		sent:  make(map[msg.Kind]int64),
+		recvd: make(map[msg.Kind]int64),
+	}
+}
+
+// OnSend implements transport.Observer.
+func (c *Counters) OnSend(_, _ transport.NodeID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent[m.Kind()]++
+}
+
+// OnDeliver implements transport.Observer.
+func (c *Counters) OnDeliver(_, _ transport.NodeID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recvd[m.Kind()]++
+}
+
+// Sent returns the number of messages of kind k handed to the transport.
+func (c *Counters) Sent(k msg.Kind) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent[k]
+}
+
+// Delivered returns the number of messages of kind k delivered.
+func (c *Counters) Delivered(k msg.Kind) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recvd[k]
+}
+
+// TotalSent returns the number of messages of all kinds handed to the
+// transport.
+func (c *Counters) TotalSent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, v := range c.sent {
+		n += v
+	}
+	return n
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent = make(map[msg.Kind]int64)
+	c.recvd = make(map[msg.Kind]int64)
+}
+
+// Snapshot returns sent counts by kind, sorted by kind name.
+func (c *Counters) Snapshot() []KindCount {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]KindCount, 0, len(c.sent))
+	for k, n := range c.sent {
+		out = append(out, KindCount{Kind: k, Sent: n, Delivered: c.recvd[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind.String() < out[j].Kind.String() })
+	return out
+}
+
+var _ transport.Observer = (*Counters)(nil)
+
+// KindCount is one row of a Counters snapshot.
+type KindCount struct {
+	Kind      msg.Kind
+	Sent      int64
+	Delivered int64
+}
+
+// Series accumulates scalar samples and reports summary statistics.
+type Series struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, v)
+}
+
+// N returns the number of samples.
+func (s *Series) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank, or 0
+// with no samples.
+func (s *Series) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Confusion is the detector-vs-oracle verdict matrix for correctness
+// experiments: a true positive is a declared deadlock confirmed by the
+// oracle, a false positive a declaration the oracle refutes, a false
+// negative a true deadlock never declared.
+type Confusion struct {
+	mu sync.Mutex
+	TP int
+	FP int
+	FN int
+	TN int
+}
+
+// AddTP records a true positive.
+func (c *Confusion) AddTP() { c.mu.Lock(); c.TP++; c.mu.Unlock() }
+
+// AddFP records a false positive.
+func (c *Confusion) AddFP() { c.mu.Lock(); c.FP++; c.mu.Unlock() }
+
+// AddFN records a false negative.
+func (c *Confusion) AddFN() { c.mu.Lock(); c.FN++; c.mu.Unlock() }
+
+// AddTN records a true negative.
+func (c *Confusion) AddTN() { c.mu.Lock(); c.TN++; c.mu.Unlock() }
+
+// Counts returns a plain copy of the matrix.
+func (c *Confusion) Counts() ConfusionCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ConfusionCounts{TP: c.TP, FP: c.FP, FN: c.FN, TN: c.TN}
+}
+
+// String summarizes the matrix.
+func (c *Confusion) String() string { return c.Counts().String() }
+
+// ConfusionCounts is a value copy of a Confusion matrix.
+type ConfusionCounts struct {
+	TP, FP, FN, TN int
+}
+
+// Add accumulates another count set.
+func (c *ConfusionCounts) Add(o ConfusionCounts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// String summarizes the matrix.
+func (c ConfusionCounts) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d", c.TP, c.FP, c.FN, c.TN)
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders fixed-width text tables for the experiment harness,
+// in the style of a paper's evaluation section.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// trimFloat renders floats compactly: integers without decimals,
+// otherwise two decimal places.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package msg
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Envelope is the wire frame exchanged by the TCP transport: a routed
+// message between two node endpoints. Node identifiers are opaque
+// int32s assigned by the transport layer.
+type Envelope struct {
+	From int32
+	To   int32
+	Msg  Message
+}
+
+func init() {
+	// gob needs the concrete types that may appear behind the Message
+	// interface. Registration is deterministic and side-effect free,
+	// which is the sanctioned use of init.
+	gob.Register(Request{})
+	gob.Register(Reply{})
+	gob.Register(Probe{})
+	gob.Register(WFGD{})
+	gob.Register(CtrlAcquire{})
+	gob.Register(CtrlGranted{})
+	gob.Register(CtrlRelease{})
+	gob.Register(CtrlProbe{})
+	gob.Register(CtrlAbort{})
+	gob.Register(BaselineReport{})
+	gob.Register(BaselineDecision{})
+	gob.Register(CommWork{})
+	gob.Register(CommQuery{})
+	gob.Register(CommReply{})
+}
+
+// Encoder writes envelopes to a stream.
+type Encoder struct {
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	bw := bufio.NewWriter(w)
+	return &Encoder{bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+// Encode writes one envelope and flushes it to the underlying stream.
+func (e *Encoder) Encode(env Envelope) error {
+	if env.Msg == nil {
+		return fmt.Errorf("encode envelope %d->%d: nil message", env.From, env.To)
+	}
+	if err := e.enc.Encode(env); err != nil {
+		return fmt.Errorf("encode envelope: %w", err)
+	}
+	if err := e.bw.Flush(); err != nil {
+		return fmt.Errorf("flush envelope: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads envelopes from a stream.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: gob.NewDecoder(bufio.NewReader(r))}
+}
+
+// Decode reads one envelope. It returns io.EOF when the stream ends
+// cleanly between frames. A structurally valid gob stream that carries
+// no message (possible with a hand-crafted or corrupted frame) is
+// rejected as an error rather than surfacing a nil message to handlers.
+func (d *Decoder) Decode() (Envelope, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		if err == io.EOF {
+			return Envelope{}, io.EOF
+		}
+		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
+	}
+	if env.Msg == nil {
+		return Envelope{}, fmt.Errorf("decode envelope %d->%d: missing message", env.From, env.To)
+	}
+	return env, nil
+}

@@ -1,0 +1,276 @@
+// Package msg defines the message taxonomy of the library. The paper
+// distinguishes three kinds of traffic in the basic model — requests,
+// replies, and probes ("probes are concerned with deadlock detection
+// exclusively and are distinct from requests and replies", §2.4) — plus
+// the edge-set messages of the WFGD computation (§5) and the controller
+// messages of the DDB model (§6). Every message carries enough identity
+// for the FIFO-checking tracer and the metrics counters to classify it.
+package msg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/id"
+)
+
+// Kind classifies a message for metrics and tracing.
+type Kind int
+
+// Message kinds. Request/Reply/Probe/WFGD belong to the basic model;
+// the Ctrl* kinds belong to the DDB model of §6.
+const (
+	KindRequest Kind = iota + 1
+	KindReply
+	KindProbe
+	KindWFGD
+	KindCtrlAcquire
+	KindCtrlGranted
+	KindCtrlRelease
+	KindCtrlProbe
+	KindCtrlAbort
+	KindBaselineReport
+	KindBaselineDecision
+	KindCommWork
+	KindCommQuery
+	KindCommReply
+)
+
+var kindNames = map[Kind]string{
+	KindRequest:          "request",
+	KindReply:            "reply",
+	KindProbe:            "probe",
+	KindWFGD:             "wfgd",
+	KindCtrlAcquire:      "ctrl-acquire",
+	KindCtrlGranted:      "ctrl-granted",
+	KindCtrlRelease:      "ctrl-release",
+	KindCtrlProbe:        "ctrl-probe",
+	KindCtrlAbort:        "ctrl-abort",
+	KindBaselineReport:   "baseline-report",
+	KindBaselineDecision: "baseline-decision",
+	KindCommWork:         "comm-work",
+	KindCommQuery:        "comm-query",
+	KindCommReply:        "comm-reply",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Message is implemented by every wire message in the system.
+type Message interface {
+	Kind() Kind
+}
+
+// Request asks the receiver to carry out an action for the sender; its
+// send creates a grey outgoing edge (G1) which turns black on receipt
+// (G2).
+type Request struct{}
+
+// Kind implements Message.
+func (Request) Kind() Kind { return KindRequest }
+
+// Reply answers an earlier Request; its send whitens the edge (G3) and
+// its receipt deletes the edge (G4). Only active processes send replies.
+type Reply struct{}
+
+// Kind implements Message.
+func (Reply) Kind() Kind { return KindReply }
+
+// Probe is the deadlock-detection message of the basic model, tagged
+// with the probe computation (i,n) that it belongs to (§3.2).
+type Probe struct {
+	Tag id.Tag
+}
+
+// Kind implements Message.
+func (Probe) Kind() Kind { return KindProbe }
+
+// WFGD carries a set of edges known to lie on permanent black paths
+// leading from the receiver (§5). Edges are kept sorted so that two
+// messages with the same edge set compare equal, which the algorithm's
+// "never send the same message twice" rule depends on.
+type WFGD struct {
+	Edges []id.Edge
+}
+
+// Kind implements Message.
+func (WFGD) Kind() Kind { return KindWFGD }
+
+// Canonical returns a copy of m with the edge set sorted and
+// de-duplicated, plus a string key usable for duplicate suppression.
+func (m WFGD) Canonical() (WFGD, string) {
+	edges := make([]id.Edge, len(m.Edges))
+	copy(edges, m.Edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	var b strings.Builder
+	for _, e := range dedup {
+		fmt.Fprintf(&b, "%d>%d;", e.From, e.To)
+	}
+	return WFGD{Edges: dedup}, b.String()
+}
+
+// LockMode distinguishes read (shared) from write (exclusive) locks in
+// the DDB lock manager. The paper notes lock-mode details are orthogonal
+// (§6.2); we implement the standard two modes to make the substrate
+// realistic.
+type LockMode int
+
+// Lock modes.
+const (
+	LockRead LockMode = iota + 1
+	LockWrite
+)
+
+// String returns "read" or "write".
+func (m LockMode) String() string {
+	switch m {
+	case LockRead:
+		return "read"
+	case LockWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// CtrlAcquire is sent by controller Cj to controller Cm when one of
+// Cj's processes needs a resource managed by Cm (§6.2: "C_j transmits
+// the request on to process (Ti,Sm) via controller Cm"). Its send
+// creates a grey inter-controller edge (G3 of the DDB axioms) which
+// turns black when Cm receives it (G4).
+type CtrlAcquire struct {
+	Txn      id.Txn
+	Resource id.Resource
+	Mode     LockMode
+	// Inc distinguishes transaction incarnations across abort/retry so
+	// a stale message from a previous incarnation can never corrupt a
+	// new one.
+	Inc uint32
+}
+
+// Kind implements Message.
+func (CtrlAcquire) Kind() Kind { return KindCtrlAcquire }
+
+// CtrlGranted tells the requesting controller that the remote agent has
+// acquired the resource; its send whitens the inter-controller edge (G5)
+// and its receipt deletes the edge (G6).
+type CtrlGranted struct {
+	Txn      id.Txn
+	Resource id.Resource
+	Inc      uint32
+}
+
+// Kind implements Message.
+func (CtrlGranted) Kind() Kind { return KindCtrlGranted }
+
+// CtrlRelease tells a remote controller that the transaction no longer
+// needs the resource (commit or abort).
+type CtrlRelease struct {
+	Txn      id.Txn
+	Resource id.Resource
+	Inc      uint32
+}
+
+// Kind implements Message.
+func (CtrlRelease) Kind() Kind { return KindCtrlRelease }
+
+// CtrlProbe is the DDB probe of §6.5: it carries the computation tag
+// (j,n) and the identity of the inter-controller edge it is sent along.
+type CtrlProbe struct {
+	Tag  id.CtrlTag
+	Edge id.AgentEdge
+}
+
+// Kind implements Message.
+func (CtrlProbe) Kind() Kind { return KindCtrlProbe }
+
+// CtrlAbort instructs a remote controller to abandon a transaction's
+// agent (victim resolution; the paper defers deadlock breaking to
+// [3,6], we implement the standard victim-abort).
+type CtrlAbort struct {
+	Txn id.Txn
+}
+
+// Kind implements Message.
+func (CtrlAbort) Kind() Kind { return KindCtrlAbort }
+
+// BaselineReport carries a site's local wait-for fragment to the
+// centralized baseline coordinator.
+type BaselineReport struct {
+	Site  id.Site
+	Edges []id.AgentEdge
+}
+
+// Kind implements Message.
+func (BaselineReport) Kind() Kind { return KindBaselineReport }
+
+// BaselineDecision carries the coordinator's verdict back to a site.
+type BaselineDecision struct {
+	Deadlocked []id.Txn
+}
+
+// Kind implements Message.
+func (BaselineDecision) Kind() Kind { return KindBaselineDecision }
+
+// CommWork is an application message of the communication (OR) model
+// extension: receiving one from a member of its dependent set unblocks
+// an OR-waiting process.
+type CommWork struct{}
+
+// Kind implements Message.
+func (CommWork) Kind() Kind { return KindCommWork }
+
+// CommQuery is the query of the Chandy–Misra–Haas communication-model
+// algorithm, tagged with the initiator and its computation sequence
+// number.
+type CommQuery struct {
+	Init id.Proc
+	Seq  uint64
+}
+
+// Kind implements Message.
+func (CommQuery) Kind() Kind { return KindCommQuery }
+
+// CommReply answers a CommQuery of the same (Init, Seq) computation.
+type CommReply struct {
+	Init id.Proc
+	Seq  uint64
+}
+
+// Kind implements Message.
+func (CommReply) Kind() Kind { return KindCommReply }
+
+// Compile-time interface checks.
+var (
+	_ Message = CommWork{}
+	_ Message = CommQuery{}
+	_ Message = CommReply{}
+	_ Message = Request{}
+	_ Message = Reply{}
+	_ Message = Probe{}
+	_ Message = WFGD{}
+	_ Message = CtrlAcquire{}
+	_ Message = CtrlGranted{}
+	_ Message = CtrlRelease{}
+	_ Message = CtrlProbe{}
+	_ Message = CtrlAbort{}
+	_ Message = BaselineReport{}
+	_ Message = BaselineDecision{}
+)

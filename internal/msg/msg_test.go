@@ -1,0 +1,136 @@
+package msg
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/id"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindRequest, KindReply, KindProbe, KindWFGD,
+		KindCtrlAcquire, KindCtrlGranted, KindCtrlRelease,
+		KindCtrlProbe, KindCtrlAbort, KindBaselineReport, KindBaselineDecision,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(999).String(); got != "kind(999)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestWFGDCanonicalSortsAndDedups(t *testing.T) {
+	m := WFGD{Edges: []id.Edge{{From: 3, To: 4}, {From: 1, To: 2}, {From: 3, To: 4}, {From: 1, To: 1}}}
+	canon, key := m.Canonical()
+	if len(canon.Edges) != 3 {
+		t.Fatalf("canonical edges = %v", canon.Edges)
+	}
+	for i := 1; i < len(canon.Edges); i++ {
+		a, b := canon.Edges[i-1], canon.Edges[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("not sorted: %v", canon.Edges)
+		}
+	}
+	// Same set in a different order yields the same key.
+	m2 := WFGD{Edges: []id.Edge{{From: 1, To: 1}, {From: 3, To: 4}, {From: 1, To: 2}}}
+	if _, key2 := m2.Canonical(); key2 != key {
+		t.Fatalf("keys differ: %q vs %q", key, key2)
+	}
+	// Different sets yield different keys.
+	m3 := WFGD{Edges: []id.Edge{{From: 1, To: 2}}}
+	if _, key3 := m3.Canonical(); key3 == key {
+		t.Fatal("distinct sets share a key")
+	}
+}
+
+// TestWFGDKeyIsSetInvariant: the canonical key depends only on the edge
+// set, never on order or multiplicity.
+func TestWFGDKeyIsSetInvariant(t *testing.T) {
+	prop := func(raw []uint8, seed int64) bool {
+		edges := make([]id.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, id.Edge{From: id.Proc(raw[i] % 16), To: id.Proc(raw[i+1] % 16)})
+		}
+		_, key1 := WFGD{Edges: edges}.Canonical()
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := make([]id.Edge, len(edges))
+		copy(shuffled, edges)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Duplicate a random prefix to change multiplicity.
+		if len(shuffled) > 0 {
+			shuffled = append(shuffled, shuffled[:rng.Intn(len(shuffled))+1]...)
+		}
+		_, key2 := WFGD{Edges: shuffled}.Canonical()
+		return key1 == key2
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []Message{
+		Request{},
+		Reply{},
+		Probe{Tag: id.Tag{Initiator: 7, N: 3}},
+		WFGD{Edges: []id.Edge{{From: 1, To: 2}}},
+		CtrlAcquire{Txn: 1, Resource: 2, Mode: LockRead, Inc: 5},
+		CtrlGranted{Txn: 1, Resource: 2, Inc: 5},
+		CtrlRelease{Txn: 1, Resource: 2, Inc: 5},
+		CtrlProbe{Tag: id.CtrlTag{Initiator: 2, N: 9}, Edge: id.AgentEdge{
+			From: id.Agent{Txn: 1, Site: 0}, To: id.Agent{Txn: 1, Site: 2}}},
+		CtrlAbort{Txn: 3},
+		BaselineReport{Site: 1},
+		BaselineDecision{Deadlocked: []id.Txn{4}},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i, m := range msgs {
+		if err := enc.Encode(Envelope{From: int32(i), To: int32(i + 1), Msg: m}); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, want := range msgs {
+		env, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if env.From != int32(i) || env.To != int32(i+1) {
+			t.Fatalf("envelope routing corrupted: %+v", env)
+		}
+		if env.Msg.Kind() != want.Kind() {
+			t.Fatalf("decode %d: kind %v want %v", i, env.Msg.Kind(), want.Kind())
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestEncodeNilMessageFails(t *testing.T) {
+	enc := NewEncoder(&bytes.Buffer{})
+	if err := enc.Encode(Envelope{From: 1, To: 2}); err == nil {
+		t.Fatal("nil message encoded")
+	}
+}
+
+func TestLockModeStrings(t *testing.T) {
+	if LockRead.String() != "read" || LockWrite.String() != "write" {
+		t.Fatal("lock mode strings wrong")
+	}
+	if LockMode(9).String() != "mode(9)" {
+		t.Fatal("unknown lock mode string wrong")
+	}
+}

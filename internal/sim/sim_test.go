@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered at %d: %v", i, v)
+		}
+	}
+}
+
+func TestSchedulerPastClampsToPresent(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(100, func() {
+		s.At(50, func() { fired = true }) // in the past
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock went backwards: %d", s.Now())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.After(10, tick)
+	}
+	s.After(10, tick)
+	s.RunUntil(100)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", s.Now())
+	}
+	if s.Pending() == 0 {
+		t.Fatal("pending event should remain queued")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// TestMonotoneClockProperty: regardless of the (time, order) mix of
+// scheduled events, the clock observed inside events never decreases
+// and equal-time events preserve schedule order.
+func TestMonotoneClockProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := New(99)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			at := Time(d % 1000)
+			s.At(at, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() []int64 {
+		s := New(7)
+		var out []int64
+		var tick func()
+		n := 0
+		tick = func() {
+			out = append(out, int64(s.Now()), s.Rand().Int63n(1000))
+			n++
+			if n < 50 {
+				s.After(Duration(1+s.Rand().Int63n(100)), tick)
+			}
+		}
+		s.After(1, tick)
+		s.Run()
+		return out
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

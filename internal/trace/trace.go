@@ -1,0 +1,172 @@
+// Package trace records structured message events and checks the
+// delivery invariants the paper assumes: per-ordered-pair FIFO and
+// no loss. The checker attaches to any transport as an Observer; a
+// violation is reported through a callback rather than a panic so the
+// failure-injection experiments can count violations deliberately
+// introduced by a faulty transport.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Event is one recorded message lifecycle step.
+type Event struct {
+	Seq     uint64
+	From    transport.NodeID
+	To      transport.NodeID
+	Kind    msg.Kind
+	Deliver bool // false = send, true = deliver
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	verb := "send"
+	if e.Deliver {
+		verb = "dlvr"
+	}
+	return fmt.Sprintf("#%d %s %d->%d %v", e.Seq, verb, e.From, e.To, e.Kind)
+}
+
+// FIFOChecker verifies that messages on each ordered pair are delivered
+// in the order they were sent, and (optionally at shutdown) that no
+// message was lost. It is safe for concurrent use.
+type FIFOChecker struct {
+	mu        sync.Mutex
+	seq       uint64
+	pending   map[pairKey][]pendingSend // sends not yet delivered, FIFO
+	onViolate func(string)
+	violation int
+	recording bool
+	events    []Event
+	limit     int
+}
+
+type pairKey struct {
+	from, to transport.NodeID
+}
+
+// pendingSend remembers enough identity to notice a delivery that does
+// not match the oldest outstanding send on its link: a kind mismatch
+// proves reordering (same-kind swaps are observationally FIFO for the
+// algorithm, whose messages of one kind on one link are interchangeable
+// only when their payloads are — the checker is a tripwire, not a
+// proof).
+type pendingSend struct {
+	seq  uint64
+	kind msg.Kind
+}
+
+// NewFIFOChecker returns a checker. onViolate, if non-nil, is invoked
+// with a description of each violation; otherwise violations are only
+// counted.
+func NewFIFOChecker(onViolate func(string)) *FIFOChecker {
+	return &FIFOChecker{
+		pending:   make(map[pairKey][]pendingSend),
+		onViolate: onViolate,
+	}
+}
+
+// Record turns on event recording, keeping at most limit events
+// (0 = unlimited). Recording is intended for small diagnostic runs.
+func (c *FIFOChecker) Record(limit int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recording = true
+	c.limit = limit
+}
+
+// Events returns a copy of recorded events.
+func (c *FIFOChecker) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// OnSend implements transport.Observer.
+func (c *FIFOChecker) OnSend(from, to transport.NodeID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	k := pairKey{from: from, to: to}
+	c.pending[k] = append(c.pending[k], pendingSend{seq: c.seq, kind: m.Kind()})
+	c.record(Event{Seq: c.seq, From: from, To: to, Kind: m.Kind()})
+}
+
+// OnDeliver implements transport.Observer.
+func (c *FIFOChecker) OnDeliver(from, to transport.NodeID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := pairKey{from: from, to: to}
+	q := c.pending[k]
+	if len(q) == 0 {
+		c.violate(fmt.Sprintf("delivery with no pending send on %d->%d (%v)", from, to, m.Kind()))
+		return
+	}
+	// FIFO means the delivered message must be the oldest pending send
+	// on this pair. Transports hand us deliveries in actual order, so
+	// the delivered kind must match the queue head; a mismatch proves
+	// an overtake. Pop the matching entry either way so one violation
+	// does not cascade.
+	head := q[0]
+	if head.kind != m.Kind() {
+		c.violate(fmt.Sprintf("overtake on %d->%d: delivered %v before older %v", from, to, m.Kind(), head.kind))
+		for i, ps := range q {
+			if ps.kind == m.Kind() {
+				c.pending[k] = append(q[:i:i], q[i+1:]...)
+				c.record(Event{Seq: ps.seq, From: from, To: to, Kind: m.Kind(), Deliver: true})
+				return
+			}
+		}
+		return
+	}
+	c.pending[k] = q[1:]
+	c.record(Event{Seq: head.seq, From: from, To: to, Kind: m.Kind(), Deliver: true})
+}
+
+// OutOfOrderDeliver is used by the failure-injection transport wrapper
+// to report a delivery it has deliberately reordered; the checker
+// verifies it notices (the delivered seq is not the head of the queue).
+func (c *FIFOChecker) violate(desc string) {
+	c.violation++
+	if c.onViolate != nil {
+		c.onViolate(desc)
+	}
+}
+
+// Violations returns the number of violations observed so far.
+func (c *FIFOChecker) Violations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violation
+}
+
+// Undelivered returns the number of sent-but-never-delivered messages;
+// call after the system quiesces to check the no-loss assumption.
+func (c *FIFOChecker) Undelivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, q := range c.pending {
+		n += len(q)
+	}
+	return n
+}
+
+func (c *FIFOChecker) record(e Event) {
+	if !c.recording {
+		return
+	}
+	if c.limit > 0 && len(c.events) >= c.limit {
+		return
+	}
+	c.events = append(c.events, e)
+}
+
+var _ transport.Observer = (*FIFOChecker)(nil)

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func TestFIFOCheckerCleanFlow(t *testing.T) {
+	c := NewFIFOChecker(nil)
+	c.OnSend(1, 2, msg.Request{})
+	c.OnSend(1, 2, msg.Probe{})
+	c.OnDeliver(1, 2, msg.Request{})
+	if u := c.Undelivered(); u != 1 {
+		t.Fatalf("undelivered = %d, want 1", u)
+	}
+	c.OnDeliver(1, 2, msg.Probe{})
+	if c.Violations() != 0 || c.Undelivered() != 0 {
+		t.Fatalf("violations=%d undelivered=%d", c.Violations(), c.Undelivered())
+	}
+}
+
+func TestFIFOCheckerDetectsPhantomDelivery(t *testing.T) {
+	var msgs []string
+	c := NewFIFOChecker(func(s string) { msgs = append(msgs, s) })
+	c.OnDeliver(3, 4, msg.Reply{})
+	if c.Violations() != 1 || len(msgs) != 1 {
+		t.Fatalf("violations=%d callbacks=%d", c.Violations(), len(msgs))
+	}
+}
+
+func TestFIFOCheckerRecording(t *testing.T) {
+	c := NewFIFOChecker(nil)
+	c.Record(3)
+	c.OnSend(1, 2, msg.Request{})
+	c.OnDeliver(1, 2, msg.Request{})
+	c.OnSend(2, 1, msg.Reply{})
+	c.OnSend(1, 2, msg.Probe{}) // over the limit
+	events := c.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3 (limit)", len(events))
+	}
+	if events[0].Deliver || !events[1].Deliver {
+		t.Fatalf("event kinds wrong: %v", events)
+	}
+	if events[0].String() == "" || events[1].String() == "" {
+		t.Fatal("empty event strings")
+	}
+}

@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// FaultyNet is a deliberately broken simulated network used by the
+// failure-injection tests: it assigns each message a delay from a
+// per-kind latency model and does NOT enforce FIFO per ordered pair, so
+// a fast kind can overtake a slow one on the same link. This violates
+// the paper's delivery assumption (and hence axioms P1/P2); the tests
+// use it to show the assumption is necessary, not decorative — a probe
+// that overtakes its request is discarded as non-meaningful and the
+// deadlock goes undetected.
+type FaultyNet struct {
+	sched     *sim.Scheduler
+	kindDelay func(k msg.Kind) sim.Duration
+	handlers  map[NodeID]Handler
+	observers []Observer
+}
+
+// NewFaultyNet builds a faulty network; kindDelay maps each message
+// kind to its fixed delay (no ordering floor is applied).
+func NewFaultyNet(sched *sim.Scheduler, kindDelay func(k msg.Kind) sim.Duration) *FaultyNet {
+	return &FaultyNet{
+		sched:     sched,
+		kindDelay: kindDelay,
+		handlers:  make(map[NodeID]Handler),
+	}
+}
+
+// Observe attaches an observer (the FIFO checker, which must flag the
+// violations this transport produces).
+func (n *FaultyNet) Observe(o Observer) { n.observers = append(n.observers, o) }
+
+// Register implements Transport.
+func (n *FaultyNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Send implements Transport without the FIFO clamp.
+func (n *FaultyNet) Send(from, to NodeID, m msg.Message) {
+	if m == nil {
+		panic("faultynet: send of nil message")
+	}
+	for _, o := range n.observers {
+		o.OnSend(from, to, m)
+	}
+	n.sched.After(n.kindDelay(m.Kind()), func() {
+		h, ok := n.handlers[to]
+		if !ok {
+			panic(fmt.Sprintf("faultynet: deliver to unregistered node %d", to))
+		}
+		for _, o := range n.observers {
+			o.OnDeliver(from, to, m)
+		}
+		h.HandleMessage(from, m)
+	})
+}
+
+var _ Transport = (*FaultyNet)(nil)

@@ -1,0 +1,83 @@
+package transport_test
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func TestFaultyNetReordersKinds(t *testing.T) {
+	sched := sim.New(3)
+	net := transport.NewFaultyNet(sched, func(k msg.Kind) sim.Duration {
+		if k == msg.KindProbe {
+			return 1
+		}
+		return sim.Millisecond
+	})
+	checker := trace.NewFIFOChecker(nil)
+	net.Observe(checker)
+	var order []msg.Kind
+	net.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) {
+		order = append(order, m.Kind())
+	}))
+	net.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	net.Send(1, 2, msg.Request{})
+	net.Send(1, 2, msg.Probe{})
+	sched.Run()
+	if len(order) != 2 || order[0] != msg.KindProbe {
+		t.Fatalf("order = %v, want probe first (overtake)", order)
+	}
+	if checker.Violations() == 0 {
+		t.Fatal("checker missed the overtake")
+	}
+}
+
+func TestFaultyNetPanicsOnUnregistered(t *testing.T) {
+	sched := sim.New(4)
+	net := transport.NewFaultyNet(sched, func(msg.Kind) sim.Duration { return 1 })
+	net.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	net.Send(1, 9, msg.Request{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sched.Run()
+}
+
+func TestTCPAddrAndSetPeer(t *testing.T) {
+	a := transport.NewTCP()
+	defer a.Close()
+	b := transport.NewTCP()
+	defer b.Close()
+
+	got := make(chan msg.Message, 1)
+	a.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	b.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) { got <- m }))
+	if addr := b.Addr(2); addr == "" {
+		t.Fatal("no listen address for node 2")
+	}
+	// Cross-transport: a learns node 2's address explicitly — the
+	// genuinely distributed configuration.
+	a.SetPeer(2, b.Addr(2))
+	a.Send(1, 2, msg.Probe{})
+	m := <-got
+	if m.Kind() != msg.KindProbe {
+		t.Fatalf("got %v", m.Kind())
+	}
+}
+
+func TestTCPRegisterAddrConflict(t *testing.T) {
+	a := transport.NewTCP()
+	defer a.Close()
+	if err := a.RegisterAddr(1, "127.0.0.1:0", transport.HandlerFunc(func(transport.NodeID, msg.Message) {})); err != nil {
+		t.Fatal(err)
+	}
+	// Binding the same concrete port must fail.
+	if err := a.RegisterAddr(2, a.Addr(1), transport.HandlerFunc(func(transport.NodeID, msg.Message) {})); err == nil {
+		t.Fatal("duplicate bind succeeded")
+	}
+}

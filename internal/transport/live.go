@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// Live is the in-process concurrent network: every node gets a mailbox
+// with a dedicated dispatcher goroutine, mirroring the paper's
+// goroutine-per-process reading of a distributed system. Delivery is
+// reliable and FIFO per ordered pair (Go guarantees a single sender's
+// enqueues are observed in order). Unlike SimNet it runs in real time,
+// so experiment E8 uses it to confirm the simulator's latency shapes on
+// actual concurrent hardware.
+type Live struct {
+	mu        sync.RWMutex
+	boxes     map[NodeID]*mailbox
+	observers []Observer
+	closed    bool
+}
+
+// NewLive returns an empty live network.
+func NewLive() *Live {
+	return &Live{boxes: make(map[NodeID]*mailbox)}
+}
+
+// Observe attaches an observer to all subsequent traffic. Observers must
+// be attached before Register so dispatchers see them; observer methods
+// may be called concurrently from different node dispatchers.
+func (l *Live) Observe(o Observer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observers = append(l.observers, o)
+}
+
+// Register implements Transport and starts the node's dispatcher.
+func (l *Live) Register(id NodeID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.boxes[id]; dup {
+		panic(fmt.Sprintf("live: duplicate registration of node %d", id))
+	}
+	l.boxes[id] = newMailbox(h, func(d delivery) {
+		l.mu.RLock()
+		obs := l.observers
+		l.mu.RUnlock()
+		for _, o := range obs {
+			o.OnDeliver(d.from, id, d.m)
+		}
+		h.HandleMessage(d.from, d.m)
+	})
+}
+
+// Send implements Transport.
+func (l *Live) Send(from, to NodeID, m msg.Message) {
+	if m == nil {
+		panic("live: send of nil message")
+	}
+	l.mu.RLock()
+	box, ok := l.boxes[to]
+	obs := l.observers
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return
+	}
+	if !ok {
+		panic(fmt.Sprintf("live: send to unregistered node %d", to))
+	}
+	for _, o := range obs {
+		o.OnSend(from, to, m)
+	}
+	box.put(delivery{from: from, m: m})
+}
+
+// Close stops every dispatcher after its queue drains and waits for all
+// of them to exit.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	boxes := make([]*mailbox, 0, len(l.boxes))
+	for _, b := range l.boxes {
+		boxes = append(boxes, b)
+	}
+	l.mu.Unlock()
+	for _, b := range boxes {
+		b.close()
+	}
+}
+
+var _ Transport = (*Live)(nil)

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// delivery is one queued message awaiting dispatch.
+type delivery struct {
+	from NodeID
+	m    msg.Message
+}
+
+// mailbox is an unbounded FIFO queue with a single dispatcher goroutine
+// that invokes the node's handler one message at a time. A single
+// dispatcher gives each node the paper's atomic-step property; the
+// unbounded queue means Send never blocks, so a blocked application
+// process can never wedge the network (which would violate the
+// finite-delivery axiom P4).
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []delivery
+	closed  bool
+	done    chan struct{}
+	handler Handler
+	deliver func(d delivery)
+}
+
+// newMailbox starts the dispatcher goroutine for handler h. deliver, if
+// non-nil, is called in place of h.HandleMessage (used to interpose
+// observers).
+func newMailbox(h Handler, deliver func(d delivery)) *mailbox {
+	mb := &mailbox{
+		handler: h,
+		done:    make(chan struct{}),
+		deliver: deliver,
+	}
+	mb.cond = sync.NewCond(&mb.mu)
+	go mb.loop()
+	return mb
+}
+
+// put enqueues one delivery. It is safe for concurrent use; enqueue
+// order from a single sender is preserved, which is all the FIFO
+// per-ordered-pair contract requires.
+func (mb *mailbox) put(d delivery) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.queue = append(mb.queue, d)
+	mb.cond.Signal()
+}
+
+// loop dispatches queued deliveries until close.
+func (mb *mailbox) loop() {
+	defer close(mb.done)
+	for {
+		mb.mu.Lock()
+		for len(mb.queue) == 0 && !mb.closed {
+			mb.cond.Wait()
+		}
+		if mb.closed && len(mb.queue) == 0 {
+			mb.mu.Unlock()
+			return
+		}
+		d := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.mu.Unlock()
+
+		if mb.deliver != nil {
+			mb.deliver(d)
+		} else {
+			mb.handler.HandleMessage(d.from, d.m)
+		}
+	}
+}
+
+// close drains the queue and stops the dispatcher, waiting for it to
+// exit.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		<-mb.done
+		return
+	}
+	mb.closed = true
+	mb.cond.Signal()
+	mb.mu.Unlock()
+	<-mb.done
+}

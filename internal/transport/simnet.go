@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// SimNet is the deterministic simulated network. Every send is assigned
+// a delay drawn from the latency model; FIFO order per ordered pair is
+// enforced by never scheduling a delivery earlier than the previous
+// delivery on the same link, so random delays can never reorder a link.
+type SimNet struct {
+	sched     *sim.Scheduler
+	latency   Latency
+	handlers  map[NodeID]Handler
+	lastAt    map[link]sim.Time
+	observers []Observer
+	inFlight  int
+}
+
+type link struct {
+	from, to NodeID
+}
+
+// NewSimNet returns a simulated network on the given scheduler. If
+// latency is nil, a fixed 1ms delay is used.
+func NewSimNet(sched *sim.Scheduler, latency Latency) *SimNet {
+	if latency == nil {
+		latency = FixedLatency(sim.Millisecond)
+	}
+	return &SimNet{
+		sched:    sched,
+		latency:  latency,
+		handlers: make(map[NodeID]Handler),
+		lastAt:   make(map[link]sim.Time),
+	}
+}
+
+// Observe attaches an observer to all subsequent traffic.
+func (n *SimNet) Observe(o Observer) { n.observers = append(n.observers, o) }
+
+// Register implements Transport.
+func (n *SimNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// InFlight returns the number of messages sent but not yet delivered.
+// Workload drivers use it to detect quiescence.
+func (n *SimNet) InFlight() int { return n.inFlight }
+
+// Send implements Transport. Delivery is scheduled on the simulation
+// clock at max(now+delay, last delivery on this link) so that the link
+// is FIFO regardless of the latency draw.
+func (n *SimNet) Send(from, to NodeID, m msg.Message) {
+	if m == nil {
+		panic("simnet: send of nil message")
+	}
+	for _, o := range n.observers {
+		o.OnSend(from, to, m)
+	}
+	l := link{from: from, to: to}
+	at := n.sched.Now() + n.latency.Sample(n.sched.Rand())
+	if prev := n.lastAt[l]; at < prev {
+		at = prev
+	}
+	n.lastAt[l] = at
+	n.inFlight++
+	n.sched.At(at, func() {
+		n.inFlight--
+		h, ok := n.handlers[to]
+		if !ok {
+			panic(fmt.Sprintf("simnet: deliver to unregistered node %d", to))
+		}
+		for _, o := range n.observers {
+			o.OnDeliver(from, to, m)
+		}
+		h.HandleMessage(from, m)
+	})
+}
+
+var _ Transport = (*SimNet)(nil)

@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// TCP is a transport over real TCP sockets. Each registered node gets
+// its own listener; a sender keeps exactly one connection per ordered
+// (from,to) pair, so TCP's byte-stream ordering yields the FIFO
+// per-ordered-pair guarantee the algorithm requires. Frames are
+// gob-encoded envelopes (see msg.Encoder).
+//
+// All nodes may live in one process (the default, used by the livenet
+// example and the integration tests) or the directory can be primed
+// with remote addresses via SetPeer for genuinely distributed runs.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[NodeID]net.Listener
+	addrs     map[NodeID]string
+	conns     map[link]*msg.Encoder
+	rawConns  []net.Conn
+	boxes     map[NodeID]*mailbox
+	observers []Observer
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewTCP returns an empty TCP transport.
+func NewTCP() *TCP {
+	return &TCP{
+		listeners: make(map[NodeID]net.Listener),
+		addrs:     make(map[NodeID]string),
+		conns:     make(map[link]*msg.Encoder),
+		boxes:     make(map[NodeID]*mailbox),
+	}
+}
+
+// Observe attaches an observer to all subsequent traffic.
+func (t *TCP) Observe(o Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, o)
+}
+
+// SetPeer records the address of a node hosted elsewhere.
+func (t *TCP) SetPeer(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+// Addr returns the listen address of a locally registered node.
+func (t *TCP) Addr(id NodeID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[id]
+}
+
+// Register implements Transport: it starts a loopback listener for the
+// node and an accept loop feeding the node's mailbox.
+func (t *TCP) Register(id NodeID, h Handler) {
+	if err := t.RegisterAddr(id, "127.0.0.1:0", h); err != nil {
+		panic(fmt.Sprintf("tcp: register node %d: %v", id, err))
+	}
+}
+
+// RegisterAddr registers a node listening on an explicit address.
+func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	box := newMailbox(h, func(d delivery) {
+		t.mu.Lock()
+		obs := t.observers
+		t.mu.Unlock()
+		for _, o := range obs {
+			o.OnDeliver(d.from, id, d.m)
+		}
+		h.HandleMessage(d.from, d.m)
+	})
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		box.close()
+		return errors.New("transport closed")
+	}
+	t.listeners[id] = ln
+	t.addrs[id] = ln.Addr().String()
+	t.boxes[id] = box
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.acceptLoop(ln, box)
+	return nil
+}
+
+// acceptLoop accepts inbound connections for one node and spawns a
+// reader per connection.
+func (t *TCP) acceptLoop(ln net.Listener, box *mailbox) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.rawConns = append(t.rawConns, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn, box)
+	}
+}
+
+// readLoop decodes envelopes from one connection into the mailbox.
+func (t *TCP) readLoop(conn net.Conn, box *mailbox) {
+	defer t.wg.Done()
+	dec := msg.NewDecoder(conn)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			if err != io.EOF {
+				// A torn connection would violate the reliable-delivery
+				// axiom; surface it loudly rather than dropping silently.
+				t.mu.Lock()
+				closed := t.closed
+				t.mu.Unlock()
+				if !closed {
+					panic(fmt.Sprintf("tcp: read: %v", err))
+				}
+			}
+			return
+		}
+		box.put(delivery{from: NodeID(env.From), m: env.Msg})
+	}
+}
+
+// Send implements Transport. The first send on an ordered pair dials
+// the destination; subsequent sends reuse the connection, preserving
+// order. Dial or write failures panic: the algorithm's model has no
+// notion of message loss, so a lossy environment is a configuration
+// error here.
+func (t *TCP) Send(from, to NodeID, m msg.Message) {
+	if m == nil {
+		panic("tcp: send of nil message")
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	for _, o := range t.observers {
+		o.OnSend(from, to, m)
+	}
+	l := link{from: from, to: to}
+	enc, ok := t.conns[l]
+	if !ok {
+		addr, known := t.addrs[to]
+		if !known {
+			t.mu.Unlock()
+			panic(fmt.Sprintf("tcp: no address for node %d", to))
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			panic(fmt.Sprintf("tcp: dial node %d at %s: %v", to, addr, err))
+		}
+		t.rawConns = append(t.rawConns, conn)
+		enc = msg.NewEncoder(conn)
+		t.conns[l] = enc
+	}
+	// Encode while holding the lock: envelopes on one connection must
+	// not interleave, and per-link mutual exclusion plus lock ordering
+	// preserves the FIFO send order.
+	err := enc.Encode(msg.Envelope{From: int32(from), To: int32(to), Msg: m})
+	t.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("tcp: send %d->%d: %v", from, to, err))
+	}
+}
+
+// Close shuts down listeners, connections and mailboxes and waits for
+// every goroutine to exit.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	lns := make([]net.Listener, 0, len(t.listeners))
+	for _, ln := range t.listeners {
+		lns = append(lns, ln)
+	}
+	conns := t.rawConns
+	boxes := make([]*mailbox, 0, len(t.boxes))
+	for _, b := range t.boxes {
+		boxes = append(boxes, b)
+	}
+	t.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	for _, b := range boxes {
+		b.close()
+	}
+}
+
+var _ Transport = (*TCP)(nil)

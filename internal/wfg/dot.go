@@ -1,0 +1,58 @@
+package wfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/id"
+)
+
+// DOT renders the coloured wait-for graph in Graphviz dot syntax:
+// vertices on dark cycles are drawn doubled, edge colours follow the
+// paper's grey/black/white. Useful for debugging scenarios via
+// `cmhsim -dot | dot -Tsvg`.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph waitfor {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+
+	onCycle := make(map[id.Proc]bool)
+	for _, v := range g.DarkCycleVertices() {
+		onCycle[v] = true
+	}
+	verts := make(map[id.Proc]struct{})
+	for e := range g.colors {
+		verts[e.From] = struct{}{}
+		verts[e.To] = struct{}{}
+	}
+	sorted := make([]id.Proc, 0, len(verts))
+	for v := range verts {
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, v := range sorted {
+		attrs := ""
+		if onCycle[v] {
+			attrs = " [peripheries=2, style=filled, fillcolor=\"#ffdddd\"]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", v.String(), attrs)
+	}
+	for _, ce := range g.Edges() {
+		color := "black"
+		style := "solid"
+		switch ce.Color {
+		case Grey:
+			color = "gray60"
+			style = "dashed"
+		case White:
+			color = "gray85"
+			style = "dotted"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [color=%s, style=%s, label=%q];\n",
+			ce.From.String(), ce.To.String(), color, style, ce.Color.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

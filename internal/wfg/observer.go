@@ -1,0 +1,87 @@
+package wfg
+
+import (
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// GraphObserver maintains a coloured wait-for graph from transport
+// events. The four graph-axiom transitions correspond one-to-one to
+// observable message events:
+//
+//	send Request    → G1 create grey edge
+//	deliver Request → G2 blacken
+//	send Reply      → G3 whiten
+//	deliver Reply   → G4 delete
+//
+// so an omniscient observer on the wire reconstructs the exact graph of
+// §2 without peeking at process state. Axiom violations indicate an
+// engine bug and are reported through OnViolation.
+type GraphObserver struct {
+	mu          sync.Mutex
+	g           *Graph
+	OnViolation func(error)
+}
+
+// NewGraphObserver returns an observer over a fresh graph. onViolation
+// may be nil, in which case violations panic (they are bugs, not
+// runtime conditions).
+func NewGraphObserver(onViolation func(error)) *GraphObserver {
+	return &GraphObserver{g: New(), OnViolation: onViolation}
+}
+
+// OnSend implements transport.Observer.
+func (o *GraphObserver) OnSend(from, to transport.NodeID, m msg.Message) {
+	e := id.Edge{From: id.Proc(from), To: id.Proc(to)}
+	switch m.(type) {
+	case msg.Request:
+		o.apply(o.lockedGraph().Create, e)
+	case msg.Reply:
+		// Reply from j to i whitens edge (i, j).
+		o.apply(o.lockedGraph().Whiten, id.Edge{From: id.Proc(to), To: id.Proc(from)})
+	}
+}
+
+// OnDeliver implements transport.Observer.
+func (o *GraphObserver) OnDeliver(from, to transport.NodeID, m msg.Message) {
+	e := id.Edge{From: id.Proc(from), To: id.Proc(to)}
+	switch m.(type) {
+	case msg.Request:
+		o.apply(o.lockedGraph().Blacken, e)
+	case msg.Reply:
+		o.apply(o.lockedGraph().Delete, id.Edge{From: id.Proc(to), To: id.Proc(from)})
+	}
+}
+
+// lockedGraph acquires the mutex and returns the graph; apply releases
+// it. Split this way so the transition methods stay on Graph itself.
+func (o *GraphObserver) lockedGraph() *Graph {
+	o.mu.Lock()
+	return o.g
+}
+
+func (o *GraphObserver) apply(fn func(id.Edge) error, e id.Edge) {
+	err := fn(e)
+	o.mu.Unlock()
+	if err == nil {
+		return
+	}
+	if o.OnViolation != nil {
+		o.OnViolation(err)
+		return
+	}
+	panic(err)
+}
+
+// With runs fn with exclusive access to the underlying graph, for
+// oracle queries that must be atomic with respect to traffic.
+func (o *GraphObserver) With(fn func(g *Graph)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fn(o.g)
+}
+
+var _ transport.Observer = (*GraphObserver)(nil)

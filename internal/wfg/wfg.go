@@ -1,0 +1,218 @@
+// Package wfg implements the coloured wait-for graph of §2: grey, black
+// and white edges governed by the graph axioms G1–G4. The Graph type is
+// the library's ground truth: simulated engines report every request,
+// receipt, reply and completion to one Graph, which enforces the axioms
+// (any violation is a bug in an engine) and answers the oracle queries
+// the correctness experiments need — "is this vertex on a dark cycle?"
+// and "which edges lie on permanent black paths from this vertex?".
+//
+// Nothing in the detection algorithm itself reads this package at run
+// time: processes only ever consult local state (axiom P3). The Graph
+// exists so tests and experiments can compare the distributed
+// algorithm's verdicts against omniscient truth.
+package wfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/id"
+)
+
+// Color is the state of a wait-for edge (§2.2 "Edge Colours").
+type Color int
+
+// Edge colours. A grey edge's request is still in flight; a black
+// edge's request has been received but not answered; a white edge's
+// reply is in flight back to the requester.
+const (
+	Grey Color = iota + 1
+	Black
+	White
+)
+
+// String returns the colour name used in the paper.
+func (c Color) String() string {
+	switch c {
+	case Grey:
+		return "grey"
+	case Black:
+		return "black"
+	case White:
+		return "white"
+	default:
+		return fmt.Sprintf("color(%d)", int(c))
+	}
+}
+
+// AxiomError reports a transition that violates one of G1–G4.
+type AxiomError struct {
+	Axiom string
+	Edge  id.Edge
+	Doing string
+}
+
+// Error implements error.
+func (e *AxiomError) Error() string {
+	return fmt.Sprintf("axiom %s violated: %s on edge %v", e.Axiom, e.Doing, e.Edge)
+}
+
+// Graph is a coloured wait-for graph. The zero value is not usable; use
+// New. Graph is not safe for concurrent use — callers that observe a
+// concurrent engine must serialize access.
+type Graph struct {
+	colors map[id.Edge]Color
+	out    map[id.Proc]map[id.Proc]struct{} // successor sets, any colour
+	in     map[id.Proc]map[id.Proc]struct{} // predecessor sets, any colour
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		colors: make(map[id.Edge]Color),
+		out:    make(map[id.Proc]map[id.Proc]struct{}),
+		in:     make(map[id.Proc]map[id.Proc]struct{}),
+	}
+}
+
+// Create applies G1: a grey edge may be created if the edge does not
+// exist.
+func (g *Graph) Create(e id.Edge) error {
+	if _, exists := g.colors[e]; exists {
+		return &AxiomError{Axiom: "G1", Edge: e, Doing: "create existing edge"}
+	}
+	g.colors[e] = Grey
+	addTo(g.out, e.From, e.To)
+	addTo(g.in, e.To, e.From)
+	return nil
+}
+
+// Blacken applies G2: a grey edge turns black (its request arrived).
+func (g *Graph) Blacken(e id.Edge) error {
+	c, exists := g.colors[e]
+	if !exists {
+		return &AxiomError{Axiom: "G2", Edge: e, Doing: "blacken missing edge"}
+	}
+	if c != Grey {
+		return &AxiomError{Axiom: "G2", Edge: e, Doing: "blacken " + c.String() + " edge"}
+	}
+	g.colors[e] = Black
+	return nil
+}
+
+// Whiten applies G3: a black edge (vi,vj) may turn white only if vj has
+// no outgoing edges (only active processes may reply).
+func (g *Graph) Whiten(e id.Edge) error {
+	c, exists := g.colors[e]
+	if !exists {
+		return &AxiomError{Axiom: "G3", Edge: e, Doing: "whiten missing edge"}
+	}
+	if c != Black {
+		return &AxiomError{Axiom: "G3", Edge: e, Doing: "whiten " + c.String() + " edge"}
+	}
+	if len(g.out[e.To]) != 0 {
+		return &AxiomError{Axiom: "G3", Edge: e, Doing: "reply from blocked process"}
+	}
+	g.colors[e] = White
+	return nil
+}
+
+// Delete applies G4: a white edge disappears (its reply arrived).
+func (g *Graph) Delete(e id.Edge) error {
+	c, exists := g.colors[e]
+	if !exists {
+		return &AxiomError{Axiom: "G4", Edge: e, Doing: "delete missing edge"}
+	}
+	if c != White {
+		return &AxiomError{Axiom: "G4", Edge: e, Doing: "delete " + c.String() + " edge"}
+	}
+	delete(g.colors, e)
+	removeFrom(g.out, e.From, e.To)
+	removeFrom(g.in, e.To, e.From)
+	return nil
+}
+
+// ForceDelete removes an edge regardless of colour. It models victim
+// aborts, which are outside the axioms (the paper defers deadlock
+// breaking to its references).
+func (g *Graph) ForceDelete(e id.Edge) {
+	if _, exists := g.colors[e]; !exists {
+		return
+	}
+	delete(g.colors, e)
+	removeFrom(g.out, e.From, e.To)
+	removeFrom(g.in, e.To, e.From)
+}
+
+// Color returns the colour of an edge and whether it exists.
+func (g *Graph) Color(e id.Edge) (Color, bool) {
+	c, ok := g.colors[e]
+	return c, ok
+}
+
+// Dark reports whether the edge exists and is grey or black (§2.4).
+func (g *Graph) Dark(e id.Edge) bool {
+	c, ok := g.colors[e]
+	return ok && (c == Grey || c == Black)
+}
+
+// Len returns the number of edges in the graph.
+func (g *Graph) Len() int { return len(g.colors) }
+
+// Out returns the sorted successors of v over edges of any colour.
+func (g *Graph) Out(v id.Proc) []id.Proc { return sortedSet(g.out[v]) }
+
+// In returns the sorted predecessors of v over edges of any colour.
+func (g *Graph) In(v id.Proc) []id.Proc { return sortedSet(g.in[v]) }
+
+// Blocked reports whether v has any outgoing edge (§2.2: an active
+// process is not waiting for any other process).
+func (g *Graph) Blocked(v id.Proc) bool { return len(g.out[v]) > 0 }
+
+// Edges returns all edges with their colours, sorted for determinism.
+func (g *Graph) Edges() []ColoredEdge {
+	out := make([]ColoredEdge, 0, len(g.colors))
+	for e, c := range g.colors {
+		out = append(out, ColoredEdge{Edge: e, Color: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ColoredEdge pairs an edge with its colour.
+type ColoredEdge struct {
+	id.Edge
+	Color Color
+}
+
+func addTo(m map[id.Proc]map[id.Proc]struct{}, k, v id.Proc) {
+	s, ok := m[k]
+	if !ok {
+		s = make(map[id.Proc]struct{})
+		m[k] = s
+	}
+	s[v] = struct{}{}
+}
+
+func removeFrom(m map[id.Proc]map[id.Proc]struct{}, k, v id.Proc) {
+	if s, ok := m[k]; ok {
+		delete(s, v)
+		if len(s) == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func sortedSet(s map[id.Proc]struct{}) []id.Proc {
+	out := make([]id.Proc, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

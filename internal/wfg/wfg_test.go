@@ -1,0 +1,286 @@
+package wfg
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/id"
+)
+
+func edge(a, b int) id.Edge { return id.Edge{From: id.Proc(a), To: id.Proc(b)} }
+
+// lifecycle drives one edge through the full G1–G4 cycle.
+func TestEdgeLifecycle(t *testing.T) {
+	g := New()
+	e := edge(1, 2)
+	if err := g.Create(e); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := g.Color(e); !ok || c != Grey {
+		t.Fatalf("after create: %v %v", c, ok)
+	}
+	if err := g.Blacken(e); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Dark(e) {
+		t.Fatal("black edge not dark")
+	}
+	if err := g.Whiten(e); err != nil {
+		t.Fatal(err)
+	}
+	if g.Dark(e) {
+		t.Fatal("white edge dark")
+	}
+	if err := g.Delete(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Color(e); ok {
+		t.Fatal("edge survives delete")
+	}
+}
+
+func TestAxiomViolationsRejected(t *testing.T) {
+	g := New()
+	e := edge(1, 2)
+	var axErr *AxiomError
+
+	// G2/G3/G4 on a missing edge.
+	for _, fn := range []func(id.Edge) error{g.Blacken, g.Whiten, g.Delete} {
+		if err := fn(e); err == nil || !errors.As(err, &axErr) {
+			t.Fatalf("missing-edge transition allowed: %v", err)
+		}
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Create(e))
+	// G1: duplicate creation.
+	if err := g.Create(e); err == nil {
+		t.Fatal("duplicate create allowed")
+	}
+	// G3: whiten a grey edge.
+	if err := g.Whiten(e); err == nil {
+		t.Fatal("whitened a grey edge")
+	}
+	// G4: delete a grey edge.
+	if err := g.Delete(e); err == nil {
+		t.Fatal("deleted a grey edge")
+	}
+	must(g.Blacken(e))
+	// G2: re-blacken.
+	if err := g.Blacken(e); err == nil {
+		t.Fatal("re-blackened a black edge")
+	}
+	// G3: reply from a blocked process — p2 has an outgoing edge.
+	must(g.Create(edge(2, 3)))
+	if err := g.Whiten(e); err == nil {
+		t.Fatal("blocked process allowed to reply (G3)")
+	}
+	must(g.Blacken(edge(2, 3)))
+	must(g.Whiten(edge(2, 3)))
+	must(g.Delete(edge(2, 3)))
+	// p2 now active: the reply is legal.
+	must(g.Whiten(e))
+}
+
+func TestDarkCycleDetection(t *testing.T) {
+	g := New()
+	for _, e := range []id.Edge{edge(0, 1), edge(1, 2), edge(2, 0)} {
+		if err := g.Create(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A grey cycle is already dark.
+	for _, v := range []id.Proc{0, 1, 2} {
+		if !g.OnDarkCycle(v) {
+			t.Fatalf("%v not on dark (grey) cycle", v)
+		}
+	}
+	if g.OnBlackCycle(0) {
+		t.Fatal("grey cycle reported black")
+	}
+	for _, e := range []id.Edge{edge(0, 1), edge(1, 2), edge(2, 0)} {
+		if err := g.Blacken(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.OnBlackCycle(0) {
+		t.Fatal("black cycle not detected")
+	}
+	if got := g.DarkCycleVertices(); len(got) != 3 {
+		t.Fatalf("dark vertices = %v", got)
+	}
+}
+
+func TestSelfLoopIsACycle(t *testing.T) {
+	// The engine never produces self-loops, but the oracle must still
+	// classify them correctly.
+	g := New()
+	if err := g.Create(edge(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.OnDarkCycle(5) {
+		t.Fatal("self-loop not a dark cycle")
+	}
+}
+
+func TestPermanentlyBlockedIncludesTails(t *testing.T) {
+	g := New()
+	// 0 -> 1 -> 2 -> 0 cycle, 3 -> 0 tail, 4 -> 3 tail, 5 -> 6 apart.
+	for _, e := range []id.Edge{edge(0, 1), edge(1, 2), edge(2, 0), edge(3, 0), edge(4, 3), edge(5, 6)} {
+		if err := g.Create(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Blacken(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.PermanentlyBlocked()
+	want := []id.Proc{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("blocked = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blocked = %v, want %v", got, want)
+		}
+	}
+	// Permanent black edges from the outermost tail: its chain plus
+	// the whole cycle.
+	edges := g.PermanentBlackEdgesFrom(4)
+	if len(edges) != 5 {
+		t.Fatalf("edges from p4 = %v", edges)
+	}
+	// p5 waits on p6 which is active: not permanent.
+	if es := g.PermanentBlackEdgesFrom(5); len(es) != 0 {
+		t.Fatalf("edges from p5 = %v, want none", es)
+	}
+}
+
+// TestOracleAgreesWithBruteForce cross-validates the SCC-based oracle
+// against a brute-force reachability check on random dark graphs.
+func TestOracleAgreesWithBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		const n = 12
+		for i := 0; i < 2*n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			e := edge(a, b)
+			if _, exists := g.Color(e); exists {
+				continue
+			}
+			if err := g.Create(e); err != nil {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				if err := g.Blacken(e); err != nil {
+					return false
+				}
+			}
+		}
+		// Brute force: v on dark cycle iff v reaches itself via dark
+		// edges.
+		for v := id.Proc(0); v < n; v++ {
+			brute := g.onCycle(v, g.Dark)
+			if g.OnDarkCycle(v) != brute {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(77))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLongChainNoStackOverflow exercises the iterative Tarjan on a long
+// path plus final cycle.
+func TestLongChainNoStackOverflow(t *testing.T) {
+	g := New()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		e := edge(i, i+1)
+		if err := g.Create(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Blacken(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Create(edge(n, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Blacken(edge(n, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.OnDarkCycle(0) || !g.OnDarkCycle(id.Proc(n/2)) {
+		t.Fatal("long cycle not detected")
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	g := New()
+	for _, e := range []id.Edge{edge(0, 1), edge(1, 0), edge(2, 0)} {
+		if err := g.Create(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Blacken(edge(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out := g.DOT()
+	for _, want := range []string{
+		"digraph waitfor",
+		`"p0" -> "p1" [color=black, style=solid, label="black"]`,
+		`"p1" -> "p0" [color=gray60, style=dashed, label="grey"]`,
+		"peripheries=2", // cycle members highlighted
+	} {
+		if !contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && strings.Contains(haystack, needle)
+}
+
+func TestOutInAndBlocked(t *testing.T) {
+	g := New()
+	if err := g.Create(edge(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Create(edge(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Out(1)
+	if len(out) != 2 || out[0] != 2 || out[1] != 3 {
+		t.Fatalf("Out(1) = %v", out)
+	}
+	in := g.In(3)
+	if len(in) != 1 || in[0] != 1 {
+		t.Fatalf("In(3) = %v", in)
+	}
+	if !g.Blocked(1) || g.Blocked(2) {
+		t.Fatal("blocked state wrong")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	g.ForceDelete(edge(1, 2))
+	g.ForceDelete(edge(1, 2)) // idempotent
+	if g.Len() != 1 {
+		t.Fatalf("Len after force delete = %d", g.Len())
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/id"
+	"repro/internal/sim"
+)
+
+// ChurnOptions shapes the deadlock-free churn workload used by the
+// timer-tradeoff experiment (E3): processes continuously create and
+// resolve wait-for edges, so an initiation policy that waits T before
+// probing can skip the probes entirely for edges that die young.
+type ChurnOptions struct {
+	// Horizon is how long processes keep generating new requests.
+	Horizon sim.Time
+	// MeanThink is the average active time between request batches.
+	MeanThink sim.Duration
+	// Fanout is the number of targets per request batch.
+	Fanout int
+}
+
+// RunChurn drives sys with a deadlock-free request/grant churn: each
+// process periodically requests a batch of strictly higher-numbered
+// processes (a DAG order, so no cycle can ever form) and every process
+// auto-grants when active. The system must have been built with
+// AutoGrant set.
+func RunChurn(sys *BasicSystem, opts ChurnOptions) error {
+	if !sys.opts.AutoGrant {
+		return fmt.Errorf("churn workload requires AutoGrant")
+	}
+	if opts.MeanThink <= 0 {
+		opts.MeanThink = 2 * sim.Millisecond
+	}
+	if opts.Fanout <= 0 {
+		opts.Fanout = 1
+	}
+	n := len(sys.Procs)
+	if n < 2 {
+		return fmt.Errorf("churn needs at least 2 processes")
+	}
+	var tick func(pid int)
+	tick = func(pid int) {
+		if sys.Sched.Now() >= opts.Horizon {
+			return
+		}
+		p := sys.Procs[pid]
+		if !p.Blocked() {
+			// Request up to Fanout distinct higher-numbered processes.
+			targets := make([]id.Proc, 0, opts.Fanout)
+			seen := map[int]struct{}{}
+			for len(targets) < opts.Fanout && len(seen) < n-pid-1 {
+				t := pid + 1 + sys.Sched.Rand().Intn(n-pid-1)
+				if _, dup := seen[t]; dup {
+					continue
+				}
+				seen[t] = struct{}{}
+				targets = append(targets, id.Proc(t))
+			}
+			if len(targets) > 0 {
+				if err := p.Request(targets...); err != nil {
+					panic(fmt.Sprintf("churn request: %v", err))
+				}
+			}
+		}
+		think := 1 + sim.Duration(sys.Sched.Rand().Int63n(int64(2*opts.MeanThink)))
+		sys.Sched.After(think, func() { tick(pid) })
+	}
+	// The last process never requests (no higher-numbered targets); it
+	// only serves grants.
+	for pid := 0; pid < n-1; pid++ {
+		start := sim.Duration(sys.Sched.Rand().Int63n(int64(opts.MeanThink) + 1))
+		p := pid
+		sys.Sched.After(start, func() { tick(p) })
+	}
+	return nil
+}

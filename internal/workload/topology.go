@@ -1,0 +1,101 @@
+// Package workload builds reproducible scenarios for the experiments:
+// deterministic topologies whose deadlock structure is known by
+// construction (rings, chains, trees hanging off rings) and stochastic
+// request/service workloads whose deadlocks arise organically and are
+// judged against the omniscient oracle.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/id"
+)
+
+// Topology is a request plan: Targets[i] lists the processes that
+// process i will request (its intended outgoing edges).
+type Topology struct {
+	N       int
+	Targets [][]id.Proc
+}
+
+// Ring returns the n-cycle: process i requests process (i+1) mod n.
+// Issued simultaneously from all-active processes it always forms a
+// dark cycle of length n.
+func Ring(n int) Topology {
+	t := Topology{N: n, Targets: make([][]id.Proc, n)}
+	for i := 0; i < n; i++ {
+		t.Targets[i] = []id.Proc{id.Proc((i + 1) % n)}
+	}
+	return t
+}
+
+// Chain returns the n-path: process i requests process i+1; process
+// n-1 requests nothing. A chain never deadlocks — it is the negative
+// control.
+func Chain(n int) Topology {
+	t := Topology{N: n, Targets: make([][]id.Proc, n)}
+	for i := 0; i < n-1; i++ {
+		t.Targets[i] = []id.Proc{id.Proc(i + 1)}
+	}
+	return t
+}
+
+// RingWithTails returns a ring of ringN processes plus tailN extra
+// processes forming chains that lead into the ring: tail process j
+// requests either the next tail process or a ring process. Every tail
+// process is permanently blocked but on no cycle — the structure §5's
+// WFGD computation must map out.
+func RingWithTails(ringN, tailN int) Topology {
+	n := ringN + tailN
+	t := Topology{N: n, Targets: make([][]id.Proc, n)}
+	for i := 0; i < ringN; i++ {
+		t.Targets[i] = []id.Proc{id.Proc((i + 1) % ringN)}
+	}
+	for j := 0; j < tailN; j++ {
+		v := ringN + j
+		if j == tailN-1 || v+1 >= n {
+			// Last tail process points into the ring.
+			t.Targets[v] = []id.Proc{id.Proc(j % ringN)}
+		} else {
+			t.Targets[v] = []id.Proc{id.Proc(v + 1)}
+		}
+	}
+	// Make the first tail chain lead into the ring via its last link:
+	// each tail requests its successor tail, the final tail requests a
+	// ring vertex; structure above already guarantees termination at
+	// the ring.
+	return t
+}
+
+// MultiRing returns k disjoint rings of ringN processes each: k
+// independent dark cycles that must all be detected independently.
+func MultiRing(k, ringN int) Topology {
+	n := k * ringN
+	t := Topology{N: n, Targets: make([][]id.Proc, n)}
+	for r := 0; r < k; r++ {
+		base := r * ringN
+		for i := 0; i < ringN; i++ {
+			t.Targets[base+i] = []id.Proc{id.Proc(base + (i+1)%ringN)}
+		}
+	}
+	return t
+}
+
+// RandomKOut returns a topology where each process requests k distinct
+// random targets (excluding itself). With k >= 1 and n modest, cycles
+// are likely but not guaranteed; use the oracle for ground truth.
+func RandomKOut(n, k int, rng *rand.Rand) Topology {
+	t := Topology{N: n, Targets: make([][]id.Proc, n)}
+	for i := 0; i < n; i++ {
+		seen := map[int]struct{}{i: {}}
+		for len(seen) < k+1 && len(seen) < n {
+			j := rng.Intn(n)
+			if _, dup := seen[j]; dup {
+				continue
+			}
+			seen[j] = struct{}{}
+			t.Targets[i] = append(t.Targets[i], id.Proc(j))
+		}
+	}
+	return t
+}
