@@ -15,6 +15,27 @@
 // Node 0 initiates a probe computation and prints the detection. Each
 // node waits -timeout (default 30s) for a verdict, then reports its
 // final state and exits.
+//
+// # Failure handling
+//
+// Peers may start in any order and may crash and restart mid-run. The
+// transport dials each link with exponential backoff (-retry-base,
+// doubling up to -retry-max); once attempts have failed for longer
+// than -dial-timeout the failure is reported on stderr, but retries
+// continue — queued messages are never dropped, because silent loss
+// would violate the algorithm's delivery axiom (P4). Every frame
+// written on a link is sequence-numbered and retained: when a dropped
+// connection is re-dialed the link replays its history and the
+// receiver discards duplicates by sequence number, so the
+// per-ordered-pair FIFO guarantee the correctness proofs rely on
+// holds across reconnects. A peer that restarts (losing its state)
+// receives the full link history back, which re-establishes the
+// incoming request edges its previous incarnation held. Transport
+// errors (dial deadlines, read/write failures) are printed and never
+// fatal; -verbose additionally prints each connection-lifecycle event.
+// If a restarted peer comes back on a different address, the run
+// lasts only as long as the deadlock wait, so re-point it with the
+// same -peer syntax when restarting the node.
 package main
 
 import (
@@ -28,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/id"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/transport"
 )
@@ -49,14 +71,36 @@ func run(args []string, out io.Writer) error {
 		initiate = fs.Bool("initiate", false, "start a probe computation after requesting")
 		timeout  = fs.Duration("timeout", 30*time.Second, "how long to wait for a verdict")
 		settle   = fs.Duration("settle", 500*time.Millisecond, "wait for peers before requesting")
+
+		dialTimeout = fs.Duration("dial-timeout", 15*time.Second, "how long a link retries dialing silently before reporting (retries continue)")
+		retryBase   = fs.Duration("retry-base", 50*time.Millisecond, "initial dial backoff, doubled per failed attempt")
+		retryMax    = fs.Duration("retry-max", 2*time.Second, "dial backoff cap")
+		verbose     = fs.Bool("verbose", false, "print connection-lifecycle events")
+		showStats   = fs.Bool("net-stats", false, "print transport counters before exiting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	self := id.Proc(*idFlag)
 
-	net := transport.NewTCP()
+	opts := transport.TCPOptions{
+		DialTimeout: *dialTimeout,
+		RetryBase:   *retryBase,
+		RetryMax:    *retryMax,
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "cmhnode %v: transport: %v\n", self, err)
+		},
+	}
+	if *verbose {
+		opts.OnConnEvent = func(ev transport.ConnEvent) {
+			fmt.Fprintf(os.Stderr, "cmhnode %v: conn: %v\n", self, ev)
+		}
+	}
+	net := transport.NewTCPWithOptions(opts)
 	defer net.Close()
+	if *showStats {
+		defer func() { fmt.Fprint(out, metrics.TCPStatsTable(net.Stats())) }()
+	}
 
 	detected := make(chan id.Tag, 1)
 	shim := &addrShim{tcp: net, addr: *listen}

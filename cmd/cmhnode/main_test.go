@@ -62,3 +62,25 @@ func TestRunRejectsBadPeers(t *testing.T) {
 		t.Fatal("bad -request accepted")
 	}
 }
+
+// TestRunSurvivesUnreachablePeer pins the no-panic contract: a node
+// whose peer never comes up keeps retrying in the background, reports
+// no verdict at its timeout and exits cleanly instead of crashing.
+func TestRunSurvivesUnreachablePeer(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-id", "0", "-peer", "1=127.0.0.1:1", "-request", "1",
+		"-settle", "1ms", "-timeout", "500ms",
+		"-dial-timeout", "50ms", "-retry-base", "5ms", "-retry-max", "20ms",
+		"-net-stats",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no verdict") {
+		t.Fatalf("missing timeout report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "dial retries") {
+		t.Fatalf("missing -net-stats table:\n%s", out.String())
+	}
+}

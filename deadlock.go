@@ -42,8 +42,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/ddb"
 	"repro/internal/id"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -102,6 +104,22 @@ type (
 	Transport = transport.Transport
 	// NodeID is an endpoint identity on a transport.
 	NodeID = transport.NodeID
+	// TCPOptions tunes the TCP transport's dial retry/backoff schedule
+	// and receives its error and connection-lifecycle callbacks.
+	TCPOptions = transport.TCPOptions
+	// TCPStats is a snapshot of the TCP transport's connection and
+	// reconnect-protocol counters.
+	TCPStats = transport.TCPStats
+	// ConnEvent describes one TCP connection-lifecycle event.
+	ConnEvent = transport.ConnEvent
+	// FIFOChecker audits any transport for per-pair FIFO delivery by
+	// pairing sends with deliveries (needs both endpoints in-process).
+	FIFOChecker = trace.FIFOChecker
+	// LinkFIFOChecker audits the TCP reconnect protocol from the
+	// receiver side alone, using wire sequence numbers.
+	LinkFIFOChecker = trace.LinkFIFOChecker
+	// ConnLog records connection-lifecycle events for inspection.
+	ConnLog = trace.ConnLog
 )
 
 // NewProcess creates a basic-model protocol participant on a transport.
@@ -119,6 +137,35 @@ func NewLiveNetwork() *transport.Live { return transport.NewLive() }
 // registered node (or explicit addresses via RegisterAddr/SetPeer), one
 // connection per ordered pair. Close it when done.
 func NewTCPNetwork() *transport.TCP { return transport.NewTCP() }
+
+// NewTCPNetworkWithOptions is NewTCPNetwork with explicit retry/backoff
+// tuning and error/connection-event callbacks. Peer failures never
+// panic: dial and write errors are reported through OnError while the
+// affected link retries with exponential backoff, and reconnects replay
+// sequence-numbered frames so per-pair FIFO delivery survives dropped
+// connections.
+func NewTCPNetworkWithOptions(opts TCPOptions) *transport.TCP {
+	return transport.NewTCPWithOptions(opts)
+}
+
+// NewFIFOChecker returns a transport auditor verifying per-ordered-pair
+// FIFO delivery by matching OnSend against OnDeliver. onViolate, if
+// non-nil, receives a description of each violation.
+func NewFIFOChecker(onViolate func(string)) *FIFOChecker { return trace.NewFIFOChecker(onViolate) }
+
+// NewLinkFIFOChecker returns a receiver-side auditor for the TCP
+// transport's sequence-numbered delivery stream: within a sender epoch,
+// sequence numbers must be contiguous from 1.
+func NewLinkFIFOChecker(onViolate func(string)) *LinkFIFOChecker {
+	return trace.NewLinkFIFOChecker(onViolate)
+}
+
+// NewConnLog returns a recorder for TCP connection-lifecycle events;
+// pass its Add method as TCPOptions.OnConnEvent.
+func NewConnLog() *ConnLog { return trace.NewConnLog() }
+
+// TCPStatsTable renders a TCP transport's counters as an aligned table.
+func TCPStatsTable(s TCPStats) string { return metrics.TCPStatsTable(s) }
 
 // NewSimNetwork returns a deterministic simulated network on a new
 // discrete-event scheduler seeded with seed.

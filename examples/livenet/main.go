@@ -1,9 +1,15 @@
 // Livenet: the probe computation over real TCP sockets. Four processes
 // each listen on a loopback port, exchange gob-encoded requests and
-// probes over per-pair TCP connections, form a request cycle, and the
+// probes over per-link TCP connections, form a request cycle, and the
 // Chandy–Misra algorithm detects it — demonstrating that the protocol
 // participants run unchanged over a real network stack (the transports
 // share one FIFO-per-pair contract).
+//
+// The run also exercises the transport's fault tolerance: transport
+// errors are reported instead of panicking, the delivery stream is
+// audited by both FIFO checkers (send/deliver pairing and
+// receiver-side sequence numbers), and the connection counters are
+// printed at exit.
 //
 //	go run ./examples/livenet
 package main
@@ -19,8 +25,15 @@ import (
 const n = 4
 
 func main() {
-	net := deadlock.NewTCPNetwork()
+	net := deadlock.NewTCPNetworkWithOptions(deadlock.TCPOptions{
+		OnError: func(err error) { log.Println("transport:", err) },
+	})
 	defer net.Close()
+
+	checker := deadlock.NewFIFOChecker(func(s string) { log.Fatalln("FIFO violation:", s) })
+	seqChecker := deadlock.NewLinkFIFOChecker(func(s string) { log.Fatalln("sequence violation:", s) })
+	net.Observe(checker)
+	net.Observe(seqChecker)
 
 	detected := make(chan deadlock.Tag, 1)
 	procs := make([]*deadlock.Process, n)
@@ -70,4 +83,7 @@ func main() {
 		st := p.Stats()
 		fmt.Printf("process %v: probes sent=%d meaningful=%d\n", p.ID(), st.ProbesSent, st.ProbesMeaningful)
 	}
+	fmt.Printf("delivery audit: %d sequenced frames, %d FIFO violations, %d sequence violations\n",
+		seqChecker.Delivered(), checker.Violations(), seqChecker.Violations())
+	fmt.Print(deadlock.TCPStatsTable(net.Stats()))
 }

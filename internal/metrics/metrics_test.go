@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/msg"
+	"repro/internal/transport"
 )
 
 func TestCountersTally(t *testing.T) {
@@ -116,5 +117,15 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(lines[5], "3") || strings.Contains(lines[5], "3.00") {
 		t.Fatalf("integral float should render bare: %q", lines[5])
+	}
+}
+
+func TestTCPStatsTable(t *testing.T) {
+	s := transport.TCPStats{Dials: 3, DialRetries: 2, Connects: 1, Reconnects: 1, Replayed: 40}
+	out := TCPStatsTable(s)
+	for _, want := range []string{"tcp transport", "dial retries", "frames replayed", "40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats table missing %q:\n%s", want, out)
+		}
 	}
 }

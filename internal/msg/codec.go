@@ -10,10 +10,23 @@ import (
 // Envelope is the wire frame exchanged by the TCP transport: a routed
 // message between two node endpoints. Node identifiers are opaque
 // int32s assigned by the transport layer.
+//
+// Seq and Epoch implement the transport's reconnect protocol. Seq
+// numbers the frames of one ordered (From,To) pair, starting at 1 and
+// increasing by 1 per frame, so a receiver can drop duplicates and
+// resequence frames replayed across a re-dialed connection while
+// preserving the per-pair FIFO guarantee (axiom P4 + §2.4 in-order
+// delivery). Epoch identifies one sender incarnation of the pair: a
+// sender that restarts (losing its sequence counter) picks a fresh
+// Epoch, telling the receiver to reset its expected sequence to 1.
+// Seq == 0 marks an unsequenced frame from a sender predating this
+// protocol; such frames are delivered as-is.
 type Envelope struct {
-	From int32
-	To   int32
-	Msg  Message
+	From  int32
+	To    int32
+	Seq   uint64
+	Epoch uint64
+	Msg   Message
 }
 
 func init() {

@@ -97,7 +97,7 @@ func TestCodecRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf)
 	for i, m := range msgs {
-		if err := enc.Encode(Envelope{From: int32(i), To: int32(i + 1), Msg: m}); err != nil {
+		if err := enc.Encode(Envelope{From: int32(i), To: int32(i + 1), Seq: uint64(i + 1), Epoch: 0xfeed, Msg: m}); err != nil {
 			t.Fatalf("encode %T: %v", m, err)
 		}
 	}
@@ -109,6 +109,9 @@ func TestCodecRoundTrip(t *testing.T) {
 		}
 		if env.From != int32(i) || env.To != int32(i+1) {
 			t.Fatalf("envelope routing corrupted: %+v", env)
+		}
+		if env.Seq != uint64(i+1) || env.Epoch != 0xfeed {
+			t.Fatalf("envelope sequencing corrupted: %+v", env)
 		}
 		if env.Msg.Kind() != want.Kind() {
 			t.Fatalf("decode %d: kind %v want %v", i, env.Msg.Kind(), want.Kind())

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// ConnLog records transport connection-lifecycle events (dials,
+// retries, reconnects, read/write failures). Attach it via
+// transport.TCPOptions.OnConnEvent; it is safe for concurrent use.
+type ConnLog struct {
+	mu     sync.Mutex
+	events []transport.ConnEvent
+	counts map[transport.ConnEventKind]int
+}
+
+// NewConnLog returns an empty log.
+func NewConnLog() *ConnLog {
+	return &ConnLog{counts: make(map[transport.ConnEventKind]int)}
+}
+
+// Add records one event; pass it as the OnConnEvent callback.
+func (l *ConnLog) Add(ev transport.ConnEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+	l.counts[ev.Kind]++
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (l *ConnLog) Events() []transport.ConnEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]transport.ConnEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count returns how many events of the kind were recorded.
+func (l *ConnLog) Count(k transport.ConnEventKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[k]
+}
+
+// LinkFIFOChecker verifies the TCP transport's reconnect protocol from
+// the receiver side: within one sender epoch, delivered frames of each
+// ordered pair must carry sequence numbers 1, 2, 3, … with no gap,
+// duplicate or reordering; a new epoch (sender restarted) restarts the
+// expectation at 1. Unlike FIFOChecker — which needs to observe both
+// the send and the delivery, so it only works when both endpoints are
+// hosted on the same transport instance — this checker audits the FIFO
+// guarantee per instance in a genuinely distributed deployment, where
+// each process sees only its own endpoints. Attach it with Observe on
+// a TCP transport; it is safe for concurrent use.
+type LinkFIFOChecker struct {
+	mu        sync.Mutex
+	streams   map[pairKey]*linkStream
+	onViolate func(string)
+	violation int
+	delivered int64
+}
+
+type linkStream struct {
+	epoch uint64
+	last  uint64
+}
+
+// NewLinkFIFOChecker returns a checker. onViolate, if non-nil, is
+// invoked with a description of each violation; otherwise violations
+// are only counted.
+func NewLinkFIFOChecker(onViolate func(string)) *LinkFIFOChecker {
+	return &LinkFIFOChecker{
+		streams:   make(map[pairKey]*linkStream),
+		onViolate: onViolate,
+	}
+}
+
+// OnSend implements transport.Observer (sequencing is checked on the
+// delivery side only).
+func (c *LinkFIFOChecker) OnSend(_, _ transport.NodeID, _ msg.Message) {}
+
+// OnDeliver implements transport.Observer.
+func (c *LinkFIFOChecker) OnDeliver(_, _ transport.NodeID, _ msg.Message) {}
+
+// OnSequencedDeliver implements transport.SeqObserver.
+func (c *LinkFIFOChecker) OnSequencedDeliver(from, to transport.NodeID, epoch, seq uint64, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delivered++
+	k := pairKey{from: from, to: to}
+	s := c.streams[k]
+	if s == nil || s.epoch != epoch {
+		if seq != 1 {
+			c.violateLink(fmt.Sprintf("link %d->%d: epoch %x starts at seq %d, want 1 (%v)",
+				from, to, epoch, seq, m.Kind()))
+		}
+		c.streams[k] = &linkStream{epoch: epoch, last: seq}
+		return
+	}
+	if seq != s.last+1 {
+		c.violateLink(fmt.Sprintf("link %d->%d: delivered seq %d after %d (%v)",
+			from, to, seq, s.last, m.Kind()))
+	}
+	s.last = seq
+}
+
+func (c *LinkFIFOChecker) violateLink(desc string) {
+	c.violation++
+	if c.onViolate != nil {
+		c.onViolate(desc)
+	}
+}
+
+// Violations returns the number of sequencing violations observed.
+func (c *LinkFIFOChecker) Violations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violation
+}
+
+// Delivered returns the number of sequenced frames observed.
+func (c *LinkFIFOChecker) Delivered() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
+}
+
+var (
+	_ transport.Observer    = (*LinkFIFOChecker)(nil)
+	_ transport.SeqObserver = (*LinkFIFOChecker)(nil)
+)

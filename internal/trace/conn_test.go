@@ -1,0 +1,67 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func TestConnLogRecordsAndCounts(t *testing.T) {
+	log := trace.NewConnLog()
+	log.Add(transport.ConnEvent{Kind: transport.ConnConnected, From: 1, To: 2, Addr: "127.0.0.1:9"})
+	log.Add(transport.ConnEvent{Kind: transport.ConnReconnected, From: 1, To: 2, Attempt: 3})
+	log.Add(transport.ConnEvent{Kind: transport.ConnReconnected, From: 1, To: 2, Err: "boom"})
+	if n := log.Count(transport.ConnReconnected); n != 2 {
+		t.Fatalf("reconnect count = %d, want 2", n)
+	}
+	evs := log.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if s := evs[0].String(); !strings.Contains(s, "connected 1->2 127.0.0.1:9") {
+		t.Fatalf("event rendering: %q", s)
+	}
+	if s := evs[2].String(); !strings.Contains(s, "boom") {
+		t.Fatalf("event error rendering: %q", s)
+	}
+}
+
+func TestLinkFIFOCheckerAcceptsCleanStreamAndEpochChange(t *testing.T) {
+	c := trace.NewLinkFIFOChecker(func(s string) { t.Error("unexpected violation:", s) })
+	for seq := uint64(1); seq <= 5; seq++ {
+		c.OnSequencedDeliver(1, 2, 0xa, seq, msg.Request{})
+	}
+	// Sender restart: new epoch restarts at 1.
+	for seq := uint64(1); seq <= 3; seq++ {
+		c.OnSequencedDeliver(1, 2, 0xb, seq, msg.Request{})
+	}
+	// An independent pair interleaves freely.
+	c.OnSequencedDeliver(3, 2, 0xc, 1, msg.Probe{})
+	if v := c.Violations(); v != 0 {
+		t.Fatalf("violations = %d on clean streams", v)
+	}
+	if d := c.Delivered(); d != 9 {
+		t.Fatalf("delivered = %d, want 9", d)
+	}
+}
+
+func TestLinkFIFOCheckerFlagsGapDupAndBadStart(t *testing.T) {
+	var got []string
+	c := trace.NewLinkFIFOChecker(func(s string) { got = append(got, s) })
+	c.OnSequencedDeliver(1, 2, 0xa, 1, msg.Request{})
+	c.OnSequencedDeliver(1, 2, 0xa, 3, msg.Request{}) // gap
+	c.OnSequencedDeliver(1, 2, 0xa, 3, msg.Request{}) // duplicate
+	c.OnSequencedDeliver(9, 2, 0xb, 4, msg.Request{}) // new stream must start at 1
+	if v := c.Violations(); v != 3 {
+		t.Fatalf("violations = %d, want 3 (%v)", v, got)
+	}
+	if !strings.Contains(got[0], "seq 3 after 1") {
+		t.Fatalf("gap description: %q", got[0])
+	}
+	if !strings.Contains(got[2], "starts at seq 4") {
+		t.Fatalf("bad-start description: %q", got[2])
+	}
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// ConnEventKind classifies a connection-lifecycle event on the TCP
+// transport.
+type ConnEventKind int
+
+// Connection-lifecycle event kinds.
+const (
+	// ConnConnected: an outbound connection for the link was
+	// established for the first time.
+	ConnConnected ConnEventKind = iota + 1
+	// ConnReconnected: an outbound connection was re-established after
+	// a failure; the replay buffer was retransmitted.
+	ConnReconnected
+	// ConnDialRetry: one dial attempt failed and will be retried after
+	// backoff.
+	ConnDialRetry
+	// ConnDialDeadline: dial attempts have failed for longer than the
+	// configured DialTimeout; the failure is surfaced through OnError
+	// but retries continue (giving up would silently break P4).
+	ConnDialDeadline
+	// ConnWriteError: a write on an established connection failed; the
+	// connection is torn down and re-dialed.
+	ConnWriteError
+	// ConnReadError: an inbound connection failed mid-stream (peer
+	// crash, TCP reset); only that connection is closed.
+	ConnReadError
+	// ConnPeerClosed: the remote end closed an outbound connection
+	// (observed by the link's peer watcher); the link re-dials when
+	// there is traffic or history to replay.
+	ConnPeerClosed
+)
+
+var connEventNames = map[ConnEventKind]string{
+	ConnConnected:    "connected",
+	ConnReconnected:  "reconnected",
+	ConnDialRetry:    "dial-retry",
+	ConnDialDeadline: "dial-deadline",
+	ConnWriteError:   "write-error",
+	ConnReadError:    "read-error",
+	ConnPeerClosed:   "peer-closed",
+}
+
+// String returns the lower-case name of the kind.
+func (k ConnEventKind) String() string {
+	if s, ok := connEventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("conn-event(%d)", int(k))
+}
+
+// ConnEvent is one connection-lifecycle event, reported through
+// TCPOptions.OnConnEvent (the trace package records them).
+type ConnEvent struct {
+	Kind ConnEventKind
+	// From and To identify the link. Read-side events know only the
+	// local node; From is 0 there unless the stream identified itself.
+	From, To NodeID
+	// Addr is the remote address involved, when known.
+	Addr string
+	// Attempt counts dial attempts within the current connect cycle.
+	Attempt int
+	// Err describes the failure for error events.
+	Err string
+}
+
+// String renders the event compactly.
+func (e ConnEvent) String() string {
+	s := fmt.Sprintf("%v %d->%d", e.Kind, e.From, e.To)
+	if e.Addr != "" {
+		s += " " + e.Addr
+	}
+	if e.Attempt > 0 {
+		s += fmt.Sprintf(" attempt=%d", e.Attempt)
+	}
+	if e.Err != "" {
+		s += ": " + e.Err
+	}
+	return s
+}
+
+// SeqObserver is an optional extension of Observer: an observer that
+// also implements it receives the transport-level sequencing of each
+// delivered frame (pair epoch and 1-based sequence number). Only
+// sequenced transports (TCP) invoke it; the checker in internal/trace
+// uses it to verify the reconnect protocol delivers every pair's
+// stream gapless and in order.
+type SeqObserver interface {
+	OnSequencedDeliver(from, to NodeID, epoch, seq uint64, m msg.Message)
+}
+
+// TCPOptions tunes the TCP transport's failure handling. The zero
+// value selects the defaults noted on each field.
+type TCPOptions struct {
+	// DialTimeout bounds how long a connect cycle retries silently.
+	// Once dial attempts for a link have failed for this long, the
+	// failure is surfaced through OnError (and a ConnDialDeadline
+	// event); retries continue at RetryMax intervals, because dropping
+	// queued frames would silently violate the no-loss axiom P4.
+	// Default 15s.
+	DialTimeout time.Duration
+	// RetryBase is the initial dial backoff; it doubles per failed
+	// attempt. Default 25ms.
+	RetryBase time.Duration
+	// RetryMax caps the dial backoff. Default 1s.
+	RetryMax time.Duration
+	// OnError receives transport failures (dial deadlines, write
+	// errors, read errors) that previously panicked. It may be called
+	// concurrently from several link goroutines. nil ignores errors.
+	OnError func(error)
+	// OnConnEvent receives connection-lifecycle events. nil ignores
+	// them.
+	OnConnEvent func(ConnEvent)
+}
+
+// withDefaults fills unset options.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 15 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Second
+	}
+	return o
+}
+
+// TCPStats is a snapshot of the transport's failure-handling counters.
+type TCPStats struct {
+	// Dials counts dial attempts; DialRetries the failed ones.
+	Dials       int64
+	DialRetries int64
+	// Connects counts established outbound connections; Reconnects the
+	// subset that replaced a failed connection.
+	Connects   int64
+	Reconnects int64
+	// DialDeadlines counts connect cycles that exceeded DialTimeout.
+	DialDeadlines int64
+	// WriteErrors and ReadErrors count failures on established
+	// connections.
+	WriteErrors int64
+	ReadErrors  int64
+	// Replayed counts frames retransmitted after a reconnect;
+	// Duplicates counts received frames dropped by the dedup filter;
+	// Resequenced counts received frames buffered out of order until
+	// their predecessors arrived.
+	Replayed    int64
+	Duplicates  int64
+	Resequenced int64
+}
+
+// tcpCounters is the atomic backing store for TCPStats.
+type tcpCounters struct {
+	dials, dialRetries, connects, reconnects, dialDeadlines atomic.Int64
+	writeErrors, readErrors                                 atomic.Int64
+	replayed, duplicates, resequenced                       atomic.Int64
+}
+
+func (c *tcpCounters) snapshot() TCPStats {
+	return TCPStats{
+		Dials:         c.dials.Load(),
+		DialRetries:   c.dialRetries.Load(),
+		Connects:      c.connects.Load(),
+		Reconnects:    c.reconnects.Load(),
+		DialDeadlines: c.dialDeadlines.Load(),
+		WriteErrors:   c.writeErrors.Load(),
+		ReadErrors:    c.readErrors.Load(),
+		Replayed:      c.replayed.Load(),
+		Duplicates:    c.duplicates.Load(),
+		Resequenced:   c.resequenced.Load(),
+	}
+}

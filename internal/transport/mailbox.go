@@ -6,10 +6,15 @@ import (
 	"repro/internal/msg"
 )
 
-// delivery is one queued message awaiting dispatch.
+// delivery is one queued message awaiting dispatch. seq and epoch are
+// the sender-assigned frame sequencing of the TCP transport (zero on
+// the unsequenced transports); they let sequence-aware observers audit
+// the reconnect protocol.
 type delivery struct {
-	from NodeID
-	m    msg.Message
+	from  NodeID
+	m     msg.Message
+	seq   uint64
+	epoch uint64
 }
 
 // mailbox is an unbounded FIFO queue with a single dispatcher goroutine

@@ -11,44 +11,95 @@ import (
 )
 
 // TCP is a transport over real TCP sockets. Each registered node gets
-// its own listener; a sender keeps exactly one connection per ordered
-// (from,to) pair, so TCP's byte-stream ordering yields the FIFO
-// per-ordered-pair guarantee the algorithm requires. Frames are
-// gob-encoded envelopes (see msg.Encoder).
+// its own listener; a sender keeps one outbound link per ordered
+// (from,to) pair, each with its own goroutine, queue, mutex and
+// encoder, so a slow or unreachable peer stalls only its own link.
+// Frames are gob-encoded, sequence-numbered envelopes (see
+// msg.Envelope): the sequence numbers let the receiver drop duplicates
+// and resequence frames replayed across a re-dialed connection, which
+// preserves the per-ordered-pair FIFO guarantee the algorithm's proofs
+// require even when connections fail.
+//
+// Failure handling: dials retry with exponential backoff; write and
+// read failures tear down only the affected connection and are
+// surfaced through TCPOptions.OnError rather than panicking; every
+// frame written on a link is retained and replayed on reconnect, so a
+// peer that crashes and restarts receives the link's full history
+// (its previous incarnation's state is gone) while a peer that merely
+// lost the connection dedups the replay by sequence number.
 //
 // All nodes may live in one process (the default, used by the livenet
 // example and the integration tests) or the directory can be primed
 // with remote addresses via SetPeer for genuinely distributed runs.
+// SetPeer may also update an address: re-dial cycles re-read the
+// directory, so a peer that restarts on a new port is reachable again
+// once SetPeer records it.
 type TCP struct {
+	opts TCPOptions
+
 	mu        sync.Mutex
 	listeners map[NodeID]net.Listener
 	addrs     map[NodeID]string
-	conns     map[link]*msg.Encoder
-	rawConns  []net.Conn
-	boxes     map[NodeID]*mailbox
+	links     map[link]*outLink
+	inConns   []net.Conn
+	inboxes   map[NodeID]*inbox
 	observers []Observer
-	wg        sync.WaitGroup
 	closed    bool
+
+	// done unblocks backoff sleeps and dial attempts on Close.
+	done  chan struct{}
+	wg    sync.WaitGroup
+	stats tcpCounters
 }
 
-// NewTCP returns an empty TCP transport.
-func NewTCP() *TCP {
+// inbox is the receive side of one registered node: the dispatch
+// mailbox plus the per-sender resequencing state that survives
+// connection drops (it must outlive any single inbound connection).
+type inbox struct {
+	node NodeID
+	box  *mailbox
+
+	mu    sync.Mutex
+	pairs map[NodeID]*pairState
+}
+
+// pairState resequences one sender's frame stream. Within an epoch,
+// sequence numbers start at 1 and increase by 1 per frame; a frame
+// below next is a duplicate from a replay, a frame above it is held
+// until the gap fills. A new epoch (sender restarted) resets the
+// expectation.
+type pairState struct {
+	epoch uint64
+	next  uint64
+	held  map[uint64]msg.Message
+}
+
+// NewTCP returns a TCP transport with default options.
+func NewTCP() *TCP { return NewTCPWithOptions(TCPOptions{}) }
+
+// NewTCPWithOptions returns a TCP transport with explicit
+// failure-handling options.
+func NewTCPWithOptions(o TCPOptions) *TCP {
 	return &TCP{
+		opts:      o.withDefaults(),
 		listeners: make(map[NodeID]net.Listener),
 		addrs:     make(map[NodeID]string),
-		conns:     make(map[link]*msg.Encoder),
-		boxes:     make(map[NodeID]*mailbox),
+		links:     make(map[link]*outLink),
+		inboxes:   make(map[NodeID]*inbox),
+		done:      make(chan struct{}),
 	}
 }
 
-// Observe attaches an observer to all subsequent traffic.
+// Observe attaches an observer to all subsequent traffic. Observers
+// that also implement SeqObserver additionally receive each delivered
+// frame's (epoch, seq) sequencing.
 func (t *TCP) Observe(o Observer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.observers = append(t.observers, o)
 }
 
-// SetPeer records the address of a node hosted elsewhere.
+// SetPeer records (or updates) the address of a node hosted elsewhere.
 func (t *TCP) SetPeer(id NodeID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -61,6 +112,9 @@ func (t *TCP) Addr(id NodeID) string {
 	defer t.mu.Unlock()
 	return t.addrs[id]
 }
+
+// Stats returns a snapshot of the failure-handling counters.
+func (t *TCP) Stats() TCPStats { return t.stats.snapshot() }
 
 // Register implements Transport: it starts a loopback listener for the
 // node and an accept loop feeding the node's mailbox.
@@ -76,12 +130,16 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
-	box := newMailbox(h, func(d delivery) {
+	ib := &inbox{node: id, pairs: make(map[NodeID]*pairState)}
+	ib.box = newMailbox(h, func(d delivery) {
 		t.mu.Lock()
 		obs := t.observers
 		t.mu.Unlock()
 		for _, o := range obs {
 			o.OnDeliver(d.from, id, d.m)
+			if so, ok := o.(SeqObserver); ok && d.seq != 0 {
+				so.OnSequencedDeliver(d.from, id, d.epoch, d.seq, d.m)
+			}
 		}
 		h.HandleMessage(d.from, d.m)
 	})
@@ -90,22 +148,22 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	if t.closed {
 		t.mu.Unlock()
 		ln.Close()
-		box.close()
+		ib.box.close()
 		return errors.New("transport closed")
 	}
 	t.listeners[id] = ln
 	t.addrs[id] = ln.Addr().String()
-	t.boxes[id] = box
+	t.inboxes[id] = ib
 	t.mu.Unlock()
 
 	t.wg.Add(1)
-	go t.acceptLoop(ln, box)
+	go t.acceptLoop(ln, ib)
 	return nil
 }
 
 // acceptLoop accepts inbound connections for one node and spawns a
 // reader per connection.
-func (t *TCP) acceptLoop(ln net.Listener, box *mailbox) {
+func (t *TCP) acceptLoop(ln net.Listener, ib *inbox) {
 	defer t.wg.Done()
 	for {
 		conn, err := ln.Accept()
@@ -118,41 +176,86 @@ func (t *TCP) acceptLoop(ln net.Listener, box *mailbox) {
 			conn.Close()
 			return
 		}
-		t.rawConns = append(t.rawConns, conn)
+		t.inConns = append(t.inConns, conn)
 		t.mu.Unlock()
 		t.wg.Add(1)
-		go t.readLoop(conn, box)
+		go t.readLoop(conn, ib)
 	}
 }
 
-// readLoop decodes envelopes from one connection into the mailbox.
-func (t *TCP) readLoop(conn net.Conn, box *mailbox) {
+// readLoop decodes envelopes from one connection into the node's
+// resequencer. A decode failure (peer crash, TCP reset, corrupt frame)
+// closes only this connection and is surfaced through OnError — the
+// link's sender will replay anything the failure swallowed on its next
+// connection, so co-hosted nodes and other links keep running.
+func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 	defer t.wg.Done()
 	dec := msg.NewDecoder(conn)
 	for {
 		env, err := dec.Decode()
 		if err != nil {
-			if err != io.EOF {
-				// A torn connection would violate the reliable-delivery
-				// axiom; surface it loudly rather than dropping silently.
-				t.mu.Lock()
-				closed := t.closed
-				t.mu.Unlock()
-				if !closed {
-					panic(fmt.Sprintf("tcp: read: %v", err))
-				}
+			if err != io.EOF && !t.isClosed() {
+				t.stats.readErrors.Add(1)
+				t.event(ConnEvent{Kind: ConnReadError, To: ib.node,
+					Addr: conn.RemoteAddr().String(), Err: err.Error()})
+				t.report(fmt.Errorf("tcp: read for node %d from %s: %w", ib.node, conn.RemoteAddr(), err))
 			}
+			conn.Close()
 			return
 		}
-		box.put(delivery{from: NodeID(env.From), m: env.Msg})
+		t.receive(ib, env)
 	}
 }
 
-// Send implements Transport. The first send on an ordered pair dials
-// the destination; subsequent sends reuse the connection, preserving
-// order. Dial or write failures panic: the algorithm's model has no
-// notion of message loss, so a lossy environment is a configuration
-// error here.
+// receive runs the dedup/resequencing protocol for one frame and
+// delivers everything that is now in order. Delivery happens under
+// ib.mu so frames of one pair arriving on overlapping connections
+// (old one draining while the replacement is live) cannot interleave;
+// mailbox.put never blocks, so the lock is never held across slow work.
+func (t *TCP) receive(ib *inbox, env msg.Envelope) {
+	from := NodeID(env.From)
+	if env.Seq == 0 { // unsequenced sender: deliver as-is
+		ib.box.put(delivery{from: from, m: env.Msg})
+		return
+	}
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	ps := ib.pairs[from]
+	if ps == nil || ps.epoch != env.Epoch {
+		// First frame of a (possibly new) sender incarnation: expect its
+		// stream from the beginning. Replays always restart at seq 1.
+		ps = &pairState{epoch: env.Epoch, next: 1, held: make(map[uint64]msg.Message)}
+		ib.pairs[from] = ps
+	}
+	switch {
+	case env.Seq < ps.next:
+		t.stats.duplicates.Add(1)
+		return
+	case env.Seq > ps.next:
+		if _, dup := ps.held[env.Seq]; !dup {
+			ps.held[env.Seq] = env.Msg
+			t.stats.resequenced.Add(1)
+		}
+		return
+	}
+	ib.box.put(delivery{from: from, m: env.Msg, seq: ps.next, epoch: ps.epoch})
+	ps.next++
+	for {
+		m, ok := ps.held[ps.next]
+		if !ok {
+			return
+		}
+		delete(ps.held, ps.next)
+		ib.box.put(delivery{from: from, m: m, seq: ps.next, epoch: ps.epoch})
+		ps.next++
+	}
+}
+
+// Send implements Transport. It stamps the message with the link's
+// next sequence number and enqueues it on the link's sender goroutine;
+// it never blocks on the network and never panics on peer failure
+// (dial and write errors are retried and surfaced through OnError).
+// The first send on an ordered pair creates the link.
 func (t *TCP) Send(from, to NodeID, m msg.Message) {
 	if m == nil {
 		panic("tcp: send of nil message")
@@ -162,38 +265,87 @@ func (t *TCP) Send(from, to NodeID, m msg.Message) {
 		t.mu.Unlock()
 		return
 	}
-	for _, o := range t.observers {
+	obs := t.observers
+	k := link{from: from, to: to}
+	l, ok := t.links[k]
+	if !ok {
+		l = newOutLink(t, from, to)
+		t.links[k] = l
+		t.wg.Add(1)
+		go l.run()
+	}
+	t.mu.Unlock()
+
+	// Enqueue and notify observers under the link lock so the observed
+	// send order matches the sequence numbers on the wire.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.seq++
+	l.queue = append(l.queue, msg.Envelope{
+		From: int32(from), To: int32(to), Seq: l.seq, Epoch: l.epoch, Msg: m,
+	})
+	for _, o := range obs {
 		o.OnSend(from, to, m)
 	}
-	l := link{from: from, to: to}
-	enc, ok := t.conns[l]
-	if !ok {
-		addr, known := t.addrs[to]
-		if !known {
-			t.mu.Unlock()
-			panic(fmt.Sprintf("tcp: no address for node %d", to))
-		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.mu.Unlock()
-			panic(fmt.Sprintf("tcp: dial node %d at %s: %v", to, addr, err))
-		}
-		t.rawConns = append(t.rawConns, conn)
-		enc = msg.NewEncoder(conn)
-		t.conns[l] = enc
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// DropConnections forcibly closes every established connection, both
+// inbound and outbound, without closing the transport — simulating a
+// network blip. Links re-dial and replay; receivers dedup; the FIFO
+// contract holds across the drop. Intended for tests and fault drills.
+func (t *TCP) DropConnections() {
+	t.mu.Lock()
+	conns := t.inConns
+	t.inConns = nil
+	links := make([]*outLink, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
 	}
-	// Encode while holding the lock: envelopes on one connection must
-	// not interleave, and per-link mutual exclusion plus lock ordering
-	// preserves the FIFO send order.
-	err := enc.Encode(msg.Envelope{From: int32(from), To: int32(to), Msg: m})
 	t.mu.Unlock()
-	if err != nil {
-		panic(fmt.Sprintf("tcp: send %d->%d: %v", from, to, err))
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range links {
+		l.breakConn()
 	}
 }
 
-// Close shuts down listeners, connections and mailboxes and waits for
-// every goroutine to exit.
+// report surfaces a transport error through the configured callback.
+func (t *TCP) report(err error) {
+	if cb := t.opts.OnError; cb != nil {
+		cb(err)
+	}
+}
+
+// event publishes a connection-lifecycle event.
+func (t *TCP) event(ev ConnEvent) {
+	if cb := t.opts.OnConnEvent; cb != nil {
+		cb(ev)
+	}
+}
+
+// peerAddr looks up the current directory entry for a node.
+func (t *TCP) peerAddr(id NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.addrs[id]
+	return addr, ok
+}
+
+// isClosed reports whether Close has begun.
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Close shuts down listeners, links, connections and mailboxes and
+// waits for every goroutine to exit.
 func (t *TCP) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -201,19 +353,27 @@ func (t *TCP) Close() {
 		return
 	}
 	t.closed = true
+	close(t.done)
 	lns := make([]net.Listener, 0, len(t.listeners))
 	for _, ln := range t.listeners {
 		lns = append(lns, ln)
 	}
-	conns := t.rawConns
-	boxes := make([]*mailbox, 0, len(t.boxes))
-	for _, b := range t.boxes {
-		boxes = append(boxes, b)
+	conns := t.inConns
+	links := make([]*outLink, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	boxes := make([]*mailbox, 0, len(t.inboxes))
+	for _, ib := range t.inboxes {
+		boxes = append(boxes, ib.box)
 	}
 	t.mu.Unlock()
 
 	for _, ln := range lns {
 		ln.Close()
+	}
+	for _, l := range links {
+		l.close()
 	}
 	for _, c := range conns {
 		c.Close()

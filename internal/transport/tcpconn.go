@@ -1,0 +1,286 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// outLink is the sender side of one ordered (from,to) pair: a
+// dedicated goroutine owning the pair's connection, encoder and queue.
+// Per-link ownership is what keeps one slow or blocked peer (full
+// kernel send buffer, unreachable host) from stalling any other link
+// in the process — Send only appends to the queue under the link's own
+// mutex and returns.
+//
+// Every frame successfully written is retained in sent, the replay
+// buffer: a reconnect retransmits the whole buffer, the receiver drops
+// what it already delivered (by sequence number) and a restarted
+// receiver — whose protocol state died with it — gets the link's full
+// history back. The buffer grows with the link's lifetime traffic;
+// bounding it requires an acknowledgement protocol and is documented
+// future work.
+type outLink struct {
+	t        *TCP
+	from, to NodeID
+	epoch    uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds frames accepted by Send and not yet written; sent
+	// holds frames written on some connection, kept for replay.
+	queue []msg.Envelope
+	sent  []msg.Envelope
+	seq   uint64
+	conn  net.Conn
+	enc   *msg.Encoder
+	// broken marks the current conn dead (peer closed, forced drop);
+	// the run loop tears it down and re-dials.
+	broken        bool
+	everConnected bool
+	closed        bool
+}
+
+// newOutLink creates the link; the caller starts run() and owns the
+// t.wg accounting for it.
+func newOutLink(t *TCP, from, to NodeID) *outLink {
+	l := &outLink{t: t, from: from, to: to, epoch: newEpoch()}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// newEpoch draws a random nonzero sender-incarnation id.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if e := binary.LittleEndian.Uint64(b[:]); e != 0 {
+			return e
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// run is the link's sender loop: wait for work (or a dead connection
+// with history to replay), ensure a connection, write the queue head.
+// Writes happen outside the lock so Send never blocks behind a slow
+// network; only this goroutine mutates conn, enc, the queue head and
+// sent, so the unlocked window is safe.
+func (l *outLink) run() {
+	defer l.t.wg.Done()
+	for {
+		l.mu.Lock()
+		for !l.closed && len(l.queue) == 0 && !(l.broken && len(l.sent) > 0) {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		if l.broken && l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+			l.enc = nil
+		}
+		l.broken = false
+		if l.conn == nil {
+			l.mu.Unlock()
+			if !l.connect() {
+				return // transport closed
+			}
+			continue
+		}
+		if len(l.queue) == 0 {
+			l.mu.Unlock()
+			continue
+		}
+		env := l.queue[0]
+		enc := l.enc
+		conn := l.conn
+		l.mu.Unlock()
+
+		err := enc.Encode(env)
+
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		if err != nil {
+			if l.conn == conn {
+				l.conn.Close()
+				l.conn = nil
+				l.enc = nil
+			}
+			l.mu.Unlock()
+			l.t.stats.writeErrors.Add(1)
+			l.t.event(ConnEvent{Kind: ConnWriteError, From: l.from, To: l.to, Err: err.Error()})
+			l.t.report(fmt.Errorf("tcp: write %d->%d: %w", l.from, l.to, err))
+			continue // reconnect replays sent, then retries env
+		}
+		l.queue = l.queue[1:]
+		l.sent = append(l.sent, env)
+		l.mu.Unlock()
+	}
+}
+
+// connect dials the peer with exponential backoff until it succeeds,
+// then replays the link's history on the new connection. It returns
+// false only when the transport is closing. Failures beyond the
+// configured DialTimeout are surfaced once per cycle through OnError;
+// retries continue regardless, because abandoning queued frames would
+// silently break the no-loss axiom the algorithm assumes.
+func (l *outLink) connect() bool {
+	o := l.t.opts
+	backoff := o.RetryBase
+	attemptTimeout := o.RetryMax
+	if attemptTimeout < 100*time.Millisecond {
+		attemptTimeout = 100 * time.Millisecond
+	}
+	start := time.Now()
+	attempt := 0
+	reported := false
+	for {
+		if l.t.isClosed() {
+			return false
+		}
+		attempt++
+		addr, known := l.t.peerAddr(l.to)
+		var conn net.Conn
+		var err error
+		if !known {
+			err = fmt.Errorf("no address for node %d", l.to)
+		} else {
+			l.t.stats.dials.Add(1)
+			conn, err = net.DialTimeout("tcp", addr, attemptTimeout)
+		}
+		if err == nil {
+			if l.install(conn, addr, attempt) {
+				return true
+			}
+			// Replay failed; fall through to retry after backoff.
+		} else {
+			l.t.stats.dialRetries.Add(1)
+			l.t.event(ConnEvent{Kind: ConnDialRetry, From: l.from, To: l.to,
+				Addr: addr, Attempt: attempt, Err: err.Error()})
+			if !reported && time.Since(start) >= o.DialTimeout {
+				reported = true
+				l.t.stats.dialDeadlines.Add(1)
+				l.t.event(ConnEvent{Kind: ConnDialDeadline, From: l.from, To: l.to,
+					Addr: addr, Attempt: attempt, Err: err.Error()})
+				l.t.report(fmt.Errorf("tcp: dial node %d (%s): still failing after %v (attempt %d): %w",
+					l.to, addr, time.Since(start).Round(time.Millisecond), attempt, err))
+			}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-l.t.done:
+			return false
+		}
+		if backoff *= 2; backoff > o.RetryMax {
+			backoff = o.RetryMax
+		}
+	}
+}
+
+// install adopts a freshly dialed connection, starts its peer watcher
+// and replays the link's history. It returns false if the replay
+// failed (the connection is torn down and the caller retries).
+func (l *outLink) install(conn net.Conn, addr string, attempt int) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	replay := append([]msg.Envelope(nil), l.sent...)
+	enc := msg.NewEncoder(conn)
+	l.conn = conn
+	l.enc = enc
+	l.broken = false
+	first := !l.everConnected
+	l.everConnected = true
+	l.mu.Unlock()
+
+	l.t.stats.connects.Add(1)
+	kind := ConnConnected
+	if !first {
+		l.t.stats.reconnects.Add(1)
+		kind = ConnReconnected
+	}
+	l.t.event(ConnEvent{Kind: kind, From: l.from, To: l.to, Addr: addr, Attempt: attempt})
+
+	l.t.wg.Add(1)
+	go l.watch(conn)
+
+	for _, env := range replay {
+		if err := enc.Encode(env); err != nil {
+			l.mu.Lock()
+			if l.conn == conn {
+				l.conn = nil
+				l.enc = nil
+			}
+			l.mu.Unlock()
+			conn.Close()
+			if !l.t.isClosed() {
+				l.t.stats.writeErrors.Add(1)
+				l.t.event(ConnEvent{Kind: ConnWriteError, From: l.from, To: l.to,
+					Addr: addr, Err: err.Error()})
+			}
+			return false
+		}
+	}
+	l.t.stats.replayed.Add(int64(len(replay)))
+	return true
+}
+
+// watch blocks on the connection until the peer closes it (or it
+// fails), then marks the link broken and wakes the run loop. Peers
+// never send data on an inbound connection, so any read return means
+// the connection is gone. Without the watcher, a peer crash would be
+// noticed only at the next write — and a kernel buffer can swallow one
+// write to a freshly dead peer without an error, losing the frame;
+// marking the link broken forces a reconnect that replays it.
+func (l *outLink) watch(conn net.Conn) {
+	defer l.t.wg.Done()
+	_, _ = io.Copy(io.Discard, conn)
+	l.mu.Lock()
+	if l.conn == conn && !l.closed {
+		l.broken = true
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+	if !l.t.isClosed() {
+		l.t.event(ConnEvent{Kind: ConnPeerClosed, From: l.from, To: l.to,
+			Addr: conn.RemoteAddr().String()})
+	}
+}
+
+// breakConn forcibly drops the link's current connection (fault
+// injection; see TCP.DropConnections).
+func (l *outLink) breakConn() {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.broken = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// close stops the sender loop and closes the connection. Frames still
+// queued are dropped — the transport is shutting down.
+func (l *outLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

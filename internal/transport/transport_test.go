@@ -45,6 +45,12 @@ func (c *collector) HandleMessage(from transport.NodeID, m msg.Message) {
 	}
 }
 
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got
+}
+
 func (c *collector) checkFIFO(t *testing.T) {
 	t.Helper()
 	c.mu.Lock()
