@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench bench-json check fuzz-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -21,6 +21,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark tables; BENCH_baseline.json is a committed
+# snapshot of this output for eyeballing regressions.
+bench-json:
+	$(GO) run ./cmd/cmhbench -json
+
+# Exhaustive DPOR model check over the exploration corpus.
+check:
+	$(GO) run ./cmd/cmhcheck -brute
+
+# Short fuzz runs of both native fuzz targets (CI smoke parity).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWFGTransitions -fuzztime=10s ./internal/wfg
+	$(GO) test -run='^$$' -fuzz=FuzzLockManager -fuzztime=10s ./internal/ddb
+
+# Combined statement coverage of the two engine packages (CI enforces a
+# floor on this number).
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core/...,./internal/ddb/... ./internal/... ./cmd/...
+	$(GO) tool cover -func=cover.out | tail -1
+
 # Regenerate every evaluation table (EXPERIMENTS.md source).
 experiments:
 	$(GO) run ./cmd/cmhbench
@@ -36,4 +56,4 @@ examples:
 	$(GO) run ./examples/messagehub
 
 clean:
-	rm -f experiments.json test_output.txt bench_output.txt
+	rm -f experiments.json test_output.txt bench_output.txt cover.out

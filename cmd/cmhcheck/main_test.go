@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+	out := buf.String()
+	for _, name := range []string{"ring2", "ring3", "grant-chain", "ddb-acq-cycle", "ddb-hold-3site"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing corpus entry %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestSingleScenarioRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "ring2", "-brute"}, &buf); err != nil {
+		t.Fatalf("run(-scenario ring2 -brute): %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ring2") {
+		t.Errorf("table missing the scenario row:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("table missing an ok result:\n%s", out)
+	}
+	if strings.Contains(out, "ring3") {
+		t.Errorf("-scenario ring2 ran other corpus entries:\n%s", out)
+	}
+}
+
+func TestFullCorpusRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-budget", "55s"}, &buf); err != nil {
+		t.Fatalf("run(full corpus): %v", err)
+	}
+	out := buf.String()
+	for _, name := range []string{"ring2", "ring4", "ddb-hold-3site", "TOTAL"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("corpus table missing %q:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("corpus table contains a failure:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "no-such-scenario"},
+		{"-badflag"},
+		{"unexpected", "positional"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// captureRun runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureRun(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if readErr != nil {
+		t.Fatalf("read captured output: %v", readErr)
+	}
+	return string(out)
+}
+
+// TestDotOutputIsValid checks that -dot emits a well-formed Graphviz
+// graph: a digraph block with balanced braces, with edges present for
+// the scenario that wedges (cross) since its final wait-for graph is a
+// cycle.
+func TestDotOutputIsValid(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantEdges bool
+	}{
+		{"cross-wedged", []string{"-scenario", "cross", "-sites", "2", "-detector", "none", "-horizon", "0.05", "-dot"}, true},
+		{"cross-resolved", []string{"-scenario", "cross", "-sites", "2", "-detector", "cmh", "-resolve", "-horizon", "2", "-dot"}, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out := captureRun(t, func() error { return run(tc.args) })
+			i := strings.Index(out, "digraph")
+			if i < 0 {
+				t.Fatalf("no digraph block in output:\n%s", out)
+			}
+			dot := out[i:]
+			open, close_ := strings.Count(dot, "{"), strings.Count(dot, "}")
+			if open == 0 || open != close_ {
+				t.Fatalf("unbalanced braces in dot output (%d open, %d close):\n%s", open, close_, dot)
+			}
+			if tc.wantEdges && !strings.Contains(dot, "->") {
+				t.Fatalf("dot output has no edges:\n%s", dot)
+			}
+		})
+	}
+}
+
+// TestMainExitsNonzeroOnBadFlags re-executes the test binary as a
+// helper process that calls main() with invalid flags and asserts the
+// process exits with status 1.
+func TestMainExitsNonzeroOnBadFlags(t *testing.T) {
+	if os.Getenv("DDBSIM_HELPER") == "1" {
+		os.Args = []string{"ddbsim", "-detector", "nope"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMainExitsNonzeroOnBadFlags")
+	cmd.Env = append(os.Environ(), "DDBSIM_HELPER=1")
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("helper process did not fail: err=%v", err)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("helper exited %d, want 1", ee.ExitCode())
+	}
+}

@@ -1,0 +1,40 @@
+package commdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/id"
+)
+
+// Snapshot renders the process's algorithmic state canonically for the
+// explorer's state fingerprint: blocking status, dependent set, the
+// per-initiator diffusing-computation table and the declaration latch.
+// Traffic counters are excluded.
+func (p *Process) Snapshot() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "comm/%d{b:%t ep:%d seq:%d decl:%t deps:[", p.cfg.ID, p.blocked, p.episode, p.nextSeq, p.declared)
+	deps := make([]id.Proc, 0, len(p.dependents))
+	for d := range p.dependents {
+		deps = append(deps, d)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	for _, d := range deps {
+		fmt.Fprintf(&b, "%d;", d)
+	}
+	b.WriteString("] comps:[")
+	inits := make([]id.Proc, 0, len(p.comps))
+	for k := range p.comps {
+		inits = append(inits, k)
+	}
+	sort.Slice(inits, func(i, j int) bool { return inits[i] < inits[j] })
+	for _, k := range inits {
+		cs := p.comps[k]
+		fmt.Fprintf(&b, "%d=(%d,%d,%t,%d);", k, cs.latest, cs.engager, cs.wait, cs.num)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

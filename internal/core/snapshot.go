@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/id"
+)
+
+// Snapshot renders the process's algorithmic state canonically: two
+// processes in the same state produce byte-identical strings, and every
+// field that can influence future behaviour is included (edge sets,
+// computation numbering, the §4.3 latest-tag table, the declaration
+// latch, the §5 S_j set and WFGD duplicate-suppression memory). Pure
+// observability counters are deliberately excluded. The explorer hashes
+// this to recognise states reached by equivalent interleavings.
+func (p *Process) Snapshot() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "core/%d{w:%v in:%v n:%d", p.cfg.ID, sortedProcs(p.waitingFor), sortedProcs(p.pendingIn), p.nextN)
+	lat := make([]id.Proc, 0, len(p.latest))
+	for k := range p.latest {
+		lat = append(lat, k)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.WriteString(" lat:[")
+	for _, k := range lat {
+		fmt.Fprintf(&b, "%d=%d;", k, p.latest[k])
+	}
+	b.WriteString("]")
+	if p.deadlocked {
+		fmt.Fprintf(&b, " dead:%v", p.declaredTag)
+	}
+	edges := p.blackPathEdgesLocked()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	fmt.Fprintf(&b, " S:%v sent:[", edges)
+	sw := make([]id.Proc, 0, len(p.sentWFGD))
+	for k := range p.sentWFGD {
+		sw = append(sw, k)
+	}
+	sort.Slice(sw, func(i, j int) bool { return sw[i] < sw[j] })
+	for _, k := range sw {
+		keys := make([]string, 0, len(p.sentWFGD[k]))
+		for key := range p.sentWFGD[k] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%d=%v;", k, keys)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

@@ -2,6 +2,7 @@ package ddb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/id"
@@ -372,25 +373,49 @@ func (c *Controller) abortLocked(ts *txnState, after []func()) []func() {
 // remote holds and pending acquisitions via CtrlRelease. Caller holds
 // c.mu.
 func (c *Controller) releaseAllLocked(ts *txnState, after []func()) []func() {
+	// Iteration is sorted throughout: release order determines the
+	// grant-cascade and message order, and replay-based exploration
+	// (and seeded reproducibility) need it to be a pure function of
+	// state, not of map layout.
 	a := c.agents[ts.txn]
 	if a != nil {
 		if a.hasWaiting {
 			after = c.cancelLocalWaitLocked(a, after)
 		}
-		for r := range a.held {
+		for _, r := range sortedResources(a.held) {
 			after = c.releaseLocalLocked(r, ts.txn, after)
 		}
 		delete(c.agents, ts.txn)
 	}
-	for r, site := range ts.pendingRemote {
-		c.send(site, msg.CtrlRelease{Txn: ts.txn, Resource: r, Inc: ts.inc})
+	for _, r := range sortedResourceKeys(ts.pendingRemote) {
+		c.send(ts.pendingRemote[r], msg.CtrlRelease{Txn: ts.txn, Resource: r, Inc: ts.inc})
 		delete(ts.pendingRemote, r)
 	}
-	for r, site := range ts.heldRemote {
-		c.send(site, msg.CtrlRelease{Txn: ts.txn, Resource: r, Inc: ts.inc})
+	for _, r := range sortedResourceKeys(ts.heldRemote) {
+		c.send(ts.heldRemote[r], msg.CtrlRelease{Txn: ts.txn, Resource: r, Inc: ts.inc})
 		delete(ts.heldRemote, r)
 	}
 	return after
+}
+
+// sortedResources returns the sorted keys of a resource→mode map.
+func sortedResources(m map[id.Resource]msg.LockMode) []id.Resource {
+	out := make([]id.Resource, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedResourceKeys returns the sorted keys of a resource→site map.
+func sortedResourceKeys(m map[id.Resource]id.Site) []id.Resource {
+	out := make([]id.Resource, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // cancelLocalWaitLocked removes an agent's queued lock request.

@@ -2,6 +2,7 @@ package ddb
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/id"
 	"repro/internal/msg"
@@ -96,10 +97,17 @@ func (c *Controller) CheckAll() int {
 	c.mu.Lock()
 	var after []func()
 	q := 0
+	// Sorted iteration: initiation order assigns computation numbers
+	// and emits probes, so it must be a pure function of state for
+	// replay-based exploration and seeded reproducibility.
+	txns := make([]id.Txn, 0, len(c.agents))
 	for txn, a := range c.agents {
-		if !a.hasPendingAck {
-			continue
+		if a.hasPendingAck {
+			txns = append(txns, txn)
 		}
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	for _, txn := range txns {
 		q++
 		_, _, after = c.checkAgentLocked(txn, after)
 	}

@@ -1,0 +1,148 @@
+package explore
+
+import "testing"
+
+// Exhaustive checks of the §6 DDB engine — in particular E11's edge
+// ablation claim, upgraded from sampled runs to EVERY FIFO-respecting
+// schedule of the minimal scenarios.
+
+// TestE11AcqCycleDetectedUnderBothEdgeModels: a cycle formed purely of
+// acquisition edges (each transaction locks locally, then remotely) is
+// within §6.4's edge set, so under every schedule that wedges it, it is
+// declared — with or without the holder-home extension.
+func TestE11AcqCycleDetectedUnderBothEdgeModels(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		paperOnly bool
+	}{
+		{"holder-home", false},
+		{"paper-only", true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			wedgedRuns, declaredRuns := 0, 0
+			res, err := Run(DDBScenarioWithReport(DDBAcqCycle, tc.paperOnly, func(w, d int) {
+				if w > 0 {
+					wedgedRuns++
+					if d == 0 {
+						t.Errorf("a wedged schedule went undeclared under %s edges", tc.name)
+					}
+				}
+				if d > 0 {
+					declaredRuns++
+				}
+			}), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Truncated {
+				t.Fatal("exploration truncated")
+			}
+			if wedgedRuns == 0 {
+				t.Fatal("no schedule wedged the acquisition cycle — scenario is vacuous")
+			}
+			if declaredRuns == 0 {
+				t.Fatal("no schedule declared the acquisition cycle")
+			}
+			t.Logf("%s: %d executed (%d wedged, %d declared), %d pruned",
+				tc.name, res.Executed, wedgedRuns, declaredRuns, res.Pruned)
+		})
+	}
+}
+
+// TestE11HoldCycleInvisibleToPaperEdges: the remote-hold cycle (each
+// transaction locks remotely first, then locally) wedges on some
+// schedules, but under §6.4's edge set alone NO schedule ever declares
+// it — the deadlock is invisible. This is E11's negative half, proven
+// here over every FIFO-respecting schedule rather than a sample.
+func TestE11HoldCycleInvisibleToPaperEdges(t *testing.T) {
+	wedgedRuns := 0
+	res, err := Run(DDBScenarioWithReport(DDBHoldCycle, true, func(w, d int) {
+		if w > 0 {
+			wedgedRuns++
+		}
+	}), Options{})
+	if err != nil {
+		// The corpus check fails the run on ANY declaration, so an error
+		// here would mean §6.4 edges somehow saw the remote-hold cycle.
+		t.Fatalf("paper-only edges declared the remote-hold cycle: %v", err)
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated")
+	}
+	if wedgedRuns == 0 {
+		t.Fatal("no schedule wedged the remote-hold cycle — the negative claim is vacuous")
+	}
+	t.Logf("paper-only: %d executed (%d wedged, none declared), %d pruned",
+		res.Executed, wedgedRuns, res.Pruned)
+}
+
+// TestE11HoldCycleRestoredByHolderHomeEdges: with the holder-home edge
+// extension, every schedule that wedges the remote-hold cycle declares
+// it (the per-run corpus check), and such schedules exist (the report
+// hook) — E11's positive half, over the full schedule space.
+func TestE11HoldCycleRestoredByHolderHomeEdges(t *testing.T) {
+	wedgedRuns, declaredRuns := 0, 0
+	res, err := Run(DDBScenarioWithReport(DDBHoldCycle, false, func(w, d int) {
+		if w > 0 {
+			wedgedRuns++
+			if d == 0 {
+				t.Error("a wedged schedule went undeclared despite holder-home edges")
+			}
+		}
+		if d > 0 {
+			declaredRuns++
+		}
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated")
+	}
+	if wedgedRuns == 0 || declaredRuns == 0 {
+		t.Fatalf("claim is vacuous: %d wedged, %d declared runs", wedgedRuns, declaredRuns)
+	}
+	t.Logf("holder-home: %d executed (%d wedged, %d declared), %d pruned",
+		res.Executed, wedgedRuns, declaredRuns, res.Pruned)
+}
+
+// TestDDBNoDeadlockControl: same-order locking cannot cycle; every
+// schedule must commit both transactions with zero declarations (stale
+// probes from transient waits must die meaningless).
+func TestDDBNoDeadlockControl(t *testing.T) {
+	res, err := Run(DDBScenario(DDBNoDeadlock, false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated")
+	}
+	t.Logf("no-deadlock control: %d executed, %d pruned, all committed", res.Executed, res.Pruned)
+}
+
+// TestDDBThreeSiteHoldCycle scales the remote-hold scenario to three
+// sites — one beyond the minimal E11 configuration — and exhausts it
+// under the reductions.
+func TestDDBThreeSiteHoldCycle(t *testing.T) {
+	wedgedRuns := 0
+	res, err := Run(DDBScenarioWithReport(DDBHold3Site, false, func(w, d int) {
+		if w > 0 {
+			wedgedRuns++
+			if d == 0 {
+				t.Error("a wedged 3-site schedule went undeclared")
+			}
+		}
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("3-site exploration truncated: %d executed, %d pruned", res.Executed, res.Pruned)
+	}
+	if wedgedRuns == 0 {
+		t.Fatal("no schedule wedged the 3-site cycle")
+	}
+	t.Logf("3-site hold cycle: %d executed (%d wedged), %d pruned, %d states",
+		res.Executed, wedgedRuns, res.Pruned, res.States)
+}

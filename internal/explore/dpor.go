@@ -1,0 +1,327 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the exploration engine: depth-first enumeration of
+// delivery schedules with two reductions layered on top of the raw
+// odometer search.
+//
+// Sleep sets (Godefroid's partial-order reduction): two deliveries to
+// different destination processes commute — each mutates only its
+// destination's state and appends only to queues whose sender is that
+// destination, so neither changes the head of any link the other could
+// deliver, and executing them in either order reaches the same state.
+// After exploring sibling branch u at a node, every later branch's
+// subtree carries u in its sleep set until a dependent delivery (same
+// destination) occurs: scheduling u first in that subtree would only
+// commute with the intervening independent steps and land in a subtree
+// already explored under the u-first order. A node whose every enabled
+// link is asleep is entirely subsumed by earlier siblings and the run
+// is pruned. Timers never appear in sleep sets because prompt timers
+// fire inside the step that armed them and dead timers never fire —
+// choice points are always pure message deliveries.
+//
+// State fingerprinting: scenarios expose a canonical hash of the
+// global state (engine snapshots + in-flight queues). When a fresh
+// step reaches a state the search has already expanded, the suffix
+// space from that state has been (or, in DFS order, is being, on the
+// current path's own ancestors — impossible for quiescing scenarios)
+// explored, and the run is pruned. Combining the cache with sleep sets
+// needs care: a state expanded with sleep set Z explored the enabled
+// transitions minus Z, so a revisit with sleep set Z' is covered only
+// if some recorded Z ⊆ Z'. The cache stores the minimal recorded
+// sleep sets per fingerprint and prunes on subset containment.
+
+// Options bound the exploration.
+type Options struct {
+	// MaxSchedules caps the number of runs, executed plus pruned
+	// (0 = 1<<20).
+	MaxSchedules int
+	// MaxDepth caps deliveries per schedule (0 = 4096); scenarios that
+	// exceed it fail, since a correct scenario must quiesce.
+	MaxDepth int
+	// Budget caps wall-clock time; exceeding it truncates the
+	// exploration rather than failing it (0 = unlimited).
+	Budget time.Duration
+	// NoReduction disables sleep sets and the state cache, falling
+	// back to brute-force enumeration. Used to validate the reduction
+	// (same verdicts) and to measure it (schedule counts).
+	NoReduction bool
+	// TimerHorizon overrides the prompt/dead timer threshold
+	// (0 = DefaultTimerHorizon).
+	TimerHorizon int64
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Executed counts complete schedules run to quiescence and
+	// checked.
+	Executed int
+	// Pruned counts runs cut short because their remaining suffixes
+	// are covered elsewhere: every enabled transition was asleep, or
+	// the state reached was already expanded.
+	Pruned int
+	// States counts distinct state fingerprints expanded (0 when the
+	// scenario has no fingerprint or NoReduction is set).
+	States int
+	// Truncated reports that MaxSchedules or Budget cut the
+	// exploration short of exhausting the space.
+	Truncated bool
+}
+
+// Run explores every FIFO-respecting delivery schedule of the scenario
+// via depth-first search over link choices, re-executing from scratch
+// along each path, pruning schedules whose suffixes are covered by
+// equivalent interleavings already explored.
+func Run(scenario Scenario, opts Options) (Result, error) {
+	if opts.MaxSchedules == 0 {
+		opts.MaxSchedules = 1 << 20
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 4096
+	}
+	var res Result
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = time.Now().Add(opts.Budget)
+	}
+	cache := &stateCache{seen: make(map[uint64][]sleepSet)}
+
+	// DFS over choice paths. path[i] is the index into the step's
+	// candidate set (enabled minus sleeping) taken at step i. After
+	// each run, advance the path like an odometer using the branching
+	// factors observed during that run. freshFrom marks the first step
+	// whose choice differs from the previous run: earlier steps are
+	// replay and skip the state cache (their states are already
+	// recorded — consulting the cache there would prune the very path
+	// that is exploring them).
+	path := []int{}
+	freshFrom := 0
+	for {
+		out, err := execute(scenario, path, freshFrom, opts, cache)
+		if err != nil {
+			return res, fmt.Errorf("schedule %v: %w", path, err)
+		}
+		if out.quiesced {
+			res.Executed++
+			if err := out.check(); err != nil {
+				return res, fmt.Errorf("schedule %v: %w", path, err)
+			}
+		} else {
+			res.Pruned++
+		}
+		res.States = len(cache.seen)
+		if res.Executed+res.Pruned >= opts.MaxSchedules {
+			res.Truncated = true
+			return res, nil
+		}
+		if opts.Budget > 0 && time.Now().After(deadline) {
+			res.Truncated = true
+			return res, nil
+		}
+		next, changed := advance(path, out.branching)
+		if next == nil {
+			return res, nil
+		}
+		path, freshFrom = next, changed
+	}
+}
+
+// runOutcome is what one re-execution reports back to the search.
+type runOutcome struct {
+	branching []int // candidate count at each step taken
+	quiesced  bool  // ran to empty queues (vs pruned)
+	check     func() error
+}
+
+// execute replays one schedule: follow path where it has entries, take
+// branch 0 beyond it, and record the branching factor at every step.
+func execute(scenario Scenario, path []int, freshFrom int, opts Options, cache *stateCache) (runOutcome, error) {
+	var out runOutcome
+	net := NewChoiceNet()
+	net.SetTimerHorizon(opts.TimerHorizon)
+	inst, err := scenario(net)
+	if err != nil {
+		return out, err
+	}
+	if err := net.drainTimers(); err != nil {
+		return out, err
+	}
+	audit := func() error {
+		if inst.Audit == nil {
+			return nil
+		}
+		return inst.Audit()
+	}
+	sleep := sleepSet(nil)
+	for step := 0; ; step++ {
+		live := net.Live()
+		if len(live) == 0 {
+			out.quiesced = true
+			out.check = inst.Check
+			if out.check == nil {
+				out.check = func() error { return nil }
+			}
+			return out, audit()
+		}
+		cands := live
+		if !opts.NoReduction {
+			cands = sleep.filter(live)
+			if len(cands) == 0 {
+				return out, audit() // all enabled transitions asleep: subsumed
+			}
+		}
+		if step >= opts.MaxDepth {
+			return out, fmt.Errorf("schedule exceeds MaxDepth %d (non-quiescing scenario?)", opts.MaxDepth)
+		}
+		choice := 0
+		if step < len(path) {
+			choice = path[step]
+		}
+		if choice >= len(cands) {
+			return out, fmt.Errorf("internal: stale choice %d of %d at step %d", choice, len(cands), step)
+		}
+		out.branching = append(out.branching, len(cands))
+		taken := cands[choice]
+		var next sleepSet
+		if !opts.NoReduction {
+			// The child inherits the sleeping links plus the siblings
+			// already fully explored at this node, dropping anything
+			// dependent on (same destination as) the taken delivery.
+			next = sleep.child(cands[:choice], taken)
+		}
+		net.Deliver(taken)
+		if err := net.drainTimers(); err != nil {
+			return out, err
+		}
+		sleep = next
+		if !opts.NoReduction && inst.Fingerprint != nil && step >= freshFrom {
+			if cache.covered(inst.Fingerprint(), sleep) {
+				return out, audit() // state already expanded at least as widely
+			}
+		}
+	}
+}
+
+// advance returns the next DFS path after a run with the given
+// per-step branching factors — the deepest position with an untaken
+// branch, incremented — plus that position (the first non-replay
+// step), or nil when the space is exhausted.
+func advance(path []int, branching []int) ([]int, int) {
+	full := make([]int, len(branching))
+	copy(full, path)
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i]+1 < branching[i] {
+			next := make([]int, i+1)
+			copy(next, full[:i+1])
+			next[i]++
+			return next, i
+		}
+	}
+	return nil, 0
+}
+
+// sleepSet is an immutable set of links scheduled around rather than
+// delivered; nil is the empty set.
+type sleepSet []Link
+
+// filter returns the live links not in the set, preserving order.
+func (s sleepSet) filter(live []Link) []Link {
+	if len(s) == 0 {
+		return live
+	}
+	out := make([]Link, 0, len(live))
+	for _, l := range live {
+		if !s.has(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (s sleepSet) has(l Link) bool {
+	for _, u := range s {
+		if u == l {
+			return true
+		}
+	}
+	return false
+}
+
+// child builds the sleep set for the subtree below taken: the current
+// set plus the earlier siblings, minus everything dependent on taken.
+func (s sleepSet) child(earlier []Link, taken Link) sleepSet {
+	out := make(sleepSet, 0, len(s)+len(earlier))
+	for _, u := range s {
+		if u.To != taken.To {
+			out = append(out, u)
+		}
+	}
+	for _, u := range earlier {
+		if u.To != taken.To && !out.has(u) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// key renders the set canonically for subset bookkeeping.
+func (s sleepSet) key() string {
+	var b strings.Builder
+	for _, l := range s {
+		fmt.Fprintf(&b, "%d>%d;", l.From, l.To)
+	}
+	return b.String()
+}
+
+// subsetOf reports s ⊆ t; both are sorted.
+func (s sleepSet) subsetOf(t sleepSet) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	for _, u := range s {
+		if !t.has(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// stateCache records, per state fingerprint, the minimal sleep sets
+// the state has been expanded under.
+type stateCache struct {
+	seen map[uint64][]sleepSet
+}
+
+// covered reports whether the state was already expanded under a sleep
+// set at least as permissive (recorded Z ⊆ current: the earlier
+// expansion explored a superset of the transitions this visit would).
+// If not, the visit is recorded, evicting recorded supersets it
+// subsumes.
+func (c *stateCache) covered(fp uint64, sleep sleepSet) bool {
+	entries := c.seen[fp]
+	for _, z := range entries {
+		if z.subsetOf(sleep) {
+			return true
+		}
+	}
+	kept := entries[:0]
+	for _, z := range entries {
+		if !sleep.subsetOf(z) {
+			kept = append(kept, z)
+		}
+	}
+	c.seen[fp] = append(kept, sleep)
+	return false
+}

@@ -1,0 +1,92 @@
+package explore
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCorpusBruteVsReduced validates the reduction two ways on every
+// corpus entry small enough to brute-force: the reduced exploration
+// reaches the same verdict (all checks pass in both), and it executes
+// no more schedules than the raw enumeration.
+func TestCorpusBruteVsReduced(t *testing.T) {
+	totalBrute, totalReduced := 0, 0
+	for _, e := range Corpus() {
+		if !e.Brute {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			brute, err := Run(e.Build, withDefaults(e.Opts, Options{NoReduction: true}))
+			if err != nil {
+				t.Fatalf("brute: %v", err)
+			}
+			if brute.Truncated {
+				t.Fatalf("brute enumeration truncated after %d schedules (entry should not be marked Brute)", brute.Executed)
+			}
+			red, err := Run(e.Build, e.Opts)
+			if err != nil {
+				t.Fatalf("reduced: %v", err)
+			}
+			if red.Truncated {
+				t.Fatal("reduced exploration truncated")
+			}
+			if red.Executed > brute.Executed {
+				t.Fatalf("reduction executed MORE schedules than brute force: %d > %d",
+					red.Executed, brute.Executed)
+			}
+			totalBrute += brute.Executed
+			totalReduced += red.Executed
+			t.Logf("%s: brute %d, reduced %d executed + %d pruned (%.1fx)",
+				e.Name, brute.Executed, red.Executed, red.Pruned,
+				float64(brute.Executed)/float64(red.Executed))
+		})
+	}
+	if totalReduced == 0 || totalBrute == 0 {
+		t.Fatal("no brute-forceable corpus entries ran")
+	}
+	// The acceptance bar: at least 2x fewer executed schedules across
+	// the corpus. In practice the factor is far larger.
+	if totalBrute < 2*totalReduced {
+		t.Fatalf("corpus-wide reduction below 2x: brute %d vs reduced %d", totalBrute, totalReduced)
+	}
+	t.Logf("corpus-wide: brute %d vs reduced %d (%.1fx)",
+		totalBrute, totalReduced, float64(totalBrute)/float64(totalReduced))
+}
+
+// TestFourRingWithinBudget is the scale target: a 4-process ring — one
+// process beyond the brute-force practicality limit — fully checked
+// within a 60s budget thanks to the reductions.
+func TestFourRingWithinBudget(t *testing.T) {
+	start := time.Now()
+	res, err := Run(RingScenario(4, false), Options{Budget: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("4-ring not exhausted within budget: %d executed, %d pruned",
+			res.Executed, res.Pruned)
+	}
+	t.Logf("4-ring exhausted in %v: %d executed, %d pruned, %d states",
+		time.Since(start), res.Executed, res.Pruned, res.States)
+}
+
+// withDefaults overlays non-zero fields of over onto base.
+func withDefaults(base, over Options) Options {
+	if over.MaxSchedules != 0 {
+		base.MaxSchedules = over.MaxSchedules
+	}
+	if over.MaxDepth != 0 {
+		base.MaxDepth = over.MaxDepth
+	}
+	if over.Budget != 0 {
+		base.Budget = over.Budget
+	}
+	if over.NoReduction {
+		base.NoReduction = true
+	}
+	if over.TimerHorizon != 0 {
+		base.TimerHorizon = over.TimerHorizon
+	}
+	return base
+}

@@ -1,8 +1,8 @@
-// Package explore is a systematic schedule explorer — a lightweight
-// model checker for the protocol. The paper's theorems quantify over
-// every execution permitted by the axioms; randomized simulation
-// samples that space, while this package enumerates it exhaustively for
-// small configurations: every interleaving of message deliveries that
+// Package explore is a systematic schedule explorer — a stateless model
+// checker for the protocol. The paper's theorems quantify over every
+// execution permitted by the axioms; randomized simulation samples that
+// space, while this package enumerates it exhaustively for small
+// configurations: every interleaving of message deliveries that
 // respects per-link FIFO order is executed, and the caller's invariant
 // check runs after (and during) each complete schedule.
 //
@@ -10,42 +10,80 @@
 // steering each run by a recorded choice path (which link delivers
 // next). Processes are deterministic functions of their delivery
 // sequence, so replaying a prefix reproduces the same reachable state
-// without any state snapshotting.
+// without snapshotting. On top of the raw enumeration the engine
+// applies partial-order reduction (sleep sets) and canonical state
+// fingerprinting (see dpor.go) so equivalent interleavings are pruned
+// instead of re-executed.
 package explore
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/msg"
 	"repro/internal/transport"
 )
 
+// DefaultTimerHorizon is the virtual-nanosecond threshold separating
+// prompt timers (fire deterministically as part of the step that armed
+// them) from dead timers (never fire). A scenario that wants a timeout
+// to stay pending forever — a transaction's hold time, say, so that a
+// deadlock is permanent — arms it beyond the horizon.
+const DefaultTimerHorizon = int64(1) << 30
+
+// Link is one ordered sender→receiver pair: the unit of FIFO order and
+// therefore the unit of scheduling choice.
+type Link struct {
+	From, To transport.NodeID
+}
+
+// timerEntry is one armed prompt timer; entries fire in (delay, seq)
+// order during the drain that follows each delivery.
+type timerEntry struct {
+	delay int64
+	seq   uint64
+	fn    func()
+}
+
 // ChoiceNet is a transport whose delivery order is chosen externally:
 // sends queue per ordered pair (preserving FIFO within the pair), and
-// Deliver hands the head of a chosen pair to its destination. It is
-// intended for single-goroutine use by the explorer.
+// Deliver hands the head of a chosen pair to its destination. It also
+// implements the Timers interface shared by the engines (core, commdl,
+// ddb): timers below the horizon fire synchronously, in (delay, arm)
+// order, as part of the step that armed them — local computation is
+// instantaneous in the paper's model, so a timer chain is part of one
+// atomic step — while timers at or beyond the horizon never fire at
+// all. ChoiceNet is intended for single-goroutine use by the explorer.
 type ChoiceNet struct {
 	handlers  map[transport.NodeID]transport.Handler
-	queues    map[link][]pending
-	links     []link // stable insertion order of live links
+	queues    map[Link][]msg.Message
+	links     []Link // stable insertion order of links ever used
 	observers []transport.Observer
 	delivered int
+
+	horizon  int64
+	timerSeq uint64
+	timers   []timerEntry
 }
 
-type link struct {
-	from, to transport.NodeID
-}
-
-type pending struct {
-	m msg.Message
-}
-
-// NewChoiceNet returns an empty choice-driven network.
+// NewChoiceNet returns an empty choice-driven network with the default
+// timer horizon.
 func NewChoiceNet() *ChoiceNet {
 	return &ChoiceNet{
 		handlers: make(map[transport.NodeID]transport.Handler),
-		queues:   make(map[link][]pending),
+		queues:   make(map[Link][]msg.Message),
+		horizon:  DefaultTimerHorizon,
+	}
+}
+
+// SetTimerHorizon overrides the prompt/dead timer threshold. It must be
+// called before any timer is armed.
+func (n *ChoiceNet) SetTimerHorizon(h int64) {
+	if h > 0 {
+		n.horizon = h
 	}
 }
 
@@ -63,11 +101,46 @@ func (n *ChoiceNet) Send(from, to transport.NodeID, m msg.Message) {
 	for _, o := range n.observers {
 		o.OnSend(from, to, m)
 	}
-	l := link{from: from, to: to}
+	l := Link{From: from, To: to}
 	if _, seen := n.queues[l]; !seen {
 		n.links = append(n.links, l)
 	}
-	n.queues[l] = append(n.queues[l], pending{m: m})
+	n.queues[l] = append(n.queues[l], m)
+}
+
+// After implements the engines' Timers interface (core.Timers,
+// commdl.Timers, ddb.Timers all share this shape).
+func (n *ChoiceNet) After(d int64, fn func()) {
+	if d >= n.horizon {
+		return // dead: beyond the horizon, never fires
+	}
+	n.timerSeq++
+	n.timers = append(n.timers, timerEntry{delay: d, seq: n.timerSeq, fn: fn})
+}
+
+// drainTimers fires every pending prompt timer in (delay, seq) order,
+// including timers armed by earlier firings, until none remain. The
+// explorer calls it after scenario setup and after every delivery, so
+// choice points never carry pending prompt timers.
+func (n *ChoiceNet) drainTimers() error {
+	const maxPops = 1 << 16
+	for pops := 0; len(n.timers) > 0; pops++ {
+		if pops >= maxPops {
+			return fmt.Errorf("choicenet: timer chain exceeded %d firings (self-rearming timer?)", maxPops)
+		}
+		best := 0
+		for i := 1; i < len(n.timers); i++ {
+			t := n.timers[i]
+			b := n.timers[best]
+			if t.delay < b.delay || (t.delay == b.delay && t.seq < b.seq) {
+				best = i
+			}
+		}
+		fn := n.timers[best].fn
+		n.timers = append(n.timers[:best], n.timers[best+1:]...)
+		fn()
+	}
+	return nil
 }
 
 // Live returns the links that currently have queued messages, ordered
@@ -76,153 +149,111 @@ func (n *ChoiceNet) Send(from, to transport.NodeID, m msg.Message) {
 // may do so in map-iteration order, so first-use order differs between
 // otherwise identical runs, but the SET of live links (and each link's
 // queue content) does not.
-func (n *ChoiceNet) Live() []int {
-	var live []int
-	for i, l := range n.links {
+func (n *ChoiceNet) Live() []Link {
+	var live []Link
+	for _, l := range n.links {
 		if len(n.queues[l]) > 0 {
-			live = append(live, i)
+			live = append(live, l)
 		}
 	}
 	sort.Slice(live, func(a, b int) bool {
-		la, lb := n.links[live[a]], n.links[live[b]]
-		if la.from != lb.from {
-			return la.from < lb.from
+		if live[a].From != live[b].From {
+			return live[a].From < live[b].From
 		}
-		return la.to < lb.to
+		return live[a].To < live[b].To
 	})
 	return live
 }
 
-// Deliver delivers the head message of the link with the given index
-// (an element of Live()).
-func (n *ChoiceNet) Deliver(idx int) {
-	l := n.links[idx]
+// Deliver delivers the head message of the given link.
+func (n *ChoiceNet) Deliver(l Link) {
 	q := n.queues[l]
 	if len(q) == 0 {
 		panic(fmt.Sprintf("choicenet: deliver on empty link %v", l))
 	}
-	p := q[0]
+	m := q[0]
 	n.queues[l] = q[1:]
-	h, ok := n.handlers[l.to]
+	h, ok := n.handlers[l.To]
 	if !ok {
-		panic(fmt.Sprintf("choicenet: no handler for node %d", l.to))
+		panic(fmt.Sprintf("choicenet: no handler for node %d", l.To))
 	}
 	for _, o := range n.observers {
-		o.OnDeliver(l.from, l.to, p.m)
+		o.OnDeliver(l.From, l.To, m)
 	}
 	n.delivered++
-	h.HandleMessage(l.from, p.m)
+	h.HandleMessage(l.From, m)
 }
 
 // Delivered returns the number of messages delivered so far in this
 // run.
 func (n *ChoiceNet) Delivered() int { return n.delivered }
 
+// Snapshot renders the in-flight state canonically: every non-empty
+// queue in (from, to) order with its messages in FIFO order. Together
+// with the engines' snapshots this determines all future behaviour, so
+// it is part of the state fingerprint. Prompt timers are always drained
+// at choice points and dead timers never fire, so the timer queue
+// carries no information.
+func (n *ChoiceNet) Snapshot() string {
+	live := n.Live()
+	var b strings.Builder
+	for _, l := range live {
+		fmt.Fprintf(&b, "%d>%d:[", l.From, l.To)
+		for _, m := range n.queues[l] {
+			fmt.Fprintf(&b, "%T%+v;", m, m)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
 var _ transport.Transport = (*ChoiceNet)(nil)
 
+// Snapshotter is anything that can render its algorithmic state as a
+// canonical string; the engines' processes and controllers, and
+// ChoiceNet itself, all implement it.
+type Snapshotter interface {
+	Snapshot() string
+}
+
+// FingerprintOf builds a state-fingerprint function over the given
+// components. Include every engine in the scenario plus the ChoiceNet
+// itself: the fingerprint must determine all future behaviour, or the
+// state cache would merge states with different futures.
+func FingerprintOf(parts ...Snapshotter) func() uint64 {
+	return func() uint64 {
+		h := fnv.New64a()
+		for _, p := range parts {
+			io.WriteString(h, p.Snapshot())
+			h.Write([]byte{0})
+		}
+		return h.Sum64()
+	}
+}
+
+// Instance is one constructed scenario: the quiescence check and an
+// optional state fingerprint.
+type Instance struct {
+	// Check is invoked after the run quiesces (no queued messages).
+	// Checks during the run belong in the scenario's own callbacks;
+	// returning an error from either fails the exploration with the
+	// offending schedule attached. Check must assert properties of the
+	// final state (or of in-run audits), never of the scenario's full
+	// event history: a pruned schedule's suffix is covered by the
+	// representative schedule that reached the same state, but its
+	// event order is not re-checked.
+	Check func() error
+	// Audit, if set, is polled at the end of every run — including
+	// pruned runs, whose prefixes may never appear in any executed
+	// schedule. Scenario callbacks should latch in-run property
+	// violations (a declaration off the oracle's cycle, say) and
+	// return the first one here.
+	Audit func() error
+	// Fingerprint hashes the global state (engines + in-flight
+	// queues); nil disables state-cache pruning for this scenario.
+	Fingerprint func() uint64
+}
+
 // Scenario builds a system on the given network (creating processes,
-// issuing the initial requests) and returns a check invoked after the
-// run quiesces. Checks during the run belong in the scenario's own
-// callbacks; returning an error from either fails the exploration with
-// the offending schedule attached.
-type Scenario func(net *ChoiceNet) (check func() error, err error)
-
-// Result summarizes an exploration.
-type Result struct {
-	Schedules int  // complete schedules executed
-	Truncated bool // hit MaxSchedules or MaxDepth before exhausting
-}
-
-// Options bound the exploration.
-type Options struct {
-	// MaxSchedules caps the number of complete schedules (0 = 1<<20).
-	MaxSchedules int
-	// MaxDepth caps deliveries per schedule (0 = 4096); scenarios that
-	// exceed it fail, since a correct scenario must quiesce.
-	MaxDepth int
-}
-
-// Run exhaustively explores every FIFO-respecting delivery schedule of
-// the scenario via depth-first search over link choices, re-executing
-// from scratch along each path.
-func Run(scenario Scenario, opts Options) (Result, error) {
-	if opts.MaxSchedules == 0 {
-		opts.MaxSchedules = 1 << 20
-	}
-	if opts.MaxDepth == 0 {
-		opts.MaxDepth = 4096
-	}
-	var res Result
-
-	// DFS over choice paths. path[i] is the index into Live() taken at
-	// step i. After each complete run, advance the path like an odometer
-	// using the branching factors observed during that run.
-	path := []int{}
-	for {
-		branching, check, err := execute(scenario, path, opts.MaxDepth)
-		if err != nil {
-			return res, fmt.Errorf("schedule %v: %w", path, err)
-		}
-		if err := check(); err != nil {
-			return res, fmt.Errorf("schedule %v: %w", path, err)
-		}
-		res.Schedules++
-		if res.Schedules >= opts.MaxSchedules {
-			res.Truncated = true
-			return res, nil
-		}
-		// Advance: find the deepest step with an untaken branch.
-		next := advance(path, branching)
-		if next == nil {
-			return res, nil
-		}
-		path = next
-	}
-}
-
-// execute replays one schedule: follow path where it has entries, take
-// branch 0 beyond it, and record the branching factor at every step.
-func execute(scenario Scenario, path []int, maxDepth int) (branching []int, check func() error, err error) {
-	net := NewChoiceNet()
-	check, err = scenario(net)
-	if err != nil {
-		return nil, nil, err
-	}
-	for step := 0; ; step++ {
-		live := net.Live()
-		if len(live) == 0 {
-			return branching, check, nil
-		}
-		if step >= maxDepth {
-			return nil, nil, fmt.Errorf("schedule exceeds MaxDepth %d (non-quiescing scenario?)", maxDepth)
-		}
-		choice := 0
-		if step < len(path) {
-			choice = path[step]
-		}
-		if choice >= len(live) {
-			return nil, nil, fmt.Errorf("internal: stale choice %d of %d at step %d", choice, len(live), step)
-		}
-		branching = append(branching, len(live))
-		net.Deliver(live[choice])
-	}
-}
-
-// advance returns the next DFS path after a completed run with the
-// given per-step branching factors, or nil when the space is exhausted.
-func advance(path []int, branching []int) []int {
-	// Extend the path to the run's full depth with the zero choices the
-	// run implicitly took.
-	full := make([]int, len(branching))
-	copy(full, path)
-	// Find deepest position with remaining branches.
-	for i := len(full) - 1; i >= 0; i-- {
-		if full[i]+1 < branching[i] {
-			next := make([]int, i+1)
-			copy(next, full[:i+1])
-			next[i]++
-			return next
-		}
-	}
-	return nil
-}
+// issuing the initial requests) and returns the instance to explore.
+type Scenario func(net *ChoiceNet) (Instance, error)

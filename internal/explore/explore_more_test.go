@@ -1,153 +1,39 @@
 package explore
 
-import (
-	"fmt"
-	"testing"
+import "testing"
 
-	"repro/internal/commdl"
-	"repro/internal/core"
-	"repro/internal/id"
-	"repro/internal/wfg"
-)
-
-// wfgdScenario: a 2-ring plus one tail process blocked behind it. Under
-// EVERY delivery schedule, after quiescence each of the three processes
-// must know exactly the oracle's permanent-black-path set (§5 holds
-// schedule-independently, not just on the sampled runs).
-func wfgdScenario(net *ChoiceNet) (func() error, error) {
-	oracle := wfg.NewGraphObserver(nil)
-	net.Observe(oracle)
-	procs := make([]*core.Process, 3)
-	for i := 0; i < 3; i++ {
-		p, err := core.NewProcess(core.Config{
-			ID:        id.Proc(i),
-			Transport: net,
-			Policy:    core.InitiateManually,
-		})
-		if err != nil {
-			return nil, err
-		}
-		procs[i] = p
-	}
-	// 0 <-> 1 cycle; 2 -> 0 tail. A single initiator keeps the
-	// schedule space exhaustable; concurrent-initiator interleavings
-	// are covered by TestExhaustiveTwoRingConcurrentInitiators.
-	if err := procs[0].Request(1); err != nil {
-		return nil, err
-	}
-	if err := procs[1].Request(0); err != nil {
-		return nil, err
-	}
-	if err := procs[2].Request(0); err != nil {
-		return nil, err
-	}
-	if _, ok := procs[0].StartProbe(); !ok {
-		return nil, fmt.Errorf("initiator not blocked")
-	}
-	return func() error {
-		for _, p := range procs {
-			var want []id.Edge
-			oracle.With(func(g *wfg.Graph) { want = g.PermanentBlackEdgesFrom(p.ID()) })
-			got := p.BlackPaths()
-			_, declared := p.Deadlocked()
-			if len(got) == 0 && !declared {
-				return fmt.Errorf("%v neither declared nor informed", p.ID())
-			}
-			if len(got) != len(want) {
-				return fmt.Errorf("%v: S=%v, oracle=%v", p.ID(), got, want)
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					return fmt.Errorf("%v: S=%v, oracle=%v", p.ID(), got, want)
-				}
-			}
-		}
-		return nil
-	}, nil
-}
+// WFGD (§5) and OR-model (commdl) corpus scenarios, explored
+// exhaustively with the reductions on.
 
 func TestExhaustiveWFGDExactness(t *testing.T) {
-	res, err := Run(wfgdScenario, Options{MaxSchedules: 1 << 18})
+	res, err := Run(WFGDScenario, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Truncated {
-		t.Fatalf("WFGD exploration truncated at %d schedules", res.Schedules)
+		t.Fatalf("WFGD exploration truncated after %d runs", res.Executed+res.Pruned)
 	}
-	t.Logf("WFGD ring+tail: %d schedules, exact sets in all", res.Schedules)
-}
-
-// orRingScenario: the OR-model 3-ring with one initiator. Every
-// schedule must detect; the escape variant (one member also depends on
-// an active outsider) must never declare under any schedule.
-func orScenario(escape bool) Scenario {
-	return func(net *ChoiceNet) (func() error, error) {
-		n := 3
-		total := n
-		if escape {
-			total = n + 1 // process 3 stays active
-		}
-		procs := make([]*commdl.Process, total)
-		declared := map[id.Proc]bool{}
-		for i := 0; i < total; i++ {
-			pid := id.Proc(i)
-			p, err := commdl.New(commdl.Config{
-				ID:         pid,
-				Transport:  net,
-				OnDeadlock: func(uint64) { declared[pid] = true },
-			})
-			if err != nil {
-				return nil, err
-			}
-			procs[i] = p
-		}
-		for i := 0; i < n; i++ {
-			deps := []id.Proc{id.Proc((i + 1) % n)}
-			if escape && i == 1 {
-				deps = append(deps, id.Proc(n))
-			}
-			if err := procs[i].Block(deps...); err != nil {
-				return nil, err
-			}
-		}
-		if _, ok := procs[0].StartDetection(); !ok {
-			return nil, fmt.Errorf("initiator active")
-		}
-		return func() error {
-			if escape {
-				for pid, d := range declared {
-					if d {
-						return fmt.Errorf("%v declared despite escape hatch", pid)
-					}
-				}
-				return nil
-			}
-			if !declared[0] {
-				return fmt.Errorf("initiator failed to detect the OR-ring")
-			}
-			return nil
-		}, nil
-	}
+	t.Logf("WFGD ring+tail: %d executed, %d pruned, exact sets in all", res.Executed, res.Pruned)
 }
 
 func TestExhaustiveORRingDetects(t *testing.T) {
-	res, err := Run(orScenario(false), Options{})
+	res, err := Run(ORScenario(false), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Truncated {
 		t.Fatal("OR-ring exploration should exhaust")
 	}
-	t.Logf("OR 3-ring: %d schedules, all detected", res.Schedules)
+	t.Logf("OR 3-ring: %d executed, %d pruned, all detected", res.Executed, res.Pruned)
 }
 
 func TestExhaustiveOREscapeNeverDeclares(t *testing.T) {
-	res, err := Run(orScenario(true), Options{})
+	res, err := Run(ORScenario(true), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Truncated {
 		t.Fatal("OR-escape exploration should exhaust")
 	}
-	t.Logf("OR escape: %d schedules, zero declarations", res.Schedules)
+	t.Logf("OR escape: %d executed, %d pruned, zero declarations", res.Executed, res.Pruned)
 }

@@ -70,6 +70,19 @@ func (c *Counters) TotalSent() int64 {
 	return n
 }
 
+// TotalDelivered returns the number of messages of all kinds delivered.
+// Quiescence detection on the concurrent transports compares this
+// against TotalSent.
+func (c *Counters) TotalDelivered() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, v := range c.recvd {
+		n += v
+	}
+	return n
+}
+
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
 	c.mu.Lock()

@@ -1,0 +1,165 @@
+package wfg
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// FuzzWFGTransitions drives the coloured wait-for graph with an
+// arbitrary G1–G4 transition stream and checks it differentially
+// against a naive mirror: a plain edge→colour map plus brute-force
+// graph walks. The mirror decides, from first principles, whether each
+// transition is axiom-legal; the Graph must agree exactly (legal ⇒
+// applied, illegal ⇒ AxiomError and unchanged state), and its oracle
+// verdicts (OnDarkCycle, DarkCycleVertices, Blocked) must match a naive
+// DFS over the mirror after every step.
+func FuzzWFGTransitions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x01, 0x10}) // create 0->1, blacken it
+	f.Add([]byte{0x00, 0x01, 0x00, 0x12, 0x01, 0x01, 0x01, 0x12}) // 2-cycle, blackened
+	f.Add([]byte{0x00, 0x01, 0x01, 0x01, 0x02, 0x01, 0x03, 0x01}) // full lifecycle of one edge
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nProcs = 4
+		g := New()
+		mirror := make(map[id.Edge]Color)
+		for i := 0; i+2 <= len(data); i += 2 {
+			op := data[i] % 5
+			e := id.Edge{
+				From: id.Proc(data[i+1] >> 4 % nProcs),
+				To:   id.Proc(data[i+1] & 0x0f % nProcs),
+			}
+			if e.From == e.To {
+				// Self-waits are outside the paper's model (§2: a
+				// process waits on other processes).
+				e.To = (e.To + 1) % nProcs
+			}
+			c, exists := mirror[e]
+			var err error
+			var legal bool
+			switch op {
+			case 0: // G1 create
+				legal = !exists
+				err = g.Create(e)
+				if legal {
+					mirror[e] = Grey
+				}
+			case 1: // G2 blacken
+				legal = exists && c == Grey
+				err = g.Blacken(e)
+				if legal {
+					mirror[e] = Black
+				}
+			case 2: // G3 whiten: target must be active (no outgoing edges)
+				legal = exists && c == Black && !mirrorBlocked(mirror, e.To)
+				err = g.Whiten(e)
+				if legal {
+					mirror[e] = White
+				}
+			case 3: // G4 delete
+				legal = exists && c == White
+				err = g.Delete(e)
+				if legal {
+					delete(mirror, e)
+				}
+			case 4: // victim abort: always legal, no-op on missing edges
+				legal = true
+				g.ForceDelete(e)
+				delete(mirror, e)
+			}
+			if legal && err != nil {
+				t.Fatalf("op %d on %v: legal transition rejected: %v", op, e, err)
+			}
+			if !legal && err == nil {
+				t.Fatalf("op %d on %v: axiom-violating transition accepted", op, e)
+			}
+			if !legal && op != 4 {
+				if _, isAxiom := err.(*AxiomError); !isAxiom {
+					t.Fatalf("op %d on %v: expected AxiomError, got %T: %v", op, e, err, err)
+				}
+			}
+			compareWFG(t, g, mirror, nProcs)
+		}
+	})
+}
+
+// mirrorBlocked reports whether v has any outgoing edge in the mirror.
+func mirrorBlocked(mirror map[id.Edge]Color, v id.Proc) bool {
+	for e := range mirror {
+		if e.From == v {
+			return true
+		}
+	}
+	return false
+}
+
+// compareWFG checks every observable of the Graph against the mirror.
+func compareWFG(t *testing.T, g *Graph, mirror map[id.Edge]Color, nProcs int) {
+	t.Helper()
+	if g.Len() != len(mirror) {
+		t.Fatalf("Len() = %d, mirror has %d edges", g.Len(), len(mirror))
+	}
+	for e, want := range mirror {
+		got, ok := g.Color(e)
+		if !ok || got != want {
+			t.Fatalf("edge %v: Color() = (%v,%t), mirror %v", e, got, ok, want)
+		}
+		if g.Dark(e) != (want == Grey || want == Black) {
+			t.Fatalf("edge %v: Dark() disagrees with mirror colour %v", e, want)
+		}
+	}
+	var wantDark []id.Proc
+	for v := id.Proc(0); v < id.Proc(nProcs); v++ {
+		if g.Blocked(v) != mirrorBlocked(mirror, v) {
+			t.Fatalf("Blocked(%v) disagrees with mirror", v)
+		}
+		onCycle := mirrorOnDarkCycle(mirror, v)
+		if g.OnDarkCycle(v) != onCycle {
+			t.Fatalf("OnDarkCycle(%v) = %t, naive DFS says %t (mirror %v)",
+				v, g.OnDarkCycle(v), onCycle, mirror)
+		}
+		if onCycle {
+			wantDark = append(wantDark, v)
+		}
+	}
+	gotDark := append([]id.Proc(nil), g.DarkCycleVertices()...)
+	sort.Slice(gotDark, func(i, j int) bool { return gotDark[i] < gotDark[j] })
+	if len(gotDark) != len(wantDark) {
+		t.Fatalf("DarkCycleVertices() = %v, naive %v", gotDark, wantDark)
+	}
+	for i := range wantDark {
+		if gotDark[i] != wantDark[i] {
+			t.Fatalf("DarkCycleVertices() = %v, naive %v", gotDark, wantDark)
+		}
+	}
+}
+
+// mirrorOnDarkCycle reports, by brute-force DFS over the mirror's dark
+// edges, whether v can reach itself.
+func mirrorOnDarkCycle(mirror map[id.Edge]Color, v id.Proc) bool {
+	visited := make(map[id.Proc]bool)
+	var stack []id.Proc
+	for e, c := range mirror {
+		if e.From == v && (c == Grey || c == Black) {
+			stack = append(stack, e.To)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == v {
+			return true
+		}
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		for e, c := range mirror {
+			if e.From == u && (c == Grey || c == Black) {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
