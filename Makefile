@@ -22,18 +22,20 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark tables; BENCH_baseline.json is a committed
-# snapshot of this output for eyeballing regressions.
+# snapshot of this output for eyeballing regressions (including the E13
+# ingress-throughput table added with the write-batching work).
 bench-json:
-	$(GO) run ./cmd/cmhbench -json
+	$(GO) run ./cmd/cmhbench -json | tee BENCH_baseline.json
 
 # Exhaustive DPOR model check over the exploration corpus.
 check:
 	$(GO) run ./cmd/cmhcheck -brute
 
-# Short fuzz runs of both native fuzz targets (CI smoke parity).
+# Short fuzz runs of the native fuzz targets (CI smoke parity).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWFGTransitions -fuzztime=10s ./internal/wfg
 	$(GO) test -run='^$$' -fuzz=FuzzLockManager -fuzztime=10s ./internal/ddb
+	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeIngress -fuzztime=10s ./internal/conformance
 
 # Combined statement coverage of the two engine packages (CI enforces a
 # floor on this number).

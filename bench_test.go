@@ -193,6 +193,24 @@ func BenchmarkE12VictimPolicyAblation(b *testing.B) {
 	}
 }
 
+func BenchmarkE13IngressThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E13IngressThroughput(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Batched encoding must at least match the per-frame baseline
+		// (rows[0] is MaxBatch=1).
+		base := rows[0]
+		for _, r := range rows[1:] {
+			if r.KFramesPerSec < base.KFramesPerSec {
+				b.Fatalf("batch=%d slower than per-frame baseline: %.1f < %.1f kframes/s",
+					r.MaxBatch, r.KFramesPerSec, base.KFramesPerSec)
+			}
+		}
+	}
+}
+
 // --- micro-benchmarks ---
 
 // BenchmarkProbeLapRing measures the raw cost of one full probe lap on

@@ -1,5 +1,5 @@
 // Command cmhbench regenerates the evaluation tables of DESIGN.md §4:
-// one table per experiment E1–E12, each reproducing a quantitative
+// one table per experiment E1–E13, each reproducing a quantitative
 // claim of Chandy–Misra (PODC 1982) or an ablation of a design choice.
 // With no arguments it runs the whole suite; pass experiment IDs to run
 // a subset, and -json for the machine-readable export.
@@ -37,7 +37,7 @@ func run(args []string) error {
 	}
 	for _, a := range fs.Args() {
 		if !known[a] {
-			return fmt.Errorf("unknown experiment %q (have E1..E12)", a)
+			return fmt.Errorf("unknown experiment %q (have E1..E13)", a)
 		}
 		only[a] = true
 	}

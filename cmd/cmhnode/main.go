@@ -75,6 +75,8 @@ func run(args []string, out io.Writer) error {
 		dialTimeout = fs.Duration("dial-timeout", 15*time.Second, "how long a link retries dialing silently before reporting (retries continue)")
 		retryBase   = fs.Duration("retry-base", 50*time.Millisecond, "initial dial backoff, doubled per failed attempt")
 		retryMax    = fs.Duration("retry-max", 2*time.Second, "dial backoff cap")
+		maxBatch    = fs.Int("max-batch", 64, "max envelopes coalesced into one wire flush (1 = flush per frame)")
+		highWater   = fs.Int("mailbox-high-water", 0, "ingress mailbox depth that raises a backpressure event (0 = disabled)")
 		verbose     = fs.Bool("verbose", false, "print connection-lifecycle events")
 		showStats   = fs.Bool("net-stats", false, "print transport counters before exiting")
 	)
@@ -84,9 +86,11 @@ func run(args []string, out io.Writer) error {
 	self := id.Proc(*idFlag)
 
 	opts := transport.TCPOptions{
-		DialTimeout: *dialTimeout,
-		RetryBase:   *retryBase,
-		RetryMax:    *retryMax,
+		DialTimeout:      *dialTimeout,
+		RetryBase:        *retryBase,
+		RetryMax:         *retryMax,
+		MaxBatch:         *maxBatch,
+		MailboxHighWater: *highWater,
 		OnError: func(err error) {
 			fmt.Fprintf(os.Stderr, "cmhnode %v: transport: %v\n", self, err)
 		},
@@ -113,6 +117,11 @@ func run(args []string, out io.Writer) error {
 			case detected <- tag:
 			default:
 			}
+		},
+		// Frames a conforming peer could never have sent are dropped and
+		// reported, never fatal: a misbehaving peer cannot crash the node.
+		OnProtocolError: func(e core.ProtocolError) {
+			fmt.Fprintf(os.Stderr, "cmhnode %v: ingress: %v\n", self, e)
 		},
 	})
 	if err != nil {
@@ -182,8 +191,8 @@ func run(args []string, out io.Writer) error {
 			}
 		case <-deadline:
 			st := proc.Stats()
-			fmt.Fprintf(out, "node %v: no verdict after %v (blocked=%v, probes sent=%d meaningful=%d)\n",
-				self, *timeout, proc.Blocked(), st.ProbesSent, st.ProbesMeaningful)
+			fmt.Fprintf(out, "node %v: no verdict after %v (blocked=%v, probes sent=%d meaningful=%d, rejected frames=%d)\n",
+				self, *timeout, proc.Blocked(), st.ProbesSent, st.ProbesMeaningful, st.ProtocolErrors)
 			return nil
 		}
 	}

@@ -1,0 +1,198 @@
+package conformance
+
+// FuzzEnvelopeIngress is the adversarial counterpart of the
+// differential suite: instead of replaying a conforming workload it
+// feeds arbitrary decoded envelopes — any sender, any frame type, any
+// field values, including types outside the msg taxonomy and nil — to a
+// live basic-model process and a live DDB controller, both primed into
+// a non-trivial protocol state. The hardened-ingress contract under
+// test:
+//
+//   - no decoded envelope can panic either engine;
+//   - a frame the engine rejects (ProtocolErrors advances) leaves the
+//     algorithmic state byte-identical — reject-before-mutate;
+//   - rejection is counted exactly when the snapshot is unchanged by a
+//     non-no-op frame, never silently.
+//
+// Wire-level decoding of hostile bytes is fuzzed separately in
+// internal/msg; this target starts where the decoder ends, at
+// HandleMessage.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// sinkNet swallows sends: the fuzzed engines' outbound traffic is
+// irrelevant to the ingress contract, and a sink keeps every frame's
+// effect confined to the engine under test.
+type sinkNet struct{}
+
+func (sinkNet) Register(transport.NodeID, transport.Handler) {}
+func (sinkNet) Send(_, _ transport.NodeID, _ msg.Message)    {}
+
+// frozenTimers never fires: the primed states below must stay put
+// between injected frames.
+type frozenTimers struct{}
+
+func (frozenTimers) After(int64, func()) {}
+
+// alienFrame is a message type no release of this module ever puts on
+// the wire.
+type alienFrame struct{}
+
+func (alienFrame) Kind() msg.Kind { return msg.Kind(997) }
+
+// primedProcess builds the basic-model target: process 0, blocked on
+// {1,2}, one incoming request edge from 3, one probe computation
+// started.
+func primedProcess(t *testing.T) *core.Process {
+	t.Helper()
+	p, err := core.NewProcess(core.Config{
+		ID:        0,
+		Transport: sinkNet{},
+		Policy:    core.InitiateManually,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Request(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	p.HandleMessage(transport.NodeID(3), msg.Request{})
+	if _, ok := p.StartProbe(); !ok {
+		t.Fatal("primed process not blocked")
+	}
+	return p
+}
+
+// primedController builds the DDB target: controller of site 1 (homes
+// the odd resources), transaction 1 holding r1 locally, a remote agent
+// of transaction 7 (home site 0) queued behind it.
+func primedController(t *testing.T) *ddb.Controller {
+	t.Helper()
+	c, err := ddb.NewController(ddb.Config{
+		Site:         1,
+		Transport:    sinkNet{},
+		Timers:       frozenTimers{},
+		ResourceHome: func(r id.Resource) id.Site { return id.Site(int(r) % 2) },
+		Mode:         ddb.InitiateManual,
+		HoldTime:     int64(1 << 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, 0, []ddb.LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	c.HandleMessage(transport.NodeID(0), msg.CtrlAcquire{Txn: 7, Resource: 1, Mode: msg.LockWrite, Inc: 0})
+	return c
+}
+
+// frameFromOp materialises one envelope payload from a 6-byte op. Field
+// domains are kept small so the fuzzer collides with the primed state
+// (txn 1 and 7, resource 1, procs 0–3, sites 0–1) rather than wandering
+// an enormous value space.
+func frameFromOp(b []byte) msg.Message {
+	switch b[0] % 16 {
+	case 0:
+		return msg.Request{}
+	case 1:
+		return msg.Reply{}
+	case 2:
+		return msg.Probe{Tag: id.Tag{Initiator: id.Proc(b[2] % 5), N: uint64(b[3] % 8)}}
+	case 3:
+		return msg.WFGD{Edges: []id.Edge{
+			{From: id.Proc(b[2] % 5), To: id.Proc(b[3] % 5)},
+			{From: id.Proc(b[4] % 5), To: id.Proc(b[5] % 5)},
+		}}
+	case 4:
+		return msg.CtrlAcquire{
+			Txn:      id.Txn(b[2] % 8),
+			Resource: id.Resource(b[3] % 4),
+			Mode:     msg.LockMode(b[4] % 4), // includes the two invalid modes 0 and 3
+			Inc:      uint32(b[5] % 4),
+		}
+	case 5:
+		return msg.CtrlGranted{Txn: id.Txn(b[2] % 8), Resource: id.Resource(b[3] % 4), Inc: uint32(b[5] % 4)}
+	case 6:
+		return msg.CtrlRelease{Txn: id.Txn(b[2] % 8), Resource: id.Resource(b[3] % 4), Inc: uint32(b[5] % 4)}
+	case 7:
+		return msg.CtrlProbe{
+			Tag: id.CtrlTag{Initiator: id.Site(b[4] % 4), N: uint64(b[5] % 8)},
+			Edge: id.AgentEdge{
+				From: id.Agent{Txn: id.Txn(b[2] % 8), Site: id.Site(b[2] / 16 % 4)},
+				To:   id.Agent{Txn: id.Txn(b[3] % 8), Site: id.Site(b[3] / 16 % 4)},
+			},
+		}
+	case 8:
+		return msg.CtrlAbort{Txn: id.Txn(b[2] % 8)}
+	case 9:
+		return msg.BaselineReport{Site: id.Site(b[2] % 4)}
+	case 10:
+		return msg.BaselineDecision{Deadlocked: []id.Txn{id.Txn(b[2] % 8)}}
+	case 11:
+		return msg.CommWork{}
+	case 12:
+		return msg.CommQuery{Init: id.Proc(b[2] % 5), Seq: uint64(b[3])}
+	case 13:
+		return msg.CommReply{Init: id.Proc(b[2] % 5), Seq: uint64(b[3])}
+	case 14:
+		return alienFrame{}
+	default:
+		return nil // a decoder bug's worst-case product
+	}
+}
+
+func FuzzEnvelopeIngress(f *testing.F) {
+	// One op per frame kind, plus mixed streams aimed at the primed
+	// state (the committed corpus under testdata/fuzz extends these).
+	for k := byte(0); k < 16; k++ {
+		f.Add([]byte{k, 0, 1, 1, 2, 0})
+	}
+	f.Add([]byte{
+		4, 0, 1, 1, 2, 1, // CtrlAcquire txn 1 r1 — duplicate of the held lock
+		1, 1, 0, 0, 0, 0, // Reply from 1 — latched, legitimately unblocks one edge
+		1, 1, 0, 0, 0, 0, // Reply from 1 again — stray, must be rejected
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		proc := primedProcess(t)
+		ctrl := primedController(t)
+		for i := 0; i+6 <= len(data); i += 6 {
+			op := data[i : i+6]
+			frame := frameFromOp(op)
+			injectBoth(t, proc, ctrl, transport.NodeID(op[1]), frame)
+		}
+	})
+}
+
+// injectBoth delivers one envelope to each engine and holds it to the
+// reject-before-mutate contract. Processes are addressed mod 5 and
+// sites mod 4 so every sender byte can also collide with the receiver's
+// own identity (the self-addressed rejection).
+func injectBoth(t *testing.T, proc *core.Process, ctrl *ddb.Controller, from transport.NodeID, frame msg.Message) {
+	t.Helper()
+	checkIngress(t, "core", from%5, frame,
+		proc.Snapshot, func() uint64 { return proc.Stats().ProtocolErrors },
+		func(sender transport.NodeID) { proc.HandleMessage(sender, frame) })
+	checkIngress(t, "ddb", from%4, frame,
+		ctrl.Snapshot, func() uint64 { return ctrl.Stats().ProtocolErrors },
+		func(sender transport.NodeID) { ctrl.HandleMessage(sender, frame) })
+}
+
+func checkIngress(t *testing.T, engine string, sender transport.NodeID, frame msg.Message,
+	snapshot func() string, protocolErrors func() uint64, deliver func(transport.NodeID)) {
+	t.Helper()
+	before, errsBefore := snapshot(), protocolErrors()
+	deliver(sender)
+	after, errsAfter := snapshot(), protocolErrors()
+	if errsAfter > errsBefore && after != before {
+		t.Fatalf("%s: rejected frame %T from %v mutated state:\nbefore %s\nafter  %s",
+			engine, frame, sender, before, after)
+	}
+}

@@ -1,0 +1,225 @@
+package core_test
+
+// Validated-ingress tests: every frame a conforming peer could never
+// have sent must be dropped, counted, and reported — never panic, never
+// mutate protocol state. Frames are injected through HandleMessage
+// directly, exactly as a transport would deliver a decoded envelope.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// sinkNet is a Transport that swallows every send; handlers are driven
+// by hand in these tests.
+type sinkNet struct{ sent int }
+
+func (s *sinkNet) Register(transport.NodeID, transport.Handler) {}
+func (s *sinkNet) Send(_, _ transport.NodeID, _ msg.Message)    { s.sent++ }
+
+// alienMsg is a message type outside the msg taxonomy entirely.
+type alienMsg struct{}
+
+func (alienMsg) Kind() msg.Kind { return msg.Kind(999) }
+
+// newIngressProc builds one manually driven process on a sink transport
+// and collects its rejections.
+func newIngressProc(t *testing.T, pid id.Proc) (*core.Process, *[]core.ProtocolError) {
+	t.Helper()
+	var rejected []core.ProtocolError
+	p, err := core.NewProcess(core.Config{
+		ID:              pid,
+		Transport:       &sinkNet{},
+		Policy:          core.InitiateManually,
+		OnProtocolError: func(e core.ProtocolError) { rejected = append(rejected, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, &rejected
+}
+
+// expectReject asserts that delivering m from sender is rejected with
+// the given reason and leaves the process's protocol state untouched.
+func expectReject(t *testing.T, p *core.Process, rejected *[]core.ProtocolError, sender id.Proc, m msg.Message, want core.ProtocolErrorReason) {
+	t.Helper()
+	before := p.Snapshot()
+	errsBefore := p.Stats().ProtocolErrors
+	seen := len(*rejected)
+	p.HandleMessage(transport.NodeID(sender), m)
+	if after := p.Snapshot(); after != before {
+		t.Fatalf("rejected frame mutated state:\nbefore %s\nafter  %s", before, after)
+	}
+	if got := p.Stats().ProtocolErrors; got != errsBefore+1 {
+		t.Fatalf("ProtocolErrors = %d, want %d", got, errsBefore+1)
+	}
+	if len(*rejected) != seen+1 {
+		t.Fatalf("OnProtocolError fired %d times, want %d", len(*rejected)-seen, 1)
+	}
+	e := (*rejected)[len(*rejected)-1]
+	if e.Reason != want {
+		t.Fatalf("rejection reason = %v, want %v", e.Reason, want)
+	}
+	if e.Proc != p.ID() || e.From != sender {
+		t.Fatalf("rejection addressed %v<-%v, want %v<-%v", e.Proc, e.From, p.ID(), sender)
+	}
+}
+
+func TestStrayReplyRejected(t *testing.T) {
+	p, rejected := newIngressProc(t, 0)
+	// No outstanding request to 1: a reply is stray.
+	expectReject(t, p, rejected, 1, msg.Reply{}, core.ReasonStrayReply)
+	// A second stray reply is rejected again, not latched.
+	expectReject(t, p, rejected, 1, msg.Reply{}, core.ReasonStrayReply)
+}
+
+func TestDuplicateRequestRejected(t *testing.T) {
+	p, rejected := newIngressProc(t, 0)
+	p.HandleMessage(transport.NodeID(1), msg.Request{}) // legitimate
+	if got := p.PendingIn(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PendingIn = %v, want [1]", got)
+	}
+	// Same edge again before the reply: G1 violation.
+	expectReject(t, p, rejected, 1, msg.Request{}, core.ReasonDuplicateRequest)
+}
+
+func TestForgedProbeTagRejected(t *testing.T) {
+	p, rejected := newIngressProc(t, 0)
+	// Make the probe meaningful: an unanswered incoming request from 1,
+	// and block on 2 so the process could legitimately be mid-cycle.
+	p.HandleMessage(transport.NodeID(1), msg.Request{})
+	if err := p.Request(2); err != nil {
+		t.Fatal(err)
+	}
+	// Tag claims this process initiated computation 7; it never started
+	// any, so nextN has never reached 7.
+	forged := id.Tag{Initiator: 0, N: 7}
+	expectReject(t, p, rejected, 1, msg.Probe{Tag: forged}, core.ReasonForgedProbeTag)
+	if _, dead := p.Deadlocked(); dead {
+		t.Fatal("forged probe tag caused a false declaration")
+	}
+}
+
+func TestSelfAddressedFrameRejected(t *testing.T) {
+	p, rejected := newIngressProc(t, 3)
+	expectReject(t, p, rejected, 3, msg.Request{}, core.ReasonSelfAddressed)
+	expectReject(t, p, rejected, 3, msg.Probe{Tag: id.Tag{Initiator: 3, N: 1}}, core.ReasonSelfAddressed)
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	p, rejected := newIngressProc(t, 0)
+	// A DDB control frame leaking into the basic model...
+	expectReject(t, p, rejected, 1, msg.CtrlAbort{Txn: 1}, core.ReasonUnknownType)
+	// ...and a type outside the taxonomy altogether.
+	expectReject(t, p, rejected, 1, alienMsg{}, core.ReasonUnknownType)
+}
+
+func TestRejectionWithoutCallbackStillCounts(t *testing.T) {
+	p, err := core.NewProcess(core.Config{ID: 0, Transport: &sinkNet{}, Policy: core.InitiateManually})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.HandleMessage(transport.NodeID(1), msg.Reply{})
+	if got := p.Stats().ProtocolErrors; got != 1 {
+		t.Fatalf("ProtocolErrors = %d, want 1", got)
+	}
+}
+
+// TestDelayTimerIgnoresReplacedEdge is the §4.3 stale-timer regression:
+// an edge granted and re-requested inside the delay window T must not
+// inherit the old instance's timer — the new instance has not existed
+// continuously for T, and initiating early breaks the "blocked for at
+// least T" premise of the delayed-initiation policy.
+func TestDelayTimerIgnoresReplacedEdge(t *testing.T) {
+	const (
+		latency = sim.Millisecond
+		delay   = 10 * sim.Millisecond
+	)
+	sched := sim.New(1)
+	net := transport.NewSimNet(sched, transport.FixedLatency(latency))
+	mk := func(pid id.Proc) *core.Process {
+		p, err := core.NewProcess(core.Config{
+			ID:        pid,
+			Transport: net,
+			Policy:    core.InitiateAfterDelay,
+			Delay:     int64(delay),
+			Timers:    workload.SimTimers{Sched: sched},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p0, p1 := mk(0), mk(1)
+
+	// t=0: first edge instance 0->1; its timer arms for t=10ms.
+	if err := p0.Request(1); err != nil {
+		t.Fatal(err)
+	}
+	// t=2ms: the request has arrived; grant it.
+	sched.RunUntil(sim.Time(2 * sim.Millisecond))
+	if _, err := p1.GrantAll(); err != nil {
+		t.Fatal(err)
+	}
+	// t=4ms: the reply has arrived; re-request the same edge. The second
+	// instance's own timer arms for t=14ms.
+	sched.RunUntil(sim.Time(4 * sim.Millisecond))
+	if p0.Blocked() {
+		t.Fatal("test premise broken: reply not yet processed")
+	}
+	if err := p0.Request(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=12ms: the FIRST timer has fired (t=10ms) while 1 ∈ waitingFor —
+	// but for a younger edge instance, so no probe may start.
+	sched.RunUntil(sim.Time(12 * sim.Millisecond))
+	if got := p0.Stats().Computations; got != 0 {
+		t.Fatalf("stale timer initiated: Computations = %d at t=12ms, want 0", got)
+	}
+
+	// t=15ms: the second instance has now existed for T; its own timer
+	// (t=14ms) initiates exactly one computation.
+	sched.RunUntil(sim.Time(15 * sim.Millisecond))
+	if got := p0.Stats().Computations; got != 1 {
+		t.Fatalf("Computations = %d at t=15ms, want 1", got)
+	}
+}
+
+// TestDelayTimerGoneEdgeStillSilent: an edge granted and NOT
+// re-requested must stay silent past T (the pre-existing membership
+// check).
+func TestDelayTimerGoneEdgeStillSilent(t *testing.T) {
+	sched := sim.New(1)
+	net := transport.NewSimNet(sched, transport.FixedLatency(sim.Millisecond))
+	p0, err := core.NewProcess(core.Config{
+		ID: 0, Transport: net,
+		Policy: core.InitiateAfterDelay,
+		Delay:  int64(10 * sim.Millisecond),
+		Timers: workload.SimTimers{Sched: sched},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := core.NewProcess(core.Config{ID: 1, Transport: net, Policy: core.InitiateManually})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p0.Request(1); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(2 * sim.Millisecond))
+	if _, err := p1.GrantAll(); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if got := p0.Stats().Computations; got != 0 {
+		t.Fatalf("timer for a granted edge initiated: Computations = %d, want 0", got)
+	}
+}

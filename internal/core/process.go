@@ -70,6 +70,10 @@ type Config struct {
 	// OnWFGD is called whenever the process's permanent-black-path set
 	// S grows (§5); edges is the updated full set.
 	OnWFGD func(edges []id.Edge)
+	// OnProtocolError is called after an ingress frame was rejected by
+	// the validation layer (dropped and counted, never applied). nil
+	// ignores rejections; they remain visible in Stats.ProtocolErrors.
+	OnProtocolError func(ProtocolError)
 }
 
 // Process is one vertex of the basic model. All methods are safe for
@@ -83,6 +87,13 @@ type Process struct {
 	// requested and not yet been answered by (P3: existence is local
 	// knowledge, colour is not).
 	waitingFor map[id.Proc]struct{}
+	// edgeInstance counts, per target, how many times the outgoing edge
+	// to that target has been created. The §4.3 delay timer captures the
+	// instance at creation so that a timer armed for an edge that was
+	// granted and re-requested inside the delay window cannot initiate a
+	// probe on behalf of the newer edge instance (which has not yet
+	// existed continuously for T).
+	edgeInstance map[id.Proc]uint64
 	// pendingIn is the set of incoming black edges: processes whose
 	// requests this one has received and not yet answered (P3).
 	pendingIn map[id.Proc]struct{}
@@ -112,6 +123,7 @@ type Process struct {
 	probesMeaningful uint64
 	probesDiscarded  uint64
 	computations     uint64
+	protocolErrors   uint64
 }
 
 // NewProcess creates a process and registers it on its transport.
@@ -131,12 +143,13 @@ func NewProcess(cfg Config) (*Process, error) {
 		}
 	}
 	p := &Process{
-		cfg:        cfg,
-		waitingFor: make(map[id.Proc]struct{}),
-		pendingIn:  make(map[id.Proc]struct{}),
-		latest:     make(map[id.Proc]uint64),
-		blackPaths: make(map[id.Edge]struct{}),
-		sentWFGD:   make(map[id.Proc]map[string]struct{}),
+		cfg:          cfg,
+		waitingFor:   make(map[id.Proc]struct{}),
+		edgeInstance: make(map[id.Proc]uint64),
+		pendingIn:    make(map[id.Proc]struct{}),
+		latest:       make(map[id.Proc]uint64),
+		blackPaths:   make(map[id.Edge]struct{}),
+		sentWFGD:     make(map[id.Proc]map[string]struct{}),
 	}
 	cfg.Transport.Register(transport.NodeID(cfg.ID), p)
 	return p, nil
@@ -164,21 +177,25 @@ func (p *Process) Request(targets ...id.Proc) error {
 	}
 	for _, t := range targets {
 		p.waitingFor[t] = struct{}{}
+		p.edgeInstance[t]++
 		p.send(t, msg.Request{})
 	}
 	switch p.cfg.Policy {
 	case InitiateOnBlock:
 		p.startProbeLocked()
 	case InitiateAfterDelay:
-		// One timer per added edge: initiate only if that edge has
-		// existed continuously for T (§4.3). Edge deletion is the only
-		// way out of waitingFor, and edges are never re-added while
-		// present, so membership after T implies continuous existence.
+		// One timer per added edge: initiate only if that edge instance
+		// has existed continuously for T (§4.3). Membership alone is not
+		// enough — the edge may have been granted and re-requested
+		// inside the window, in which case the current instance is
+		// younger than T — so the timer also checks the instance counter
+		// captured at creation.
 		for _, t := range targets {
 			target := t
+			instance := p.edgeInstance[target]
 			p.cfg.Timers.After(p.cfg.Delay, func() {
 				p.mu.Lock()
-				if _, still := p.waitingFor[target]; still {
+				if _, still := p.waitingFor[target]; still && p.edgeInstance[target] == instance {
 					p.startProbeLocked()
 				}
 				p.mu.Unlock()
@@ -255,13 +272,34 @@ func (p *Process) startProbeLocked() (id.Tag, bool) {
 // HandleMessage implements transport.Handler. Each invocation is one
 // atomic step in the paper's sense: the transport serializes deliveries
 // to a node, and the lock excludes concurrent application calls.
+//
+// Every frame is validated against local protocol state before it is
+// applied. A frame a conforming peer could never have sent — a stray
+// reply, a duplicate request, a probe ahead of its own initiator, a
+// self-addressed or unknown-typed message — is dropped, counted, and
+// reported through OnProtocolError; it never panics and never mutates
+// state, so a remote peer cannot crash or corrupt the detection plane.
 func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 	sender := id.Proc(from)
 	var after []func() // callbacks deferred past the critical section
 
 	p.mu.Lock()
+	if sender == p.cfg.ID {
+		after = p.rejectLocked(sender, kindOf(m), ReasonSelfAddressed,
+			fmt.Sprintf("frame of type %T claims this process as its sender", m), after)
+		p.mu.Unlock()
+		runAfter(after)
+		return
+	}
 	switch mm := m.(type) {
 	case msg.Request:
+		if _, dup := p.pendingIn[sender]; dup {
+			// G1 forbids re-requesting an existing edge, so a second
+			// request before our reply is duplicated or forged.
+			after = p.rejectLocked(sender, mm.Kind(), ReasonDuplicateRequest,
+				"request while the previous one is still unanswered", after)
+			break
+		}
 		// The incoming edge (sender, me) just turned black (G2).
 		p.pendingIn[sender] = struct{}{}
 		// §5 "thereafter sends M": a predecessor that blocks on an
@@ -276,11 +314,12 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 		}
 
 	case msg.Reply:
-		// The outgoing edge (me, sender) just disappeared (G4).
 		if _, ok := p.waitingFor[sender]; !ok {
-			p.mu.Unlock()
-			panic(fmt.Sprintf("process %v: reply from %v without outstanding request", p.cfg.ID, sender))
+			after = p.rejectLocked(sender, mm.Kind(), ReasonStrayReply,
+				"reply without an outstanding request", after)
+			break
 		}
+		// The outgoing edge (me, sender) just disappeared (G4).
 		delete(p.waitingFor, sender)
 		if len(p.waitingFor) == 0 {
 			if cb := p.cfg.OnActive; cb != nil {
@@ -295,12 +334,17 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 		after = p.handleWFGDLocked(sender, mm, after)
 
 	default:
-		p.mu.Unlock()
-		panic(fmt.Sprintf("process %v: unexpected message %T", p.cfg.ID, m))
+		after = p.rejectLocked(sender, kindOf(m), ReasonUnknownType,
+			fmt.Sprintf("message type %T is not part of the basic model", m), after)
 	}
 	p.mu.Unlock()
 
-	for _, fn := range after {
+	runAfter(after)
+}
+
+// runAfter executes callbacks deferred past a critical section.
+func runAfter(fns []func()) {
+	for _, fn := range fns {
 		fn()
 	}
 }
@@ -314,14 +358,17 @@ func (p *Process) handleProbeLocked(sender id.Proc, tag id.Tag, after []func()) 
 		p.probesDiscarded++
 		return after
 	}
+	if tag.Initiator == p.cfg.ID && tag.N > p.nextN {
+		// Only a forged frame can carry our initiator id with a
+		// computation number we never issued.
+		return p.rejectLocked(sender, msg.Probe{}.Kind(), ReasonForgedProbeTag,
+			fmt.Sprintf("probe for computation %v never initiated here", tag), after)
+	}
 	p.probesMeaningful++
 
 	if tag.Initiator == p.cfg.ID {
 		// Step A1: the initiator received a meaningful probe of its own
 		// computation — by Theorem 2 it is on a black cycle right now.
-		if tag.N > p.nextN {
-			panic(fmt.Sprintf("process %v: probe for computation %v never initiated", p.cfg.ID, tag))
-		}
 		if !p.deadlocked {
 			p.deadlocked = true
 			p.declaredTag = tag
@@ -473,6 +520,7 @@ func (p *Process) Stats() Stats {
 		ProbesMeaningful: p.probesMeaningful,
 		ProbesDiscarded:  p.probesDiscarded,
 		Computations:     p.computations,
+		ProtocolErrors:   p.protocolErrors,
 	}
 }
 
@@ -482,6 +530,9 @@ type Stats struct {
 	ProbesMeaningful uint64
 	ProbesDiscarded  uint64
 	Computations     uint64
+	// ProtocolErrors counts ingress frames rejected by the validation
+	// layer (see ProtocolError).
+	ProtocolErrors uint64
 }
 
 func sortedProcs(s map[id.Proc]struct{}) []id.Proc {

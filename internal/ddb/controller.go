@@ -131,6 +131,10 @@ type Config struct {
 	// timeout baseline hangs off these.
 	OnWaitStart func(agent id.Agent)
 	OnWaitEnd   func(agent id.Agent)
+	// OnProtocolError fires (outside the controller lock) for every
+	// ingress frame the controller rejected as invalid against its local
+	// protocol state. The frame has already been dropped and counted.
+	OnProtocolError func(ProtocolError)
 }
 
 // agentState is the per-site process (Ti, Sj) of §6.2.
@@ -191,6 +195,7 @@ type Controller struct {
 	declaredRemote uint64
 	commits        uint64
 	aborts         uint64
+	protocolErrors uint64
 }
 
 // NewController creates a controller and registers it on the transport.
@@ -492,6 +497,14 @@ func (c *Controller) HandleMessage(from transport.NodeID, m msg.Message) {
 	sender := id.Site(from)
 	var after []func()
 	c.mu.Lock()
+	if sender == c.cfg.Site {
+		// Controllers never message themselves: local work stays local.
+		after = c.rejectLocked(sender, kindOf(m), ReasonSelfAddressed,
+			fmt.Sprintf("frame of type %T claims this controller as its sender", m), after)
+		c.mu.Unlock()
+		runAll(after)
+		return
+	}
 	switch mm := m.(type) {
 	case msg.CtrlAcquire:
 		after = c.handleAcquireLocked(sender, mm, after)
@@ -506,8 +519,8 @@ func (c *Controller) HandleMessage(from transport.NodeID, m msg.Message) {
 			after = c.abortLocked(ts, after)
 		}
 	default:
-		c.mu.Unlock()
-		panic(fmt.Sprintf("controller %v: unexpected message %T", c.cfg.Site, m))
+		after = c.rejectLocked(sender, kindOf(m), ReasonUnknownType,
+			fmt.Sprintf("message of type %T is not part of the DDB protocol", m), after)
 	}
 	c.mu.Unlock()
 	runAll(after)
@@ -517,38 +530,51 @@ func (c *Controller) HandleMessage(from transport.NodeID, m msg.Message) {
 // inter-controller edge turns black on receipt (G4 of the DDB axioms).
 // Caller holds c.mu.
 func (c *Controller) handleAcquireLocked(from id.Site, m msg.CtrlAcquire, after []func()) []func() {
+	// Validate the frame against local state before touching anything, so
+	// a rejected frame leaves the controller exactly as it was.
 	a, ok := c.agents[m.Txn]
+	if ok && (a.home != from || a.inc != m.Inc) {
+		// A fresh incarnation after abort: the old one's release arrives
+		// first on the FIFO link, so by the time the new acquire shows up
+		// the old agent holds nothing and waits for nothing and can be
+		// replaced outright. Anything else — including an acquire naming
+		// a transaction homed at this very site — is a duplicated or
+		// forged frame.
+		if len(a.held) != 0 || a.hasWaiting || a.home == c.cfg.Site {
+			return c.rejectLocked(from, m.Kind(), ReasonIncarnationClash,
+				fmt.Sprintf("acquire of %v for %v inc %d clashes with live agent (home %v, inc %d)",
+					m.Resource, m.Txn, m.Inc, a.home, a.inc), after)
+		}
+	}
+	if ok && a.hasWaiting {
+		// §6.2 transactions request one resource at a time; the home
+		// controller never sends a second acquire while one is pending.
+		return c.rejectLocked(from, m.Kind(), ReasonDuplicateAcquire,
+			fmt.Sprintf("acquire of %v for %v while its agent still waits for %v",
+				m.Resource, m.Txn, a.waiting), after)
+	}
+	granted, err := c.locks.acquire(m.Resource, m.Txn, m.Mode)
+	if err != nil {
+		// Re-entrant acquire of a held resource, or a double queue entry.
+		return c.rejectLocked(from, m.Kind(), ReasonDuplicateAcquire,
+			fmt.Sprintf("acquire of %v for %v: %v", m.Resource, m.Txn, err), after)
+	}
 	if !ok {
 		a = &agentState{
 			txn:  m.Txn,
-			home: from,
-			inc:  m.Inc,
 			held: make(map[id.Resource]msg.LockMode),
 		}
 		c.agents[m.Txn] = a
 	}
-	if a.home != from || a.inc != m.Inc {
-		// A fresh incarnation after abort: the old one's release
-		// arrives first on the FIFO link, so a mismatch means the old
-		// agent held nothing and can be replaced outright.
-		if len(a.held) != 0 || a.hasWaiting {
-			panic(fmt.Sprintf("controller %v: incarnation clash for %v", c.cfg.Site, m.Txn))
-		}
-		a.home = from
-		a.inc = m.Inc
-	}
-	a.pendingAck = m.Resource
-	a.hasPendingAck = true
-	granted, err := c.locks.acquire(m.Resource, m.Txn, m.Mode)
-	if err != nil {
-		panic(fmt.Sprintf("controller %v: remote acquire: %v", c.cfg.Site, err))
-	}
+	a.home = from
+	a.inc = m.Inc
 	if granted {
 		a.held[m.Resource] = m.Mode
-		a.hasPendingAck = false
 		c.send(from, msg.CtrlGranted{Txn: m.Txn, Resource: m.Resource, Inc: m.Inc})
 		return after
 	}
+	a.pendingAck = m.Resource
+	a.hasPendingAck = true
 	a.waiting = m.Resource
 	a.waitingMode = m.Mode
 	a.hasWaiting = true
@@ -657,6 +683,7 @@ func (c *Controller) Stats() ControllerStats {
 		DeclaredRemote: c.declaredRemote,
 		Commits:        c.commits,
 		Aborts:         c.aborts,
+		ProtocolErrors: c.protocolErrors,
 	}
 }
 
@@ -669,6 +696,9 @@ type ControllerStats struct {
 	DeclaredRemote uint64
 	Commits        uint64
 	Aborts         uint64
+	// ProtocolErrors counts ingress frames rejected by the validated
+	// ingress layer (see ingress.go).
+	ProtocolErrors uint64
 }
 
 func runAll(fns []func()) {

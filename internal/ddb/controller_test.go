@@ -174,16 +174,18 @@ func TestProbeForMissingOwnComputationDropped(t *testing.T) {
 	}
 }
 
-func TestMisroutedProbePanics(t *testing.T) {
+func TestMisroutedProbeRejected(t *testing.T) {
 	sched, ctrls := harness(t, 2)
 	edge := id.AgentEdge{From: id.Agent{Txn: 0, Site: 0}, To: id.Agent{Txn: 0, Site: 7}}
 	ctrls[0].send(1, msg.CtrlProbe{Tag: id.CtrlTag{Initiator: 0, N: 1}, Edge: edge})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("misrouted probe did not panic")
-		}
-	}()
 	sched.RunUntil(sim.Time(5 * sim.Millisecond))
+	st := ctrls[1].Stats()
+	if st.ProtocolErrors != 1 {
+		t.Fatalf("ProtocolErrors = %d, want 1 (misrouted probe dropped)", st.ProtocolErrors)
+	}
+	if st.ProbesDropped != 0 {
+		t.Fatalf("ProbesDropped = %d, want 0 (rejection is not a meaningful-check drop)", st.ProbesDropped)
+	}
 }
 
 func TestOracleExcludesWhiteAcquisitionEdges(t *testing.T) {

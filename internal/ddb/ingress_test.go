@@ -1,0 +1,140 @@
+package ddb
+
+// Validated-ingress tests for the DDB controller: frames a conforming
+// peer controller could never have sent are dropped, counted, and
+// reported — never panic, never mutate controller state.
+
+import (
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// alienCtrlMsg is a message type outside the msg taxonomy entirely.
+type alienCtrlMsg struct{}
+
+func (alienCtrlMsg) Kind() msg.Kind { return msg.Kind(998) }
+
+// expectCtrlReject injects m into c as if sent by from and asserts the
+// frame is rejected without touching the controller's algorithmic state.
+func expectCtrlReject(t *testing.T, c *Controller, from id.Site, m msg.Message, want ProtocolErrorReason) {
+	t.Helper()
+	before := c.Snapshot()
+	errsBefore := c.Stats().ProtocolErrors
+	c.HandleMessage(transport.NodeID(from), m)
+	if after := c.Snapshot(); after != before {
+		t.Fatalf("rejected frame mutated state:\nbefore %s\nafter  %s", before, after)
+	}
+	if got := c.Stats().ProtocolErrors; got != errsBefore+1 {
+		t.Fatalf("ProtocolErrors = %d, want %d", got, errsBefore+1)
+	}
+}
+
+// holdRemote drives T0 (home S0, inc 3) to hold r1 at S1.
+func holdRemote(t *testing.T) (*sim.Scheduler, []*Controller) {
+	t.Helper()
+	sched, ctrls := harness(t, 2)
+	if err := ctrls[0].Submit(0, 3, []LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(10 * sim.Millisecond))
+	ctrls[1].mu.Lock()
+	held := len(ctrls[1].locks.holdersOf(1)) == 1
+	ctrls[1].mu.Unlock()
+	if !held {
+		t.Fatal("test premise broken: remote lock not acquired")
+	}
+	return sched, ctrls
+}
+
+func TestIncarnationClashRejected(t *testing.T) {
+	_, ctrls := holdRemote(t)
+	// A CtrlAcquire naming T0 with a different incarnation while its
+	// agent still holds r1: on a FIFO link the old incarnation's release
+	// always precedes a new acquire, so this frame is forged.
+	expectCtrlReject(t, ctrls[1], 0,
+		msg.CtrlAcquire{Txn: 0, Resource: 1, Mode: msg.LockWrite, Inc: 9},
+		ReasonIncarnationClash)
+	// Same for a claimed different home site.
+	expectCtrlReject(t, ctrls[1], 0,
+		msg.CtrlAcquire{Txn: 0, Resource: 1, Mode: msg.LockWrite, Inc: 3},
+		ReasonDuplicateAcquire) // matching inc, but r1 already held: duplicate
+}
+
+func TestDuplicateAcquireRejected(t *testing.T) {
+	_, ctrls := holdRemote(t)
+	// Exact duplicate of the acquire that succeeded: the lock table
+	// refuses a re-entrant acquire of a held resource.
+	expectCtrlReject(t, ctrls[1], 0,
+		msg.CtrlAcquire{Txn: 0, Resource: 1, Mode: msg.LockWrite, Inc: 3},
+		ReasonDuplicateAcquire)
+}
+
+func TestAcquireWhileWaitingRejected(t *testing.T) {
+	sched, ctrls := holdRemote(t)
+	// T2 (home S0) queues behind T0 on r1 at S1.
+	if err := ctrls[0].Submit(2, 0, []LockStep{{Resource: 1, Mode: msg.LockWrite}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(20 * sim.Millisecond))
+	ctrls[1].mu.Lock()
+	waiting := ctrls[1].agents[2] != nil && ctrls[1].agents[2].hasWaiting
+	ctrls[1].mu.Unlock()
+	if !waiting {
+		t.Fatal("test premise broken: T2 not queued")
+	}
+	// §6.2: one resource at a time — a second acquire while T2's agent
+	// still waits is forged, even for a different resource.
+	expectCtrlReject(t, ctrls[1], 0,
+		msg.CtrlAcquire{Txn: 2, Resource: 3, Mode: msg.LockWrite, Inc: 0},
+		ReasonDuplicateAcquire)
+}
+
+func TestSelfAddressedControllerFrameRejected(t *testing.T) {
+	_, ctrls := harness(t, 2)
+	expectCtrlReject(t, ctrls[1], 1,
+		msg.CtrlAcquire{Txn: 4, Resource: 1, Mode: msg.LockWrite, Inc: 0},
+		ReasonSelfAddressed)
+}
+
+func TestUnknownTypeRejectedByController(t *testing.T) {
+	_, ctrls := harness(t, 2)
+	// A basic-model frame leaking into the DDB plane...
+	expectCtrlReject(t, ctrls[1], 0, msg.Request{}, ReasonUnknownType)
+	// ...and a type outside the taxonomy altogether.
+	expectCtrlReject(t, ctrls[1], 0, alienCtrlMsg{}, ReasonUnknownType)
+}
+
+func TestOnProtocolErrorCallback(t *testing.T) {
+	sched := sim.New(1)
+	net := transport.NewSimNet(sched, transport.FixedLatency(sim.Millisecond))
+	var got []ProtocolError
+	c, err := NewController(Config{
+		Site:            1,
+		Transport:       net,
+		Timers:          simTimers{sched: sched},
+		ResourceHome:    func(r id.Resource) id.Site { return id.Site(int(r) % 2) },
+		Mode:            InitiateManual,
+		OnProtocolError: func(e ProtocolError) { got = append(got, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HandleMessage(transport.NodeID(0), msg.CtrlProbe{
+		Tag:  id.CtrlTag{Initiator: 0, N: 1},
+		Edge: id.AgentEdge{From: id.Agent{Txn: 0, Site: 0}, To: id.Agent{Txn: 0, Site: 7}},
+	})
+	if len(got) != 1 {
+		t.Fatalf("OnProtocolError fired %d times, want 1", len(got))
+	}
+	e := got[0]
+	if e.Reason != ReasonMisroutedProbe || e.Site != 1 || e.From != 0 || e.Kind != msg.KindCtrlProbe {
+		t.Fatalf("unexpected rejection %+v", e)
+	}
+	if e.Error() == "" || e.Reason.String() != "misrouted-probe" {
+		t.Fatalf("bad rendering: %q / %q", e.Error(), e.Reason.String())
+	}
+}

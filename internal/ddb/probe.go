@@ -133,9 +133,13 @@ func (c *Controller) sendProbesLocked(comp *probeComp, newly []id.Txn) {
 }
 
 // handleProbeLocked implements steps A1 and A2. Caller holds c.mu.
-func (c *Controller) handleProbeLocked(_ id.Site, m msg.CtrlProbe, after []func()) []func() {
+func (c *Controller) handleProbeLocked(from id.Site, m msg.CtrlProbe, after []func()) []func() {
 	if m.Edge.To.Site != c.cfg.Site {
-		panic(fmt.Sprintf("controller %v: probe for %v misrouted", c.cfg.Site, m.Edge.To))
+		// A conforming controller sends a probe only along an edge to the
+		// edge's destination site (sendProbesLocked), so this frame was
+		// forged or misrouted.
+		return c.rejectLocked(from, m.Kind(), ReasonMisroutedProbe,
+			fmt.Sprintf("probe along %v -> %v does not end at this site", m.Edge.From, m.Edge.To), after)
 	}
 	if !c.meaningfulLocked(m.Edge) {
 		c.probesDropped++

@@ -251,7 +251,7 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 12 {
-		t.Fatalf("expected 12 experiments, have %d", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("expected 13 experiments, have %d", len(ids))
 	}
 }

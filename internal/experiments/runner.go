@@ -116,6 +116,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E13",
+			Claim: "hardened ingress: write batching multiplies frames per flush; forged frames are dropped, not fatal",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E13IngressThroughput(nil)
+				return r, t, err
+			},
+		},
 	}
 }
 

@@ -18,5 +18,9 @@ func TCPStatsTable(s transport.TCPStats) string {
 	t.AddRow("frames replayed", s.Replayed)
 	t.AddRow("frames deduplicated", s.Duplicates)
 	t.AddRow("frames resequenced", s.Resequenced)
+	t.AddRow("frames written", s.FramesWritten)
+	t.AddRow("stream flushes", s.Flushes)
+	t.AddRow("backpressure engaged", s.BackpressureEngaged)
+	t.AddRow("mailbox peak depth", s.MailboxPeak)
 	return t.String()
 }

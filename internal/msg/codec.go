@@ -63,14 +63,33 @@ func NewEncoder(w io.Writer) *Encoder {
 
 // Encode writes one envelope and flushes it to the underlying stream.
 func (e *Encoder) Encode(env Envelope) error {
+	if err := e.EncodeBuffered(env); err != nil {
+		return err
+	}
+	return e.Flush()
+}
+
+// EncodeBuffered writes one envelope into the encoder's buffer without
+// flushing, so a sender can coalesce a batch of envelopes into a single
+// Flush (one syscall instead of one per frame). The buffer may still
+// spill to the stream mid-batch once it fills; callers must therefore
+// treat any batch whose Flush did not succeed as wholly unconfirmed and
+// re-send it on a fresh connection (the TCP transport's replay/dedup
+// protocol makes that retransmission safe).
+func (e *Encoder) EncodeBuffered(env Envelope) error {
 	if env.Msg == nil {
 		return fmt.Errorf("encode envelope %d->%d: nil message", env.From, env.To)
 	}
 	if err := e.enc.Encode(env); err != nil {
 		return fmt.Errorf("encode envelope: %w", err)
 	}
+	return nil
+}
+
+// Flush pushes every buffered envelope to the underlying stream.
+func (e *Encoder) Flush() error {
 	if err := e.bw.Flush(); err != nil {
-		return fmt.Errorf("flush envelope: %w", err)
+		return fmt.Errorf("flush envelopes: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,182 @@
+package transport_test
+
+// Tests for write-side frame batching and the mailbox backpressure
+// signal as observed through the public TCP surface.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// idTag builds a probe tag carrying n as the computation number, which
+// the batching tests use as a per-frame ordinal.
+func idTag(n uint64) id.Tag { return id.Tag{Initiator: 1, N: n} }
+
+// pollUntil polls cond until it holds or the deadline passes.
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// sendBurst sends n sequenced probes 1->2 on net_ and waits for the
+// recorder to see them all, returning the received computation numbers.
+func sendBurst(t *testing.T, net_ *transport.TCP, n int) []uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	var got []uint64
+	net_.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	net_.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) {
+		mu.Lock()
+		got = append(got, m.(msg.Probe).Tag.N)
+		mu.Unlock()
+	}))
+	for i := 0; i < n; i++ {
+		net_.Send(1, 2, msg.Probe{Tag: idTag(uint64(i + 1))})
+	}
+	pollUntil(t, "burst delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]uint64(nil), got...)
+}
+
+func TestBatchedWritesPreserveFIFO(t *testing.T) {
+	const n = 5000
+	net_ := transport.NewTCPWithOptions(transport.TCPOptions{MaxBatch: 64})
+	defer net_.Close()
+	got := sendBurst(t, net_, n)
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("frame %d carried N=%d, want %d (batching broke FIFO)", i, v, i+1)
+		}
+	}
+	st := net_.Stats()
+	if st.FramesWritten != n {
+		t.Fatalf("FramesWritten = %d, want %d", st.FramesWritten, n)
+	}
+	if st.Flushes >= st.FramesWritten {
+		t.Fatalf("Flushes = %d >= FramesWritten = %d: no coalescing happened", st.Flushes, st.FramesWritten)
+	}
+}
+
+func TestMaxBatchOneFlushesPerFrame(t *testing.T) {
+	const n = 200
+	net_ := transport.NewTCPWithOptions(transport.TCPOptions{MaxBatch: 1})
+	defer net_.Close()
+	got := sendBurst(t, net_, n)
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("frame %d carried N=%d, want %d", i, v, i+1)
+		}
+	}
+	st := net_.Stats()
+	if st.FramesWritten != n || st.Flushes != n {
+		t.Fatalf("FramesWritten/Flushes = %d/%d, want %d/%d (MaxBatch=1 is per-frame)",
+			st.FramesWritten, st.Flushes, n, n)
+	}
+}
+
+func TestBatchingSurvivesConnectionDrop(t *testing.T) {
+	// Frames written in batches across a forced connection drop must
+	// still arrive exactly once, in order (replay + dedup under
+	// batching).
+	const n = 2000
+	errs := &errList{}
+	o := fastRetry(errs)
+	o.MaxBatch = 32
+	net_ := transport.NewTCPWithOptions(o)
+	defer net_.Close()
+
+	var mu sync.Mutex
+	var got []uint64
+	net_.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	net_.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) {
+		mu.Lock()
+		got = append(got, m.(msg.Probe).Tag.N)
+		mu.Unlock()
+	}))
+	for i := 0; i < n; i++ {
+		net_.Send(1, 2, msg.Probe{Tag: idTag(uint64(i + 1))})
+		if i == n/2 {
+			net_.DropConnections()
+		}
+	}
+	pollUntil(t, "all frames after drop", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("frame %d carried N=%d, want %d (drop broke exactly-once FIFO)", i, v, i+1)
+		}
+	}
+}
+
+func TestMailboxBackpressureSurfacesInStatsAndEvents(t *testing.T) {
+	const highWater = 64
+	var emu sync.Mutex
+	events := map[transport.ConnEventKind]int{}
+	o := transport.TCPOptions{
+		MailboxHighWater: highWater,
+		OnConnEvent: func(e transport.ConnEvent) {
+			emu.Lock()
+			events[e.Kind]++
+			emu.Unlock()
+		},
+	}
+	net_ := transport.NewTCPWithOptions(o)
+	defer net_.Close()
+
+	release := make(chan struct{})
+	var mu sync.Mutex
+	seen := 0
+	net_.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	net_.Register(2, transport.HandlerFunc(func(transport.NodeID, msg.Message) {
+		<-release // wedge the receiving node so its mailbox fills
+		mu.Lock()
+		seen++
+		mu.Unlock()
+	}))
+	const n = 4 * highWater
+	for i := 0; i < n; i++ {
+		net_.Send(1, 2, msg.Probe{Tag: idTag(uint64(i + 1))})
+	}
+	pollUntil(t, "backpressure to engage", func() bool {
+		return net_.Stats().BackpressureEngaged >= 1
+	})
+	if peak := net_.Stats().MailboxPeak; peak < highWater {
+		t.Fatalf("MailboxPeak = %d, want >= %d", peak, highWater)
+	}
+	close(release)
+	pollUntil(t, "wedged node to drain", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen == n
+	})
+	emu.Lock()
+	defer emu.Unlock()
+	if events[transport.ConnBackpressureOn] == 0 {
+		t.Fatal("no ConnBackpressureOn event")
+	}
+	if events[transport.ConnBackpressureOff] == 0 {
+		t.Fatal("no ConnBackpressureOff event")
+	}
+}

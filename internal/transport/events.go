@@ -37,16 +37,24 @@ const (
 	// (observed by the link's peer watcher); the link re-dials when
 	// there is traffic or history to replay.
 	ConnPeerClosed
+	// ConnBackpressureOn: a node's ingress mailbox crossed the configured
+	// high watermark — the node is not keeping up with its arrival rate.
+	ConnBackpressureOn
+	// ConnBackpressureOff: the mailbox drained back to half the high
+	// watermark.
+	ConnBackpressureOff
 )
 
 var connEventNames = map[ConnEventKind]string{
-	ConnConnected:    "connected",
-	ConnReconnected:  "reconnected",
-	ConnDialRetry:    "dial-retry",
-	ConnDialDeadline: "dial-deadline",
-	ConnWriteError:   "write-error",
-	ConnReadError:    "read-error",
-	ConnPeerClosed:   "peer-closed",
+	ConnConnected:       "connected",
+	ConnReconnected:     "reconnected",
+	ConnDialRetry:       "dial-retry",
+	ConnDialDeadline:    "dial-deadline",
+	ConnWriteError:      "write-error",
+	ConnReadError:       "read-error",
+	ConnPeerClosed:      "peer-closed",
+	ConnBackpressureOn:  "backpressure-on",
+	ConnBackpressureOff: "backpressure-off",
 }
 
 // String returns the lower-case name of the kind.
@@ -68,6 +76,8 @@ type ConnEvent struct {
 	Addr string
 	// Attempt counts dial attempts within the current connect cycle.
 	Attempt int
+	// Depth is the mailbox depth at a backpressure transition.
+	Depth int
 	// Err describes the failure for error events.
 	Err string
 }
@@ -80,6 +90,9 @@ func (e ConnEvent) String() string {
 	}
 	if e.Attempt > 0 {
 		s += fmt.Sprintf(" attempt=%d", e.Attempt)
+	}
+	if e.Depth > 0 {
+		s += fmt.Sprintf(" depth=%d", e.Depth)
 	}
 	if e.Err != "" {
 		s += ": " + e.Err
@@ -119,6 +132,21 @@ type TCPOptions struct {
 	// OnConnEvent receives connection-lifecycle events. nil ignores
 	// them.
 	OnConnEvent func(ConnEvent)
+	// MaxBatch caps how many queued envelopes a link's sender coalesces
+	// into one buffered encode + single flush. 1 restores per-frame
+	// flushing; batching is safe across connection failures because the
+	// reconnect protocol replays written frames and receivers dedup by
+	// sequence number. Default 64.
+	MaxBatch int
+	// MailboxHighWater, when > 0, arms a backpressure signal on every
+	// registered node's ingress mailbox: crossing this queued-frame depth
+	// emits a ConnBackpressureOn event (and counts in
+	// TCPStats.BackpressureEngaged); draining back to half of it emits
+	// ConnBackpressureOff. The mailbox stays unbounded either way —
+	// refusing delivery would violate the no-loss axiom P4 — the signal
+	// exists so operators see overload instead of silent queue growth.
+	// Default 0 (disabled).
+	MailboxHighWater int
 }
 
 // withDefaults fills unset options.
@@ -131,6 +159,9 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	}
 	if o.RetryMax <= 0 {
 		o.RetryMax = time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
 	}
 	return o
 }
@@ -157,6 +188,15 @@ type TCPStats struct {
 	Replayed    int64
 	Duplicates  int64
 	Resequenced int64
+	// FramesWritten counts envelopes encoded onto connections; Flushes
+	// counts the stream flushes that carried them. With write batching,
+	// FramesWritten/Flushes is the achieved coalescing factor.
+	FramesWritten int64
+	Flushes       int64
+	// BackpressureEngaged counts mailbox high-watermark crossings;
+	// MailboxPeak is the deepest any node's ingress mailbox has been.
+	BackpressureEngaged int64
+	MailboxPeak         int64
 }
 
 // tcpCounters is the atomic backing store for TCPStats.
@@ -164,19 +204,23 @@ type tcpCounters struct {
 	dials, dialRetries, connects, reconnects, dialDeadlines atomic.Int64
 	writeErrors, readErrors                                 atomic.Int64
 	replayed, duplicates, resequenced                       atomic.Int64
+	framesWritten, flushes, backpressure                    atomic.Int64
 }
 
 func (c *tcpCounters) snapshot() TCPStats {
 	return TCPStats{
-		Dials:         c.dials.Load(),
-		DialRetries:   c.dialRetries.Load(),
-		Connects:      c.connects.Load(),
-		Reconnects:    c.reconnects.Load(),
-		DialDeadlines: c.dialDeadlines.Load(),
-		WriteErrors:   c.writeErrors.Load(),
-		ReadErrors:    c.readErrors.Load(),
-		Replayed:      c.replayed.Load(),
-		Duplicates:    c.duplicates.Load(),
-		Resequenced:   c.resequenced.Load(),
+		Dials:               c.dials.Load(),
+		DialRetries:         c.dialRetries.Load(),
+		Connects:            c.connects.Load(),
+		Reconnects:          c.reconnects.Load(),
+		DialDeadlines:       c.dialDeadlines.Load(),
+		WriteErrors:         c.writeErrors.Load(),
+		ReadErrors:          c.readErrors.Load(),
+		Replayed:            c.replayed.Load(),
+		Duplicates:          c.duplicates.Load(),
+		Resequenced:         c.resequenced.Load(),
+		FramesWritten:       c.framesWritten.Load(),
+		Flushes:             c.flushes.Load(),
+		BackpressureEngaged: c.backpressure.Load(),
 	}
 }

@@ -50,7 +50,7 @@ func (l *Live) Register(id NodeID, h Handler) {
 			o.OnDeliver(d.from, id, d.m)
 		}
 		h.HandleMessage(d.from, d.m)
-	})
+	}, mailboxConfig{})
 }
 
 // Send implements Transport.

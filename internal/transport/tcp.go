@@ -114,7 +114,17 @@ func (t *TCP) Addr(id NodeID) string {
 }
 
 // Stats returns a snapshot of the failure-handling counters.
-func (t *TCP) Stats() TCPStats { return t.stats.snapshot() }
+func (t *TCP) Stats() TCPStats {
+	s := t.stats.snapshot()
+	t.mu.Lock()
+	for _, ib := range t.inboxes {
+		if p := int64(ib.box.peakDepth()); p > s.MailboxPeak {
+			s.MailboxPeak = p
+		}
+	}
+	t.mu.Unlock()
+	return s
+}
 
 // Register implements Transport: it starts a loopback listener for the
 // node and an accept loop feeding the node's mailbox.
@@ -142,6 +152,16 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 			}
 		}
 		h.HandleMessage(d.from, d.m)
+	}, mailboxConfig{
+		highWater: t.opts.MailboxHighWater,
+		onPressure: func(engaged bool, depth int) {
+			kind := ConnBackpressureOff
+			if engaged {
+				kind = ConnBackpressureOn
+				t.stats.backpressure.Add(1)
+			}
+			t.event(ConnEvent{Kind: kind, To: id, Depth: depth})
+		},
 	})
 
 	t.mu.Lock()

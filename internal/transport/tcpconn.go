@@ -99,12 +99,27 @@ func (l *outLink) run() {
 			l.mu.Unlock()
 			continue
 		}
-		env := l.queue[0]
+		// Coalesce up to MaxBatch queued envelopes into one buffered
+		// encode + single flush. The copy lets Send keep appending while
+		// the batch is on the wire.
+		k := len(l.queue)
+		if max := l.t.opts.MaxBatch; k > max {
+			k = max
+		}
+		batch := append([]msg.Envelope(nil), l.queue[:k]...)
 		enc := l.enc
 		conn := l.conn
 		l.mu.Unlock()
 
-		err := enc.Encode(env)
+		var err error
+		for _, env := range batch {
+			if err = enc.EncodeBuffered(env); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = enc.Flush()
+		}
 
 		l.mu.Lock()
 		if l.closed {
@@ -121,11 +136,23 @@ func (l *outLink) run() {
 			l.t.stats.writeErrors.Add(1)
 			l.t.event(ConnEvent{Kind: ConnWriteError, From: l.from, To: l.to, Err: err.Error()})
 			l.t.report(fmt.Errorf("tcp: write %d->%d: %w", l.from, l.to, err))
-			continue // reconnect replays sent, then retries env
+			// The whole batch is unconfirmed (the buffer may have spilled
+			// part of it): the reconnect replays sent and the run loop
+			// then re-batches the still-queued frames; the receiver drops
+			// whatever it already saw by sequence number.
+			continue
 		}
-		l.queue = l.queue[1:]
-		l.sent = append(l.sent, env)
+		// Pop the batch off the queue, zeroing the vacated tail so the
+		// backing array does not pin flushed envelopes.
+		rem := copy(l.queue, l.queue[k:])
+		for i := rem; i < len(l.queue); i++ {
+			l.queue[i] = msg.Envelope{}
+		}
+		l.queue = l.queue[:rem]
+		l.sent = append(l.sent, batch...)
 		l.mu.Unlock()
+		l.t.stats.framesWritten.Add(int64(k))
+		l.t.stats.flushes.Add(1)
 	}
 }
 
@@ -218,22 +245,33 @@ func (l *outLink) install(conn net.Conn, addr string, attempt int) bool {
 	l.t.wg.Add(1)
 	go l.watch(conn)
 
-	for _, env := range replay {
-		if err := enc.Encode(env); err != nil {
-			l.mu.Lock()
-			if l.conn == conn {
-				l.conn = nil
-				l.enc = nil
+	// The replay is one batch: buffered encodes, single flush.
+	writeReplay := func() error {
+		for _, env := range replay {
+			if err := enc.EncodeBuffered(env); err != nil {
+				return err
 			}
-			l.mu.Unlock()
-			conn.Close()
-			if !l.t.isClosed() {
-				l.t.stats.writeErrors.Add(1)
-				l.t.event(ConnEvent{Kind: ConnWriteError, From: l.from, To: l.to,
-					Addr: addr, Err: err.Error()})
-			}
-			return false
 		}
+		return enc.Flush()
+	}
+	if err := writeReplay(); err != nil {
+		l.mu.Lock()
+		if l.conn == conn {
+			l.conn = nil
+			l.enc = nil
+		}
+		l.mu.Unlock()
+		conn.Close()
+		if !l.t.isClosed() {
+			l.t.stats.writeErrors.Add(1)
+			l.t.event(ConnEvent{Kind: ConnWriteError, From: l.from, To: l.to,
+				Addr: addr, Err: err.Error()})
+		}
+		return false
+	}
+	if len(replay) > 0 {
+		l.t.stats.framesWritten.Add(int64(len(replay)))
+		l.t.stats.flushes.Add(1)
 	}
 	l.t.stats.replayed.Add(int64(len(replay)))
 	return true
