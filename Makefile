@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz-smoke cover experiments examples clean
+.PHONY: all build vet test race bench bench-json check fuzz-smoke chaos-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -37,10 +37,18 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLockManager -fuzztime=10s ./internal/ddb
 	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeIngress -fuzztime=10s ./internal/conformance
 
-# Combined statement coverage of the two engine packages (CI enforces a
-# floor on this number).
+# Seeded fault-injection conformance under the race detector: the six
+# committed chaos schedules (crash / restart / partition / delay / dup)
+# plus TCP connection-drop storms, cross-checked against the WFG oracle
+# (CI runs this as the chaos-smoke job).
+chaos-smoke:
+	$(GO) test -race ./internal/faultinject/
+	$(GO) test -race -run 'TestFaultScheduleConformance|TestWirePerturbationMatchesFaultFreeBaseline|TestTCPChaosConformance' ./internal/conformance/
+
+# Combined statement coverage of the engine and harness packages (CI
+# enforces a floor on this number).
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core/...,./internal/ddb/... ./internal/... ./cmd/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/... ./internal/... ./cmd/...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).

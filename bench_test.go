@@ -276,3 +276,17 @@ func BenchmarkDDBMixResolution(b *testing.B) {
 		_ = rows
 	}
 }
+
+func BenchmarkE14CrashRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E14CrashRecovery()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.FalsePositives != 0 {
+				b.Fatalf("schedule %s declared a phantom deadlock: %+v", r.Schedule, r)
+			}
+		}
+	}
+}

@@ -36,6 +36,25 @@
 // If a restarted peer comes back on a different address, the run
 // lasts only as long as the deadlock wait, so re-point it with the
 // same -peer syntax when restarting the node.
+//
+// # Failure detection and recovery
+//
+// -lease-interval arms the lease-based failure detector: heartbeats
+// ride the envelope stream and a peer that stays silent for
+// -lease-interval × -lease-misses is declared down. The node then
+// converts its wait edges toward that peer into typed WaitAborted
+// outcomes (printed, counted, and — if nothing else is being waited
+// on — the node exits instead of hanging until -timeout). When a peer
+// answers again, or comes back restarted under a fresh inbox
+// incarnation, the node re-announces any still-outstanding wait so
+// the new incarnation rebuilds its dependent set. -fault-plan arms a
+// wall-clock connection-drop storm (e.g. 'drop@2s; drop@5s') against
+// this node's own links for chaos demos; reconnect-and-replay makes
+// the storm invisible to the protocol.
+//
+// SIGINT or SIGTERM shuts the node down gracefully: batched writes
+// are flushed to every reachable peer, the final protocol state and
+// transport counters are printed, and the links close cleanly.
 package main
 
 import (
@@ -43,14 +62,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/id"
 	"repro/internal/metrics"
 	"repro/internal/msg"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -79,11 +103,25 @@ func run(args []string, out io.Writer) error {
 		highWater   = fs.Int("mailbox-high-water", 0, "ingress mailbox depth that raises a backpressure event (0 = disabled)")
 		verbose     = fs.Bool("verbose", false, "print connection-lifecycle events")
 		showStats   = fs.Bool("net-stats", false, "print transport counters before exiting")
+
+		leaseEvery  = fs.Duration("lease-interval", 0, "heartbeat interval for the lease-based failure detector (0 = disabled)")
+		leaseMisses = fs.Int("lease-misses", 0, "missed intervals before a peer is declared down (0 = transport default)")
+		faultPlan   = fs.String("fault-plan", "", "faultinject drop-storm schedule applied to this node's connections, e.g. 'drop@2s; drop@5s'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	self := id.Proc(*idFlag)
+
+	// The wiring from transport liveness events to the process's
+	// crash-recovery API: a peer-down verdict severs the wait edges
+	// toward the suspected peer (typed WaitAborted, never a silent
+	// hang), a peer-up re-announces any still-outstanding wait so a
+	// restarted incarnation rebuilds its dependent set. The indirection
+	// exists because the transport needs its options before the process
+	// exists.
+	wiring := &recoveryWiring{}
+	live := trace.NewLiveness()
 
 	opts := transport.TCPOptions{
 		DialTimeout:      *dialTimeout,
@@ -91,14 +129,18 @@ func run(args []string, out io.Writer) error {
 		RetryMax:         *retryMax,
 		MaxBatch:         *maxBatch,
 		MailboxHighWater: *highWater,
+		LeaseInterval:    *leaseEvery,
+		LeaseMisses:      *leaseMisses,
 		OnError: func(err error) {
 			fmt.Fprintf(os.Stderr, "cmhnode %v: transport: %v\n", self, err)
 		},
-	}
-	if *verbose {
-		opts.OnConnEvent = func(ev transport.ConnEvent) {
-			fmt.Fprintf(os.Stderr, "cmhnode %v: conn: %v\n", self, ev)
-		}
+		OnConnEvent: func(ev transport.ConnEvent) {
+			live.Add(ev)
+			wiring.onConnEvent(ev)
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "cmhnode %v: conn: %v\n", self, ev)
+			}
+		},
 	}
 	net := transport.NewTCPWithOptions(opts)
 	defer net.Close()
@@ -107,6 +149,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	detected := make(chan id.Tag, 1)
+	waitAborted := make(chan struct{}, 1)
 	shim := &addrShim{tcp: net, addr: *listen}
 	proc, err := core.NewProcess(core.Config{
 		ID:        self,
@@ -123,12 +166,33 @@ func run(args []string, out io.Writer) error {
 		OnProtocolError: func(e core.ProtocolError) {
 			fmt.Fprintf(os.Stderr, "cmhnode %v: ingress: %v\n", self, e)
 		},
+		OnWaitAborted: func(wa core.WaitAborted) {
+			fmt.Fprintf(out, "node %v: wait on %v ABORTED (peer presumed down)\n", self, wa.Peer)
+			select {
+			case waitAborted <- struct{}{}:
+			default:
+			}
+		},
 	})
 	if err != nil {
 		return err
 	}
 	if shim.err != nil {
 		return shim.err
+	}
+	wiring.set(proc)
+
+	if *faultPlan != "" {
+		plan, perr := faultinject.Parse(*faultPlan)
+		if perr != nil {
+			return fmt.Errorf("-fault-plan: %w", perr)
+		}
+		stop, derr := faultinject.DriveTCP(net, plan)
+		if derr != nil {
+			return fmt.Errorf("-fault-plan: %w", derr)
+		}
+		defer stop()
+		fmt.Fprintf(out, "node %v armed fault plan %q\n", self, plan)
 	}
 	fmt.Fprintf(out, "node %v listening on %s\n", self, net.Addr(transport.NodeID(self)))
 
@@ -170,7 +234,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Wait for a verdict: our own declaration, the WFGD computation
-	// informing us (checked by polling), or the timeout.
+	// informing us (checked by polling), the timeout, or an operator
+	// shutdown signal.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigC)
 	deadline := time.After(*timeout)
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
@@ -189,12 +257,75 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "node %v: informed of deadlocked edges %v\n", self, edges)
 				return nil
 			}
+		case <-waitAborted:
+			// A presumed-dead peer's wait edge was severed. If that was
+			// the last thing this node was waiting for, there is no
+			// verdict left to wait on either.
+			if !proc.Blocked() {
+				st := proc.Stats()
+				fmt.Fprintf(out, "node %v: unblocked by peer failure; nothing left to wait for (waits aborted=%d)\n",
+					self, st.WaitsAborted)
+				return nil
+			}
 		case <-deadline:
 			st := proc.Stats()
-			fmt.Fprintf(out, "node %v: no verdict after %v (blocked=%v, probes sent=%d meaningful=%d, rejected frames=%d)\n",
-				self, *timeout, proc.Blocked(), st.ProbesSent, st.ProbesMeaningful, st.ProtocolErrors)
+			fmt.Fprintf(out, "node %v: no verdict after %v (blocked=%v, probes sent=%d meaningful=%d, rejected frames=%d, waits aborted=%d)\n",
+				self, *timeout, proc.Blocked(), st.ProbesSent, st.ProbesMeaningful, st.ProtocolErrors, st.WaitsAborted)
+			return nil
+		case sig := <-sigC:
+			// Graceful shutdown: flush every batched write so no peer is
+			// left waiting on a frame stuck in a coalescing buffer, report
+			// the final state, and let the deferred Close tear the links
+			// down cleanly.
+			fmt.Fprintf(out, "node %v: %v — draining and shutting down\n", self, sig)
+			if !net.Drain(2 * time.Second) {
+				fmt.Fprintf(out, "node %v: drain incomplete after 2s (peer unreachable); queued frames abandoned with the process\n", self)
+			}
+			st := proc.Stats()
+			fmt.Fprintf(out, "node %v: final state blocked=%v declared=%v waits aborted=%d\n",
+				self, proc.Blocked(), func() bool { _, d := proc.Deadlocked(); return d }(), st.WaitsAborted)
+			if down := live.Down(); len(down) > 0 {
+				fmt.Fprintf(out, "node %v: peers still suspected down: %v\n", self, down)
+			}
+			fmt.Fprint(out, metrics.TCPStatsTable(net.Stats()))
 			return nil
 		}
+	}
+}
+
+// recoveryWiring connects transport liveness events to the process's
+// crash-recovery API. ConnPeerDown severs the wait edges toward the
+// suspected peer (PeerDown); ConnPeerUp clears the per-peer fencing
+// state and re-announces any still-outstanding wait edge (PeerUp +
+// Reannounce) so a restarted incarnation rebuilds its dependent set.
+type recoveryWiring struct {
+	mu   sync.Mutex
+	proc *core.Process
+}
+
+func (r *recoveryWiring) set(p *core.Process) {
+	r.mu.Lock()
+	r.proc = p
+	r.mu.Unlock()
+}
+
+func (r *recoveryWiring) onConnEvent(ev transport.ConnEvent) {
+	if ev.Kind != transport.ConnPeerDown && ev.Kind != transport.ConnPeerUp {
+		return
+	}
+	r.mu.Lock()
+	p := r.proc
+	r.mu.Unlock()
+	if p == nil {
+		return
+	}
+	peer := id.Proc(ev.To)
+	switch ev.Kind {
+	case transport.ConnPeerDown:
+		p.PeerDown(peer)
+	case transport.ConnPeerUp:
+		p.PeerUp(peer)
+		p.Reannounce(peer)
 	}
 }
 

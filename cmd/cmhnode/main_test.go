@@ -2,11 +2,43 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
+
+// syncBuffer lets the test poll a node's output while run() is still
+// writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitFor(t *testing.T, buf *syncBuffer, substr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !strings.Contains(buf.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("output never contained %q:\n%s", substr, buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 // TestThreeNodesDetectOverTCP launches three cmhnode instances in one
 // process (each with its own TCP transport and listener) and checks the
@@ -60,6 +92,91 @@ func TestRunRejectsBadPeers(t *testing.T) {
 	}
 	if err := run([]string{"-request", "zz", "-settle", "1ms", "-timeout", "1ms"}, &out); err == nil {
 		t.Fatal("bad -request accepted")
+	}
+}
+
+// TestRunShutsDownGracefullyOnSIGINT sends the process a real SIGINT
+// mid-run and checks the node drains its write buffers, prints the
+// final state and its transport counters, and returns cleanly instead
+// of dying on the default signal disposition.
+func TestRunShutsDownGracefullyOnSIGINT(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "0", "-settle", "1ms", "-timeout", "30s",
+		}, &out)
+	}()
+	// Only signal once the node is inside its wait loop (listening is
+	// printed just before), so the handler is installed.
+	waitFor(t, &out, "listening", 5*time.Second)
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("node did not shut down on SIGINT:\n%s", out.String())
+	}
+	for _, want := range []string{"draining and shutting down", "final state blocked=false", "tcp transport"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("shutdown output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLeaseAbortsWaitWhenPeerDies runs two nodes with the failure
+// detector armed: node 0 waits on node 1, node 1 exits (closing its
+// transport) long before node 0's timeout, and node 0 must convert the
+// dead wait into a typed WaitAborted instead of hanging on it.
+func TestLeaseAbortsWaitWhenPeerDies(t *testing.T) {
+	p0, p1 := "127.0.0.1:17160", "127.0.0.1:17161"
+	var out0, out1 syncBuffer
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = run([]string{
+			"-id", "0", "-listen", p0, "-peer", "1=" + p1, "-request", "1",
+			"-settle", "300ms", "-timeout", "8s",
+			"-lease-interval", "50ms", "-lease-misses", "3",
+			"-retry-base", "5ms", "-retry-max", "50ms", "-dial-timeout", "1s",
+		}, &out0)
+	}()
+	go func() {
+		defer wg.Done()
+		// Node 1 answers nothing and exits at its own short timeout —
+		// from node 0's side this is a peer crash.
+		errs[1] = run([]string{
+			"-id", "1", "-listen", p1, "-peer", "0=" + p0,
+			"-settle", "1ms", "-timeout", "1s",
+		}, &out1)
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nodes did not finish")
+	}
+	for i, err := range errs {
+		if err != nil {
+			if strings.Contains(err.Error(), "address already in use") {
+				t.Skipf("port conflict: %v", err)
+			}
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	if !strings.Contains(out0.String(), "ABORTED (peer presumed down)") {
+		t.Fatalf("node 0 never aborted the dead wait:\n%s", out0.String())
+	}
+	if !strings.Contains(out0.String(), "waits aborted=1") {
+		t.Fatalf("node 0's final report missing the abort count:\n%s", out0.String())
 	}
 }
 

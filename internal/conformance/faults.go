@@ -1,0 +1,402 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wfg"
+	"repro/internal/workload"
+)
+
+// FaultSpec is one committed chaos schedule: a seeded conformance
+// workload driven to its fault-free fixed point, then hit with a
+// fault-injection plan while the recovery layer (PeerDown / PeerUp /
+// Reannounce) is wired to the harness's failure detector. The whole run
+// is a pure function of (Seed, Plan, LeaseDelay).
+type FaultSpec struct {
+	// Name labels the schedule in tests and experiment tables.
+	Name string
+	Spec
+	// Plan is a faultinject schedule (sim vocabulary only — no drop).
+	// Offsets are relative to the instant the fault-free workload
+	// reached quiescence. Empty means "no faults", which is how the
+	// wire-perturbation schedules get their baseline.
+	Plan string
+	// LeaseDelay is the virtual time between a node becoming
+	// unreachable and the failure detector announcing ConnPeerDown —
+	// the sim analogue of LeaseInterval × LeaseMisses.
+	LeaseDelay sim.Duration
+}
+
+// FaultSchedules is the committed chaos corpus: every schedule the
+// conformance tests, the chaos-smoke CI job and experiment E14 replay.
+// Each targets a structural feature of its seed's wait-for graph (see
+// the fault-free verdicts in suite_test.go's table).
+func FaultSchedules() []FaultSpec {
+	return []FaultSpec{
+		{
+			// Seed 2's only cycle is {1,3,4}; killing 4 must dissolve
+			// every wait transitively and leave nobody deadlocked.
+			Name: "crash-breaks-cycle",
+			Spec: Spec{Seed: 2, N: 6, MaxBatch: 2},
+			Plan: "crash:4@5ms", LeaseDelay: 10 * sim.Millisecond,
+		},
+		{
+			// Seed 3's cycle is {2,3}; node 0 is an active bystander.
+			// Its death makes every survivor withdraw and re-probe, and
+			// the untouched cycle must be re-declared — no false
+			// negative from a false suspicion.
+			Name: "bystander-crash",
+			Spec: Spec{Seed: 3, N: 8, MaxBatch: 3},
+			Plan: "crash:0@5ms", LeaseDelay: 10 * sim.Millisecond,
+		},
+		{
+			// Seed 1's dark component {0,1,3,4} contains the 2-cycle
+			// 0↔4. Killing 3 unblocks 1 but must leave 0↔4 re-declared;
+			// 3 then rejoins blank under a bumped incarnation after the
+			// lease already expired (the announced-outage path).
+			Name: "crash-restart-rejoin",
+			Spec: Spec{Seed: 1, N: 6, MaxBatch: 2},
+			Plan: "crash:3@5ms; restart:3@40ms", LeaseDelay: 10 * sim.Millisecond,
+		},
+		{
+			// Seed 4's dark component holds the 2-cycle 1↔2. Cutting
+			// {1,2} off severs every cross-cut wait once the lease
+			// expires inside the outage; the 2-cycle never crosses the
+			// cut and must be re-declared, while both sides' other
+			// waiters unblock. The heal's re-announcements find the
+			// severed edges gone and change nothing.
+			Name: "partition-heal",
+			Spec: Spec{Seed: 4, N: 8, MaxBatch: 3},
+			Plan: "partition:1,2|0,3,4,5,6,7@5ms; heal@30ms", LeaseDelay: 10 * sim.Millisecond,
+		},
+		{
+			// Seed 5 deadlocks nobody; a crash-restart in a clean
+			// system must not conjure one (zero false positives).
+			Name: "clean-crash-restart",
+			Spec: Spec{Seed: 5, N: 10, MaxBatch: 2},
+			Plan: "crash:2@5ms; restart:2@20ms", LeaseDelay: 10 * sim.Millisecond,
+		},
+		{
+			// Wire-only perturbation: added latency and duplicated
+			// frames, no process faults. The verdict must be
+			// byte-identical to the same spec run with an empty plan.
+			Name: "wire-perturbation",
+			Spec: Spec{Seed: 1, N: 6, MaxBatch: 2},
+			Plan: "delay:3ms:20ms@1ms; dup:5@1ms", LeaseDelay: 10 * sim.Millisecond,
+		},
+	}
+}
+
+// FaultReport is the outcome of one chaos schedule.
+type FaultReport struct {
+	// Verdict is the canonical post-fault outcome (see faultVerdict).
+	Verdict string
+	// Net is the fault net's traffic accounting.
+	Net faultinject.NetStats
+	// WaitsAborted totals the typed WaitAborted outcomes across all
+	// incarnations of all processes.
+	WaitsAborted uint64
+	// FaultAt is the virtual time of the plan's first event (zero for
+	// an empty plan).
+	FaultAt sim.Time
+	// LastDeclaredAt is the virtual time of the last deadlock
+	// declaration at or after FaultAt (zero if none) — the re-detection
+	// instant for schedules with a surviving cycle.
+	LastDeclaredAt sim.Time
+	// Declared counts alive processes declared at quiescence.
+	Declared int
+	// FalsePositives counts alive processes declared without being on
+	// an oracle dark cycle. The cross-check fails the run if nonzero;
+	// it is reported separately so experiment E14 can table it.
+	FalsePositives int
+}
+
+// RunSimFaults replays the spec's three-phase workload on the
+// deterministic fault net, installs the plan at the fault-free fixed
+// point, lets the recovery layer ride out the schedule, then re-probes
+// the survivors and cross-checks the result against the WFG oracle.
+//
+// The oracle tracks ground truth through the faults: a crash removes
+// the vertex (wfg.GraphObserver.ProcessDown), a severed wait removes
+// its edge at the WaitAborted instant, and a rejoin re-announcement is
+// applied idempotently (EnsureCreate / EnsureBlack). The cross-check
+// therefore demands, after arbitrary committed chaos, exactly what the
+// fault-free suite demands: declared == dark-cycle vertices over the
+// alive processes, and every blocked survivor informed.
+func RunSimFaults(fs FaultSpec) (FaultReport, error) {
+	var rep FaultReport
+	if fs.N < 2 || fs.MaxBatch < 1 {
+		return rep, fmt.Errorf("spec needs N >= 2 and MaxBatch >= 1, got N=%d MaxBatch=%d", fs.N, fs.MaxBatch)
+	}
+	plan, err := faultinject.Parse(fs.Plan)
+	if err != nil {
+		return rep, fmt.Errorf("plan: %w", err)
+	}
+
+	sched := sim.New(fs.Seed)
+	oracle := wfg.NewGraphObserver(nil)
+	procs := make([]*core.Process, fs.N)
+	alive := make([]bool, fs.N)
+
+	gate := false
+	service := func(pid id.Proc) {
+		if !gate || !alive[pid] {
+			return
+		}
+		p := procs[pid]
+		if p.Blocked() {
+			return // answers on OnActive once unblocked
+		}
+		if _, err := p.GrantAll(); err != nil {
+			panic(fmt.Sprintf("conformance: grant-all %v: %v", pid, err))
+		}
+	}
+
+	var lastDeclare sim.Time
+	var spawn func(node transport.NodeID) error
+	net := faultinject.NewNet(sched, faultinject.NetOptions{
+		LeaseDelay: fs.LeaseDelay,
+		OnCrash: func(node transport.NodeID) {
+			alive[node] = false
+			oracle.ProcessDown(id.Proc(node))
+		},
+		OnRestart: func(node transport.NodeID) {
+			alive[node] = true
+			if err := spawn(node); err != nil {
+				panic(fmt.Sprintf("conformance: respawn %d: %v", node, err))
+			}
+		},
+		Listener: recoveryWiring{
+			down: func(observer, peer transport.NodeID) {
+				if alive[observer] {
+					procs[observer].PeerDown(id.Proc(peer))
+				}
+			},
+			up: func(observer, peer transport.NodeID) {
+				if alive[observer] {
+					procs[observer].PeerUp(id.Proc(peer))
+					procs[observer].Reannounce(id.Proc(peer))
+				}
+			},
+		},
+	})
+	net.Observe(oracle)
+
+	spawn = func(node transport.NodeID) error {
+		pid := id.Proc(node)
+		p, err := core.NewProcess(core.Config{
+			ID:         pid,
+			Transport:  net,
+			Timers:     workload.SimTimers{Sched: sched},
+			Policy:     core.InitiateManually,
+			OnRequest:  func(id.Proc) { service(pid) },
+			OnActive:   func() { service(pid) },
+			OnDeadlock: func(id.Tag) { lastDeclare = sched.Now() },
+			OnWaitAborted: func(wa core.WaitAborted) {
+				rep.WaitsAborted++
+				oracle.With(func(g *wfg.Graph) {
+					g.ForceDelete(id.Edge{From: wa.Waiter, To: wa.Peer})
+				})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		procs[node] = p
+		return nil
+	}
+	for i := 0; i < fs.N; i++ {
+		alive[i] = true
+		if err := spawn(transport.NodeID(i)); err != nil {
+			return rep, err
+		}
+	}
+
+	quiesce := func(phase string) error {
+		const maxEvents = 10_000_000
+		for n := 0; sched.Step(); n++ {
+			if n >= maxEvents {
+				return fmt.Errorf("after %s: sim not quiescing after %d events", phase, maxEvents)
+			}
+		}
+		return nil
+	}
+
+	// Phases 1–3: the fault-free workload, exactly as run().
+	for i, batch := range fs.Batches() {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := procs[i].Request(batch...); err != nil {
+			return rep, fmt.Errorf("storm: %w", err)
+		}
+	}
+	if err := quiesce("storm"); err != nil {
+		return rep, err
+	}
+	gate = true
+	for _, p := range procs {
+		if !p.Blocked() {
+			if _, err := p.GrantAll(); err != nil {
+				return rep, fmt.Errorf("sweep: %w", err)
+			}
+		}
+	}
+	if err := quiesce("sweep"); err != nil {
+		return rep, err
+	}
+	for _, p := range procs {
+		if p.Blocked() {
+			p.StartProbe()
+		}
+	}
+	if err := quiesce("probes"); err != nil {
+		return rep, err
+	}
+
+	// Phase 4: chaos. Plan offsets are relative to this instant; the
+	// baseline's declaration times are discarded so LastDeclaredAt only
+	// ever names a post-fault (re-)detection.
+	lastDeclare = 0
+	if len(plan.Events) > 0 {
+		rep.FaultAt = sched.Now() + sim.Time(plan.Events[0].At)
+	} else {
+		rep.FaultAt = sched.Now()
+	}
+	if err := net.Install(plan); err != nil {
+		return rep, err
+	}
+	if err := quiesce("faults"); err != nil {
+		return rep, err
+	}
+
+	// Phase 5: the survivors' re-probe sweep. PeerDown already
+	// re-initiates wherever it withdrew a declaration; this catches
+	// blocked survivors whose in-flight computations died with a
+	// corpse or a severed edge.
+	for i, p := range procs {
+		if alive[i] && p.Blocked() {
+			p.StartProbe()
+		}
+	}
+	if err := quiesce("re-probe"); err != nil {
+		return rep, err
+	}
+
+	rep.Verdict = faultVerdict(procs, alive, oracle)
+	rep.Net = net.Stats()
+	rep.LastDeclaredAt = lastDeclare
+	dark := make(map[id.Proc]bool)
+	oracle.With(func(g *wfg.Graph) {
+		for _, v := range g.DarkCycleVertices() {
+			dark[v] = true
+		}
+	})
+	for i, p := range procs {
+		if !alive[i] {
+			continue
+		}
+		if _, declared := p.Deadlocked(); declared {
+			rep.Declared++
+			if !dark[p.ID()] {
+				rep.FalsePositives++
+			}
+		}
+	}
+	if err := crossCheckFaults(procs, alive, dark); err != nil {
+		return rep, fmt.Errorf("oracle cross-check: %w", err)
+	}
+	return rep, nil
+}
+
+// recoveryWiring adapts the fault net's failure-detector verdicts onto
+// the engines' recovery API, mirroring how the TCP harness wires
+// ConnPeerDown / ConnPeerUp.
+type recoveryWiring struct {
+	down func(observer, peer transport.NodeID)
+	up   func(observer, peer transport.NodeID)
+}
+
+func (w recoveryWiring) PeerDown(o, p transport.NodeID) { w.down(o, p) }
+func (w recoveryWiring) PeerUp(o, p transport.NodeID)   { w.up(o, p) }
+
+// faultVerdict renders the post-fault outcome canonically: the
+// fault-free verdict format with an alive column, dead nodes collapsed
+// to "down".
+func faultVerdict(procs []*core.Process, alive []bool, oracle *wfg.GraphObserver) string {
+	var b strings.Builder
+	for i, p := range procs {
+		if !alive[i] {
+			fmt.Fprintf(&b, "p%d down\n", i)
+			continue
+		}
+		_, declared := p.Deadlocked()
+		black := append([]id.Edge(nil), p.BlackPaths()...)
+		sort.Slice(black, func(i, j int) bool {
+			if black[i].From != black[j].From {
+				return black[i].From < black[j].From
+			}
+			return black[i].To < black[j].To
+		})
+		fmt.Fprintf(&b, "p%d blocked=%t declared=%t black=%v\n",
+			p.ID(), p.Blocked(), declared, black)
+	}
+	var dark []id.Proc
+	oracle.With(func(g *wfg.Graph) { dark = g.DarkCycleVertices() })
+	sort.Slice(dark, func(i, j int) bool { return dark[i] < dark[j] })
+	fmt.Fprintf(&b, "oracle dark=%v\n", dark)
+	return b.String()
+}
+
+// crossCheckFaults is the fault-free cross-check restricted to the
+// alive processes: declared == dark-cycle vertices (no phantom
+// deadlock after a crash, no lost one after a false suspicion), and
+// every blocked survivor is informed.
+func crossCheckFaults(procs []*core.Process, alive []bool, dark map[id.Proc]bool) error {
+	for i, p := range procs {
+		if !alive[i] {
+			continue
+		}
+		_, declared := p.Deadlocked()
+		switch {
+		case declared && !dark[p.ID()]:
+			return fmt.Errorf("phantom deadlock: %v declared but is on no dark cycle", p.ID())
+		case !declared && dark[p.ID()]:
+			return fmt.Errorf("lost deadlock: %v is on a dark cycle but never declared", p.ID())
+		}
+		if p.Blocked() && !declared && len(p.BlackPaths()) == 0 {
+			return fmt.Errorf("survivor %v permanently blocked but neither declared nor informed", p.ID())
+		}
+	}
+	return nil
+}
+
+// RunTCPChaos replays the spec over real loopback TCP sockets while a
+// wall-clock drop storm (the only TCP-expressible fault) repeatedly
+// force-closes every established connection. Links re-dial and replay,
+// receivers dedup and resequence, so the verdict must be byte-identical
+// to the fault-free simulator's — connections die, messages do not.
+func RunTCPChaos(spec Spec, plan string) (string, error) {
+	p, err := faultinject.Parse(plan)
+	if err != nil {
+		return "", fmt.Errorf("plan: %w", err)
+	}
+	net := transport.NewTCP()
+	defer net.Close()
+	counters := metrics.NewCounters()
+	net.Observe(counters)
+	stop, err := faultinject.DriveTCP(net, p)
+	if err != nil {
+		return "", err
+	}
+	defer stop()
+	return run(spec, net, nil, pollQuiesce(counters))
+}

@@ -1,0 +1,140 @@
+package conformance
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultScheduleConformance replays every committed chaos schedule
+// twice on the deterministic fault net and demands (1) byte-identical
+// reports across the two runs, (2) a clean oracle cross-check (no
+// phantom deadlock after a crash, no lost one after a false suspicion,
+// every blocked survivor informed), and (3) the schedule's designed
+// outcome: the declared set, the dark set, the typed-abort count, and
+// whether a surviving cycle was re-detected after the fault.
+func TestFaultScheduleConformance(t *testing.T) {
+	type want struct {
+		declared int
+		dark     string
+		aborts   uint64
+		redetect bool
+	}
+	wants := map[string]want{
+		// Killing seed 2's cycle member 4 dissolves every wait.
+		"crash-breaks-cycle": {declared: 0, dark: "oracle dark=[]", aborts: 2},
+		// Seed 3's cycle {2,3} survives the bystander's death and is
+		// re-declared after the conservative withdrawal.
+		"bystander-crash": {declared: 2, dark: "oracle dark=[p2 p3]", aborts: 0, redetect: true},
+		// Seed 1's 2-cycle 0↔4 survives the crash of 3; 3 rejoins blank.
+		"crash-restart-rejoin": {declared: 2, dark: "oracle dark=[p0 p4]", aborts: 1, redetect: true},
+		// Seed 4's 2-cycle 1↔2 never crosses the cut; every cross-cut
+		// wait (5 of them) is severed when the lease expires inside the
+		// outage, and both sides' other waiters unblock.
+		"partition-heal": {declared: 2, dark: "oracle dark=[p1 p2]", aborts: 5, redetect: true},
+		// A crash-restart in a deadlock-free system conjures nothing.
+		"clean-crash-restart": {declared: 0, dark: "oracle dark=[]", aborts: 0},
+		// Wire-only faults change nothing at all (asserted against the
+		// empty-plan baseline below).
+		"wire-perturbation": {declared: 4, dark: "oracle dark=[p0 p1 p3 p4]", aborts: 0},
+	}
+	for _, fs := range FaultSchedules() {
+		fs := fs
+		t.Run(fs.Name, func(t *testing.T) {
+			w, ok := wants[fs.Name]
+			if !ok {
+				t.Fatalf("schedule %q has no expectation — add one", fs.Name)
+			}
+			rep, err := RunSimFaults(fs)
+			if err != nil {
+				t.Fatalf("RunSimFaults: %v", err)
+			}
+			again, err := RunSimFaults(fs)
+			if err != nil {
+				t.Fatalf("RunSimFaults (second run): %v", err)
+			}
+			if !reflect.DeepEqual(rep, again) {
+				t.Errorf("schedule is not deterministic:\n--- first ---\n%+v\n--- second ---\n%+v", rep, again)
+			}
+			if rep.Declared != w.declared || rep.FalsePositives != 0 {
+				t.Errorf("declared=%d falsePositives=%d, want declared=%d falsePositives=0\n%s",
+					rep.Declared, rep.FalsePositives, w.declared, rep.Verdict)
+			}
+			if !strings.Contains(rep.Verdict, w.dark) {
+				t.Errorf("verdict lacks %q:\n%s", w.dark, rep.Verdict)
+			}
+			if rep.WaitsAborted != w.aborts {
+				t.Errorf("WaitsAborted = %d, want %d", rep.WaitsAborted, w.aborts)
+			}
+			if redetected := rep.LastDeclaredAt > rep.FaultAt; redetected != w.redetect {
+				t.Errorf("redetect = %t (faultAt=%v lastDeclaredAt=%v), want %t",
+					redetected, rep.FaultAt, rep.LastDeclaredAt, w.redetect)
+			}
+			if rep.Net.DupsInjected != rep.Net.DupsFiltered {
+				t.Errorf("exactly-once broken: %d dups injected, %d filtered", rep.Net.DupsInjected, rep.Net.DupsFiltered)
+			}
+			t.Logf("verdict:\n%s", rep.Verdict)
+		})
+	}
+}
+
+// TestWirePerturbationMatchesFaultFreeBaseline pins the P4 claim
+// directly: added latency and duplicated frames must leave the verdict
+// byte-identical to the same spec with an empty plan.
+func TestWirePerturbationMatchesFaultFreeBaseline(t *testing.T) {
+	var perturbed FaultSpec
+	for _, fs := range FaultSchedules() {
+		if fs.Name == "wire-perturbation" {
+			perturbed = fs
+		}
+	}
+	if perturbed.Name == "" {
+		t.Fatal("wire-perturbation schedule missing from the corpus")
+	}
+	baseline := perturbed
+	baseline.Plan = ""
+	pr, err := RunSimFaults(perturbed)
+	if err != nil {
+		t.Fatalf("perturbed: %v", err)
+	}
+	br, err := RunSimFaults(baseline)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if pr.Verdict != br.Verdict {
+		t.Errorf("wire faults changed the verdict:\n--- perturbed ---\n%s--- baseline ---\n%s", pr.Verdict, br.Verdict)
+	}
+	if pr.Net.DupsInjected == 0 {
+		t.Error("perturbation injected no dups — the schedule tests nothing")
+	}
+}
+
+// TestTCPChaosConformance runs the workload over real loopback sockets
+// under a repeated connection-drop storm and requires the verdict to
+// match the fault-free simulator byte for byte: the reconnect-replay-
+// dedup machinery must make connection loss invisible to the protocol.
+func TestTCPChaosConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets + wall-clock storm")
+	}
+	const storm = "drop@5ms; drop@30ms; drop@70ms"
+	for _, spec := range []Spec{
+		{Seed: 1, N: 6, MaxBatch: 2},  // deadlocked outcome
+		{Seed: 5, N: 10, MaxBatch: 2}, // clean outcome
+	} {
+		spec := spec
+		t.Run(specName(spec), func(t *testing.T) {
+			want, err := RunSim(spec)
+			if err != nil {
+				t.Fatalf("sim baseline: %v", err)
+			}
+			got, err := RunTCPChaos(spec, storm)
+			if err != nil {
+				t.Fatalf("tcp chaos: %v", err)
+			}
+			if got != want {
+				t.Errorf("drop storm changed the verdict:\n--- tcp chaos ---\n%s--- sim ---\n%s", got, want)
+			}
+		})
+	}
+}

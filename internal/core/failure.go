@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/id"
+	"repro/internal/msg"
+)
+
+// This file is the crash-recovery surface of the process engine. The
+// paper's model has no process failures — axioms P1–P4 assume every
+// process keeps running and every sent message is delivered — so the
+// engine cannot derive failure handling from the protocol itself.
+// Instead the layer below (the transport's lease-based failure
+// detector, or the fault-injection harness) tells the process when a
+// peer is presumed dead (PeerDown) and when it is reachable again
+// (PeerUp), and the process translates those verdicts into the only
+// sound moves available:
+//
+//   - A wait on a dead peer cannot resolve — the peer will never
+//     reply — and it also cannot count toward a deadlock in the
+//     paper's sense: a dark cycle needs its edges to persist, and the
+//     dead peer's outgoing edges vanished with its state. The edge is
+//     therefore converted into a typed WaitAborted outcome: the waiter
+//     unblocks and the application decides whether to retry.
+//
+//   - Everything learned from or about the dead peer's incarnation is
+//     fenced: its unanswered request (our incoming black edge), its
+//     computation numbers, our WFGD duplicate-suppression record for
+//     it, and any permanent-black-path knowledge involving it. A
+//     restarted incarnation starts from a blank slate on both sides.
+//
+//   - A deadlock declaration is withdrawn and re-derived. The paper's
+//     latch ("a dark cycle persists forever", §2.4) is sound only
+//     while no process dies; a crash may have broken the declared
+//     cycle. Withdrawing and immediately re-initiating a probe
+//     computation keeps both directions honest: a genuinely surviving
+//     cycle is re-detected (the probe laps it again), while a broken
+//     one is never reported as a phantom.
+
+// WaitAborted describes one outgoing wait edge severed because the
+// waited-on peer was declared down.
+type WaitAborted struct {
+	// Waiter is the process whose wait was severed (the one reporting).
+	Waiter id.Proc
+	// Peer is the presumed-dead process the edge pointed at.
+	Peer id.Proc
+}
+
+// String renders the outcome compactly.
+func (w WaitAborted) String() string {
+	return "wait " + w.Waiter.String() + "->" + w.Peer.String() + " aborted: peer down"
+}
+
+// PeerDown tells the process that peer is presumed dead (lease expiry,
+// ConnPeerDown, or a fault-injection schedule). It severs the outgoing
+// wait edge to the peer (reporting it through OnWaitAborted), fences
+// every piece of state learned from the dead incarnation, and — if a
+// deadlock had been declared — withdraws the declaration and restarts
+// detection, since the crash may have broken the declared cycle.
+//
+// PeerDown is idempotent and safe to call for peers this process never
+// interacted with.
+func (p *Process) PeerDown(peer id.Proc) {
+	var after []func()
+	p.mu.Lock()
+	if _, waiting := p.waitingFor[peer]; waiting {
+		delete(p.waitingFor, peer)
+		// Invalidate §4.3 delay timers armed for the severed edge: the
+		// instance check in Request's timer closure fails against the
+		// bumped counter.
+		p.edgeInstance[peer]++
+		p.waitsAborted++
+		if cb := p.cfg.OnWaitAborted; cb != nil {
+			ev := WaitAborted{Waiter: p.cfg.ID, Peer: peer}
+			after = append(after, func() { cb(ev) })
+		}
+		if len(p.waitingFor) == 0 {
+			if cb := p.cfg.OnActive; cb != nil {
+				after = append(after, func() { cb() })
+			}
+		}
+	}
+	// The dead incarnation's unanswered request no longer represents a
+	// waiting process; keeping the black edge would let its stale
+	// probes look meaningful (§3.2) and could manufacture a phantom
+	// cycle through a corpse.
+	delete(p.pendingIn, peer)
+	// Fence the dead incarnation's detection state: computation numbers
+	// it issued and the duplicate-suppression record of WFGD messages
+	// we sent it (the restarted incarnation has seen none of them).
+	delete(p.latest, peer)
+	delete(p.sentWFGD, peer)
+	// Permanent-black-path knowledge is only permanent while every
+	// process on the path lives (§5 relies on §2.4's persistence). Any
+	// path through the dead peer may be gone; edges not incident to it
+	// may equally have depended on it upstream, so the whole set is
+	// re-derived by the re-initiated computation rather than patched.
+	if p.deadlocked || len(p.blackPaths) > 0 {
+		p.deadlocked = false
+		p.declaredTag = id.Tag{}
+		p.blackPaths = make(map[id.Edge]struct{})
+		p.sentWFGD = make(map[id.Proc]map[string]struct{})
+		if len(p.waitingFor) > 0 {
+			p.startProbeLocked()
+		}
+	}
+	p.mu.Unlock()
+	runAfter(after)
+}
+
+// PeerUp tells the process that peer is reachable again — either an
+// outage ended or a restarted incarnation joined. All per-peer fencing
+// state is cleared so the fresh incarnation starts from a blank slate:
+// in particular its computation numbering restarts at 1, which a stale
+// latest-table entry from the previous incarnation would wrongly
+// suppress (§4.3 keeps only the newest computation per initiator).
+func (p *Process) PeerUp(peer id.Proc) {
+	p.mu.Lock()
+	delete(p.latest, peer)
+	delete(p.sentWFGD, peer)
+	p.mu.Unlock()
+}
+
+// Reannounce re-sends the request for a still-outstanding wait edge to
+// a peer that restarted (detected via the transport's incarnation
+// change, surfaced as ConnPeerUp). The restarted incarnation lost the
+// pending-request entry our original request created; without the
+// re-announcement its dependent-set stays empty, probes we initiate
+// are discarded as non-meaningful on arrival, and a genuinely
+// surviving cycle is never re-detected. The request is marked Rejoin
+// so a receiver that *did* keep the edge (the outage was a partition,
+// not a crash) treats it as an idempotent no-op instead of a
+// duplicate-request protocol error. It reports whether an edge to the
+// peer existed to re-announce.
+func (p *Process) Reannounce(peer id.Proc) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, waiting := p.waitingFor[peer]; !waiting {
+		return false
+	}
+	p.send(peer, msg.Request{Rejoin: true})
+	return true
+}

@@ -64,8 +64,11 @@ type Config struct {
 	// OnActive is called when the process transitions from blocked to
 	// active (its last outstanding request was answered).
 	OnActive func()
-	// OnDeadlock is called at most once, when the process declares "I
-	// am on a black cycle" (step A1).
+	// OnDeadlock is called when the process declares "I am on a black
+	// cycle" (step A1) — at most once per declaration epoch: the latch
+	// resets only when PeerDown withdraws a declaration because a crash
+	// may have broken the declared cycle, after which a surviving cycle
+	// is re-detected and re-declared.
 	OnDeadlock func(tag id.Tag)
 	// OnWFGD is called whenever the process's permanent-black-path set
 	// S grows (§5); edges is the updated full set.
@@ -74,6 +77,10 @@ type Config struct {
 	// the validation layer (dropped and counted, never applied). nil
 	// ignores rejections; they remain visible in Stats.ProtocolErrors.
 	OnProtocolError func(ProtocolError)
+	// OnWaitAborted is called when PeerDown severs an outgoing wait
+	// edge because the waited-on peer is presumed dead — the wait's
+	// typed failure outcome, distinct from both a grant and a deadlock.
+	OnWaitAborted func(WaitAborted)
 }
 
 // Process is one vertex of the basic model. All methods are safe for
@@ -124,6 +131,7 @@ type Process struct {
 	probesDiscarded  uint64
 	computations     uint64
 	protocolErrors   uint64
+	waitsAborted     uint64
 }
 
 // NewProcess creates a process and registers it on its transport.
@@ -294,6 +302,13 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 	switch mm := m.(type) {
 	case msg.Request:
 		if _, dup := p.pendingIn[sender]; dup {
+			if mm.Rejoin {
+				// A crash-recovery re-announcement for an edge we still
+				// hold: the sender could not know whether we survived the
+				// outage with the edge intact, so this is the legitimate
+				// idempotent case, not a G1 violation.
+				break
+			}
 			// G1 forbids re-requesting an existing edge, so a second
 			// request before our reply is duplicated or forged.
 			after = p.rejectLocked(sender, mm.Kind(), ReasonDuplicateRequest,
@@ -521,6 +536,7 @@ func (p *Process) Stats() Stats {
 		ProbesDiscarded:  p.probesDiscarded,
 		Computations:     p.computations,
 		ProtocolErrors:   p.protocolErrors,
+		WaitsAborted:     p.waitsAborted,
 	}
 }
 
@@ -533,6 +549,8 @@ type Stats struct {
 	// ProtocolErrors counts ingress frames rejected by the validation
 	// layer (see ProtocolError).
 	ProtocolErrors uint64
+	// WaitsAborted counts outgoing wait edges severed by PeerDown.
+	WaitsAborted uint64
 }
 
 func sortedProcs(s map[id.Proc]struct{}) []id.Proc {

@@ -1,0 +1,274 @@
+package core_test
+
+// Crash-recovery tests for the process engine's failure surface
+// (failure.go): severed waits, incarnation fencing, declaration
+// withdrawal, and rejoin re-announcement. The paper's model (axioms
+// P1–P4) has no process failures, so every behaviour pinned here is a
+// deliberate extension — the tests document exactly where the model's
+// guarantees end and the recovery layer's begin.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// recoveryHarness builds n manually driven processes on a conforming
+// simulated network, with deadlock declarations and aborted waits
+// recorded per process.
+type recoveryHarness struct {
+	sched *sim.Scheduler
+	net   *transport.SimNet
+	procs []*core.Process
+
+	declared map[id.Proc]int
+	aborted  []core.WaitAborted
+}
+
+func newRecoveryHarness(t *testing.T, n int) *recoveryHarness {
+	t.Helper()
+	h := &recoveryHarness{
+		sched:    sim.New(1),
+		declared: make(map[id.Proc]int),
+	}
+	h.net = transport.NewSimNet(h.sched, transport.FixedLatency(sim.Millisecond))
+	for i := 0; i < n; i++ {
+		h.procs = append(h.procs, h.spawn(t, id.Proc(i)))
+	}
+	return h
+}
+
+// spawn creates (or, on a reused id, restarts) the process with the
+// given id: SimNet registration overwrites, so the fresh blank-state
+// process models a crashed-and-restarted incarnation.
+func (h *recoveryHarness) spawn(t *testing.T, pid id.Proc) *core.Process {
+	t.Helper()
+	p, err := core.NewProcess(core.Config{
+		ID:        pid,
+		Transport: h.net,
+		Policy:    core.InitiateManually,
+		OnDeadlock: func(id.Tag) {
+			h.declared[pid]++
+		},
+		OnWaitAborted: func(w core.WaitAborted) {
+			h.aborted = append(h.aborted, w)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func (h *recoveryHarness) request(t *testing.T, from, to int) {
+	t.Helper()
+	if err := h.procs[from].Request(id.Proc(to)); err != nil {
+		t.Fatal(err)
+	}
+	h.sched.Run()
+}
+
+func TestPeerDownSeversWaitAndUnblocks(t *testing.T) {
+	h := newRecoveryHarness(t, 2)
+	h.request(t, 0, 1)
+	p0 := h.procs[0]
+	if !p0.Blocked() {
+		t.Fatal("p0 should be waiting on p1")
+	}
+
+	p0.PeerDown(1)
+	if p0.Blocked() {
+		t.Fatal("wait on a dead peer must be severed")
+	}
+	if len(h.aborted) != 1 || h.aborted[0] != (core.WaitAborted{Waiter: 0, Peer: 1}) {
+		t.Fatalf("aborted waits = %v, want exactly [0->1]", h.aborted)
+	}
+	if st := p0.Stats(); st.WaitsAborted != 1 {
+		t.Fatalf("WaitsAborted = %d, want 1", st.WaitsAborted)
+	}
+	// Idempotent, and harmless for strangers.
+	p0.PeerDown(1)
+	p0.PeerDown(7)
+	if st := p0.Stats(); st.WaitsAborted != 1 {
+		t.Fatalf("repeat PeerDown severed again: %+v", st)
+	}
+}
+
+func TestPeerDownDiscardsDeadIncarnationsProbes(t *testing.T) {
+	// A probe already in flight from a peer that dies before delivery
+	// must land as non-meaningful: PeerDown fenced the black edge the
+	// dead incarnation's request created, and without that edge the
+	// probe cannot manufacture a cycle through a corpse.
+	h := newRecoveryHarness(t, 2)
+	h.request(t, 0, 1)
+	h.request(t, 1, 0) // 2-cycle formed; both edges black
+	p0, p1 := h.procs[0], h.procs[1]
+
+	if _, ok := p1.StartProbe(); !ok {
+		t.Fatal("p1 not blocked")
+	}
+	// The probe is now in flight toward p0; p1 dies before it lands.
+	before := p0.Stats().ProbesDiscarded
+	p0.PeerDown(1)
+	h.sched.Run()
+
+	if got := p0.Stats().ProbesDiscarded; got != before+1 {
+		t.Fatalf("ProbesDiscarded = %d, want %d", got, before+1)
+	}
+	if _, dead := p0.Deadlocked(); dead {
+		t.Fatal("p0 declared from a dead incarnation's probe")
+	}
+	if len(p0.PendingIn()) != 0 {
+		t.Fatal("dead peer's black edge survived PeerDown")
+	}
+}
+
+func TestPeerDownWithdrawsDeclarationWhenCycleBroken(t *testing.T) {
+	// p0 declares on a real 2-cycle; then p1 crashes, which breaks the
+	// cycle. The declaration must be withdrawn — the paper's "dark
+	// cycle persists forever" latch (§2.4) is sound only while every
+	// process on the cycle lives — and with the wait severed, p0 is
+	// active and no phantom re-declaration can occur.
+	h := newRecoveryHarness(t, 2)
+	h.request(t, 0, 1)
+	h.request(t, 1, 0)
+	p0 := h.procs[0]
+	if _, ok := p0.StartProbe(); !ok {
+		t.Fatal("p0 not blocked")
+	}
+	h.sched.Run()
+	if _, dead := p0.Deadlocked(); !dead {
+		t.Fatal("2-cycle not declared")
+	}
+
+	p0.PeerDown(1)
+	h.sched.Run()
+	if _, dead := p0.Deadlocked(); dead {
+		t.Fatal("declaration not withdrawn after the cycle broke")
+	}
+	if p0.Blocked() {
+		t.Fatal("p0 should be active after its only wait was severed")
+	}
+	if len(p0.BlackPaths()) != 0 {
+		t.Fatal("permanent-black-path set survived the crash")
+	}
+	if h.declared[0] != 1 {
+		t.Fatalf("declarations = %d, want 1 (no phantom re-declaration)", h.declared[0])
+	}
+}
+
+func TestFalseSuspicionOfBystanderRedetectsSurvivingCycle(t *testing.T) {
+	// A partition can make the failure detector suspect a process that
+	// is not on the cycle at all (the lease cannot distinguish crash
+	// from partition). The withdrawal must then be temporary: PeerDown
+	// re-initiates detection, and the surviving cycle is re-declared.
+	h := newRecoveryHarness(t, 3)
+	h.request(t, 0, 1)
+	h.request(t, 1, 2)
+	h.request(t, 2, 0)
+	p0 := h.procs[0]
+	if _, ok := p0.StartProbe(); !ok {
+		t.Fatal("p0 not blocked")
+	}
+	h.sched.Run()
+	if _, dead := p0.Deadlocked(); !dead {
+		t.Fatal("3-cycle not declared")
+	}
+
+	// Suspect a bystander p0 never waited on; heal afterwards.
+	p0.PeerDown(9)
+	if _, dead := p0.Deadlocked(); dead {
+		t.Fatal("declaration must be withdrawn while suspicion is live")
+	}
+	h.sched.Run()
+	p0.PeerUp(9)
+
+	if _, dead := p0.Deadlocked(); !dead {
+		t.Fatal("surviving cycle not re-detected after false suspicion")
+	}
+	if h.declared[0] != 2 {
+		t.Fatalf("declarations = %d, want 2 (withdraw, then re-declare)", h.declared[0])
+	}
+}
+
+func TestCrashRestartRejoinRedetectsCycle(t *testing.T) {
+	// Full outage round-trip: p1 declares on a 2-cycle, crashes, and
+	// restarts blank. The survivor fences the old incarnation
+	// (PeerDown), clears the fencing when the fresh one joins (PeerUp),
+	// and re-announces its still-outstanding wait (Reannounce) — after
+	// which the restarted incarnation, numbering computations from 1
+	// again, re-forms and re-detects the cycle end to end.
+	h := newRecoveryHarness(t, 2)
+	h.request(t, 0, 1)
+	h.request(t, 1, 0)
+	p0 := h.procs[0]
+	if _, ok := h.procs[1].StartProbe(); !ok {
+		t.Fatal("p1 not blocked")
+	}
+	h.sched.Run()
+	if _, dead := h.procs[1].Deadlocked(); !dead {
+		t.Fatal("2-cycle not declared by p1")
+	}
+
+	// p1 crashes and restarts with blank state on the same node id.
+	p1b := h.spawn(t, 1)
+	h.procs[1] = p1b
+	p0.PeerDown(1)
+	if p0.Blocked() {
+		t.Fatal("p0 must unblock when its only wait dies")
+	}
+
+	// The application re-issues its aborted wait; the restarted peer
+	// blocks on p0 in turn, re-forming the cycle across incarnations.
+	h.request(t, 0, 1)
+	p0.PeerUp(1)
+	if !p0.Reannounce(1) {
+		t.Fatal("reannounce found no edge despite the re-issued wait")
+	}
+	if p0.Reannounce(9) {
+		t.Fatal("reannounce invented an edge to a stranger")
+	}
+	h.sched.Run()
+	h.request(t, 1, 0)
+
+	// The fresh incarnation initiates with n=1; the survivor's latest
+	// table must not suppress it as stale (the old incarnation also
+	// used n=1), or the surviving deadlock is never found again.
+	if _, ok := p1b.StartProbe(); !ok {
+		t.Fatal("restarted p1 not blocked")
+	}
+	h.sched.Run()
+	if _, dead := p1b.Deadlocked(); !dead {
+		t.Fatal("restarted incarnation failed to re-detect the cycle")
+	}
+	if st := p1b.Stats(); st.ProtocolErrors != 0 {
+		t.Fatalf("rejoin produced %d protocol errors", st.ProtocolErrors)
+	}
+	if st := p0.Stats(); st.ProtocolErrors != 0 {
+		t.Fatalf("survivor rejected rejoin traffic: %d protocol errors", st.ProtocolErrors)
+	}
+}
+
+func TestReannounceIdempotentWhenEdgeSurvived(t *testing.T) {
+	// If the outage was a partition rather than a crash, the peer kept
+	// the edge. The Rejoin-marked re-announcement must then be a no-op
+	// at the receiver — not a duplicate-request protocol error — and
+	// the edge must remain exactly once in its dependent set.
+	h := newRecoveryHarness(t, 2)
+	h.request(t, 0, 1)
+	p0, p1 := h.procs[0], h.procs[1]
+
+	if !p0.Reannounce(1) {
+		t.Fatal("edge exists; reannounce must send")
+	}
+	h.sched.Run()
+	if st := p1.Stats(); st.ProtocolErrors != 0 {
+		t.Fatalf("idempotent rejoin rejected: %d protocol errors", st.ProtocolErrors)
+	}
+	if in := p1.PendingIn(); len(in) != 1 || in[0] != 0 {
+		t.Fatalf("pendingIn = %v, want exactly [0]", in)
+	}
+}

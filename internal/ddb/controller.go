@@ -196,6 +196,8 @@ type Controller struct {
 	commits        uint64
 	aborts         uint64
 	protocolErrors uint64
+	agentsPurged   uint64
+	peerAborts     uint64
 }
 
 // NewController creates a controller and registers it on the transport.
@@ -684,6 +686,8 @@ func (c *Controller) Stats() ControllerStats {
 		Commits:        c.commits,
 		Aborts:         c.aborts,
 		ProtocolErrors: c.protocolErrors,
+		AgentsPurged:   c.agentsPurged,
+		PeerAborts:     c.peerAborts,
 	}
 }
 
@@ -699,6 +703,11 @@ type ControllerStats struct {
 	// ProtocolErrors counts ingress frames rejected by the validated
 	// ingress layer (see ingress.go).
 	ProtocolErrors uint64
+	// AgentsPurged counts remote agents released because their home site
+	// crashed; PeerAborts counts home transactions aborted because a
+	// pending remote acquisition's site crashed (see failure.go).
+	AgentsPurged uint64
+	PeerAborts   uint64
 }
 
 func runAll(fns []func()) {

@@ -1,0 +1,114 @@
+package ddb
+
+import "sort"
+
+import "repro/internal/id"
+
+// This file is the DDB layer's crash-recovery surface, mirroring the
+// core engine's (see internal/core/failure.go). A controller learns of
+// a peer site's crash from the failure detector (the TCP lease layer or
+// the fault-injection harness) and must undo every piece of protocol
+// state that depends on the corpse, in both directions:
+//
+//   - Remote agents homed at the dead site died with their home
+//     controller: whatever they hold here is released (cascading grants
+//     unblock local waiters) and whatever they wait for here is
+//     cancelled. Without this, a lock held by a dead transaction blocks
+//     survivors forever — a wait the oracle no longer counts.
+//
+//   - Home transactions with an in-flight acquisition at the dead site
+//     can never be granted (the request died with the lock table that
+//     queued it), so they abort — the DDB analogue of the core engine's
+//     severed wait. Remote holds at the dead site simply vanish: the
+//     resource's lock table is gone, there is nothing to release.
+//
+//   - Probe computations initiated by the dead site are moot, and its
+//     per-initiator freshness window must reset: a restarted controller
+//     numbers computations from 1 again, which a stale high-water mark
+//     would discard as superseded (§4.3 applied across incarnations).
+
+// PeerDown severs every dependency on a crashed site. Safe to call for
+// sites the controller never interacted with; idempotent for repeats.
+func (c *Controller) PeerDown(dead id.Site) {
+	c.mu.Lock()
+	var after []func()
+
+	// Remote agents homed at the dead site: release holds, cancel waits.
+	// Sorted iteration — the grant cascade order must be a pure function
+	// of state, exactly as in releaseAllLocked.
+	var orphans []id.Txn
+	for txn, a := range c.agents {
+		if a.home == dead {
+			orphans = append(orphans, txn)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, txn := range orphans {
+		a := c.agents[txn]
+		if a.hasWaiting {
+			after = c.cancelLocalWaitLocked(a, after)
+		}
+		for _, r := range sortedResources(a.held) {
+			delete(a.held, r)
+			after = c.releaseLocalLocked(r, txn, after)
+		}
+		delete(c.agents, txn)
+		c.agentsPurged++
+	}
+
+	// Home transactions touching the dead site: strip the dead entries
+	// first so no release is addressed to the corpse, then abort the
+	// ones whose pending acquisition can never complete.
+	var stuck []id.Txn
+	for txn, ts := range c.txns {
+		if ts.status != TxnRunning {
+			continue
+		}
+		doomed := false
+		for _, r := range sortedResourceKeys(ts.pendingRemote) {
+			if ts.pendingRemote[r] == dead {
+				delete(ts.pendingRemote, r)
+				doomed = true
+			}
+		}
+		for _, r := range sortedResourceKeys(ts.heldRemote) {
+			if ts.heldRemote[r] == dead {
+				delete(ts.heldRemote, r)
+			}
+		}
+		if doomed {
+			stuck = append(stuck, txn)
+		}
+	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	for _, txn := range stuck {
+		after = c.waitEndLocked(c.agents[txn], after)
+		after = c.abortLocked(c.txns[txn], after)
+		c.peerAborts++
+	}
+
+	// Computations the dead initiator started can never declare usefully
+	// here, and keeping them would let a restarted incarnation's reused
+	// (site, n) keys inherit stale labeled/probed sets.
+	if dead != c.cfg.Site {
+		for key := range c.comps {
+			if key.site == dead {
+				delete(c.comps, key)
+			}
+		}
+		delete(c.latestBy, dead)
+	}
+	c.mu.Unlock()
+	runAll(after)
+}
+
+// PeerUp clears the per-initiator freshness fencing for a restarted
+// site, so its fresh incarnation's computations (numbered from 1) are
+// tracked rather than discarded as stale.
+func (c *Controller) PeerUp(peer id.Site) {
+	c.mu.Lock()
+	if peer != c.cfg.Site {
+		delete(c.latestBy, peer)
+	}
+	c.mu.Unlock()
+}

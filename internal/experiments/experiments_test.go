@@ -191,6 +191,31 @@ func TestE12Ablation(t *testing.T) {
 	}
 }
 
+func TestE14CrashRecovery(t *testing.T) {
+	rows, _, err := E14CrashRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("chaos corpus shrank to %d schedules", len(rows))
+	}
+	redetected := 0
+	for _, r := range rows {
+		if r.FalsePositives != 0 {
+			t.Fatalf("schedule %s declared a phantom deadlock: %+v", r.Schedule, r)
+		}
+		if r.Redetected {
+			redetected++
+			if r.DetectMs <= 0 {
+				t.Fatalf("schedule %s redetected with non-positive latency: %+v", r.Schedule, r)
+			}
+		}
+	}
+	if redetected < 3 {
+		t.Fatalf("only %d schedules re-detected a surviving cycle; the corpus must keep the bystander, restart and partition cases", redetected)
+	}
+}
+
 func TestExperimentsAreDeterministic(t *testing.T) {
 	// Everything runs on the seeded simulator, so two runs of the same
 	// experiment must render byte-identical tables.
@@ -251,7 +276,7 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 13 {
-		t.Fatalf("expected 13 experiments, have %d", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("expected 14 experiments, have %d", len(ids))
 	}
 }

@@ -124,6 +124,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E14",
+			Claim: "crash-recovery: under committed chaos schedules, zero phantom deadlocks and every surviving cycle re-declared",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E14CrashRecovery()
+				return r, t, err
+			},
+		},
 	}
 }
 

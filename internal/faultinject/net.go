@@ -1,0 +1,416 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Listener receives the harness's failure-detector verdicts, exactly
+// mirroring the TCP lease layer's ConnPeerDown/ConnPeerUp events: a
+// PeerDown one deterministic lease delay after a node becomes
+// unreachable from the observer, a PeerUp when it answers again (outage
+// over or fresh incarnation). The conformance and experiment harnesses
+// wire these to the engines' PeerDown/PeerUp/Reannounce recovery API.
+type Listener interface {
+	PeerDown(observer, peer transport.NodeID)
+	PeerUp(observer, peer transport.NodeID)
+}
+
+// NetOptions configures a fault Net.
+type NetOptions struct {
+	// Latency is the base latency model (nil: fixed 1ms, as SimNet).
+	Latency transport.Latency
+	// LeaseDelay is the virtual time between a node becoming
+	// unreachable and the failure detector announcing it (0: 10ms) —
+	// the sim analogue of LeaseInterval × LeaseMisses.
+	LeaseDelay sim.Duration
+	// OnCrash fires at the crash instant, before any survivor is
+	// notified; the harness uses it to retire the process and update
+	// the oracle's ground truth (wfg.GraphObserver.ProcessDown).
+	OnCrash func(transport.NodeID)
+	// OnRestart fires at the restart instant; the harness re-registers
+	// a blank process for the node (Register overwrites). It runs
+	// before any PeerUp announcement, so re-announcements from
+	// survivors find the fresh incarnation listening.
+	OnRestart func(transport.NodeID)
+	// Listener receives peer-down/up verdicts; nil disables them.
+	Listener Listener
+}
+
+// NetStats counts what the harness did to the traffic.
+type NetStats struct {
+	// DroppedDead counts messages that died with a crashed endpoint —
+	// the crash fault itself, not message loss between live processes.
+	DroppedDead uint64
+	// HeldAtPartition counts messages parked across the cut; all of
+	// them were re-scheduled at heal.
+	HeldAtPartition uint64
+	// DupsInjected / DupsFiltered count wire-level duplicates created
+	// by Dup events and removed again before delivery; equality at
+	// quiescence is the exactly-once check.
+	DupsInjected uint64
+	DupsFiltered uint64
+	// Downs / Ups count listener announcements.
+	Downs uint64
+	Ups   uint64
+}
+
+type link struct{ from, to transport.NodeID }
+
+type pair struct{ observer, peer transport.NodeID }
+
+// heldMsg is one message parked at a partition cut.
+type heldMsg struct {
+	m              msg.Message
+	fromInc, toInc uint64
+	dup            bool
+}
+
+// Net is the deterministic fault-injecting simulated network. It is the
+// SimNet contract — FIFO per ordered pair, finite delivery between live
+// processes — plus a fault surface driven either by an installed Plan
+// or by direct Crash/Restart/Partition/Heal calls. Like the scheduler
+// it runs on, it is single-threaded: all methods must be called from
+// the simulation goroutine.
+type Net struct {
+	sched   *sim.Scheduler
+	opts    NetOptions
+	latency transport.Latency
+
+	handlers  map[transport.NodeID]transport.Handler
+	observers []transport.Observer
+	lastAt    map[link]sim.Time
+	inFlight  int
+
+	crashed map[transport.NodeID]bool
+	inc     map[transport.NodeID]uint64
+
+	partitioned bool
+	cut         uint64 // partition generation, for the lease check
+	side        map[transport.NodeID]int
+	held        map[link][]heldMsg
+
+	delayUntil sim.Time
+	delayExtra sim.Duration
+	dupBudget  int
+
+	downAnnounced map[pair]bool
+	stats         NetStats
+}
+
+// NewNet builds a fault net on the scheduler.
+func NewNet(sched *sim.Scheduler, opts NetOptions) *Net {
+	if opts.Latency == nil {
+		opts.Latency = transport.FixedLatency(sim.Millisecond)
+	}
+	if opts.LeaseDelay == 0 {
+		opts.LeaseDelay = 10 * sim.Millisecond
+	}
+	return &Net{
+		sched:         sched,
+		opts:          opts,
+		latency:       opts.Latency,
+		handlers:      make(map[transport.NodeID]transport.Handler),
+		lastAt:        make(map[link]sim.Time),
+		crashed:       make(map[transport.NodeID]bool),
+		inc:           make(map[transport.NodeID]uint64),
+		side:          make(map[transport.NodeID]int),
+		held:          make(map[link][]heldMsg),
+		downAnnounced: make(map[pair]bool),
+	}
+}
+
+// Observe attaches an observer to all subsequent traffic.
+func (n *Net) Observe(o transport.Observer) { n.observers = append(n.observers, o) }
+
+// Register implements transport.Transport. Re-registering a node id
+// overwrites — that is how a restarted incarnation takes over.
+func (n *Net) Register(id transport.NodeID, h transport.Handler) { n.handlers[id] = h }
+
+// InFlight returns scheduled-but-undelivered messages, excluding ones
+// held at a partition (those wake up at heal).
+func (n *Net) InFlight() int { return n.inFlight }
+
+// Stats returns the fault counters.
+func (n *Net) Stats() NetStats { return n.stats }
+
+// Install schedules every event of the plan on the simulation clock.
+// Drop events are refused: connection storms are a wall-clock TCP fault
+// (DriveTCP); the simulator has no connections to drop, and dropping
+// messages instead would violate P4.
+func (n *Net) Install(p Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, ev := range p.Events {
+		ev := ev
+		if ev.Kind == Drop {
+			return fmt.Errorf("faultinject: drop events are TCP-only (P4 forbids message loss in the sim)")
+		}
+		n.sched.After(sim.Duration(ev.At), func() { n.apply(ev) })
+	}
+	return nil
+}
+
+func (n *Net) apply(ev Event) {
+	switch ev.Kind {
+	case Crash:
+		n.Crash(ev.Node)
+	case Restart:
+		n.Restart(ev.Node)
+	case Partition:
+		n.Partition(ev.SideA, ev.SideB)
+	case Heal:
+		n.Heal()
+	case Delay:
+		n.delayExtra = sim.Duration(ev.Extra)
+		n.delayUntil = n.sched.Now() + sim.Time(ev.Span)
+	case Dup:
+		n.dupBudget += ev.Count
+	}
+}
+
+// Send implements transport.Transport with the fault surface applied:
+// dup on the wire, extra delay inside a Delay window, parking across a
+// partition cut, and incarnation capture for the crash check at
+// delivery time.
+func (n *Net) Send(from, to transport.NodeID, m msg.Message) {
+	if m == nil {
+		panic("faultinject: send of nil message")
+	}
+	if n.crashed[from] {
+		// A dead process sends nothing; a straggler callback that fires
+		// after its node crashed is part of the state that died.
+		n.stats.DroppedDead++
+		return
+	}
+	for _, o := range n.observers {
+		o.OnSend(from, to, m)
+	}
+	n.dispatch(from, to, heldMsg{m: m, fromInc: n.inc[from], toInc: n.inc[to]})
+	if n.dupBudget > 0 {
+		n.dupBudget--
+		n.stats.DupsInjected++
+		n.dispatch(from, to, heldMsg{m: m, fromInc: n.inc[from], toInc: n.inc[to], dup: true})
+	}
+}
+
+// dispatch routes one wire frame: park it at a partition cut or
+// schedule its delivery.
+func (n *Net) dispatch(from, to transport.NodeID, h heldMsg) {
+	l := link{from: from, to: to}
+	if n.partitioned && n.side[from] != n.side[to] {
+		n.held[l] = append(n.held[l], h)
+		n.stats.HeldAtPartition++
+		return
+	}
+	n.schedule(l, h)
+}
+
+// schedule assigns a delivery time under the FIFO clamp (never earlier
+// than the previous delivery on the link, exactly as SimNet).
+func (n *Net) schedule(l link, h heldMsg) {
+	at := n.sched.Now() + n.latency.Sample(n.sched.Rand())
+	if n.sched.Now() < n.delayUntil {
+		at += sim.Time(n.delayExtra)
+	}
+	if prev := n.lastAt[l]; at < prev {
+		at = prev
+	}
+	n.lastAt[l] = at
+	n.inFlight++
+	n.sched.At(at, func() { n.deliver(l, h) })
+}
+
+func (n *Net) deliver(l link, h heldMsg) {
+	n.inFlight--
+	if h.dup {
+		// The transport's resequencer discards wire duplicates before
+		// they reach the handler: exactly-once upward, dup on the wire.
+		n.stats.DupsFiltered++
+		return
+	}
+	if n.crashed[l.from] || n.crashed[l.to] ||
+		n.inc[l.from] != h.fromInc || n.inc[l.to] != h.toInc {
+		// An endpoint died (or was reincarnated) while the message was
+		// in flight: the message dies with the incarnation it belonged
+		// to. This is the crash fault, not message loss — P4 holds
+		// between live processes.
+		n.stats.DroppedDead++
+		return
+	}
+	hnd, ok := n.handlers[l.to]
+	if !ok {
+		panic(fmt.Sprintf("faultinject: deliver to unregistered node %d", l.to))
+	}
+	for _, o := range n.observers {
+		o.OnDeliver(l.from, l.to, h.m)
+	}
+	hnd.HandleMessage(l.from, h.m)
+}
+
+// Crash kills a node now: its incarnation's in-flight messages die, and
+// every survivor is told one lease delay later — if the node is still
+// down then (a restart inside the lease window goes unannounced,
+// modeling a reboot faster than the failure detector).
+func (n *Net) Crash(node transport.NodeID) {
+	if n.crashed[node] {
+		return
+	}
+	n.crashed[node] = true
+	if n.opts.OnCrash != nil {
+		n.opts.OnCrash(node)
+	}
+	incAtCrash := n.inc[node]
+	n.sched.After(n.opts.LeaseDelay, func() {
+		if !n.crashed[node] || n.inc[node] != incAtCrash {
+			return
+		}
+		for _, o := range n.nodesSorted() {
+			if o != node && !n.crashed[o] {
+				n.announceDown(o, node)
+			}
+		}
+	})
+}
+
+// Restart revives a crashed node under a bumped incarnation: blank
+// state takes over the node id (OnRestart re-registers), then every
+// live survivor gets a PeerUp — the sim analogue of the TCP layer
+// noticing a fresh inbox incarnation in the ack stream, which fires
+// ConnPeerUp whether or not the outage was ever announced.
+func (n *Net) Restart(node transport.NodeID) {
+	if !n.crashed[node] {
+		return
+	}
+	n.crashed[node] = false
+	n.inc[node]++
+	if n.opts.OnRestart != nil {
+		n.opts.OnRestart(node)
+	}
+	for _, o := range n.nodesSorted() {
+		if o == node || n.crashed[o] {
+			continue
+		}
+		delete(n.downAnnounced, pair{observer: o, peer: node})
+		n.announceUp(o, node)
+	}
+}
+
+// Partition splits the nodes into two sides; a node listed in neither
+// side joins sideB. Cross-cut messages are held until Heal. One lease
+// delay later — if the same partition is still in force — every node is
+// told its cross-cut peers are down: the lease layer cannot distinguish
+// a partition from a crash, and pretending otherwise would hide exactly
+// the false-suspicion cases the recovery layer must survive.
+func (n *Net) Partition(sideA, sideB []transport.NodeID) {
+	if n.partitioned {
+		panic("faultinject: nested partition (heal the first one)")
+	}
+	n.partitioned = true
+	n.cut++
+	cutNow := n.cut
+	n.side = make(map[transport.NodeID]int)
+	for _, a := range sideA {
+		n.side[a] = 1
+	}
+	for _, b := range sideB {
+		n.side[b] = 0
+	}
+	n.sched.After(n.opts.LeaseDelay, func() {
+		if !n.partitioned || n.cut != cutNow {
+			return
+		}
+		nodes := n.nodesSorted()
+		for _, o := range nodes {
+			if n.crashed[o] {
+				continue
+			}
+			for _, p := range nodes {
+				if p != o && !n.crashed[p] && n.side[o] != n.side[p] {
+					n.announceDown(o, p)
+				}
+			}
+		}
+	})
+}
+
+// Heal removes the partition, releases the held messages in link order
+// (per-link FIFO is preserved by the clamp), and reverses every
+// partition-induced down verdict whose peer is actually alive.
+func (n *Net) Heal() {
+	if !n.partitioned {
+		return
+	}
+	n.partitioned = false
+	links := make([]link, 0, len(n.held))
+	for l := range n.held {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].from != links[j].from {
+			return links[i].from < links[j].from
+		}
+		return links[i].to < links[j].to
+	})
+	for _, l := range links {
+		for _, h := range n.held[l] {
+			n.schedule(l, h)
+		}
+		delete(n.held, l)
+	}
+	pairs := make([]pair, 0, len(n.downAnnounced))
+	for pr := range n.downAnnounced {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].observer != pairs[j].observer {
+			return pairs[i].observer < pairs[j].observer
+		}
+		return pairs[i].peer < pairs[j].peer
+	})
+	for _, pr := range pairs {
+		if n.crashed[pr.peer] || n.crashed[pr.observer] {
+			continue // genuinely dead: the verdict stands
+		}
+		delete(n.downAnnounced, pr)
+		n.announceUp(pr.observer, pr.peer)
+	}
+}
+
+func (n *Net) announceDown(observer, peer transport.NodeID) {
+	pr := pair{observer: observer, peer: peer}
+	if n.downAnnounced[pr] {
+		return
+	}
+	n.downAnnounced[pr] = true
+	n.stats.Downs++
+	if n.opts.Listener != nil {
+		n.opts.Listener.PeerDown(observer, peer)
+	}
+}
+
+func (n *Net) announceUp(observer, peer transport.NodeID) {
+	n.stats.Ups++
+	if n.opts.Listener != nil {
+		n.opts.Listener.PeerUp(observer, peer)
+	}
+}
+
+// nodesSorted returns the registered node ids in ascending order —
+// announcement order must be a pure function of state, never of map
+// layout.
+func (n *Net) nodesSorted() []transport.NodeID {
+	out := make([]transport.NodeID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var _ transport.Transport = (*Net)(nil)

@@ -1,0 +1,252 @@
+package faultinject
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// recorder logs deliveries per node and announcements, in order.
+type recorder struct {
+	delivered []string
+	verdicts  []string
+}
+
+func (r *recorder) handler(node transport.NodeID) transport.Handler {
+	return transport.HandlerFunc(func(from transport.NodeID, m msg.Message) {
+		r.delivered = append(r.delivered, fmt.Sprintf("%d->%d %v", from, node, m))
+	})
+}
+
+func (r *recorder) PeerDown(observer, peer transport.NodeID) {
+	r.verdicts = append(r.verdicts, fmt.Sprintf("down %d:%d", observer, peer))
+}
+
+func (r *recorder) PeerUp(observer, peer transport.NodeID) {
+	r.verdicts = append(r.verdicts, fmt.Sprintf("up %d:%d", observer, peer))
+}
+
+func probe(n uint64) msg.Message { return msg.Probe{Tag: id.Tag{Initiator: 1, N: n}} }
+
+// build makes a 3-node net with jittered latency (jitter is what makes
+// the FIFO clamp and determinism claims non-trivial).
+func build(seed int64, leaseDelay sim.Duration) (*sim.Scheduler, *Net, *recorder) {
+	sched := sim.New(seed)
+	rec := &recorder{}
+	net := NewNet(sched, NetOptions{
+		Latency:    transport.UniformLatency{Min: sim.Millisecond, Max: 5 * sim.Millisecond},
+		LeaseDelay: leaseDelay,
+		Listener:   rec,
+	})
+	for i := 0; i < 3; i++ {
+		net.Register(transport.NodeID(i), rec.handler(transport.NodeID(i)))
+	}
+	return sched, net, rec
+}
+
+func TestFaultNetIsFIFOAndDeterministic(t *testing.T) {
+	trace := func() ([]string, NetStats) {
+		sched, net, rec := build(7, 0)
+		for i := 1; i <= 20; i++ {
+			net.Send(0, 1, probe(uint64(i)))
+			net.Send(1, 2, probe(uint64(100+i)))
+		}
+		sched.Run()
+		return rec.delivered, net.Stats()
+	}
+	d1, s1 := trace()
+	d2, s2 := trace()
+	if len(d1) != 40 {
+		t.Fatalf("delivered %d messages, want 40", len(d1))
+	}
+	if !reflect.DeepEqual(d1, d2) || s1 != s2 {
+		t.Fatal("identical seed produced different traces")
+	}
+	// Per-link FIFO despite the jitter.
+	last := map[int]uint64{}
+	for _, line := range d1 {
+		var from, to int
+		var n uint64
+		if _, err := fmt.Sscanf(line, "%d->%d {(p1,n=%d)}", &from, &to, &n); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		if n <= last[from] {
+			t.Fatalf("link %d->%d reordered at n=%d: %v", from, to, n, d1)
+		}
+		last[from] = n
+	}
+}
+
+func TestCrashDropsInFlightAndAnnouncesOnce(t *testing.T) {
+	sched, net, rec := build(1, 10*sim.Millisecond)
+	net.Send(0, 2, probe(1)) // in flight when the crash lands
+	net.Crash(2)
+	net.Crash(2)             // idempotent
+	net.Send(0, 2, probe(2)) // sent toward a corpse
+	net.Send(2, 0, probe(3)) // "sent" by the corpse: dies immediately
+	sched.Run()
+
+	if len(rec.delivered) != 0 {
+		t.Fatalf("deliveries to/from a corpse: %v", rec.delivered)
+	}
+	st := net.Stats()
+	if st.DroppedDead != 3 {
+		t.Fatalf("DroppedDead = %d, want 3", st.DroppedDead)
+	}
+	// Both survivors told exactly once, in node order.
+	want := []string{"down 0:2", "down 1:2"}
+	if !reflect.DeepEqual(rec.verdicts, want) {
+		t.Fatalf("verdicts = %v, want %v", rec.verdicts, want)
+	}
+	if st.Downs != 2 || st.Ups != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFastRestartSkipsDownAnnouncesUp(t *testing.T) {
+	// A reboot faster than the lease goes unannounced as an outage, but
+	// the bumped incarnation is still announced up — the sim analogue
+	// of the TCP ack stream revealing a fresh inbox incarnation.
+	sched, net, rec := build(1, 50*sim.Millisecond)
+	var restarted []transport.NodeID
+	net.opts.OnRestart = func(n transport.NodeID) { restarted = append(restarted, n) }
+	net.Crash(2)
+	sched.RunFor(10 * sim.Millisecond)
+	net.Restart(2)
+	sched.Run()
+
+	want := []string{"up 0:2", "up 1:2"}
+	if !reflect.DeepEqual(rec.verdicts, want) {
+		t.Fatalf("verdicts = %v, want %v (no down: restart beat the lease)", rec.verdicts, want)
+	}
+	if len(restarted) != 1 || restarted[0] != 2 {
+		t.Fatalf("OnRestart calls = %v", restarted)
+	}
+	// The fresh incarnation receives new traffic normally.
+	net.Send(0, 2, probe(9))
+	sched.Run()
+	if len(rec.delivered) != 1 {
+		t.Fatalf("fresh incarnation should receive new traffic: %v", rec.delivered)
+	}
+}
+
+func TestPartitionHoldsTrafficUntilHeal(t *testing.T) {
+	sched, net, rec := build(1, 10*sim.Millisecond)
+	p, err := Parse("partition:0,1|2@5ms; heal@40ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(6 * sim.Millisecond) // partition now in force
+	net.Send(0, 2, probe(1))          // cross-cut: held
+	net.Send(2, 1, probe(2))          // cross-cut: held
+	net.Send(0, 1, probe(3))          // same side: flows
+	sched.RunFor(20 * sim.Millisecond)
+
+	if len(rec.delivered) != 1 {
+		t.Fatalf("cross-cut traffic leaked through the partition: %v", rec.delivered)
+	}
+	// The lease expired inside the outage: cross-cut pairs suspect each
+	// other, in observer order.
+	wantDown := []string{"down 0:2", "down 1:2", "down 2:0", "down 2:1"}
+	if !reflect.DeepEqual(rec.verdicts, wantDown) {
+		t.Fatalf("verdicts = %v, want %v", rec.verdicts, wantDown)
+	}
+
+	sched.Run() // heal fires at 40ms, held messages deliver, peers come back up
+	if len(rec.delivered) != 3 {
+		t.Fatalf("held messages not released at heal: %v", rec.delivered)
+	}
+	st := net.Stats()
+	if st.HeldAtPartition != 2 || st.DroppedDead != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	wantAll := append(wantDown, "up 0:2", "up 1:2", "up 2:0", "up 2:1")
+	if !reflect.DeepEqual(rec.verdicts, wantAll) {
+		t.Fatalf("verdicts = %v, want %v", rec.verdicts, wantAll)
+	}
+}
+
+func TestShortPartitionHealsBeforeLease(t *testing.T) {
+	// A blip shorter than the lease: traffic is held and released, but
+	// no verdict is ever announced — the detector never fired.
+	sched, net, rec := build(1, 50*sim.Millisecond)
+	p, err := Parse("partition:0|1,2@5ms; heal@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(6 * sim.Millisecond)
+	net.Send(0, 1, probe(1))
+	sched.Run()
+	if len(rec.verdicts) != 0 {
+		t.Fatalf("lease fired across a healed blip: %v", rec.verdicts)
+	}
+	if len(rec.delivered) != 1 {
+		t.Fatalf("held message lost: %v", rec.delivered)
+	}
+}
+
+func TestDupInjectedOnWireFilteredBeforeDelivery(t *testing.T) {
+	sched, net, rec := build(1, 0)
+	p, err := Parse("dup:2@0ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(sim.Microsecond) // let the dup event arm the budget
+	for i := 1; i <= 4; i++ {
+		net.Send(0, 1, probe(uint64(i)))
+	}
+	sched.Run()
+	if len(rec.delivered) != 4 {
+		t.Fatalf("exactly-once broken: %d deliveries, want 4 (%v)", len(rec.delivered), rec.delivered)
+	}
+	st := net.Stats()
+	if st.DupsInjected != 2 || st.DupsFiltered != 2 {
+		t.Fatalf("dup accounting off: %+v", st)
+	}
+}
+
+func TestDelayWindowOnlyStretchesLatency(t *testing.T) {
+	sched := sim.New(3)
+	rec := &recorder{}
+	net := NewNet(sched, NetOptions{Latency: transport.FixedLatency(sim.Millisecond)})
+	net.Register(0, rec.handler(0))
+	net.Register(1, rec.handler(1))
+	p, err := Parse("delay:20ms:10ms@0ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(sim.Microsecond)
+	net.Send(0, 1, probe(1)) // inside the window: 1ms + 20ms
+	sched.RunFor(15 * sim.Millisecond)
+	if len(rec.delivered) != 0 {
+		t.Fatal("delayed message arrived before the stretch elapsed")
+	}
+	sched.Run()
+	if len(rec.delivered) != 1 {
+		t.Fatalf("delayed message never arrived: %v", rec.delivered)
+	}
+	// Past the window, latency is back to normal.
+	net.Send(0, 1, probe(2))
+	before := sched.Now()
+	sched.Run()
+	if got := sched.Now() - before; got > sim.Time(2*sim.Millisecond) {
+		t.Fatalf("post-window latency still stretched: %v", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Package faultinject is the deterministic fault-injection harness: a
+// seeded, replayable schedule of node crashes, restarts, partitions and
+// message perturbations, applied either to the discrete-event simulator
+// (Net, exact virtual-time semantics) or to the loopback TCP transport
+// (DriveTCP, wall-clock connection storms).
+//
+// The harness respects the paper's axioms where they still apply:
+// messages between live processes are never dropped and never reordered
+// per link (P4 and its derived P1/P2). The only faults on offer are the
+// ones the recovery layer is designed for — process death (a message in
+// flight to or from a corpse dies with it, which is the crash fault
+// itself, not message loss), partitions that hold traffic until heal,
+// added latency, and wire-level duplication that the transport filters
+// before delivery. A schedule therefore cannot express "silently drop
+// this frame between two live processes"; a plan asking for it does not
+// parse.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// EventKind enumerates the fault vocabulary.
+type EventKind int
+
+// Fault kinds.
+const (
+	// Crash kills a node at At: its state vanishes, in-flight messages
+	// to and from it die, survivors learn of it one lease delay later.
+	Crash EventKind = iota + 1
+	// Restart revives a crashed node with blank state under a bumped
+	// incarnation; survivors are told the peer is up again.
+	Restart
+	// Partition splits the nodes into two sides; cross-cut messages are
+	// held (not dropped) until the matching Heal.
+	Partition
+	// Heal removes the partition and releases held messages in order.
+	Heal
+	// Delay adds Extra latency to every message sent in [At, At+Span).
+	Delay
+	// Dup duplicates the next Count frames on the wire; the transport
+	// model filters the copies before delivery (exactly-once upward).
+	Dup
+	// Drop force-closes every established TCP connection at At (wall
+	// clock). Only DriveTCP accepts it: the sim has no connections, and
+	// the TCP transport's reconnect-and-replay machinery guarantees the
+	// frames still arrive — connections die, messages do not.
+	Drop
+)
+
+// String names the kind as it appears in the plan grammar.
+func (k EventKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Delay:
+		return "delay"
+	case Dup:
+		return "dup"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind EventKind
+	// At is the offset from plan start (virtual time for the sim
+	// driver, wall clock for the TCP driver).
+	At time.Duration
+	// Node is the target of Crash and Restart.
+	Node transport.NodeID
+	// SideA and SideB are the two sides of a Partition; a node listed
+	// in neither joins SideB.
+	SideA, SideB []transport.NodeID
+	// Extra and Span shape a Delay window.
+	Extra, Span time.Duration
+	// Count is the number of frames a Dup duplicates.
+	Count int
+}
+
+// Plan is an ordered fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Parse reads the compact plan grammar: events separated by ';', each
+// `kind[:args]@offset`, e.g.
+//
+//	crash:2@40ms; restart:2@90ms
+//	partition:0,1|2@20ms; heal@50ms
+//	delay:5ms:30ms@10ms; dup:3@10ms
+//	drop@1s; drop@2s
+//
+// Offsets use Go duration syntax. The parsed plan is validated.
+func Parse(s string) (Plan, error) {
+	var p Plan
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		ev, err := parseEvent(raw)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	head, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("fault %q: missing @offset", s)
+	}
+	offset, err := time.ParseDuration(strings.TrimSpace(at))
+	if err != nil || offset < 0 {
+		return Event{}, fmt.Errorf("fault %q: bad offset %q", s, at)
+	}
+	kind, args, _ := strings.Cut(strings.TrimSpace(head), ":")
+	ev := Event{At: offset}
+	switch kind {
+	case "crash", "restart":
+		node, err := strconv.Atoi(args)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault %q: bad node %q", s, args)
+		}
+		ev.Kind = Crash
+		if kind == "restart" {
+			ev.Kind = Restart
+		}
+		ev.Node = transport.NodeID(node)
+	case "partition":
+		a, b, ok := strings.Cut(args, "|")
+		if !ok {
+			return Event{}, fmt.Errorf("fault %q: partition needs sideA|sideB", s)
+		}
+		ev.Kind = Partition
+		if ev.SideA, err = parseNodes(a); err != nil {
+			return Event{}, fmt.Errorf("fault %q: %v", s, err)
+		}
+		if ev.SideB, err = parseNodes(b); err != nil {
+			return Event{}, fmt.Errorf("fault %q: %v", s, err)
+		}
+	case "heal":
+		ev.Kind = Heal
+	case "delay":
+		extra, span, ok := strings.Cut(args, ":")
+		if !ok {
+			return Event{}, fmt.Errorf("fault %q: delay needs extra:span", s)
+		}
+		ev.Kind = Delay
+		if ev.Extra, err = time.ParseDuration(extra); err != nil || ev.Extra <= 0 {
+			return Event{}, fmt.Errorf("fault %q: bad extra %q", s, extra)
+		}
+		if ev.Span, err = time.ParseDuration(span); err != nil || ev.Span <= 0 {
+			return Event{}, fmt.Errorf("fault %q: bad span %q", s, span)
+		}
+	case "dup":
+		n, err := strconv.Atoi(args)
+		if err != nil || n <= 0 {
+			return Event{}, fmt.Errorf("fault %q: bad count %q", s, args)
+		}
+		ev.Kind = Dup
+		ev.Count = n
+	case "drop":
+		ev.Kind = Drop
+	default:
+		return Event{}, fmt.Errorf("fault %q: unknown kind %q (a plan cannot drop messages between live processes — axiom P4)", s, kind)
+	}
+	return ev, nil
+}
+
+func parseNodes(s string) ([]transport.NodeID, error) {
+	var out []transport.NodeID
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad node %q", f)
+		}
+		out = append(out, transport.NodeID(n))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty node list")
+	}
+	return out, nil
+}
+
+// Validate enforces the schedule's structural invariants: offsets
+// sorted, every partition healed (a plan must not end the run inside an
+// outage, or "held until heal" silently becomes "dropped"), restarts
+// only for nodes crashed earlier, no double crash without a restart
+// between.
+func (p Plan) Validate() error {
+	down := map[transport.NodeID]bool{}
+	partitions, heals := 0, 0
+	var last time.Duration
+	for _, ev := range p.Events {
+		if ev.At < last {
+			return fmt.Errorf("plan: events not sorted by offset")
+		}
+		last = ev.At
+		switch ev.Kind {
+		case Crash:
+			if down[ev.Node] {
+				return fmt.Errorf("plan: node %d crashed twice without a restart", ev.Node)
+			}
+			down[ev.Node] = true
+		case Restart:
+			if !down[ev.Node] {
+				return fmt.Errorf("plan: restart of node %d that never crashed", ev.Node)
+			}
+			down[ev.Node] = false
+		case Partition:
+			if partitions > heals {
+				return fmt.Errorf("plan: nested partition at %v (heal the first one)", ev.At)
+			}
+			partitions++
+		case Heal:
+			if heals >= partitions {
+				return fmt.Errorf("plan: heal at %v without a partition", ev.At)
+			}
+			heals++
+		}
+	}
+	if partitions != heals {
+		return fmt.Errorf("plan: %d partition(s) but %d heal(s) — held messages would never deliver (axiom P4)", partitions, heals)
+	}
+	return nil
+}
+
+// String renders the plan back into the grammar.
+func (p Plan) String() string {
+	parts := make([]string, 0, len(p.Events))
+	for _, ev := range p.Events {
+		var s string
+		switch ev.Kind {
+		case Crash, Restart:
+			s = fmt.Sprintf("%s:%d", ev.Kind, ev.Node)
+		case Partition:
+			s = fmt.Sprintf("partition:%s|%s", joinNodes(ev.SideA), joinNodes(ev.SideB))
+		case Heal, Drop:
+			s = ev.Kind.String()
+		case Delay:
+			s = fmt.Sprintf("delay:%v:%v", ev.Extra, ev.Span)
+		case Dup:
+			s = fmt.Sprintf("dup:%d", ev.Count)
+		}
+		parts = append(parts, fmt.Sprintf("%s@%v", s, ev.At))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func joinNodes(ns []transport.NodeID) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(int(n))
+	}
+	return strings.Join(parts, ",")
+}

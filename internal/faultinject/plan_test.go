@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	p, err := Parse("delay:5ms:30ms@10ms; dup:3@10ms; partition:0,1|2@20ms; crash:2@40ms; heal@50ms; restart:2@90ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(p.Events))
+	}
+	// Sorted by offset, stable within equal offsets.
+	kinds := make([]EventKind, len(p.Events))
+	for i, ev := range p.Events {
+		kinds[i] = ev.Kind
+	}
+	want := []EventKind{Delay, Dup, Partition, Crash, Heal, Restart}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event order %v, want %v", kinds, want)
+		}
+	}
+	part := p.Events[2]
+	if len(part.SideA) != 2 || part.SideA[0] != 0 || part.SideA[1] != 1 ||
+		len(part.SideB) != 1 || part.SideB[0] != 2 {
+		t.Fatalf("partition sides %v | %v", part.SideA, part.SideB)
+	}
+	if d := p.Events[0]; d.Extra != 5*time.Millisecond || d.Span != 30*time.Millisecond {
+		t.Fatalf("delay parsed as extra=%v span=%v", d.Extra, d.Span)
+	}
+
+	// Round-trip: the rendered plan re-parses to the same schedule.
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round-trip drifted: %q vs %q", back.String(), p.String())
+	}
+}
+
+func TestParseRejectsMalformedAndUnsound(t *testing.T) {
+	cases := map[string]string{
+		"drop":                      "missing @offset",
+		"crash:x@10ms":              "bad node",
+		"wibble@10ms":               "unknown kind",
+		"partition:0,1|2@10ms":      "partition(s) but 0 heal(s)",
+		"heal@10ms":                 "heal at 10ms without a partition",
+		"restart:1@10ms":            "never crashed",
+		"crash:1@5ms; crash:1@10ms": "crashed twice",
+		"delay:5ms@10ms":            "delay needs extra:span",
+		"dup:0@10ms":                "bad count",
+		"partition:|2@10ms":         "empty node list",
+		"crash:1@-5ms":              "bad offset",
+		"loss@10ms":                 "axiom P4",
+	}
+	for in, wantErr := range cases {
+		_, err := Parse(in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted, want error containing %q", in, wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", in, err, wantErr)
+		}
+	}
+}
+
+func TestInstallRejectsDropEvents(t *testing.T) {
+	p, err := Parse("drop@1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNet(nil, NetOptions{})
+	if err := n.Install(p); err == nil {
+		t.Fatal("sim net accepted a drop event")
+	}
+}
+
+func TestDriveTCPRejectsSimOnlyEvents(t *testing.T) {
+	p, err := Parse("crash:1@5ms; restart:1@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DriveTCP(nil, p); err == nil {
+		t.Fatal("TCP driver accepted a crash event")
+	}
+}
+
+func TestDriveTCPAppliesDropStorm(t *testing.T) {
+	tcp := transport.NewTCP()
+	defer tcp.Close()
+	p, err := Parse("drop@1ms; drop@5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := DriveTCP(tcp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// No connections exist; the storm must still run and return without
+	// wedging the transport.
+	time.Sleep(20 * time.Millisecond)
+	stop() // idempotent
+}

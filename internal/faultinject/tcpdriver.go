@@ -1,0 +1,47 @@
+package faultinject
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// DriveTCP applies a plan's wall-clock events to a live TCP transport
+// and returns a stop function (idempotent; call it before closing the
+// transport). Only Drop events are accepted: a connection storm is the
+// one fault real sockets can express without breaking the transport's
+// delivery contract — links re-dial and replay, receivers dedup, so
+// the frames still arrive exactly once in order. Crash, restart and
+// partition faults are simulator-only, where process state and the
+// failure detector are modeled deterministically; expressing them here
+// would mean killing real OS processes mid-test.
+func DriveTCP(t *transport.TCP, p Plan) (func(), error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, ev := range p.Events {
+		if ev.Kind != Drop {
+			return nil, fmt.Errorf("faultinject: %v events are sim-only; the TCP driver takes drop storms", ev.Kind)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		start := time.Now()
+		for _, ev := range p.Events {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Until(start.Add(ev.At))):
+				t.DropConnections()
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+		}
+	}, nil
+}

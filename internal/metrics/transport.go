@@ -22,5 +22,11 @@ func TCPStatsTable(s transport.TCPStats) string {
 	t.AddRow("stream flushes", s.Flushes)
 	t.AddRow("backpressure engaged", s.BackpressureEngaged)
 	t.AddRow("mailbox peak depth", s.MailboxPeak)
+	t.AddRow("heartbeats sent", s.HeartbeatsSent)
+	t.AddRow("acks sent", s.AcksSent)
+	t.AddRow("acks received", s.AcksReceived)
+	t.AddRow("replay frames pruned", s.FramesPruned)
+	t.AddRow("peer down verdicts", s.PeerDowns)
+	t.AddRow("peer up verdicts", s.PeerUps)
 	return t.String()
 }

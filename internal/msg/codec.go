@@ -21,13 +21,39 @@ import (
 // Epoch, telling the receiver to reset its expected sequence to 1.
 // Seq == 0 marks an unsequenced frame from a sender predating this
 // protocol; such frames are delivered as-is.
+//
+// Ctl distinguishes transport control frames from data frames. Control
+// frames carry no Message and are consumed by the transport itself —
+// they never reach a handler and never occupy a slot in the pair's
+// sequence space:
+//
+//   - CtlPing (sender→receiver on the outbound connection) solicits an
+//     acknowledgement; the lease-based failure detector counts missed
+//     acks to declare a peer down.
+//   - CtlAck (receiver→sender on the *inbound* connection, i.e. flowing
+//     against the data) reports in Ack the highest contiguously
+//     delivered sequence number of the epoch named in Epoch, letting
+//     the sender prune its replay buffer, and carries in Inc the
+//     receiver's inbox incarnation so the sender can tell a restarted
+//     receiver (fresh incarnation, protocol state gone) from one that
+//     merely lost a connection.
 type Envelope struct {
 	From  int32
 	To    int32
 	Seq   uint64
 	Epoch uint64
 	Msg   Message
+	Ctl   uint8
+	Ack   uint64
+	Inc   uint64
 }
+
+// Control-frame discriminators for Envelope.Ctl.
+const (
+	CtlData uint8 = iota // ordinary data frame carrying Msg
+	CtlPing              // liveness probe, answered with a CtlAck
+	CtlAck               // cumulative delivery acknowledgement
+)
 
 func init() {
 	// gob needs the concrete types that may appear behind the Message
@@ -77,7 +103,7 @@ func (e *Encoder) Encode(env Envelope) error {
 // re-send it on a fresh connection (the TCP transport's replay/dedup
 // protocol makes that retransmission safe).
 func (e *Encoder) EncodeBuffered(env Envelope) error {
-	if env.Msg == nil {
+	if env.Msg == nil && env.Ctl == CtlData {
 		return fmt.Errorf("encode envelope %d->%d: nil message", env.From, env.To)
 	}
 	if err := e.enc.Encode(env); err != nil {
@@ -107,7 +133,8 @@ func NewDecoder(r io.Reader) *Decoder {
 // Decode reads one envelope. It returns io.EOF when the stream ends
 // cleanly between frames. A structurally valid gob stream that carries
 // no message (possible with a hand-crafted or corrupted frame) is
-// rejected as an error rather than surfacing a nil message to handlers.
+// rejected as an error rather than surfacing a nil message to handlers;
+// control frames (Ctl != CtlData) legitimately carry none.
 func (d *Decoder) Decode() (Envelope, error) {
 	var env Envelope
 	if err := d.dec.Decode(&env); err != nil {
@@ -116,7 +143,7 @@ func (d *Decoder) Decode() (Envelope, error) {
 		}
 		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
 	}
-	if env.Msg == nil {
+	if env.Msg == nil && env.Ctl == CtlData {
 		return Envelope{}, fmt.Errorf("decode envelope %d->%d: missing message", env.From, env.To)
 	}
 	return env, nil

@@ -70,7 +70,16 @@ type Message interface {
 // Request asks the receiver to carry out an action for the sender; its
 // send creates a grey outgoing edge (G1) which turns black on receipt
 // (G2).
-type Request struct{}
+//
+// Rejoin marks a re-announcement after crash recovery: the sender is
+// still waiting on an edge it created earlier, and the receiver — which
+// restarted and lost the pending-request state of its previous
+// incarnation — must rebuild that dependent-set entry. A receiver that
+// already has the sender's request on file treats a Rejoin request as
+// an idempotent no-op instead of a duplicate-request protocol error.
+type Request struct {
+	Rejoin bool
+}
 
 // Kind implements Message.
 func (Request) Kind() Kind { return KindRequest }

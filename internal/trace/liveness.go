@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Liveness tracks each peer's current liveness verdict from the TCP
+// transport's lease events: a ConnPeerDown marks the peer suspected, a
+// ConnPeerUp clears the suspicion (and, when the event carries a fresh
+// inbox incarnation, records that the peer restarted since last seen).
+// Feed it from TCPOptions.OnConnEvent — it ignores every other event
+// kind, so it chains cleanly with ConnLog and verbose printing. Safe
+// for concurrent use.
+type Liveness struct {
+	mu    sync.Mutex
+	down  map[transport.NodeID]bool
+	incs  map[transport.NodeID]uint64
+	downs int
+	ups   int
+	// restarts counts ConnPeerUp events whose incarnation differed
+	// from the last one observed for that peer — the peer rebooted and
+	// lost its protocol state, as opposed to an outage ending.
+	restarts int
+}
+
+// NewLiveness returns an empty tracker.
+func NewLiveness() *Liveness {
+	return &Liveness{
+		down: make(map[transport.NodeID]bool),
+		incs: make(map[transport.NodeID]uint64),
+	}
+}
+
+// Add records one connection-lifecycle event.
+func (l *Liveness) Add(ev transport.ConnEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch ev.Kind {
+	case transport.ConnPeerDown:
+		if !l.down[ev.To] {
+			l.down[ev.To] = true
+			l.downs++
+		}
+	case transport.ConnPeerUp:
+		if l.down[ev.To] {
+			delete(l.down, ev.To)
+		}
+		l.ups++
+		if ev.Inc != 0 {
+			if prev, seen := l.incs[ev.To]; seen && prev != ev.Inc {
+				l.restarts++
+			}
+			l.incs[ev.To] = ev.Inc
+		}
+	}
+}
+
+// Suspected reports whether the peer's lease is currently expired.
+func (l *Liveness) Suspected(peer transport.NodeID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down[peer]
+}
+
+// Down returns the currently suspected peers, sorted.
+func (l *Liveness) Down() []transport.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]transport.NodeID, 0, len(l.down))
+	for p := range l.down {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counts returns the totals: down transitions, up events, and up
+// events that revealed a restarted peer.
+func (l *Liveness) Counts() (downs, ups, restarts int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.downs, l.ups, l.restarts
+}

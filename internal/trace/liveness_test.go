@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestLivenessTracksLeaseVerdicts(t *testing.T) {
+	l := NewLiveness()
+	down := func(to transport.NodeID) transport.ConnEvent {
+		return transport.ConnEvent{Kind: transport.ConnPeerDown, From: 0, To: to}
+	}
+	up := func(to transport.NodeID, inc uint64) transport.ConnEvent {
+		return transport.ConnEvent{Kind: transport.ConnPeerUp, From: 0, To: to, Inc: inc}
+	}
+
+	l.Add(down(2))
+	l.Add(down(2)) // repeated verdict for the same outage: one transition
+	l.Add(down(1))
+	if got := l.Down(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Down() = %v, want [1 2]", got)
+	}
+	if !l.Suspected(2) || l.Suspected(3) {
+		t.Fatal("suspicion state wrong")
+	}
+
+	l.Add(up(2, 7)) // first incarnation seen: recovery, not a restart
+	if l.Suspected(2) {
+		t.Fatal("peer 2 still suspected after up")
+	}
+	l.Add(up(2, 9)) // incarnation changed: the peer rebooted
+	l.Add(up(1, 0)) // plain ack resumption, no incarnation info
+
+	downs, ups, restarts := l.Counts()
+	if downs != 2 || ups != 3 || restarts != 1 {
+		t.Fatalf("Counts() = %d,%d,%d, want 2,3,1", downs, ups, restarts)
+	}
+	if got := l.Down(); len(got) != 0 {
+		t.Fatalf("Down() = %v, want empty", got)
+	}
+
+	// Other event kinds are ignored.
+	l.Add(transport.ConnEvent{Kind: transport.ConnDialRetry, To: 5})
+	if d, u, r := l.Counts(); d != 2 || u != 3 || r != 1 {
+		t.Fatalf("unrelated event changed counts: %d,%d,%d", d, u, r)
+	}
+}

@@ -43,6 +43,18 @@ const (
 	// ConnBackpressureOff: the mailbox drained back to half the high
 	// watermark.
 	ConnBackpressureOff
+	// ConnPeerDown: the link's lease on the peer expired — LeaseMisses
+	// consecutive lease intervals passed without an acknowledgement, so
+	// the peer is presumed crashed (or unreachable, which the lease
+	// cannot distinguish; see DESIGN.md §6). Queued frames are retained
+	// and retried regardless: the lease is a liveness verdict for the
+	// layer above, never a license to drop traffic.
+	ConnPeerDown
+	// ConnPeerUp: a peer previously declared down acknowledged again,
+	// or the peer's inbox incarnation changed — it restarted and lost
+	// its protocol state. Inc carries the incarnation observed; the
+	// layer above uses the event to re-announce its wait edges.
+	ConnPeerUp
 )
 
 var connEventNames = map[ConnEventKind]string{
@@ -55,6 +67,8 @@ var connEventNames = map[ConnEventKind]string{
 	ConnPeerClosed:      "peer-closed",
 	ConnBackpressureOn:  "backpressure-on",
 	ConnBackpressureOff: "backpressure-off",
+	ConnPeerDown:        "peer-down",
+	ConnPeerUp:          "peer-up",
 }
 
 // String returns the lower-case name of the kind.
@@ -78,6 +92,9 @@ type ConnEvent struct {
 	Attempt int
 	// Depth is the mailbox depth at a backpressure transition.
 	Depth int
+	// Inc is the peer inbox incarnation observed on a ConnPeerUp event
+	// (nonzero only there).
+	Inc uint64
 	// Err describes the failure for error events.
 	Err string
 }
@@ -93,6 +110,9 @@ func (e ConnEvent) String() string {
 	}
 	if e.Depth > 0 {
 		s += fmt.Sprintf(" depth=%d", e.Depth)
+	}
+	if e.Inc != 0 {
+		s += fmt.Sprintf(" inc=%x", e.Inc)
 	}
 	if e.Err != "" {
 		s += ": " + e.Err
@@ -147,6 +167,24 @@ type TCPOptions struct {
 	// exists so operators see overload instead of silent queue growth.
 	// Default 0 (disabled).
 	MailboxHighWater int
+	// LeaseInterval, when > 0, arms the lease-based failure detector on
+	// every outbound link: the link sends a lightweight ping control
+	// frame on the established connection once per interval (piggybacked
+	// on the existing envelope stream — no extra connection), and the
+	// receiver answers each ping, plus periodic data deliveries, with a
+	// cumulative acknowledgement. A link that sees no acknowledgement
+	// for LeaseInterval × LeaseMisses declares the peer down
+	// (ConnPeerDown); the first acknowledgement after that declares it
+	// up again (ConnPeerUp). The detector is deliberately a *lease*, not
+	// an oracle: it cannot distinguish a crashed peer from a partitioned
+	// one, so the layer above must treat peer-down as "aborted wait",
+	// never as "safe to forget" — the transport itself keeps retrying
+	// and never drops frames. Default 0 (disabled).
+	LeaseInterval time.Duration
+	// LeaseMisses is how many consecutive lease intervals may pass
+	// without an acknowledgement before the peer is declared down.
+	// Default 3 (when LeaseInterval is set).
+	LeaseMisses int
 }
 
 // withDefaults fills unset options.
@@ -162,6 +200,9 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
+	}
+	if o.LeaseInterval > 0 && o.LeaseMisses <= 0 {
+		o.LeaseMisses = 3
 	}
 	return o
 }
@@ -197,6 +238,21 @@ type TCPStats struct {
 	// MailboxPeak is the deepest any node's ingress mailbox has been.
 	BackpressureEngaged int64
 	MailboxPeak         int64
+	// HeartbeatsSent counts lease ping control frames written; AcksSent
+	// and AcksReceived count acknowledgement control frames on the
+	// receive and send sides respectively.
+	HeartbeatsSent int64
+	AcksSent       int64
+	AcksReceived   int64
+	// FramesPruned counts replay-buffer frames released because the
+	// peer acknowledged delivering them — the memory the ack protocol
+	// reclaims.
+	FramesPruned int64
+	// PeerDowns counts lease expiries (peer declared down); PeerUps
+	// counts recoveries, including restart detections via a changed
+	// inbox incarnation.
+	PeerDowns int64
+	PeerUps   int64
 }
 
 // tcpCounters is the atomic backing store for TCPStats.
@@ -205,6 +261,8 @@ type tcpCounters struct {
 	writeErrors, readErrors                                 atomic.Int64
 	replayed, duplicates, resequenced                       atomic.Int64
 	framesWritten, flushes, backpressure                    atomic.Int64
+	heartbeats, acksSent, acksReceived, framesPruned        atomic.Int64
+	peerDowns, peerUps                                      atomic.Int64
 }
 
 func (c *tcpCounters) snapshot() TCPStats {
@@ -222,5 +280,11 @@ func (c *tcpCounters) snapshot() TCPStats {
 		FramesWritten:       c.framesWritten.Load(),
 		Flushes:             c.flushes.Load(),
 		BackpressureEngaged: c.backpressure.Load(),
+		HeartbeatsSent:      c.heartbeats.Load(),
+		AcksSent:            c.acksSent.Load(),
+		AcksReceived:        c.acksReceived.Load(),
+		FramesPruned:        c.framesPruned.Load(),
+		PeerDowns:           c.peerDowns.Load(),
+		PeerUps:             c.peerUps.Load(),
 	}
 }

@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitteredDelayBounds pins the jitter window: a backoff sleep is
+// drawn from [d/2, d] — never above the nominal delay (the doubling
+// schedule's cap stays honest) and never below half of it (retries
+// stay spaced out). rnd is injected, so the extremes are exact.
+func TestJitteredDelayBounds(t *testing.T) {
+	delays := []time.Duration{
+		5 * time.Millisecond, 50 * time.Millisecond, time.Second,
+	}
+	for _, d := range delays {
+		if got := jitteredDelay(d, func() float64 { return 0 }); got != d/2 {
+			t.Errorf("jitteredDelay(%v, rnd=0) = %v, want %v", d, got, d/2)
+		}
+		almostOne := func() float64 { return 0.999999 }
+		if got := jitteredDelay(d, almostOne); got < d/2 || got > d {
+			t.Errorf("jitteredDelay(%v, rnd≈1) = %v, outside [%v, %v]", d, got, d/2, d)
+		}
+		for i := 0; i < 1000; i++ {
+			if got := jitteredDelay(d, rand.Float64); got < d/2 || got > d {
+				t.Fatalf("jitteredDelay(%v) = %v, outside [%v, %v]", d, got, d/2, d)
+			}
+		}
+	}
+	// Degenerate delays pass through untouched.
+	if got := jitteredDelay(0, rand.Float64); got != 0 {
+		t.Errorf("jitteredDelay(0) = %v, want 0", got)
+	}
+	if got := jitteredDelay(1, rand.Float64); got != 1 {
+		t.Errorf("jitteredDelay(1) = %v, want 1", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/msg"
 )
@@ -55,9 +56,16 @@ type TCP struct {
 // inbox is the receive side of one registered node: the dispatch
 // mailbox plus the per-sender resequencing state that survives
 // connection drops (it must outlive any single inbound connection).
+//
+// inc is the inbox's incarnation, drawn at registration and stamped on
+// every acknowledgement: a sender comparing incarnations across acks
+// can tell a receiver that restarted (fresh inc, resequencing state
+// gone — the link must rebase its stream) from one that merely lost a
+// connection (same inc — replay + dedup suffice).
 type inbox struct {
 	node NodeID
 	box  *mailbox
+	inc  uint64
 
 	mu    sync.Mutex
 	pairs map[NodeID]*pairState
@@ -67,12 +75,21 @@ type inbox struct {
 // sequence numbers start at 1 and increase by 1 per frame; a frame
 // below next is a duplicate from a replay, a frame above it is held
 // until the gap fills. A new epoch (sender restarted) resets the
-// expectation.
+// expectation. acked is the highest sequence number already reported
+// back to the sender in a cumulative acknowledgement.
 type pairState struct {
 	epoch uint64
 	next  uint64
+	acked uint64
 	held  map[uint64]msg.Message
 }
+
+// tcpAckStride is how many contiguously delivered frames may accumulate
+// before the receiver volunteers a cumulative acknowledgement on a data
+// frame (acks are also sent for every ping and for the first frame of a
+// new sender epoch). A stride amortizes the ack write across a batch of
+// deliveries so the ack protocol does not halve ingress throughput.
+const tcpAckStride = 64
 
 // NewTCP returns a TCP transport with default options.
 func NewTCP() *TCP { return NewTCPWithOptions(TCPOptions{}) }
@@ -140,7 +157,7 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
-	ib := &inbox{node: id, pairs: make(map[NodeID]*pairState)}
+	ib := &inbox{node: id, inc: newEpoch(), pairs: make(map[NodeID]*pairState)}
 	ib.box = newMailbox(h, func(d delivery) {
 		t.mu.Lock()
 		obs := t.observers
@@ -204,13 +221,18 @@ func (t *TCP) acceptLoop(ln net.Listener, ib *inbox) {
 }
 
 // readLoop decodes envelopes from one connection into the node's
-// resequencer. A decode failure (peer crash, TCP reset, corrupt frame)
-// closes only this connection and is surfaced through OnError — the
-// link's sender will replay anything the failure swallowed on its next
-// connection, so co-hosted nodes and other links keep running.
+// resequencer and writes acknowledgements back on the same connection
+// (the return path of the sender's stream — its watch goroutine
+// consumes them). A decode failure (peer crash, TCP reset, corrupt
+// frame) closes only this connection and is surfaced through OnError —
+// the link's sender will replay anything the failure swallowed on its
+// next connection, so co-hosted nodes and other links keep running. A
+// failed ack write is ignored: the connection is already dying and the
+// sender re-solicits acknowledgement with its next ping.
 func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 	defer t.wg.Done()
 	dec := msg.NewDecoder(conn)
+	var enc *msg.Encoder // created on first ack
 	for {
 		env, err := dec.Decode()
 		if err != nil {
@@ -223,7 +245,14 @@ func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 			conn.Close()
 			return
 		}
-		t.receive(ib, env)
+		if ack, due := t.receive(ib, env); due {
+			if enc == nil {
+				enc = msg.NewEncoder(conn)
+			}
+			if werr := enc.Encode(ack); werr == nil {
+				t.stats.acksSent.Add(1)
+			}
+		}
 	}
 }
 
@@ -232,16 +261,32 @@ func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 // ib.mu so frames of one pair arriving on overlapping connections
 // (old one draining while the replacement is live) cannot interleave;
 // mailbox.put never blocks, so the lock is never held across slow work.
-func (t *TCP) receive(ib *inbox, env msg.Envelope) {
+//
+// The return value is the acknowledgement due back to the sender, if
+// any: every ping is answered (that is the lease heartbeat), the first
+// frame of a new sender epoch is acknowledged immediately (so a sender
+// talking to a restarted receiver learns the new incarnation fast),
+// and after that a cumulative ack is volunteered once per tcpAckStride
+// contiguous deliveries.
+func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 	from := NodeID(env.From)
-	if env.Seq == 0 { // unsequenced sender: deliver as-is
+	switch env.Ctl {
+	case msg.CtlPing:
+		ib.mu.Lock()
+		defer ib.mu.Unlock()
+		return ib.ackLocked(env.From, env.Epoch), true
+	case msg.CtlAck:
+		return msg.Envelope{}, false // acks belong on outbound return paths; ignore
+	}
+	if env.Seq == 0 { // unsequenced sender: deliver as-is, nothing to ack
 		ib.box.put(delivery{from: from, m: env.Msg})
-		return
+		return msg.Envelope{}, false
 	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	ps := ib.pairs[from]
-	if ps == nil || ps.epoch != env.Epoch {
+	fresh := ps == nil || ps.epoch != env.Epoch
+	if fresh {
 		// First frame of a (possibly new) sender incarnation: expect its
 		// stream from the beginning. Replays always restart at seq 1.
 		ps = &pairState{epoch: env.Epoch, next: 1, held: make(map[uint64]msg.Message)}
@@ -250,24 +295,47 @@ func (t *TCP) receive(ib *inbox, env msg.Envelope) {
 	switch {
 	case env.Seq < ps.next:
 		t.stats.duplicates.Add(1)
-		return
+		return ib.ackLocked(env.From, env.Epoch), true
 	case env.Seq > ps.next:
 		if _, dup := ps.held[env.Seq]; !dup {
 			ps.held[env.Seq] = env.Msg
 			t.stats.resequenced.Add(1)
 		}
-		return
+		if fresh {
+			return ib.ackLocked(env.From, env.Epoch), true
+		}
+		return msg.Envelope{}, false
 	}
 	ib.box.put(delivery{from: from, m: env.Msg, seq: ps.next, epoch: ps.epoch})
 	ps.next++
 	for {
 		m, ok := ps.held[ps.next]
 		if !ok {
-			return
+			break
 		}
 		delete(ps.held, ps.next)
 		ib.box.put(delivery{from: from, m: m, seq: ps.next, epoch: ps.epoch})
 		ps.next++
+	}
+	if fresh || ps.next-1 >= ps.acked+tcpAckStride {
+		return ib.ackLocked(env.From, env.Epoch), true
+	}
+	return msg.Envelope{}, false
+}
+
+// ackLocked (ib.mu held) builds the cumulative acknowledgement for one
+// sender epoch: the highest contiguously delivered sequence number of
+// that epoch (0 if the inbox has no state for it), stamped with the
+// inbox incarnation.
+func (ib *inbox) ackLocked(sender int32, epoch uint64) msg.Envelope {
+	var ackTo uint64
+	if ps := ib.pairs[NodeID(sender)]; ps != nil && ps.epoch == epoch {
+		ackTo = ps.next - 1
+		ps.acked = ackTo
+	}
+	return msg.Envelope{
+		From: int32(ib.node), To: sender,
+		Epoch: epoch, Ctl: msg.CtlAck, Ack: ackTo, Inc: ib.inc,
 	}
 }
 
@@ -293,6 +361,10 @@ func (t *TCP) Send(from, to NodeID, m msg.Message) {
 		t.links[k] = l
 		t.wg.Add(1)
 		go l.run()
+		if t.opts.LeaseInterval > 0 {
+			t.wg.Add(1)
+			go l.leaseLoop()
+		}
 	}
 	t.mu.Unlock()
 
@@ -314,6 +386,23 @@ func (t *TCP) Send(from, to NodeID, m msg.Message) {
 	l.mu.Unlock()
 }
 
+// ReplayBufferLen reports how many written-but-unacknowledged frames
+// the (from,to) link currently retains for replay (0 if the link does
+// not exist). The acceptance bound for the ack protocol — history
+// length never exceeds the unacked window after an ack exchange — is
+// asserted against this.
+func (t *TCP) ReplayBufferLen(from, to NodeID) int {
+	t.mu.Lock()
+	l := t.links[link{from: from, to: to}]
+	t.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sent)
+}
+
 // DropConnections forcibly closes every established connection, both
 // inbound and outbound, without closing the transport — simulating a
 // network blip. Links re-dial and replay; receivers dedup; the FIFO
@@ -332,6 +421,52 @@ func (t *TCP) DropConnections() {
 	}
 	for _, l := range links {
 		l.breakConn()
+	}
+}
+
+// Drain blocks until every link has flushed its accepted frames to the
+// wire, or the timeout elapses; it reports whether the transport fully
+// drained. Graceful shutdown uses it so batched writes still queued on
+// link goroutines reach the peers before Close tears the links down
+// (Close itself drops queued frames — the transport is exiting).
+// Frames queued toward an unreachable peer keep the transport
+// undrained until the deadline; callers decide whether that is worth
+// reporting.
+func (t *TCP) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		t.mu.Lock()
+		links := make([]*outLink, 0, len(t.links))
+		for _, l := range t.links {
+			links = append(links, l)
+		}
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return false
+		}
+		idle := true
+		for _, l := range links {
+			l.mu.Lock()
+			if !l.closed && len(l.queue) > 0 {
+				idle = false
+			}
+			l.mu.Unlock()
+			if !idle {
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-t.done:
+			return false
+		}
 	}
 }
 

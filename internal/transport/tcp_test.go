@@ -274,9 +274,45 @@ type ringNode struct {
 	seq  *trace.LinkFIFOChecker
 }
 
+// recoveryWiring connects transport liveness events to the process's
+// crash-recovery API the same way cmhnode does: a ConnPeerUp on a link
+// (ack resumed, or the peer's inbox incarnation changed — it
+// restarted) clears the per-peer fencing state and re-announces any
+// still-outstanding wait edge so the fresh incarnation rebuilds its
+// dependent set. The indirection exists because the transport needs
+// its options before the process exists.
+type recoveryWiring struct {
+	mu   sync.Mutex
+	proc *core.Process
+}
+
+func (r *recoveryWiring) set(p *core.Process) {
+	r.mu.Lock()
+	r.proc = p
+	r.mu.Unlock()
+}
+
+func (r *recoveryWiring) onConnEvent(ev transport.ConnEvent) {
+	if ev.Kind != transport.ConnPeerUp {
+		return
+	}
+	r.mu.Lock()
+	p := r.proc
+	r.mu.Unlock()
+	if p == nil {
+		return
+	}
+	peer := id.Proc(ev.To)
+	p.PeerUp(peer)
+	p.Reannounce(peer)
+}
+
 func startRingNode(t *testing.T, pid id.Proc, errs *errList, onDeadlock func(id.Tag)) *ringNode {
 	t.Helper()
-	tcp := transport.NewTCPWithOptions(fastRetry(errs))
+	wiring := &recoveryWiring{}
+	opts := fastRetry(errs)
+	opts.OnConnEvent = wiring.onConnEvent
+	tcp := transport.NewTCPWithOptions(opts)
 	seq := trace.NewLinkFIFOChecker(func(s string) { t.Error("seq violation:", s) })
 	tcp.Observe(seq)
 	proc, err := core.NewProcess(core.Config{
@@ -288,6 +324,7 @@ func startRingNode(t *testing.T, pid id.Proc, errs *errList, onDeadlock func(id.
 	if err != nil {
 		t.Fatal(err)
 	}
+	wiring.set(proc)
 	return &ringNode{tcp: tcp, proc: proc, seq: seq}
 }
 
@@ -295,10 +332,13 @@ func startRingNode(t *testing.T, pid id.Proc, errs *errList, onDeadlock func(id.
 // old transport answered with panics: a 3-node cmhnode-style ring
 // (one transport instance per node, wired by address) in which one
 // node is killed mid-run and restarted on a fresh port. The survivors
-// must not crash, the restarted node must be re-integrated (the
-// sender links replay its lost incoming requests), the deadlock must
-// still be detected, and every node's receiver-side FIFO checker must
-// stay clean across the reconnects.
+// must not crash, the restarted node must be re-integrated — the
+// sender links detect its fresh inbox incarnation through the ack
+// protocol, rebase their streams, and the recovery wiring re-announces
+// the surviving wait edges (the acked prefix of the history is pruned,
+// so replay alone can no longer rebuild the dependent set) — the
+// deadlock must still be detected, and every node's receiver-side FIFO
+// checker must stay clean across the reconnects.
 func TestTCPRingSurvivesPeerRestart(t *testing.T) {
 	var errs errList
 	detected := make(chan id.Tag, 1)
@@ -368,11 +408,12 @@ func TestTCPRingSurvivesPeerRestart(t *testing.T) {
 	n0.tcp.SetPeer(1, n1b.tcp.Addr(1))
 	n2.tcp.SetPeer(1, n1b.tcp.Addr(1))
 
-	// The pending probe (and the replayed request ahead of it in the
-	// link's history) now flows through the restarted node; the cycle
-	// is still there, so detection must complete. Re-initiate
-	// periodically in case the first computation's probe raced the
-	// restart.
+	// The pending probe now flows through the restarted node; its
+	// first ack carries a fresh incarnation, which triggers the rebase
+	// and the reannounce that rebuilds pendingIn there. The cycle is
+	// still there, so detection must complete. Re-initiate
+	// periodically: probes sent before the reannounce landed are
+	// rightly discarded as non-meaningful.
 	deadline := time.After(20 * time.Second)
 	tick := time.NewTicker(300 * time.Millisecond)
 	defer tick.Stop()

@@ -4,7 +4,7 @@ import (
 	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
-	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -20,12 +20,17 @@ import (
 // mutex and returns.
 //
 // Every frame successfully written is retained in sent, the replay
-// buffer: a reconnect retransmits the whole buffer, the receiver drops
-// what it already delivered (by sequence number) and a restarted
-// receiver — whose protocol state died with it — gets the link's full
-// history back. The buffer grows with the link's lifetime traffic;
-// bounding it requires an acknowledgement protocol and is documented
-// future work.
+// buffer: a reconnect retransmits the buffer, the receiver drops what
+// it already delivered (by sequence number). The buffer is bounded by
+// the acknowledgement protocol: the receiver reports its highest
+// contiguously delivered sequence number in CtlAck control frames
+// flowing back on the inbound connection, and handleAck releases every
+// frame at or below that mark — after an ack exchange the buffer holds
+// only unacked frames. A receiver that *restarts* (protocol state
+// gone) comes back under a fresh inbox incarnation; handleAck notices
+// the change and rebases the link (rebaseLocked) so the restarted peer
+// gets every unacknowledged frame under a fresh epoch instead of a
+// pruned history it cannot resequence.
 type outLink struct {
 	t        *TCP
 	from, to NodeID
@@ -34,23 +39,40 @@ type outLink struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// queue holds frames accepted by Send and not yet written; sent
-	// holds frames written on some connection, kept for replay.
+	// holds frames written on some connection and not yet acknowledged,
+	// kept for replay.
 	queue []msg.Envelope
 	sent  []msg.Envelope
 	seq   uint64
 	conn  net.Conn
 	enc   *msg.Encoder
+	// gen counts rebases: the run loop captures it when it copies a
+	// batch out for writing and skips its pop/append bookkeeping if a
+	// rebase renumbered the queue mid-write.
+	gen uint64
 	// broken marks the current conn dead (peer closed, forced drop);
 	// the run loop tears it down and re-dials.
 	broken        bool
 	everConnected bool
 	closed        bool
+
+	// Lease-based failure-detector state. pingDue asks the run loop to
+	// write one CtlPing on the established connection; lastAck is the
+	// wall-clock time of the last CtlAck from the peer; peerInc is the
+	// peer's inbox incarnation as observed in acks (0 until the first
+	// ack); peerDown latches the lease verdict so down/up events fire
+	// once per transition.
+	pingDue  bool
+	lastAck  time.Time
+	peerInc  uint64
+	peerDown bool
 }
 
-// newOutLink creates the link; the caller starts run() and owns the
-// t.wg accounting for it.
+// newOutLink creates the link; the caller starts run() (and, when the
+// lease detector is armed, leaseLoop()) and owns the t.wg accounting
+// for them.
 func newOutLink(t *TCP, from, to NodeID) *outLink {
-	l := &outLink{t: t, from: from, to: to, epoch: newEpoch()}
+	l := &outLink{t: t, from: from, to: to, epoch: newEpoch(), lastAck: time.Now()}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
@@ -75,7 +97,7 @@ func (l *outLink) run() {
 	defer l.t.wg.Done()
 	for {
 		l.mu.Lock()
-		for !l.closed && len(l.queue) == 0 && !(l.broken && len(l.sent) > 0) {
+		for !l.closed && len(l.queue) == 0 && !(l.broken && len(l.sent) > 0) && !l.pingDue {
 			l.cond.Wait()
 		}
 		if l.closed {
@@ -95,20 +117,26 @@ func (l *outLink) run() {
 			}
 			continue
 		}
-		if len(l.queue) == 0 {
+		ping := l.pingDue
+		l.pingDue = false
+		if len(l.queue) == 0 && !ping {
 			l.mu.Unlock()
 			continue
 		}
 		// Coalesce up to MaxBatch queued envelopes into one buffered
 		// encode + single flush. The copy lets Send keep appending while
-		// the batch is on the wire.
+		// the batch is on the wire. A due lease ping rides the same
+		// flush; it carries no sequence number, so it costs the stream
+		// nothing.
 		k := len(l.queue)
 		if max := l.t.opts.MaxBatch; k > max {
 			k = max
 		}
 		batch := append([]msg.Envelope(nil), l.queue[:k]...)
+		gen := l.gen
 		enc := l.enc
 		conn := l.conn
+		epoch := l.epoch
 		l.mu.Unlock()
 
 		var err error
@@ -116,6 +144,11 @@ func (l *outLink) run() {
 			if err = enc.EncodeBuffered(env); err != nil {
 				break
 			}
+		}
+		if err == nil && ping {
+			err = enc.EncodeBuffered(msg.Envelope{
+				From: int32(l.from), To: int32(l.to), Epoch: epoch, Ctl: msg.CtlPing,
+			})
 		}
 		if err == nil {
 			err = enc.Flush()
@@ -139,19 +172,30 @@ func (l *outLink) run() {
 			// The whole batch is unconfirmed (the buffer may have spilled
 			// part of it): the reconnect replays sent and the run loop
 			// then re-batches the still-queued frames; the receiver drops
-			// whatever it already saw by sequence number.
+			// whatever it already saw by sequence number. A swallowed
+			// ping is simply lost — the lease loop re-arms it.
 			continue
 		}
-		// Pop the batch off the queue, zeroing the vacated tail so the
-		// backing array does not pin flushed envelopes.
-		rem := copy(l.queue, l.queue[k:])
-		for i := rem; i < len(l.queue); i++ {
-			l.queue[i] = msg.Envelope{}
+		if l.gen == gen {
+			// Pop the batch off the queue, zeroing the vacated tail so the
+			// backing array does not pin flushed envelopes.
+			rem := copy(l.queue, l.queue[k:])
+			for i := rem; i < len(l.queue); i++ {
+				l.queue[i] = msg.Envelope{}
+			}
+			l.queue = l.queue[:rem]
+			l.sent = append(l.sent, batch...)
 		}
-		l.queue = l.queue[:rem]
-		l.sent = append(l.sent, batch...)
+		// else: a rebase renumbered the queue while the batch was on the
+		// wire; the written frames stay queued under their new epoch and
+		// will be re-sent — the receiver discards the stale-epoch copies.
 		l.mu.Unlock()
-		l.t.stats.framesWritten.Add(int64(k))
+		if k > 0 {
+			l.t.stats.framesWritten.Add(int64(k))
+		}
+		if ping {
+			l.t.stats.heartbeats.Add(1)
+		}
 		l.t.stats.flushes.Add(1)
 	}
 }
@@ -205,7 +249,7 @@ func (l *outLink) connect() bool {
 			}
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitteredDelay(backoff, rand.Float64)):
 		case <-l.t.done:
 			return false
 		}
@@ -213,6 +257,21 @@ func (l *outLink) connect() bool {
 			backoff = o.RetryMax
 		}
 	}
+}
+
+// jitteredDelay spreads one backoff sleep uniformly over [d/2, d].
+// Without jitter, every peer of a restarted node retries on the same
+// doubling schedule and the reconnect dials arrive as synchronized
+// bursts (a thundering herd against a node that is busy rebuilding);
+// drawing from the half-open interval keeps the cap — a delay never
+// exceeds the nominal backoff — while desynchronizing the herd. rnd is
+// injected (returning [0,1)) so tests can pin the bounds.
+func jitteredDelay(d time.Duration, rnd func() float64) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rnd()*float64(d-half))
 }
 
 // install adopts a freshly dialed connection, starts its peer watcher
@@ -277,16 +336,28 @@ func (l *outLink) install(conn net.Conn, addr string, attempt int) bool {
 	return true
 }
 
-// watch blocks on the connection until the peer closes it (or it
-// fails), then marks the link broken and wakes the run loop. Peers
-// never send data on an inbound connection, so any read return means
-// the connection is gone. Without the watcher, a peer crash would be
-// noticed only at the next write — and a kernel buffer can swallow one
-// write to a freshly dead peer without an error, losing the frame;
-// marking the link broken forces a reconnect that replays it.
+// watch reads the connection's return stream until the peer closes it
+// (or it fails), then marks the link broken and wakes the run loop.
+// The only traffic a peer sends back on an outbound connection is
+// CtlAck control frames — cumulative delivery acknowledgements that
+// prune the replay buffer and feed the lease detector; anything else
+// is ignored. Any read error means the connection is gone. Without the
+// watcher, a peer crash would be noticed only at the next write — and
+// a kernel buffer can swallow one write to a freshly dead peer without
+// an error, losing the frame; marking the link broken forces a
+// reconnect that replays it.
 func (l *outLink) watch(conn net.Conn) {
 	defer l.t.wg.Done()
-	_, _ = io.Copy(io.Discard, conn)
+	dec := msg.NewDecoder(conn)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			break
+		}
+		if env.Ctl == msg.CtlAck {
+			l.handleAck(env)
+		}
+	}
 	l.mu.Lock()
 	if l.conn == conn && !l.closed {
 		l.broken = true
@@ -296,6 +367,111 @@ func (l *outLink) watch(conn net.Conn) {
 	if !l.t.isClosed() {
 		l.t.event(ConnEvent{Kind: ConnPeerClosed, From: l.from, To: l.to,
 			Addr: conn.RemoteAddr().String()})
+	}
+}
+
+// handleAck processes one cumulative acknowledgement from the peer:
+// refresh the lease, prune the replay buffer up to the acked sequence
+// number, and — when the ack reveals a new peer incarnation (the peer
+// restarted and lost its resequencing state) — rebase the link so the
+// fresh incarnation receives every unacknowledged frame from sequence
+// 1 of a fresh epoch.
+func (l *outLink) handleAck(env msg.Envelope) {
+	l.t.stats.acksReceived.Add(1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.lastAck = time.Now()
+	if env.Epoch == l.epoch && env.Ack > 0 {
+		// sent is ordered by ascending Seq; release the acked prefix,
+		// zeroing vacated slots so the array does not pin envelopes.
+		cut := 0
+		for cut < len(l.sent) && l.sent[cut].Seq <= env.Ack {
+			cut++
+		}
+		if cut > 0 {
+			rem := copy(l.sent, l.sent[cut:])
+			for i := rem; i < len(l.sent); i++ {
+				l.sent[i] = msg.Envelope{}
+			}
+			l.sent = l.sent[:rem]
+			l.t.stats.framesPruned.Add(int64(cut))
+		}
+	}
+	wasDown := l.peerDown
+	l.peerDown = false
+	restarted := l.peerInc != 0 && env.Inc != 0 && env.Inc != l.peerInc
+	if env.Inc != 0 {
+		l.peerInc = env.Inc
+	}
+	if restarted {
+		l.rebaseLocked()
+	}
+	l.mu.Unlock()
+	if wasDown || restarted {
+		l.t.stats.peerUps.Add(1)
+		l.t.event(ConnEvent{Kind: ConnPeerUp, From: l.from, To: l.to, Inc: env.Inc})
+	}
+}
+
+// rebaseLocked (l.mu held) restarts the link's stream for a fresh peer
+// incarnation: every unacknowledged frame — replay buffer first, then
+// the unsent queue — is renumbered from sequence 1 under a fresh
+// epoch and requeued. The restarted peer's resequencer sees a new
+// epoch, expects sequence 1, and receives exactly the frames its
+// previous incarnation never acknowledged; without the rebase a pruned
+// replay buffer would start at some k > 1 and the fresh incarnation
+// would hold the stream forever waiting for the gap.
+func (l *outLink) rebaseLocked() {
+	merged := append(l.sent, l.queue...)
+	l.epoch = newEpoch()
+	for i := range merged {
+		merged[i].Seq = uint64(i + 1)
+		merged[i].Epoch = l.epoch
+	}
+	l.sent = nil
+	l.queue = merged
+	l.seq = uint64(len(merged))
+	l.gen++
+	l.cond.Broadcast()
+}
+
+// leaseLoop is the link's failure detector: once per LeaseInterval it
+// arms a ping for the run loop and checks how stale the peer's last
+// acknowledgement is. LeaseMisses silent intervals declare the peer
+// down (ConnPeerDown, once per outage); the next acknowledgement —
+// handled in handleAck — declares it up again. Started only when
+// TCPOptions.LeaseInterval > 0.
+func (l *outLink) leaseLoop() {
+	defer l.t.wg.Done()
+	interval := l.t.opts.LeaseInterval
+	expiry := interval * time.Duration(l.t.opts.LeaseMisses)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.t.done:
+			return
+		case <-tick.C:
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		l.pingDue = true
+		l.cond.Broadcast()
+		expired := !l.peerDown && time.Since(l.lastAck) > expiry
+		if expired {
+			l.peerDown = true
+		}
+		l.mu.Unlock()
+		if expired {
+			l.t.stats.peerDowns.Add(1)
+			l.t.event(ConnEvent{Kind: ConnPeerDown, From: l.from, To: l.to})
+		}
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 // DFS over the mirror after every step.
 func FuzzWFGTransitions(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0x00, 0x01, 0x01, 0x10}) // create 0->1, blacken it
+	f.Add([]byte{0x00, 0x01, 0x01, 0x10})                         // create 0->1, blacken it
 	f.Add([]byte{0x00, 0x01, 0x00, 0x12, 0x01, 0x01, 0x01, 0x12}) // 2-cycle, blackened
 	f.Add([]byte{0x00, 0x01, 0x01, 0x01, 0x02, 0x01, 0x03, 0x01}) // full lifecycle of one edge
 	f.Fuzz(func(t *testing.T, data []byte) {

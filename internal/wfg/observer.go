@@ -36,8 +36,14 @@ func NewGraphObserver(onViolation func(error)) *GraphObserver {
 // OnSend implements transport.Observer.
 func (o *GraphObserver) OnSend(from, to transport.NodeID, m msg.Message) {
 	e := id.Edge{From: id.Proc(from), To: id.Proc(to)}
-	switch m.(type) {
+	switch mm := m.(type) {
 	case msg.Request:
+		if mm.Rejoin {
+			// Crash-recovery re-announcement: the edge may or may not
+			// have survived on this side of the oracle, by design.
+			o.apply(o.lockedGraph().EnsureCreate, e)
+			return
+		}
 		o.apply(o.lockedGraph().Create, e)
 	case msg.Reply:
 		// Reply from j to i whitens edge (i, j).
@@ -48,12 +54,26 @@ func (o *GraphObserver) OnSend(from, to transport.NodeID, m msg.Message) {
 // OnDeliver implements transport.Observer.
 func (o *GraphObserver) OnDeliver(from, to transport.NodeID, m msg.Message) {
 	e := id.Edge{From: id.Proc(from), To: id.Proc(to)}
-	switch m.(type) {
+	switch mm := m.(type) {
 	case msg.Request:
+		if mm.Rejoin {
+			o.apply(o.lockedGraph().EnsureBlack, e)
+			return
+		}
 		o.apply(o.lockedGraph().Blacken, e)
 	case msg.Reply:
 		o.apply(o.lockedGraph().Delete, id.Edge{From: id.Proc(to), To: id.Proc(from)})
 	}
+}
+
+// ProcessDown removes every edge incident to the crashed process at
+// the crash instant — before survivors are notified — so the oracle's
+// ground truth never counts a corpse's edges toward a dark cycle. The
+// fault-injection harness calls it when a schedule crashes a process.
+func (o *GraphObserver) ProcessDown(p id.Proc) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.g.RemoveVertex(p)
 }
 
 // lockedGraph acquires the mutex and returns the graph; apply releases

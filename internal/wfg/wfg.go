@@ -144,6 +144,57 @@ func (g *Graph) ForceDelete(e id.Edge) {
 	removeFrom(g.in, e.To, e.From)
 }
 
+// RemoveVertex force-deletes every edge incident to v, in or out, and
+// returns how many were removed. It models a process crash: the
+// crashed process's waits vanish with its state, and edges pointing at
+// it can no longer resolve (the fault harness applies this at the
+// crash instant, before notifying survivors). Like ForceDelete it is
+// outside the axioms G1–G4, which assume immortal processes.
+func (g *Graph) RemoveVertex(v id.Proc) int {
+	n := 0
+	for to := range g.out[v] {
+		g.ForceDelete(id.Edge{From: v, To: to})
+		n++
+	}
+	for from := range g.in[v] {
+		g.ForceDelete(id.Edge{From: from, To: v})
+		n++
+	}
+	return n
+}
+
+// EnsureCreate is the idempotent form of Create used for
+// crash-recovery re-announcements (Request{Rejoin}): the sender cannot
+// know whether the receiver survived the outage with the edge intact,
+// so an existing edge of any colour is tolerated instead of being a G1
+// violation.
+func (g *Graph) EnsureCreate(e id.Edge) error {
+	if _, exists := g.colors[e]; exists {
+		return nil
+	}
+	return g.Create(e)
+}
+
+// EnsureBlack is the idempotent form of Blacken for re-announcement
+// deliveries: an edge that is already black (the receiver kept it) or
+// white (a reply raced the re-announcement) is left alone, and a
+// missing edge (removed by RemoveVertex between send and delivery) is
+// recreated black, matching the pending-request entry the receiving
+// engine records.
+func (g *Graph) EnsureBlack(e id.Edge) error {
+	c, exists := g.colors[e]
+	if !exists {
+		g.colors[e] = Black
+		addTo(g.out, e.From, e.To)
+		addTo(g.in, e.To, e.From)
+		return nil
+	}
+	if c == Grey {
+		return g.Blacken(e)
+	}
+	return nil
+}
+
 // Color returns the colour of an edge and whether it exists.
 func (g *Graph) Color(e id.Edge) (Color, bool) {
 	c, ok := g.colors[e]
