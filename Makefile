@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz-smoke chaos-smoke cover experiments examples clean
+.PHONY: all build vet test race bench bench-json check fuzz-smoke chaos-smoke host-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -43,12 +43,18 @@ fuzz-smoke:
 # (CI runs this as the chaos-smoke job).
 chaos-smoke:
 	$(GO) test -race ./internal/faultinject/
-	$(GO) test -race -run 'TestFaultScheduleConformance|TestWirePerturbationMatchesFaultFreeBaseline|TestTCPChaosConformance' ./internal/conformance/
+	$(GO) test -race -run 'TestFaultScheduleConformance|TestWirePerturbationMatchesFaultFreeBaseline|TestTCPChaosConformance|TestTCPMuxChaosConformance' ./internal/conformance/
+
+# Host-scale smoke: 8192 processes co-hosted on one sharded runtime
+# behind ONE multiplexed listener, full request ring, deadlock detected
+# end-to-end (CI runs this as the host-smoke job).
+host-smoke:
+	$(GO) run ./cmd/cmhnode -procs 8192 -shards 8 -initiate -timeout 60s
 
 # Combined statement coverage of the engine and harness packages (CI
 # enforces a floor on this number).
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/... ./internal/... ./cmd/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/... ./internal/... ./cmd/...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).

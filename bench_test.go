@@ -277,6 +277,34 @@ func BenchmarkDDBMixResolution(b *testing.B) {
 	}
 }
 
+func BenchmarkE15HostScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E15HostScaling(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The intra-host fast path must beat the per-process loopback-TCP
+		// baseline by at least an order of magnitude at the same proc
+		// count, and every multi-process ring must detect.
+		var tcpRate, hostRate float64
+		for _, r := range rows {
+			if r.Procs >= 2 && r.DetectUs <= 0 {
+				b.Fatalf("E15: ring not detected: %+v", r)
+			}
+			if r.Path == "tcp" {
+				tcpRate = r.KMsgsPerSec
+			}
+			if r.Path == "host" && r.Procs == 64 && r.KMsgsPerSec > hostRate {
+				hostRate = r.KMsgsPerSec
+			}
+		}
+		if tcpRate <= 0 || hostRate < 10*tcpRate {
+			b.Fatalf("E15: intra-host rate %.1f kmsgs/s not >= 10x tcp baseline %.1f kmsgs/s",
+				hostRate, tcpRate)
+		}
+	}
+}
+
 func BenchmarkE14CrashRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.E14CrashRecovery()

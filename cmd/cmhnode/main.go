@@ -70,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/id"
 	"repro/internal/metrics"
@@ -107,9 +108,15 @@ func run(args []string, out io.Writer) error {
 		leaseEvery  = fs.Duration("lease-interval", 0, "heartbeat interval for the lease-based failure detector (0 = disabled)")
 		leaseMisses = fs.Int("lease-misses", 0, "missed intervals before a peer is declared down (0 = transport default)")
 		faultPlan   = fs.String("fault-plan", "", "faultinject drop-storm schedule applied to this node's connections, e.g. 'drop@2s; drop@5s'")
+
+		procs  = fs.Int("procs", 1, "processes to co-host on this node's sharded runtime (>1 switches to host mode: ONE listener for all of them)")
+		shards = fs.Int("shards", 4, "single-writer shards of the host runtime (host mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *procs > 1 {
+		return runHostMode(out, *idFlag, *listen, *procs, *shards, *initiate, *timeout, *maxBatch)
 	}
 	self := id.Proc(*idFlag)
 
@@ -290,6 +297,89 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, metrics.TCPStatsTable(net.Stats()))
 			return nil
 		}
+	}
+}
+
+// runHostMode runs -procs co-located processes on one sharded
+// engine.Host over ONE multiplexed TCP listener — the scaling
+// deployment. The processes are wired into a request ring (the
+// canonical total deadlock); with -initiate, process 0 starts a probe
+// computation and the wall-clock detection latency is reported along
+// with the host's shard statistics. The pre-host deployment would have
+// opened one loopback listener and one dispatcher goroutine per
+// process; host mode demonstrably opens one listener total.
+func runHostMode(out io.Writer, idFlag int, listen string, procs, shards int, initiate bool, timeout time.Duration, maxBatch int) error {
+	hostID := transport.NodeID(1 + idFlag) // host ids must be positive
+	net := transport.NewTCPWithOptions(transport.TCPOptions{
+		MaxBatch: maxBatch,
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "cmhnode host %v: transport: %v\n", hostID, err)
+		},
+	})
+	defer net.Close()
+	if err := net.ListenHost(hostID, listen); err != nil {
+		return err
+	}
+	for i := 0; i < procs; i++ {
+		net.AssignNode(transport.NodeID(i), hostID)
+	}
+	host := engine.NewHost(engine.Options{Shards: shards, Transport: net})
+	defer host.Close()
+
+	detected := make(chan id.Tag, 1)
+	ps := make([]*core.Process, procs)
+	for i := 0; i < procs; i++ {
+		cfg := core.Config{
+			ID:        id.Proc(i),
+			Transport: host,
+			Policy:    core.InitiateManually,
+		}
+		if i == 0 {
+			cfg.OnDeadlock = func(tag id.Tag) {
+				select {
+				case detected <- tag:
+				default:
+				}
+			}
+		}
+		p, err := core.NewProcess(cfg)
+		if err != nil {
+			return err
+		}
+		ps[i] = p
+	}
+	fmt.Fprintf(out, "host %v listening on %s: %d processes on %d shards, %d listener(s)\n",
+		hostID, net.HostAddr(hostID), procs, shards, net.ListenerCount())
+
+	for i := 0; i < procs; i++ {
+		if err := ps[i].Request(id.Proc((i + 1) % procs)); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "host %v: request ring of %d processes wired (total deadlock)\n", hostID, procs)
+	if !initiate {
+		host.Drain()
+		st := host.Stats()
+		fmt.Fprintf(out, "host %v: idle (intra-host sends=%d, batches=%d, max batch=%d); pass -initiate to detect\n",
+			hostID, st.IntraSends, st.Batches, st.MaxBatch)
+		return nil
+	}
+
+	start := time.Now()
+	if _, ok := ps[0].StartProbe(); !ok {
+		return fmt.Errorf("host mode: initiator not blocked")
+	}
+	select {
+	case tag := <-detected:
+		elapsed := time.Since(start)
+		st := host.Stats()
+		fmt.Fprintf(out, "host %v: DEADLOCK detected by computation %v in %v (%d-process cycle)\n",
+			hostID, tag, elapsed.Round(time.Microsecond), procs)
+		fmt.Fprintf(out, "host %v: intra-host sends=%d remote sends=%d batches=%d max batch=%d\n",
+			hostID, st.IntraSends, st.RemoteSends, st.Batches, st.MaxBatch)
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("host mode: no verdict after %v", timeout)
 	}
 }
 

@@ -13,8 +13,13 @@ import (
 // per-initiator diffusing-computation table and the declaration latch.
 // Traffic counters are excluded.
 func (p *Process) Snapshot() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	var out string
+	p.run.Exec(func() { out = p.snapshotStep() })
+	return out
+}
+
+// snapshotStep renders the state from within the serialized step.
+func (p *Process) snapshotStep() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "comm/%d{b:%t ep:%d seq:%d decl:%t deps:[", p.cfg.ID, p.blocked, p.episode, p.nextSeq, p.declared)
 	deps := make([]id.Proc, 0, len(p.dependents))

@@ -203,7 +203,7 @@ func RunSimFaults(fs FaultSpec) (FaultReport, error) {
 			OnWaitAborted: func(wa core.WaitAborted) {
 				rep.WaitsAborted++
 				oracle.With(func(g *wfg.Graph) {
-					g.ForceDelete(id.Edge{From: wa.Waiter, To: wa.Peer})
+					g.ForceDelete(id.Edge{From: id.Proc(wa.Waiter), To: id.Proc(wa.Peer)})
 				})
 			},
 		})
@@ -399,4 +399,30 @@ func RunTCPChaos(spec Spec, plan string) (string, error) {
 	}
 	defer stop()
 	return run(spec, net, nil, pollQuiesce(counters))
+}
+
+// RunTCPMuxChaos replays the spec on the host-multiplexed two-host
+// topology while the drop storm force-closes established connections on
+// BOTH transports — so the single shared host link, carrying every
+// cross-host pair's traffic at once, is the thing being killed and
+// replayed. The verdict must still be byte-identical to the fault-free
+// simulator's.
+func RunTCPMuxChaos(spec Spec, shards int, plan string) (string, error) {
+	p, err := faultinject.Parse(plan)
+	if err != nil {
+		return "", fmt.Errorf("plan: %w", err)
+	}
+	place, counters, nets, cleanup, err := muxTopology(spec, shards)
+	if err != nil {
+		return "", err
+	}
+	defer cleanup()
+	for _, net := range nets {
+		stop, err := faultinject.DriveTCP(net, p)
+		if err != nil {
+			return "", err
+		}
+		defer stop()
+	}
+	return runPlaced(spec, place, nil, pollQuiesce(counters))
 }

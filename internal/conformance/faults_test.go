@@ -138,3 +138,36 @@ func TestTCPChaosConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestTCPMuxChaosConformance replays the same seeded drop storms on the
+// host-multiplexed topology: the processes split across two sharded
+// engine Hosts whose entire cross-host traffic rides ONE TCP link per
+// direction. Killing that shared link repeatedly must still yield a
+// verdict byte-identical to the fault-free simulator — the host-stream
+// replay/resequence machinery has to protect every co-hosted pair at
+// once.
+func TestTCPMuxChaosConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets + wall-clock storm")
+	}
+	const storm = "drop@5ms; drop@30ms; drop@70ms"
+	for _, spec := range []Spec{
+		{Seed: 1, N: 6, MaxBatch: 2},  // deadlocked outcome
+		{Seed: 5, N: 10, MaxBatch: 2}, // clean outcome
+	} {
+		spec := spec
+		t.Run(specName(spec), func(t *testing.T) {
+			want, err := RunSim(spec)
+			if err != nil {
+				t.Fatalf("sim baseline: %v", err)
+			}
+			got, err := RunTCPMuxChaos(spec, 4, storm)
+			if err != nil {
+				t.Fatalf("tcp mux chaos: %v", err)
+			}
+			if got != want {
+				t.Errorf("drop storm on the shared host link changed the verdict:\n--- mux chaos ---\n%s--- sim ---\n%s", got, want)
+			}
+		})
+	}
+}

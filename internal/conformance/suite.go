@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/id"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -83,11 +84,48 @@ func (s Spec) Batches() [][]id.Proc {
 	return out
 }
 
-// observableTransport is the slice of the three transports the suite
-// needs: routing plus observer attachment.
+// observableTransport is the slice of the transports the suite needs:
+// routing plus observer attachment.
 type observableTransport interface {
 	transport.Transport
 	Observe(transport.Observer)
+}
+
+// placement maps each process index to the transport endpoint it
+// registers on and fans observers out across the whole topology. A
+// single-transport run is the degenerate placement; the host-mux run
+// splits the processes across two engine Hosts bridged by one
+// multiplexed TCP link per direction.
+type placement interface {
+	transportFor(i int) transport.Transport
+	observe(o transport.Observer)
+}
+
+// singlePlacement registers every process on one transport.
+type singlePlacement struct{ net observableTransport }
+
+func (s singlePlacement) transportFor(int) transport.Transport { return s.net }
+func (s singlePlacement) observe(o transport.Observer)         { s.net.Observe(o) }
+
+// splitPlacement registers processes below split on a and the rest on
+// b. Observers attach to both sides; each message is observed exactly
+// once globally (OnSend at its source host, OnDeliver at its
+// destination host).
+type splitPlacement struct {
+	a, b  observableTransport
+	split int
+}
+
+func (s splitPlacement) transportFor(i int) transport.Transport {
+	if i < s.split {
+		return s.a
+	}
+	return s.b
+}
+
+func (s splitPlacement) observe(o transport.Observer) {
+	s.a.Observe(o)
+	s.b.Observe(o)
 }
 
 // RunSim replays the spec on the deterministic simulated network.
@@ -123,6 +161,87 @@ func RunTCP(spec Spec) (string, error) {
 	counters := metrics.NewCounters()
 	net.Observe(counters)
 	return run(spec, net, nil, pollQuiesce(counters))
+}
+
+// RunHosted replays the spec on a single sharded engine.Host with no
+// wire underneath: every message takes the intra-host fast path (a
+// direct shard-queue append). shards <= 0 defaults to one shard.
+func RunHosted(spec Spec, shards int) (string, error) {
+	host := engine.NewHost(engine.Options{Shards: shards})
+	defer host.Close()
+	counters := metrics.NewCounters()
+	host.Observe(counters)
+	return runPlaced(spec, singlePlacement{net: host}, nil, pollQuiesce(counters))
+}
+
+// Host identifiers for the two-host mux topology. Arbitrary positive
+// values well clear of the process-id space.
+const (
+	muxHostA = transport.NodeID(100_001)
+	muxHostB = transport.NodeID(100_002)
+)
+
+// muxTopology builds the two-host topology RunTCPMux and the chaos
+// variant share: two TCP transports, each with ONE host listener, one
+// multiplexed link per direction between them, an engine.Host with the
+// given shard count over each, and the spec's processes split half and
+// half. The caller must invoke cleanup (hosts first, then transports).
+func muxTopology(spec Spec, shards int) (place splitPlacement, counters *metrics.Counters, nets [2]*transport.TCP, cleanup func(), err error) {
+	tcpA, tcpB := transport.NewTCP(), transport.NewTCP()
+	if err = tcpA.ListenHost(muxHostA, "127.0.0.1:0"); err != nil {
+		tcpA.Close()
+		tcpB.Close()
+		return
+	}
+	if err = tcpB.ListenHost(muxHostB, "127.0.0.1:0"); err != nil {
+		tcpA.Close()
+		tcpB.Close()
+		return
+	}
+	tcpA.SetHostPeer(muxHostB, tcpB.HostAddr(muxHostB))
+	tcpB.SetHostPeer(muxHostA, tcpA.HostAddr(muxHostA))
+
+	split := spec.N / 2
+	for i := 0; i < spec.N; i++ {
+		node := transport.NodeID(i)
+		h := muxHostA
+		if i >= split {
+			h = muxHostB
+		}
+		tcpA.AssignNode(node, h)
+		tcpB.AssignNode(node, h)
+	}
+
+	hostA := engine.NewHost(engine.Options{Shards: shards, Transport: tcpA})
+	hostB := engine.NewHost(engine.Options{Shards: shards, Transport: tcpB})
+	counters = metrics.NewCounters()
+	hostA.Observe(counters)
+	hostB.Observe(counters)
+
+	place = splitPlacement{a: hostA, b: hostB, split: split}
+	nets = [2]*transport.TCP{tcpA, tcpB}
+	cleanup = func() {
+		hostA.Close()
+		hostB.Close()
+		tcpA.Close()
+		tcpB.Close()
+	}
+	return
+}
+
+// RunTCPMux replays the spec on the host-multiplexed topology: the
+// processes are split across two sharded engine Hosts, and ALL
+// cross-host traffic — every (from,to) pair — shares one TCP link per
+// direction and one listener per host. Intra-host traffic never
+// touches the wire. The verdict must be byte-identical to every other
+// runner's.
+func RunTCPMux(spec Spec, shards int) (string, error) {
+	place, counters, _, cleanup, err := muxTopology(spec, shards)
+	if err != nil {
+		return "", err
+	}
+	defer cleanup()
+	return runPlaced(spec, place, nil, pollQuiesce(counters))
 }
 
 // pollQuiesce waits until the transport's sent and delivered totals are
@@ -161,11 +280,19 @@ func pollQuiesce(c *metrics.Counters) func() error {
 // returns the canonical verdict, after cross-checking it against the
 // oracle.
 func run(spec Spec, net observableTransport, timers core.Timers, quiesce func() error) (string, error) {
+	return runPlaced(spec, singlePlacement{net: net}, timers, quiesce)
+}
+
+// runPlaced is run generalized over a process placement, so the same
+// three-phase workload drives both single-transport topologies and the
+// sharded host topology (processes split across two engine Hosts
+// bridged by a multiplexed TCP link).
+func runPlaced(spec Spec, place placement, timers core.Timers, quiesce func() error) (string, error) {
 	if spec.N < 2 || spec.MaxBatch < 1 {
 		return "", fmt.Errorf("spec needs N >= 2 and MaxBatch >= 1, got N=%d MaxBatch=%d", spec.N, spec.MaxBatch)
 	}
 	oracle := wfg.NewGraphObserver(nil)
-	net.Observe(oracle)
+	place.observe(oracle)
 
 	var gate atomic.Bool
 	procs := make([]*core.Process, spec.N)
@@ -185,7 +312,7 @@ func run(spec Spec, net observableTransport, timers core.Timers, quiesce func() 
 		pid := id.Proc(i)
 		p, err := core.NewProcess(core.Config{
 			ID:        pid,
-			Transport: net,
+			Transport: place.transportFor(i),
 			Timers:    timers,
 			Policy:    core.InitiateManually,
 			OnRequest: func(id.Proc) { service(pid) },

@@ -35,11 +35,25 @@ func TestDifferentialTransportConformance(t *testing.T) {
 			if err != nil {
 				t.Fatalf("tcp: %v", err)
 			}
+			hostedV, err := RunHosted(spec, 4)
+			if err != nil {
+				t.Fatalf("hosted: %v", err)
+			}
+			muxV, err := RunTCPMux(spec, 4)
+			if err != nil {
+				t.Fatalf("tcpmux: %v", err)
+			}
 			if simV != liveV {
 				t.Errorf("sim and live verdicts differ:\n--- sim ---\n%s--- live ---\n%s", simV, liveV)
 			}
 			if simV != tcpV {
 				t.Errorf("sim and tcp verdicts differ:\n--- sim ---\n%s--- tcp ---\n%s", simV, tcpV)
+			}
+			if simV != hostedV {
+				t.Errorf("sim and hosted verdicts differ:\n--- sim ---\n%s--- hosted ---\n%s", simV, hostedV)
+			}
+			if simV != muxV {
+				t.Errorf("sim and tcpmux verdicts differ:\n--- sim ---\n%s--- tcpmux ---\n%s", simV, muxV)
 			}
 			if strings.Contains(simV, "declared=true") {
 				sawDeadlock = true

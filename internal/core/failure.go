@@ -1,8 +1,10 @@
 package core
 
 import (
+	"repro/internal/engine"
 	"repro/internal/id"
 	"repro/internal/msg"
+	"repro/internal/transport"
 )
 
 // This file is the crash-recovery surface of the process engine. The
@@ -10,10 +12,11 @@ import (
 // process keeps running and every sent message is delivered — so the
 // engine cannot derive failure handling from the protocol itself.
 // Instead the layer below (the transport's lease-based failure
-// detector, or the fault-injection harness) tells the process when a
-// peer is presumed dead (PeerDown) and when it is reachable again
-// (PeerUp), and the process translates those verdicts into the only
-// sound moves available:
+// detector, an engine.Host routing connection events, or the
+// fault-injection harness) tells the process when a peer is presumed
+// dead (PeerDown) and when it is reachable again (PeerUp), and the
+// process translates those verdicts into the only sound moves
+// available:
 //
 //   - A wait on a dead peer cannot resolve — the peer will never
 //     reply — and it also cannot count toward a deadlock in the
@@ -35,20 +38,15 @@ import (
 //     computation keeps both directions honest: a genuinely surviving
 //     cycle is re-detected (the probe laps it again), while a broken
 //     one is never reported as a phantom.
+//
+// The WaitAborted outcome type and its accounting are shared runtime
+// plumbing (internal/engine/recovery.go); the fencing below is the
+// basic model's own translation of the verdicts.
 
 // WaitAborted describes one outgoing wait edge severed because the
-// waited-on peer was declared down.
-type WaitAborted struct {
-	// Waiter is the process whose wait was severed (the one reporting).
-	Waiter id.Proc
-	// Peer is the presumed-dead process the edge pointed at.
-	Peer id.Proc
-}
-
-// String renders the outcome compactly.
-func (w WaitAborted) String() string {
-	return "wait " + w.Waiter.String() + "->" + w.Peer.String() + " aborted: peer down"
-}
+// waited-on peer was declared down (Waiter/Peer are transport
+// identities, numerically equal to the id.Proc values).
+type WaitAborted = engine.WaitAborted
 
 // PeerDown tells the process that peer is presumed dead (lease expiry,
 // ConnPeerDown, or a fault-injection schedule). It severs the outgoing
@@ -61,18 +59,25 @@ func (w WaitAborted) String() string {
 // interacted with.
 func (p *Process) PeerDown(peer id.Proc) {
 	var after []func()
-	p.mu.Lock()
+	p.run.Exec(func() { after = p.peerDownStep(peer) })
+	runAfter(after)
+}
+
+// StepPeerDown implements engine.RecoveryLogic: the Host invokes it on
+// the owning shard, already serialized.
+func (p *Process) StepPeerDown(peer transport.NodeID) {
+	runAfter(p.peerDownStep(id.Proc(peer)))
+}
+
+func (p *Process) peerDownStep(peer id.Proc) []func() {
+	var after []func()
 	if _, waiting := p.waitingFor[peer]; waiting {
 		delete(p.waitingFor, peer)
 		// Invalidate §4.3 delay timers armed for the severed edge: the
 		// instance check in Request's timer closure fails against the
 		// bumped counter.
 		p.edgeInstance[peer]++
-		p.waitsAborted++
-		if cb := p.cfg.OnWaitAborted; cb != nil {
-			ev := WaitAborted{Waiter: p.cfg.ID, Peer: peer}
-			after = append(after, func() { cb(ev) })
-		}
+		after = p.recovery.Abort(transport.NodeID(peer), after)
 		if len(p.waitingFor) == 0 {
 			if cb := p.cfg.OnActive; cb != nil {
 				after = append(after, func() { cb() })
@@ -100,11 +105,10 @@ func (p *Process) PeerDown(peer id.Proc) {
 		p.blackPaths = make(map[id.Edge]struct{})
 		p.sentWFGD = make(map[id.Proc]map[string]struct{})
 		if len(p.waitingFor) > 0 {
-			p.startProbeLocked()
+			p.startProbeStep()
 		}
 	}
-	p.mu.Unlock()
-	runAfter(after)
+	return after
 }
 
 // PeerUp tells the process that peer is reachable again — either an
@@ -114,10 +118,17 @@ func (p *Process) PeerDown(peer id.Proc) {
 // latest-table entry from the previous incarnation would wrongly
 // suppress (§4.3 keeps only the newest computation per initiator).
 func (p *Process) PeerUp(peer id.Proc) {
-	p.mu.Lock()
+	p.run.Exec(func() { p.peerUpStep(peer) })
+}
+
+// StepPeerUp implements engine.RecoveryLogic.
+func (p *Process) StepPeerUp(peer transport.NodeID) {
+	p.peerUpStep(id.Proc(peer))
+}
+
+func (p *Process) peerUpStep(peer id.Proc) {
 	delete(p.latest, peer)
 	delete(p.sentWFGD, peer)
-	p.mu.Unlock()
 }
 
 // Reannounce re-sends the request for a still-outstanding wait edge to
@@ -132,8 +143,17 @@ func (p *Process) PeerUp(peer id.Proc) {
 // duplicate-request protocol error. It reports whether an edge to the
 // peer existed to re-announce.
 func (p *Process) Reannounce(peer id.Proc) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	var ok bool
+	p.run.Exec(func() { ok = p.reannounceStep(peer) })
+	return ok
+}
+
+// StepReannounce implements engine.ReannouncingLogic.
+func (p *Process) StepReannounce(peer transport.NodeID) bool {
+	return p.reannounceStep(id.Proc(peer))
+}
+
+func (p *Process) reannounceStep(peer id.Proc) bool {
 	if _, waiting := p.waitingFor[peer]; !waiting {
 		return false
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/id"
-	"repro/internal/msg"
+	"repro/internal/engine"
 )
+
+// The validated-ingress layer — typed rejection reasons, the
+// ProtocolError record, and the drop-count-report discipline — lives
+// once in the engine runtime (internal/engine/ingress.go) since the
+// sharded-runtime refactor; this file re-exports the names the basic
+// model speaks so callers keep importing them from core.
 
 // ProtocolErrorReason classifies why an ingress frame was rejected by
 // the validated ingress layer. A rejected frame is dropped, counted in
@@ -13,87 +16,35 @@ import (
 // never mutates protocol state and never panics the process, so a
 // misbehaving or forged peer cannot take the detection plane down with
 // one bad message.
-type ProtocolErrorReason int
+type ProtocolErrorReason = engine.Reason
 
 // Ingress rejection reasons for the basic model.
 const (
 	// ReasonStrayReply: a Reply arrived with no outstanding request to
 	// the sender — under G1–G4 a reply always answers an edge the
 	// receiver created, so a stray one is duplicated or forged.
-	ReasonStrayReply ProtocolErrorReason = iota + 1
+	ReasonStrayReply = engine.ReasonStrayReply
 	// ReasonDuplicateRequest: a Request arrived while the sender's
 	// previous request is still unanswered. G1 forbids a conforming
 	// sender from re-requesting an existing edge, so the frame is a
 	// duplicate or a forgery.
-	ReasonDuplicateRequest
+	ReasonDuplicateRequest = engine.ReasonDuplicateRequest
 	// ReasonForgedProbeTag: a meaningful probe carried this process's
 	// own initiator id with a computation number it never issued — only
 	// a forged frame can be "ahead" of its own initiator.
-	ReasonForgedProbeTag
+	ReasonForgedProbeTag = engine.ReasonForgedProbeTag
 	// ReasonSelfAddressed: the frame claims this process as its own
 	// sender. No conforming process sends to itself (Request rejects
 	// self-targets), so the frame is forged or misrouted.
-	ReasonSelfAddressed
+	ReasonSelfAddressed = engine.ReasonSelfAddressed
 	// ReasonUnknownType: the decoded message is of a type the basic
 	// model does not speak (e.g. a DDB control frame, or a type unknown
 	// altogether).
-	ReasonUnknownType
+	ReasonUnknownType = engine.ReasonUnknownType
 )
 
-var reasonNames = map[ProtocolErrorReason]string{
-	ReasonStrayReply:       "stray-reply",
-	ReasonDuplicateRequest: "duplicate-request",
-	ReasonForgedProbeTag:   "forged-probe-tag",
-	ReasonSelfAddressed:    "self-addressed",
-	ReasonUnknownType:      "unknown-type",
-}
-
-// String returns the lower-case name of the reason.
-func (r ProtocolErrorReason) String() string {
-	if s, ok := reasonNames[r]; ok {
-		return s
-	}
-	return fmt.Sprintf("protocol-error(%d)", int(r))
-}
-
-// ProtocolError describes one ingress frame rejected by a Process. It
-// is delivered through Config.OnProtocolError after the offending frame
-// has been dropped.
-type ProtocolError struct {
-	// Proc is the process that rejected the frame.
-	Proc id.Proc
-	// From is the frame's claimed sender.
-	From id.Proc
-	// Kind is the offending message's kind; 0 when the type was unknown
-	// to the message taxonomy entirely.
-	Kind msg.Kind
-	// Reason classifies the rejection.
-	Reason ProtocolErrorReason
-	// Detail is a human-readable elaboration.
-	Detail string
-}
-
-// Error implements error.
-func (e ProtocolError) Error() string {
-	return fmt.Sprintf("process %v: %v from %v: %s", e.Proc, e.Reason, e.From, e.Detail)
-}
-
-// rejectLocked drops one ingress frame: count it and defer the report
-// callback past the critical section. Caller holds p.mu.
-func (p *Process) rejectLocked(from id.Proc, kind msg.Kind, reason ProtocolErrorReason, detail string, after []func()) []func() {
-	p.protocolErrors++
-	if cb := p.cfg.OnProtocolError; cb != nil {
-		pe := ProtocolError{Proc: p.cfg.ID, From: from, Kind: kind, Reason: reason, Detail: detail}
-		after = append(after, func() { cb(pe) })
-	}
-	return after
-}
-
-// kindOf returns the message kind, or 0 for a type outside the
-// taxonomy (possible only with a hand-crafted message value).
-func kindOf(m msg.Message) msg.Kind {
-	if m == nil {
-		return 0
-	}
-	return m.Kind()
-}
+// ProtocolError describes one ingress frame rejected by a Process
+// (Node/From are the transport identities of the rejecting process and
+// the claimed sender). It is delivered through Config.OnProtocolError
+// after the offending frame has been dropped.
+type ProtocolError = engine.ProtocolError

@@ -66,8 +66,8 @@ func expectReject(t *testing.T, p *core.Process, rejected *[]core.ProtocolError,
 	if e.Reason != want {
 		t.Fatalf("rejection reason = %v, want %v", e.Reason, want)
 	}
-	if e.Proc != p.ID() || e.From != sender {
-		t.Fatalf("rejection addressed %v<-%v, want %v<-%v", e.Proc, e.From, p.ID(), sender)
+	if id.Proc(e.Node) != p.ID() || id.Proc(e.From) != sender {
+		t.Fatalf("rejection addressed %v<-%v, want %v<-%v", e.Node, e.From, p.ID(), sender)
 	}
 }
 

@@ -10,13 +10,19 @@
 // (requests it has received and not yet answered). It never learns an
 // outgoing edge's colour. The global coloured graph exists only in the
 // test oracle (package wfg).
+//
+// The process carries no lock of its own: every step — message
+// delivery, public API call, recovery verdict — is serialized by the
+// engine runtime (an engine.Host shard when hosted, an inline Runner
+// when stand-alone), which is what yields the paper's atomic-step
+// property.
 package core
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/id"
 	"repro/internal/msg"
 	"repro/internal/transport"
@@ -84,12 +90,18 @@ type Config struct {
 }
 
 // Process is one vertex of the basic model. All methods are safe for
-// concurrent use; message handling is additionally serialized by the
-// transport, which yields the paper's atomic-step property.
+// concurrent use; every step is serialized by the engine runtime,
+// which yields the paper's atomic-step property.
 type Process struct {
 	cfg Config
 
-	mu sync.Mutex
+	// run serializes every step of this process (see package comment).
+	run engine.Runner
+	// ingress and recovery are the runtime's shared rejection and
+	// crash-recovery accounting; both are touched only inside steps.
+	ingress  engine.Ingress
+	recovery engine.Recovery
+
 	// waitingFor is the set of outgoing edges: processes this one has
 	// requested and not yet been answered by (P3: existence is local
 	// knowledge, colour is not).
@@ -130,8 +142,6 @@ type Process struct {
 	probesMeaningful uint64
 	probesDiscarded  uint64
 	computations     uint64
-	protocolErrors   uint64
-	waitsAborted     uint64
 }
 
 // NewProcess creates a process and registers it on its transport.
@@ -150,8 +160,12 @@ func NewProcess(cfg Config) (*Process, error) {
 			return nil, fmt.Errorf("process %v: InitiateAfterDelay requires positive Delay", cfg.ID)
 		}
 	}
+	node := transport.NodeID(cfg.ID)
 	p := &Process{
 		cfg:          cfg,
+		run:          engine.RunnerFor(cfg.Transport, node),
+		ingress:      engine.NewIngress(node, cfg.OnProtocolError),
+		recovery:     engine.NewRecovery(node, cfg.OnWaitAborted),
 		waitingFor:   make(map[id.Proc]struct{}),
 		edgeInstance: make(map[id.Proc]uint64),
 		pendingIn:    make(map[id.Proc]struct{}),
@@ -159,7 +173,7 @@ func NewProcess(cfg Config) (*Process, error) {
 		blackPaths:   make(map[id.Edge]struct{}),
 		sentWFGD:     make(map[id.Proc]map[string]struct{}),
 	}
-	cfg.Transport.Register(transport.NodeID(cfg.ID), p)
+	cfg.Transport.Register(node, p)
 	return p, nil
 }
 
@@ -172,14 +186,18 @@ func (p *Process) ID() id.Proc { return p.cfg.ID }
 // probe computation may be started (§4.2: "a vertex initiates a probe
 // computation when any outgoing edge is added").
 func (p *Process) Request(targets ...id.Proc) error {
-	p.mu.Lock()
+	var err error
+	p.run.Exec(func() { err = p.requestStep(targets) })
+	return err
+}
+
+// requestStep is Request's serialized body.
+func (p *Process) requestStep(targets []id.Proc) error {
 	for _, t := range targets {
 		if t == p.cfg.ID {
-			p.mu.Unlock()
 			return fmt.Errorf("process %v: request to self", p.cfg.ID)
 		}
 		if _, dup := p.waitingFor[t]; dup {
-			p.mu.Unlock()
 			return fmt.Errorf("process %v: edge to %v already exists (G1)", p.cfg.ID, t)
 		}
 	}
@@ -190,7 +208,7 @@ func (p *Process) Request(targets ...id.Proc) error {
 	}
 	switch p.cfg.Policy {
 	case InitiateOnBlock:
-		p.startProbeLocked()
+		p.startProbeStep()
 	case InitiateAfterDelay:
 		// One timer per added edge: initiate only if that edge instance
 		// has existed continuously for T (§4.3). Membership alone is not
@@ -202,15 +220,14 @@ func (p *Process) Request(targets ...id.Proc) error {
 			target := t
 			instance := p.edgeInstance[target]
 			p.cfg.Timers.After(p.cfg.Delay, func() {
-				p.mu.Lock()
-				if _, still := p.waitingFor[target]; still && p.edgeInstance[target] == instance {
-					p.startProbeLocked()
-				}
-				p.mu.Unlock()
+				p.run.Exec(func() {
+					if _, still := p.waitingFor[target]; still && p.edgeInstance[target] == instance {
+						p.startProbeStep()
+					}
+				})
 			})
 		}
 	}
-	p.mu.Unlock()
 	return nil
 }
 
@@ -219,37 +236,41 @@ func (p *Process) Request(targets ...id.Proc) error {
 // if this process has outstanding requests of its own, enforcing G3
 // locally.
 func (p *Process) Grant(to id.Proc) error {
-	p.mu.Lock()
-	if len(p.waitingFor) != 0 {
-		p.mu.Unlock()
-		return fmt.Errorf("process %v: blocked process may not reply (G3)", p.cfg.ID)
-	}
-	if _, ok := p.pendingIn[to]; !ok {
-		p.mu.Unlock()
-		return fmt.Errorf("process %v: no pending request from %v", p.cfg.ID, to)
-	}
-	delete(p.pendingIn, to)
-	p.send(to, msg.Reply{})
-	p.mu.Unlock()
-	return nil
+	var err error
+	p.run.Exec(func() {
+		if len(p.waitingFor) != 0 {
+			err = fmt.Errorf("process %v: blocked process may not reply (G3)", p.cfg.ID)
+			return
+		}
+		if _, ok := p.pendingIn[to]; !ok {
+			err = fmt.Errorf("process %v: no pending request from %v", p.cfg.ID, to)
+			return
+		}
+		delete(p.pendingIn, to)
+		p.send(to, msg.Reply{})
+	})
+	return err
 }
 
 // GrantAll answers every pending request; it returns the number granted
 // or an error if the process is blocked.
 func (p *Process) GrantAll() (int, error) {
-	p.mu.Lock()
-	if len(p.waitingFor) != 0 {
-		p.mu.Unlock()
-		return 0, fmt.Errorf("process %v: blocked process may not reply (G3)", p.cfg.ID)
-	}
-	n := 0
-	for from := range p.pendingIn {
-		delete(p.pendingIn, from)
-		p.send(from, msg.Reply{})
-		n++
-	}
-	p.mu.Unlock()
-	return n, nil
+	var (
+		n   int
+		err error
+	)
+	p.run.Exec(func() {
+		if len(p.waitingFor) != 0 {
+			err = fmt.Errorf("process %v: blocked process may not reply (G3)", p.cfg.ID)
+			return
+		}
+		for from := range p.pendingIn {
+			delete(p.pendingIn, from)
+			p.send(from, msg.Reply{})
+			n++
+		}
+	})
+	return n, err
 }
 
 // StartProbe explicitly initiates a probe computation (step A0): send
@@ -257,13 +278,17 @@ func (p *Process) GrantAll() (int, error) {
 // false if the process is active (an active vertex is on no cycle, so
 // there is nothing to probe).
 func (p *Process) StartProbe() (id.Tag, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.startProbeLocked()
+	var (
+		tag id.Tag
+		ok  bool
+	)
+	p.run.Exec(func() { tag, ok = p.startProbeStep() })
+	return tag, ok
 }
 
-// startProbeLocked implements step A0. Caller holds p.mu.
-func (p *Process) startProbeLocked() (id.Tag, bool) {
+// startProbeStep implements step A0. Caller is on the process's
+// serialized step.
+func (p *Process) startProbeStep() (id.Tag, bool) {
 	if len(p.waitingFor) == 0 {
 		return id.Tag{}, false
 	}
@@ -277,9 +302,10 @@ func (p *Process) startProbeLocked() (id.Tag, bool) {
 	return tag, true
 }
 
-// HandleMessage implements transport.Handler. Each invocation is one
-// atomic step in the paper's sense: the transport serializes deliveries
-// to a node, and the lock excludes concurrent application calls.
+// HandleMessage implements transport.Handler for stand-alone
+// transports: it serializes through the Runner and runs one step.
+// Hosted processes skip this path — the shard loop calls Step
+// directly, already serialized.
 //
 // Every frame is validated against local protocol state before it is
 // applied. A frame a conforming peer could never have sent — a stray
@@ -288,16 +314,24 @@ func (p *Process) startProbeLocked() (id.Tag, bool) {
 // reported through OnProtocolError; it never panics and never mutates
 // state, so a remote peer cannot crash or corrupt the detection plane.
 func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
-	sender := id.Proc(from)
 	var after []func() // callbacks deferred past the critical section
+	p.run.Exec(func() { after = p.step(id.Proc(from), m) })
+	runAfter(after)
+}
 
-	p.mu.Lock()
+// Step implements engine.Logic: one atomic protocol step, invoked by
+// the runtime already serialized (the Host shard's loop goroutine).
+func (p *Process) Step(from transport.NodeID, m msg.Message) {
+	runAfter(p.step(id.Proc(from), m))
+}
+
+// step applies one delivered message and returns the callbacks to run
+// after the step.
+func (p *Process) step(sender id.Proc, m msg.Message) []func() {
+	var after []func()
 	if sender == p.cfg.ID {
-		after = p.rejectLocked(sender, kindOf(m), ReasonSelfAddressed,
+		return p.ingress.Reject(transport.NodeID(sender), engine.KindOf(m), engine.ReasonSelfAddressed,
 			fmt.Sprintf("frame of type %T claims this process as its sender", m), after)
-		p.mu.Unlock()
-		runAfter(after)
-		return
 	}
 	switch mm := m.(type) {
 	case msg.Request:
@@ -311,7 +345,7 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 			}
 			// G1 forbids re-requesting an existing edge, so a second
 			// request before our reply is duplicated or forged.
-			after = p.rejectLocked(sender, mm.Kind(), ReasonDuplicateRequest,
+			after = p.ingress.Reject(transport.NodeID(sender), mm.Kind(), engine.ReasonDuplicateRequest,
 				"request while the previous one is still unanswered", after)
 			break
 		}
@@ -322,7 +356,7 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 		// propagation re-runs when a new incoming edge turns black.
 		// The per-target duplicate suppression keeps this idempotent.
 		if p.deadlocked || len(p.blackPaths) > 0 {
-			after = p.propagateWFGDLocked(after)
+			after = p.propagateWFGDStep(after)
 		}
 		if cb := p.cfg.OnRequest; cb != nil {
 			after = append(after, func() { cb(sender) })
@@ -330,7 +364,7 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 
 	case msg.Reply:
 		if _, ok := p.waitingFor[sender]; !ok {
-			after = p.rejectLocked(sender, mm.Kind(), ReasonStrayReply,
+			after = p.ingress.Reject(transport.NodeID(sender), mm.Kind(), engine.ReasonStrayReply,
 				"reply without an outstanding request", after)
 			break
 		}
@@ -343,18 +377,16 @@ func (p *Process) HandleMessage(from transport.NodeID, m msg.Message) {
 		}
 
 	case msg.Probe:
-		after = p.handleProbeLocked(sender, mm.Tag, after)
+		after = p.handleProbeStep(sender, mm.Tag, after)
 
 	case msg.WFGD:
-		after = p.handleWFGDLocked(sender, mm, after)
+		after = p.handleWFGDStep(sender, mm, after)
 
 	default:
-		after = p.rejectLocked(sender, kindOf(m), ReasonUnknownType,
+		after = p.ingress.Reject(transport.NodeID(sender), engine.KindOf(m), engine.ReasonUnknownType,
 			fmt.Sprintf("message type %T is not part of the basic model", m), after)
 	}
-	p.mu.Unlock()
-
-	runAfter(after)
+	return after
 }
 
 // runAfter executes callbacks deferred past a critical section.
@@ -364,8 +396,8 @@ func runAfter(fns []func()) {
 	}
 }
 
-// handleProbeLocked implements steps A1 and A2. Caller holds p.mu.
-func (p *Process) handleProbeLocked(sender id.Proc, tag id.Tag, after []func()) []func() {
+// handleProbeStep implements steps A1 and A2.
+func (p *Process) handleProbeStep(sender id.Proc, tag id.Tag, after []func()) []func() {
 	// A probe is meaningful iff the edge (sender, me) exists and is
 	// black at receipt — locally: I hold an unanswered request from the
 	// sender (P3, §3.2).
@@ -376,7 +408,7 @@ func (p *Process) handleProbeLocked(sender id.Proc, tag id.Tag, after []func()) 
 	if tag.Initiator == p.cfg.ID && tag.N > p.nextN {
 		// Only a forged frame can carry our initiator id with a
 		// computation number we never issued.
-		return p.rejectLocked(sender, msg.Probe{}.Kind(), ReasonForgedProbeTag,
+		return p.ingress.Reject(transport.NodeID(sender), msg.Probe{}.Kind(), engine.ReasonForgedProbeTag,
 			fmt.Sprintf("probe for computation %v never initiated here", tag), after)
 	}
 	p.probesMeaningful++
@@ -393,7 +425,7 @@ func (p *Process) handleProbeLocked(sender id.Proc, tag id.Tag, after []func()) 
 			// §5: after declaring, send M = {(vj, vi)} to every vj with
 			// a black incoming edge (vj, vi) — those edges are
 			// permanently black because a deadlocked vi never replies.
-			after = p.propagateWFGDLocked(after)
+			after = p.propagateWFGDStep(after)
 		}
 		return after
 	}
@@ -413,9 +445,8 @@ func (p *Process) handleProbeLocked(sender id.Proc, tag id.Tag, after []func()) 
 	return after
 }
 
-// handleWFGDLocked implements the receive rule of §5's WFGD
-// computation. Caller holds p.mu.
-func (p *Process) handleWFGDLocked(_ id.Proc, m msg.WFGD, after []func()) []func() {
+// handleWFGDStep implements the receive rule of §5's WFGD computation.
+func (p *Process) handleWFGDStep(_ id.Proc, m msg.WFGD, after []func()) []func() {
 	grew := false
 	for _, e := range m.Edges {
 		if _, dup := p.blackPaths[e]; !dup {
@@ -430,18 +461,17 @@ func (p *Process) handleWFGDLocked(_ id.Proc, m msg.WFGD, after []func()) []func
 		return after
 	}
 	if cb := p.cfg.OnWFGD; cb != nil {
-		edges := p.blackPathEdgesLocked()
+		edges := p.blackPathEdgesStep()
 		after = append(after, func() { cb(edges) })
 	}
-	return p.propagateWFGDLocked(after)
+	return p.propagateWFGDStep(after)
 }
 
-// propagateWFGDLocked sends M' = {(vk, vj)} ∪ S_j to every vk with a
-// black incoming edge (vk, vj), suppressing duplicates. Caller holds
-// p.mu.
-func (p *Process) propagateWFGDLocked(after []func()) []func() {
+// propagateWFGDStep sends M' = {(vk, vj)} ∪ S_j to every vk with a
+// black incoming edge (vk, vj), suppressing duplicates.
+func (p *Process) propagateWFGDStep(after []func()) []func() {
 	for k := range p.pendingIn {
-		out := msg.WFGD{Edges: append(p.blackPathEdgesLocked(), id.Edge{From: k, To: p.cfg.ID})}
+		out := msg.WFGD{Edges: append(p.blackPathEdgesStep(), id.Edge{From: k, To: p.cfg.ID})}
 		canon, key := out.Canonical()
 		sent, ok := p.sentWFGD[k]
 		if !ok {
@@ -457,8 +487,8 @@ func (p *Process) propagateWFGDLocked(after []func()) []func() {
 	return after
 }
 
-// blackPathEdgesLocked returns S_j as a slice. Caller holds p.mu.
-func (p *Process) blackPathEdgesLocked() []id.Edge {
+// blackPathEdgesStep returns S_j as a slice.
+func (p *Process) blackPathEdgesStep() []id.Edge {
 	out := make([]id.Edge, 0, len(p.blackPaths))
 	for e := range p.blackPaths {
 		out = append(out, e)
@@ -466,49 +496,51 @@ func (p *Process) blackPathEdgesLocked() []id.Edge {
 	return out
 }
 
-// send hands a message to the transport. Caller holds p.mu; every
-// transport's Send is non-blocking and never calls back into the
-// process synchronously, so no lock cycle is possible.
+// send hands a message to the transport. Every transport's Send is
+// non-blocking and never calls back into the process synchronously, so
+// no step cycle is possible.
 func (p *Process) send(to id.Proc, m msg.Message) {
 	p.cfg.Transport.Send(transport.NodeID(p.cfg.ID), transport.NodeID(to), m)
 }
 
 // Blocked reports whether the process has outstanding requests.
 func (p *Process) Blocked() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.waitingFor) > 0
+	var out bool
+	p.run.Exec(func() { out = len(p.waitingFor) > 0 })
+	return out
 }
 
 // Deadlocked reports whether the process has declared itself on a black
 // cycle, and the tag of the computation that detected it.
 func (p *Process) Deadlocked() (id.Tag, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.declaredTag, p.deadlocked
+	var (
+		tag id.Tag
+		ok  bool
+	)
+	p.run.Exec(func() { tag, ok = p.declaredTag, p.deadlocked })
+	return tag, ok
 }
 
 // WaitingFor returns the sorted targets of outstanding requests.
 func (p *Process) WaitingFor() []id.Proc {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return sortedProcs(p.waitingFor)
+	var out []id.Proc
+	p.run.Exec(func() { out = sortedProcs(p.waitingFor) })
+	return out
 }
 
 // PendingIn returns the sorted sources of unanswered incoming requests
 // (the incoming black edges of P3).
 func (p *Process) PendingIn() []id.Proc {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return sortedProcs(p.pendingIn)
+	var out []id.Proc
+	p.run.Exec(func() { out = sortedProcs(p.pendingIn) })
+	return out
 }
 
 // BlackPaths returns S_j, the sorted set of edges this process knows to
 // lie on permanent black paths leading from it (§5).
 func (p *Process) BlackPaths() []id.Edge {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := p.blackPathEdgesLocked()
+	var out []id.Edge
+	p.run.Exec(func() { out = p.blackPathEdgesStep() })
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From
@@ -521,23 +553,25 @@ func (p *Process) BlackPaths() []id.Edge {
 // TagTableSize returns the number of per-initiator entries currently
 // tracked — the O(N) state bound measured by experiment E2.
 func (p *Process) TagTableSize() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.latest)
+	var n int
+	p.run.Exec(func() { n = len(p.latest) })
+	return n
 }
 
 // Stats reports detection-traffic counters for this process.
 func (p *Process) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Stats{
-		ProbesSent:       p.probesSent,
-		ProbesMeaningful: p.probesMeaningful,
-		ProbesDiscarded:  p.probesDiscarded,
-		Computations:     p.computations,
-		ProtocolErrors:   p.protocolErrors,
-		WaitsAborted:     p.waitsAborted,
-	}
+	var st Stats
+	p.run.Exec(func() {
+		st = Stats{
+			ProbesSent:       p.probesSent,
+			ProbesMeaningful: p.probesMeaningful,
+			ProbesDiscarded:  p.probesDiscarded,
+			Computations:     p.computations,
+			ProtocolErrors:   p.ingress.Errors(),
+			WaitsAborted:     p.recovery.WaitsAborted(),
+		}
+	})
+	return st
 }
 
 // Stats holds per-process detection counters.
@@ -562,4 +596,8 @@ func sortedProcs(s map[id.Proc]struct{}) []id.Proc {
 	return out
 }
 
-var _ transport.Handler = (*Process)(nil)
+var (
+	_ transport.Handler    = (*Process)(nil)
+	_ engine.Logic         = (*Process)(nil)
+	_ engine.RecoveryLogic = (*Process)(nil)
+)

@@ -16,8 +16,13 @@ import (
 // observability counters are deliberately excluded. The explorer hashes
 // this to recognise states reached by equivalent interleavings.
 func (p *Process) Snapshot() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	var out string
+	p.run.Exec(func() { out = p.snapshotStep() })
+	return out
+}
+
+// snapshotStep renders the state from within the serialized step.
+func (p *Process) snapshotStep() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core/%d{w:%v in:%v n:%d", p.cfg.ID, sortedProcs(p.waitingFor), sortedProcs(p.pendingIn), p.nextN)
 	lat := make([]id.Proc, 0, len(p.latest))
@@ -33,7 +38,7 @@ func (p *Process) Snapshot() string {
 	if p.deadlocked {
 		fmt.Fprintf(&b, " dead:%v", p.declaredTag)
 	}
-	edges := p.blackPathEdgesLocked()
+	edges := p.blackPathEdgesStep()
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].From != edges[j].From {
 			return edges[i].From < edges[j].From

@@ -3,8 +3,8 @@ package ddb
 import (
 	"fmt"
 	"sort"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/id"
 	"repro/internal/msg"
 	"repro/internal/transport"
@@ -177,7 +177,12 @@ type txnState struct {
 type Controller struct {
 	cfg Config
 
-	mu     sync.Mutex
+	// run serializes every step of this controller (message delivery,
+	// public API call, timer firing, recovery verdict); ingress is the
+	// runtime's shared rejection accounting. See internal/engine.
+	run     engine.Runner
+	ingress engine.Ingress
+
 	locks  *lockTable
 	agents map[id.Txn]*agentState
 	txns   map[id.Txn]*txnState
@@ -195,7 +200,6 @@ type Controller struct {
 	declaredRemote uint64
 	commits        uint64
 	aborts         uint64
-	protocolErrors uint64
 	agentsPurged   uint64
 	peerAborts     uint64
 }
@@ -219,15 +223,18 @@ func NewController(cfg Config) (*Controller, error) {
 			cfg.Delay = 1_000_000 // 1ms default
 		}
 	}
+	node := transport.NodeID(cfg.Site)
 	c := &Controller{
 		cfg:      cfg,
+		run:      engine.RunnerFor(cfg.Transport, node),
+		ingress:  engine.NewIngress(node, cfg.OnProtocolError),
 		locks:    newLockTable(),
 		agents:   make(map[id.Txn]*agentState),
 		txns:     make(map[id.Txn]*txnState),
 		comps:    make(map[compKey]*probeComp),
 		latestBy: make(map[id.Site]uint64),
 	}
-	cfg.Transport.Register(transport.NodeID(cfg.Site), c)
+	cfg.Transport.Register(node, c)
 	return c, nil
 }
 
@@ -237,36 +244,40 @@ func (c *Controller) Site() id.Site { return c.cfg.Site }
 // Submit registers a home transaction with the given script and starts
 // executing it. inc distinguishes incarnations across abort/retry.
 func (c *Controller) Submit(txn id.Txn, inc uint32, steps []LockStep) error {
-	c.mu.Lock()
-	if old, exists := c.txns[txn]; exists && old.status == TxnRunning {
-		c.mu.Unlock()
-		return fmt.Errorf("controller %v: txn %v already running", c.cfg.Site, txn)
-	}
-	ts := &txnState{
-		txn:           txn,
-		inc:           inc,
-		steps:         steps,
-		status:        TxnRunning,
-		holdTime:      c.cfg.HoldTime,
-		pendingRemote: make(map[id.Resource]id.Site),
-		heldRemote:    make(map[id.Resource]id.Site),
-	}
-	c.txns[txn] = ts
-	c.agents[txn] = &agentState{
-		txn:  txn,
-		home: c.cfg.Site,
-		inc:  inc,
-		held: make(map[id.Resource]msg.LockMode),
-	}
-	after := c.advanceLocked(ts, nil)
-	c.mu.Unlock()
+	var (
+		after []func()
+		err   error
+	)
+	c.run.Exec(func() {
+		if old, exists := c.txns[txn]; exists && old.status == TxnRunning {
+			err = fmt.Errorf("controller %v: txn %v already running", c.cfg.Site, txn)
+			return
+		}
+		ts := &txnState{
+			txn:           txn,
+			inc:           inc,
+			steps:         steps,
+			status:        TxnRunning,
+			holdTime:      c.cfg.HoldTime,
+			pendingRemote: make(map[id.Resource]id.Site),
+			heldRemote:    make(map[id.Resource]id.Site),
+		}
+		c.txns[txn] = ts
+		c.agents[txn] = &agentState{
+			txn:  txn,
+			home: c.cfg.Site,
+			inc:  inc,
+			held: make(map[id.Resource]msg.LockMode),
+		}
+		after = c.advanceStep(ts, nil)
+	})
 	runAll(after)
-	return nil
+	return err
 }
 
-// advanceLocked executes the transaction's next script step, or
-// schedules the commit if the script is done. Caller holds c.mu.
-func (c *Controller) advanceLocked(ts *txnState, after []func()) []func() {
+// advanceStep executes the transaction's next script step, or
+// schedules the commit if the script is done.
+func (c *Controller) advanceStep(ts *txnState, after []func()) []func() {
 	if ts.status != TxnRunning {
 		return after
 	}
@@ -274,13 +285,12 @@ func (c *Controller) advanceLocked(ts *txnState, after []func()) []func() {
 		inc := ts.inc
 		txn := ts.txn
 		c.cfg.Timers.After(ts.holdTime, func() {
-			c.mu.Lock()
-			cur, ok := c.txns[txn]
 			var cbs []func()
-			if ok && cur.inc == inc && cur.status == TxnRunning {
-				cbs = c.commitLocked(cur, nil)
-			}
-			c.mu.Unlock()
+			c.run.Exec(func() {
+				if cur, ok := c.txns[txn]; ok && cur.inc == inc && cur.status == TxnRunning {
+					cbs = c.commitStep(cur, nil)
+				}
+			})
 			runAll(cbs)
 		})
 		return after
@@ -289,20 +299,20 @@ func (c *Controller) advanceLocked(ts *txnState, after []func()) []func() {
 	ts.next++
 	home := c.cfg.ResourceHome(step.Resource)
 	if home == c.cfg.Site {
-		return c.acquireLocalLocked(ts, step, after)
+		return c.acquireLocalStep(ts, step, after)
 	}
 	// Remote resource: create the grey inter-controller edge (G3 of the
 	// DDB axioms) by sending the acquisition to the managing site.
 	ts.pendingRemote[step.Resource] = home
 	c.send(home, msg.CtrlAcquire{Txn: ts.txn, Resource: step.Resource, Mode: step.Mode, Inc: ts.inc})
-	after = c.waitStartLocked(c.agents[ts.txn], after)
-	after = c.maybeScheduleDetectionLocked(ts.txn, after)
+	after = c.waitStartStep(c.agents[ts.txn], after)
+	after = c.maybeScheduleDetectionStep(ts.txn, after)
 	return after
 }
 
-// acquireLocalLocked requests a locally managed resource for the home
-// agent. Caller holds c.mu.
-func (c *Controller) acquireLocalLocked(ts *txnState, step LockStep, after []func()) []func() {
+// acquireLocalStep requests a locally managed resource for the home
+// agent.
+func (c *Controller) acquireLocalStep(ts *txnState, step LockStep, after []func()) []func() {
 	a := c.agents[ts.txn]
 	granted, err := c.locks.acquire(step.Resource, ts.txn, step.Mode)
 	if err != nil {
@@ -310,38 +320,36 @@ func (c *Controller) acquireLocalLocked(ts *txnState, step LockStep, after []fun
 	}
 	if granted {
 		a.held[step.Resource] = step.Mode
-		return c.scheduleNextStepLocked(ts, after)
+		return c.scheduleNextStepStep(ts, after)
 	}
 	a.waiting = step.Resource
 	a.waitingMode = step.Mode
 	a.hasWaiting = true
-	after = c.waitStartLocked(a, after)
-	return c.maybeScheduleDetectionLocked(ts.txn, after)
+	after = c.waitStartStep(a, after)
+	return c.maybeScheduleDetectionStep(ts.txn, after)
 }
 
-// scheduleNextStepLocked arranges the next script step after StepDelay.
-// Caller holds c.mu.
-func (c *Controller) scheduleNextStepLocked(ts *txnState, after []func()) []func() {
+// scheduleNextStepStep arranges the next script step after StepDelay.
+func (c *Controller) scheduleNextStepStep(ts *txnState, after []func()) []func() {
 	txn, inc := ts.txn, ts.inc
 	c.cfg.Timers.After(c.cfg.StepDelay, func() {
-		c.mu.Lock()
-		cur, ok := c.txns[txn]
 		var cbs []func()
-		if ok && cur.inc == inc && cur.status == TxnRunning {
-			cbs = c.advanceLocked(cur, nil)
-		}
-		c.mu.Unlock()
+		c.run.Exec(func() {
+			if cur, ok := c.txns[txn]; ok && cur.inc == inc && cur.status == TxnRunning {
+				cbs = c.advanceStep(cur, nil)
+			}
+		})
 		runAll(cbs)
 	})
 	return after
 }
 
-// commitLocked releases everything the transaction holds and marks it
-// committed. Caller holds c.mu.
-func (c *Controller) commitLocked(ts *txnState, after []func()) []func() {
+// commitStep releases everything the transaction holds and marks it
+// committed.
+func (c *Controller) commitStep(ts *txnState, after []func()) []func() {
 	ts.status = TxnCommitted
 	c.commits++
-	after = c.releaseAllLocked(ts, after)
+	after = c.releaseAllStep(ts, after)
 	if cb := c.cfg.OnCommit; cb != nil {
 		txn := ts.txn
 		after = append(after, func() { cb(txn) })
@@ -352,22 +360,21 @@ func (c *Controller) commitLocked(ts *txnState, after []func()) []func() {
 // AbortLocal aborts a home transaction (victim resolution or caller
 // decision). It is a no-op if the transaction is not running.
 func (c *Controller) AbortLocal(txn id.Txn) {
-	c.mu.Lock()
-	ts, ok := c.txns[txn]
 	var after []func()
-	if ok && ts.status == TxnRunning {
-		after = c.abortLocked(ts, nil)
-	}
-	c.mu.Unlock()
+	c.run.Exec(func() {
+		if ts, ok := c.txns[txn]; ok && ts.status == TxnRunning {
+			after = c.abortStep(ts, nil)
+		}
+	})
 	runAll(after)
 }
 
-// abortLocked cancels waits, releases holds and marks the transaction
-// aborted. Caller holds c.mu.
-func (c *Controller) abortLocked(ts *txnState, after []func()) []func() {
+// abortStep cancels waits, releases holds and marks the transaction
+// aborted.
+func (c *Controller) abortStep(ts *txnState, after []func()) []func() {
 	ts.status = TxnAborted
 	c.aborts++
-	after = c.releaseAllLocked(ts, after)
+	after = c.releaseAllStep(ts, after)
 	if cb := c.cfg.OnAbort; cb != nil {
 		txn := ts.txn
 		after = append(after, func() { cb(txn) })
@@ -375,11 +382,11 @@ func (c *Controller) abortLocked(ts *txnState, after []func()) []func() {
 	return after
 }
 
-// releaseAllLocked tears down every hold and wait of a finished home
+// releaseAllStep tears down every hold and wait of a finished home
 // transaction: local locks via the lock table (cascading grants),
 // remote holds and pending acquisitions via CtrlRelease. Caller holds
 // c.mu.
-func (c *Controller) releaseAllLocked(ts *txnState, after []func()) []func() {
+func (c *Controller) releaseAllStep(ts *txnState, after []func()) []func() {
 	// Iteration is sorted throughout: release order determines the
 	// grant-cascade and message order, and replay-based exploration
 	// (and seeded reproducibility) need it to be a pure function of
@@ -387,10 +394,10 @@ func (c *Controller) releaseAllLocked(ts *txnState, after []func()) []func() {
 	a := c.agents[ts.txn]
 	if a != nil {
 		if a.hasWaiting {
-			after = c.cancelLocalWaitLocked(a, after)
+			after = c.cancelLocalWaitStep(a, after)
 		}
 		for _, r := range sortedResources(a.held) {
-			after = c.releaseLocalLocked(r, ts.txn, after)
+			after = c.releaseLocalStep(r, ts.txn, after)
 		}
 		delete(c.agents, ts.txn)
 	}
@@ -425,30 +432,28 @@ func sortedResourceKeys(m map[id.Resource]id.Site) []id.Resource {
 	return out
 }
 
-// cancelLocalWaitLocked removes an agent's queued lock request.
-// Caller holds c.mu.
-func (c *Controller) cancelLocalWaitLocked(a *agentState, after []func()) []func() {
+// cancelLocalWaitStep removes an agent's queued lock request.
+func (c *Controller) cancelLocalWaitStep(a *agentState, after []func()) []func() {
 	r := a.waiting
 	a.hasWaiting = false
 	a.hasPendingAck = false
-	after = c.waitEndLocked(a, after)
+	after = c.waitEndStep(a, after)
 	// Removing a queued entry can unblock compatible requests behind it.
 	granted := c.locks.release(r, a.txn)
-	return c.grantCascadeLocked(r, granted, after)
+	return c.grantCascadeStep(r, granted, after)
 }
 
-// releaseLocalLocked releases a held local lock and processes the
-// resulting grants. Caller holds c.mu.
-func (c *Controller) releaseLocalLocked(r id.Resource, txn id.Txn, after []func()) []func() {
+// releaseLocalStep releases a held local lock and processes the
+// resulting grants.
+func (c *Controller) releaseLocalStep(r id.Resource, txn id.Txn, after []func()) []func() {
 	granted := c.locks.release(r, txn)
-	return c.grantCascadeLocked(r, granted, after)
+	return c.grantCascadeStep(r, granted, after)
 }
 
-// grantCascadeLocked delivers lock grants produced by a release: remote
+// grantCascadeStep delivers lock grants produced by a release: remote
 // agents acknowledge to their home controller (whitening the
 // inter-controller edge, G5), home agents advance their scripts.
-// Caller holds c.mu.
-func (c *Controller) grantCascadeLocked(r id.Resource, granted []waitEntry, after []func()) []func() {
+func (c *Controller) grantCascadeStep(r id.Resource, granted []waitEntry, after []func()) []func() {
 	for _, w := range granted {
 		a, ok := c.agents[w.txn]
 		if !ok {
@@ -456,7 +461,7 @@ func (c *Controller) grantCascadeLocked(r id.Resource, granted []waitEntry, afte
 		}
 		a.held[r] = w.mode
 		a.hasWaiting = false
-		after = c.waitEndLocked(a, after)
+		after = c.waitEndStep(a, after)
 		if a.hasPendingAck && a.pendingAck == r {
 			// Remote agent: tell home the resource is acquired.
 			a.hasPendingAck = false
@@ -464,14 +469,14 @@ func (c *Controller) grantCascadeLocked(r id.Resource, granted []waitEntry, afte
 			continue
 		}
 		if ts, home := c.txns[a.txn]; home && ts.status == TxnRunning {
-			after = c.scheduleNextStepLocked(ts, after)
+			after = c.scheduleNextStepStep(ts, after)
 		}
 	}
 	return after
 }
 
-// waitStartLocked emits the wait-start event. Caller holds c.mu.
-func (c *Controller) waitStartLocked(a *agentState, after []func()) []func() {
+// waitStartStep emits the wait-start event.
+func (c *Controller) waitStartStep(a *agentState, after []func()) []func() {
 	if cb := c.cfg.OnWaitStart; cb != nil && a != nil {
 		ag := id.Agent{Txn: a.txn, Site: c.cfg.Site}
 		after = append(after, func() { cb(ag) })
@@ -479,8 +484,8 @@ func (c *Controller) waitStartLocked(a *agentState, after []func()) []func() {
 	return after
 }
 
-// waitEndLocked emits the wait-end event. Caller holds c.mu.
-func (c *Controller) waitEndLocked(a *agentState, after []func()) []func() {
+// waitEndStep emits the wait-end event.
+func (c *Controller) waitEndStep(a *agentState, after []func()) []func() {
 	if cb := c.cfg.OnWaitEnd; cb != nil && a != nil {
 		ag := id.Agent{Txn: a.txn, Site: c.cfg.Site}
 		after = append(after, func() { cb(ag) })
@@ -488,50 +493,60 @@ func (c *Controller) waitEndLocked(a *agentState, after []func()) []func() {
 	return after
 }
 
-// send hands a message to another controller. Caller may hold c.mu;
-// transports never call back synchronously.
+// send hands a message to another controller; transports never call
+// back synchronously, so no step cycle is possible.
 func (c *Controller) send(to id.Site, m msg.Message) {
 	c.cfg.Transport.Send(transport.NodeID(c.cfg.Site), transport.NodeID(to), m)
 }
 
-// HandleMessage implements transport.Handler.
+// HandleMessage implements transport.Handler for stand-alone
+// transports: it serializes through the Runner and runs one step.
+// Hosted controllers skip this path — the shard loop calls Step
+// directly, already serialized.
 func (c *Controller) HandleMessage(from transport.NodeID, m msg.Message) {
-	sender := id.Site(from)
 	var after []func()
-	c.mu.Lock()
-	if sender == c.cfg.Site {
-		// Controllers never message themselves: local work stays local.
-		after = c.rejectLocked(sender, kindOf(m), ReasonSelfAddressed,
-			fmt.Sprintf("frame of type %T claims this controller as its sender", m), after)
-		c.mu.Unlock()
-		runAll(after)
-		return
-	}
-	switch mm := m.(type) {
-	case msg.CtrlAcquire:
-		after = c.handleAcquireLocked(sender, mm, after)
-	case msg.CtrlGranted:
-		after = c.handleGrantedLocked(sender, mm, after)
-	case msg.CtrlRelease:
-		after = c.handleReleaseLocked(sender, mm, after)
-	case msg.CtrlProbe:
-		after = c.handleProbeLocked(sender, mm, after)
-	case msg.CtrlAbort:
-		if ts, ok := c.txns[mm.Txn]; ok && ts.status == TxnRunning {
-			after = c.abortLocked(ts, after)
-		}
-	default:
-		after = c.rejectLocked(sender, kindOf(m), ReasonUnknownType,
-			fmt.Sprintf("message of type %T is not part of the DDB protocol", m), after)
-	}
-	c.mu.Unlock()
+	c.run.Exec(func() { after = c.step(id.Site(from), m) })
 	runAll(after)
 }
 
-// handleAcquireLocked processes a remote acquisition: the grey
+// Step implements engine.Logic: one atomic protocol step, invoked by
+// the runtime already serialized (the Host shard's loop goroutine).
+func (c *Controller) Step(from transport.NodeID, m msg.Message) {
+	runAll(c.step(id.Site(from), m))
+}
+
+// step applies one delivered frame and returns the callbacks to run
+// after the step.
+func (c *Controller) step(sender id.Site, m msg.Message) []func() {
+	var after []func()
+	if sender == c.cfg.Site {
+		// Controllers never message themselves: local work stays local.
+		return c.rejectStep(sender, engine.KindOf(m), ReasonSelfAddressed,
+			fmt.Sprintf("frame of type %T claims this controller as its sender", m), after)
+	}
+	switch mm := m.(type) {
+	case msg.CtrlAcquire:
+		after = c.handleAcquireStep(sender, mm, after)
+	case msg.CtrlGranted:
+		after = c.handleGrantedStep(sender, mm, after)
+	case msg.CtrlRelease:
+		after = c.handleReleaseStep(sender, mm, after)
+	case msg.CtrlProbe:
+		after = c.handleProbeStep(sender, mm, after)
+	case msg.CtrlAbort:
+		if ts, ok := c.txns[mm.Txn]; ok && ts.status == TxnRunning {
+			after = c.abortStep(ts, after)
+		}
+	default:
+		after = c.rejectStep(sender, engine.KindOf(m), ReasonUnknownType,
+			fmt.Sprintf("message of type %T is not part of the DDB protocol", m), after)
+	}
+	return after
+}
+
+// handleAcquireStep processes a remote acquisition: the grey
 // inter-controller edge turns black on receipt (G4 of the DDB axioms).
-// Caller holds c.mu.
-func (c *Controller) handleAcquireLocked(from id.Site, m msg.CtrlAcquire, after []func()) []func() {
+func (c *Controller) handleAcquireStep(from id.Site, m msg.CtrlAcquire, after []func()) []func() {
 	// Validate the frame against local state before touching anything, so
 	// a rejected frame leaves the controller exactly as it was.
 	a, ok := c.agents[m.Txn]
@@ -543,7 +558,7 @@ func (c *Controller) handleAcquireLocked(from id.Site, m msg.CtrlAcquire, after 
 		// a transaction homed at this very site — is a duplicated or
 		// forged frame.
 		if len(a.held) != 0 || a.hasWaiting || a.home == c.cfg.Site {
-			return c.rejectLocked(from, m.Kind(), ReasonIncarnationClash,
+			return c.rejectStep(from, m.Kind(), ReasonIncarnationClash,
 				fmt.Sprintf("acquire of %v for %v inc %d clashes with live agent (home %v, inc %d)",
 					m.Resource, m.Txn, m.Inc, a.home, a.inc), after)
 		}
@@ -551,14 +566,14 @@ func (c *Controller) handleAcquireLocked(from id.Site, m msg.CtrlAcquire, after 
 	if ok && a.hasWaiting {
 		// §6.2 transactions request one resource at a time; the home
 		// controller never sends a second acquire while one is pending.
-		return c.rejectLocked(from, m.Kind(), ReasonDuplicateAcquire,
+		return c.rejectStep(from, m.Kind(), ReasonDuplicateAcquire,
 			fmt.Sprintf("acquire of %v for %v while its agent still waits for %v",
 				m.Resource, m.Txn, a.waiting), after)
 	}
 	granted, err := c.locks.acquire(m.Resource, m.Txn, m.Mode)
 	if err != nil {
 		// Re-entrant acquire of a held resource, or a double queue entry.
-		return c.rejectLocked(from, m.Kind(), ReasonDuplicateAcquire,
+		return c.rejectStep(from, m.Kind(), ReasonDuplicateAcquire,
 			fmt.Sprintf("acquire of %v for %v: %v", m.Resource, m.Txn, err), after)
 	}
 	if !ok {
@@ -580,14 +595,14 @@ func (c *Controller) handleAcquireLocked(from id.Site, m msg.CtrlAcquire, after 
 	a.waiting = m.Resource
 	a.waitingMode = m.Mode
 	a.hasWaiting = true
-	after = c.waitStartLocked(a, after)
-	return c.maybeScheduleDetectionLocked(m.Txn, after)
+	after = c.waitStartStep(a, after)
+	return c.maybeScheduleDetectionStep(m.Txn, after)
 }
 
-// handleGrantedLocked completes a remote acquisition at the home site:
+// handleGrantedStep completes a remote acquisition at the home site:
 // the white inter-controller edge disappears on receipt (G6). Caller
 // holds c.mu.
-func (c *Controller) handleGrantedLocked(from id.Site, m msg.CtrlGranted, after []func()) []func() {
+func (c *Controller) handleGrantedStep(from id.Site, m msg.CtrlGranted, after []func()) []func() {
 	ts, ok := c.txns[m.Txn]
 	if !ok || ts.inc != m.Inc || ts.status != TxnRunning {
 		// Stale grant for an aborted incarnation: hand the resource
@@ -602,22 +617,22 @@ func (c *Controller) handleGrantedLocked(from id.Site, m msg.CtrlGranted, after 
 	}
 	delete(ts.pendingRemote, m.Resource)
 	ts.heldRemote[m.Resource] = from
-	after = c.waitEndLocked(c.agents[m.Txn], after)
-	return c.scheduleNextStepLocked(ts, after)
+	after = c.waitEndStep(c.agents[m.Txn], after)
+	return c.scheduleNextStepStep(ts, after)
 }
 
-// handleReleaseLocked processes a release (commit, abort, or stale
-// grant) for a remote agent. Caller holds c.mu.
-func (c *Controller) handleReleaseLocked(from id.Site, m msg.CtrlRelease, after []func()) []func() {
+// handleReleaseStep processes a release (commit, abort, or stale
+// grant) for a remote agent.
+func (c *Controller) handleReleaseStep(from id.Site, m msg.CtrlRelease, after []func()) []func() {
 	a, ok := c.agents[m.Txn]
 	if !ok || a.inc != m.Inc || a.home != from {
 		return after // already cleaned up
 	}
 	if a.hasWaiting && a.waiting == m.Resource {
-		after = c.cancelLocalWaitLocked(a, after)
+		after = c.cancelLocalWaitStep(a, after)
 	} else if _, held := a.held[m.Resource]; held {
 		delete(a.held, m.Resource)
-		after = c.releaseLocalLocked(m.Resource, m.Txn, after)
+		after = c.releaseLocalStep(m.Resource, m.Txn, after)
 	}
 	if len(a.held) == 0 && !a.hasWaiting {
 		delete(c.agents, m.Txn)
@@ -629,66 +644,73 @@ func (c *Controller) handleReleaseLocked(from id.Site, m msg.CtrlRelease, after 
 // site is currently waiting (locally queued or awaiting a remote
 // acquisition). The timeout baseline polls this.
 func (c *Controller) AgentBlocked(txn id.Txn) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.agentBlockedLocked(txn)
+	var out bool
+	c.run.Exec(func() { out = c.agentBlockedStep(txn) })
+	return out
 }
 
 // HomeOf returns the home site of a transaction with an agent here.
 func (c *Controller) HomeOf(txn id.Txn) (id.Site, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	a, ok := c.agents[txn]
-	if !ok {
-		return 0, false
-	}
-	return a.home, true
+	var (
+		home id.Site
+		ok   bool
+	)
+	c.run.Exec(func() {
+		if a, present := c.agents[txn]; present {
+			home, ok = a.home, true
+		}
+	})
+	return home, ok
 }
 
 // Abort requests the abort of a transaction: locally if this is its
 // home site, otherwise by message to its home controller.
 func (c *Controller) Abort(txn id.Txn) {
-	c.mu.Lock()
-	ts, home := c.txns[txn]
 	var after []func()
-	if home {
-		if ts.status == TxnRunning {
-			after = c.abortLocked(ts, nil)
+	c.run.Exec(func() {
+		if ts, home := c.txns[txn]; home {
+			if ts.status == TxnRunning {
+				after = c.abortStep(ts, nil)
+			}
+		} else if a, ok := c.agents[txn]; ok {
+			c.send(a.home, msg.CtrlAbort{Txn: txn})
 		}
-	} else if a, ok := c.agents[txn]; ok {
-		c.send(a.home, msg.CtrlAbort{Txn: txn})
-	}
-	c.mu.Unlock()
+	})
 	runAll(after)
 }
 
 // TxnStatusOf reports a home transaction's status.
 func (c *Controller) TxnStatusOf(txn id.Txn) (TxnStatus, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ts, ok := c.txns[txn]
-	if !ok {
-		return 0, false
-	}
-	return ts.status, true
+	var (
+		st TxnStatus
+		ok bool
+	)
+	c.run.Exec(func() {
+		if ts, present := c.txns[txn]; present {
+			st, ok = ts.status, true
+		}
+	})
+	return st, ok
 }
 
 // Stats reports this controller's counters.
 func (c *Controller) Stats() ControllerStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return ControllerStats{
-		Computations:   c.computations,
-		ProbesSent:     c.probesSent,
-		ProbesDropped:  c.probesDropped,
-		DeclaredLocal:  c.declaredLocal,
-		DeclaredRemote: c.declaredRemote,
-		Commits:        c.commits,
-		Aborts:         c.aborts,
-		ProtocolErrors: c.protocolErrors,
-		AgentsPurged:   c.agentsPurged,
-		PeerAborts:     c.peerAborts,
-	}
+	var st ControllerStats
+	c.run.Exec(func() {
+		st = ControllerStats{
+			Computations:   c.computations,
+			ProbesSent:     c.probesSent,
+			ProbesDropped:  c.probesDropped,
+			DeclaredLocal:  c.declaredLocal,
+			DeclaredRemote: c.declaredRemote,
+			Commits:        c.commits,
+			Aborts:         c.aborts,
+			ProtocolErrors: c.ingress.Errors(),
+			AgentsPurged:   c.agentsPurged,
+			PeerAborts:     c.peerAborts,
+		}
+	})
+	return st
 }
 
 // ControllerStats holds per-controller counters.
@@ -716,4 +738,8 @@ func runAll(fns []func()) {
 	}
 }
 
-var _ transport.Handler = (*Controller)(nil)
+var (
+	_ transport.Handler    = (*Controller)(nil)
+	_ engine.Logic         = (*Controller)(nil)
+	_ engine.RecoveryLogic = (*Controller)(nil)
+)

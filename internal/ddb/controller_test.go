@@ -77,9 +77,8 @@ func TestStaleGrantIsHandedBack(t *testing.T) {
 	ctrls[1].send(0, msg.CtrlGranted{Txn: 0, Resource: 1, Inc: 2})
 	sched.RunUntil(sim.Time(20 * sim.Millisecond))
 	// The real hold survives: r1 still held by T0's agent at S1.
-	ctrls[1].mu.Lock()
-	holders := ctrls[1].locks.holdersOf(1)
-	ctrls[1].mu.Unlock()
+	var holders []id.Txn
+	ctrls[1].run.Exec(func() { holders = ctrls[1].locks.holdersOf(1) })
 	if len(holders) != 1 || holders[0] != 0 {
 		t.Fatalf("holders of r1 = %v, want [T0]", holders)
 	}
@@ -107,10 +106,12 @@ func TestAbortRoutesToHome(t *testing.T) {
 		t.Fatalf("status = %v %v, want aborted", st, ok)
 	}
 	// The remote hold must be released.
-	ctrls[1].mu.Lock()
-	holders := ctrls[1].locks.holdersOf(1)
-	agents := len(ctrls[1].agents)
-	ctrls[1].mu.Unlock()
+	var holders []id.Txn
+	var agents int
+	ctrls[1].run.Exec(func() {
+		holders = ctrls[1].locks.holdersOf(1)
+		agents = len(ctrls[1].agents)
+	})
 	if len(holders) != 0 || agents != 0 {
 		t.Fatalf("remote state not cleaned: holders=%v agents=%d", holders, agents)
 	}
@@ -202,15 +203,13 @@ func TestOracleExcludesWhiteAcquisitionEdges(t *testing.T) {
 	// CtrlGranted has not yet been received at home: with 1ms links,
 	// the acquire arrives at t=1ms and the grant at t=2ms.
 	sched.RunUntil(sim.Time(1500 * sim.Microsecond))
-	ctrls[1].mu.Lock()
-	held := len(ctrls[1].locks.holdersOf(1)) == 1
-	ctrls[1].mu.Unlock()
+	var held bool
+	ctrls[1].run.Exec(func() { held = len(ctrls[1].locks.holdersOf(1)) == 1 })
 	if !held {
 		t.Fatal("test premise broken: remote grant not yet issued")
 	}
-	ctrls[0].mu.Lock()
-	_, stillPending := ctrls[0].txns[0].pendingRemote[1]
-	ctrls[0].mu.Unlock()
+	var stillPending bool
+	ctrls[0].run.Exec(func() { _, stillPending = ctrls[0].txns[0].pendingRemote[1] })
 	if !stillPending {
 		t.Fatal("test premise broken: grant already received at home")
 	}

@@ -13,10 +13,10 @@ import (
 // held by remote agents. Deriving edges on demand from the lock table
 // means the edge set can never drift out of sync with lock state.
 
-// intraSuccessorsLocked returns the transactions whose agents the given
+// intraSuccessorsStep returns the transactions whose agents the given
 // agent waits for through the local lock table: the holders of the
-// resource it is queued on. Caller holds c.mu.
-func (c *Controller) intraSuccessorsLocked(txn id.Txn) []id.Txn {
+// resource it is queued on.
+func (c *Controller) intraSuccessorsStep(txn id.Txn) []id.Txn {
 	a, ok := c.agents[txn]
 	if !ok || !a.hasWaiting {
 		return nil
@@ -30,12 +30,11 @@ func (c *Controller) intraSuccessorsLocked(txn id.Txn) []id.Txn {
 	return out
 }
 
-// interEdgesLocked returns the inter-controller edges leaving the given
+// interEdgesStep returns the inter-controller edges leaving the given
 // agent: the acquisition edges of §6.4 if it is a home agent with
 // remote acquisitions in flight, and holder-home edges if it waits on a
 // resource held locally by a remote agent of another transaction.
-// Caller holds c.mu.
-func (c *Controller) interEdgesLocked(txn id.Txn) []id.AgentEdge {
+func (c *Controller) interEdgesStep(txn id.Txn) []id.AgentEdge {
 	a, ok := c.agents[txn]
 	if !ok {
 		return nil
@@ -59,7 +58,7 @@ func (c *Controller) interEdgesLocked(txn id.Txn) []id.AgentEdge {
 	return out
 }
 
-// labelReachableLocked walks every agent reachable from start along
+// labelReachableStep walks every agent reachable from start along
 // current intra-controller edges. It labels the visited agents into
 // comp.labeled and returns (a) the transactions labeled for the first
 // time — only their inter-controller edges still need probes — and (b)
@@ -67,8 +66,8 @@ func (c *Controller) interEdgesLocked(txn id.Txn) []id.AgentEdge {
 // watchStart is true, by being the start itself). The walk is a fresh
 // BFS every time: the declaration condition of steps A0/A1 is about
 // reachability over the edges as they stand at this atomic step, not
-// about the accumulated label set. Caller holds c.mu.
-func (c *Controller) labelReachableLocked(comp *probeComp, start, watch id.Txn, watchStart bool) (newly []id.Txn, watchReached bool) {
+// about the accumulated label set.
+func (c *Controller) labelReachableStep(comp *probeComp, start, watch id.Txn, watchStart bool) (newly []id.Txn, watchReached bool) {
 	if _, present := c.agents[start]; !present {
 		return nil, false
 	}
@@ -84,7 +83,7 @@ func (c *Controller) labelReachableLocked(comp *probeComp, start, watch id.Txn, 
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, succ := range c.intraSuccessorsLocked(cur) {
+		for _, succ := range c.intraSuccessorsStep(cur) {
 			if succ == watch {
 				watchReached = true
 			}
@@ -109,18 +108,18 @@ func (c *Controller) labelReachableLocked(comp *probeComp, start, watch id.Txn, 
 // edges because the home controller cannot observe colour (P3), which
 // is one root of the phantom-deadlock problem the baseline exhibits.
 func (c *Controller) LocalEdges() []id.AgentEdge {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []id.AgentEdge
-	for txn, a := range c.agents {
-		self := id.Agent{Txn: txn, Site: c.cfg.Site}
-		if a.hasWaiting {
-			for _, h := range c.intraSuccessorsLocked(txn) {
-				out = append(out, id.AgentEdge{From: self, To: id.Agent{Txn: h, Site: c.cfg.Site}})
+	c.run.Exec(func() {
+		for txn, a := range c.agents {
+			self := id.Agent{Txn: txn, Site: c.cfg.Site}
+			if a.hasWaiting {
+				for _, h := range c.intraSuccessorsStep(txn) {
+					out = append(out, id.AgentEdge{From: self, To: id.Agent{Txn: h, Site: c.cfg.Site}})
+				}
 			}
+			out = append(out, c.interEdgesStep(txn)...)
 		}
-		out = append(out, c.interEdgesLocked(txn)...)
-	}
+	})
 	sortAgentEdges(out)
 	return out
 }
@@ -128,18 +127,18 @@ func (c *Controller) LocalEdges() []id.AgentEdge {
 // WaitingAgents returns this controller's agents that are currently
 // blocked (queued locally or awaiting a remote acquisition).
 func (c *Controller) WaitingAgents() []id.Agent {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []id.Agent
-	for txn, a := range c.agents {
-		blocked := a.hasWaiting
-		if ts, home := c.txns[txn]; home && ts.status == TxnRunning && len(ts.pendingRemote) > 0 {
-			blocked = true
+	c.run.Exec(func() {
+		for txn, a := range c.agents {
+			blocked := a.hasWaiting
+			if ts, home := c.txns[txn]; home && ts.status == TxnRunning && len(ts.pendingRemote) > 0 {
+				blocked = true
+			}
+			if blocked {
+				out = append(out, id.Agent{Txn: txn, Site: c.cfg.Site})
+			}
 		}
-		if blocked {
-			out = append(out, id.Agent{Txn: txn, Site: c.cfg.Site})
-		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Txn < out[j].Txn })
 	return out
 }

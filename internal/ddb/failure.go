@@ -1,8 +1,11 @@
 package ddb
 
-import "sort"
+import (
+	"sort"
 
-import "repro/internal/id"
+	"repro/internal/id"
+	"repro/internal/transport"
+)
 
 // This file is the DDB layer's crash-recovery surface, mirroring the
 // core engine's (see internal/core/failure.go). A controller learns of
@@ -30,12 +33,23 @@ import "repro/internal/id"
 // PeerDown severs every dependency on a crashed site. Safe to call for
 // sites the controller never interacted with; idempotent for repeats.
 func (c *Controller) PeerDown(dead id.Site) {
-	c.mu.Lock()
+	var after []func()
+	c.run.Exec(func() { after = c.peerDownStep(dead) })
+	runAll(after)
+}
+
+// StepPeerDown implements engine.RecoveryLogic: the Host invokes it on
+// the owning shard, already serialized.
+func (c *Controller) StepPeerDown(peer transport.NodeID) {
+	runAll(c.peerDownStep(id.Site(peer)))
+}
+
+func (c *Controller) peerDownStep(dead id.Site) []func() {
 	var after []func()
 
 	// Remote agents homed at the dead site: release holds, cancel waits.
 	// Sorted iteration — the grant cascade order must be a pure function
-	// of state, exactly as in releaseAllLocked.
+	// of state, exactly as in releaseAllStep.
 	var orphans []id.Txn
 	for txn, a := range c.agents {
 		if a.home == dead {
@@ -46,11 +60,11 @@ func (c *Controller) PeerDown(dead id.Site) {
 	for _, txn := range orphans {
 		a := c.agents[txn]
 		if a.hasWaiting {
-			after = c.cancelLocalWaitLocked(a, after)
+			after = c.cancelLocalWaitStep(a, after)
 		}
 		for _, r := range sortedResources(a.held) {
 			delete(a.held, r)
-			after = c.releaseLocalLocked(r, txn, after)
+			after = c.releaseLocalStep(r, txn, after)
 		}
 		delete(c.agents, txn)
 		c.agentsPurged++
@@ -82,8 +96,8 @@ func (c *Controller) PeerDown(dead id.Site) {
 	}
 	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
 	for _, txn := range stuck {
-		after = c.waitEndLocked(c.agents[txn], after)
-		after = c.abortLocked(c.txns[txn], after)
+		after = c.waitEndStep(c.agents[txn], after)
+		after = c.abortStep(c.txns[txn], after)
 		c.peerAborts++
 	}
 
@@ -98,17 +112,23 @@ func (c *Controller) PeerDown(dead id.Site) {
 		}
 		delete(c.latestBy, dead)
 	}
-	c.mu.Unlock()
-	runAll(after)
+	return after
 }
 
 // PeerUp clears the per-initiator freshness fencing for a restarted
 // site, so its fresh incarnation's computations (numbered from 1) are
 // tracked rather than discarded as stale.
 func (c *Controller) PeerUp(peer id.Site) {
-	c.mu.Lock()
+	c.run.Exec(func() { c.peerUpStep(peer) })
+}
+
+// StepPeerUp implements engine.RecoveryLogic.
+func (c *Controller) StepPeerUp(peer transport.NodeID) {
+	c.peerUpStep(id.Site(peer))
+}
+
+func (c *Controller) peerUpStep(peer id.Site) {
 	if peer != c.cfg.Site {
 		delete(c.latestBy, peer)
 	}
-	c.mu.Unlock()
 }

@@ -90,28 +90,35 @@ func TestPeerDownAbortsTransactionsStuckOnDeadSite(t *testing.T) {
 func TestPeerDownUpResetsProbeWindow(t *testing.T) {
 	_, ctrls := harness(t, 2)
 	c := ctrls[0]
-	c.mu.Lock()
-	c.latestBy[1] = compWindow + 1000
-	c.comps[compKey{site: 1, n: compWindow + 1000}] = &probeComp{
-		tag:     id.CtrlTag{Initiator: 1, N: compWindow + 1000},
-		labeled: make(map[id.Txn]bool),
-		probed:  make(map[id.AgentEdge]bool),
-	}
-	c.mu.Unlock()
+	c.run.Exec(func() {
+		c.latestBy[1] = compWindow + 1000
+		c.comps[compKey{site: 1, n: compWindow + 1000}] = &probeComp{
+			tag:     id.CtrlTag{Initiator: 1, N: compWindow + 1000},
+			labeled: make(map[id.Txn]bool),
+			probed:  make(map[id.AgentEdge]bool),
+		}
+	})
 
 	c.PeerDown(1)
 	c.PeerUp(1)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.comps) != 0 {
-		t.Fatalf("dead initiator's computations survived: %d", len(c.comps))
+	var nComps int
+	var staleWindow bool
+	var freshOK bool
+	c.run.Exec(func() {
+		nComps = len(c.comps)
+		_, staleWindow = c.latestBy[1]
+		comp, ok := c.compForStep(id.CtrlTag{Initiator: 1, N: 1})
+		freshOK = ok && comp != nil
+	})
+	if nComps != 0 {
+		t.Fatalf("dead initiator's computations survived: %d", nComps)
 	}
-	if _, ok := c.latestBy[1]; ok {
+	if staleWindow {
 		t.Fatal("stale freshness window survived restart")
 	}
 	// The new incarnation's first computation must now be trackable.
-	if comp, ok := c.compForLocked(id.CtrlTag{Initiator: 1, N: 1}); !ok || comp == nil {
+	if !freshOK {
 		t.Fatal("restarted initiator's computation n=1 discarded as stale")
 	}
 }

@@ -1,11 +1,17 @@
 package ddb
 
 import (
-	"fmt"
-
+	"repro/internal/engine"
 	"repro/internal/id"
 	"repro/internal/msg"
+	"repro/internal/transport"
 )
+
+// The validated-ingress layer — typed rejection reasons, the
+// ProtocolError record, and the drop-count-report discipline — lives
+// once in the engine runtime (internal/engine/ingress.go) since the
+// sharded-runtime refactor; this file re-exports the names the DDB
+// model speaks so callers keep importing them from ddb.
 
 // ProtocolErrorReason classifies why a controller rejected an ingress
 // frame. A rejected frame is dropped, counted in
@@ -13,85 +19,42 @@ import (
 // Config.OnProtocolError; it never mutates controller state and never
 // panics, so a misbehaving peer controller cannot take a site down with
 // one bad message.
-type ProtocolErrorReason int
+type ProtocolErrorReason = engine.Reason
 
 // Ingress rejection reasons for the DDB model.
 const (
 	// ReasonMisroutedProbe: a CtrlProbe arrived whose edge does not end
 	// at this site — a conforming controller only sends a probe along an
 	// edge to the edge's destination site.
-	ReasonMisroutedProbe ProtocolErrorReason = iota + 1
+	ReasonMisroutedProbe = engine.ReasonMisroutedProbe
 	// ReasonIncarnationClash: a CtrlAcquire named a transaction whose
 	// agent here belongs to a different home/incarnation that still
 	// holds or waits for resources, or whose home is this very site. On
 	// FIFO links the old incarnation's releases always precede a new
 	// acquire, so a clash can only come from a duplicated or forged
 	// frame.
-	ReasonIncarnationClash
+	ReasonIncarnationClash = engine.ReasonIncarnationClash
 	// ReasonDuplicateAcquire: a CtrlAcquire for a resource the
 	// transaction's agent here already holds or queues for. Conforming
 	// scripts never re-request a held resource (§6.2).
-	ReasonDuplicateAcquire
+	ReasonDuplicateAcquire = engine.ReasonDuplicateAcquire
 	// ReasonSelfAddressed: the frame claims this controller as its own
 	// sender; controllers never message themselves (local work stays
 	// local), so the frame is forged or misrouted.
-	ReasonSelfAddressed
+	ReasonSelfAddressed = engine.ReasonSelfAddressed
 	// ReasonUnknownType: the decoded message is of a type the DDB model
 	// does not speak.
-	ReasonUnknownType
+	ReasonUnknownType = engine.ReasonUnknownType
 )
 
-var reasonNames = map[ProtocolErrorReason]string{
-	ReasonMisroutedProbe:   "misrouted-probe",
-	ReasonIncarnationClash: "incarnation-clash",
-	ReasonDuplicateAcquire: "duplicate-acquire",
-	ReasonSelfAddressed:    "self-addressed",
-	ReasonUnknownType:      "unknown-type",
-}
+// ProtocolError describes one ingress frame rejected by a Controller
+// (Node/From are the transport identities of the rejecting and sending
+// sites).
+type ProtocolError = engine.ProtocolError
 
-// String returns the lower-case name of the reason.
-func (r ProtocolErrorReason) String() string {
-	if s, ok := reasonNames[r]; ok {
-		return s
-	}
-	return fmt.Sprintf("protocol-error(%d)", int(r))
-}
-
-// ProtocolError describes one ingress frame rejected by a Controller.
-type ProtocolError struct {
-	// Site is the controller that rejected the frame.
-	Site id.Site
-	// From is the frame's claimed sender site.
-	From id.Site
-	// Kind is the offending message's kind; 0 when the type was unknown
-	// to the taxonomy entirely.
-	Kind msg.Kind
-	// Reason classifies the rejection.
-	Reason ProtocolErrorReason
-	// Detail is a human-readable elaboration.
-	Detail string
-}
-
-// Error implements error.
-func (e ProtocolError) Error() string {
-	return fmt.Sprintf("controller %v: %v from %v: %s", e.Site, e.Reason, e.From, e.Detail)
-}
-
-// rejectLocked drops one ingress frame: count it and defer the report
-// callback past the critical section. Caller holds c.mu.
-func (c *Controller) rejectLocked(from id.Site, kind msg.Kind, reason ProtocolErrorReason, detail string, after []func()) []func() {
-	c.protocolErrors++
-	if cb := c.cfg.OnProtocolError; cb != nil {
-		pe := ProtocolError{Site: c.cfg.Site, From: from, Kind: kind, Reason: reason, Detail: detail}
-		after = append(after, func() { cb(pe) })
-	}
-	return after
-}
-
-// kindOf returns the message kind, or 0 for a nil message value.
-func kindOf(m msg.Message) msg.Kind {
-	if m == nil {
-		return 0
-	}
-	return m.Kind()
+// rejectStep drops one ingress frame: count it and defer the report
+// callback past the critical section. Caller is on the controller's
+// serialized step.
+func (c *Controller) rejectStep(from id.Site, kind msg.Kind, reason ProtocolErrorReason, detail string, after []func()) []func() {
+	return c.ingress.Reject(transport.NodeID(from), kind, reason, detail, after)
 }

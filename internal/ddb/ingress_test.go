@@ -41,9 +41,8 @@ func holdRemote(t *testing.T) (*sim.Scheduler, []*Controller) {
 		t.Fatal(err)
 	}
 	sched.RunUntil(sim.Time(10 * sim.Millisecond))
-	ctrls[1].mu.Lock()
-	held := len(ctrls[1].locks.holdersOf(1)) == 1
-	ctrls[1].mu.Unlock()
+	var held bool
+	ctrls[1].run.Exec(func() { held = len(ctrls[1].locks.holdersOf(1)) == 1 })
 	if !held {
 		t.Fatal("test premise broken: remote lock not acquired")
 	}
@@ -80,9 +79,8 @@ func TestAcquireWhileWaitingRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched.RunUntil(sim.Time(20 * sim.Millisecond))
-	ctrls[1].mu.Lock()
-	waiting := ctrls[1].agents[2] != nil && ctrls[1].agents[2].hasWaiting
-	ctrls[1].mu.Unlock()
+	var waiting bool
+	ctrls[1].run.Exec(func() { waiting = ctrls[1].agents[2] != nil && ctrls[1].agents[2].hasWaiting })
 	if !waiting {
 		t.Fatal("test premise broken: T2 not queued")
 	}
@@ -131,7 +129,7 @@ func TestOnProtocolErrorCallback(t *testing.T) {
 		t.Fatalf("OnProtocolError fired %d times, want 1", len(got))
 	}
 	e := got[0]
-	if e.Reason != ReasonMisroutedProbe || e.Site != 1 || e.From != 0 || e.Kind != msg.KindCtrlProbe {
+	if e.Reason != ReasonMisroutedProbe || e.Node != 1 || e.From != 0 || e.Kind != msg.KindCtrlProbe {
 		t.Fatalf("unexpected rejection %+v", e)
 	}
 	if e.Error() == "" || e.Reason.String() != "misrouted-probe" {

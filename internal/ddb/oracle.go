@@ -54,38 +54,39 @@ func (o *Oracle) DarkEdges() []id.AgentEdge {
 	var waits []waitView
 
 	for _, c := range o.controllers {
-		c.mu.Lock()
-		site := c.cfg.Site
-		views := make(map[id.Txn]*agentView, len(c.agents))
-		for txn, a := range c.agents {
-			v := &agentView{site: site, txn: txn, home: a.home, held: make(map[id.Resource]bool, len(a.held))}
-			for r := range a.held {
-				v.held[r] = true
+		c := c
+		c.run.Exec(func() {
+			site := c.cfg.Site
+			views := make(map[id.Txn]*agentView, len(c.agents))
+			for txn, a := range c.agents {
+				v := &agentView{site: site, txn: txn, home: a.home, held: make(map[id.Resource]bool, len(a.held))}
+				for r := range a.held {
+					v.held[r] = true
+				}
+				if ts, home := c.txns[txn]; home {
+					v.isHome = true
+					v.alive = ts.status == TxnRunning
+				}
+				views[txn] = v
 			}
-			if ts, home := c.txns[txn]; home {
-				v.isHome = true
-				v.alive = ts.status == TxnRunning
+			agentsBySite[site] = views
+			for txn, ts := range c.txns {
+				if ts.status != TxnRunning {
+					continue
+				}
+				for r, to := range ts.pendingRemote {
+					pendings = append(pendings, pendingView{txn: txn, from: site, to: to, resource: r})
+				}
 			}
-			views[txn] = v
-		}
-		agentsBySite[site] = views
-		for txn, ts := range c.txns {
-			if ts.status != TxnRunning {
-				continue
+			for _, wp := range c.locks.waitPairs() {
+				waits = append(waits, waitView{
+					site:     site,
+					txn:      wp.txn,
+					resource: wp.resource,
+					holders:  c.locks.holdersOf(wp.resource),
+				})
 			}
-			for r, to := range ts.pendingRemote {
-				pendings = append(pendings, pendingView{txn: txn, from: site, to: to, resource: r})
-			}
-		}
-		for _, wp := range c.locks.waitPairs() {
-			waits = append(waits, waitView{
-				site:     site,
-				txn:      wp.txn,
-				resource: wp.resource,
-				holders:  c.locks.holdersOf(wp.resource),
-			})
-		}
-		c.mu.Unlock()
+		})
 	}
 
 	// Pass 2: derive dark edges from the snapshot.

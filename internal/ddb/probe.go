@@ -48,15 +48,18 @@ type probeComp struct {
 // computation tag and whether a purely local (intra-controller) cycle
 // was declared immediately.
 func (c *Controller) CheckAgent(txn id.Txn) (id.CtrlTag, bool) {
-	c.mu.Lock()
-	tag, declared, after := c.checkAgentLocked(txn, nil)
-	c.mu.Unlock()
+	var (
+		tag      id.CtrlTag
+		declared bool
+		after    []func()
+	)
+	c.run.Exec(func() { tag, declared, after = c.checkAgentStep(txn, nil) })
 	runAll(after)
 	return tag, declared
 }
 
-// checkAgentLocked implements step A0. Caller holds c.mu.
-func (c *Controller) checkAgentLocked(txn id.Txn, after []func()) (id.CtrlTag, bool, []func()) {
+// checkAgentStep implements step A0.
+func (c *Controller) checkAgentStep(txn id.Txn, after []func()) (id.CtrlTag, bool, []func()) {
 	agent, present := c.agents[txn]
 	if !present {
 		return id.CtrlTag{}, false, after
@@ -73,18 +76,18 @@ func (c *Controller) checkAgentLocked(txn id.Txn, after []func()) (id.CtrlTag, b
 		probed:    make(map[id.AgentEdge]bool),
 	}
 	c.comps[compKey{site: c.cfg.Site, n: c.nextN}] = comp
-	c.pruneCompsLocked(c.cfg.Site, c.nextN)
+	c.pruneCompsStep(c.cfg.Site, c.nextN)
 
 	// A0: the target is "reached" only if the walk re-enters it through
 	// at least one intra edge — a purely local cycle.
-	newly, localCycle := c.labelReachableLocked(comp, txn, txn, false)
+	newly, localCycle := c.labelReachableStep(comp, txn, txn, false)
 	if localCycle {
 		// "If (Ti,Sj) is labelled, declare that it is on a black cycle
 		// of intra-controller edges."
-		after = c.declareLocked(comp, nil, after)
+		after = c.declareStep(comp, nil, after)
 		return tag, true, after
 	}
-	c.sendProbesLocked(comp, newly)
+	c.sendProbesStep(comp, newly)
 	return tag, false, after
 }
 
@@ -94,34 +97,34 @@ func (c *Controller) checkAgentLocked(txn id.Txn, after []func()) (id.CtrlTag, b
 // (pending remote acquisitions). It returns Q, the number of
 // computations initiated.
 func (c *Controller) CheckAll() int {
-	c.mu.Lock()
 	var after []func()
 	q := 0
-	// Sorted iteration: initiation order assigns computation numbers
-	// and emits probes, so it must be a pure function of state for
-	// replay-based exploration and seeded reproducibility.
-	txns := make([]id.Txn, 0, len(c.agents))
-	for txn, a := range c.agents {
-		if a.hasPendingAck {
-			txns = append(txns, txn)
+	c.run.Exec(func() {
+		// Sorted iteration: initiation order assigns computation numbers
+		// and emits probes, so it must be a pure function of state for
+		// replay-based exploration and seeded reproducibility.
+		txns := make([]id.Txn, 0, len(c.agents))
+		for txn, a := range c.agents {
+			if a.hasPendingAck {
+				txns = append(txns, txn)
+			}
 		}
-	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
-	for _, txn := range txns {
-		q++
-		_, _, after = c.checkAgentLocked(txn, after)
-	}
-	c.mu.Unlock()
+		sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+		for _, txn := range txns {
+			q++
+			_, _, after = c.checkAgentStep(txn, after)
+		}
+	})
 	runAll(after)
 	return q
 }
 
-// sendProbesLocked sends probes along every not-yet-probed
+// sendProbesStep sends probes along every not-yet-probed
 // inter-controller edge leaving the newly labeled agents. Caller holds
 // c.mu.
-func (c *Controller) sendProbesLocked(comp *probeComp, newly []id.Txn) {
+func (c *Controller) sendProbesStep(comp *probeComp, newly []id.Txn) {
 	for _, txn := range newly {
-		for _, e := range c.interEdgesLocked(txn) {
+		for _, e := range c.interEdgesStep(txn) {
 			if comp.probed[e] {
 				continue
 			}
@@ -132,20 +135,20 @@ func (c *Controller) sendProbesLocked(comp *probeComp, newly []id.Txn) {
 	}
 }
 
-// handleProbeLocked implements steps A1 and A2. Caller holds c.mu.
-func (c *Controller) handleProbeLocked(from id.Site, m msg.CtrlProbe, after []func()) []func() {
+// handleProbeStep implements steps A1 and A2.
+func (c *Controller) handleProbeStep(from id.Site, m msg.CtrlProbe, after []func()) []func() {
 	if m.Edge.To.Site != c.cfg.Site {
 		// A conforming controller sends a probe only along an edge to the
-		// edge's destination site (sendProbesLocked), so this frame was
+		// edge's destination site (sendProbesStep), so this frame was
 		// forged or misrouted.
-		return c.rejectLocked(from, m.Kind(), ReasonMisroutedProbe,
+		return c.rejectStep(from, m.Kind(), ReasonMisroutedProbe,
 			fmt.Sprintf("probe along %v -> %v does not end at this site", m.Edge.From, m.Edge.To), after)
 	}
-	if !c.meaningfulLocked(m.Edge) {
+	if !c.meaningfulStep(m.Edge) {
 		c.probesDropped++
 		return after
 	}
-	comp, ok := c.compForLocked(m.Tag)
+	comp, ok := c.compForStep(m.Tag)
 	if !ok {
 		c.probesDropped++
 		return after
@@ -153,27 +156,27 @@ func (c *Controller) handleProbeLocked(from id.Site, m msg.CtrlProbe, after []fu
 	// A1/A2 labeling pass: a fresh walk from the probe's entry process.
 	// At the initiator, declaration requires this walk to reach the
 	// target — including the case where the probe lands directly on it.
-	newly, reached := c.labelReachableLocked(comp, m.Edge.To.Txn, comp.target.Txn, comp.own)
+	newly, reached := c.labelReachableStep(comp, m.Edge.To.Txn, comp.target.Txn, comp.own)
 	if comp.own && !comp.declared && reached {
 		// Step A1: the returning probe chain closes on the target — it
 		// is on a black cycle (Theorem 2 carries over, §6.6).
-		after = c.declareLocked(comp, &m.Edge, after)
+		after = c.declareStep(comp, &m.Edge, after)
 		return after
 	}
 	// Step A2 (and the initiator's continued A0 sending rule): forward
 	// along unprobed inter-controller edges of the newly labeled set.
-	c.sendProbesLocked(comp, newly)
+	c.sendProbesStep(comp, newly)
 	return after
 }
 
-// meaningfulLocked decides whether a probe along the given edge is
+// meaningfulStep decides whether a probe along the given edge is
 // meaningful: the edge exists and is black at receipt (§6.5). For an
 // acquisition edge ((Ti,Sj),(Ti,Sm)) received at Sm: the agent exists
 // with a received-but-unanswered acquisition from Sj. For a holder-home
 // edge ((Tw,Sx),(Th,Sm)) received at the holder's home Sm: transaction
 // Th is still running here and holds at least one resource at Sx, so
-// the wait it induces there cannot have dissolved. Caller holds c.mu.
-func (c *Controller) meaningfulLocked(e id.AgentEdge) bool {
+// the wait it induces there cannot have dissolved.
+func (c *Controller) meaningfulStep(e id.AgentEdge) bool {
 	if e.From.Txn == e.To.Txn {
 		a, ok := c.agents[e.To.Txn]
 		return ok && a.home == e.From.Site && a.hasPendingAck
@@ -190,9 +193,9 @@ func (c *Controller) meaningfulLocked(e id.AgentEdge) bool {
 	return false
 }
 
-// compForLocked finds or creates the computation state for a tag,
-// applying the per-initiator window (§4.3). Caller holds c.mu.
-func (c *Controller) compForLocked(tag id.CtrlTag) (*probeComp, bool) {
+// compForStep finds or creates the computation state for a tag,
+// applying the per-initiator window (§4.3).
+func (c *Controller) compForStep(tag id.CtrlTag) (*probeComp, bool) {
 	key := compKey{site: tag.Initiator, n: tag.N}
 	if comp, ok := c.comps[key]; ok {
 		return comp, true
@@ -210,13 +213,13 @@ func (c *Controller) compForLocked(tag id.CtrlTag) (*probeComp, bool) {
 		probed:  make(map[id.AgentEdge]bool),
 	}
 	c.comps[key] = comp
-	c.pruneCompsLocked(tag.Initiator, tag.N)
+	c.pruneCompsStep(tag.Initiator, tag.N)
 	return comp, true
 }
 
-// pruneCompsLocked advances the per-initiator high-water mark and drops
-// computations outside the window. Caller holds c.mu.
-func (c *Controller) pruneCompsLocked(initiator id.Site, n uint64) {
+// pruneCompsStep advances the per-initiator high-water mark and drops
+// computations outside the window.
+func (c *Controller) pruneCompsStep(initiator id.Site, n uint64) {
 	if n > c.latestBy[initiator] {
 		c.latestBy[initiator] = n
 	}
@@ -231,11 +234,11 @@ func (c *Controller) pruneCompsLocked(initiator id.Site, n uint64) {
 	}
 }
 
-// declareLocked latches a declaration, notifies, and — when Resolve is
+// declareStep latches a declaration, notifies, and — when Resolve is
 // on — aborts the victim (the detected process's transaction), routing
 // the abort to the transaction's home site if the process here is a
-// remote agent. Caller holds c.mu.
-func (c *Controller) declareLocked(comp *probeComp, closing *id.AgentEdge, after []func()) []func() {
+// remote agent.
+func (c *Controller) declareStep(comp *probeComp, closing *id.AgentEdge, after []func()) []func() {
 	if comp.declared {
 		return after
 	}
@@ -270,9 +273,9 @@ func (c *Controller) declareLocked(comp *probeComp, closing *id.AgentEdge, after
 	return after
 }
 
-// maybeScheduleDetectionLocked arms the §4.3 wait timer for a blocked
-// agent under the InitiateOnWaitDelay policy. Caller holds c.mu.
-func (c *Controller) maybeScheduleDetectionLocked(txn id.Txn, after []func()) []func() {
+// maybeScheduleDetectionStep arms the §4.3 wait timer for a blocked
+// agent under the InitiateOnWaitDelay policy.
+func (c *Controller) maybeScheduleDetectionStep(txn id.Txn, after []func()) []func() {
 	if c.cfg.Mode != InitiateOnWaitDelay {
 		return after
 	}
@@ -282,20 +285,20 @@ func (c *Controller) maybeScheduleDetectionLocked(txn id.Txn, after []func()) []
 	}
 	inc := a.inc
 	c.cfg.Timers.After(c.cfg.Delay, func() {
-		c.mu.Lock()
 		var cbs []func()
-		if cur, still := c.agents[txn]; still && cur.inc == inc && c.agentBlockedLocked(txn) {
-			_, _, cbs = c.checkAgentLocked(txn, nil)
-		}
-		c.mu.Unlock()
+		c.run.Exec(func() {
+			if cur, still := c.agents[txn]; still && cur.inc == inc && c.agentBlockedStep(txn) {
+				_, _, cbs = c.checkAgentStep(txn, nil)
+			}
+		})
 		runAll(cbs)
 	})
 	return after
 }
 
-// agentBlockedLocked reports whether the agent is waiting locally or
-// (for a home agent) awaiting a remote acquisition. Caller holds c.mu.
-func (c *Controller) agentBlockedLocked(txn id.Txn) bool {
+// agentBlockedStep reports whether the agent is waiting locally or
+// (for a home agent) awaiting a remote acquisition.
+func (c *Controller) agentBlockedStep(txn id.Txn) bool {
 	a, ok := c.agents[txn]
 	if !ok {
 		return false

@@ -14,8 +14,13 @@ import (
 // table. Two controllers in behaviourally identical states produce
 // byte-identical strings; pure observability counters are excluded.
 func (c *Controller) Snapshot() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var out string
+	c.run.Exec(func() { out = c.snapshotStep() })
+	return out
+}
+
+// snapshotStep renders the state from within the serialized step.
+func (c *Controller) snapshotStep() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ddb/%d{n:%d locks:[", c.cfg.Site, c.nextN)
 	c.locks.snapshotInto(&b)

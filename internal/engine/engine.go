@@ -1,0 +1,57 @@
+// Package engine is the shared runtime the three detection engines
+// (core, ddb, commdl) are hosted on. It factors out everything that is
+// not algorithm: the serialization discipline that gives each process
+// the paper's atomic-step property, the validated-ingress accounting,
+// and the crash-recovery fencing that PRs 3–4 grew separately inside
+// each engine.
+//
+// The runtime has two layers:
+//
+//   - Runner (runner.go) is the minimal serialization contract an
+//     engine needs: Exec(fn) runs fn mutually exclusive with every
+//     other step of the same process. Stand-alone engines get an
+//     inline mutex-backed Runner; engines registered on a Host get the
+//     owning shard's single-writer loop. Either way the engine itself
+//     carries no sync.Mutex on its message path.
+//
+//   - Host (host.go) owns N shards, each a single goroutine draining a
+//     batch queue. Processes are pinned to shards by id, messages
+//     between co-hosted processes are direct queue appends that never
+//     touch the wire, and one Host multiplexes any number of
+//     paper-processes onto one underlying transport endpoint.
+//
+// Shared plumbing: ingress.go (typed ProtocolError + rejection
+// accounting), recovery.go (WaitAborted + peer-down bookkeeping).
+package engine
+
+import (
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Logic is the step-function face of an engine process: one serialized
+// protocol step per delivered message. A Host shard invokes Step
+// directly on its loop goroutine — already serialized, so Step must
+// not re-enter the Runner — which keeps the per-message hot path free
+// of locks and channel hops. Handlers that do not implement Logic fall
+// back to transport.Handler.HandleMessage.
+type Logic interface {
+	Step(from transport.NodeID, m msg.Message)
+}
+
+// RecoveryLogic is implemented by engines that translate transport
+// liveness verdicts into protocol moves (wait-abort on peer death,
+// fence-clearing on recovery). The Host serializes these steps on the
+// owning shard exactly like message deliveries.
+type RecoveryLogic interface {
+	StepPeerDown(peer transport.NodeID)
+	StepPeerUp(peer transport.NodeID)
+}
+
+// ReannouncingLogic is implemented by engines that must re-announce
+// state to a restarted peer (core re-sends Request{Rejoin} for a
+// surviving wait edge). The Host invokes it after StepPeerUp when the
+// recovery event carries a restart indication.
+type ReannouncingLogic interface {
+	StepReannounce(peer transport.NodeID) bool
+}

@@ -1,0 +1,463 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Options configures a Host. The zero value is valid: one shard, no
+// underlying transport (intra-host traffic only).
+type Options struct {
+	// Shards is the number of single-writer event loops. Processes are
+	// pinned to shards by id (stable affinity: node % Shards), so two
+	// messages to the same process always execute on the same
+	// goroutine. Default 1.
+	Shards int
+	// Transport is the underlying wire transport for processes not
+	// hosted here. nil means the Host is self-contained: a send to an
+	// unhosted node panics, matching the in-process transports'
+	// contract.
+	Transport transport.Transport
+}
+
+// Host multiplexes many engine processes onto N single-writer shards
+// and (optionally) one underlying transport endpoint. It implements
+// transport.Transport, so engines register on it exactly as they would
+// on a wire transport, and RunnerProvider, so registered engines
+// serialize their public API through the owning shard instead of a
+// private mutex.
+//
+// The paper's atomic-step property ("a process acts on one message at
+// a time") was previously enforced twice per process: a dispatcher
+// goroutine per transport node plus a mutex per process. The Host
+// enforces it once: every step of a process — message delivery, public
+// API call, recovery verdict — executes on its shard's loop goroutine.
+// One goroutine per shard, thousands of processes per goroutine, no
+// lock on the delivery path.
+//
+// Intra-host sends append straight to the destination shard's queue:
+// no wire, no encode, no dispatcher handoff. Sends to unhosted nodes
+// forward to the underlying transport; inbound frames from it are
+// enqueued on the owning shard via the registered shim.
+type Host struct {
+	under  transport.Transport
+	shards []*shard
+
+	mu     sync.RWMutex
+	procs  map[transport.NodeID]*proc
+	closed bool
+
+	// observers is read once per send/delivery on the hot path, so it
+	// is published with an atomic pointer instead of taking h.mu.
+	observers atomic.Pointer[[]transport.Observer]
+
+	intraSends  atomic.Uint64
+	remoteSends atomic.Uint64
+	remoteRecvs atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// proc is one hosted process: its handler, the optional fast-path and
+// recovery faces of that handler, and its pinned shard.
+type proc struct {
+	node  transport.NodeID
+	h     transport.Handler
+	logic Logic
+	rec   RecoveryLogic
+	ann   ReannouncingLogic
+	sh    *shard
+}
+
+// HostStats is a snapshot of a Host's traffic counters.
+type HostStats struct {
+	// IntraSends counts messages delivered hosted-process to
+	// hosted-process without touching the underlying transport.
+	IntraSends uint64
+	// RemoteSends counts messages forwarded to the underlying
+	// transport; RemoteRecvs counts inbound deliveries from it.
+	RemoteSends uint64
+	RemoteRecvs uint64
+	// Batches counts shard queue drains; MaxBatch is the largest single
+	// drain. Events counts everything the shards executed (deliveries,
+	// API calls, recovery steps).
+	Batches  uint64
+	Events   uint64
+	MaxBatch int
+}
+
+// NewHost starts the shard loops and returns the Host. Close must be
+// called to stop them.
+func NewHost(opts Options) *Host {
+	n := opts.Shards
+	if n <= 0 {
+		n = 1
+	}
+	h := &Host{
+		under: opts.Transport,
+		procs: make(map[transport.NodeID]*proc),
+	}
+	h.shards = make([]*shard, n)
+	for i := range h.shards {
+		s := newShard(h)
+		h.shards[i] = s
+		h.wg.Add(1)
+		go s.loop()
+	}
+	return h
+}
+
+// ShardOf returns the index of the shard that owns node. Affinity is a
+// pure function of the id, so it is stable across registration order,
+// peer churn, and restarts.
+func (h *Host) ShardOf(node transport.NodeID) int {
+	return int(uint32(node) % uint32(len(h.shards)))
+}
+
+// Shards returns the number of shard loops.
+func (h *Host) Shards() int { return len(h.shards) }
+
+// Runner implements RunnerProvider: public API calls of node serialize
+// through its owning shard's loop.
+func (h *Host) Runner(node transport.NodeID) Runner {
+	return shardRunner{s: h.shards[h.ShardOf(node)]}
+}
+
+// Observe attaches an Observer. OnSend fires for every message a
+// hosted process sends (intra-host and forwarded alike); OnDeliver
+// fires on the owning shard immediately before the destination
+// process's step. Together they give metrics.Counters the same
+// sent==delivered quiescence invariant the wire transports provide.
+func (h *Host) Observe(o transport.Observer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var next []transport.Observer
+	if cur := h.observers.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, o)
+	h.observers.Store(&next)
+}
+
+// observerList returns the current observer slice (possibly nil).
+func (h *Host) observerList() []transport.Observer {
+	if cur := h.observers.Load(); cur != nil {
+		return *cur
+	}
+	return nil
+}
+
+// Register pins node to its shard and installs h as its handler. If
+// the handler implements Logic, shards call Step directly (the
+// lock-free hot path); otherwise they fall back to HandleMessage. When
+// an underlying transport is present, a shim is registered there so
+// wire frames for node are enqueued on the owning shard.
+func (h *Host) Register(node transport.NodeID, handler transport.Handler) {
+	p := &proc{node: node, h: handler, sh: h.shards[h.ShardOf(node)]}
+	p.logic, _ = handler.(Logic)
+	p.rec, _ = handler.(RecoveryLogic)
+	p.ann, _ = handler.(ReannouncingLogic)
+	h.mu.Lock()
+	h.procs[node] = p
+	h.mu.Unlock()
+	if h.under != nil {
+		h.under.Register(node, inboundShim{h: h, p: p})
+	}
+}
+
+// inboundShim enqueues wire deliveries for one hosted process on its
+// owning shard.
+type inboundShim struct {
+	h *Host
+	p *proc
+}
+
+func (s inboundShim) HandleMessage(from transport.NodeID, m msg.Message) {
+	s.h.remoteRecvs.Add(1)
+	s.p.sh.enqueue(event{p: s.p, from: from, m: m})
+}
+
+// Send implements transport.Transport. A destination hosted here is a
+// direct append to its shard's queue — the intra-host fast path; any
+// other destination forwards to the underlying transport.
+func (h *Host) Send(from, to transport.NodeID, m msg.Message) {
+	h.mu.RLock()
+	p := h.procs[to]
+	closed := h.closed
+	h.mu.RUnlock()
+	if closed {
+		return
+	}
+	for _, o := range h.observerList() {
+		o.OnSend(from, to, m)
+	}
+	if p != nil {
+		h.intraSends.Add(1)
+		p.sh.enqueue(event{p: p, from: from, m: m})
+		return
+	}
+	if h.under == nil {
+		panic(fmt.Sprintf("engine: send to unhosted node %d with no underlying transport", to))
+	}
+	h.remoteSends.Add(1)
+	h.under.Send(from, to, m)
+}
+
+// PeerDown routes a liveness verdict to every hosted process as one
+// serialized recovery step each, on the owning shard. Processes whose
+// handlers do not implement RecoveryLogic are skipped.
+func (h *Host) PeerDown(peer transport.NodeID) {
+	h.eachRecovery(func(p *proc) {
+		p.sh.enqueue(event{fn: func() { p.rec.StepPeerDown(peer) }})
+	})
+}
+
+// PeerUp routes a recovery verdict to every hosted process. When
+// reannounce is true (the transport observed a restarted incarnation)
+// processes implementing ReannouncingLogic additionally re-announce
+// surviving state to the peer.
+func (h *Host) PeerUp(peer transport.NodeID, reannounce bool) {
+	h.eachRecovery(func(p *proc) {
+		ann := p.ann
+		p.sh.enqueue(event{fn: func() {
+			p.rec.StepPeerUp(peer)
+			if reannounce && ann != nil {
+				ann.StepReannounce(peer)
+			}
+		}})
+	})
+}
+
+func (h *Host) eachRecovery(visit func(p *proc)) {
+	h.mu.RLock()
+	procs := make([]*proc, 0, len(h.procs))
+	for _, p := range h.procs {
+		if p.rec != nil {
+			procs = append(procs, p)
+		}
+	}
+	h.mu.RUnlock()
+	for _, p := range procs {
+		visit(p)
+	}
+}
+
+// deliver runs one queued delivery on the shard goroutine: observers
+// first, then the process's step.
+func (h *Host) deliver(ev event) {
+	for _, o := range h.observerList() {
+		o.OnDeliver(ev.from, ev.p.node, ev.m)
+	}
+	if ev.p.logic != nil {
+		ev.p.logic.Step(ev.from, ev.m)
+		return
+	}
+	ev.p.h.HandleMessage(ev.from, ev.m)
+}
+
+// Stats returns a snapshot of the Host's counters.
+func (h *Host) Stats() HostStats {
+	st := HostStats{
+		IntraSends:  h.intraSends.Load(),
+		RemoteSends: h.remoteSends.Load(),
+		RemoteRecvs: h.remoteRecvs.Load(),
+	}
+	for _, s := range h.shards {
+		b, e, m := s.counters()
+		st.Batches += b
+		st.Events += e
+		if m > st.MaxBatch {
+			st.MaxBatch = m
+		}
+	}
+	return st
+}
+
+// Drain blocks until every shard queue is empty and idle. It is a test
+// and benchmark aid; quiescence of the protocol itself is still judged
+// by observer counters.
+func (h *Host) Drain() {
+	for _, s := range h.shards {
+		s.drain()
+	}
+}
+
+// Close stops the shard loops after draining their queues. The
+// underlying transport is not closed (the caller owns it).
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	for _, s := range h.shards {
+		s.close()
+	}
+	h.wg.Wait()
+}
+
+// event is one unit of shard work: a message delivery (p/from/m) or a
+// function step (fn, with done closed on completion when non-nil).
+type event struct {
+	p    *proc
+	from transport.NodeID
+	m    msg.Message
+	fn   func()
+	done chan struct{}
+}
+
+// shard is one single-writer event loop. All state of every process
+// pinned to the shard is read and written only by the loop goroutine;
+// the mutex guards the queue handoff, never process state.
+type shard struct {
+	h    *Host
+	mu   sync.Mutex
+	cond *sync.Cond
+	// straggler serializes post-close Exec calls against each other
+	// (the loop is gone by then); it is separate from mu so a straggler
+	// step may still enqueue (which is a clean no-op) without
+	// self-deadlocking.
+	straggler sync.Mutex
+	// queue/spare double-buffer: producers append to queue while the
+	// loop walks the previously swapped-out batch.
+	queue  []event
+	spare  []event
+	closed bool
+	idle   bool
+	// gid is the loop goroutine's id; shardRunner uses it to run
+	// nested Exec calls inline instead of self-deadlocking.
+	gid      uint64
+	batches  uint64
+	events   uint64
+	maxBatch int
+}
+
+func newShard(h *Host) *shard {
+	s := &shard{h: h}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends one event, reporting false if the shard is closed.
+// Broadcast rather than Signal: drain waiters share the condition
+// variable with the loop, and waking one of them instead of the loop
+// would strand the queue.
+func (s *shard) enqueue(ev event) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.queue = append(s.queue, ev)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
+// loop drains the queue in batches until closed and empty. One
+// goroutine, so every event it executes is serialized with every
+// other — the single-writer invariant.
+func (s *shard) loop() {
+	defer s.h.wg.Done()
+	s.mu.Lock()
+	s.gid = curGID()
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		s.idle = true
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Broadcast() // wake drain waiters
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.idle = false
+		batch := s.queue
+		s.queue = s.spare[:0]
+		s.spare = batch
+		s.batches++
+		s.events += uint64(len(batch))
+		if len(batch) > s.maxBatch {
+			s.maxBatch = len(batch)
+		}
+		s.mu.Unlock()
+		for i := range batch {
+			ev := batch[i]
+			batch[i] = event{} // release refs promptly
+			if ev.fn != nil {
+				ev.fn()
+				if ev.done != nil {
+					close(ev.done)
+				}
+				continue
+			}
+			s.h.deliver(ev)
+		}
+	}
+}
+
+// drain blocks until the queue is empty and the loop is parked (or the
+// shard is closed).
+func (s *shard) drain() {
+	s.mu.Lock()
+	for !(s.closed || (s.idle && len(s.queue) == 0)) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) counters() (batches, events uint64, maxBatch int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches, s.events, s.maxBatch
+}
+
+// close marks the shard closed and wakes the loop; queued events are
+// still drained before the loop exits.
+func (s *shard) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// loopGID returns the loop goroutine's id.
+func (s *shard) loopGID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gid
+}
+
+// shardRunner serializes public API calls of a process through its
+// owning shard. A call made from the shard's own loop goroutine (an
+// engine callback re-entering the API) runs inline; any other caller
+// enqueues a function step and waits for the loop to execute it.
+type shardRunner struct {
+	s *shard
+}
+
+func (r shardRunner) Exec(fn func()) {
+	if curGID() == r.s.loopGID() {
+		fn()
+		return
+	}
+	done := make(chan struct{})
+	if !r.s.enqueue(event{fn: fn, done: done}) {
+		// Shard closed: the loop is gone, so serialize stragglers
+		// against each other.
+		r.s.straggler.Lock()
+		defer r.s.straggler.Unlock()
+		fn()
+		return
+	}
+	<-done
+}

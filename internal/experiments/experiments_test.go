@@ -276,7 +276,30 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 14 {
-		t.Fatalf("expected 14 experiments, have %d", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 experiments, have %d", len(ids))
+	}
+}
+
+func TestE15HostScaling(t *testing.T) {
+	// Small configurations: the full ladder (8192 procs, the TCP
+	// baseline at 64 listeners) belongs to BenchmarkE15HostScaling.
+	rows, _, err := E15HostScaling([]int{1, 64}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.KMsgsPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		if r.Procs >= 2 && r.DetectUs <= 0 {
+			t.Fatalf("ring not detected: %+v", r)
+		}
+		if r.Procs == 1 && r.DetectUs != 0 {
+			t.Fatalf("detection latency reported with no cycle: %+v", r)
+		}
+	}
+	if rows[len(rows)-1].Path != "tcp" {
+		t.Fatalf("baseline row missing: %+v", rows[len(rows)-1])
 	}
 }

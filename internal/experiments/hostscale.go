@@ -1,0 +1,234 @@
+package experiments
+
+// E15 — sharded-host scaling. One engine.Host multiplexes P
+// paper-processes onto S single-writer shards; intra-host sends are
+// direct shard-queue appends that never touch a wire, an encoder, or a
+// per-process dispatcher. The experiment measures (a) intra-host
+// message throughput and (b) wall-clock detection latency of a
+// P-process request cycle, as P and S scale, and compares the
+// throughput against the pre-host deployment style: one core.Process
+// per loopback-TCP listener.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// E15Row is one (path, procs, shards) configuration of the host-scaling
+// experiment.
+type E15Row struct {
+	// Path is "host" (sharded engine.Host, intra-host fast path) or
+	// "tcp" (one process per loopback listener, the pre-host baseline).
+	Path string
+	// Procs is the number of co-located paper-processes; Shards the
+	// number of single-writer loops (0 on the tcp path).
+	Procs  int
+	Shards int
+	// Msgs is the number of probe frames pumped through the processes;
+	// KMsgsPerSec the achieved delivery rate in thousands per second.
+	Msgs        int
+	KMsgsPerSec float64
+	// DetectUs is the wall-clock latency for one probe computation to
+	// declare the P-cycle deadlocked (0 when Procs < 2).
+	DetectUs float64
+	// MaxBatch is the largest single shard-queue drain (host path only):
+	// how much work one loop wakeup amortized.
+	MaxBatch int
+}
+
+// e15PumpMsgs is the per-row probe count for the throughput leg — the
+// same for every row so the rates compare directly.
+const e15PumpMsgs = 1 << 16
+
+// e15Pumpers is the number of concurrent sender goroutines.
+const e15Pumpers = 4
+
+// E15HostScaling measures throughput and detection latency across
+// processes-per-host and shard-count configurations, then appends the
+// loopback-TCP baseline row the host rows are judged against.
+func E15HostScaling(procCounts, shardCounts []int) ([]E15Row, *metrics.Table, error) {
+	if len(procCounts) == 0 {
+		procCounts = []int{1, 64, 1000, 8192}
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4, 8}
+	}
+	table := metrics.NewTable(
+		"E15 — sharded-host scaling (intra-host fast path vs per-process loopback TCP)",
+		"path", "procs", "shards", "msgs", "kmsgs_per_s", "detect_us", "max_batch")
+	var rows []E15Row
+	add := func(r E15Row) {
+		rows = append(rows, r)
+		table.AddRow(r.Path, r.Procs, r.Shards, r.Msgs, r.KMsgsPerSec, r.DetectUs, r.MaxBatch)
+	}
+	for _, p := range procCounts {
+		for _, s := range shardCounts {
+			row, err := hostScalingLeg(p, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			add(row)
+		}
+	}
+	// Baseline: the largest proc count a per-process-listener deployment
+	// can reasonably host — 64 listeners, 64 dispatcher goroutines.
+	base, err := tcpScalingLeg(64)
+	if err != nil {
+		return nil, nil, err
+	}
+	add(base)
+	return rows, table, nil
+}
+
+// buildRing creates n manual-policy processes on t, wires the request
+// cycle i -> (i+1) mod n when n >= 2, and returns the processes plus a
+// channel closed when process 0 declares.
+func buildRing(t transport.Transport, n int) ([]*core.Process, chan struct{}, error) {
+	detected := make(chan struct{})
+	procs := make([]*core.Process, n)
+	for i := 0; i < n; i++ {
+		cfg := core.Config{
+			ID:        id.Proc(i),
+			Transport: t,
+			Policy:    core.InitiateManually,
+		}
+		if i == 0 {
+			var once bool
+			cfg.OnDeadlock = func(id.Tag) {
+				if !once {
+					once = true
+					close(detected)
+				}
+			}
+		}
+		p, err := core.NewProcess(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		procs[i] = p
+	}
+	return procs, detected, nil
+}
+
+// pump drives e15PumpMsgs non-meaningful probes at the n processes from
+// e15Pumpers claimed sender ids outside the process range, returning
+// once every send call has returned. Each probe is one full serialized
+// step at its destination (validated, then discarded as
+// non-meaningful), so the measured rate is end-to-end delivery, not
+// just enqueueing.
+func pump(t transport.Transport, n int) {
+	var wg sync.WaitGroup
+	per := e15PumpMsgs / e15Pumpers
+	for g := 0; g < e15Pumpers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := transport.NodeID(n + 1 + g)
+			for k := 0; k < per; k++ {
+				to := transport.NodeID((g*per + k) % n)
+				t.Send(from, to, msg.Probe{Tag: id.Tag{Initiator: id.Proc(n + 1 + g), N: uint64(k + 1)}})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// detectRing requests the cycle, initiates one probe computation at
+// process 0, and returns the wall-clock latency to declaration.
+func detectRing(procs []*core.Process, detected chan struct{}) (float64, error) {
+	n := len(procs)
+	for i := 0; i < n; i++ {
+		if err := procs[i].Request(id.Proc((i + 1) % n)); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if _, ok := procs[0].StartProbe(); !ok {
+		return 0, fmt.Errorf("ring %d: initiator not blocked", n)
+	}
+	select {
+	case <-detected:
+	case <-time.After(120 * time.Second):
+		return 0, fmt.Errorf("ring %d: detection timed out", n)
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1e3, nil
+}
+
+// hostScalingLeg runs one (procs, shards) host configuration.
+func hostScalingLeg(procs, shards int) (E15Row, error) {
+	host := engine.NewHost(engine.Options{Shards: shards})
+	defer host.Close()
+	ps, detected, err := buildRing(host, procs)
+	if err != nil {
+		return E15Row{}, err
+	}
+
+	start := time.Now()
+	pump(host, procs)
+	host.Drain() // all probes stepped, not merely queued
+	elapsed := time.Since(start)
+
+	row := E15Row{
+		Path:        "host",
+		Procs:       procs,
+		Shards:      shards,
+		Msgs:        e15PumpMsgs,
+		KMsgsPerSec: float64(e15PumpMsgs) / elapsed.Seconds() / 1e3,
+		MaxBatch:    host.Stats().MaxBatch,
+	}
+	if procs >= 2 {
+		if row.DetectUs, err = detectRing(ps, detected); err != nil {
+			return E15Row{}, err
+		}
+	}
+	return row, nil
+}
+
+// tcpScalingLeg runs the pre-host baseline: n processes, each with its
+// own loopback listener and per-pair connections.
+func tcpScalingLeg(n int) (E15Row, error) {
+	net := transport.NewTCP()
+	defer net.Close()
+	counters := metrics.NewCounters()
+	net.Observe(counters)
+	ps, detected, err := buildRing(net, n)
+	if err != nil {
+		return E15Row{}, err
+	}
+	// The pump's claimed senders need registrations: TCP links are
+	// per-(from,to), and the dialing side must exist.
+	for g := 0; g < e15Pumpers; g++ {
+		net.Register(transport.NodeID(n+1+g), transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	}
+
+	start := time.Now()
+	pump(net, n)
+	deadline := time.Now().Add(120 * time.Second)
+	for counters.TotalDelivered() < e15PumpMsgs {
+		if time.Now().After(deadline) {
+			return E15Row{}, fmt.Errorf("tcp pump: %d/%d delivered after 120s",
+				counters.TotalDelivered(), e15PumpMsgs)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+
+	row := E15Row{
+		Path:        "tcp",
+		Procs:       n,
+		Msgs:        e15PumpMsgs,
+		KMsgsPerSec: float64(e15PumpMsgs) / elapsed.Seconds() / 1e3,
+	}
+	if row.DetectUs, err = detectRing(ps, detected); err != nil {
+		return E15Row{}, err
+	}
+	return row, nil
+}

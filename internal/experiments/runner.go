@@ -132,6 +132,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E15",
+			Claim: "sharded host: thousands of co-located processes on one endpoint; intra-host sends outrun per-process loopback TCP",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E15HostScaling(nil, nil)
+				return r, t, err
+			},
+		},
 	}
 }
 

@@ -37,15 +37,27 @@ import (
 //     receiver's inbox incarnation so the sender can tell a restarted
 //     receiver (fresh incarnation, protocol state gone) from one that
 //     merely lost a connection.
+//
+// SrcHost is the host-level multiplexed addressing extension: when
+// nonzero, the frame belongs to a *host* stream — one TCP link carries
+// the traffic of every node co-hosted at SrcHost toward the receiving
+// host, and Seq/Epoch sequence that shared stream rather than the
+// (From,To) pair. From/To still name the node endpoints, so the
+// receiving host demultiplexes by To after resequencing by (SrcHost,
+// Epoch, Seq). SrcHost == 0 is the legacy per-node stream addressing;
+// the two coexist on one transport, which is what lets the conformance
+// harness replay identical schedules through either path. Host
+// identifiers are therefore required to be positive.
 type Envelope struct {
-	From  int32
-	To    int32
-	Seq   uint64
-	Epoch uint64
-	Msg   Message
-	Ctl   uint8
-	Ack   uint64
-	Inc   uint64
+	From    int32
+	To      int32
+	SrcHost int32
+	Seq     uint64
+	Epoch   uint64
+	Msg     Message
+	Ctl     uint8
+	Ack     uint64
+	Inc     uint64
 }
 
 // Control-frame discriminators for Envelope.Ctl.

@@ -35,6 +35,16 @@ import (
 // SetPeer may also update an address: re-dial cycles re-read the
 // directory, so a peer that restarts on a new port is reachable again
 // once SetPeer records it.
+//
+// Host-level multiplexing: a deployment hosting many nodes per OS
+// process calls ListenHost once (one listener for the whole host) and
+// AssignNode for each node it hosts or knows to be hosted remotely.
+// Register then skips the per-node loopback listener for assigned
+// nodes, Send routes their traffic over one shared link per ordered
+// host pair (Envelope.SrcHost names the stream; From/To still name the
+// node endpoints), and the receiving host demultiplexes by Envelope.To.
+// Unassigned nodes keep the legacy per-node addressing; both coexist
+// on one transport.
 type TCP struct {
 	opts TCPOptions
 
@@ -46,6 +56,15 @@ type TCP struct {
 	inboxes   map[NodeID]*inbox
 	observers []Observer
 	closed    bool
+
+	// Host-multiplexing state: one listener+inbox per local host, an
+	// address directory per remote host, the node→host assignment and
+	// the handler directory the host inboxes demultiplex into.
+	hostLns   map[NodeID]net.Listener
+	hostAddrs map[NodeID]string
+	hostOf    map[NodeID]NodeID
+	handlers  map[NodeID]Handler
+	hostBoxes map[NodeID]*inbox
 
 	// done unblocks backoff sleeps and dial attempts on Close.
 	done  chan struct{}
@@ -68,7 +87,16 @@ type inbox struct {
 	inc  uint64
 
 	mu    sync.Mutex
-	pairs map[NodeID]*pairState
+	pairs map[streamKey]*pairState
+}
+
+// streamKey identifies one inbound frame stream: a sending host (host
+// true — every co-hosted node shares the stream) or a single legacy
+// sender node. The flag keeps a host id and a node id that happen to
+// be numerically equal from aliasing each other's resequencing state.
+type streamKey struct {
+	id   NodeID
+	host bool
 }
 
 // pairState resequences one sender's frame stream. Within an epoch,
@@ -81,7 +109,15 @@ type pairState struct {
 	epoch uint64
 	next  uint64
 	acked uint64
-	held  map[uint64]msg.Message
+	held  map[uint64]heldFrame
+}
+
+// heldFrame is one out-of-order frame parked until its gap fills. The
+// endpoints ride along because frames of one host stream fan out from
+// and to different co-hosted nodes.
+type heldFrame struct {
+	m        msg.Message
+	from, to NodeID
 }
 
 // tcpAckStride is how many contiguously delivered frames may accumulate
@@ -103,6 +139,11 @@ func NewTCPWithOptions(o TCPOptions) *TCP {
 		addrs:     make(map[NodeID]string),
 		links:     make(map[link]*outLink),
 		inboxes:   make(map[NodeID]*inbox),
+		hostLns:   make(map[NodeID]net.Listener),
+		hostAddrs: make(map[NodeID]string),
+		hostOf:    make(map[NodeID]NodeID),
+		handlers:  make(map[NodeID]Handler),
+		hostBoxes: make(map[NodeID]*inbox),
 		done:      make(chan struct{}),
 	}
 }
@@ -139,13 +180,32 @@ func (t *TCP) Stats() TCPStats {
 			s.MailboxPeak = p
 		}
 	}
+	for _, ib := range t.hostBoxes {
+		if p := int64(ib.box.peakDepth()); p > s.MailboxPeak {
+			s.MailboxPeak = p
+		}
+	}
 	t.mu.Unlock()
 	return s
 }
 
-// Register implements Transport: it starts a loopback listener for the
-// node and an accept loop feeding the node's mailbox.
+// Register implements Transport. A node assigned to a local host (see
+// AssignNode/ListenHost) only records its handler — the host's single
+// listener already carries its ingress, so co-hosted nodes do not each
+// open a loopback listener. An unassigned node keeps the legacy
+// behaviour: its own listener and accept loop.
 func (t *TCP) Register(id NodeID, h Handler) {
+	t.mu.Lock()
+	if host, hosted := t.hostOf[id]; hosted {
+		if _, local := t.hostLns[host]; !local {
+			t.mu.Unlock()
+			panic(fmt.Sprintf("tcp: register node %d: assigned to host %d, which has no local listener (ListenHost first, or the node belongs on the remote host)", id, host))
+		}
+		t.handlers[id] = h
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
 	if err := t.RegisterAddr(id, "127.0.0.1:0", h); err != nil {
 		panic(fmt.Sprintf("tcp: register node %d: %v", id, err))
 	}
@@ -157,7 +217,7 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
-	ib := &inbox{node: id, inc: newEpoch(), pairs: make(map[NodeID]*pairState)}
+	ib := &inbox{node: id, inc: newEpoch(), pairs: make(map[streamKey]*pairState)}
 	ib.box = newMailbox(h, func(d delivery) {
 		t.mu.Lock()
 		obs := t.observers
@@ -191,11 +251,129 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	t.listeners[id] = ln
 	t.addrs[id] = ln.Addr().String()
 	t.inboxes[id] = ib
+	t.handlers[id] = h
 	t.mu.Unlock()
 
 	t.wg.Add(1)
 	go t.acceptLoop(ln, ib)
 	return nil
+}
+
+// ListenHost starts the single listener for a local host: one accept
+// loop and one inbox carry the ingress of every node later assigned to
+// the host via AssignNode. Host ids must be positive (0 is the wire's
+// legacy-addressing sentinel) and live in a namespace of their own —
+// a host id never collides with a node id even when numerically equal.
+func (t *TCP) ListenHost(host NodeID, addr string) error {
+	if host <= 0 {
+		return fmt.Errorf("listen host %d: host ids must be positive", host)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	ib := &inbox{node: host, inc: newEpoch(), pairs: make(map[streamKey]*pairState)}
+	ib.box = newMailbox(nil, func(d delivery) {
+		t.mu.Lock()
+		h := t.handlers[d.to]
+		obs := t.observers
+		t.mu.Unlock()
+		if h == nil {
+			// A frame for a node the host never registered: droppable
+			// misconfiguration, not a crash — the rest of the host's
+			// traffic must keep flowing.
+			t.report(fmt.Errorf("tcp: host %d received frame for unregistered node %d", host, d.to))
+			return
+		}
+		for _, o := range obs {
+			o.OnDeliver(d.from, d.to, d.m)
+			if so, ok := o.(SeqObserver); ok && d.seq != 0 {
+				so.OnSequencedDeliver(d.from, d.to, d.epoch, d.seq, d.m)
+			}
+		}
+		h.HandleMessage(d.from, d.m)
+	}, mailboxConfig{
+		highWater: t.opts.MailboxHighWater,
+		onPressure: func(engaged bool, depth int) {
+			kind := ConnBackpressureOff
+			if engaged {
+				kind = ConnBackpressureOn
+				t.stats.backpressure.Add(1)
+			}
+			t.event(ConnEvent{Kind: kind, To: host, Depth: depth})
+		},
+	})
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		ib.box.close()
+		return errors.New("transport closed")
+	}
+	if _, dup := t.hostLns[host]; dup {
+		t.mu.Unlock()
+		ln.Close()
+		ib.box.close()
+		return fmt.Errorf("listen host %d: already listening", host)
+	}
+	t.hostLns[host] = ln
+	t.hostAddrs[host] = ln.Addr().String()
+	t.hostBoxes[host] = ib
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.acceptLoop(ln, ib)
+	return nil
+}
+
+// SetHostPeer records (or updates) the address of a host running
+// elsewhere. Nodes assigned to that host become reachable through its
+// one multiplexed link.
+func (t *TCP) SetHostPeer(host NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hostAddrs[host] = addr
+}
+
+// HostAddr returns the listen address of a host (local or learned via
+// SetHostPeer).
+func (t *TCP) HostAddr(host NodeID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hostAddrs[host]
+}
+
+// AssignNode pins a node to a host. Outbound traffic to the node rides
+// the shared per-host-pair link, and a local Register of the node skips
+// the per-node listener. Assign before registering or sending; the
+// assignment of a remote node routes sends, the assignment of a local
+// node additionally suppresses its loopback listener.
+func (t *TCP) AssignNode(node, host NodeID) {
+	if host <= 0 {
+		panic(fmt.Sprintf("tcp: assign node %d: host ids must be positive, got %d", node, host))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hostOf[node] = host
+}
+
+// ListenerCount reports how many TCP listeners the transport holds open
+// (per-node legacy listeners plus per-host multiplexed ones). The
+// co-hosting regression tests pin this to one per host.
+func (t *TCP) ListenerCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.listeners) + len(t.hostLns)
+}
+
+// LinkCount reports how many outbound links exist. Co-hosted traffic
+// between two hosts shares one link per direction regardless of how
+// many node pairs converse.
+func (t *TCP) LinkCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.links)
 }
 
 // acceptLoop accepts inbound connections for one node and spawns a
@@ -270,55 +448,62 @@ func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 // contiguous deliveries.
 func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 	from := NodeID(env.From)
+	to := NodeID(env.To)
+	// A nonzero SrcHost marks a host stream: every co-hosted sender
+	// shares it, so the resequencer keys on the host, not the node.
+	key := streamKey{id: from}
+	if env.SrcHost != 0 {
+		key = streamKey{id: NodeID(env.SrcHost), host: true}
+	}
 	switch env.Ctl {
 	case msg.CtlPing:
 		ib.mu.Lock()
 		defer ib.mu.Unlock()
-		return ib.ackLocked(env.From, env.Epoch), true
+		return ib.ackLocked(key, env.Epoch), true
 	case msg.CtlAck:
 		return msg.Envelope{}, false // acks belong on outbound return paths; ignore
 	}
 	if env.Seq == 0 { // unsequenced sender: deliver as-is, nothing to ack
-		ib.box.put(delivery{from: from, m: env.Msg})
+		ib.box.put(delivery{from: from, to: to, m: env.Msg})
 		return msg.Envelope{}, false
 	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	ps := ib.pairs[from]
+	ps := ib.pairs[key]
 	fresh := ps == nil || ps.epoch != env.Epoch
 	if fresh {
 		// First frame of a (possibly new) sender incarnation: expect its
 		// stream from the beginning. Replays always restart at seq 1.
-		ps = &pairState{epoch: env.Epoch, next: 1, held: make(map[uint64]msg.Message)}
-		ib.pairs[from] = ps
+		ps = &pairState{epoch: env.Epoch, next: 1, held: make(map[uint64]heldFrame)}
+		ib.pairs[key] = ps
 	}
 	switch {
 	case env.Seq < ps.next:
 		t.stats.duplicates.Add(1)
-		return ib.ackLocked(env.From, env.Epoch), true
+		return ib.ackLocked(key, env.Epoch), true
 	case env.Seq > ps.next:
 		if _, dup := ps.held[env.Seq]; !dup {
-			ps.held[env.Seq] = env.Msg
+			ps.held[env.Seq] = heldFrame{m: env.Msg, from: from, to: to}
 			t.stats.resequenced.Add(1)
 		}
 		if fresh {
-			return ib.ackLocked(env.From, env.Epoch), true
+			return ib.ackLocked(key, env.Epoch), true
 		}
 		return msg.Envelope{}, false
 	}
-	ib.box.put(delivery{from: from, m: env.Msg, seq: ps.next, epoch: ps.epoch})
+	ib.box.put(delivery{from: from, to: to, m: env.Msg, seq: ps.next, epoch: ps.epoch})
 	ps.next++
 	for {
-		m, ok := ps.held[ps.next]
+		hf, ok := ps.held[ps.next]
 		if !ok {
 			break
 		}
 		delete(ps.held, ps.next)
-		ib.box.put(delivery{from: from, m: m, seq: ps.next, epoch: ps.epoch})
+		ib.box.put(delivery{from: hf.from, to: hf.to, m: hf.m, seq: ps.next, epoch: ps.epoch})
 		ps.next++
 	}
 	if fresh || ps.next-1 >= ps.acked+tcpAckStride {
-		return ib.ackLocked(env.From, env.Epoch), true
+		return ib.ackLocked(key, env.Epoch), true
 	}
 	return msg.Envelope{}, false
 }
@@ -327,14 +512,14 @@ func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 // sender epoch: the highest contiguously delivered sequence number of
 // that epoch (0 if the inbox has no state for it), stamped with the
 // inbox incarnation.
-func (ib *inbox) ackLocked(sender int32, epoch uint64) msg.Envelope {
+func (ib *inbox) ackLocked(key streamKey, epoch uint64) msg.Envelope {
 	var ackTo uint64
-	if ps := ib.pairs[NodeID(sender)]; ps != nil && ps.epoch == epoch {
+	if ps := ib.pairs[key]; ps != nil && ps.epoch == epoch {
 		ackTo = ps.next - 1
 		ps.acked = ackTo
 	}
 	return msg.Envelope{
-		From: int32(ib.node), To: sender,
+		From: int32(ib.node), To: int32(key.id),
 		Epoch: epoch, Ctl: msg.CtlAck, Ack: ackTo, Inc: ib.inc,
 	}
 }
@@ -354,10 +539,22 @@ func (t *TCP) Send(from, to NodeID, m msg.Message) {
 		return
 	}
 	obs := t.observers
-	k := link{from: from, to: to}
+	// Resolve the link endpoints through the host assignment: traffic
+	// from/to a hosted node rides the per-host-pair link (one shared
+	// stream, stamped with SrcHost), everything else keeps the legacy
+	// per-node-pair link.
+	srcKey, srcHost := from, int32(0)
+	if h, hosted := t.hostOf[from]; hosted {
+		srcKey, srcHost = h, int32(h)
+	}
+	dstKey, dstIsHost := to, false
+	if h, hosted := t.hostOf[to]; hosted {
+		dstKey, dstIsHost = h, true
+	}
+	k := link{from: srcKey, to: dstKey}
 	l, ok := t.links[k]
 	if !ok {
-		l = newOutLink(t, from, to)
+		l = newOutLink(t, srcKey, dstKey, srcHost, dstIsHost)
 		t.links[k] = l
 		t.wg.Add(1)
 		go l.run()
@@ -377,7 +574,7 @@ func (t *TCP) Send(from, to NodeID, m msg.Message) {
 	}
 	l.seq++
 	l.queue = append(l.queue, msg.Envelope{
-		From: int32(from), To: int32(to), Seq: l.seq, Epoch: l.epoch, Msg: m,
+		From: int32(from), To: int32(to), SrcHost: srcHost, Seq: l.seq, Epoch: l.epoch, Msg: m,
 	})
 	for _, o := range obs {
 		o.OnSend(from, to, m)
@@ -484,10 +681,16 @@ func (t *TCP) event(ev ConnEvent) {
 	}
 }
 
-// peerAddr looks up the current directory entry for a node.
-func (t *TCP) peerAddr(id NodeID) (string, bool) {
+// peerAddr looks up the current directory entry for a link target —
+// the host directory for multiplexed links, the node directory for
+// legacy ones.
+func (t *TCP) peerAddr(id NodeID, host bool) (string, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if host {
+		addr, ok := t.hostAddrs[id]
+		return addr, ok
+	}
 	addr, ok := t.addrs[id]
 	return addr, ok
 }
@@ -509,8 +712,11 @@ func (t *TCP) Close() {
 	}
 	t.closed = true
 	close(t.done)
-	lns := make([]net.Listener, 0, len(t.listeners))
+	lns := make([]net.Listener, 0, len(t.listeners)+len(t.hostLns))
 	for _, ln := range t.listeners {
+		lns = append(lns, ln)
+	}
+	for _, ln := range t.hostLns {
 		lns = append(lns, ln)
 	}
 	conns := t.inConns
@@ -518,8 +724,11 @@ func (t *TCP) Close() {
 	for _, l := range t.links {
 		links = append(links, l)
 	}
-	boxes := make([]*mailbox, 0, len(t.inboxes))
+	boxes := make([]*mailbox, 0, len(t.inboxes)+len(t.hostBoxes))
 	for _, ib := range t.inboxes {
+		boxes = append(boxes, ib.box)
+	}
+	for _, ib := range t.hostBoxes {
 		boxes = append(boxes, ib.box)
 	}
 	t.mu.Unlock()

@@ -34,7 +34,12 @@ import (
 type outLink struct {
 	t        *TCP
 	from, to NodeID
-	epoch    uint64
+	// srcHost stamps the frames of a multiplexed per-host-pair link
+	// (0 on legacy per-node links); dstIsHost selects which address
+	// directory connect consults for the target.
+	srcHost   int32
+	dstIsHost bool
+	epoch     uint64
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -71,8 +76,12 @@ type outLink struct {
 // newOutLink creates the link; the caller starts run() (and, when the
 // lease detector is armed, leaseLoop()) and owns the t.wg accounting
 // for them.
-func newOutLink(t *TCP, from, to NodeID) *outLink {
-	l := &outLink{t: t, from: from, to: to, epoch: newEpoch(), lastAck: time.Now()}
+func newOutLink(t *TCP, from, to NodeID, srcHost int32, dstIsHost bool) *outLink {
+	l := &outLink{
+		t: t, from: from, to: to,
+		srcHost: srcHost, dstIsHost: dstIsHost,
+		epoch: newEpoch(), lastAck: time.Now(),
+	}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
@@ -147,7 +156,8 @@ func (l *outLink) run() {
 		}
 		if err == nil && ping {
 			err = enc.EncodeBuffered(msg.Envelope{
-				From: int32(l.from), To: int32(l.to), Epoch: epoch, Ctl: msg.CtlPing,
+				From: int32(l.from), To: int32(l.to), SrcHost: l.srcHost,
+				Epoch: epoch, Ctl: msg.CtlPing,
 			})
 		}
 		if err == nil {
@@ -221,7 +231,7 @@ func (l *outLink) connect() bool {
 			return false
 		}
 		attempt++
-		addr, known := l.t.peerAddr(l.to)
+		addr, known := l.t.peerAddr(l.to, l.dstIsHost)
 		var conn net.Conn
 		var err error
 		if !known {
