@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz-smoke chaos-smoke host-smoke cover experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-compare check fuzz-smoke chaos-smoke host-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -22,10 +22,18 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark tables; BENCH_baseline.json is a committed
-# snapshot of this output for eyeballing regressions (including the E13
-# ingress-throughput table added with the write-batching work).
+# snapshot of this output. E13 (ingress throughput) and E16 (wire-codec
+# cost, with allocs/op and bytes/op columns) double as the CI perf
+# floor checked by bench-compare.
 bench-json:
 	$(GO) run ./cmd/cmhbench -json | tee BENCH_baseline.json
+
+# The perf-regression gate: re-measure the gated experiments (E13, E16)
+# on the current tree and fail on a >10% throughput drop or ANY
+# allocs/op increase against the committed baseline (CI runs this as
+# the bench-compare job).
+bench-compare:
+	$(GO) run ./cmd/cmhbench -compare BENCH_baseline.json
 
 # Exhaustive DPOR model check over the exploration corpus.
 check:
@@ -54,7 +62,7 @@ host-smoke:
 # Combined statement coverage of the engine and harness packages (CI
 # enforces a floor on this number).
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/... ./internal/... ./cmd/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/...,./internal/msg/... ./internal/... ./cmd/...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).

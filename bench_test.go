@@ -305,6 +305,46 @@ func BenchmarkE15HostScaling(b *testing.B) {
 	}
 }
 
+func BenchmarkE16WireCodec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E16WireCodec(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gob, bin *experiments.E16Row
+		for j := range rows {
+			switch rows[j].Codec {
+			case "gob":
+				gob = &rows[j]
+			case "binary":
+				bin = &rows[j]
+			}
+		}
+		if gob == nil || bin == nil {
+			b.Fatalf("E16 missing a codec row: %+v", rows)
+		}
+		// The tentpole claim: the steady-state probe encode path performs
+		// zero heap allocations per frame.
+		if bin.EncAllocsPerOp != 0 {
+			b.Fatalf("E16: binary encode path allocates %.1f/op, want 0", bin.EncAllocsPerOp)
+		}
+		// The binary codec must sustain at least 2x the best committed
+		// intra-host message rate of E15 (BENCH_baseline.json tops out
+		// at ~5.0M msgs/s): per-frame encode cost bounds the rate one
+		// sender core can feed the wire.
+		const e15BestKMsgsPerSec = 5029 // strongest E15 row ever committed to BENCH_baseline.json
+		if encKps := 1e6 / bin.EncNsPerOp; encKps < 2*e15BestKMsgsPerSec {
+			b.Fatalf("E16: binary encode sustains %.0f kmsgs/s, want >= 2x E15 best (%.0f)",
+				encKps, 2.0*e15BestKMsgsPerSec)
+		}
+		// And end-to-end, the binary wire leg must not lose to gob.
+		if bin.WireKFramesPerSec < gob.WireKFramesPerSec {
+			b.Fatalf("E16: binary wire leg slower than gob: %.1f < %.1f kframes/s",
+				bin.WireKFramesPerSec, gob.WireKFramesPerSec)
+		}
+	}
+}
+
 func BenchmarkE14CrashRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.E14CrashRecovery()

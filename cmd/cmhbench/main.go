@@ -1,15 +1,25 @@
 // Command cmhbench regenerates the evaluation tables of DESIGN.md §4:
-// one table per experiment E1–E13, each reproducing a quantitative
-// claim of Chandy–Misra (PODC 1982) or an ablation of a design choice.
-// With no arguments it runs the whole suite; pass experiment IDs to run
-// a subset, and -json for the machine-readable export.
+// one table per experiment, each reproducing a quantitative claim of
+// Chandy–Misra (PODC 1982) or an ablation of a design choice. With no
+// arguments it runs the whole suite; pass experiment IDs to run a
+// subset, and -json for the machine-readable export.
 //
 //	cmhbench            # all tables
 //	cmhbench E1 E7      # a subset
 //	cmhbench -json E4   # JSON rows instead of tables
+//
+// -compare turns cmhbench into the CI perf-regression gate: it checks
+// the perf-path experiments (E13, E16 by default) against a committed
+// baseline export and exits nonzero on a >10% throughput drop or any
+// allocs/op increase.
+//
+//	cmhbench -compare BENCH_baseline.json                 # measure live, then compare
+//	cmhbench -compare base.json -against current.json     # compare two saved exports
+//	cmhbench -compare base.json -tolerance 0.05 E13       # tighter gate, one experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,22 +37,104 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cmhbench", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit JSON rows instead of text tables")
+	compare := fs.String("compare", "", "baseline JSON export to compare against (the perf-regression gate)")
+	against := fs.String("against", "", "with -compare: a saved JSON export to use as the current run instead of measuring live")
+	tolerance := fs.Float64("tolerance", experiments.DefaultTolerance,
+		"with -compare: relative throughput drop tolerated before failing (allocs/op always has zero tolerance)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	only := make(map[string]bool, fs.NArg())
 	known := make(map[string]bool)
+	last := ""
 	for _, spec := range experiments.All() {
 		known[spec.ID] = true
+		last = spec.ID
 	}
 	for _, a := range fs.Args() {
 		if !known[a] {
-			return fmt.Errorf("unknown experiment %q (have E1..E13)", a)
+			return fmt.Errorf("unknown experiment %q (have E1..%s)", a, last)
 		}
 		only[a] = true
+	}
+	if *compare != "" {
+		return runCompare(*compare, *against, *tolerance, only)
 	}
 	if *jsonOut {
 		return experiments.RunAllJSON(os.Stdout, only)
 	}
 	return experiments.RunAll(os.Stdout, only)
 }
+
+// loadResults reads one JSON export (the output of cmhbench -json).
+func loadResults(path string) ([]experiments.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []experiments.Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// runCompare is the perf-regression gate: measure (or load) the current
+// perf rows, diff them against the baseline, report every delta and
+// fail on regression.
+func runCompare(basePath, againstPath string, tolerance float64, only map[string]bool) error {
+	baseline, err := loadResults(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	ids := experiments.DefaultCompareIDs
+	if len(only) > 0 {
+		ids = ids[:0]
+		for id := range only {
+			ids = append(ids, id)
+		}
+	}
+	idSet := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		idSet[id] = true
+	}
+	// Loopback throughput is noisy run to run; a genuine regression is
+	// not. Live measurements therefore get up to compareAttempts runs
+	// and pass if ANY run is clean — a saved -against export is a fixed
+	// claim and gets exactly one.
+	attempts := compareAttempts
+	if againstPath != "" {
+		attempts = 1
+	}
+	var regs []experiments.Regression
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var current []experiments.Result
+		if againstPath != "" {
+			if current, err = loadResults(againstPath); err != nil {
+				return fmt.Errorf("against: %w", err)
+			}
+		} else {
+			fmt.Printf("measuring %v against %s (tolerance %.0f%%, attempt %d/%d)...\n",
+				ids, basePath, tolerance*100, attempt, attempts)
+			if current, err = experiments.Collect(idSet); err != nil {
+				return err
+			}
+		}
+		if regs, err = experiments.CompareResults(current, baseline, ids, tolerance); err != nil {
+			return err
+		}
+		if len(regs) == 0 {
+			fmt.Printf("bench-compare: ok (%v within %.0f%% of %s, no allocs/op increase)\n",
+				ids, tolerance*100, basePath)
+			return nil
+		}
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+	}
+	return fmt.Errorf("%d perf regression(s) against %s", len(regs), basePath)
+}
+
+// compareAttempts bounds the retries a live -compare run gets before
+// its regressions are declared real.
+const compareAttempts = 3

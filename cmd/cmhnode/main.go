@@ -101,6 +101,7 @@ func run(args []string, out io.Writer) error {
 		retryBase   = fs.Duration("retry-base", 50*time.Millisecond, "initial dial backoff, doubled per failed attempt")
 		retryMax    = fs.Duration("retry-max", 2*time.Second, "dial backoff cap")
 		maxBatch    = fs.Int("max-batch", 64, "max envelopes coalesced into one wire flush (1 = flush per frame)")
+		codecName   = fs.String("codec", "binary", "wire codec: binary (DESIGN.md §9) or gob (legacy interop)")
 		highWater   = fs.Int("mailbox-high-water", 0, "ingress mailbox depth that raises a backpressure event (0 = disabled)")
 		verbose     = fs.Bool("verbose", false, "print connection-lifecycle events")
 		showStats   = fs.Bool("net-stats", false, "print transport counters before exiting")
@@ -115,8 +116,12 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	codec, err := parseCodec(*codecName)
+	if err != nil {
+		return err
+	}
 	if *procs > 1 {
-		return runHostMode(out, *idFlag, *listen, *procs, *shards, *initiate, *timeout, *maxBatch)
+		return runHostMode(out, *idFlag, *listen, *procs, *shards, *initiate, *timeout, *maxBatch, codec)
 	}
 	self := id.Proc(*idFlag)
 
@@ -135,6 +140,7 @@ func run(args []string, out io.Writer) error {
 		RetryBase:        *retryBase,
 		RetryMax:         *retryMax,
 		MaxBatch:         *maxBatch,
+		Codec:            codec,
 		MailboxHighWater: *highWater,
 		LeaseInterval:    *leaseEvery,
 		LeaseMisses:      *leaseMisses,
@@ -300,6 +306,19 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// parseCodec maps the -codec flag to a wire format. Both ends of a
+// link may choose independently: the decoder sniffs the format from
+// the stream's first byte and acks in kind.
+func parseCodec(name string) (msg.WireFormat, error) {
+	switch name {
+	case "binary":
+		return msg.WireBinary, nil
+	case "gob":
+		return msg.WireGob, nil
+	}
+	return 0, fmt.Errorf("unknown -codec %q (want binary or gob)", name)
+}
+
 // runHostMode runs -procs co-located processes on one sharded
 // engine.Host over ONE multiplexed TCP listener — the scaling
 // deployment. The processes are wired into a request ring (the
@@ -308,10 +327,11 @@ func run(args []string, out io.Writer) error {
 // with the host's shard statistics. The pre-host deployment would have
 // opened one loopback listener and one dispatcher goroutine per
 // process; host mode demonstrably opens one listener total.
-func runHostMode(out io.Writer, idFlag int, listen string, procs, shards int, initiate bool, timeout time.Duration, maxBatch int) error {
+func runHostMode(out io.Writer, idFlag int, listen string, procs, shards int, initiate bool, timeout time.Duration, maxBatch int, codec msg.WireFormat) error {
 	hostID := transport.NodeID(1 + idFlag) // host ids must be positive
 	net := transport.NewTCPWithOptions(transport.TCPOptions{
 		MaxBatch: maxBatch,
+		Codec:    codec,
 		OnError: func(err error) {
 			fmt.Fprintf(os.Stderr, "cmhnode host %v: transport: %v\n", hostID, err)
 		},

@@ -99,7 +99,7 @@ func primedController(t *testing.T) *ddb.Controller {
 // (txn 1 and 7, resource 1, procs 0–3, sites 0–1) rather than wandering
 // an enormous value space.
 func frameFromOp(b []byte) msg.Message {
-	switch b[0] % 16 {
+	switch b[0] % 17 {
 	case 0:
 		return msg.Request{}
 	case 1:
@@ -144,15 +144,21 @@ func frameFromOp(b []byte) msg.Message {
 		return msg.CommReply{Init: id.Proc(b[2] % 5), Seq: uint64(b[3])}
 	case 14:
 		return alienFrame{}
+	case 15:
+		// Typed nil: a non-nil interface holding a nil pointer. The
+		// binary codec rejects these at encode (ErrNilMessage), but
+		// HandleMessage is a public API and must survive one.
+		return (*msg.Probe)(nil)
 	default:
 		return nil // a decoder bug's worst-case product
 	}
 }
 
 func FuzzEnvelopeIngress(f *testing.F) {
-	// One op per frame kind, plus mixed streams aimed at the primed
-	// state (the committed corpus under testdata/fuzz extends these).
-	for k := byte(0); k < 16; k++ {
+	// One op per frame kind — including the alien, typed-nil, and nil
+	// frames — plus mixed streams aimed at the primed state (the
+	// committed corpus under testdata/fuzz extends these).
+	for k := byte(0); k < 17; k++ {
 		f.Add([]byte{k, 0, 1, 1, 2, 0})
 	}
 	f.Add([]byte{

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/msg"
 	"repro/internal/transport"
@@ -130,9 +131,16 @@ func (in *Ingress) Reject(from transport.NodeID, kind msg.Kind, reason Reason, d
 func (in *Ingress) Errors() uint64 { return in.errors }
 
 // KindOf returns the message kind, or 0 for a nil or out-of-taxonomy
-// message value (possible only with a hand-crafted message).
+// message value (possible only with a hand-crafted message). A typed
+// nil — a non-nil interface holding a nil pointer, e.g. (*Probe)(nil)
+// — must not reach Kind(): the taxonomy's value-receiver methods would
+// dereference it. Reflection is fine here; KindOf runs only on the
+// reject path.
 func KindOf(m msg.Message) msg.Kind {
 	if m == nil {
+		return 0
+	}
+	if v := reflect.ValueOf(m); v.Kind() == reflect.Pointer && v.IsNil() {
 		return 0
 	}
 	return m.Kind()

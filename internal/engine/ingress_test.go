@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// KindOf runs on every unknown-type reject path, so it must survive
+// the three degenerate message values a hand-crafted (or buggy) caller
+// can pass: untyped nil, a typed-nil pointer (non-nil interface whose
+// Kind() would dereference nil), and an ordinary taxonomy value.
+func TestKindOfDegenerateMessages(t *testing.T) {
+	if k := KindOf(nil); k != 0 {
+		t.Fatalf("KindOf(nil) = %v, want 0", k)
+	}
+	if k := KindOf((*msg.Probe)(nil)); k != 0 {
+		t.Fatalf("KindOf(typed nil) = %v, want 0", k)
+	}
+	if k := KindOf(msg.Probe{}); k != (msg.Probe{}).Kind() {
+		t.Fatalf("KindOf(Probe) = %v, want %v", k, (msg.Probe{}).Kind())
+	}
+	// A non-nil pointer to a taxonomy value still answers its kind.
+	if k := KindOf(&msg.Probe{}); k != (msg.Probe{}).Kind() {
+		t.Fatalf("KindOf(&Probe) = %v, want %v", k, (msg.Probe{}).Kind())
+	}
+}

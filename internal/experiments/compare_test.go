@@ -1,0 +1,120 @@
+package experiments
+
+// Tests for the benchstat-style perf-regression comparison: tolerated
+// throughput noise passes, a >tolerance drop fails, and any allocs/op
+// increase fails regardless of tolerance — including an injected 10%
+// regression, which is the scenario the CI gate exists to catch.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fixtureResults builds a baseline-shaped result set with the given
+// E16 binary-row throughput and alloc figures.
+func fixtureResults(wireKfps, encAllocs float64) []Result {
+	return []Result{
+		{ID: "E13", Claim: "ingress", Rows: []E13Row{
+			{MaxBatch: 1, Frames: 20000, KFramesPerSec: 40},
+			{MaxBatch: 64, Frames: 20000, KFramesPerSec: 110},
+		}},
+		{ID: "E16", Claim: "codec", Rows: []E16Row{
+			{Codec: "gob", EncNsPerOp: 650, EncAllocsPerOp: 1, WireKFramesPerSec: 100},
+			{Codec: "binary", EncNsPerOp: 40, EncAllocsPerOp: encAllocs, WireKFramesPerSec: wireKfps},
+		}},
+		{ID: "E4", Claim: "correctness, not compared", Rows: []struct {
+			KMsgsPerSec float64
+		}{{1}}},
+	}
+}
+
+// viaJSON round-trips results through the JSON export, producing the
+// map-typed rows a baseline file loads as.
+func viaJSON(t *testing.T, in []Result) []Result {
+	t.Helper()
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Result
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompareResultsPassesWithinTolerance(t *testing.T) {
+	baseline := viaJSON(t, fixtureResults(150, 0))
+	// 5% down on the wire leg: inside the 10% tolerance.
+	current := fixtureResults(142.5, 0)
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("5%% noise flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareResultsCatchesInjectedThroughputRegression(t *testing.T) {
+	baseline := viaJSON(t, fixtureResults(150, 0))
+	// The acceptance scenario: an injected >10% throughput regression
+	// must fail the gate.
+	current := fixtureResults(150*0.89, 0)
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the injected one", regs)
+	}
+	r := regs[0]
+	if r.ID != "E16" || r.Field != "WireKFramesPerSec" || r.Row != 1 {
+		t.Fatalf("wrong regression attributed: %+v", r)
+	}
+}
+
+func TestCompareResultsZeroToleranceForAllocs(t *testing.T) {
+	baseline := viaJSON(t, fixtureResults(150, 0))
+	// One extra alloc/op on the probe path: far below any throughput
+	// tolerance, still a hard failure.
+	current := fixtureResults(150, 1)
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Field != "EncAllocsPerOp" {
+		t.Fatalf("regressions = %v, want one EncAllocsPerOp failure", regs)
+	}
+}
+
+func TestCompareResultsScopesToSelectedIDs(t *testing.T) {
+	// E4 carries a throughput-named field but is not in the compare set;
+	// tanking it must not fail the gate.
+	baseline := viaJSON(t, fixtureResults(150, 0))
+	current := fixtureResults(150, 0)
+	current[2].Rows = []struct {
+		KMsgsPerSec float64
+	}{{0.0001}}
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("out-of-scope experiment failed the gate: %v", regs)
+	}
+}
+
+func TestCompareResultsSkipsUnmatchedExperiments(t *testing.T) {
+	// A baseline that predates E16 must not fail a current run that has
+	// it (and vice versa).
+	baseline := viaJSON(t, fixtureResults(150, 0)[:1])
+	current := fixtureResults(150*0.5, 5)
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unmatched experiment compared: %v", regs)
+	}
+}

@@ -276,8 +276,8 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 15 {
-		t.Fatalf("expected 15 experiments, have %d", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, have %d", len(ids))
 	}
 }
 

@@ -140,7 +140,33 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E16",
+			Claim: "binary wire codec: zero allocs and ~10x less CPU per probe encoded; higher loopback frame rate than gob",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E16WireCodec(0)
+				return r, t, err
+			},
+		},
 	}
+}
+
+// Collect runs the selected experiments and returns their Result
+// records — the in-memory form of the RunAllJSON export, used by the
+// bench-compare gate to measure the current tree.
+func Collect(only map[string]bool) ([]Result, error) {
+	var results []Result
+	for _, spec := range All() {
+		if len(only) > 0 && !only[spec.ID] {
+			continue
+		}
+		rows, _, err := spec.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		results = append(results, Result{ID: spec.ID, Claim: spec.Claim, Rows: rows})
+	}
+	return results, nil
 }
 
 // RunAll executes every experiment (or the subset whose IDs are in
@@ -171,16 +197,9 @@ type Result struct {
 // JSON array of Result records to w — the machine-readable companion of
 // EXPERIMENTS.md.
 func RunAllJSON(w io.Writer, only map[string]bool) error {
-	var results []Result
-	for _, spec := range All() {
-		if len(only) > 0 && !only[spec.ID] {
-			continue
-		}
-		rows, _, err := spec.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", spec.ID, err)
-		}
-		results = append(results, Result{ID: spec.ID, Claim: spec.Claim, Rows: rows})
+	results, err := Collect(only)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

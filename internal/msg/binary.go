@@ -1,0 +1,533 @@
+package msg
+
+// The binary wire format — the hand-rolled replacement for the gob
+// framing the transport shipped through PR 5. gob pays reflection, type
+// descriptors and fresh allocations on every frame of every probe; the
+// binary codec writes a fixed little-endian header plus a flat per-type
+// payload straight into the connection's buffered writer, so a
+// steady-state probe frame costs zero heap allocations to encode and
+// one (the interface boxing of the decoded message) to decode.
+//
+// Stream layout. A binary stream opens with the single version byte
+// binMagic (0xB1); everything after it is a sequence of frames. The
+// byte doubles as the codec version *and* the gob/binary discriminator:
+// gob's own framing starts every stream with a length whose first byte
+// is either 0x00–0x7F (small value) or 0xF8–0xFF (negated byte count of
+// a larger value), so 0xB1 is unreachable for a legacy peer and the
+// decoder can sniff the format from the first byte alone. A stream with
+// any other first byte is decoded as legacy gob — that is the one
+// release of interop the migration keeps (DESIGN.md §9).
+//
+// Frame layout (all integers little-endian):
+//
+//	offset size field
+//	0      4    len — byte count of the remainder (header tail + payload)
+//	4      1    ctl — CtlData / CtlPing / CtlAck
+//	5      1    tag — message-type tag (0 on control frames)
+//	6      4    from (int32)
+//	10     4    to (int32)
+//	14     4    srcHost (int32)
+//	18     8    seq
+//	26     8    epoch
+//	34     8    ack
+//	42     8    inc
+//	50     -    payload — flat per-type field encoding, see binPayload
+//
+// Rejection is allocation-free: every malformed-frame path returns one
+// of the predeclared sentinel errors below, so a hostile peer spraying
+// garbage cannot make the receiver allocate per rejected frame.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"repro/internal/id"
+)
+
+// binMagic is the stream-opening version byte of binary format v1.
+// Bump it (0xB2, ...) for any layout change; the decoder treats every
+// unknown leading byte as a legacy gob stream, so a new version must
+// keep the byte outside gob's reachable first-byte set (0x80–0xF7).
+const binMagic byte = 0xB1
+
+// binHdrLen is the fixed frame header size including the 4-byte length
+// field; binHdrTail is the part the length field counts.
+const (
+	binHdrLen  = 50
+	binHdrTail = binHdrLen - 4
+)
+
+// maxFrameLen caps the length prefix a receiver will honour. A frame
+// larger than this is rejected before any buffer is sized to it, so a
+// hostile length prefix cannot pin memory. The largest legitimate
+// payload (a WFGD or BaselineReport edge set) stays far below this in
+// any real deployment; raise it deliberately, not accidentally.
+const maxFrameLen = 1 << 24
+
+// Sentinel decode/encode errors. They carry no per-frame detail by
+// design: the reject path must not allocate (asserted by
+// TestBinaryRejectNoAlloc), and the transport closes the connection on
+// any decode error regardless.
+var (
+	// ErrNilMessage rejects a data envelope whose Msg is nil — including
+	// a typed nil like (*Probe)(nil), which compares unequal to nil but
+	// would still crash or confuse any downstream type dispatch.
+	ErrNilMessage = errors.New("msg: nil message in data envelope")
+	// ErrUnknownMessage rejects an encode of a Message type outside the
+	// wire taxonomy (no type tag exists for it).
+	ErrUnknownMessage = errors.New("msg: message type not in the wire taxonomy")
+	// ErrFrameTooLarge rejects a length prefix above maxFrameLen.
+	ErrFrameTooLarge = errors.New("msg: frame length prefix exceeds limit")
+	// ErrTruncatedFrame rejects a stream that ends inside a frame.
+	ErrTruncatedFrame = errors.New("msg: truncated frame")
+	// ErrBadFrame rejects a structurally invalid frame: a length prefix
+	// shorter than the fixed header, a payload whose size disagrees with
+	// its type tag, or a control frame carrying payload bytes.
+	ErrBadFrame = errors.New("msg: malformed frame")
+	// ErrUnknownTag rejects a data frame whose type tag this release
+	// does not know (a newer peer's type, or garbage).
+	ErrUnknownTag = errors.New("msg: unknown message type tag")
+	// ErrUnknownCtl rejects a control discriminator this release does
+	// not know.
+	ErrUnknownCtl = errors.New("msg: unknown control discriminator")
+)
+
+// Wire type tags. Stable protocol constants: never renumber, never
+// reuse; append only (evolution rules in DESIGN.md §9). Tag 0 marks "no
+// message" and appears only on control frames.
+const (
+	tagNone             byte = 0
+	tagRequest          byte = 1
+	tagReply            byte = 2
+	tagProbe            byte = 3
+	tagWFGD             byte = 4
+	tagCtrlAcquire      byte = 5
+	tagCtrlGranted      byte = 6
+	tagCtrlRelease      byte = 7
+	tagCtrlProbe        byte = 8
+	tagCtrlAbort        byte = 9
+	tagBaselineReport   byte = 10
+	tagBaselineDecision byte = 11
+	tagCommWork         byte = 12
+	tagCommQuery        byte = 13
+	tagCommReply        byte = 14
+)
+
+// le is the wire byte order.
+var le = binary.LittleEndian
+
+// binTagSize returns the wire tag and flat payload size for m. ok is
+// false when m's concrete type has no tag — the caller distinguishes
+// typed-nil from alien types (classifyBadMessage) off the hot path.
+// Only concrete value types match: a typed-nil pointer never does.
+func binTagSize(m Message) (tag byte, size int, ok bool) {
+	switch v := m.(type) {
+	case Request:
+		return tagRequest, 1, true
+	case Reply:
+		return tagReply, 0, true
+	case Probe:
+		return tagProbe, 12, true
+	case WFGD:
+		return tagWFGD, 4 + 8*len(v.Edges), true
+	case CtrlAcquire:
+		return tagCtrlAcquire, 13, true
+	case CtrlGranted:
+		return tagCtrlGranted, 12, true
+	case CtrlRelease:
+		return tagCtrlRelease, 12, true
+	case CtrlProbe:
+		return tagCtrlProbe, 28, true
+	case CtrlAbort:
+		return tagCtrlAbort, 4, true
+	case BaselineReport:
+		return tagBaselineReport, 8 + 16*len(v.Edges), true
+	case BaselineDecision:
+		return tagBaselineDecision, 4 + 4*len(v.Deadlocked), true
+	case CommWork:
+		return tagCommWork, 0, true
+	case CommQuery:
+		return tagCommQuery, 12, true
+	case CommReply:
+		return tagCommReply, 12, true
+	}
+	return 0, 0, false
+}
+
+// binEncodeFrame writes one envelope as a binary frame into bw. The
+// fixed header goes through the caller-owned scratch array and the
+// payload fields through the same buffer in chunks, so a steady-state
+// frame performs no heap allocation — the only writes are copies into
+// bw's existing buffer.
+func binEncodeFrame(bw *bufio.Writer, scratch *[binScratchLen]byte, env Envelope) error {
+	tag, size := tagNone, 0
+	if env.Ctl == CtlData {
+		var ok bool
+		tag, size, ok = binTagSize(env.Msg)
+		if !ok {
+			return classifyBadMessage(env.Msg)
+		}
+	}
+	h := scratch[:binHdrLen]
+	le.PutUint32(h[0:], uint32(binHdrTail+size))
+	h[4] = env.Ctl
+	h[5] = tag
+	le.PutUint32(h[6:], uint32(env.From))
+	le.PutUint32(h[10:], uint32(env.To))
+	le.PutUint32(h[14:], uint32(env.SrcHost))
+	le.PutUint64(h[18:], env.Seq)
+	le.PutUint64(h[26:], env.Epoch)
+	le.PutUint64(h[34:], env.Ack)
+	le.PutUint64(h[42:], env.Inc)
+	if _, err := bw.Write(h); err != nil {
+		return err
+	}
+	if tag == tagNone {
+		return nil
+	}
+	return binEncodePayload(bw, scratch, env.Msg)
+}
+
+// binScratchLen sizes the encode scratch: the header is the largest
+// fixed chunk, and repeated payload elements are staged through the
+// same array in binScratchLen-sized runs.
+const binScratchLen = 64
+
+// classifyBadMessage turns an unencodable message into the right
+// sentinel: nil and typed-nil (a non-nil interface holding a nil
+// pointer) are ErrNilMessage, anything else is an alien type. The
+// reflection-free check exploits that every taxonomy type is a value
+// type — binTagSize already rejected m, so here we only decide *why*,
+// off the hot path.
+func classifyBadMessage(m Message) error {
+	if m == nil || isTypedNil(m) {
+		return ErrNilMessage
+	}
+	return ErrUnknownMessage
+}
+
+// binEncodePayload writes the flat per-type field encoding of m.
+func binEncodePayload(bw *bufio.Writer, scratch *[binScratchLen]byte, m Message) error {
+	b := scratch[:]
+	switch v := m.(type) {
+	case Request:
+		b[0] = 0
+		if v.Rejoin {
+			b[0] = 1
+		}
+		_, err := bw.Write(b[:1])
+		return err
+	case Reply, CommWork:
+		return nil
+	case Probe:
+		le.PutUint32(b[0:], uint32(v.Tag.Initiator))
+		le.PutUint64(b[4:], v.Tag.N)
+		_, err := bw.Write(b[:12])
+		return err
+	case WFGD:
+		le.PutUint32(b[0:], uint32(len(v.Edges)))
+		if _, err := bw.Write(b[:4]); err != nil {
+			return err
+		}
+		return writeChunks(bw, b, 8, len(v.Edges), func(dst []byte, i int) {
+			le.PutUint32(dst[0:], uint32(v.Edges[i].From))
+			le.PutUint32(dst[4:], uint32(v.Edges[i].To))
+		})
+	case CtrlAcquire:
+		le.PutUint32(b[0:], uint32(v.Txn))
+		le.PutUint32(b[4:], uint32(v.Resource))
+		b[8] = byte(v.Mode)
+		le.PutUint32(b[9:], v.Inc)
+		_, err := bw.Write(b[:13])
+		return err
+	case CtrlGranted:
+		le.PutUint32(b[0:], uint32(v.Txn))
+		le.PutUint32(b[4:], uint32(v.Resource))
+		le.PutUint32(b[8:], v.Inc)
+		_, err := bw.Write(b[:12])
+		return err
+	case CtrlRelease:
+		le.PutUint32(b[0:], uint32(v.Txn))
+		le.PutUint32(b[4:], uint32(v.Resource))
+		le.PutUint32(b[8:], v.Inc)
+		_, err := bw.Write(b[:12])
+		return err
+	case CtrlProbe:
+		le.PutUint32(b[0:], uint32(v.Tag.Initiator))
+		le.PutUint64(b[4:], v.Tag.N)
+		putAgent(b[12:], v.Edge.From)
+		putAgent(b[20:], v.Edge.To)
+		_, err := bw.Write(b[:28])
+		return err
+	case CtrlAbort:
+		le.PutUint32(b[0:], uint32(v.Txn))
+		_, err := bw.Write(b[:4])
+		return err
+	case BaselineReport:
+		le.PutUint32(b[0:], uint32(v.Site))
+		le.PutUint32(b[4:], uint32(len(v.Edges)))
+		if _, err := bw.Write(b[:8]); err != nil {
+			return err
+		}
+		return writeChunks(bw, b, 16, len(v.Edges), func(dst []byte, i int) {
+			putAgent(dst[0:], v.Edges[i].From)
+			putAgent(dst[8:], v.Edges[i].To)
+		})
+	case BaselineDecision:
+		le.PutUint32(b[0:], uint32(len(v.Deadlocked)))
+		if _, err := bw.Write(b[:4]); err != nil {
+			return err
+		}
+		return writeChunks(bw, b, 4, len(v.Deadlocked), func(dst []byte, i int) {
+			le.PutUint32(dst, uint32(v.Deadlocked[i]))
+		})
+	case CommQuery:
+		le.PutUint32(b[0:], uint32(v.Init))
+		le.PutUint64(b[4:], v.Seq)
+		_, err := bw.Write(b[:12])
+		return err
+	case CommReply:
+		le.PutUint32(b[0:], uint32(v.Init))
+		le.PutUint64(b[4:], v.Seq)
+		_, err := bw.Write(b[:12])
+		return err
+	}
+	return ErrUnknownMessage // unreachable: binTagSize vetted the type
+}
+
+// writeChunks stages n fixed-size elements through the scratch buffer,
+// flushing it to bw whenever the next element would not fit. put fills
+// element i at the given offset.
+func writeChunks(bw *bufio.Writer, scratch []byte, elem, n int, put func(dst []byte, i int)) error {
+	used := 0
+	for i := 0; i < n; i++ {
+		if used+elem > len(scratch) {
+			if _, err := bw.Write(scratch[:used]); err != nil {
+				return err
+			}
+			used = 0
+		}
+		put(scratch[used:used+elem], i)
+		used += elem
+	}
+	if used > 0 {
+		if _, err := bw.Write(scratch[:used]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putAgent writes one id.Agent as (txn, site).
+func putAgent(b []byte, a id.Agent) {
+	le.PutUint32(b[0:], uint32(a.Txn))
+	le.PutUint32(b[4:], uint32(a.Site))
+}
+
+// getAgent reads one id.Agent.
+func getAgent(b []byte) id.Agent {
+	return id.Agent{Txn: id.Txn(int32(le.Uint32(b[0:]))), Site: id.Site(int32(le.Uint32(b[4:])))}
+}
+
+// Pre-boxed singletons for the payload-free message values, so decoding
+// them does not allocate. They are safe to share: the types carry no
+// mutable state.
+var (
+	boxedRequest  Message = Request{}
+	boxedRejoin   Message = Request{Rejoin: true}
+	boxedReply    Message = Reply{}
+	boxedCommWork Message = CommWork{}
+)
+
+// binDecodeFrame reads one binary frame from br. buf is the decoder's
+// reusable payload scratch; the returned slice is its (possibly grown)
+// replacement. io.EOF is returned verbatim only at a clean frame
+// boundary; EOF inside a frame is ErrTruncatedFrame.
+func binDecodeFrame(br *bufio.Reader, buf []byte) (Envelope, []byte, error) {
+	// Peek+Discard instead of ReadFull into a stack array: the array
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame — including per rejected frame.
+	lenb, err := br.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(lenb) == 0 {
+			return Envelope{}, buf, io.EOF
+		}
+		return Envelope{}, buf, ErrTruncatedFrame
+	}
+	n := int(le.Uint32(lenb))
+	br.Discard(4)
+	switch {
+	case n < binHdrTail:
+		return Envelope{}, buf, ErrBadFrame
+	case n > maxFrameLen:
+		return Envelope{}, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	b := buf[:n]
+	if _, err := io.ReadFull(br, b); err != nil {
+		return Envelope{}, buf, ErrTruncatedFrame
+	}
+	env := Envelope{
+		Ctl:     b[0],
+		From:    int32(le.Uint32(b[2:])),
+		To:      int32(le.Uint32(b[6:])),
+		SrcHost: int32(le.Uint32(b[10:])),
+		Seq:     le.Uint64(b[14:]),
+		Epoch:   le.Uint64(b[22:]),
+		Ack:     le.Uint64(b[30:]),
+		Inc:     le.Uint64(b[38:]),
+	}
+	tag := b[1]
+	payload := b[binHdrTail:]
+	if env.Ctl != CtlData {
+		if env.Ctl > CtlAck {
+			return Envelope{}, buf, ErrUnknownCtl
+		}
+		// Control frames carry no message: a tag or payload on one is a
+		// framing error, not something to silently skip.
+		if tag != tagNone || len(payload) != 0 {
+			return Envelope{}, buf, ErrBadFrame
+		}
+		return env, buf, nil
+	}
+	m, err := binDecodePayload(tag, payload)
+	if err != nil {
+		return Envelope{}, buf, err
+	}
+	env.Msg = m
+	return env, buf, nil
+}
+
+// binDecodePayload materialises the message for one type tag. The
+// payload size must match the tag exactly — trailing bytes are a
+// framing error, and declared element counts must account for every
+// remaining byte.
+func binDecodePayload(tag byte, b []byte) (Message, error) {
+	switch tag {
+	case tagNone:
+		return nil, ErrNilMessage // a data frame must carry a message
+	case tagRequest:
+		if len(b) != 1 || b[0] > 1 {
+			return nil, ErrBadFrame
+		}
+		if b[0] == 1 {
+			return boxedRejoin, nil
+		}
+		return boxedRequest, nil
+	case tagReply:
+		if len(b) != 0 {
+			return nil, ErrBadFrame
+		}
+		return boxedReply, nil
+	case tagProbe:
+		if len(b) != 12 {
+			return nil, ErrBadFrame
+		}
+		return Probe{Tag: id.Tag{Initiator: id.Proc(int32(le.Uint32(b[0:]))), N: le.Uint64(b[4:])}}, nil
+	case tagWFGD:
+		if len(b) < 4 {
+			return nil, ErrBadFrame
+		}
+		count := int(le.Uint32(b[0:]))
+		if len(b) != 4+8*count {
+			return nil, ErrBadFrame
+		}
+		edges := make([]id.Edge, count)
+		for i := range edges {
+			off := 4 + 8*i
+			edges[i] = id.Edge{
+				From: id.Proc(int32(le.Uint32(b[off:]))),
+				To:   id.Proc(int32(le.Uint32(b[off+4:]))),
+			}
+		}
+		return WFGD{Edges: edges}, nil
+	case tagCtrlAcquire:
+		if len(b) != 13 {
+			return nil, ErrBadFrame
+		}
+		return CtrlAcquire{
+			Txn:      id.Txn(int32(le.Uint32(b[0:]))),
+			Resource: id.Resource(int32(le.Uint32(b[4:]))),
+			Mode:     LockMode(b[8]),
+			Inc:      le.Uint32(b[9:]),
+		}, nil
+	case tagCtrlGranted:
+		if len(b) != 12 {
+			return nil, ErrBadFrame
+		}
+		return CtrlGranted{
+			Txn:      id.Txn(int32(le.Uint32(b[0:]))),
+			Resource: id.Resource(int32(le.Uint32(b[4:]))),
+			Inc:      le.Uint32(b[8:]),
+		}, nil
+	case tagCtrlRelease:
+		if len(b) != 12 {
+			return nil, ErrBadFrame
+		}
+		return CtrlRelease{
+			Txn:      id.Txn(int32(le.Uint32(b[0:]))),
+			Resource: id.Resource(int32(le.Uint32(b[4:]))),
+			Inc:      le.Uint32(b[8:]),
+		}, nil
+	case tagCtrlProbe:
+		if len(b) != 28 {
+			return nil, ErrBadFrame
+		}
+		return CtrlProbe{
+			Tag:  id.CtrlTag{Initiator: id.Site(int32(le.Uint32(b[0:]))), N: le.Uint64(b[4:])},
+			Edge: id.AgentEdge{From: getAgent(b[12:]), To: getAgent(b[20:])},
+		}, nil
+	case tagCtrlAbort:
+		if len(b) != 4 {
+			return nil, ErrBadFrame
+		}
+		return CtrlAbort{Txn: id.Txn(int32(le.Uint32(b[0:])))}, nil
+	case tagBaselineReport:
+		if len(b) < 8 {
+			return nil, ErrBadFrame
+		}
+		count := int(le.Uint32(b[4:]))
+		if len(b) != 8+16*count {
+			return nil, ErrBadFrame
+		}
+		edges := make([]id.AgentEdge, count)
+		for i := range edges {
+			off := 8 + 16*i
+			edges[i] = id.AgentEdge{From: getAgent(b[off:]), To: getAgent(b[off+8:])}
+		}
+		return BaselineReport{Site: id.Site(int32(le.Uint32(b[0:]))), Edges: edges}, nil
+	case tagBaselineDecision:
+		if len(b) < 4 {
+			return nil, ErrBadFrame
+		}
+		count := int(le.Uint32(b[0:]))
+		if len(b) != 4+4*count {
+			return nil, ErrBadFrame
+		}
+		txns := make([]id.Txn, count)
+		for i := range txns {
+			txns[i] = id.Txn(int32(le.Uint32(b[4+4*i:])))
+		}
+		return BaselineDecision{Deadlocked: txns}, nil
+	case tagCommWork:
+		if len(b) != 0 {
+			return nil, ErrBadFrame
+		}
+		return boxedCommWork, nil
+	case tagCommQuery:
+		if len(b) != 12 {
+			return nil, ErrBadFrame
+		}
+		return CommQuery{Init: id.Proc(int32(le.Uint32(b[0:]))), Seq: le.Uint64(b[4:])}, nil
+	case tagCommReply:
+		if len(b) != 12 {
+			return nil, ErrBadFrame
+		}
+		return CommReply{Init: id.Proc(int32(le.Uint32(b[0:]))), Seq: le.Uint64(b[4:])}, nil
+	}
+	return nil, ErrUnknownTag
+}

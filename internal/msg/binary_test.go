@@ -1,0 +1,416 @@
+package msg
+
+// Tests for the binary wire codec: per-type round-trips, differential
+// equivalence with the legacy gob path, the golden header layout, the
+// zero-allocation guarantees of the encode and reject paths, and the
+// format-sniffing interop rules.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// allWireMessages returns one representative value per registered wire
+// type, with every field nonzero so a dropped field cannot hide.
+func allWireMessages() []Message {
+	return []Message{
+		Request{},
+		Request{Rejoin: true},
+		Reply{},
+		Probe{Tag: id.Tag{Initiator: 7, N: 42}},
+		WFGD{Edges: []id.Edge{{From: 1, To: 2}, {From: 3, To: 4}, {From: -5, To: 6}}},
+		CtrlAcquire{Txn: 9, Resource: 11, Mode: LockWrite, Inc: 3},
+		CtrlGranted{Txn: 9, Resource: 11, Inc: 3},
+		CtrlRelease{Txn: 9, Resource: 11, Inc: 3},
+		CtrlProbe{
+			Tag:  id.CtrlTag{Initiator: 2, N: 17},
+			Edge: id.AgentEdge{From: id.Agent{Txn: 1, Site: 2}, To: id.Agent{Txn: 1, Site: 3}},
+		},
+		CtrlAbort{Txn: 13},
+		BaselineReport{Site: 3, Edges: []id.AgentEdge{
+			{From: id.Agent{Txn: 1, Site: 1}, To: id.Agent{Txn: 2, Site: 1}},
+		}},
+		BaselineDecision{Deadlocked: []id.Txn{4, 5, 6}},
+		CommWork{},
+		CommQuery{Init: 3, Seq: 99},
+		CommReply{Init: 3, Seq: 99},
+	}
+}
+
+// sameMessage compares decoded messages, treating a nil and an empty
+// slice as equal (gob flattens empty slices to nil; the binary codec
+// preserves a zero count — both mean "no elements").
+func sameMessage(a, b Message) bool {
+	norm := func(m Message) Message {
+		switch v := m.(type) {
+		case WFGD:
+			if len(v.Edges) == 0 {
+				return WFGD{}
+			}
+		case BaselineReport:
+			if len(v.Edges) == 0 {
+				return BaselineReport{Site: v.Site}
+			}
+		case BaselineDecision:
+			if len(v.Deadlocked) == 0 {
+				return BaselineDecision{}
+			}
+		}
+		return m
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+// TestBinaryRoundTripAllTypes round-trips every wire type with full
+// envelope metadata through the binary codec.
+func TestBinaryRoundTripAllTypes(t *testing.T) {
+	for i, m := range allWireMessages() {
+		var buf bytes.Buffer
+		enc := NewEncoderFormat(&buf, WireBinary)
+		in := Envelope{
+			From: int32(i + 1), To: -int32(i + 2), SrcHost: int32(i),
+			Seq: uint64(i + 10), Epoch: uint64(i)<<32 | 0xdead, Ack: uint64(i), Inc: uint64(i + 3),
+			Msg: m,
+		}
+		if err := enc.Encode(in); err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		dec := NewDecoder(&buf)
+		out, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if dec.Format() != WireBinary {
+			t.Fatalf("%T: sniffed format %v, want binary", m, dec.Format())
+		}
+		if out.From != in.From || out.To != in.To || out.SrcHost != in.SrcHost ||
+			out.Seq != in.Seq || out.Epoch != in.Epoch || out.Ack != in.Ack || out.Inc != in.Inc {
+			t.Fatalf("%T: header fields mangled:\nin  %+v\nout %+v", m, in, out)
+		}
+		if !sameMessage(in.Msg, out.Msg) {
+			t.Fatalf("%T: message mangled:\nin  %#v\nout %#v", m, in.Msg, out.Msg)
+		}
+		if _, err := dec.Decode(); err != io.EOF {
+			t.Fatalf("%T: trailing decode: err = %v, want io.EOF", m, err)
+		}
+	}
+}
+
+// TestGobBinaryDifferential encodes the same envelope stream once per
+// format and checks both decode to identical results — the differential
+// guarantee the mixed-version interop window rests on.
+func TestGobBinaryDifferential(t *testing.T) {
+	msgs := allWireMessages()
+	decodeAll := func(f WireFormat) []Envelope {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := NewEncoderFormat(&buf, f)
+		for i, m := range msgs {
+			env := Envelope{From: 1, To: 2, Seq: uint64(i + 1), Epoch: 7, Msg: m}
+			if err := enc.EncodeBuffered(env); err != nil {
+				t.Fatalf("%v encode %T: %v", f, m, err)
+			}
+		}
+		// A control frame of each kind rides along.
+		for _, ctl := range []uint8{CtlPing, CtlAck} {
+			if err := enc.EncodeBuffered(Envelope{From: 1, To: 2, Epoch: 7, Ctl: ctl, Ack: 12, Inc: 9}); err != nil {
+				t.Fatalf("%v encode ctl %d: %v", f, ctl, err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(&buf)
+		var out []Envelope
+		for {
+			env, err := dec.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%v decode: %v", f, err)
+			}
+			out = append(out, env)
+		}
+		if dec.Format() != f {
+			t.Fatalf("sniffed %v, want %v", dec.Format(), f)
+		}
+		return out
+	}
+	gobOut := decodeAll(WireGob)
+	binOut := decodeAll(WireBinary)
+	if len(gobOut) != len(binOut) {
+		t.Fatalf("frame counts differ: gob %d, binary %d", len(gobOut), len(binOut))
+	}
+	for i := range gobOut {
+		g, b := gobOut[i], binOut[i]
+		if g.From != b.From || g.To != b.To || g.SrcHost != b.SrcHost || g.Seq != b.Seq ||
+			g.Epoch != b.Epoch || g.Ctl != b.Ctl || g.Ack != b.Ack || g.Inc != b.Inc {
+			t.Errorf("frame %d: headers differ:\ngob    %+v\nbinary %+v", i, g, b)
+		}
+		if !sameMessage(g.Msg, b.Msg) {
+			t.Errorf("frame %d: messages differ:\ngob    %#v\nbinary %#v", i, g.Msg, b.Msg)
+		}
+	}
+}
+
+// TestBinaryGoldenLayout pins the exact bytes of one probe frame. A
+// change here is a wire-protocol break: it needs a new version byte,
+// not a test update (DESIGN.md §9 evolution rules).
+func TestBinaryGoldenLayout(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoderFormat(&buf, WireBinary)
+	err := enc.Encode(Envelope{
+		From: 0x01020304, To: 0x11121314, SrcHost: 0x21222324,
+		Seq: 0x3132333435363738, Epoch: 0x4142434445464748,
+		Ack: 0x5152535455565758, Inc: 0x6162636465666768,
+		Msg: Probe{Tag: id.Tag{Initiator: 0x71727374, N: 0x8182838485868788}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	le := binary.LittleEndian
+	want := []byte{0xB1} // stream version byte
+	want = append(want, le.AppendUint32(nil, binHdrTail+12)...)
+	want = append(want, CtlData, tagProbe)
+	want = append(want, le.AppendUint32(nil, 0x01020304)...)
+	want = append(want, le.AppendUint32(nil, 0x11121314)...)
+	want = append(want, le.AppendUint32(nil, 0x21222324)...)
+	want = append(want, le.AppendUint64(nil, 0x3132333435363738)...)
+	want = append(want, le.AppendUint64(nil, 0x4142434445464748)...)
+	want = append(want, le.AppendUint64(nil, 0x5152535455565758)...)
+	want = append(want, le.AppendUint64(nil, 0x6162636465666768)...)
+	want = append(want, le.AppendUint32(nil, 0x71727374)...)
+	want = append(want, le.AppendUint64(nil, 0x8182838485868788)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden frame mismatch:\ngot  % x\nwant % x", got, want)
+	}
+}
+
+// discard is a Write sink that cannot trigger bufio growth paths.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestBinaryEncodeZeroAlloc is the tentpole's contract: steady-state
+// encoding of probe traffic — the message the detection algorithm sends
+// most — performs zero heap allocations per frame, including the
+// periodic Flush.
+func TestBinaryEncodeZeroAlloc(t *testing.T) {
+	enc := NewEncoderFormat(discard{}, WireBinary)
+	env := Envelope{From: 1, To: 2, SrcHost: 3, Seq: 1, Epoch: 99,
+		Msg: Probe{Tag: id.Tag{Initiator: 1, N: 1}}}
+	// Warm up: version byte out, buffers sized.
+	if err := enc.Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.Seq++
+		if err := enc.EncodeBuffered(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("probe encode path: %.1f allocs/op, want 0", allocs)
+	}
+	// Control frames (the ack/lease traffic) must be free too.
+	ack := Envelope{From: 2, To: 1, Epoch: 99, Ctl: CtlAck, Ack: 5, Inc: 1}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := enc.EncodeBuffered(ack); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("ack encode path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBinaryRejectNoAlloc asserts malformed binary frames are rejected
+// with sentinel errors and zero allocations — a hostile peer cannot
+// make the receiver's reject path churn the heap.
+func TestBinaryRejectNoAlloc(t *testing.T) {
+	le := binary.LittleEndian
+	frame := func(n uint32, tail []byte) []byte {
+		return append(le.AppendUint32(nil, n), tail...)
+	}
+	// An unknown-tag data frame: structurally complete, tag 0xEE.
+	badTag := make([]byte, binHdrLen)
+	le.PutUint32(badTag, binHdrTail)
+	badTag[4] = CtlData
+	badTag[5] = 0xEE
+	cases := []struct {
+		name string
+		pat  []byte
+		want error
+	}{
+		// These patterns are self-synchronising: each reject consumes
+		// exactly one whole pattern (the length prefix alone when the
+		// frame is never read, the full frame when it is), so the decoder
+		// hits the same reject path on every call.
+		{"oversized-length-prefix", frame(maxFrameLen+1, nil), ErrFrameTooLarge},
+		{"undersized-length-prefix", frame(binHdrTail-1, nil), ErrBadFrame},
+		{"unknown-type-tag", badTag, ErrUnknownTag},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stream := append([]byte{binMagic}, bytes.Repeat(tc.pat, 300)...)
+			dec := NewDecoder(bytes.NewReader(stream))
+			// Warm up: sniff the format, size the scratch.
+			if _, err := dec.Decode(); !errors.Is(err, tc.want) {
+				t.Fatalf("warmup decode: err = %v, want %v", err, tc.want)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := dec.Decode(); !errors.Is(err, tc.want) {
+					t.Fatalf("decode: err = %v, want %v", err, tc.want)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("reject path: %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBinaryDecodeRejects covers the malformed-frame taxonomy the
+// sentinels partition.
+func TestBinaryDecodeRejects(t *testing.T) {
+	le := binary.LittleEndian
+	mk := func(mut func(b []byte) []byte) []byte {
+		// A valid probe frame, then mutated.
+		var buf bytes.Buffer
+		enc := NewEncoderFormat(&buf, WireBinary)
+		if err := enc.Encode(Envelope{From: 1, To: 2, Seq: 1, Epoch: 1,
+			Msg: Probe{Tag: id.Tag{Initiator: 1, N: 1}}}); err != nil {
+			t.Fatal(err)
+		}
+		return mut(buf.Bytes())
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"truncated-header", mk(func(b []byte) []byte { return b[:7] }), ErrTruncatedFrame},
+		{"truncated-payload", mk(func(b []byte) []byte { return b[:len(b)-3] }), ErrTruncatedFrame},
+		{"payload-size-mismatch", mk(func(b []byte) []byte {
+			le.PutUint32(b[1:], binHdrTail+11) // probe payload is 12
+			return b[:len(b)-1]
+		}), ErrBadFrame},
+		{"data-frame-tag-none", mk(func(b []byte) []byte {
+			le.PutUint32(b[1:], binHdrTail)
+			b[6] = tagNone
+			return b[:1+binHdrLen]
+		}), ErrNilMessage},
+		{"unknown-ctl", mk(func(b []byte) []byte {
+			le.PutUint32(b[1:], binHdrTail)
+			b[5] = 7 // Ctl
+			b[6] = tagNone
+			return b[:1+binHdrLen]
+		}), ErrUnknownCtl},
+		{"ctl-frame-with-payload", mk(func(b []byte) []byte {
+			b[5] = CtlPing
+			return b
+		}), ErrBadFrame},
+		{"wfgd-count-overruns", func() []byte {
+			var buf bytes.Buffer
+			enc := NewEncoderFormat(&buf, WireBinary)
+			if err := enc.Encode(Envelope{From: 1, To: 2, Seq: 1, Epoch: 1,
+				Msg: WFGD{Edges: []id.Edge{{From: 1, To: 2}}}}); err != nil {
+				t.Fatal(err)
+			}
+			b := buf.Bytes()
+			le.PutUint32(b[1+binHdrLen:], 1<<20) // claim 2^20 edges, carry 1
+			return b
+		}(), ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := NewDecoder(bytes.NewReader(tc.data))
+			if _, err := dec.Decode(); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTypedNilRejected extends the nil-message guard to typed nils in
+// both formats: (*Probe)(nil) passes an == nil comparison but must be
+// rejected with the same ErrNilMessage as an untyped nil.
+func TestTypedNilRejected(t *testing.T) {
+	for _, f := range []WireFormat{WireBinary, WireGob} {
+		enc := NewEncoderFormat(&bytes.Buffer{}, f)
+		err := enc.EncodeBuffered(Envelope{From: 1, To: 2, Msg: (*Probe)(nil)})
+		if !errors.Is(err, ErrNilMessage) {
+			t.Errorf("%v: typed-nil message: err = %v, want ErrNilMessage", f, err)
+		}
+		// An alien non-nil type is a different failure: unknown, not nil.
+		err = enc.EncodeBuffered(Envelope{From: 1, To: 2, Msg: alienMsg{}})
+		if !errors.Is(err, ErrUnknownMessage) {
+			t.Errorf("%v: alien message: err = %v, want ErrUnknownMessage", f, err)
+		}
+	}
+}
+
+// alienMsg is a Message type outside the wire taxonomy.
+type alienMsg struct{}
+
+func (alienMsg) Kind() Kind { return Kind(998) }
+
+// TestFormatSniffing checks one decoder accepts whichever format the
+// peer speaks — the property mixed-version links depend on — and that
+// Format() reports it so acks can be answered in kind.
+func TestFormatSniffing(t *testing.T) {
+	for _, f := range []WireFormat{WireBinary, WireGob} {
+		var buf bytes.Buffer
+		enc := NewEncoderFormat(&buf, f)
+		if err := enc.Encode(Envelope{From: 3, To: 4, Seq: 1, Epoch: 5,
+			Msg: Probe{Tag: id.Tag{Initiator: 3, N: 8}}}); err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(&buf)
+		env, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if dec.Format() != f {
+			t.Fatalf("sniffed %v, want %v", dec.Format(), f)
+		}
+		if p, ok := env.Msg.(Probe); !ok || p.Tag.N != 8 {
+			t.Fatalf("%v: decoded %#v", f, env.Msg)
+		}
+	}
+}
+
+// TestBinaryDecodeSingletons checks the payload-free messages decode to
+// the pre-boxed singletons (no per-frame boxing allocation).
+func TestBinaryDecodeSingletons(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoderFormat(&buf, WireBinary)
+	for _, m := range []Message{Request{}, Request{Rejoin: true}, Reply{}, CommWork{}} {
+		if err := enc.EncodeBuffered(Envelope{From: 1, To: 2, Seq: 1, Epoch: 1, Msg: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	for _, want := range []Message{boxedRequest, boxedRejoin, boxedReply, boxedCommWork} {
+		env, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Msg != want {
+			t.Fatalf("decoded %#v, want shared singleton %#v", env.Msg, want)
+		}
+	}
+}

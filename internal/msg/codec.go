@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"reflect"
 )
 
 // Envelope is the wire frame exchanged by the TCP transport: a routed
@@ -67,6 +68,36 @@ const (
 	CtlAck               // cumulative delivery acknowledgement
 )
 
+// WireFormat selects the frame encoding an Encoder produces. Decoders
+// need no selection: they sniff the stream's first byte (see binMagic)
+// and accept either format, which is what lets mixed-version links
+// interoperate during the migration window.
+type WireFormat int
+
+const (
+	// WireBinary is the hand-rolled length-prefixed binary codec of
+	// binary.go — the default. Zero heap allocations per steady-state
+	// frame encoded.
+	WireBinary WireFormat = iota
+	// WireGob is the reflection-based gob framing every release through
+	// PR 5 spoke. Kept for one release so a node that must send to an
+	// old peer can opt in (TCPOptions.Codec); old senders are understood
+	// automatically regardless.
+	WireGob
+)
+
+// String names the format.
+func (f WireFormat) String() string {
+	switch f {
+	case WireBinary:
+		return "binary"
+	case WireGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("wire(%d)", int(f))
+	}
+}
+
 func init() {
 	// gob needs the concrete types that may appear behind the Message
 	// interface. Registration is deterministic and side-effect free,
@@ -87,17 +118,35 @@ func init() {
 	gob.Register(CommReply{})
 }
 
-// Encoder writes envelopes to a stream.
+// Encoder writes envelopes to a stream in one WireFormat.
 type Encoder struct {
-	bw  *bufio.Writer
+	bw   *bufio.Writer
+	wire WireFormat
+	// enc is the gob encoder, created only in WireGob mode.
 	enc *gob.Encoder
+	// started records that the binary stream's version byte went out.
+	started bool
+	// scratch stages the binary header and payload chunks; owning it in
+	// the Encoder (not the stack) lets binEncodeFrame write through a
+	// pointer without any per-frame allocation.
+	scratch [binScratchLen]byte
 }
 
-// NewEncoder returns an Encoder writing to w.
-func NewEncoder(w io.Writer) *Encoder {
+// NewEncoder returns an Encoder writing the default (binary) format.
+func NewEncoder(w io.Writer) *Encoder { return NewEncoderFormat(w, WireBinary) }
+
+// NewEncoderFormat returns an Encoder writing the given format to w.
+func NewEncoderFormat(w io.Writer, f WireFormat) *Encoder {
 	bw := bufio.NewWriter(w)
-	return &Encoder{bw: bw, enc: gob.NewEncoder(bw)}
+	e := &Encoder{bw: bw, wire: f}
+	if f == WireGob {
+		e.enc = gob.NewEncoder(bw)
+	}
+	return e
 }
+
+// Format reports the format the encoder writes.
+func (e *Encoder) Format() WireFormat { return e.wire }
 
 // Encode writes one envelope and flushes it to the underlying stream.
 func (e *Encoder) Encode(env Envelope) error {
@@ -114,9 +163,29 @@ func (e *Encoder) Encode(env Envelope) error {
 // treat any batch whose Flush did not succeed as wholly unconfirmed and
 // re-send it on a fresh connection (the TCP transport's replay/dedup
 // protocol makes that retransmission safe).
+//
+// A data envelope whose Msg is nil — including a typed nil such as
+// (*Probe)(nil), which an == nil check would wave through — is rejected
+// with ErrNilMessage before anything reaches the stream. In binary mode
+// a steady-state frame costs zero heap allocations: the header and
+// payload are staged through the encoder's own scratch buffer straight
+// into the stream's write buffer.
 func (e *Encoder) EncodeBuffered(env Envelope) error {
-	if env.Msg == nil && env.Ctl == CtlData {
-		return fmt.Errorf("encode envelope %d->%d: nil message", env.From, env.To)
+	if e.wire == WireBinary {
+		if !e.started {
+			// One version byte per stream, ahead of the first frame; its
+			// value tells a sniffing decoder this is not a gob stream.
+			if err := e.bw.WriteByte(binMagic); err != nil {
+				return err
+			}
+			e.started = true
+		}
+		return binEncodeFrame(e.bw, &e.scratch, env)
+	}
+	if env.Ctl == CtlData {
+		if _, _, ok := binTagSize(env.Msg); !ok {
+			return fmt.Errorf("encode envelope %d->%d: %w", env.From, env.To, classifyBadMessage(env.Msg))
+		}
 	}
 	if err := e.enc.Encode(env); err != nil {
 		return fmt.Errorf("encode envelope: %w", err)
@@ -132,22 +201,76 @@ func (e *Encoder) Flush() error {
 	return nil
 }
 
-// Decoder reads envelopes from a stream.
+// isTypedNil reports whether m is a non-nil interface holding a nil
+// pointer (or other nillable kind). Reached only after the tag dispatch
+// failed to match a concrete value type, so reflection stays off the
+// encode hot path.
+func isTypedNil(m Message) bool {
+	v := reflect.ValueOf(m)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Slice, reflect.Chan, reflect.Func, reflect.Interface:
+		return v.IsNil()
+	}
+	return false
+}
+
+// Decoder reads envelopes from a stream, accepting either wire format.
+// The first byte decides: binMagic selects the binary codec, anything
+// else replays the legacy gob path (gob can never emit binMagic first,
+// see binary.go).
 type Decoder struct {
+	br   *bufio.Reader
+	mode WireFormat
+	// sniffed records whether the stream's format is known yet.
+	sniffed bool
+	// dec is the gob decoder, created only for legacy streams.
 	dec *gob.Decoder
+	// buf is the reusable binary payload scratch: one buffer per
+	// connection, grown to the largest frame seen, never reallocated per
+	// frame in steady state.
+	buf []byte
 }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{dec: gob.NewDecoder(bufio.NewReader(r))}
+	return &Decoder{br: bufio.NewReader(r)}
 }
 
+// Format reports the sniffed stream format; valid only after the first
+// successful Decode. The transport uses it to answer an inbound stream
+// with acknowledgements in the format its sender understands.
+func (d *Decoder) Format() WireFormat { return d.mode }
+
 // Decode reads one envelope. It returns io.EOF when the stream ends
-// cleanly between frames. A structurally valid gob stream that carries
-// no message (possible with a hand-crafted or corrupted frame) is
-// rejected as an error rather than surfacing a nil message to handlers;
-// control frames (Ctl != CtlData) legitimately carry none.
+// cleanly between frames. A structurally valid frame that carries no
+// message (possible with a hand-crafted or corrupted frame) is rejected
+// as an error rather than surfacing a nil message to handlers; control
+// frames (Ctl != CtlData) legitimately carry none. On the binary path
+// every malformed-frame rejection is one of the package's sentinel
+// errors and allocates nothing.
 func (d *Decoder) Decode() (Envelope, error) {
+	if !d.sniffed {
+		first, err := d.br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return Envelope{}, io.EOF
+			}
+			return Envelope{}, fmt.Errorf("decode envelope: %w", err)
+		}
+		d.sniffed = true
+		if first[0] == binMagic {
+			d.mode = WireBinary
+			d.br.ReadByte() // consume the version byte
+		} else {
+			d.mode = WireGob
+			d.dec = gob.NewDecoder(d.br)
+		}
+	}
+	if d.mode == WireBinary {
+		env, buf, err := binDecodeFrame(d.br, d.buf)
+		d.buf = buf
+		return env, err
+	}
 	var env Envelope
 	if err := d.dec.Decode(&env); err != nil {
 		if err == io.EOF {
@@ -155,8 +278,8 @@ func (d *Decoder) Decode() (Envelope, error) {
 		}
 		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
 	}
-	if env.Msg == nil && env.Ctl == CtlData {
-		return Envelope{}, fmt.Errorf("decode envelope %d->%d: missing message", env.From, env.To)
+	if env.Ctl == CtlData && (env.Msg == nil || isTypedNil(env.Msg)) {
+		return Envelope{}, fmt.Errorf("decode envelope %d->%d: %w", env.From, env.To, ErrNilMessage)
 	}
 	return env, nil
 }

@@ -4,6 +4,7 @@ package msg
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -64,8 +65,21 @@ func TestEncodeBufferedBatchRoundTrip(t *testing.T) {
 }
 
 func TestEncodeBufferedRejectsNilMessage(t *testing.T) {
-	enc := NewEncoder(&bytes.Buffer{})
-	if err := enc.EncodeBuffered(Envelope{From: 1, To: 2}); err == nil {
-		t.Fatal("nil message accepted by EncodeBuffered")
+	for _, f := range []WireFormat{WireBinary, WireGob} {
+		enc := NewEncoderFormat(&bytes.Buffer{}, f)
+		if err := enc.EncodeBuffered(Envelope{From: 1, To: 2}); !errors.Is(err, ErrNilMessage) {
+			t.Fatalf("%v: untyped nil: err = %v, want ErrNilMessage", f, err)
+		}
+		// A typed nil compares unequal to nil, so an == nil guard would
+		// wave it through and fail confusingly downstream; the tag
+		// dispatch must reject it with the same sentinel.
+		if err := enc.EncodeBuffered(Envelope{From: 1, To: 2, Msg: (*Probe)(nil)}); !errors.Is(err, ErrNilMessage) {
+			t.Fatalf("%v: typed nil: err = %v, want ErrNilMessage", f, err)
+		}
+		// Nothing may have reached the stream buffer from the rejects
+		// (the binary stream's one version byte is allowed).
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

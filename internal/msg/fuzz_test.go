@@ -20,14 +20,29 @@ func FuzzDecoder(f *testing.F) {
 		CtrlAcquire{Txn: 3, Resource: 4, Mode: LockWrite, Inc: 1},
 	}
 	for _, m := range seedMsgs {
-		var buf bytes.Buffer
-		if err := NewEncoder(&buf).Encode(Envelope{From: 1, To: 2, Msg: m}); err != nil {
-			f.Fatal(err)
+		// One valid stream per format: the decoder sniffs and must
+		// survive arbitrary mutations of either.
+		for _, format := range []WireFormat{WireBinary, WireGob} {
+			var buf bytes.Buffer
+			if err := NewEncoderFormat(&buf, format).Encode(Envelope{From: 1, To: 2, Msg: m}); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
 		}
-		f.Add(buf.Bytes())
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x01, 0x02})
+	// Binary-codec hostile shapes: truncated header, oversized length
+	// prefix, undersized length prefix, unknown type tag, data frame
+	// with tag 0 (the "typed-nil bytes" a buggy encoder would emit),
+	// control frame with payload, unknown control discriminator.
+	f.Add([]byte{binMagic})
+	f.Add([]byte{binMagic, 46, 0, 0, 0, 0, 1})
+	f.Add([]byte{binMagic, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(append([]byte{binMagic, 46, 0, 0, 0, 0, 0xEE}, make([]byte, 44)...))
+	f.Add(append([]byte{binMagic, 46, 0, 0, 0, 0, 0}, make([]byte, 44)...))
+	f.Add(append([]byte{binMagic, 47, 0, 0, 0, 1, 0}, make([]byte, 45)...))
+	f.Add(append([]byte{binMagic, 46, 0, 0, 0, 9, 0}, make([]byte, 44)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data))

@@ -185,6 +185,23 @@ type TCPOptions struct {
 	// without an acknowledgement before the peer is declared down.
 	// Default 3 (when LeaseInterval is set).
 	LeaseMisses int
+	// Codec selects the wire format outbound links speak. The zero
+	// value is msg.WireBinary (the current format); set msg.WireGob when
+	// this node must send to peers from the release before the binary
+	// codec. Inbound streams are format-sniffed, and acknowledgements
+	// answer each inbound stream in its sender's own format, so the
+	// option only governs what *this* node's data streams look like.
+	Codec msg.WireFormat
+	// MaxHeldPerStream caps how many out-of-order frames the receiver's
+	// resequencer parks per inbound stream while waiting for a gap to
+	// fill. Legitimate reconnects need only the frames written on
+	// overlapping connections (bounded by the sender's batch size); a
+	// buggy or hostile sender jumping far ahead in sequence space could
+	// otherwise pin unbounded memory. Frames beyond the cap are dropped
+	// and counted (TCPStats.HeldFramesDropped) — safe, because the
+	// sender retains them in its replay buffer until acknowledged and
+	// the cumulative ack never covers a dropped frame. Default 4096.
+	MaxHeldPerStream int
 }
 
 // withDefaults fills unset options.
@@ -203,6 +220,9 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	}
 	if o.LeaseInterval > 0 && o.LeaseMisses <= 0 {
 		o.LeaseMisses = 3
+	}
+	if o.MaxHeldPerStream <= 0 {
+		o.MaxHeldPerStream = 4096
 	}
 	return o
 }
@@ -225,10 +245,14 @@ type TCPStats struct {
 	// Replayed counts frames retransmitted after a reconnect;
 	// Duplicates counts received frames dropped by the dedup filter;
 	// Resequenced counts received frames buffered out of order until
-	// their predecessors arrived.
-	Replayed    int64
-	Duplicates  int64
-	Resequenced int64
+	// their predecessors arrived; HeldFramesDropped counts out-of-order
+	// frames discarded because a stream's resequencing buffer was
+	// already at TCPOptions.MaxHeldPerStream (the sender's replay
+	// re-delivers them, so the drop sheds memory, not frames).
+	Replayed          int64
+	Duplicates        int64
+	Resequenced       int64
+	HeldFramesDropped int64
 	// FramesWritten counts envelopes encoded onto connections; Flushes
 	// counts the stream flushes that carried them. With write batching,
 	// FramesWritten/Flushes is the achieved coalescing factor.
@@ -259,7 +283,7 @@ type TCPStats struct {
 type tcpCounters struct {
 	dials, dialRetries, connects, reconnects, dialDeadlines atomic.Int64
 	writeErrors, readErrors                                 atomic.Int64
-	replayed, duplicates, resequenced                       atomic.Int64
+	replayed, duplicates, resequenced, heldDropped          atomic.Int64
 	framesWritten, flushes, backpressure                    atomic.Int64
 	heartbeats, acksSent, acksReceived, framesPruned        atomic.Int64
 	peerDowns, peerUps                                      atomic.Int64
@@ -277,6 +301,7 @@ func (c *tcpCounters) snapshot() TCPStats {
 		Replayed:            c.replayed.Load(),
 		Duplicates:          c.duplicates.Load(),
 		Resequenced:         c.resequenced.Load(),
+		HeldFramesDropped:   c.heldDropped.Load(),
 		FramesWritten:       c.framesWritten.Load(),
 		Flushes:             c.flushes.Load(),
 		BackpressureEngaged: c.backpressure.Load(),

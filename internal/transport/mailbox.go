@@ -39,6 +39,15 @@ type mailboxConfig struct {
 // below it, so steady low-traffic mailboxes do not churn allocations.
 const minMailboxCap = 16
 
+// shrinkAfterPops is the shrink hysteresis: the ring halves only after
+// this many *consecutive* pops each observing the queue at or below a
+// quarter of capacity, with the streak reset by every push and every
+// resize. Without it, a workload oscillating around a power-of-two
+// boundary (push to cap, drain past cap/4, repeat) pays a full-ring
+// copy on nearly every cycle; with it, shrinking only happens once the
+// queue has demonstrably settled at the smaller size.
+const shrinkAfterPops = 32
+
 // mailbox is an unbounded FIFO queue with a single dispatcher goroutine
 // that invokes the node's handler one message at a time. A single
 // dispatcher gives each node the paper's atomic-step property; the
@@ -59,6 +68,11 @@ type mailbox struct {
 	buf  []delivery
 	head int
 	n    int
+	// shrinkStreak counts consecutive below-threshold pops toward the
+	// shrink hysteresis; resizes counts ring reallocations (test hook
+	// for the thrash bound).
+	shrinkStreak int
+	resizes      int
 	// peak is the maximum depth ever observed (surfaced via TCPStats).
 	peak      int
 	pressured bool
@@ -95,20 +109,26 @@ func (mb *mailbox) pushLocked(d delivery) {
 	}
 	mb.buf[(mb.head+mb.n)%len(mb.buf)] = d
 	mb.n++
+	mb.shrinkStreak = 0
 	if mb.n > mb.peak {
 		mb.peak = mb.n
 	}
 }
 
-// popLocked removes and returns the head delivery, zeroing its slot and
-// shrinking the ring when it is three-quarters empty.
+// popLocked removes and returns the head delivery, zeroing its slot.
+// The ring shrinks by half only after shrinkAfterPops consecutive pops
+// saw it three-quarters empty (see the constant for why).
 func (mb *mailbox) popLocked() delivery {
 	d := mb.buf[mb.head]
 	mb.buf[mb.head] = delivery{}
 	mb.head = (mb.head + 1) % len(mb.buf)
 	mb.n--
 	if half := len(mb.buf) / 2; half >= minMailboxCap && mb.n <= len(mb.buf)/4 {
-		mb.resizeLocked(half)
+		if mb.shrinkStreak++; mb.shrinkStreak >= shrinkAfterPops {
+			mb.resizeLocked(half)
+		}
+	} else {
+		mb.shrinkStreak = 0
 	}
 	return d
 }
@@ -122,6 +142,8 @@ func (mb *mailbox) resizeLocked(capacity int) {
 	}
 	mb.buf = buf
 	mb.head = 0
+	mb.resizes++
+	mb.shrinkStreak = 0
 }
 
 // put enqueues one delivery. It is safe for concurrent use; enqueue
@@ -192,6 +214,14 @@ func (mb *mailbox) capacity() int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	return len(mb.buf)
+}
+
+// resizeCount returns how many times the ring has been reallocated
+// (test hook for the resize-thrash hysteresis).
+func (mb *mailbox) resizeCount() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.resizes
 }
 
 // peakDepth returns the maximum depth the mailbox ever reached.

@@ -15,8 +15,10 @@ import (
 // its own listener; a sender keeps one outbound link per ordered
 // (from,to) pair, each with its own goroutine, queue, mutex and
 // encoder, so a slow or unreachable peer stalls only its own link.
-// Frames are gob-encoded, sequence-numbered envelopes (see
-// msg.Envelope): the sequence numbers let the receiver drop duplicates
+// Frames are binary-encoded, sequence-numbered envelopes (see
+// msg.Envelope and DESIGN.md §9; TCPOptions.Codec can select the
+// legacy gob format for mixed-version interop): the sequence numbers
+// let the receiver drop duplicates
 // and resequence frames replayed across a re-dialed connection, which
 // preserves the per-ordered-pair FIFO guarantee the algorithm's proofs
 // require even when connections fail.
@@ -425,7 +427,10 @@ func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 		}
 		if ack, due := t.receive(ib, env); due {
 			if enc == nil {
-				enc = msg.NewEncoder(conn)
+				// Answer in whatever format the sender speaks (sniffed
+				// from its stream), so a legacy gob peer understands the
+				// acknowledgements during the migration window.
+				enc = msg.NewEncoderFormat(conn, dec.Format())
 			}
 			if werr := enc.Encode(ack); werr == nil {
 				t.stats.acksSent.Add(1)
@@ -483,6 +488,16 @@ func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 		return ib.ackLocked(key, env.Epoch), true
 	case env.Seq > ps.next:
 		if _, dup := ps.held[env.Seq]; !dup {
+			if len(ps.held) >= t.opts.MaxHeldPerStream {
+				// The stream's parking lot is full — a buggy or hostile
+				// sender far ahead of its own sequence space could
+				// otherwise pin unbounded memory here. Dropping is safe:
+				// the cumulative ack never covers this frame, so the
+				// sender's replay buffer re-delivers it once the gap
+				// actually fills (or the connection cycles).
+				t.stats.heldDropped.Add(1)
+				return msg.Envelope{}, false
+			}
 			ps.held[env.Seq] = heldFrame{m: env.Msg, from: from, to: to}
 			t.stats.resequenced.Add(1)
 		}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msg"
@@ -86,15 +87,67 @@ func newOutLink(t *TCP, from, to NodeID, srcHost int32, dstIsHost bool) *outLink
 	return l
 }
 
-// newEpoch draws a random nonzero sender-incarnation id.
+// entropyRead is the randomness source for newEpoch, injectable so the
+// fallback path is testable without breaking the process's entropy.
+var entropyRead = crand.Read
+
+// epochFallback is the monotonic counter behind newEpoch's fallback,
+// seeded lazily from the wall clock. A bare UnixNano is not enough:
+// two links created in the same nanosecond (or after a clock step)
+// would share an epoch, and the receiver's resequencer would splice
+// their streams together. The atomic increment keeps every fallback
+// epoch distinct for the life of the process.
+var epochFallback atomic.Uint64
+
+// newEpoch draws a random nonzero sender-incarnation id. On entropy
+// failure it falls back to a strictly increasing nonzero counter —
+// never zero, never repeating within the process — because a zero or
+// stale epoch would alias an existing stream's resequencing state.
 func newEpoch() uint64 {
 	var b [8]byte
-	if _, err := crand.Read(b[:]); err == nil {
+	if _, err := entropyRead(b[:]); err == nil {
 		if e := binary.LittleEndian.Uint64(b[:]); e != 0 {
 			return e
 		}
 	}
-	return uint64(time.Now().UnixNano()) | 1
+	epochFallback.CompareAndSwap(0, uint64(time.Now().UnixNano()))
+	for {
+		if e := epochFallback.Add(1); e != 0 {
+			return e
+		}
+	}
+}
+
+// envBatch is a recyclable copy of a run of envelopes: the scratch the
+// sender loop and the reconnect replay copy frames into so they can be
+// written outside the link lock. Pooled because the sender loop makes
+// one copy per flush — at high message rates that was the transport's
+// dominant steady-state allocation.
+type envBatch struct {
+	envs []msg.Envelope
+}
+
+var envBatchPool = sync.Pool{New: func() any { return new(envBatch) }}
+
+// copyBatch snapshots src into a pooled batch.
+func copyBatch(src []msg.Envelope) *envBatch {
+	b := envBatchPool.Get().(*envBatch)
+	if cap(b.envs) < len(src) {
+		b.envs = make([]msg.Envelope, len(src))
+	}
+	b.envs = b.envs[:len(src)]
+	copy(b.envs, src)
+	return b
+}
+
+// release zeroes the batch (so the pooled array does not pin message
+// payloads) and returns it to the pool.
+func (b *envBatch) release() {
+	for i := range b.envs {
+		b.envs[i] = msg.Envelope{}
+	}
+	b.envs = b.envs[:0]
+	envBatchPool.Put(b)
 }
 
 // run is the link's sender loop: wait for work (or a dead connection
@@ -133,15 +186,15 @@ func (l *outLink) run() {
 			continue
 		}
 		// Coalesce up to MaxBatch queued envelopes into one buffered
-		// encode + single flush. The copy lets Send keep appending while
-		// the batch is on the wire. A due lease ping rides the same
-		// flush; it carries no sequence number, so it costs the stream
-		// nothing.
+		// encode + single flush. The pooled copy lets Send keep appending
+		// while the batch is on the wire, without allocating a fresh
+		// slice per flush. A due lease ping rides the same flush; it
+		// carries no sequence number, so it costs the stream nothing.
 		k := len(l.queue)
 		if max := l.t.opts.MaxBatch; k > max {
 			k = max
 		}
-		batch := append([]msg.Envelope(nil), l.queue[:k]...)
+		batch := copyBatch(l.queue[:k])
 		gen := l.gen
 		enc := l.enc
 		conn := l.conn
@@ -149,7 +202,7 @@ func (l *outLink) run() {
 		l.mu.Unlock()
 
 		var err error
-		for _, env := range batch {
+		for _, env := range batch.envs {
 			if err = enc.EncodeBuffered(env); err != nil {
 				break
 			}
@@ -167,6 +220,7 @@ func (l *outLink) run() {
 		l.mu.Lock()
 		if l.closed {
 			l.mu.Unlock()
+			batch.release()
 			return
 		}
 		if err != nil {
@@ -176,6 +230,7 @@ func (l *outLink) run() {
 				l.enc = nil
 			}
 			l.mu.Unlock()
+			batch.release()
 			l.t.stats.writeErrors.Add(1)
 			l.t.event(ConnEvent{Kind: ConnWriteError, From: l.from, To: l.to, Err: err.Error()})
 			l.t.report(fmt.Errorf("tcp: write %d->%d: %w", l.from, l.to, err))
@@ -194,12 +249,13 @@ func (l *outLink) run() {
 				l.queue[i] = msg.Envelope{}
 			}
 			l.queue = l.queue[:rem]
-			l.sent = append(l.sent, batch...)
+			l.sent = append(l.sent, batch.envs...)
 		}
 		// else: a rebase renumbered the queue while the batch was on the
 		// wire; the written frames stay queued under their new epoch and
 		// will be re-sent — the receiver discards the stale-epoch copies.
 		l.mu.Unlock()
+		batch.release()
 		if k > 0 {
 			l.t.stats.framesWritten.Add(int64(k))
 		}
@@ -294,8 +350,9 @@ func (l *outLink) install(conn net.Conn, addr string, attempt int) bool {
 		conn.Close()
 		return false
 	}
-	replay := append([]msg.Envelope(nil), l.sent...)
-	enc := msg.NewEncoder(conn)
+	replay := copyBatch(l.sent)
+	defer replay.release()
+	enc := msg.NewEncoderFormat(conn, l.t.opts.Codec)
 	l.conn = conn
 	l.enc = enc
 	l.broken = false
@@ -316,7 +373,7 @@ func (l *outLink) install(conn net.Conn, addr string, attempt int) bool {
 
 	// The replay is one batch: buffered encodes, single flush.
 	writeReplay := func() error {
-		for _, env := range replay {
+		for _, env := range replay.envs {
 			if err := enc.EncodeBuffered(env); err != nil {
 				return err
 			}
@@ -338,11 +395,11 @@ func (l *outLink) install(conn net.Conn, addr string, attempt int) bool {
 		}
 		return false
 	}
-	if len(replay) > 0 {
-		l.t.stats.framesWritten.Add(int64(len(replay)))
+	if len(replay.envs) > 0 {
+		l.t.stats.framesWritten.Add(int64(len(replay.envs)))
 		l.t.stats.flushes.Add(1)
 	}
-	l.t.stats.replayed.Add(int64(len(replay)))
+	l.t.stats.replayed.Add(int64(len(replay.envs)))
 	return true
 }
 
