@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare check fuzz-smoke chaos-smoke host-smoke cover experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-compare check fuzz-smoke chaos-smoke host-smoke load-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -28,10 +28,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/cmhbench -json | tee BENCH_baseline.json
 
-# The perf-regression gate: re-measure the gated experiments (E13, E16)
-# on the current tree and fail on a >10% throughput drop or ANY
-# allocs/op increase against the committed baseline (CI runs this as
-# the bench-compare job).
+# The perf-regression gate: re-measure the gated experiments (E13, E16,
+# E17) on the current tree and fail on a >10% throughput drop, ANY
+# allocs/op increase, or a p99 detection-latency blowup (> 3x baseline)
+# against the committed baseline (CI runs this as the bench-compare
+# job).
 bench-compare:
 	$(GO) run ./cmd/cmhbench -compare BENCH_baseline.json
 
@@ -44,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWFGTransitions -fuzztime=10s ./internal/wfg
 	$(GO) test -run='^$$' -fuzz=FuzzLockManager -fuzztime=10s ./internal/ddb
 	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeIngress -fuzztime=10s ./internal/conformance
+	$(GO) test -run='^$$' -fuzz=FuzzOpenLoopConfig -fuzztime=10s ./internal/workload
 
 # Seeded fault-injection conformance under the race detector: the six
 # committed chaos schedules (crash / restart / partition / delay / dup)
@@ -59,10 +61,18 @@ chaos-smoke:
 host-smoke:
 	$(GO) run ./cmd/cmhnode -procs 8192 -shards 8 -initiate -timeout 60s
 
+# Open-loop workload smoke: the seeded generator over both runtimes
+# with the oracle attached and no victim aborts — zero protocol errors,
+# zero false deadlocks, zero uncovered cycles or the run exits nonzero
+# (CI runs this as the load-smoke job).
+load-smoke:
+	$(GO) run ./cmd/cmhload -runtime sim -procs 8 -keys 96 -dist zipfian -theta 0.9 -rate 800 -duration 1s -max-txns 600 -txn-min 2 -txn-max 4 -write-frac 0.8 -think 300us -hold 800us -delay 2ms -victim none -retry=false -check -seed 3 -min-committed 1 > /dev/null
+	$(GO) run ./cmd/cmhload -runtime host -procs 64 -shards 4 -keys 4096 -dist zipfian -theta 0.9 -rate 1500 -duration 1s -max-txns 1500 -txn-min 2 -txn-max 3 -write-frac 0.5 -think 0 -hold 200us -delay 2ms -victim none -retry=false -check -seed 7 -min-committed 1 > /dev/null
+
 # Combined statement coverage of the engine and harness packages (CI
 # enforces a floor on this number).
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/...,./internal/msg/... ./internal/... ./cmd/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/...,./internal/msg/...,./internal/workload/...,./internal/metrics/... ./internal/... ./cmd/...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).

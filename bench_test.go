@@ -358,3 +358,43 @@ func BenchmarkE14CrashRecovery(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE17OpenLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E17OpenLoop(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var simDeadlocks int64
+		var host *experiments.E17Row
+		for j := range rows {
+			r := &rows[j]
+			if r.Committed == 0 || r.KTxnsPerSec <= 0 {
+				b.Fatalf("E17: dead row: %+v", r)
+			}
+			if r.Runtime == "sim" {
+				simDeadlocks += r.Deadlocks
+				// The paper's premise regime: with no victim aborts the
+				// oracle must agree with every declaration and find no
+				// uncovered cycle.
+				if r.Victim == "none" && (r.FalseDeadlocks != 0 || r.UncoveredCycles != 0) {
+					b.Fatalf("E17: no-abort row not clean: %+v", r)
+				}
+			}
+			if r.Runtime == "host" {
+				host = r
+			}
+		}
+		if simDeadlocks == 0 {
+			b.Fatal("E17: sim policy comparison produced no deadlocks")
+		}
+		// The host leg runs near the offered 20k txns/s; detection work
+		// must leave most of the committed throughput standing.
+		if host == nil || host.KTxnsPerSec < 1 {
+			b.Fatalf("E17: host leg below 1k committed txns/s: %+v", host)
+		}
+		if host.Deadlocks > 0 && host.DetectP99Us <= 0 {
+			b.Fatalf("E17: host deadlocks declared but no latency recorded: %+v", host)
+		}
+	}
+}

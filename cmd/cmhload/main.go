@@ -1,0 +1,146 @@
+// Command cmhload drives the open-loop YCSB-style workload generator
+// (internal/workload) over the §6 DDB lock manager and prints a
+// machine-readable JSON report: transaction outcomes, deadlock rate,
+// block-to-declaration latency quantiles and probes per committed
+// transaction.
+//
+// The generator runs on either runtime:
+//
+//	cmhload -runtime sim -procs 8 -keys 256 -rate 500 -duration 1s -check
+//	cmhload -procs 4096 -rate 50000 -dist zipfian -theta 0.99 -duration 30s
+//
+// The sim runtime is deterministic — identical flags and seed replay
+// the identical report. The host runtime (default) hosts the
+// controllers on the sharded engine and measures wall-clock time.
+//
+// Exit status is nonzero on protocol errors, on any false deadlock
+// declaration when the oracle is attached under victim "none", or when
+// fewer than -min-committed transactions commit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cmhload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, minCommitted, profile, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	if profile != "" {
+		f, err := os.Create(profile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	rep, err := workload.RunOpenLoop(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.ProtocolErrors != 0 {
+		return fmt.Errorf("%d protocol errors", rep.ProtocolErrors)
+	}
+	if rep.OracleChecked && cfg.Victim == workload.VictimNone {
+		if rep.FalseDeadlocks != 0 {
+			return fmt.Errorf("%d false deadlock declarations under victim=none", rep.FalseDeadlocks)
+		}
+		if rep.UncoveredCycles != 0 {
+			return fmt.Errorf("%d uncovered cycles at quiescence", rep.UncoveredCycles)
+		}
+	}
+	if rep.Committed < minCommitted {
+		return fmt.Errorf("committed %d transactions, want >= %d", rep.Committed, minCommitted)
+	}
+	return nil
+}
+
+// parseFlags maps the command line onto an OpenLoopConfig. Durations
+// take Go syntax (300us, 2ms, 30s). Validation beyond flag syntax is
+// the workload package's job — RunOpenLoop calls Validate.
+func parseFlags(args []string) (workload.OpenLoopConfig, int64, string, error) {
+	fs := flag.NewFlagSet("cmhload", flag.ContinueOnError)
+	var (
+		runtime   = fs.String("runtime", workload.RuntimeHost, "sim (deterministic, virtual time) | host (sharded engine, wall clock)")
+		procs     = fs.Int("procs", 4096, "number of controllers (hosted processes under -runtime host)")
+		shards    = fs.Int("shards", 0, "host shard count (0 = default)")
+		keys      = fs.Int64("keys", 1<<20, "lockable key space")
+		rate      = fs.Float64("rate", 50000, "mean arrival rate, transactions/sec")
+		duration  = fs.Duration("duration", 30*time.Second, "admission window")
+		dist      = fs.String("dist", "zipfian", "key distribution: uniform | zipfian | hotspot")
+		theta     = fs.Float64("theta", 0.99, "zipfian skew")
+		hotFrac   = fs.Float64("hot-frac", 0.05, "hotspot: fraction of keys that are hot")
+		hotOpFrac = fs.Float64("hot-op-frac", 0.8, "hotspot: fraction of ops hitting hot keys")
+		txnMin    = fs.Int("txn-min", 1, "minimum locks per transaction")
+		txnMax    = fs.Int("txn-max", 2, "maximum locks per transaction")
+		writeFrac = fs.Float64("write-frac", 0.05, "fraction of write locks")
+		think     = fs.Duration("think", 0, "pause between grant and next lock request")
+		hold      = fs.Duration("hold", 200*time.Microsecond, "lock hold time before commit")
+		delay     = fs.Duration("delay", 10*time.Millisecond, "§4.3 continuous-wait threshold T before probing")
+		victim    = fs.String("victim", workload.VictimYoungest, "abort policy on declaration: none | detected | youngest | random")
+		retry     = fs.Bool("retry", true, "resubmit aborted transactions with backoff")
+		backoff   = fs.Duration("backoff", 10*time.Millisecond, "retry backoff base")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		maxTxns   = fs.Int64("max-txns", 0, "cap on admitted transactions (0 = unlimited)")
+		check     = fs.Bool("check", false, "audit declarations against the omniscient oracle")
+		trace     = fs.Bool("trace", false, "include per-declaration records in the report")
+		workers   = fs.Int("workers", 0, "host submit pool size (0 = default)")
+		minCommit = fs.Int64("min-committed", 0, "fail unless at least this many transactions commit")
+		profile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return workload.OpenLoopConfig{}, 0, "", err
+	}
+	if fs.NArg() != 0 {
+		return workload.OpenLoopConfig{}, 0, "", fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := workload.OpenLoopConfig{
+		Runtime:     *runtime,
+		Sites:       *procs,
+		Shards:      *shards,
+		Keys:        *keys,
+		Dist:        *dist,
+		Theta:       *theta,
+		HotFrac:     *hotFrac,
+		HotOpFrac:   *hotOpFrac,
+		RatePerSec:  *rate,
+		DurationNs:  int64(*duration),
+		MaxTxns:     *maxTxns,
+		Mix:         workload.TxnMix{MinSteps: *txnMin, MaxSteps: *txnMax, WriteFrac: *writeFrac},
+		ThinkNs:     int64(*think),
+		HoldNs:      int64(*hold),
+		DelayNs:     int64(*delay),
+		Victim:      *victim,
+		Retry:       *retry,
+		BackoffNs:   int64(*backoff),
+		Seed:        *seed,
+		CheckOracle: *check,
+		Trace:       *trace,
+		Workers:     *workers,
+	}
+	return cfg, *minCommit, *profile, nil
+}

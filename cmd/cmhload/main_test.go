@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// simArgs is a fast deterministic sim run: the calibrated no-abort
+// configuration from the workload test suite, shrunk further.
+var simArgs = []string{
+	"-runtime", "sim", "-procs", "8", "-keys", "96", "-dist", "zipfian",
+	"-theta", "0.9", "-rate", "800", "-duration", "500ms", "-max-txns", "300",
+	"-think", "300us", "-hold", "800us", "-delay", "2ms",
+	"-victim", "none", "-retry=false", "-check", "-seed", "3",
+}
+
+func TestRunSimJSONReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(simArgs, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep workload.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v\n%s", err, buf.String())
+	}
+	if rep.Runtime != "sim" || rep.Victim != "none" || rep.Seed != 3 {
+		t.Fatalf("config echo wrong: %+v", rep)
+	}
+	if rep.Started == 0 || rep.Committed == 0 {
+		t.Fatalf("workload did not run: %+v", rep)
+	}
+	if !rep.OracleChecked {
+		t.Fatalf("-check did not attach the oracle: %+v", rep)
+	}
+	// The required report fields: deadlock rate, latency quantiles,
+	// probes per committed transaction.
+	for _, field := range []string{
+		"deadlocks_per_1k_commits", "detect_p50_us", "detect_p99_us", "probes_per_commit",
+	} {
+		if !strings.Contains(buf.String(), `"`+field+`"`) {
+			t.Fatalf("JSON report missing %q:\n%s", field, buf.String())
+		}
+	}
+}
+
+func TestRunDeterministicOnSim(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(simArgs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(simArgs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("sim runs with identical flags diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunMinCommittedGate(t *testing.T) {
+	var buf bytes.Buffer
+	args := append(append([]string{}, simArgs...), "-min-committed", "1000000")
+	err := run(args, &buf)
+	if err == nil || !strings.Contains(err.Error(), "min") && !strings.Contains(err.Error(), "committed") {
+		t.Fatalf("shortfall must fail: err=%v", err)
+	}
+	// The report must still have been printed before the gate failed.
+	var rep workload.Report
+	if jerr := json.Unmarshal(buf.Bytes(), &rep); jerr != nil {
+		t.Fatalf("no report on gate failure: %v", jerr)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-runtime", "nope"},
+		{"-dist", "nope", "-runtime", "sim"},
+		{"-victim", "nope", "-runtime", "sim"},
+		{"-procs", "0"},
+		{"-rate", "-5"},
+		{"-runtime", "sim", "-procs", "4", "-keys", "64", "positional"},
+		// Host-mode oracle audit requires victim none.
+		{"-runtime", "host", "-check", "-victim", "youngest"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunHostSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host leg uses wall-clock time")
+	}
+	var buf bytes.Buffer
+	args := []string{
+		"-runtime", "host", "-procs", "64", "-shards", "4", "-keys", "4096",
+		"-rate", "2000", "-duration", "300ms", "-max-txns", "400",
+		"-think", "100us", "-hold", "200us", "-delay", "2ms",
+		"-victim", "youngest", "-seed", "9", "-min-committed", "1",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep workload.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runtime != "host" || rep.Committed == 0 || rep.WallSec <= 0 {
+		t.Fatalf("host run wrong: %+v", rep)
+	}
+}

@@ -285,6 +285,13 @@ func (cl *Cluster) Aborts() int {
 	return n
 }
 
+// AbortsOf returns how many times one transaction was aborted.
+func (cl *Cluster) AbortsOf(txn id.Txn) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.abortCount[txn]
+}
+
 // FalseDetections returns the declarations the oracle refuted at
 // declaration time.
 func (cl *Cluster) FalseDetections() int {

@@ -52,6 +52,13 @@ const (
 	// "least work lost" heuristic when ids are assigned in start
 	// order.
 	VictimYoungest
+	// VictimRandom aborts one of the same two provable cycle members
+	// chosen by an unbiased coin. The coin is a hash of the computation
+	// tag and the candidate, so a seeded simulation replays the same
+	// victims while distinct declarations still split evenly — the
+	// "no policy information" baseline the E12/E17 ablations compare
+	// the heuristics against.
+	VictimRandom
 )
 
 // String names the policy.
@@ -61,6 +68,8 @@ func (v VictimPolicy) String() string {
 		return "detected"
 	case VictimYoungest:
 		return "youngest"
+	case VictimRandom:
+		return "random"
 	default:
 		return "victim-policy-unknown"
 	}
@@ -534,8 +543,15 @@ func (c *Controller) step(sender id.Site, m msg.Message) []func() {
 	case msg.CtrlProbe:
 		after = c.handleProbeStep(sender, mm, after)
 	case msg.CtrlAbort:
-		if ts, ok := c.txns[mm.Txn]; ok && ts.status == TxnRunning {
-			after = c.abortStep(ts, after)
+		if ts, ok := c.txns[mm.Txn]; ok {
+			if ts.status == TxnRunning {
+				after = c.abortStep(ts, after)
+			}
+		} else if a, ok := c.agents[mm.Txn]; ok && a.home != c.cfg.Site {
+			// A declaring controller may only know the site a victim's
+			// agent lives on, not its home; one forward resolves it
+			// (a.home is authoritative, so this cannot loop).
+			c.send(a.home, mm)
 		}
 	default:
 		after = c.rejectStep(sender, engine.KindOf(m), ReasonUnknownType,

@@ -265,12 +265,45 @@ func (c *Controller) declareStep(comp *probeComp, closing *id.AgentEdge, after [
 	// The abort is deferred behind the OnDeadlock callback so observers
 	// (the oracle audit in particular) see the system state at the
 	// moment of declaration, before the victim's edges are torn down.
-	victim := comp.target.Txn
-	if c.cfg.Victim == VictimYoungest && closing != nil && closing.From.Txn > victim {
-		victim = closing.From.Txn
+	victim := comp.target
+	switch c.cfg.Victim {
+	case VictimYoungest:
+		if closing != nil && closing.From.Txn > victim.Txn {
+			victim = closing.From
+		}
+	case VictimRandom:
+		if closing != nil && closing.From.Txn != victim.Txn && victimCoin(comp.tag, closing.From.Txn) {
+			victim = closing.From
+		}
 	}
-	after = append(after, func() { c.Abort(victim) })
+	after = append(after, func() { c.abortVictim(victim) })
 	return after
+}
+
+// abortVictim routes a declaration's abort. The detected target always
+// has an agent here, so Abort can resolve its home; the alternative
+// candidate (the closing edge's source) may have no agent at the
+// declaring site at all — its abort is addressed to the site its agent
+// lives on, which forwards it home.
+func (c *Controller) abortVictim(victim id.Agent) {
+	if victim.Site == c.cfg.Site {
+		c.Abort(victim.Txn)
+		return
+	}
+	c.send(victim.Site, msg.CtrlAbort{Txn: victim.Txn})
+}
+
+// victimCoin is VictimRandom's unbiased coin: a splitmix64-style hash
+// of the computation tag and the alternative candidate. Declarations
+// are uniquely tagged, so across many deadlocks the choice splits
+// evenly, while a seeded replay of the same schedule aborts the same
+// victims.
+func victimCoin(tag id.CtrlTag, alt id.Txn) bool {
+	x := uint64(tag.Initiator)<<40 ^ tag.N<<16 ^ uint64(uint32(alt))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return (x^(x>>31))&1 == 1
 }
 
 // maybeScheduleDetectionStep arms the §4.3 wait timer for a blocked

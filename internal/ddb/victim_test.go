@@ -1,0 +1,120 @@
+package ddb
+
+import (
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// crossPair builds the canonical two-site write/write deadlock with
+// resolution on: T0 home S0 locks r0 then r1, T1 home S1 locks r1 then
+// r0, both retrying after abort.
+func crossPair(t *testing.T, policy VictimPolicy, seed int64) *Cluster {
+	t.Helper()
+	cl := newCluster(t, ClusterOptions{
+		Sites: 2, Resources: 2, Seed: seed, Resolve: true, Victim: policy,
+		HoldTime: int64(sim.Millisecond),
+	})
+	w := msg.LockWrite
+	mustSubmit(t, cl, TxnSpec{Txn: 0, Home: 0, Steps: []LockStep{{0, w}, {1, w}}, Retry: true})
+	mustSubmit(t, cl, TxnSpec{Txn: 1, Home: 1, Steps: []LockStep{{1, w}, {0, w}}, Retry: true})
+	run(t, cl)
+	if !cl.AllCommitted() {
+		t.Fatalf("policy %v seed %d: pair did not both commit (aborts=%d, detections=%d)",
+			policy, seed, cl.Aborts(), len(cl.Detections))
+	}
+	if cl.Aborts() == 0 {
+		t.Fatalf("policy %v seed %d: deadlock resolved without an abort", policy, seed)
+	}
+	return cl
+}
+
+func TestVictimYoungestSparesTheOlder(t *testing.T) {
+	// Youngest = the higher transaction id of the two provable cycle
+	// members at declaration. T0 must never be chosen, regardless of
+	// which controller declares or how often the pair re-deadlocks.
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		cl := crossPair(t, VictimYoungest, seed)
+		if n := cl.AbortsOf(0); n != 0 {
+			t.Fatalf("seed %d: older txn aborted %d times under VictimYoungest", seed, n)
+		}
+		if cl.AbortsOf(1) == 0 {
+			t.Fatalf("seed %d: younger txn never aborted", seed)
+		}
+	}
+}
+
+func TestVictimDetectedAbortsACycleMember(t *testing.T) {
+	// The default policy aborts the declaring computation's target; in
+	// a two-cycle that is always one of the two members, and every
+	// abort must be attributed to them.
+	cl := crossPair(t, VictimDetected, 6)
+	if got := cl.AbortsOf(0) + cl.AbortsOf(1); got != cl.Aborts() {
+		t.Fatalf("aborts landed outside the cycle: %d of %d attributed", got, cl.Aborts())
+	}
+}
+
+func TestVictimRandomIsSeedDeterministic(t *testing.T) {
+	// VictimRandom draws from a hash of the computation tag, so an
+	// identical seeded schedule must abort the identical victims.
+	type outcome struct{ a0, a1, total int }
+	runOnce := func(seed int64) outcome {
+		cl := crossPair(t, VictimRandom, seed)
+		return outcome{cl.AbortsOf(0), cl.AbortsOf(1), cl.Aborts()}
+	}
+	for _, seed := range []int64{7, 8, 9} {
+		if x, y := runOnce(seed), runOnce(seed); x != y {
+			t.Fatalf("seed %d: replay diverged: %+v vs %+v", seed, x, y)
+		}
+	}
+}
+
+func TestVictimCoinIsBalanced(t *testing.T) {
+	// The coin must not collapse to one side: over many distinct
+	// computation tags the choice splits roughly evenly.
+	heads := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tag := id.CtrlTag{Initiator: id.Site(i % 7), N: uint64(i)}
+		if victimCoin(tag, id.Txn(i%53)) {
+			heads++
+		}
+	}
+	if heads < n*4/10 || heads > n*6/10 {
+		t.Fatalf("victimCoin biased: %d/%d heads", heads, n)
+	}
+}
+
+func TestVictimAbortRoutedAcrossSites(t *testing.T) {
+	// A three-site write ring: T0@S0 -> r1@S1 (held by T1) -> r2@S2
+	// (held by T2) -> r0@S0 (held by T0). The victim can be declared at
+	// a controller that is neither its home nor where the chosen agent
+	// lives, so the abort rides CtrlAbort and is forwarded site ->
+	// home. VictimYoungest compares only the two provable members of
+	// the declaring computation — either of T1/T2 may be picked
+	// depending on which controller declares — but T0, older than every
+	// alternative, is never a candidate. Resources home at r mod sites.
+	for _, seed := range []int64{10, 11, 12} {
+		cl := newCluster(t, ClusterOptions{
+			Sites: 3, Resources: 3, Seed: seed, Resolve: true, Victim: VictimYoungest,
+			HoldTime: int64(sim.Millisecond),
+		})
+		w := msg.LockWrite
+		mustSubmit(t, cl, TxnSpec{Txn: 0, Home: 0, Steps: []LockStep{{0, w}, {1, w}}, Retry: true})
+		mustSubmit(t, cl, TxnSpec{Txn: 1, Home: 1, Steps: []LockStep{{1, w}, {2, w}}, Retry: true})
+		mustSubmit(t, cl, TxnSpec{Txn: 2, Home: 2, Steps: []LockStep{{2, w}, {0, w}}, Retry: true})
+		run(t, cl)
+		if !cl.AllCommitted() {
+			t.Fatalf("seed %d: ring did not fully commit (aborts=%d)", seed, cl.Aborts())
+		}
+		if n := cl.AbortsOf(0); n != 0 {
+			t.Fatalf("seed %d: oldest ring member aborted %d times (T1=%d T2=%d)",
+				seed, n, cl.AbortsOf(1), cl.AbortsOf(2))
+		}
+		if cl.AbortsOf(1)+cl.AbortsOf(2) == 0 {
+			t.Fatalf("seed %d: ring resolved without aborting a younger member", seed)
+		}
+	}
+}

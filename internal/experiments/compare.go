@@ -20,7 +20,24 @@ var throughputFields = map[string]bool{
 	"KFramesPerSec":     true,
 	"KMsgsPerSec":       true,
 	"WireKFramesPerSec": true,
+	"KTxnsPerSec":       true,
 }
+
+// latencyFields are the lower-is-better figures: the p99 block-to-
+// declaration latency columns of the gated rows (detectlat.go, E17).
+var latencyFields = map[string]bool{
+	"DetectP99Us": true,
+}
+
+// LatencySlackFactor scales the tolerance for latencyFields: a latency
+// row fails only when it exceeds baseline*(1+tolerance*factor) — at
+// the default 10% tolerance, 3x the baseline. Wall-clock p99 tails on
+// a loopback CI box genuinely vary ~2x run to run where throughput
+// means vary ~10%, and the regressions this column exists to catch (an
+// accidental sleep, a lost wakeup forcing a retransmit timer, a probe
+// path gone quadratic) are 10-100x, not 1.5x. A baseline of 0 (a row
+// that measures no declarations) is skipped.
+const LatencySlackFactor = 20.0
 
 // allocSuffix marks the fields where any increase is a failure,
 // regardless of tolerance: allocations per operation are deterministic,
@@ -31,7 +48,7 @@ const allocSuffix = "AllocsPerOp"
 // perf-path experiments whose rows are throughput and allocation
 // figures. The correctness experiments (exact counts, bounds) are
 // covered by the test suite instead.
-var DefaultCompareIDs = []string{"E13", "E16"}
+var DefaultCompareIDs = []string{"E13", "E16", "E17"}
 
 // DefaultTolerance is the relative throughput drop tolerated before the
 // comparison fails (0.10 = 10%).
@@ -78,7 +95,8 @@ func genericRows(rows any) ([]map[string]float64, error) {
 
 // CompareResults checks current against baseline and returns every
 // regression found: a throughput field more than tolerance below its
-// baseline, or any allocs-per-op field above it. Experiments or rows
+// baseline, a p99 latency field above baseline by more than the
+// slack-scaled tolerance, or any allocs-per-op field above it. Experiments or rows
 // present on only one side are skipped — the gate compares what both
 // runs measured (a new experiment cannot fail against a baseline that
 // predates it). Rows are matched by index; the suite's perf experiments
@@ -129,6 +147,14 @@ func CompareResults(current, baseline []Result, ids []string, tolerance float64)
 							ID: r.ID, Row: i, Field: field, Baseline: bas, Current: cur,
 							Reason: fmt.Sprintf("throughput dropped %.1f%%, tolerance %.0f%%",
 								(1-cur/bas)*100, tolerance*100),
+						})
+					}
+				case latencyFields[field]:
+					if bas > 0 && cur > bas*(1+tolerance*LatencySlackFactor) {
+						regs = append(regs, Regression{
+							ID: r.ID, Row: i, Field: field, Baseline: bas, Current: cur,
+							Reason: fmt.Sprintf("p99 latency grew %.1fx, slack %.1fx",
+								cur/bas, 1+tolerance*LatencySlackFactor),
 						})
 					}
 				case strings.HasSuffix(field, allocSuffix):

@@ -118,3 +118,60 @@ func TestCompareResultsSkipsUnmatchedExperiments(t *testing.T) {
 		t.Fatalf("unmatched experiment compared: %v", regs)
 	}
 }
+
+// latencyFixture builds a result set whose E17 sim row carries the
+// given p99 detection latency.
+func latencyFixture(p99Us, kTxns float64) []Result {
+	return []Result{
+		{ID: "E17", Claim: "open-loop", Rows: []E17Row{
+			{Runtime: "sim", Victim: "youngest", Committed: 495, KTxnsPerSec: kTxns, DetectP99Us: p99Us},
+			{Runtime: "host", Victim: "youngest", Committed: 30000, KTxnsPerSec: 19.8, DetectP99Us: 0},
+		}},
+	}
+}
+
+func TestCompareResultsCatchesSlowDeclarations(t *testing.T) {
+	baseline := viaJSON(t, latencyFixture(9000, 0.495))
+	// A synthetic slow-declaration run: p99 far beyond the slack-scaled
+	// tolerance (3x at the defaults) must fail the gate.
+	current := latencyFixture(9000*5, 0.495)
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the slow declaration", regs)
+	}
+	r := regs[0]
+	if r.ID != "E17" || r.Field != "DetectP99Us" || r.Row != 0 {
+		t.Fatalf("wrong regression attributed: %+v", r)
+	}
+}
+
+func TestCompareResultsLatencySlackAndZeroBaseline(t *testing.T) {
+	baseline := viaJSON(t, latencyFixture(9000, 0.495))
+	// Inside the slack: a 2x p99 wobble is loopback tail noise, not a
+	// regression. The host row's zero-latency baseline is skipped even
+	// though the current run reports a figure there.
+	current := latencyFixture(9000*2, 0.495)
+	current[0].Rows.([]E17Row)[1].DetectP99Us = 4000
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("latency noise or zero baseline flagged: %v", regs)
+	}
+}
+
+func TestCompareResultsCatchesTxnThroughputDrop(t *testing.T) {
+	baseline := viaJSON(t, latencyFixture(9000, 0.495))
+	current := latencyFixture(9000, 0.495*0.85)
+	regs, err := CompareResults(current, baseline, DefaultCompareIDs, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Field != "KTxnsPerSec" {
+		t.Fatalf("regressions = %v, want one KTxnsPerSec failure", regs)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+// Shared detection-latency sampler for the perf-gated experiments. The
+// ROADMAP gap the bench-compare gate had until now: it held throughput
+// and allocs/op to a floor, but a change could slow the block-to-
+// declaration path itself without moving either. Each gated experiment
+// row therefore carries a DetectP99Us column: the p99 wall-clock
+// latency from probe initiation to deadlock declaration, measured over
+// repeated ring deadlocks on the exact transport configuration whose
+// throughput the row reports. The comparison gate checks it with a
+// generous slack factor (see LatencySlackFactor) because wall-clock
+// tails are noisy where throughput means are not.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// detectLatLaps is the recorded sample count; each lap is an
+// independent 3-cycle so laps cannot contaminate each other (one big
+// shared ring would let each declaration's §5 WFGD flood — whose edge
+// sets grow with every declared node — congest the next lap's probes).
+// 128 samples put the p99 below the sample maximum, so one scheduler
+// stall cannot set the reported figure by itself.
+const (
+	detectLatLaps  = 128
+	detectLatRingN = 3
+)
+
+// tcpDetectP99Us measures the p99 probe-initiation-to-declaration
+// latency over TCP loopback transports built with the given options.
+func tcpDetectP99Us(opts transport.TCPOptions) (float64, error) {
+	var hist metrics.Hist
+	for lap := 0; lap < detectLatLaps; lap++ {
+		us, err := detectLap(opts, lap)
+		if err != nil {
+			return 0, err
+		}
+		hist.Record(us)
+	}
+	return float64(hist.Quantile(0.99)), nil
+}
+
+// detectLap runs one sample on a fresh transport (reusing one net
+// across laps lets listeners and links pile up, slowing later laps):
+// it registers a 3-ring, then runs TWO probe computations. The warmup,
+// initiated from node 1, pays the TCP dials and stream preambles on
+// all forward links and is discarded; the timed computation runs from
+// node 0 over the now-warm links. A process declares only once, so the
+// two initiations use distinct nodes of the same cycle.
+func detectLap(opts transport.TCPOptions, lap int) (int64, error) {
+	net := transport.NewTCPWithOptions(opts)
+	defer net.Close()
+	var (
+		mu     sync.Mutex
+		waiter chan struct{}
+	)
+	onDeadlock := func(id.Tag) {
+		mu.Lock()
+		w := waiter
+		waiter = nil
+		mu.Unlock()
+		if w != nil {
+			close(w)
+		}
+	}
+	procs := make([]*core.Process, detectLatRingN)
+	for i := range procs {
+		p, err := core.NewProcess(core.Config{
+			ID:         id.Proc(i + 1),
+			Transport:  net,
+			Policy:     core.InitiateManually,
+			OnDeadlock: onDeadlock,
+		})
+		if err != nil {
+			return 0, err
+		}
+		procs[i] = p
+	}
+	for i := range procs {
+		if err := procs[i].Request(id.Proc((i+1)%detectLatRingN + 1)); err != nil {
+			return 0, err
+		}
+	}
+	var sample int64
+	for _, initiator := range []int{1, 0} {
+		ch := make(chan struct{})
+		mu.Lock()
+		waiter = ch
+		mu.Unlock()
+		start := time.Now()
+		if _, ok := procs[initiator].StartProbe(); !ok {
+			return 0, fmt.Errorf("detectlat lap %d: initiator %d not blocked", lap, initiator)
+		}
+		select {
+		case <-ch:
+		case <-time.After(30 * time.Second):
+			return 0, fmt.Errorf("detectlat lap %d: detection timed out", lap)
+		}
+		if initiator == 0 {
+			sample = time.Since(start).Microseconds()
+		} else {
+			// Let the warmup declaration's WFGD flood drain before the
+			// timed computation shares its links.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	return sample, nil
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // The experiment functions are exercised at small scale so the full
@@ -276,8 +277,8 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 16 {
-		t.Fatalf("expected 16 experiments, have %d", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, have %d", len(ids))
 	}
 }
 
@@ -302,4 +303,65 @@ func TestE15HostScaling(t *testing.T) {
 	if rows[len(rows)-1].Path != "tcp" {
 		t.Fatalf("baseline row missing: %+v", rows[len(rows)-1])
 	}
+}
+
+func TestE17OpenLoop(t *testing.T) {
+	// Small host leg: the full 30k-transaction run belongs to
+	// BenchmarkE17OpenLoop.
+	rows, _, err := E17OpenLoop(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 3 sim policy rows + 1 host row, got %d", len(rows))
+	}
+	var simDeadlocks int64
+	for _, r := range rows {
+		if r.Committed == 0 {
+			t.Fatalf("row committed nothing: %+v", r)
+		}
+		if r.KTxnsPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		if r.Runtime == "sim" {
+			simDeadlocks += r.Deadlocks
+			if r.Victim == "none" && (r.FalseDeadlocks != 0 || r.UncoveredCycles != 0) {
+				t.Fatalf("no-abort row not clean: %+v", r)
+			}
+		}
+	}
+	if simDeadlocks == 0 {
+		t.Fatal("sim policy rows produced no deadlocks; the comparison is vacuous")
+	}
+	if rows[len(rows)-1].Runtime != "host" {
+		t.Fatalf("host row missing: %+v", rows[len(rows)-1])
+	}
+}
+
+func TestE17SimRowsDeterministic(t *testing.T) {
+	// The gated sim rows must replay identically: bench-compare holds
+	// their throughput and p99 columns against the committed baseline.
+	for _, victim := range []string{"none", "youngest"} {
+		a, err := workloadRun(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workloadRun(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s: sim row not deterministic:\n%+v\nvs\n%+v", victim, a, b)
+		}
+	}
+}
+
+// workloadRun executes one E17 sim leg and returns its row (E17Row is
+// comparable, so == is the whole-row check).
+func workloadRun(victim string) (E17Row, error) {
+	rep, err := workload.RunOpenLoop(e17SimConfig(victim))
+	if err != nil {
+		return E17Row{}, err
+	}
+	return rowFromReport(rep), nil
 }

@@ -148,6 +148,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E17",
+			Claim: "open-loop Zipfian workload: probes per committed txn and p99 detection latency under production-shaped load, by victim policy",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E17OpenLoop(0)
+				return r, t, err
+			},
+		},
 	}
 }
 

@@ -44,6 +44,9 @@ type E16Row struct {
 	// per second.
 	Frames            int
 	WireKFramesPerSec float64
+	// DetectP99Us is the p99 probe-initiation-to-declaration latency on
+	// a loopback pipeline under this codec (see detectlat.go).
+	DetectP99Us float64
 }
 
 // codecProbeEnv is the steady-state frame both codecs are measured on:
@@ -69,7 +72,7 @@ func E16WireCodec(wireFrames int) ([]E16Row, *metrics.Table, error) {
 	table := metrics.NewTable(
 		"E16 — wire codec cost per probe frame (gob vs binary)",
 		"codec", "enc_ns_op", "enc_allocs_op", "bytes_frame", "dec_ns_op", "dec_allocs_op",
-		"frames", "wire_kframes_s")
+		"frames", "wire_kframes_s", "detect_p99_us")
 	rows := make([]E16Row, 0, 2)
 	for _, f := range []msg.WireFormat{msg.WireGob, msg.WireBinary} {
 		row, err := codecLeg(f, wireFrames)
@@ -78,7 +81,7 @@ func E16WireCodec(wireFrames int) ([]E16Row, *metrics.Table, error) {
 		}
 		rows = append(rows, row)
 		table.AddRow(row.Codec, row.EncNsPerOp, row.EncAllocsPerOp, row.BytesPerFrame,
-			row.DecNsPerOp, row.DecAllocsPerOp, row.Frames, row.WireKFramesPerSec)
+			row.DecNsPerOp, row.DecAllocsPerOp, row.Frames, row.WireKFramesPerSec, row.DetectP99Us)
 	}
 	return rows, table, nil
 }
@@ -161,6 +164,10 @@ func codecLeg(f msg.WireFormat, wireFrames int) (E16Row, error) {
 		return row, err
 	}
 	row.WireKFramesPerSec = kfps
+	row.DetectP99Us, err = tcpDetectP99Us(transport.TCPOptions{Codec: f, MaxBatch: 64})
+	if err != nil {
+		return row, err
+	}
 	return row, nil
 }
 

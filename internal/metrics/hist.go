@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hist is an HDR-style log-linear histogram for latency samples: each
+// power-of-two range is split into histSubCount linear sub-buckets, so
+// relative error is bounded by 1/histSubCount (~3%) at every magnitude
+// while the whole structure is a fixed array of counters. Recording is
+// lock-free (one atomic add plus a max/min CAS), so shard goroutines of
+// the engine Host can record concurrently on the hot path; quantiles
+// are computed from a bucket walk and are a pure function of the
+// recorded multiset, which keeps seeded simulations byte-deterministic.
+type Hist struct {
+	counts [histArraySize]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored as ^v so the zero value means "unset"
+}
+
+const (
+	// histSubBits fixes the linear resolution: 2^histSubBits sub-buckets
+	// per power of two.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	// histArraySize covers every non-negative int64: buckets 0..31 are
+	// exact values, then (63-histSubBits) power-of-two blocks of
+	// histSubCount sub-buckets each.
+	histArraySize = histSubCount + (63-histSubBits)*histSubCount
+)
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	high := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	sub := int(v>>uint(high-histSubBits)) & (histSubCount - 1)
+	return histSubCount + (high-histSubBits)*histSubCount + sub
+}
+
+// histUpper returns the largest value that lands in bucket i — the
+// pessimistic representative quantile queries report.
+func histUpper(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	block := (i - histSubCount) / histSubCount
+	sub := (i - histSubCount) % histSubCount
+	high := block + histSubBits
+	low := int64(1)<<uint(high) + int64(sub)<<uint(high-histSubBits)
+	return low + int64(1)<<uint(high-histSubBits) - 1
+}
+
+// Record adds one sample. Negative samples are clamped to zero (a
+// latency can only be negative through clock skew, which the histogram
+// should absorb rather than corrupt on).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && ^cur <= v) || h.min.CompareAndSwap(cur, ^v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Max returns the exact largest sample, or 0 with none.
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Min returns the exact smallest sample, or 0 with none.
+func (h *Hist) Min() int64 {
+	stored := h.min.Load()
+	if stored == 0 && h.count.Load() == 0 {
+		return 0
+	}
+	if stored == 0 {
+		// All samples were clamped-to-zero or genuinely zero... stored==0
+		// only before the first Record, so with count>0 this is ^0 == -1
+		// never stored; defensively report 0.
+		return 0
+	}
+	return ^stored
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the q-th quantile (0..1) by nearest rank over the
+// buckets, reported as the bucket's upper bound so the figure never
+// understates the latency. The top rank is clamped to the exact
+// tracked maximum.
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= n {
+		return h.Max()
+	}
+	var seen uint64
+	for i := 0; i < histArraySize; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			u := histUpper(i)
+			if m := h.Max(); u > m {
+				u = m
+			}
+			return u
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds o's samples into h. Exactness of Max/Min is preserved;
+// concurrent Records during the merge may be partially included.
+func (h *Hist) Merge(o *Hist) {
+	for i := 0; i < histArraySize; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if m := o.Max(); m > 0 || o.Count() > 0 {
+		for {
+			cur := h.max.Load()
+			if m <= cur || h.max.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+	}
+	if o.Count() > 0 {
+		v := o.Min()
+		for {
+			cur := h.min.Load()
+			if (cur != 0 && ^cur <= v) || h.min.CompareAndSwap(cur, ^v) {
+				break
+			}
+		}
+	}
+}
+
+// HistStats is a value snapshot of a histogram's summary figures.
+type HistStats struct {
+	Count         uint64
+	Mean          float64
+	P50, P90, P99 int64
+	Min, Max      int64
+}
+
+// Stats returns the summary snapshot.
+func (h *Hist) Stats() HistStats {
+	return HistStats{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}

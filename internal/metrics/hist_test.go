@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistExactSmallValues(t *testing.T) {
+	h := NewHist()
+	for v := int64(0); v < histSubCount; v++ {
+		h.Record(v)
+	}
+	if got := h.Count(); got != histSubCount {
+		t.Fatalf("count = %d, want %d", got, histSubCount)
+	}
+	if h.Min() != 0 || h.Max() != histSubCount-1 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	// Values below histSubCount occupy exact buckets, so quantiles are
+	// exact: nearest rank 16 of 0..31 is 15.
+	if p := h.Quantile(0.5); p != histSubCount/2-1 {
+		t.Fatalf("p50 = %d, want %d", p, histSubCount/2-1)
+	}
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	// Every probe value must land in a bucket whose range contains it,
+	// and the bucket's upper bound must be within the log-linear relative
+	// error (1/histSubCount) of the value.
+	probes := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, (1 << 40) + 7, 1<<62 + 1}
+	for _, v := range probes {
+		i := histIndex(v)
+		u := histUpper(i)
+		if u < v {
+			t.Fatalf("value %d: bucket %d upper bound %d below value", v, i, u)
+		}
+		if v >= histSubCount {
+			if float64(u-v) > float64(v)/histSubCount+1 {
+				t.Fatalf("value %d: upper bound %d exceeds relative error bound", v, u)
+			}
+		} else if u != v {
+			t.Fatalf("value %d: expected exact bucket, got upper %d", v, u)
+		}
+		if i < 0 || i >= histArraySize {
+			t.Fatalf("value %d: index %d out of range", v, i)
+		}
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHist()
+	samples := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1_000_000)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// Upper-bound reporting: got >= a value near exact, within one
+		// bucket of relative error plus rank slop.
+		lo := exact - exact/16 - 1
+		hi := exact + exact/16 + exact/histSubCount + 2
+		if got < lo || got > hi {
+			t.Fatalf("q=%v: got %d, exact %d (window [%d,%d])", q, got, exact, lo, hi)
+		}
+	}
+	if h.Quantile(1.0) != h.Max() {
+		t.Fatalf("q=1 should be exact max")
+	}
+	mean := h.Mean()
+	var sum float64
+	for _, v := range samples {
+		sum += float64(v)
+	}
+	want := sum / float64(len(samples))
+	if mean < want-0.5 || mean > want+0.5 {
+		t.Fatalf("mean = %v, want %v", mean, want)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram should report zeros: %+v", h.Stats())
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist()
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample should clamp to 0: %+v", h.Stats())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b, all := NewHist(), NewHist(), NewHist()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %+v vs %+v", a.Stats(), all.Stats())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q=%v: merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	h := NewHist()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Int63n(1 << 20))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Max() >= 1<<20 || h.Min() < 0 {
+		t.Fatalf("min/max out of range: %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistDeterministic(t *testing.T) {
+	build := func() HistStats {
+		h := NewHist()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			h.Record(rng.Int63n(1 << 24))
+		}
+		return h.Stats()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("same samples produced different stats: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzByte returns data[i], or a fixed default when the input is too
+// short — so a truncated corpus entry decodes to a definite config
+// instead of branching on length.
+func fuzzByte(data []byte, i int, def byte) byte {
+	if i < len(data) {
+		return data[i]
+	}
+	return def
+}
+
+// configFromFuzz maps an arbitrary byte string onto an OpenLoopConfig.
+// Field ranges deliberately straddle the validation boundaries (theta
+// can exceed 1, sites can be 0, the distribution and victim names can
+// be bogus) so the fuzzer exercises both rejection and execution paths.
+// The expensive knobs are hard-bounded here — duration under 60ms of
+// virtual time, at most 255 transactions, a fixed event budget — so any
+// config that passes validation runs in well under a second.
+func configFromFuzz(data []byte) OpenLoopConfig {
+	dists := []string{"uniform", "zipfian", "hotspot", "bogus"}
+	victims := []string{VictimNone, VictimDetected, VictimYoungest, VictimRandom, "oldest"}
+	minSteps := int(fuzzByte(data, 9, 2) % 6)
+	return OpenLoopConfig{
+		Runtime:     RuntimeSim,
+		Sites:       int(fuzzByte(data, 0, 4) % 17),
+		Keys:        int64(fuzzByte(data, 1, 10)) * 7,
+		Dist:        dists[fuzzByte(data, 2, 0)%4],
+		Theta:       float64(fuzzByte(data, 3, 64)) / 128,
+		HotFrac:     float64(fuzzByte(data, 4, 32)) / 255,
+		HotOpFrac:   float64(fuzzByte(data, 5, 128)) / 255,
+		RatePerSec:  float64(fuzzByte(data, 6, 50)) * 20,
+		DurationNs:  int64(fuzzByte(data, 7, 20)%40) * int64(time.Millisecond),
+		MaxTxns:     int64(fuzzByte(data, 8, 64) % 128),
+		Mix:         TxnMix{MinSteps: minSteps, MaxSteps: minSteps + int(fuzzByte(data, 10, 1)%6), WriteFrac: float64(fuzzByte(data, 11, 100)) / 200},
+		ThinkNs:     int64(fuzzByte(data, 12, 5)) * int64(20*time.Microsecond),
+		HoldNs:      int64(fuzzByte(data, 13, 10)) * int64(20*time.Microsecond),
+		DelayNs:     int64(fuzzByte(data, 14, 50)%100+1) * int64(100*time.Microsecond),
+		Victim:      victims[fuzzByte(data, 15, 0)%5],
+		Retry:       fuzzByte(data, 16, 0)&1 == 1,
+		BackoffNs:   int64(2 * time.Millisecond),
+		Seed:        int64(fuzzByte(data, 17, 1)),
+		CheckOracle: fuzzByte(data, 18, 0)&1 == 1,
+		MaxEvents:   1 << 16,
+	}
+}
+
+// FuzzOpenLoopConfig feeds arbitrary configurations to the open-loop
+// runner: every input must either be rejected by Validate with an
+// error, or complete a short bounded sim run without panicking and
+// without protocol errors. When the oracle check is enabled and no
+// victim aborts are in play, declarations must also survive the audit.
+func FuzzOpenLoopConfig(f *testing.F) {
+	f.Add([]byte{})
+	// A contended zipfian run with the youngest-waiter policy and retry.
+	f.Add([]byte{8, 8, 1, 115, 32, 128, 120, 40, 80, 2, 2, 160, 5, 10, 40, 2, 1, 7, 0})
+	// Hotspot with no victim aborts and the oracle audit on.
+	f.Add([]byte{4, 6, 2, 64, 25, 230, 100, 30, 60, 2, 1, 180, 2, 5, 40, 0, 0, 3, 1})
+	// Rejected: zipfian theta decodes to >= 1.
+	f.Add([]byte{8, 8, 1, 255, 32, 128, 120, 40, 80, 2, 2, 160, 5, 10, 40, 2, 1, 7, 0})
+	// Rejected: zero sites.
+	f.Add([]byte{0, 8, 0, 64, 32, 128, 120, 40, 80, 2, 2, 160, 5, 10, 40, 2, 1, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := configFromFuzz(data)
+		if err := cfg.Validate(); err != nil {
+			return // rejection is a correct outcome
+		}
+		rep, err := RunOpenLoop(cfg)
+		if err != nil {
+			t.Fatalf("validated config failed to run: %v\nconfig: %+v", err, cfg)
+		}
+		if rep.ProtocolErrors != 0 {
+			t.Fatalf("%d protocol errors\nconfig: %+v", rep.ProtocolErrors, cfg)
+		}
+		if cfg.CheckOracle && cfg.Victim == VictimNone && rep.FalseDeadlocks != 0 {
+			t.Fatalf("%d oracle-refuted declarations with no aborts in play\nconfig: %+v", rep.FalseDeadlocks, cfg)
+		}
+		if cfg.MaxTxns > 0 && rep.Started > int64(cfg.MaxTxns) {
+			t.Fatalf("started %d transactions past the %d cap", rep.Started, cfg.MaxTxns)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KeyDist draws resource keys in [0, Keys) for the open-loop generator.
+// Implementations are pure functions of the supplied random source, so
+// a seeded run replays the same key stream.
+type KeyDist interface {
+	// Next returns the next key in [0, Keys).
+	Next(rng *rand.Rand) int64
+}
+
+// KeyDistConfig parameterizes a distribution. Fields irrelevant to the
+// chosen distribution are ignored.
+type KeyDistConfig struct {
+	// Keys is the size of the key space.
+	Keys int64
+	// Theta is the zipfian skew in (0, 1); 0.99 is the YCSB default.
+	Theta float64
+	// HotFrac is the fraction of the key space forming the hotspot's hot
+	// set; HotOpFrac is the fraction of operations directed at it.
+	HotFrac   float64
+	HotOpFrac float64
+}
+
+// KeyDistMaker builds a distribution from its config, validating the
+// parameters it uses.
+type KeyDistMaker func(cfg KeyDistConfig) (KeyDist, error)
+
+// keyDistMakers is the distribution registry; builders self-register in
+// init so cmd flags and fuzzing enumerate the same set.
+var keyDistMakers = map[string]KeyDistMaker{}
+
+// RegisterKeyDist adds a named distribution; duplicate names panic at
+// init time.
+func RegisterKeyDist(name string, mk KeyDistMaker) {
+	if _, dup := keyDistMakers[name]; dup {
+		panic(fmt.Sprintf("workload: key distribution %q registered twice", name))
+	}
+	keyDistMakers[name] = mk
+}
+
+// NewKeyDist builds the named distribution.
+func NewKeyDist(name string, cfg KeyDistConfig) (KeyDist, error) {
+	mk, ok := keyDistMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown key distribution %q (have %v)", name, KeyDistNames())
+	}
+	if cfg.Keys <= 0 {
+		return nil, fmt.Errorf("workload: key distribution needs a positive key space, got %d", cfg.Keys)
+	}
+	return mk(cfg)
+}
+
+// KeyDistNames returns the sorted registered distribution names.
+func KeyDistNames() []string {
+	out := make([]string, 0, len(keyDistMakers))
+	for name := range keyDistMakers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterKeyDist("uniform", func(cfg KeyDistConfig) (KeyDist, error) {
+		return uniformDist{n: cfg.Keys}, nil
+	})
+	RegisterKeyDist("zipfian", newZipfian)
+	RegisterKeyDist("hotspot", newHotspot)
+}
+
+// uniformDist draws keys uniformly: the no-contention-structure
+// baseline.
+type uniformDist struct {
+	n int64
+}
+
+func (d uniformDist) Next(rng *rand.Rand) int64 { return rng.Int63n(d.n) }
+
+// zipfianMaxKeys bounds the key space because building the
+// distribution sums the harmonic series over all keys.
+const zipfianMaxKeys = 1 << 24
+
+// zipfianDist is the Gray et al. bounded zipfian generator YCSB uses:
+// key k is drawn with probability proportional to 1/(k+1)^theta. Keys
+// are deliberately not scrambled — key 0 is the hottest — so the hot
+// set is contiguous and the lock-contention structure of a run is easy
+// to reason about from the report.
+type zipfianDist struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+func newZipfian(cfg KeyDistConfig) (KeyDist, error) {
+	if cfg.Theta <= 0 || cfg.Theta >= 1 {
+		return nil, fmt.Errorf("workload: zipfian theta must be in (0,1), got %v", cfg.Theta)
+	}
+	if cfg.Keys > zipfianMaxKeys {
+		return nil, fmt.Errorf("workload: zipfian key space capped at %d, got %d", zipfianMaxKeys, cfg.Keys)
+	}
+	d := &zipfianDist{n: cfg.Keys, theta: cfg.Theta}
+	for i := int64(0); i < d.n; i++ {
+		d.zetan += 1 / math.Pow(float64(i+1), d.theta)
+	}
+	d.zeta2 = 1
+	if d.n > 1 {
+		d.zeta2 = 1 + 1/math.Pow(2, d.theta)
+	}
+	d.alpha = 1 / (1 - d.theta)
+	d.eta = (1 - math.Pow(2/float64(d.n), 1-d.theta)) / (1 - d.zeta2/d.zetan)
+	return d, nil
+}
+
+func (d *zipfianDist) Next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * d.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, d.theta) {
+		return 1
+	}
+	k := int64(float64(d.n) * math.Pow(d.eta*u-d.eta+1, d.alpha))
+	if k >= d.n {
+		k = d.n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// hotspotDist sends HotOpFrac of the draws to the first
+// ceil(HotFrac*Keys) keys and spreads the rest uniformly over the cold
+// remainder — the discontinuous-skew counterpart to zipfian.
+type hotspotDist struct {
+	n   int64
+	hot int64
+	opF float64
+}
+
+func newHotspot(cfg KeyDistConfig) (KeyDist, error) {
+	if cfg.HotFrac <= 0 || cfg.HotFrac > 1 {
+		return nil, fmt.Errorf("workload: hotspot hot-frac must be in (0,1], got %v", cfg.HotFrac)
+	}
+	if cfg.HotOpFrac < 0 || cfg.HotOpFrac > 1 {
+		return nil, fmt.Errorf("workload: hotspot hot-op-frac must be in [0,1], got %v", cfg.HotOpFrac)
+	}
+	hot := int64(math.Ceil(cfg.HotFrac * float64(cfg.Keys)))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > cfg.Keys {
+		hot = cfg.Keys
+	}
+	return hotspotDist{n: cfg.Keys, hot: hot, opF: cfg.HotOpFrac}, nil
+}
+
+func (d hotspotDist) Next(rng *rand.Rand) int64 {
+	if d.hot >= d.n || rng.Float64() < d.opF {
+		return rng.Int63n(d.hot)
+	}
+	return d.hot + rng.Int63n(d.n-d.hot)
+}

@@ -1,0 +1,363 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// contendedSimConfig runs the generator near service capacity: enough
+// write-write conflict on a skewed key space that deadlocks form, but
+// with resolution on and arrival rate low enough that retried victims
+// drain instead of compounding into an abort storm. Open-loop overload
+// collapse is real behavior — and far too expensive for a unit test.
+func contendedSimConfig(seed int64) OpenLoopConfig {
+	return OpenLoopConfig{
+		Runtime:     RuntimeSim,
+		Sites:       8,
+		Keys:        256,
+		Dist:        "zipfian",
+		Theta:       0.8,
+		RatePerSec:  500,
+		DurationNs:  int64(1 * time.Second),
+		MaxTxns:     500,
+		Mix:         TxnMix{MinSteps: 2, MaxSteps: 4, WriteFrac: 0.8},
+		ThinkNs:     int64(300 * time.Microsecond),
+		HoldNs:      int64(800 * time.Microsecond),
+		DelayNs:     int64(2 * time.Millisecond),
+		Victim:      VictimYoungest,
+		Retry:       true,
+		BackoffNs:   int64(20 * time.Millisecond),
+		Seed:        seed,
+		CheckOracle: true,
+		Trace:       true,
+	}
+}
+
+// noAbortSimConfig is hotter than contendedSimConfig — with no victim
+// aborts the cycles persist and later arrivals pile up behind them, so
+// the run cost stays bounded regardless of contention. Every seed in
+// 1..16 forms at least one genuine cycle under this configuration.
+func noAbortSimConfig(seed int64) OpenLoopConfig {
+	cfg := contendedSimConfig(seed)
+	cfg.Keys = 96
+	cfg.Theta = 0.9
+	cfg.RatePerSec = 800
+	cfg.MaxTxns = 600
+	cfg.Victim = VictimNone
+	cfg.Retry = false
+	return cfg
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	base := contendedSimConfig(1)
+	cases := []struct {
+		name   string
+		mutate func(*OpenLoopConfig)
+	}{
+		{"bad runtime", func(c *OpenLoopConfig) { c.Runtime = "cloud" }},
+		{"zero sites", func(c *OpenLoopConfig) { c.Sites = 0 }},
+		{"too many sites", func(c *OpenLoopConfig) { c.Sites = maxOpenLoopSites + 1 }},
+		{"zero keys", func(c *OpenLoopConfig) { c.Keys = 0 }},
+		{"zero rate", func(c *OpenLoopConfig) { c.RatePerSec = 0 }},
+		{"negative rate", func(c *OpenLoopConfig) { c.RatePerSec = -5 }},
+		{"zero duration", func(c *OpenLoopConfig) { c.DurationNs = 0 }},
+		{"excessive duration", func(c *OpenLoopConfig) { c.DurationNs = maxOpenLoopDuration + 1 }},
+		{"too many arrivals", func(c *OpenLoopConfig) {
+			c.RatePerSec = maxOpenLoopRate
+			c.DurationNs = int64(time.Hour)
+			c.MaxTxns = 0
+		}},
+		{"negative max txns", func(c *OpenLoopConfig) { c.MaxTxns = -1 }},
+		{"zero min steps", func(c *OpenLoopConfig) { c.Mix.MinSteps = 0 }},
+		{"inverted steps", func(c *OpenLoopConfig) { c.Mix.MinSteps = 5; c.Mix.MaxSteps = 2 }},
+		{"steps exceed keys", func(c *OpenLoopConfig) { c.Keys = 2; c.Mix.MaxSteps = 3 }},
+		{"bad write frac", func(c *OpenLoopConfig) { c.Mix.WriteFrac = 1.5 }},
+		{"negative think", func(c *OpenLoopConfig) { c.ThinkNs = -1 }},
+		{"bad shards", func(c *OpenLoopConfig) { c.Shards = 1000 }},
+		{"bad victim", func(c *OpenLoopConfig) { c.Victim = "oldest" }},
+		{"unknown dist", func(c *OpenLoopConfig) { c.Dist = "pareto" }},
+		{"zipfian theta zero", func(c *OpenLoopConfig) { c.Theta = 0 }},
+		{"zipfian theta one", func(c *OpenLoopConfig) { c.Theta = 1 }},
+		{"zipfian keys cap", func(c *OpenLoopConfig) { c.Keys = zipfianMaxKeys + 1 }},
+		{"hotspot bad hot frac", func(c *OpenLoopConfig) { c.Dist = "hotspot"; c.HotFrac = 0 }},
+		{"hotspot bad op frac", func(c *OpenLoopConfig) { c.Dist = "hotspot"; c.HotFrac = 0.1; c.HotOpFrac = 2 }},
+		{"host oracle needs no-abort", func(c *OpenLoopConfig) {
+			c.Runtime = RuntimeHost
+			c.CheckOracle = true
+			c.Victim = VictimYoungest
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config should validate: %v", err)
+	}
+}
+
+func TestOpenLoopSimProducesDeadlocks(t *testing.T) {
+	rep, err := RunOpenLoop(contendedSimConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsExhausted {
+		t.Fatal("run hit the event guard; raise MaxEvents or cool the config")
+	}
+	if rep.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if rep.Deadlocks == 0 {
+		t.Fatal("contended config produced no deadlocks; the test proves nothing")
+	}
+	// With resolution on, a declaration may be refuted at the instant it
+	// lands: a concurrent victim abort can dissolve part of the cycle
+	// while the closing probe is in flight. Those stale declarations are
+	// counted, not forbidden — the zero-false-deadlock guarantee is
+	// asserted under victim "none" (TestOpenLoopSoundness), the regime
+	// where the paper's no-spontaneous-dissolution premise holds.
+	if rep.FalseDeadlocks >= rep.Deadlocks {
+		t.Fatalf("every declaration refuted (false=%d of %d): detection is broken outright",
+			rep.FalseDeadlocks, rep.Deadlocks)
+	}
+	if rep.ProtocolErrors != 0 {
+		t.Fatalf("%d protocol errors", rep.ProtocolErrors)
+	}
+	if rep.DetectCount == 0 || rep.DetectP99Us <= 0 || rep.DetectMaxUs < rep.DetectP99Us {
+		t.Fatalf("detection latency histogram incoherent: %+v", rep)
+	}
+	if rep.ProbesPerCommit <= 0 {
+		t.Fatalf("probes per commit should be positive under contention, got %v", rep.ProbesPerCommit)
+	}
+	if rep.Stuck != 0 {
+		t.Fatalf("resolving run left %d transactions stuck", rep.Stuck)
+	}
+}
+
+func TestOpenLoopSimDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 6} {
+		a, err := RunOpenLoop(contendedSimConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunOpenLoop(contendedSimConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// WallSec is the only wall-clock-derived field and stays zero
+		// under sim; everything else, including the full declaration
+		// trace, must replay identically.
+		a.WallSec, b.WallSec = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: same seed, different reports:\n%+v\nvs\n%+v", seed, a, b)
+		}
+		if len(a.Declarations) == 0 {
+			t.Fatalf("seed %d: no declarations traced", seed)
+		}
+	}
+}
+
+func TestOpenLoopVictimPolicies(t *testing.T) {
+	// Every abort policy must run clean; the no-abort run leaves
+	// deadlocked transactions stuck instead of aborting them.
+	for _, victim := range []string{VictimNone, VictimDetected, VictimYoungest, VictimRandom} {
+		var cfg OpenLoopConfig
+		if victim == VictimNone {
+			cfg = noAbortSimConfig(5)
+		} else {
+			cfg = contendedSimConfig(1)
+			cfg.Victim = victim
+		}
+		rep, err := RunOpenLoop(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", victim, err)
+		}
+		if rep.ProtocolErrors != 0 {
+			t.Fatalf("%s: %d protocol errors", victim, rep.ProtocolErrors)
+		}
+		if rep.Deadlocks == 0 {
+			t.Fatalf("%s: no deadlocks under the contended config", victim)
+		}
+		if victim == VictimNone {
+			if rep.FalseDeadlocks != 0 {
+				t.Fatalf("%s: %d declarations refuted with no aborts in play", victim, rep.FalseDeadlocks)
+			}
+			if rep.Stuck == 0 {
+				t.Fatalf("%s: no-abort run should leave deadlocked transactions stuck", victim)
+			}
+			if rep.UncoveredCycles != 0 {
+				t.Fatalf("%s: %d persistent cycles never declared", victim, rep.UncoveredCycles)
+			}
+		} else {
+			if rep.Aborted == 0 {
+				t.Fatalf("%s: resolving run recorded no aborts", victim)
+			}
+			if rep.Stuck != 0 {
+				t.Fatalf("%s: resolving run left %d transactions stuck", victim, rep.Stuck)
+			}
+		}
+	}
+}
+
+func TestOpenLoopMaxTxnsCap(t *testing.T) {
+	cfg := contendedSimConfig(9)
+	cfg.MaxTxns = 100
+	rep, err := RunOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Started != 100 {
+		t.Fatalf("started %d, want exactly the cap 100", rep.Started)
+	}
+}
+
+func TestOpenLoopHostSmoke(t *testing.T) {
+	cfg := OpenLoopConfig{
+		Runtime:     RuntimeHost,
+		Sites:       64,
+		Shards:      4,
+		Keys:        48,
+		Dist:        "hotspot",
+		HotFrac:     0.25,
+		HotOpFrac:   0.8,
+		RatePerSec:  2000,
+		DurationNs:  int64(400 * time.Millisecond),
+		Mix:         TxnMix{MinSteps: 2, MaxSteps: 3, WriteFrac: 0.9},
+		ThinkNs:     int64(200 * time.Microsecond),
+		HoldNs:      int64(500 * time.Microsecond),
+		DelayNs:     int64(2 * time.Millisecond),
+		Victim:      VictimNone,
+		Seed:        42,
+		CheckOracle: true,
+		SettleNs:    int64(2 * time.Second),
+	}
+	rep, err := RunOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed == 0 {
+		t.Fatal("host run committed nothing")
+	}
+	if rep.ProtocolErrors != 0 {
+		t.Fatalf("%d protocol errors", rep.ProtocolErrors)
+	}
+	if rep.FalseDeadlocks != 0 {
+		t.Fatalf("%d oracle-refuted declarations", rep.FalseDeadlocks)
+	}
+	if rep.UncoveredCycles != 0 {
+		t.Fatalf("%d persistent cycles never declared", rep.UncoveredCycles)
+	}
+	if rep.WallSec <= 0 || rep.DurationSec <= 0 {
+		t.Fatalf("host run must report wall timing: %+v", rep)
+	}
+}
+
+func TestOpenLoopHostResolvingRun(t *testing.T) {
+	cfg := OpenLoopConfig{
+		Runtime:    RuntimeHost,
+		Sites:      64,
+		Shards:     4,
+		Keys:       48,
+		Dist:       "uniform",
+		RatePerSec: 2000,
+		DurationNs: int64(300 * time.Millisecond),
+		Mix:        TxnMix{MinSteps: 2, MaxSteps: 3, WriteFrac: 0.9},
+		ThinkNs:    int64(200 * time.Microsecond),
+		HoldNs:     int64(500 * time.Microsecond),
+		DelayNs:    int64(2 * time.Millisecond),
+		Victim:     VictimYoungest,
+		Retry:      true,
+		BackoffNs:  int64(5 * time.Millisecond),
+		Seed:       13,
+		SettleNs:   int64(2 * time.Second),
+	}
+	rep, err := RunOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed == 0 || rep.ProtocolErrors != 0 {
+		t.Fatalf("resolving host run: committed=%d protoerrs=%d", rep.Committed, rep.ProtocolErrors)
+	}
+}
+
+func TestKeyDistRegistry(t *testing.T) {
+	names := KeyDistNames()
+	want := []string{"hotspot", "uniform", "zipfian"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registered distributions = %v, want %v", names, want)
+	}
+	if _, err := NewKeyDist("nope", KeyDistConfig{Keys: 10}); err == nil {
+		t.Fatal("unknown distribution should error")
+	}
+}
+
+func TestKeyDistShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, draws = 1000, 200000
+
+	uni, err := NewKeyDist("uniform", KeyDistConfig{Keys: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf, err := NewKeyDist("zipfian", KeyDistConfig{Keys: n, Theta: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewKeyDist("hotspot", KeyDistConfig{Keys: n, HotFrac: 0.1, HotOpFrac: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(d KeyDist, below int64) (frac float64) {
+		hits := 0
+		for i := 0; i < draws; i++ {
+			k := d.Next(rng)
+			if k < 0 || k >= n {
+				t.Fatalf("key %d out of range", k)
+			}
+			if k < below {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	if f := count(uni, n/10); f < 0.08 || f > 0.12 {
+		t.Fatalf("uniform: first decile drew %.3f of ops, want ~0.10", f)
+	}
+	if f := count(zipf, n/10); f < 0.5 {
+		t.Fatalf("zipfian theta=0.99: first decile drew %.3f of ops, want heavy skew", f)
+	}
+	if f := count(hot, n/10); f < 0.85 || f > 0.95 {
+		t.Fatalf("hotspot 10%%/90%%: hot set drew %.3f of ops, want ~0.90", f)
+	}
+}
+
+func TestTxnGenDistinctKeys(t *testing.T) {
+	dist, err := NewKeyDist("zipfian", KeyDistConfig{Keys: 8, Theta: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &txnGen{dist: dist, mix: TxnMix{MinSteps: 8, MaxSteps: 8, WriteFrac: 0.5}, sites: 4, keys: 8}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		home, steps := g.next(rng)
+		if int(home) >= 4 || home < 0 {
+			t.Fatalf("home %v out of range", home)
+		}
+		if len(steps) != 8 {
+			t.Fatalf("want 8 steps, got %d", len(steps))
+		}
+		seen := map[int32]bool{}
+		for _, s := range steps {
+			if seen[int32(s.Resource)] {
+				t.Fatalf("duplicate resource %v in script", s.Resource)
+			}
+			seen[int32(s.Resource)] = true
+		}
+	}
+}

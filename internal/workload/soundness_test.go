@@ -1,0 +1,60 @@
+package workload
+
+import "testing"
+
+// TestOpenLoopSoundness is the oracle-backed check of the paper's two
+// central claims, across 16 seeds of a contended open-loop workload run
+// with victim "none" — the regime matching the paper's premise that
+// waits never dissolve spontaneously (§2: a deadlocked process stays
+// deadlocked until resolution, and this run resolves nothing).
+//
+//   - Soundness (Theorem 1, "no false deadlocks"): every declaration is
+//     audited against the oracle's global wait-for graph at the instant
+//     it lands; a single refuted declaration fails the run.
+//   - Completeness (Theorem 2): after the run quiesces, every cycle of
+//     dark edges in the oracle graph must contain at least one agent
+//     that was declared deadlocked; UncoveredCycles counts violations.
+//
+// With aborts enabled these properties genuinely weaken — a victim
+// abort can dissolve a wait while a closing probe carrying already-
+// accumulated labels is in flight, so a declaration can be stale by the
+// time it lands. That regime is exercised (and its stale declarations
+// merely counted) in TestOpenLoopSimProducesDeadlocks.
+func TestOpenLoopSoundness(t *testing.T) {
+	totalDeadlocks := int64(0)
+	for seed := int64(1); seed <= 16; seed++ {
+		rep, err := RunOpenLoop(noAbortSimConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.FalseDeadlocks != 0 {
+			t.Errorf("seed %d: %d declarations refuted by the oracle at declaration time", seed, rep.FalseDeadlocks)
+		}
+		if rep.UncoveredCycles != 0 {
+			t.Errorf("seed %d: %d persistent cycles never declared by any constituent", seed, rep.UncoveredCycles)
+		}
+		if rep.ProtocolErrors != 0 {
+			t.Errorf("seed %d: %d protocol errors", seed, rep.ProtocolErrors)
+		}
+		if rep.Deadlocks == 0 {
+			t.Errorf("seed %d: no deadlocks formed; the seed proves nothing — recalibrate", seed)
+		}
+		if rep.EventsExhausted {
+			t.Errorf("seed %d: run hit the event guard before quiescing", seed)
+		}
+		// The declaration trace must agree with the counters: every
+		// declaration was oracle-checked and confirmed genuine.
+		for _, d := range rep.Declarations {
+			if !d.Checked || !d.True {
+				t.Errorf("seed %d: declaration of %v not confirmed genuine: %+v", seed, d.Txn, d)
+			}
+		}
+		if int64(len(rep.Declarations)) != rep.Deadlocks {
+			t.Errorf("seed %d: trace has %d declarations, counters say %d", seed, len(rep.Declarations), rep.Deadlocks)
+		}
+		totalDeadlocks += rep.Deadlocks
+	}
+	if totalDeadlocks == 0 {
+		t.Fatal("no deadlocks across any seed")
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ddb"
+	"repro/internal/id"
+	"repro/internal/msg"
+)
+
+// TxnMix shapes the transaction scripts the open-loop generator
+// submits: how many locks each transaction takes and in which mode.
+type TxnMix struct {
+	// MinSteps/MaxSteps bound the script length (locks per
+	// transaction), inclusive.
+	MinSteps int `json:"min_steps"`
+	MaxSteps int `json:"max_steps"`
+	// WriteFrac is the probability each lock is exclusive; reads are
+	// shared and only conflict with writes.
+	WriteFrac float64 `json:"write_frac"`
+}
+
+// validate checks the mix against the key space.
+func (m TxnMix) validate(keys int64) error {
+	if m.MinSteps < 1 {
+		return fmt.Errorf("workload: txn mix needs min steps >= 1, got %d", m.MinSteps)
+	}
+	if m.MaxSteps < m.MinSteps {
+		return fmt.Errorf("workload: txn mix max steps %d below min %d", m.MaxSteps, m.MinSteps)
+	}
+	if int64(m.MaxSteps) > keys {
+		return fmt.Errorf("workload: txn mix max steps %d exceeds key space %d", m.MaxSteps, keys)
+	}
+	if m.WriteFrac < 0 || m.WriteFrac > 1 {
+		return fmt.Errorf("workload: txn mix write-frac must be in [0,1], got %v", m.WriteFrac)
+	}
+	return nil
+}
+
+// txnGen turns key draws into transaction scripts: a home site and a
+// sequence of distinct-resource lock steps in draw order (draw order,
+// not sorted order — unordered acquisition is what makes deadlock
+// possible).
+type txnGen struct {
+	dist  KeyDist
+	mix   TxnMix
+	sites int
+	keys  int64
+}
+
+// next generates one transaction. The dedup loop re-draws colliding
+// keys; under extreme skew it falls back to a linear probe from the
+// collision point so generation always terminates.
+func (g *txnGen) next(rng *rand.Rand) (id.Site, []ddb.LockStep) {
+	home := id.Site(rng.Intn(g.sites))
+	steps := g.mix.MinSteps
+	if g.mix.MaxSteps > g.mix.MinSteps {
+		steps += rng.Intn(g.mix.MaxSteps - g.mix.MinSteps + 1)
+	}
+	chosen := make(map[int64]struct{}, steps)
+	script := make([]ddb.LockStep, 0, steps)
+	for len(script) < steps {
+		k := g.dist.Next(rng)
+		if _, dup := chosen[k]; dup {
+			for tries := 0; tries < 8; tries++ {
+				k = g.dist.Next(rng)
+				if _, dup = chosen[k]; !dup {
+					break
+				}
+			}
+			for dup {
+				k = (k + 1) % g.keys
+				_, dup = chosen[k]
+			}
+		}
+		chosen[k] = struct{}{}
+		mode := msg.LockRead
+		if rng.Float64() < g.mix.WriteFrac {
+			mode = msg.LockWrite
+		}
+		script = append(script, ddb.LockStep{Resource: id.Resource(k), Mode: mode})
+	}
+	return home, script
+}
