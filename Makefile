@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare check fuzz-smoke chaos-smoke host-smoke load-smoke cover experiments examples clean
+.PHONY: all build vet lint test race bench bench-json bench-compare check fuzz-smoke chaos-smoke host-smoke load-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -11,6 +11,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: staticcheck when it is on PATH (CI installs it in
+# the lint job), falling back to go vet so the target works on a box
+# with nothing but the Go toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -22,17 +33,18 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark tables; BENCH_baseline.json is a committed
-# snapshot of this output. E13 (ingress throughput) and E16 (wire-codec
-# cost, with allocs/op and bytes/op columns) double as the CI perf
-# floor checked by bench-compare.
+# snapshot of this output. E13 (ingress throughput), E16 (wire-codec
+# cost, with encode AND decode allocs/op columns) and E18 (the
+# assembled writev -> pooled decode -> SPSC ring pipeline) double as
+# the CI perf floor checked by bench-compare.
 bench-json:
 	$(GO) run ./cmd/cmhbench -json | tee BENCH_baseline.json
 
 # The perf-regression gate: re-measure the gated experiments (E13, E16,
-# E17) on the current tree and fail on a >10% throughput drop, ANY
-# allocs/op increase, or a p99 detection-latency blowup (> 3x baseline)
-# against the committed baseline (CI runs this as the bench-compare
-# job).
+# E17, E18) on the current tree and fail on a >10% throughput drop, ANY
+# allocs/op increase (encode and decode rows both count), or a p99
+# detection-latency blowup (> 3x baseline) against the committed
+# baseline (CI runs this as the bench-compare job).
 bench-compare:
 	$(GO) run ./cmd/cmhbench -compare BENCH_baseline.json
 

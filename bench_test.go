@@ -323,10 +323,14 @@ func BenchmarkE16WireCodec(b *testing.B) {
 		if gob == nil || bin == nil {
 			b.Fatalf("E16 missing a codec row: %+v", rows)
 		}
-		// The tentpole claim: the steady-state probe encode path performs
-		// zero heap allocations per frame.
+		// The tentpole claim: the steady-state probe encode AND decode
+		// paths perform zero heap allocations per frame (decode returns
+		// pooled structs; the consumer recycles them).
 		if bin.EncAllocsPerOp != 0 {
 			b.Fatalf("E16: binary encode path allocates %.1f/op, want 0", bin.EncAllocsPerOp)
+		}
+		if bin.DecAllocsPerOp != 0 {
+			b.Fatalf("E16: binary decode path allocates %.1f/op, want 0", bin.DecAllocsPerOp)
 		}
 		// The binary codec must sustain at least 2x the best committed
 		// intra-host message rate of E15 (BENCH_baseline.json tops out
@@ -341,6 +345,32 @@ func BenchmarkE16WireCodec(b *testing.B) {
 		if bin.WireKFramesPerSec < gob.WireKFramesPerSec {
 			b.Fatalf("E16: binary wire leg slower than gob: %.1f < %.1f kframes/s",
 				bin.WireKFramesPerSec, gob.WireKFramesPerSec)
+		}
+	}
+}
+
+func BenchmarkE18Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E18Pipeline(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.KFramesPerSec <= 0 {
+				b.Fatalf("E18: dead row: %+v", r)
+			}
+			// Every flush on a binary link must be a gathered writev. The
+			// ring share is load-dependent by design — the open-throttle
+			// pump keeps the shards a full ring behind, so most frames
+			// legitimately detour through the batched spill queue — but
+			// the lock-free path must have engaged (pipelineLeg already
+			// fails if any delivery bypassed the stream sink entirely).
+			if r.VectorFlushShare != 1 {
+				b.Fatalf("E18: %.2f of flushes vectored at %d shards, want all", r.VectorFlushShare, r.Shards)
+			}
+			if r.RingShare <= 0 {
+				b.Fatalf("E18: no deliveries used the rings at %d shards", r.Shards)
+			}
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/experiments"
 )
@@ -99,14 +100,27 @@ func runCompare(basePath, againstPath string, tolerance float64, only map[string
 		idSet[id] = true
 	}
 	// Loopback throughput is noisy run to run; a genuine regression is
-	// not. Live measurements therefore get up to compareAttempts runs
-	// and pass if ANY run is clean — a saved -against export is a fixed
-	// claim and gets exactly one.
+	// not. The noise is one-sided — contention can only make a
+	// measurement slower than the code's capability, never faster — so
+	// any attempt that reaches baseline on a field proves that field is
+	// fine, while a slow attempt proves nothing. Live measurements
+	// therefore get up to compareAttempts runs and a field counts as
+	// regressed only if EVERY attempt flags it (intersection), rather
+	// than demanding one attempt where all rows are simultaneously
+	// lucky. A saved -against export is a fixed claim and gets exactly
+	// one attempt, where the two semantics coincide.
 	attempts := compareAttempts
 	if againstPath != "" {
 		attempts = 1
 	}
-	var regs []experiments.Regression
+	// surviving maps ID/row/field -> the best-case (closest to
+	// baseline) measurement seen so far among attempts that flagged it.
+	type regKey struct {
+		id    string
+		row   int
+		field string
+	}
+	var surviving map[regKey]experiments.Regression
 	for attempt := 1; attempt <= attempts; attempt++ {
 		var current []experiments.Result
 		if againstPath != "" {
@@ -120,10 +134,36 @@ func runCompare(basePath, againstPath string, tolerance float64, only map[string
 				return err
 			}
 		}
-		if regs, err = experiments.CompareResults(current, baseline, ids, tolerance); err != nil {
+		regs, err := experiments.CompareResults(current, baseline, ids, tolerance)
+		if err != nil {
 			return err
 		}
-		if len(regs) == 0 {
+		found := make(map[regKey]experiments.Regression, len(regs))
+		for _, r := range regs {
+			found[regKey{r.ID, r.Row, r.Field}] = r
+		}
+		if attempt == 1 {
+			surviving = found
+		} else {
+			for k, prev := range surviving {
+				cur, still := found[k]
+				if !still {
+					delete(surviving, k)
+					continue
+				}
+				// Keep the measurement nearest the baseline: for
+				// throughput (higher is better) the larger current,
+				// for latency/allocs (lower is better) the smaller.
+				better := cur.Current > prev.Current
+				if prev.Baseline > 0 && prev.Current > prev.Baseline {
+					better = cur.Current < prev.Current
+				}
+				if better {
+					surviving[k] = cur
+				}
+			}
+		}
+		if len(surviving) == 0 {
 			fmt.Printf("bench-compare: ok (%v within %.0f%% of %s, no allocs/op increase)\n",
 				ids, tolerance*100, basePath)
 			return nil
@@ -132,7 +172,25 @@ func runCompare(basePath, againstPath string, tolerance float64, only map[string
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}
 	}
-	return fmt.Errorf("%d perf regression(s) against %s", len(regs), basePath)
+	final := make([]experiments.Regression, 0, len(surviving))
+	for _, r := range surviving {
+		final = append(final, r)
+	}
+	sort.Slice(final, func(i, j int) bool {
+		a, b := final[i], final[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Field < b.Field
+	})
+	for _, r := range final {
+		fmt.Fprintln(os.Stderr, "PERSISTENT:", r)
+	}
+	return fmt.Errorf("%d perf regression(s) persisted across %d attempt(s) against %s",
+		len(final), attempts, basePath)
 }
 
 // compareAttempts bounds the retries a live -compare run gets before

@@ -24,59 +24,99 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmhload:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// run executes one workload and returns the process exit code alongside
+// any error. SIGINT and SIGTERM stop the run gracefully: admission
+// halts, the partial report is still printed (with "interrupted": true)
+// and the exit code is the conventional 128+signum, so a supervisor can
+// tell a cut-short measurement from a clean or failed one. A second
+// signal kills the process immediately (default disposition is restored
+// once the first is caught).
+func run(args []string, out io.Writer) (int, error) {
 	cfg, minCommitted, profile, err := parseFlags(args)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if profile != "" {
 		f, err := os.Create(profile)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+			return 0, err
 		}
 		defer pprof.StopCPUProfile()
 	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	interrupt := make(chan struct{})
+	caught := make(chan os.Signal, 1)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		caught <- s
+		signal.Stop(sigc) // next signal takes the default (fatal) path
+		close(interrupt)
+	}()
+	cfg.Interrupt = interrupt
+
 	rep, err := workload.RunOpenLoop(cfg)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		return err
+		return 0, err
+	}
+	if rep.Interrupted {
+		s := <-caught
+		num := int(syscall.SIGINT)
+		if sn, ok := s.(syscall.Signal); ok {
+			num = int(sn)
+		}
+		return 128 + num, fmt.Errorf("interrupted by %v; partial report written", s)
 	}
 	if rep.ProtocolErrors != 0 {
-		return fmt.Errorf("%d protocol errors", rep.ProtocolErrors)
+		return 0, fmt.Errorf("%d protocol errors", rep.ProtocolErrors)
 	}
 	if rep.OracleChecked && cfg.Victim == workload.VictimNone {
 		if rep.FalseDeadlocks != 0 {
-			return fmt.Errorf("%d false deadlock declarations under victim=none", rep.FalseDeadlocks)
+			return 0, fmt.Errorf("%d false deadlock declarations under victim=none", rep.FalseDeadlocks)
 		}
 		if rep.UncoveredCycles != 0 {
-			return fmt.Errorf("%d uncovered cycles at quiescence", rep.UncoveredCycles)
+			return 0, fmt.Errorf("%d uncovered cycles at quiescence", rep.UncoveredCycles)
 		}
 	}
 	if rep.Committed < minCommitted {
-		return fmt.Errorf("committed %d transactions, want >= %d", rep.Committed, minCommitted)
+		return 0, fmt.Errorf("committed %d transactions, want >= %d", rep.Committed, minCommitted)
 	}
-	return nil
+	return 0, nil
 }
 
 // parseFlags maps the command line onto an OpenLoopConfig. Durations

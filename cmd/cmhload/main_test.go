@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/workload"
 )
@@ -20,7 +22,7 @@ var simArgs = []string{
 
 func TestRunSimJSONReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(simArgs, &buf); err != nil {
+	if _, err := run(simArgs, &buf); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	var rep workload.Report
@@ -49,10 +51,10 @@ func TestRunSimJSONReport(t *testing.T) {
 
 func TestRunDeterministicOnSim(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(simArgs, &a); err != nil {
+	if _, err := run(simArgs, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(simArgs, &b); err != nil {
+	if _, err := run(simArgs, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -63,7 +65,7 @@ func TestRunDeterministicOnSim(t *testing.T) {
 func TestRunMinCommittedGate(t *testing.T) {
 	var buf bytes.Buffer
 	args := append(append([]string{}, simArgs...), "-min-committed", "1000000")
-	err := run(args, &buf)
+	_, err := run(args, &buf)
 	if err == nil || !strings.Contains(err.Error(), "min") && !strings.Contains(err.Error(), "committed") {
 		t.Fatalf("shortfall must fail: err=%v", err)
 	}
@@ -87,9 +89,51 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if _, err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestRunInterruptedBySignal sends this process a real SIGINT mid-run:
+// run must stop admission, still print the partial JSON report with
+// "interrupted": true, and return the conventional 130 (128+SIGINT)
+// exit code so supervisors can tell a cut-short measurement apart.
+func TestRunInterruptedBySignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host leg uses wall-clock time")
+	}
+	var buf bytes.Buffer
+	args := []string{
+		"-runtime", "host", "-procs", "64", "-shards", "4", "-keys", "4096",
+		"-rate", "2000", "-duration", "1h",
+		"-think", "100us", "-hold", "200us", "-delay", "2ms",
+		"-victim", "youngest", "-seed", "9",
+	}
+	stop := time.AfterFunc(500*time.Millisecond, func() {
+		syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+	})
+	defer stop.Stop()
+	start := time.Now()
+	code, err := run(args, &buf)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("interrupted run took %v to return", elapsed)
+	}
+	if code != 130 {
+		t.Fatalf("exit code = %d (err=%v), want 130", code, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "interrupt") {
+		t.Fatalf("err = %v, want an interrupt notice", err)
+	}
+	var rep workload.Report
+	if jerr := json.Unmarshal(buf.Bytes(), &rep); jerr != nil {
+		t.Fatalf("no JSON report after interrupt: %v\n%s", jerr, buf.String())
+	}
+	if !rep.Interrupted {
+		t.Fatalf("report not marked interrupted:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"interrupted": true`) {
+		t.Fatalf("JSON lacks the interrupted marker:\n%s", buf.String())
 	}
 }
 
@@ -104,7 +148,7 @@ func TestRunHostSmall(t *testing.T) {
 		"-think", "100us", "-hold", "200us", "-delay", "2ms",
 		"-victim", "youngest", "-seed", "9", "-min-committed", "1",
 	}
-	if err := run(args, &buf); err != nil {
+	if _, err := run(args, &buf); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	var rep workload.Report

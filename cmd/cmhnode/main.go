@@ -395,8 +395,8 @@ func runHostMode(out io.Writer, idFlag int, listen string, procs, shards int, in
 		st := host.Stats()
 		fmt.Fprintf(out, "host %v: DEADLOCK detected by computation %v in %v (%d-process cycle)\n",
 			hostID, tag, elapsed.Round(time.Microsecond), procs)
-		fmt.Fprintf(out, "host %v: intra-host sends=%d remote sends=%d batches=%d max batch=%d\n",
-			hostID, st.IntraSends, st.RemoteSends, st.Batches, st.MaxBatch)
+		fmt.Fprintf(out, "host %v: intra-host sends=%d remote sends=%d batches=%d max batch=%d ring events=%d ring spills=%d\n",
+			hostID, st.IntraSends, st.RemoteSends, st.Batches, st.MaxBatch, st.RingEvents, st.RingSpills)
 		return nil
 	case <-time.After(timeout):
 		return fmt.Errorf("host mode: no verdict after %v", timeout)

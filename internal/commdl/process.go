@@ -253,13 +253,24 @@ func (p *Process) step(sender id.Proc, m msg.Message) []func() {
 		return p.ingress.Reject(transport.NodeID(sender), engine.KindOf(m),
 			engine.ReasonSelfAddressed, "frame names the receiver as sender", after)
 	}
+	if msg.IsNilPtr(m) {
+		return p.ingress.Reject(transport.NodeID(sender), engine.KindOf(m),
+			engine.ReasonUnknownType, fmt.Sprintf("nil %T frame", m), after)
+	}
 	switch mm := m.(type) {
 	case msg.CommWork:
 		after = p.handleWorkStep(sender, after)
 	case msg.CommQuery:
 		after = p.handleQueryStep(sender, mm, after)
+	case *msg.CommQuery:
+		// Pooled pointer form from a zero-allocation transport decode;
+		// dereferenced here so the handler copies the fields it needs
+		// before the frame is recycled.
+		after = p.handleQueryStep(sender, *mm, after)
 	case msg.CommReply:
 		after = p.handleReplyStep(sender, mm, after)
+	case *msg.CommReply:
+		after = p.handleReplyStep(sender, *mm, after)
 	default:
 		after = p.ingress.Reject(transport.NodeID(sender), engine.KindOf(m),
 			engine.ReasonUnknownType, fmt.Sprintf("%T is not a communication-model message", m), after)

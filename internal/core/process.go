@@ -379,6 +379,18 @@ func (p *Process) step(sender id.Proc, m msg.Message) []func() {
 	case msg.Probe:
 		after = p.handleProbeStep(sender, mm.Tag, after)
 
+	case *msg.Probe:
+		// Pooled pointer form from a zero-allocation transport decode;
+		// the tag is copied out here, so the frame may be recycled the
+		// moment this step returns. A typed nil (a decoder bug's
+		// worst-case product) is rejected like any alien frame.
+		if mm == nil {
+			after = p.ingress.Reject(transport.NodeID(sender), engine.KindOf(m), engine.ReasonUnknownType,
+				"nil probe frame", after)
+			break
+		}
+		after = p.handleProbeStep(sender, mm.Tag, after)
+
 	case msg.WFGD:
 		after = p.handleWFGDStep(sender, mm, after)
 

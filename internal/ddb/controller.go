@@ -533,29 +533,56 @@ func (c *Controller) step(sender id.Site, m msg.Message) []func() {
 		return c.rejectStep(sender, engine.KindOf(m), ReasonSelfAddressed,
 			fmt.Sprintf("frame of type %T claims this controller as its sender", m), after)
 	}
+	// The pooled pointer forms (a zero-allocation transport decode) are
+	// dereferenced at the call so the handlers see the same value types
+	// as ever; every field is copied out within the step, so the frame
+	// may be recycled the moment the step returns. Typed nils reject
+	// like any alien frame rather than dereferencing.
+	if msg.IsNilPtr(m) {
+		return c.rejectStep(sender, engine.KindOf(m), ReasonUnknownType,
+			fmt.Sprintf("nil %T frame", m), after)
+	}
 	switch mm := m.(type) {
 	case msg.CtrlAcquire:
 		after = c.handleAcquireStep(sender, mm, after)
+	case *msg.CtrlAcquire:
+		after = c.handleAcquireStep(sender, *mm, after)
 	case msg.CtrlGranted:
 		after = c.handleGrantedStep(sender, mm, after)
+	case *msg.CtrlGranted:
+		after = c.handleGrantedStep(sender, *mm, after)
 	case msg.CtrlRelease:
 		after = c.handleReleaseStep(sender, mm, after)
+	case *msg.CtrlRelease:
+		after = c.handleReleaseStep(sender, *mm, after)
 	case msg.CtrlProbe:
 		after = c.handleProbeStep(sender, mm, after)
+	case *msg.CtrlProbe:
+		after = c.handleProbeStep(sender, *mm, after)
 	case msg.CtrlAbort:
-		if ts, ok := c.txns[mm.Txn]; ok {
-			if ts.status == TxnRunning {
-				after = c.abortStep(ts, after)
-			}
-		} else if a, ok := c.agents[mm.Txn]; ok && a.home != c.cfg.Site {
-			// A declaring controller may only know the site a victim's
-			// agent lives on, not its home; one forward resolves it
-			// (a.home is authoritative, so this cannot loop).
-			c.send(a.home, mm)
-		}
+		after = c.handleAbortStep(mm, after)
+	case *msg.CtrlAbort:
+		after = c.handleAbortStep(*mm, after)
 	default:
 		after = c.rejectStep(sender, engine.KindOf(m), ReasonUnknownType,
 			fmt.Sprintf("message of type %T is not part of the DDB protocol", m), after)
+	}
+	return after
+}
+
+// handleAbortStep processes an abort verdict for one of this site's
+// transactions. It takes the frame by value: a forward must re-send a
+// fresh copy, never the (possibly pooled) frame that was delivered.
+func (c *Controller) handleAbortStep(m msg.CtrlAbort, after []func()) []func() {
+	if ts, ok := c.txns[m.Txn]; ok {
+		if ts.status == TxnRunning {
+			after = c.abortStep(ts, after)
+		}
+	} else if a, ok := c.agents[m.Txn]; ok && a.home != c.cfg.Site {
+		// A declaring controller may only know the site a victim's
+		// agent lives on, not its home; one forward resolves it
+		// (a.home is authoritative, so this cannot loop).
+		c.send(a.home, m)
 	}
 	return after
 }

@@ -51,6 +51,13 @@ type Host struct {
 	procs  map[transport.NodeID]*proc
 	closed bool
 
+	// procsA is the lock-free read side of procs: a copy-on-write
+	// snapshot republished by Register, so Send and the stream-sink
+	// rings resolve a destination with one atomic load instead of an
+	// RLock per message.
+	procsA  atomic.Pointer[map[transport.NodeID]*proc]
+	closedA atomic.Bool
+
 	// observers is read once per send/delivery on the hot path, so it
 	// is published with an atomic pointer instead of taking h.mu.
 	observers atomic.Pointer[[]transport.Observer]
@@ -58,6 +65,7 @@ type Host struct {
 	intraSends  atomic.Uint64
 	remoteSends atomic.Uint64
 	remoteRecvs atomic.Uint64
+	ringSpills  atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -83,11 +91,17 @@ type HostStats struct {
 	RemoteSends uint64
 	RemoteRecvs uint64
 	// Batches counts shard queue drains; MaxBatch is the largest single
-	// drain. Events counts everything the shards executed (deliveries,
-	// API calls, recovery steps).
+	// drain. Events counts everything the shards executed through their
+	// queues (deliveries, API calls, recovery steps).
 	Batches  uint64
 	Events   uint64
 	MaxBatch int
+	// RingEvents counts deliveries the shards consumed from the
+	// lock-free stream rings (the mutex-free ingress path); RingSpills
+	// counts frames that detoured through the shard queue because their
+	// ring was full or a spill was still in flight.
+	RingEvents uint64
+	RingSpills uint64
 }
 
 // NewHost starts the shard loops and returns the Host. Close must be
@@ -104,11 +118,21 @@ func NewHost(opts Options) *Host {
 	h.shards = make([]*shard, n)
 	for i := range h.shards {
 		s := newShard(h)
+		s.idx = i
 		h.shards[i] = s
 		h.wg.Add(1)
 		go s.loop()
 	}
 	return h
+}
+
+// proc resolves a hosted destination through the copy-on-write
+// snapshot — one atomic load, no lock.
+func (h *Host) proc(node transport.NodeID) *proc {
+	if mp := h.procsA.Load(); mp != nil {
+		return (*mp)[node]
+	}
+	return nil
 }
 
 // ShardOf returns the index of the shard that owns node. Affinity is a
@@ -163,6 +187,11 @@ func (h *Host) Register(node transport.NodeID, handler transport.Handler) {
 	p.ann, _ = handler.(ReannouncingLogic)
 	h.mu.Lock()
 	h.procs[node] = p
+	snap := make(map[transport.NodeID]*proc, len(h.procs))
+	for k, v := range h.procs {
+		snap[k] = v
+	}
+	h.procsA.Store(&snap)
 	h.mu.Unlock()
 	if h.under != nil {
 		h.under.Register(node, inboundShim{h: h, p: p})
@@ -181,17 +210,25 @@ func (s inboundShim) HandleMessage(from transport.NodeID, m msg.Message) {
 	s.p.sh.enqueue(event{p: s.p, from: from, m: m})
 }
 
+// RetainsMessages marks the shim as taking ownership of delivered
+// messages (transport.MessageRetainer): HandleMessage enqueues the
+// message for the shard loop, so the transport must not recycle it on
+// return — Host.deliver recycles after the process's step instead.
+func (s inboundShim) RetainsMessages() {}
+
+// BindStream implements transport.SinkProvider: frames of one inbound
+// stream flow through per-shard SPSC rings instead of the transport's
+// dispatch mailbox and this shim.
+func (s inboundShim) BindStream() transport.StreamSink { return s.h.newStreamSession() }
+
 // Send implements transport.Transport. A destination hosted here is a
 // direct append to its shard's queue — the intra-host fast path; any
 // other destination forwards to the underlying transport.
 func (h *Host) Send(from, to transport.NodeID, m msg.Message) {
-	h.mu.RLock()
-	p := h.procs[to]
-	closed := h.closed
-	h.mu.RUnlock()
-	if closed {
+	if h.closedA.Load() {
 		return
 	}
+	p := h.proc(to)
 	for _, o := range h.observerList() {
 		o.OnSend(from, to, m)
 	}
@@ -247,16 +284,19 @@ func (h *Host) eachRecovery(visit func(p *proc)) {
 }
 
 // deliver runs one queued delivery on the shard goroutine: observers
-// first, then the process's step.
+// first, then the process's step, then the recycle that completes the
+// pooled frame's ownership chain (a no-op for value messages, which is
+// everything intra-host senders produce).
 func (h *Host) deliver(ev event) {
 	for _, o := range h.observerList() {
 		o.OnDeliver(ev.from, ev.p.node, ev.m)
 	}
 	if ev.p.logic != nil {
 		ev.p.logic.Step(ev.from, ev.m)
-		return
+	} else {
+		ev.p.h.HandleMessage(ev.from, ev.m)
 	}
-	ev.p.h.HandleMessage(ev.from, ev.m)
+	msg.Recycle(ev.m)
 }
 
 // Stats returns a snapshot of the Host's counters.
@@ -265,6 +305,7 @@ func (h *Host) Stats() HostStats {
 		IntraSends:  h.intraSends.Load(),
 		RemoteSends: h.remoteSends.Load(),
 		RemoteRecvs: h.remoteRecvs.Load(),
+		RingSpills:  h.ringSpills.Load(),
 	}
 	for _, s := range h.shards {
 		b, e, m := s.counters()
@@ -273,6 +314,7 @@ func (h *Host) Stats() HostStats {
 		if m > st.MaxBatch {
 			st.MaxBatch = m
 		}
+		st.RingEvents += s.ringEvents.Load()
 	}
 	return st
 }
@@ -295,6 +337,7 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	h.closedA.Store(true)
 	h.mu.Unlock()
 	for _, s := range h.shards {
 		s.close()
@@ -317,6 +360,7 @@ type event struct {
 // the mutex guards the queue handoff, never process state.
 type shard struct {
 	h    *Host
+	idx  int
 	mu   sync.Mutex
 	cond *sync.Cond
 	// straggler serializes post-close Exec calls against each other
@@ -330,12 +374,24 @@ type shard struct {
 	spare  []event
 	closed bool
 	idle   bool
+	// rings are the lock-free ingress lanes registered by stream
+	// sessions (appended under mu; the loop polls them between queue
+	// batches). parked is the Dekker flag of the ring wakeup protocol:
+	// the loop sets it (seq-cst) before its final emptiness check and
+	// Wait; a producer checks it after its push, so one of the two
+	// always observes the other and a push can never strand a parked
+	// loop. closedA lets producers drop frames for a closed shard
+	// without taking mu.
+	rings   []*spscRing
+	parked  atomic.Bool
+	closedA atomic.Bool
 	// gid is the loop goroutine's id; shardRunner uses it to run
 	// nested Exec calls inline instead of self-deadlocking.
-	gid      uint64
-	batches  uint64
-	events   uint64
-	maxBatch int
+	gid        uint64
+	batches    uint64
+	events     uint64
+	maxBatch   int
+	ringEvents atomic.Uint64
 }
 
 func newShard(h *Host) *shard {
@@ -360,9 +416,35 @@ func (s *shard) enqueue(ev event) bool {
 	return true
 }
 
-// loop drains the queue in batches until closed and empty. One
-// goroutine, so every event it executes is serialized with every
-// other — the single-writer invariant.
+// addRing registers one stream-session ring with the loop.
+func (s *shard) addRing(r *spscRing) {
+	s.mu.Lock()
+	s.rings = append(s.rings, r)
+	s.mu.Unlock()
+}
+
+// wake nudges a parked loop after a ring push.
+func (s *shard) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// ringsEmptyLocked (s.mu held, or loop goroutine) reports whether every
+// registered ring is drained.
+func (s *shard) ringsEmptyLocked() bool {
+	for _, r := range s.rings {
+		if !r.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// loop drains the queue in batches — and the stream rings between
+// batches — until closed and empty. One goroutine, so every event it
+// executes is serialized with every other — the single-writer
+// invariant.
 func (s *shard) loop() {
 	defer s.h.wg.Done()
 	s.mu.Lock()
@@ -372,10 +454,20 @@ func (s *shard) loop() {
 		s.mu.Lock()
 		s.idle = true
 		for len(s.queue) == 0 && !s.closed {
+			// Park only when the rings are drained too. parked must be
+			// set before the emptiness check: a producer that pushed
+			// just before the check is seen by it, one that pushed just
+			// after sees parked and calls wake.
+			s.parked.Store(true)
+			if !s.ringsEmptyLocked() {
+				s.parked.Store(false)
+				break
+			}
 			s.cond.Broadcast() // wake drain waiters
 			s.cond.Wait()
+			s.parked.Store(false)
 		}
-		if len(s.queue) == 0 && s.closed {
+		if len(s.queue) == 0 && s.closed && s.ringsEmptyLocked() {
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
@@ -384,10 +476,13 @@ func (s *shard) loop() {
 		batch := s.queue
 		s.queue = s.spare[:0]
 		s.spare = batch
-		s.batches++
-		s.events += uint64(len(batch))
-		if len(batch) > s.maxBatch {
-			s.maxBatch = len(batch)
+		rings := s.rings
+		if len(batch) > 0 {
+			s.batches++
+			s.events += uint64(len(batch))
+			if len(batch) > s.maxBatch {
+				s.maxBatch = len(batch)
+			}
 		}
 		s.mu.Unlock()
 		for i := range batch {
@@ -402,14 +497,23 @@ func (s *shard) loop() {
 			}
 			s.h.deliver(ev)
 		}
+		// Poll the stream rings, bounded per ring so a firehose stream
+		// cannot starve queued API calls and recovery steps.
+		var ev event
+		for _, r := range rings {
+			for n := 0; n < ringBurst && r.pop(&ev); n++ {
+				s.ringEvents.Add(1)
+				s.h.deliver(ev)
+			}
+		}
 	}
 }
 
-// drain blocks until the queue is empty and the loop is parked (or the
-// shard is closed).
+// drain blocks until the queue and every ring are empty and the loop is
+// parked (or the shard is closed).
 func (s *shard) drain() {
 	s.mu.Lock()
-	for !(s.closed || (s.idle && len(s.queue) == 0)) {
+	for !(s.closed || (s.idle && len(s.queue) == 0 && s.ringsEmptyLocked())) {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
@@ -421,11 +525,13 @@ func (s *shard) counters() (batches, events uint64, maxBatch int) {
 	return s.batches, s.events, s.maxBatch
 }
 
-// close marks the shard closed and wakes the loop; queued events are
-// still drained before the loop exits.
+// close marks the shard closed and wakes the loop; queued and ringed
+// events are still drained before the loop exits (frames pushed after
+// the close flag is visible are dropped by the producers instead).
 func (s *shard) close() {
 	s.mu.Lock()
 	s.closed = true
+	s.closedA.Store(true)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// Lock-free shard ingress. The engine's shard queue is mutex-guarded —
+// cheap, but at millions of frames per second the transport's delivery
+// goroutine and the shard loop contend on every single frame. A
+// single-producer single-consumer ring removes that: the transport's
+// resequencer (whose own lock already serializes producers of one
+// inbound stream) pushes decoded events straight into a per
+// (stream, shard) ring, and the shard loop pops them with two atomic
+// loads — no mutex, no allocation, no goroutine handoff between the
+// socket reader and Runner.Step.
+//
+// The ring is bounded where the shard queue is not, so the queue stays
+// as the spill path: a push to a full ring falls back to one shard
+// queue event that first drains the ring (preserving order) and then
+// delivers the overflowing frame. While any spill events are in
+// flight, later frames follow them through the queue — the session's
+// pending counter makes the producer hold off the ring until the queue
+// tail has fully executed, so per-pair FIFO survives the detour.
+
+// ringSize is each ring's capacity. Power of two (the ring indexes by
+// mask). 512 events ≈ 28KB per (stream, shard) pair — deep enough that
+// spills happen only when a shard is genuinely behind, small enough
+// that a host with a handful of peer streams barely notices.
+const ringSize = 512
+
+// ringBurst bounds how many events one loop pass pops from one ring
+// before giving the shard queue (API calls, recovery steps) a turn.
+const ringBurst = 256
+
+// pad keeps the ring's producer and consumer cursors on cache lines of
+// their own: head and tail are each written by one side at frame rate,
+// and sharing a line would make every push invalidate the popper's
+// cache (and vice versa) — the false sharing the ring exists to avoid.
+type pad [64]byte
+
+// spscRing is a bounded single-producer single-consumer ring of shard
+// events. The producer side may migrate between goroutines (connection
+// reader goroutines come and go across reconnects) as long as something
+// — the transport's per-stream lock — serializes them and orders their
+// memory; the consumer is always the owning shard's loop.
+type spscRing struct {
+	_    pad
+	head atomic.Uint64 // next slot to pop; advanced only by the consumer
+	_    pad
+	tail atomic.Uint64 // next slot to fill; advanced only by the producer
+	_    pad
+	buf  []event
+	mask uint64
+}
+
+func newSPSCRing() *spscRing {
+	return &spscRing{buf: make([]event, ringSize), mask: ringSize - 1}
+}
+
+// push appends one event, failing when the ring is full.
+func (r *spscRing) push(ev event) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = ev
+	r.tail.Store(t + 1) // publishes the slot write to the consumer
+	return true
+}
+
+// pop removes the oldest event into *ev, failing when the ring is
+// empty. The vacated slot is zeroed so the ring never pins a delivered
+// message for the collector.
+func (r *spscRing) pop(ev *event) bool {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return false
+	}
+	*ev = r.buf[h&r.mask]
+	r.buf[h&r.mask] = event{}
+	r.head.Store(h + 1) // releases the slot back to the producer
+	return true
+}
+
+// empty reports whether the ring has no queued events. Callable from
+// any goroutine (drain uses it); the verdict is naturally racy for
+// concurrent pushers, which drain tolerates by re-checking.
+func (r *spscRing) empty() bool { return r.head.Load() == r.tail.Load() }
+
+// streamSession is the engine-side sink for one inbound transport
+// stream: one ring per shard, plus the per-shard spill bookkeeping.
+// Sessions are bound once per stream and survive sender epoch changes —
+// rebinding on reconnect would let frames of the old binding's rings
+// race frames of the new one.
+type streamSession struct {
+	h      *Host
+	shards []sessionShard
+}
+
+// sessionShard is one (stream, shard) lane: its ring and the count of
+// spill events currently in flight through the shard queue. While
+// pending is nonzero the producer must keep every frame for this shard
+// on the queue, behind the spills — pushing to the ring again before
+// the queue tail executed would overtake them.
+type sessionShard struct {
+	ring    *spscRing
+	pending atomic.Int64
+}
+
+// newStreamSession builds the per-shard rings and registers each with
+// its shard loop.
+func (h *Host) newStreamSession() *streamSession {
+	ss := &streamSession{h: h, shards: make([]sessionShard, len(h.shards))}
+	for i, sh := range h.shards {
+		r := newSPSCRing()
+		ss.shards[i].ring = r
+		sh.addRing(r)
+	}
+	return ss
+}
+
+// DeliverStream implements transport.StreamSink: route one in-order
+// frame of the stream to the destination's shard, lock-free in steady
+// state. It reports false when the destination is not hosted here (the
+// transport then uses its regular dispatch path — consistently so,
+// since registration precedes traffic, which keeps that destination's
+// frames in one lane).
+func (ss *streamSession) DeliverStream(from, to transport.NodeID, m msg.Message) bool {
+	p := ss.h.proc(to)
+	if p == nil {
+		return false
+	}
+	ss.h.remoteRecvs.Add(1)
+	sh := p.sh
+	st := &ss.shards[sh.idx]
+	ev := event{p: p, from: from, m: m}
+	if sh.closedA.Load() {
+		msg.Recycle(m) // shard gone mid-shutdown: the frame is dropped either way
+		return true
+	}
+	if st.pending.Load() == 0 && st.ring.push(ev) {
+		if sh.parked.Load() {
+			sh.wake()
+		}
+		return true
+	}
+	// Ring full (or spills still in flight): detour through the shard
+	// queue. The event drains the ring first so everything already
+	// pushed stays ahead of this frame, and the pending counter keeps
+	// later frames on the queue until the detour has fully executed.
+	ss.h.ringSpills.Add(1)
+	st.pending.Add(1)
+	ring := st.ring
+	h := ss.h
+	if !sh.enqueue(event{fn: func() {
+		var drained event
+		for ring.pop(&drained) {
+			sh.ringEvents.Add(1)
+			h.deliver(drained)
+		}
+		h.deliver(ev)
+		st.pending.Add(-1)
+	}}) {
+		st.pending.Add(-1)
+		msg.Recycle(m) // shard closed: dropped, like every post-close frame
+	}
+	return true
+}

@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// probeN builds a probe event carrying n as its ordinal.
+func probeN(n uint64) msg.Message { return msg.Probe{Tag: id.Tag{Initiator: 1, N: n}} }
+
+func TestSPSCRingWraparound(t *testing.T) {
+	r := newSPSCRing()
+	var ev event
+	// Push/pop far more events than the capacity so the cursors lap the
+	// buffer several times, with a partial fill each round to keep the
+	// offsets misaligned with the ring size.
+	next := uint64(1)
+	want := uint64(1)
+	for round := 0; round < 7; round++ {
+		burst := ringSize - 3
+		for i := 0; i < burst; i++ {
+			if !r.push(event{from: transport.NodeID(next)}) {
+				t.Fatalf("push %d failed with %d of %d slots used", next, i, ringSize)
+			}
+			next++
+		}
+		for i := 0; i < burst; i++ {
+			if !r.pop(&ev) {
+				t.Fatalf("pop %d failed on a non-empty ring", want)
+			}
+			if uint64(ev.from) != want {
+				t.Fatalf("popped %d, want %d (wraparound reordered)", ev.from, want)
+			}
+			want++
+		}
+	}
+	if !r.empty() {
+		t.Fatal("ring not empty after balanced push/pop")
+	}
+}
+
+func TestSPSCRingFullAndSlotRelease(t *testing.T) {
+	r := newSPSCRing()
+	for i := 0; i < ringSize; i++ {
+		if !r.push(event{m: probeN(uint64(i + 1))}) {
+			t.Fatalf("push %d failed before capacity", i+1)
+		}
+	}
+	if r.push(event{m: probeN(9999)}) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	var ev event
+	if !r.pop(&ev) || ev.m.(msg.Probe).Tag.N != 1 {
+		t.Fatalf("pop after full = %+v, want probe 1", ev)
+	}
+	// The vacated slot must not pin the delivered message.
+	if pinned := r.buf[0].m; pinned != nil {
+		t.Fatalf("popped slot still pins %v", pinned)
+	}
+	if !r.push(event{m: probeN(9999)}) {
+		t.Fatal("push failed after one slot freed")
+	}
+}
+
+// lockedLogic records per-sender ordinals under a mutex so test
+// goroutines may poll while shard loops append.
+type lockedLogic struct {
+	mu   sync.Mutex
+	seen map[transport.NodeID][]uint64
+}
+
+func newLockedLogic() *lockedLogic {
+	return &lockedLogic{seen: make(map[transport.NodeID][]uint64)}
+}
+
+func (l *lockedLogic) HandleMessage(from transport.NodeID, m msg.Message) { l.Step(from, m) }
+
+func (l *lockedLogic) Step(from transport.NodeID, m msg.Message) {
+	l.mu.Lock()
+	l.seen[from] = append(l.seen[from], msg.Deref(m).(msg.Probe).Tag.N)
+	l.mu.Unlock()
+}
+
+func (l *lockedLogic) total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ns := range l.seen {
+		n += len(ns)
+	}
+	return n
+}
+
+func (l *lockedLogic) checkFIFO(t *testing.T, node transport.NodeID) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for from, ns := range l.seen {
+		for i := range ns {
+			if ns[i] != uint64(i+1) {
+				t.Fatalf("pair %d->%d position %d carried %d, want %d", from, node, i, ns[i], i+1)
+			}
+		}
+	}
+}
+
+// TestStreamSessionSpillsToQueuePreservingFIFO wedges the only shard,
+// pushes more frames than one ring holds, and checks that the overflow
+// detours through the shard queue without reordering: the spill events
+// drain the ring before delivering their own frame, and the pending
+// counter keeps later frames behind them.
+func TestStreamSessionSpillsToQueuePreservingFIFO(t *testing.T) {
+	const extra = 100
+	const total = ringSize + extra
+	h := NewHost(Options{Shards: 1})
+	defer h.Close()
+	l := newLockedLogic()
+	h.Register(7, l)
+	ss := h.newStreamSession()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h.shards[0].enqueue(event{fn: func() { close(started); <-release }})
+	<-started // the loop is now wedged mid-batch; nothing drains the ring
+
+	for k := uint64(1); k <= total; k++ {
+		if !ss.DeliverStream(5, 7, probeN(k)) {
+			t.Fatalf("DeliverStream refused frame %d for a hosted node", k)
+		}
+	}
+	close(release)
+	h.Drain()
+
+	l.mu.Lock()
+	got := len(l.seen[5])
+	l.mu.Unlock()
+	if got != total {
+		t.Fatalf("delivered %d frames, want %d", got, total)
+	}
+	l.checkFIFO(t, 7)
+	st := h.Stats()
+	if st.RingSpills != extra {
+		t.Errorf("RingSpills = %d, want %d (every post-full frame must detour)", st.RingSpills, extra)
+	}
+	if st.RingEvents != ringSize {
+		t.Errorf("RingEvents = %d, want %d (everything pushed before the spill)", st.RingEvents, ringSize)
+	}
+	if st.RemoteRecvs != total {
+		t.Errorf("RemoteRecvs = %d, want %d", st.RemoteRecvs, total)
+	}
+}
+
+// TestStreamSessionUnhostedDestination pins the fallback verdict: a
+// session must refuse frames for nodes the Host does not own so the
+// transport keeps them on its regular dispatch path.
+func TestStreamSessionUnhostedDestination(t *testing.T) {
+	h := NewHost(Options{Shards: 2})
+	defer h.Close()
+	h.Register(1, newLockedLogic())
+	ss := h.newStreamSession()
+	if ss.DeliverStream(9, 42, probeN(1)) {
+		t.Fatal("DeliverStream accepted a frame for an unhosted node")
+	}
+	if !ss.DeliverStream(9, 1, probeN(1)) {
+		t.Fatal("DeliverStream refused a frame for a hosted node")
+	}
+	h.Drain()
+}
+
+// TestStreamSessionCrossShardPerPairFIFO drives one stream session at
+// receivers pinned across every shard — interleaved, tens of thousands
+// of frames — while unrelated intra-host senders hammer the same shard
+// queues. Per-pair FIFO (axiom P4) must hold on the ring path exactly
+// as it does on the queue path. Run with -race this also checks the
+// ring's publication ordering and the parked-loop wakeup protocol.
+func TestStreamSessionCrossShardPerPairFIFO(t *testing.T) {
+	const receivers, perPair = 8, 5000
+	const queueSenders, queuePerPair = 4, 1000
+	h := NewHost(Options{Shards: 4})
+	defer h.Close()
+
+	logics := make(map[transport.NodeID]*lockedLogic)
+	for r := 0; r < receivers; r++ {
+		node := transport.NodeID(100 + r)
+		l := newLockedLogic()
+		logics[node] = l
+		h.Register(node, l)
+	}
+	ss := h.newStreamSession()
+
+	var wg sync.WaitGroup
+	// One producer: the transport's per-stream resequencing lock
+	// serializes DeliverStream calls in real use, so the test models a
+	// single ordered stream fanning out across shards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(1); k <= perPair; k++ {
+			for r := 0; r < receivers; r++ {
+				ss.DeliverStream(9, transport.NodeID(100+r), probeN(k))
+			}
+		}
+	}()
+	// Concurrent queue-path senders contend with the ring consumers on
+	// the same shard loops.
+	for s := 0; s < queueSenders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := uint64(1); k <= queuePerPair; k++ {
+				for r := 0; r < receivers; r++ {
+					h.Send(transport.NodeID(10+s), transport.NodeID(100+r), probeN(k))
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	h.Drain()
+
+	for node, l := range logics {
+		if got := l.total(); got != perPair+queueSenders*queuePerPair {
+			t.Fatalf("receiver %d saw %d frames, want %d", node, got, perPair+queueSenders*queuePerPair)
+		}
+		l.checkFIFO(t, node)
+	}
+	st := h.Stats()
+	if st.RingEvents+st.RingSpills == 0 {
+		t.Fatal("no ring traffic recorded: the stream session never used its rings")
+	}
+	if want := uint64(receivers * perPair); st.RemoteRecvs != want {
+		t.Errorf("RemoteRecvs = %d, want %d", st.RemoteRecvs, want)
+	}
+}
+
+// TestHostRingDeliveryOverTCP is the end-to-end proof: two engine Hosts
+// on a multiplexed TCP link, no transport observers, so the receiving
+// transport binds the inbound stream to the engine's ring sink. Frames
+// must arrive in per-pair order and the receiver's RingEvents counter
+// must show the lock-free path actually carried them.
+func TestHostRingDeliveryOverTCP(t *testing.T) {
+	const receivers, perPair = 4, 2000
+	tcpA, tcpB := transport.NewTCP(), transport.NewTCP()
+	defer tcpA.Close()
+	defer tcpB.Close()
+	if err := tcpA.ListenHost(1, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tcpB.ListenHost(2, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	tcpA.SetHostPeer(2, tcpB.HostAddr(2))
+	tcpB.SetHostPeer(1, tcpA.HostAddr(1))
+	for _, tr := range []*transport.TCP{tcpA, tcpB} {
+		tr.AssignNode(10, 1)
+		for r := 0; r < receivers; r++ {
+			tr.AssignNode(transport.NodeID(100+r), 2)
+		}
+	}
+
+	hostA := engineHost(t, Options{Shards: 1, Transport: tcpA})
+	hostB := engineHost(t, Options{Shards: 2, Transport: tcpB})
+	hostA.Register(10, newLockedLogic())
+	logics := make(map[transport.NodeID]*lockedLogic)
+	for r := 0; r < receivers; r++ {
+		node := transport.NodeID(100 + r)
+		l := newLockedLogic()
+		logics[node] = l
+		hostB.Register(node, l)
+	}
+
+	for k := uint64(1); k <= perPair; k++ {
+		for r := 0; r < receivers; r++ {
+			hostA.Send(10, transport.NodeID(100+r), probeN(k))
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		n := 0
+		for _, l := range logics {
+			n += l.total()
+		}
+		if n == receivers*perPair {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d of %d frames delivered", n, receivers*perPair)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for node, l := range logics {
+		l.checkFIFO(t, node)
+	}
+	st := hostB.Stats()
+	if st.RingEvents+st.RingSpills != uint64(receivers*perPair) {
+		t.Errorf("RingEvents+RingSpills = %d+%d, want %d: wire frames bypassed the stream rings",
+			st.RingEvents, st.RingSpills, receivers*perPair)
+	}
+	if st.RingEvents == 0 {
+		t.Error("RingEvents = 0: every frame spilled, the lock-free path never ran")
+	}
+}
+
+// engineHost builds a Host and registers cleanup (hosts close before
+// the transports deferred in the caller).
+func engineHost(t *testing.T, o Options) *Host {
+	t.Helper()
+	h := NewHost(o)
+	t.Cleanup(h.Close)
+	return h
+}

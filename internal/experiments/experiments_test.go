@@ -277,8 +277,8 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 17 {
-		t.Fatalf("expected 17 experiments, have %d", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, have %d", len(ids))
 	}
 }
 

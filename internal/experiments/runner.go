@@ -156,6 +156,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E18",
+			Claim: "assembled zero-alloc pipeline: writev batches -> pooled decode -> SPSC shard rings carry every wire frame socket-to-step",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E18Pipeline(nil)
+				return r, t, err
+			},
+		},
 	}
 }
 

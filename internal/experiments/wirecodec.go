@@ -129,7 +129,11 @@ func codecLeg(f msg.WireFormat, wireFrames int) (E16Row, error) {
 		}
 	})
 
-	// Decode: pre-encode a stream, then drain it.
+	// Decode: pre-encode a stream, then drain it through the pooled
+	// decoder — the transport's actual read path — recycling each frame
+	// the way the dispatch mailbox does after the handler returns. Under
+	// the binary codec this loop must run allocation-free: the probe
+	// comes out of the pool and goes back in.
 	var buf bytes.Buffer
 	penc := msg.NewEncoderFormat(&buf, f)
 	for i := 1; i <= 2*ops; i++ {
@@ -141,21 +145,25 @@ func codecLeg(f msg.WireFormat, wireFrames int) (E16Row, error) {
 		return row, err
 	}
 	stream := buf.Bytes()
-	dec := msg.NewDecoder(bytes.NewReader(stream))
+	dec := msg.NewPooledDecoder(bytes.NewReader(stream))
 	if _, err := dec.Decode(); err != nil { // stream preamble, excluded
 		return row, err
 	}
 	start = time.Now()
 	for i := 0; i < ops-1; i++ {
-		if _, err := dec.Decode(); err != nil {
+		env, err := dec.Decode()
+		if err != nil {
 			return row, err
 		}
+		msg.Recycle(env.Msg)
 	}
 	row.DecNsPerOp = float64(time.Since(start).Nanoseconds()) / (ops - 1)
 	row.DecAllocsPerOp = testing.AllocsPerRun(ops/2, func() {
-		if _, err := dec.Decode(); err != nil {
+		env, err := dec.Decode()
+		if err != nil {
 			panic(err)
 		}
+		msg.Recycle(env.Msg)
 	})
 
 	// Wire leg: the full loopback pipeline under this codec.

@@ -112,13 +112,38 @@ func (h *Hist) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
-// Quantile returns the q-th quantile (0..1) by nearest rank over the
-// buckets, reported as the bucket's upper bound so the figure never
-// understates the latency. The top rank is clamped to the exact
-// tracked maximum.
-func (h *Hist) Quantile(q float64) int64 {
-	n := h.count.Load()
-	if n == 0 {
+// histSnapshot is one coherent copy of the bucket array. Quantile
+// queries against a live histogram must not mix the count counter with
+// a later bucket walk: a Record between the two (bucket incremented,
+// count not yet — or the reverse) yields a rank that the walk can
+// overshoot or never reach, so a p99 could silently report the maximum
+// or a bucket past the true rank. Copying the buckets once and deriving
+// n from their sum makes every figure a pure function of one frozen
+// multiset.
+type histSnapshot struct {
+	counts [histArraySize]uint64
+	n      uint64
+}
+
+// snapshot copies the buckets and totals them. Concurrent Records land
+// either wholly inside or wholly outside the copy per sample's bucket;
+// n always equals the sum of the copied buckets.
+func (h *Hist) snapshot() *histSnapshot {
+	s := &histSnapshot{}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = c
+		s.n += c
+	}
+	return s
+}
+
+// quantile answers the q-th quantile over the frozen buckets by nearest
+// rank, reported as the bucket's upper bound so the figure never
+// understates the latency; max clamps the top (the exact tracked
+// maximum, which is at least as fresh as the snapshot's top bucket).
+func (s *histSnapshot) quantile(q float64, max int64) int64 {
+	if s.n == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -127,29 +152,36 @@ func (h *Hist) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := uint64(q*float64(n) + 0.5)
+	rank := uint64(q*float64(s.n) + 0.5)
 	if rank < 1 {
 		rank = 1
 	}
-	if rank >= n {
-		return h.Max()
+	if rank >= s.n {
+		return max
 	}
 	var seen uint64
 	for i := 0; i < histArraySize; i++ {
-		c := h.counts[i].Load()
+		c := s.counts[i]
 		if c == 0 {
 			continue
 		}
 		seen += c
 		if seen >= rank {
 			u := histUpper(i)
-			if m := h.Max(); u > m {
-				u = m
+			if u > max {
+				u = max
 			}
 			return u
 		}
 	}
-	return h.Max()
+	return max
+}
+
+// Quantile returns the q-th quantile (0..1) over one coherent bucket
+// snapshot. Prefer Stats when reading several quantiles: it shares a
+// single snapshot across all of them.
+func (h *Hist) Quantile(q float64) int64 {
+	return h.snapshot().quantile(q, h.Max())
 }
 
 // Merge folds o's samples into h. Exactness of Max/Min is preserved;
@@ -189,15 +221,22 @@ type HistStats struct {
 	Min, Max      int64
 }
 
-// Stats returns the summary snapshot.
+// Stats returns the summary snapshot. All three quantiles (and Count)
+// are computed from one coherent bucket snapshot, so they are mutually
+// consistent — monotone in q — even while Records land concurrently.
 func (h *Hist) Stats() HistStats {
-	return HistStats{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+	s := h.snapshot()
+	max := h.Max()
+	st := HistStats{
+		Count: s.n,
+		P50:   s.quantile(0.50, max),
+		P90:   s.quantile(0.90, max),
+		P99:   s.quantile(0.99, max),
 		Min:   h.Min(),
-		Max:   h.Max(),
+		Max:   max,
 	}
+	if n := h.count.Load(); n > 0 {
+		st.Mean = float64(h.sum.Load()) / float64(n)
+	}
+	return st
 }

@@ -145,6 +145,74 @@ func TestHistConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistStatsCoherentUnderConcurrentRecords hammers Stats and
+// Quantile while writers record, checking the invariants a torn
+// count/bucket view used to break: quantiles monotone in q within one
+// Stats call, every figure within the recorded value range, and Count
+// never beyond what has actually been recorded. Run with -race this
+// also proves the read path is properly synchronized.
+func TestHistStatsCoherentUnderConcurrentRecords(t *testing.T) {
+	h := NewHist()
+	const writers, per = 4, 50000
+	const lo, hi = 10, 1 << 16
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(lo + rng.Int63n(hi-lo))
+			}
+		}(int64(w + 1))
+	}
+	readers := sync.WaitGroup{}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := h.Stats()
+				if st.P50 > st.P90 || st.P90 > st.P99 {
+					t.Errorf("quantiles not monotone: p50=%d p90=%d p99=%d", st.P50, st.P90, st.P99)
+					return
+				}
+				if st.Count > writers*per {
+					t.Errorf("Count = %d beyond the %d recorded", st.Count, writers*per)
+					return
+				}
+				if st.Count > 0 && (st.P99 >= hi+hi/histSubCount || st.Max >= hi) {
+					t.Errorf("figures beyond the sample range: p99=%d max=%d", st.P99, st.Max)
+					return
+				}
+				if q := h.Quantile(0.99); q < 0 || q >= hi+hi/histSubCount {
+					t.Errorf("Quantile(0.99) = %d out of range", q)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+	st := h.Stats()
+	if st.Count != writers*per {
+		t.Fatalf("final Count = %d, want %d", st.Count, writers*per)
+	}
+	if again := h.Stats(); again != st {
+		t.Fatalf("quiescent Stats not deterministic: %+v vs %+v", again, st)
+	}
+}
+
 func TestHistDeterministic(t *testing.T) {
 	build := func() HistStats {
 		h := NewHist()

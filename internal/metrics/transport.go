@@ -18,8 +18,11 @@ func TCPStatsTable(s transport.TCPStats) string {
 	t.AddRow("frames replayed", s.Replayed)
 	t.AddRow("frames deduplicated", s.Duplicates)
 	t.AddRow("frames resequenced", s.Resequenced)
+	t.AddRow("held frames dropped", s.HeldFramesDropped)
+	t.AddRow("held frames purged", s.HeldFramesPurged)
 	t.AddRow("frames written", s.FramesWritten)
 	t.AddRow("stream flushes", s.Flushes)
+	t.AddRow("vectored flushes", s.VectorFlushes)
 	t.AddRow("backpressure engaged", s.BackpressureEngaged)
 	t.AddRow("mailbox peak depth", s.MailboxPeak)
 	t.AddRow("heartbeats sent", s.HeartbeatsSent)

@@ -46,6 +46,13 @@ import (
 	"repro/internal/id"
 )
 
+// Encoding is append-based: appendFrame builds one complete frame onto
+// a caller-owned byte slice. The buffered Encoder reuses one such slice
+// per stream (so a steady-state frame still costs zero allocations),
+// and the transport's vector sender builds one slice per batch slot and
+// gathers them into a net.Buffers writev — same core, two write
+// disciplines.
+
 // binMagic is the stream-opening version byte of binary format v1.
 // Bump it (0xB2, ...) for any layout change; the decoder treats every
 // unknown leading byte as a legacy gob stream, so a new version must
@@ -121,7 +128,9 @@ var le = binary.LittleEndian
 // binTagSize returns the wire tag and flat payload size for m. ok is
 // false when m's concrete type has no tag — the caller distinguishes
 // typed-nil from alien types (classifyBadMessage) off the hot path.
-// Only concrete value types match: a typed-nil pointer never does.
+// The pooled pointer forms a pooled Decoder hands out (see pool.go)
+// match alongside the value types, so a message can be relayed or
+// re-encoded without re-boxing; a typed-nil pointer never matches.
 func binTagSize(m Message) (tag byte, size int, ok bool) {
 	switch v := m.(type) {
 	case Request:
@@ -130,17 +139,47 @@ func binTagSize(m Message) (tag byte, size int, ok bool) {
 		return tagReply, 0, true
 	case Probe:
 		return tagProbe, 12, true
+	case *Probe:
+		if v == nil {
+			return 0, 0, false
+		}
+		return tagProbe, 12, true
 	case WFGD:
 		return tagWFGD, 4 + 8*len(v.Edges), true
 	case CtrlAcquire:
 		return tagCtrlAcquire, 13, true
+	case *CtrlAcquire:
+		if v == nil {
+			return 0, 0, false
+		}
+		return tagCtrlAcquire, 13, true
 	case CtrlGranted:
+		return tagCtrlGranted, 12, true
+	case *CtrlGranted:
+		if v == nil {
+			return 0, 0, false
+		}
 		return tagCtrlGranted, 12, true
 	case CtrlRelease:
 		return tagCtrlRelease, 12, true
+	case *CtrlRelease:
+		if v == nil {
+			return 0, 0, false
+		}
+		return tagCtrlRelease, 12, true
 	case CtrlProbe:
 		return tagCtrlProbe, 28, true
+	case *CtrlProbe:
+		if v == nil {
+			return 0, 0, false
+		}
+		return tagCtrlProbe, 28, true
 	case CtrlAbort:
+		return tagCtrlAbort, 4, true
+	case *CtrlAbort:
+		if v == nil {
+			return 0, 0, false
+		}
 		return tagCtrlAbort, 4, true
 	case BaselineReport:
 		return tagBaselineReport, 8 + 16*len(v.Edges), true
@@ -150,27 +189,37 @@ func binTagSize(m Message) (tag byte, size int, ok bool) {
 		return tagCommWork, 0, true
 	case CommQuery:
 		return tagCommQuery, 12, true
+	case *CommQuery:
+		if v == nil {
+			return 0, 0, false
+		}
+		return tagCommQuery, 12, true
 	case CommReply:
+		return tagCommReply, 12, true
+	case *CommReply:
+		if v == nil {
+			return 0, 0, false
+		}
 		return tagCommReply, 12, true
 	}
 	return 0, 0, false
 }
 
-// binEncodeFrame writes one envelope as a binary frame into bw. The
-// fixed header goes through the caller-owned scratch array and the
-// payload fields through the same buffer in chunks, so a steady-state
-// frame performs no heap allocation — the only writes are copies into
-// bw's existing buffer.
-func binEncodeFrame(bw *bufio.Writer, scratch *[binScratchLen]byte, env Envelope) error {
+// appendFrame appends the complete binary encoding of one envelope to
+// dst and returns the grown slice. It is the single encode core: the
+// buffered Encoder replays it into a per-stream reusable slice, the
+// transport's vector sender into one slice per writev segment. On a
+// rejected message dst is returned unchanged.
+func appendFrame(dst []byte, env Envelope) ([]byte, error) {
 	tag, size := tagNone, 0
 	if env.Ctl == CtlData {
 		var ok bool
 		tag, size, ok = binTagSize(env.Msg)
 		if !ok {
-			return classifyBadMessage(env.Msg)
+			return dst, classifyBadMessage(env.Msg)
 		}
 	}
-	h := scratch[:binHdrLen]
+	var h [binHdrLen]byte
 	le.PutUint32(h[0:], uint32(binHdrTail+size))
 	h[4] = env.Ctl
 	h[5] = tag
@@ -181,19 +230,12 @@ func binEncodeFrame(bw *bufio.Writer, scratch *[binScratchLen]byte, env Envelope
 	le.PutUint64(h[26:], env.Epoch)
 	le.PutUint64(h[34:], env.Ack)
 	le.PutUint64(h[42:], env.Inc)
-	if _, err := bw.Write(h); err != nil {
-		return err
-	}
+	dst = append(dst, h[:]...)
 	if tag == tagNone {
-		return nil
+		return dst, nil
 	}
-	return binEncodePayload(bw, scratch, env.Msg)
+	return appendPayload(dst, env.Msg), nil
 }
-
-// binScratchLen sizes the encode scratch: the header is the largest
-// fixed chunk, and repeated payload elements are staged through the
-// same array in binScratchLen-sized runs.
-const binScratchLen = 64
 
 // classifyBadMessage turns an unencodable message into the right
 // sentinel: nil and typed-nil (a non-nil interface holding a nil
@@ -208,122 +250,111 @@ func classifyBadMessage(m Message) error {
 	return ErrUnknownMessage
 }
 
-// binEncodePayload writes the flat per-type field encoding of m.
-func binEncodePayload(bw *bufio.Writer, scratch *[binScratchLen]byte, m Message) error {
-	b := scratch[:]
+// appendU32/appendU64 append one little-endian integer.
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// appendAgent appends one id.Agent as (txn, site).
+func appendAgent(dst []byte, a id.Agent) []byte {
+	dst = appendU32(dst, uint32(a.Txn))
+	return appendU32(dst, uint32(a.Site))
+}
+
+// appendPayload appends the flat per-type field encoding of m. The
+// pooled pointer forms delegate to the same per-type encoders as their
+// value twins, so both forms produce identical bytes.
+func appendPayload(dst []byte, m Message) []byte {
 	switch v := m.(type) {
 	case Request:
-		b[0] = 0
 		if v.Rejoin {
-			b[0] = 1
+			return append(dst, 1)
 		}
-		_, err := bw.Write(b[:1])
-		return err
+		return append(dst, 0)
 	case Reply, CommWork:
-		return nil
+		return dst
 	case Probe:
-		le.PutUint32(b[0:], uint32(v.Tag.Initiator))
-		le.PutUint64(b[4:], v.Tag.N)
-		_, err := bw.Write(b[:12])
-		return err
+		return appendProbe(dst, v)
+	case *Probe:
+		return appendProbe(dst, *v)
 	case WFGD:
-		le.PutUint32(b[0:], uint32(len(v.Edges)))
-		if _, err := bw.Write(b[:4]); err != nil {
-			return err
+		dst = appendU32(dst, uint32(len(v.Edges)))
+		for _, e := range v.Edges {
+			dst = appendU32(dst, uint32(e.From))
+			dst = appendU32(dst, uint32(e.To))
 		}
-		return writeChunks(bw, b, 8, len(v.Edges), func(dst []byte, i int) {
-			le.PutUint32(dst[0:], uint32(v.Edges[i].From))
-			le.PutUint32(dst[4:], uint32(v.Edges[i].To))
-		})
+		return dst
 	case CtrlAcquire:
-		le.PutUint32(b[0:], uint32(v.Txn))
-		le.PutUint32(b[4:], uint32(v.Resource))
-		b[8] = byte(v.Mode)
-		le.PutUint32(b[9:], v.Inc)
-		_, err := bw.Write(b[:13])
-		return err
+		return appendCtrlAcquire(dst, v)
+	case *CtrlAcquire:
+		return appendCtrlAcquire(dst, *v)
 	case CtrlGranted:
-		le.PutUint32(b[0:], uint32(v.Txn))
-		le.PutUint32(b[4:], uint32(v.Resource))
-		le.PutUint32(b[8:], v.Inc)
-		_, err := bw.Write(b[:12])
-		return err
+		return appendTxnResInc(dst, uint32(v.Txn), uint32(v.Resource), v.Inc)
+	case *CtrlGranted:
+		return appendTxnResInc(dst, uint32(v.Txn), uint32(v.Resource), v.Inc)
 	case CtrlRelease:
-		le.PutUint32(b[0:], uint32(v.Txn))
-		le.PutUint32(b[4:], uint32(v.Resource))
-		le.PutUint32(b[8:], v.Inc)
-		_, err := bw.Write(b[:12])
-		return err
+		return appendTxnResInc(dst, uint32(v.Txn), uint32(v.Resource), v.Inc)
+	case *CtrlRelease:
+		return appendTxnResInc(dst, uint32(v.Txn), uint32(v.Resource), v.Inc)
 	case CtrlProbe:
-		le.PutUint32(b[0:], uint32(v.Tag.Initiator))
-		le.PutUint64(b[4:], v.Tag.N)
-		putAgent(b[12:], v.Edge.From)
-		putAgent(b[20:], v.Edge.To)
-		_, err := bw.Write(b[:28])
-		return err
+		return appendCtrlProbe(dst, v)
+	case *CtrlProbe:
+		return appendCtrlProbe(dst, *v)
 	case CtrlAbort:
-		le.PutUint32(b[0:], uint32(v.Txn))
-		_, err := bw.Write(b[:4])
-		return err
+		return appendU32(dst, uint32(v.Txn))
+	case *CtrlAbort:
+		return appendU32(dst, uint32(v.Txn))
 	case BaselineReport:
-		le.PutUint32(b[0:], uint32(v.Site))
-		le.PutUint32(b[4:], uint32(len(v.Edges)))
-		if _, err := bw.Write(b[:8]); err != nil {
-			return err
+		dst = appendU32(dst, uint32(v.Site))
+		dst = appendU32(dst, uint32(len(v.Edges)))
+		for _, e := range v.Edges {
+			dst = appendAgent(dst, e.From)
+			dst = appendAgent(dst, e.To)
 		}
-		return writeChunks(bw, b, 16, len(v.Edges), func(dst []byte, i int) {
-			putAgent(dst[0:], v.Edges[i].From)
-			putAgent(dst[8:], v.Edges[i].To)
-		})
+		return dst
 	case BaselineDecision:
-		le.PutUint32(b[0:], uint32(len(v.Deadlocked)))
-		if _, err := bw.Write(b[:4]); err != nil {
-			return err
+		dst = appendU32(dst, uint32(len(v.Deadlocked)))
+		for _, t := range v.Deadlocked {
+			dst = appendU32(dst, uint32(t))
 		}
-		return writeChunks(bw, b, 4, len(v.Deadlocked), func(dst []byte, i int) {
-			le.PutUint32(dst, uint32(v.Deadlocked[i]))
-		})
+		return dst
 	case CommQuery:
-		le.PutUint32(b[0:], uint32(v.Init))
-		le.PutUint64(b[4:], v.Seq)
-		_, err := bw.Write(b[:12])
-		return err
+		return appendU64(appendU32(dst, uint32(v.Init)), v.Seq)
+	case *CommQuery:
+		return appendU64(appendU32(dst, uint32(v.Init)), v.Seq)
 	case CommReply:
-		le.PutUint32(b[0:], uint32(v.Init))
-		le.PutUint64(b[4:], v.Seq)
-		_, err := bw.Write(b[:12])
-		return err
+		return appendU64(appendU32(dst, uint32(v.Init)), v.Seq)
+	case *CommReply:
+		return appendU64(appendU32(dst, uint32(v.Init)), v.Seq)
 	}
-	return ErrUnknownMessage // unreachable: binTagSize vetted the type
+	return dst // unreachable: binTagSize vetted the type
 }
 
-// writeChunks stages n fixed-size elements through the scratch buffer,
-// flushing it to bw whenever the next element would not fit. put fills
-// element i at the given offset.
-func writeChunks(bw *bufio.Writer, scratch []byte, elem, n int, put func(dst []byte, i int)) error {
-	used := 0
-	for i := 0; i < n; i++ {
-		if used+elem > len(scratch) {
-			if _, err := bw.Write(scratch[:used]); err != nil {
-				return err
-			}
-			used = 0
-		}
-		put(scratch[used:used+elem], i)
-		used += elem
-	}
-	if used > 0 {
-		if _, err := bw.Write(scratch[:used]); err != nil {
-			return err
-		}
-	}
-	return nil
+func appendProbe(dst []byte, v Probe) []byte {
+	return appendU64(appendU32(dst, uint32(v.Tag.Initiator)), v.Tag.N)
 }
 
-// putAgent writes one id.Agent as (txn, site).
-func putAgent(b []byte, a id.Agent) {
-	le.PutUint32(b[0:], uint32(a.Txn))
-	le.PutUint32(b[4:], uint32(a.Site))
+func appendCtrlAcquire(dst []byte, v CtrlAcquire) []byte {
+	dst = appendU32(dst, uint32(v.Txn))
+	dst = appendU32(dst, uint32(v.Resource))
+	dst = append(dst, byte(v.Mode))
+	return appendU32(dst, v.Inc)
+}
+
+func appendTxnResInc(dst []byte, txn, res, inc uint32) []byte {
+	return appendU32(appendU32(appendU32(dst, txn), res), inc)
+}
+
+func appendCtrlProbe(dst []byte, v CtrlProbe) []byte {
+	dst = appendU32(dst, uint32(v.Tag.Initiator))
+	dst = appendU64(dst, v.Tag.N)
+	dst = appendAgent(dst, v.Edge.From)
+	return appendAgent(dst, v.Edge.To)
 }
 
 // getAgent reads one id.Agent.
@@ -343,9 +374,10 @@ var (
 
 // binDecodeFrame reads one binary frame from br. buf is the decoder's
 // reusable payload scratch; the returned slice is its (possibly grown)
-// replacement. io.EOF is returned verbatim only at a clean frame
-// boundary; EOF inside a frame is ErrTruncatedFrame.
-func binDecodeFrame(br *bufio.Reader, buf []byte) (Envelope, []byte, error) {
+// replacement. pooled selects pool-backed pointer messages for the hot
+// fixed-size types (see pool.go). io.EOF is returned verbatim only at a
+// clean frame boundary; EOF inside a frame is ErrTruncatedFrame.
+func binDecodeFrame(br *bufio.Reader, buf []byte, pooled bool) (Envelope, []byte, error) {
 	// Peek+Discard instead of ReadFull into a stack array: the array
 	// would escape through the io.Reader interface and cost one heap
 	// allocation per frame — including per rejected frame.
@@ -394,7 +426,7 @@ func binDecodeFrame(br *bufio.Reader, buf []byte) (Envelope, []byte, error) {
 		}
 		return env, buf, nil
 	}
-	m, err := binDecodePayload(tag, payload)
+	m, err := binDecodePayload(tag, payload, pooled)
 	if err != nil {
 		return Envelope{}, buf, err
 	}
@@ -405,8 +437,10 @@ func binDecodeFrame(br *bufio.Reader, buf []byte) (Envelope, []byte, error) {
 // binDecodePayload materialises the message for one type tag. The
 // payload size must match the tag exactly — trailing bytes are a
 // framing error, and declared element counts must account for every
-// remaining byte.
-func binDecodePayload(tag byte, b []byte) (Message, error) {
+// remaining byte. With pooled set, the hot fixed-size types come back
+// as pool-backed pointers (boxing a pointer into the Message interface
+// is allocation-free); the consumer returns them with Recycle.
+func binDecodePayload(tag byte, b []byte, pooled bool) (Message, error) {
 	switch tag {
 	case tagNone:
 		return nil, ErrNilMessage // a data frame must carry a message
@@ -427,7 +461,13 @@ func binDecodePayload(tag byte, b []byte) (Message, error) {
 		if len(b) != 12 {
 			return nil, ErrBadFrame
 		}
-		return Probe{Tag: id.Tag{Initiator: id.Proc(int32(le.Uint32(b[0:]))), N: le.Uint64(b[4:])}}, nil
+		t := id.Tag{Initiator: id.Proc(int32(le.Uint32(b[0:]))), N: le.Uint64(b[4:])}
+		if pooled {
+			p := probePool.Get().(*Probe)
+			p.Tag = t
+			return p, nil
+		}
+		return Probe{Tag: t}, nil
 	case tagWFGD:
 		if len(b) < 4 {
 			return nil, ErrBadFrame
@@ -449,41 +489,70 @@ func binDecodePayload(tag byte, b []byte) (Message, error) {
 		if len(b) != 13 {
 			return nil, ErrBadFrame
 		}
-		return CtrlAcquire{
+		v := CtrlAcquire{
 			Txn:      id.Txn(int32(le.Uint32(b[0:]))),
 			Resource: id.Resource(int32(le.Uint32(b[4:]))),
 			Mode:     LockMode(b[8]),
 			Inc:      le.Uint32(b[9:]),
-		}, nil
+		}
+		if pooled {
+			p := ctrlAcquirePool.Get().(*CtrlAcquire)
+			*p = v
+			return p, nil
+		}
+		return v, nil
 	case tagCtrlGranted:
 		if len(b) != 12 {
 			return nil, ErrBadFrame
 		}
-		return CtrlGranted{
+		v := CtrlGranted{
 			Txn:      id.Txn(int32(le.Uint32(b[0:]))),
 			Resource: id.Resource(int32(le.Uint32(b[4:]))),
 			Inc:      le.Uint32(b[8:]),
-		}, nil
+		}
+		if pooled {
+			p := ctrlGrantedPool.Get().(*CtrlGranted)
+			*p = v
+			return p, nil
+		}
+		return v, nil
 	case tagCtrlRelease:
 		if len(b) != 12 {
 			return nil, ErrBadFrame
 		}
-		return CtrlRelease{
+		v := CtrlRelease{
 			Txn:      id.Txn(int32(le.Uint32(b[0:]))),
 			Resource: id.Resource(int32(le.Uint32(b[4:]))),
 			Inc:      le.Uint32(b[8:]),
-		}, nil
+		}
+		if pooled {
+			p := ctrlReleasePool.Get().(*CtrlRelease)
+			*p = v
+			return p, nil
+		}
+		return v, nil
 	case tagCtrlProbe:
 		if len(b) != 28 {
 			return nil, ErrBadFrame
 		}
-		return CtrlProbe{
+		v := CtrlProbe{
 			Tag:  id.CtrlTag{Initiator: id.Site(int32(le.Uint32(b[0:]))), N: le.Uint64(b[4:])},
 			Edge: id.AgentEdge{From: getAgent(b[12:]), To: getAgent(b[20:])},
-		}, nil
+		}
+		if pooled {
+			p := ctrlProbePool.Get().(*CtrlProbe)
+			*p = v
+			return p, nil
+		}
+		return v, nil
 	case tagCtrlAbort:
 		if len(b) != 4 {
 			return nil, ErrBadFrame
+		}
+		if pooled {
+			p := ctrlAbortPool.Get().(*CtrlAbort)
+			p.Txn = id.Txn(int32(le.Uint32(b[0:])))
+			return p, nil
 		}
 		return CtrlAbort{Txn: id.Txn(int32(le.Uint32(b[0:])))}, nil
 	case tagBaselineReport:
@@ -522,10 +591,20 @@ func binDecodePayload(tag byte, b []byte) (Message, error) {
 		if len(b) != 12 {
 			return nil, ErrBadFrame
 		}
+		if pooled {
+			p := commQueryPool.Get().(*CommQuery)
+			p.Init, p.Seq = id.Proc(int32(le.Uint32(b[0:]))), le.Uint64(b[4:])
+			return p, nil
+		}
 		return CommQuery{Init: id.Proc(int32(le.Uint32(b[0:]))), Seq: le.Uint64(b[4:])}, nil
 	case tagCommReply:
 		if len(b) != 12 {
 			return nil, ErrBadFrame
+		}
+		if pooled {
+			p := commReplyPool.Get().(*CommReply)
+			p.Init, p.Seq = id.Proc(int32(le.Uint32(b[0:]))), le.Uint64(b[4:])
+			return p, nil
 		}
 		return CommReply{Init: id.Proc(int32(le.Uint32(b[0:]))), Seq: le.Uint64(b[4:])}, nil
 	}

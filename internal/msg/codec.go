@@ -3,6 +3,7 @@ package msg
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"reflect"
@@ -126,10 +127,11 @@ type Encoder struct {
 	enc *gob.Encoder
 	// started records that the binary stream's version byte went out.
 	started bool
-	// scratch stages the binary header and payload chunks; owning it in
-	// the Encoder (not the stack) lets binEncodeFrame write through a
-	// pointer without any per-frame allocation.
-	scratch [binScratchLen]byte
+	// frameBuf is the reusable binary frame staging slice: appendFrame
+	// builds each frame into it, then one bufio.Write copies it out.
+	// Grown to the largest frame seen, never reallocated per frame in
+	// steady state.
+	frameBuf []byte
 }
 
 // NewEncoder returns an Encoder writing the default (binary) format.
@@ -180,17 +182,61 @@ func (e *Encoder) EncodeBuffered(env Envelope) error {
 			}
 			e.started = true
 		}
-		return binEncodeFrame(e.bw, &e.scratch, env)
+		buf, err := appendFrame(e.frameBuf[:0], env)
+		e.frameBuf = buf
+		if err != nil {
+			return err
+		}
+		_, err = e.bw.Write(buf)
+		return err
 	}
 	if env.Ctl == CtlData {
 		if _, _, ok := binTagSize(env.Msg); !ok {
 			return fmt.Errorf("encode envelope %d->%d: %w", env.From, env.To, classifyBadMessage(env.Msg))
 		}
+		// gob knows only the registered value types; a pooled pointer
+		// form re-boxes to its value twin before hitting the stream.
+		env.Msg = Deref(env.Msg)
 	}
 	if err := e.enc.Encode(env); err != nil {
 		return fmt.Errorf("encode envelope: %w", err)
 	}
 	return nil
+}
+
+// Vectored reports whether the encoder's format supports AppendFrame —
+// building frames into caller-owned slices for a gathered (writev)
+// flush. Only the binary format does; gob callers keep the buffered
+// path.
+func (e *Encoder) Vectored() bool { return e.wire == WireBinary }
+
+// errNotVectored rejects AppendFrame on a non-binary encoder.
+var errNotVectored = errors.New("msg: AppendFrame requires the binary wire format")
+
+// AppendFrame appends the complete wire encoding of env to dst and
+// returns the grown slice, without touching the encoder's buffered
+// stream. The first frame of the stream is preceded by the version
+// byte (shared `started` state with EncodeBuffered, so the two write
+// disciplines may alternate on one connection as long as the buffered
+// path is flushed before vector writes). On a rejected message dst is
+// returned unchanged.
+func (e *Encoder) AppendFrame(dst []byte, env Envelope) ([]byte, error) {
+	if e.wire != WireBinary {
+		return dst, errNotVectored
+	}
+	withMagic := dst
+	if !e.started {
+		withMagic = append(dst, binMagic)
+	}
+	out, err := appendFrame(withMagic, env)
+	if err != nil {
+		// The version byte must not be considered sent when the caller
+		// discards this segment: leave started untouched and hand back
+		// the original slice.
+		return dst, err
+	}
+	e.started = true
+	return out, nil
 }
 
 // Flush pushes every buffered envelope to the underlying stream.
@@ -229,11 +275,27 @@ type Decoder struct {
 	// connection, grown to the largest frame seen, never reallocated per
 	// frame in steady state.
 	buf []byte
+	// pooled selects pool-backed pointer messages for the hot fixed-size
+	// types: a steady-state data frame then decodes with zero heap
+	// allocations (the pointer rides the interface word). The consumer
+	// owns each pooled message for exactly one delivery and returns it
+	// with Recycle. Mirrored on the gob-interop path (values are
+	// converted to the pooled forms after decode) so handlers see one
+	// delivery convention regardless of the peer's codec.
+	pooled bool
 }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{br: bufio.NewReader(r)}
+}
+
+// NewPooledDecoder returns a Decoder whose hot fixed-size message types
+// decode into sync.Pool-recycled pointers instead of freshly boxed
+// values. Callers take on the ownership contract documented on Recycle;
+// everything else matches NewDecoder.
+func NewPooledDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReader(r), pooled: true}
 }
 
 // Format reports the sniffed stream format; valid only after the first
@@ -267,7 +329,7 @@ func (d *Decoder) Decode() (Envelope, error) {
 		}
 	}
 	if d.mode == WireBinary {
-		env, buf, err := binDecodeFrame(d.br, d.buf)
+		env, buf, err := binDecodeFrame(d.br, d.buf, d.pooled)
 		d.buf = buf
 		return env, err
 	}
@@ -280,6 +342,12 @@ func (d *Decoder) Decode() (Envelope, error) {
 	}
 	if env.Ctl == CtlData && (env.Msg == nil || isTypedNil(env.Msg)) {
 		return Envelope{}, fmt.Errorf("decode envelope %d->%d: %w", env.From, env.To, ErrNilMessage)
+	}
+	if d.pooled {
+		// Legacy gob peers produce value-typed messages; hand the caller
+		// the same pooled pointer forms the binary path does, so the
+		// delivery convention does not depend on the sender's codec.
+		env.Msg = toPooled(env.Msg)
 	}
 	return env, nil
 }

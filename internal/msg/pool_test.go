@@ -1,0 +1,202 @@
+package msg
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// pooledRoundTripEnvs covers every pooled type plus the singleton and
+// slice-carrying forms a pooled decoder must leave untouched.
+func pooledRoundTripEnvs() []Envelope {
+	return []Envelope{
+		{From: 1, To: 2, Seq: 1, Epoch: 7, Msg: Probe{Tag: id.Tag{Initiator: 3, N: 9}}},
+		{From: 1, To: 2, Seq: 2, Epoch: 7, Msg: CtrlAcquire{Txn: 4, Resource: 5, Mode: LockWrite, Inc: 2}},
+		{From: 1, To: 2, Seq: 3, Epoch: 7, Msg: CtrlGranted{Txn: 4, Resource: 5, Inc: 2}},
+		{From: 1, To: 2, Seq: 4, Epoch: 7, Msg: CtrlRelease{Txn: 4, Resource: 5, Inc: 2}},
+		{From: 1, To: 2, Seq: 5, Epoch: 7, Msg: CtrlProbe{
+			Tag:  id.CtrlTag{Initiator: 2, N: 11},
+			Edge: id.AgentEdge{From: id.Agent{Txn: 1, Site: 2}, To: id.Agent{Txn: 3, Site: 4}},
+		}},
+		{From: 1, To: 2, Seq: 6, Epoch: 7, Msg: CtrlAbort{Txn: 8}},
+		{From: 1, To: 2, Seq: 7, Epoch: 7, Msg: CommQuery{Init: 6, Seq: 13}},
+		{From: 1, To: 2, Seq: 8, Epoch: 7, Msg: CommReply{Init: 6, Seq: 13}},
+		{From: 1, To: 2, Seq: 9, Epoch: 7, Msg: Request{Rejoin: true}},
+		{From: 1, To: 2, Seq: 10, Epoch: 7, Msg: Reply{}},
+		{From: 1, To: 2, Seq: 11, Epoch: 7, Msg: WFGD{Edges: []id.Edge{{From: 1, To: 2}}}},
+	}
+}
+
+// TestPooledDecodeRoundTrip checks a pooled decoder yields pointer
+// forms for the hot types whose dereferenced payloads match what was
+// sent, value/singleton forms for everything else, on both codecs.
+func TestPooledDecodeRoundTrip(t *testing.T) {
+	for _, wire := range []WireFormat{WireBinary, WireGob} {
+		var buf bytes.Buffer
+		enc := NewEncoderFormat(&buf, wire)
+		envs := pooledRoundTripEnvs()
+		for _, env := range envs {
+			if err := enc.Encode(env); err != nil {
+				t.Fatalf("%v encode: %v", wire, err)
+			}
+		}
+		dec := NewPooledDecoder(&buf)
+		for i, want := range envs {
+			got, err := dec.Decode()
+			if err != nil {
+				t.Fatalf("%v decode %d: %v", wire, i, err)
+			}
+			if _, sliced := got.Msg.(WFGD); !sliced { // slice payloads do not compare with ==
+				if Deref(got.Msg) != Deref(want.Msg) {
+					t.Fatalf("%v frame %d: got %#v want %#v", wire, i, got.Msg, want.Msg)
+				}
+			}
+			switch want.Msg.(type) {
+			case Probe, CtrlAcquire, CtrlGranted, CtrlRelease, CtrlProbe, CtrlAbort, CommQuery, CommReply:
+				switch got.Msg.(type) {
+				case *Probe, *CtrlAcquire, *CtrlGranted, *CtrlRelease, *CtrlProbe, *CtrlAbort, *CommQuery, *CommReply:
+				default:
+					t.Fatalf("%v frame %d: hot type decoded as %T, want pooled pointer form", wire, i, got.Msg)
+				}
+			}
+			Recycle(got.Msg)
+		}
+	}
+}
+
+// TestRecycleZeroes checks a recycled message comes back from the pool
+// zeroed, so one frame's payload can never leak into the next.
+func TestRecycleZeroes(t *testing.T) {
+	p := probePool.Get().(*Probe)
+	p.Tag = id.Tag{Initiator: 42, N: 99}
+	Recycle(p)
+	// Drain until we see the same pointer again (the pool may hold
+	// others); every instance must be zero regardless.
+	for i := 0; i < 64; i++ {
+		q := probePool.Get().(*Probe)
+		if q.Tag != (id.Tag{}) {
+			t.Fatalf("pooled Probe not zeroed: %+v", q.Tag)
+		}
+		if q == p {
+			return
+		}
+	}
+}
+
+// TestRecycleNonPooledNoOp checks Recycle tolerates everything a
+// delivery path might hand it.
+func TestRecycleNonPooledNoOp(t *testing.T) {
+	Recycle(nil)
+	Recycle(Probe{Tag: id.Tag{Initiator: 1}})
+	Recycle(Request{})
+	Recycle(boxedReply)
+	Recycle(WFGD{Edges: []id.Edge{{From: 1, To: 2}}})
+	Recycle((*Probe)(nil)) // typed nil must not be pooled or crash
+}
+
+// TestEncodePointerFormsByteIdentical checks re-encoding a pooled
+// pointer form produces exactly the bytes of its value twin, for both
+// the buffered and the vector encoder.
+func TestEncodePointerFormsByteIdentical(t *testing.T) {
+	pairs := []struct{ val, ptr Message }{
+		{Probe{Tag: id.Tag{Initiator: 3, N: 9}}, &Probe{Tag: id.Tag{Initiator: 3, N: 9}}},
+		{CtrlAcquire{Txn: 4, Resource: 5, Mode: LockRead, Inc: 1}, &CtrlAcquire{Txn: 4, Resource: 5, Mode: LockRead, Inc: 1}},
+		{CtrlGranted{Txn: 4, Resource: 5, Inc: 1}, &CtrlGranted{Txn: 4, Resource: 5, Inc: 1}},
+		{CtrlRelease{Txn: 4, Resource: 5, Inc: 1}, &CtrlRelease{Txn: 4, Resource: 5, Inc: 1}},
+		{CtrlProbe{Tag: id.CtrlTag{Initiator: 2, N: 1}}, &CtrlProbe{Tag: id.CtrlTag{Initiator: 2, N: 1}}},
+		{CtrlAbort{Txn: 8}, &CtrlAbort{Txn: 8}},
+		{CommQuery{Init: 6, Seq: 13}, &CommQuery{Init: 6, Seq: 13}},
+		{CommReply{Init: 6, Seq: 13}, &CommReply{Init: 6, Seq: 13}},
+	}
+	for _, pc := range pairs {
+		var a, b bytes.Buffer
+		ea, eb := NewEncoder(&a), NewEncoder(&b)
+		envV := Envelope{From: 1, To: 2, Seq: 1, Epoch: 3, Msg: pc.val}
+		envP := envV
+		envP.Msg = pc.ptr
+		if err := ea.Encode(envV); err != nil {
+			t.Fatalf("%T value encode: %v", pc.val, err)
+		}
+		if err := eb.Encode(envP); err != nil {
+			t.Fatalf("%T pointer encode: %v", pc.val, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%T: pointer form encodes differently from value form", pc.val)
+		}
+		vec := NewEncoder(io.Discard)
+		seg, err := vec.AppendFrame(nil, envP)
+		if err != nil {
+			t.Fatalf("%T AppendFrame: %v", pc.val, err)
+		}
+		if !bytes.Equal(seg, a.Bytes()) {
+			t.Fatalf("%T: vector frame differs from buffered encoding", pc.val)
+		}
+	}
+}
+
+// TestAppendFrameMagicOnce checks the stream version byte precedes
+// exactly the first vector frame, stays unsent when the first frame is
+// rejected, and that gob encoders refuse the vector path.
+func TestAppendFrameMagicOnce(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	if !enc.Vectored() {
+		t.Fatal("binary encoder must support vector frames")
+	}
+	if _, err := enc.AppendFrame(nil, Envelope{From: 1, To: 2, Msg: nil}); err == nil {
+		t.Fatal("nil message must be rejected")
+	}
+	seg1, err := enc.AppendFrame(nil, Envelope{From: 1, To: 2, Seq: 1, Msg: Reply{}})
+	if err != nil {
+		t.Fatalf("frame 1: %v", err)
+	}
+	if len(seg1) == 0 || seg1[0] != binMagic {
+		t.Fatal("first successful frame must carry the stream version byte")
+	}
+	seg2, err := enc.AppendFrame(nil, Envelope{From: 1, To: 2, Seq: 2, Msg: Reply{}})
+	if err != nil {
+		t.Fatalf("frame 2: %v", err)
+	}
+	if len(seg2) > 0 && seg2[0] == binMagic {
+		t.Fatal("version byte must be sent once per stream")
+	}
+	gobEnc := NewEncoderFormat(io.Discard, WireGob)
+	if gobEnc.Vectored() {
+		t.Fatal("gob encoder must not claim vector support")
+	}
+	if _, err := gobEnc.AppendFrame(nil, Envelope{Msg: Reply{}}); err == nil {
+		t.Fatal("gob AppendFrame must fail")
+	}
+}
+
+// TestPooledDecodeZeroAllocs pins the pooled steady state: decoding a
+// probe frame and recycling it performs no heap allocation.
+func TestPooledDecodeZeroAllocs(t *testing.T) {
+	var wire bytes.Buffer
+	enc := NewEncoder(&wire)
+	env := Envelope{From: 1, To: 2, Seq: 1, Epoch: 3, Msg: Probe{Tag: id.Tag{Initiator: 3, N: 9}}}
+	if err := enc.Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), wire.Bytes()...)
+	r := bytes.NewReader(frame)
+	dec := NewPooledDecoder(r)
+	if _, err := dec.Decode(); err != nil { // warm-up: sniff + size scratch
+		t.Fatal(err)
+	}
+	// Re-feed the same frame bytes (sans magic) through the same decoder.
+	body := frame[1:]
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(body)
+		dec.br.Reset(r)
+		e, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		Recycle(e.Msg)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled decode allocated %.1f times per frame, want 0", allocs)
+	}
+}

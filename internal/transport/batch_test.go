@@ -39,7 +39,7 @@ func sendBurst(t *testing.T, net_ *transport.TCP, n int) []uint64 {
 	net_.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
 	net_.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) {
 		mu.Lock()
-		got = append(got, m.(msg.Probe).Tag.N)
+		got = append(got, msg.Deref(m).(msg.Probe).Tag.N)
 		mu.Unlock()
 	}))
 	for i := 0; i < n; i++ {
@@ -71,6 +71,30 @@ func TestBatchedWritesPreserveFIFO(t *testing.T) {
 	}
 	if st.Flushes >= st.FramesWritten {
 		t.Fatalf("Flushes = %d >= FramesWritten = %d: no coalescing happened", st.Flushes, st.FramesWritten)
+	}
+	if st.VectorFlushes != st.Flushes {
+		t.Fatalf("VectorFlushes = %d of %d flushes: the binary codec must take the gathered-write path",
+			st.VectorFlushes, st.Flushes)
+	}
+}
+
+// TestGobLinksSkipVectorPath pins the interop fallback: a link speaking
+// the legacy gob codec cannot build an iovec of preframed bytes, so its
+// flushes go through the buffered encoder and never count as vectored.
+func TestGobLinksSkipVectorPath(t *testing.T) {
+	const n = 100
+	net_ := transport.NewTCPWithOptions(transport.TCPOptions{Codec: msg.WireGob})
+	defer net_.Close()
+	got := sendBurst(t, net_, n)
+	if len(got) != n {
+		t.Fatalf("delivered %d frames, want %d", len(got), n)
+	}
+	st := net_.Stats()
+	if st.VectorFlushes != 0 {
+		t.Fatalf("VectorFlushes = %d on a gob link, want 0", st.VectorFlushes)
+	}
+	if st.Flushes == 0 {
+		t.Fatal("no flushes recorded")
 	}
 }
 
@@ -107,7 +131,7 @@ func TestBatchingSurvivesConnectionDrop(t *testing.T) {
 	net_.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
 	net_.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) {
 		mu.Lock()
-		got = append(got, m.(msg.Probe).Tag.N)
+		got = append(got, msg.Deref(m).(msg.Probe).Tag.N)
 		mu.Unlock()
 	}))
 	for i := 0; i < n; i++ {

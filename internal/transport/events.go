@@ -253,11 +253,24 @@ type TCPStats struct {
 	Duplicates        int64
 	Resequenced       int64
 	HeldFramesDropped int64
+	// HeldFramesPurged counts out-of-order frames discarded because
+	// their stream's sender rejoined under a new epoch before the gap
+	// ahead of them filled. They are stale by definition — the new
+	// epoch restarts the pair's sequence space from 1 — so purging them
+	// on the epoch switch frees the resequencing buffer immediately
+	// instead of pinning it until MaxHeldPerStream evictions. Kept
+	// separate from HeldFramesDropped: a purge is normal rejoin
+	// housekeeping, a drop is an overflow worth alarming on.
+	HeldFramesPurged int64
 	// FramesWritten counts envelopes encoded onto connections; Flushes
 	// counts the stream flushes that carried them. With write batching,
 	// FramesWritten/Flushes is the achieved coalescing factor.
+	// VectorFlushes is the subset of Flushes issued as one gathered
+	// writev over the batch's frames (binary codec only); the remainder
+	// went through the buffered per-frame encoder.
 	FramesWritten int64
 	Flushes       int64
+	VectorFlushes int64
 	// BackpressureEngaged counts mailbox high-watermark crossings;
 	// MailboxPeak is the deepest any node's ingress mailbox has been.
 	BackpressureEngaged int64
@@ -284,7 +297,8 @@ type tcpCounters struct {
 	dials, dialRetries, connects, reconnects, dialDeadlines atomic.Int64
 	writeErrors, readErrors                                 atomic.Int64
 	replayed, duplicates, resequenced, heldDropped          atomic.Int64
-	framesWritten, flushes, backpressure                    atomic.Int64
+	heldPurged                                              atomic.Int64
+	framesWritten, flushes, vectorFlushes, backpressure     atomic.Int64
 	heartbeats, acksSent, acksReceived, framesPruned        atomic.Int64
 	peerDowns, peerUps                                      atomic.Int64
 }
@@ -302,8 +316,10 @@ func (c *tcpCounters) snapshot() TCPStats {
 		Duplicates:          c.duplicates.Load(),
 		Resequenced:         c.resequenced.Load(),
 		HeldFramesDropped:   c.heldDropped.Load(),
+		HeldFramesPurged:    c.heldPurged.Load(),
 		FramesWritten:       c.framesWritten.Load(),
 		Flushes:             c.flushes.Load(),
+		VectorFlushes:       c.vectorFlushes.Load(),
 		BackpressureEngaged: c.backpressure.Load(),
 		HeartbeatsSent:      c.heartbeats.Load(),
 		AcksSent:            c.acksSent.Load(),

@@ -56,7 +56,9 @@ func TestTCPAddrAndSetPeer(t *testing.T) {
 
 	got := make(chan msg.Message, 1)
 	a.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
-	b.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) { got <- m }))
+	// Deref before retaining: pooled frames are recycled once the
+	// handler returns.
+	b.Register(2, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) { got <- msg.Deref(m) }))
 	if addr := b.Addr(2); addr == "" {
 		t.Fatal("no listen address for node 2")
 	}

@@ -147,7 +147,7 @@ func TestHostMuxPerPairFIFO(t *testing.T) {
 		recs[n] = rc
 		tb.Register(n, HandlerFunc(func(from NodeID, m msg.Message) {
 			rc.mu.Lock()
-			rc.seen[from] = append(rc.seen[from], int(m.(msg.Probe).Tag.N))
+			rc.seen[from] = append(rc.seen[from], int(msg.Deref(m).(msg.Probe).Tag.N))
 			rc.mu.Unlock()
 		}))
 	}

@@ -90,6 +90,13 @@ type inbox struct {
 
 	mu    sync.Mutex
 	pairs map[streamKey]*pairState
+	// sinks memoizes the per-stream lock-free delivery sink (nil when
+	// the stream's handler does not provide one, or observers were
+	// attached at bind time). Keyed per stream — NOT per pairState —
+	// so a sender epoch change keeps its session: frames of the new
+	// epoch must flow through the same rings as the old one's, or the
+	// two could race each other into the shards.
+	sinks map[streamKey]StreamSink
 }
 
 // streamKey identifies one inbound frame stream: a sending host (host
@@ -152,7 +159,11 @@ func NewTCPWithOptions(o TCPOptions) *TCP {
 
 // Observe attaches an observer to all subsequent traffic. Observers
 // that also implement SeqObserver additionally receive each delivered
-// frame's (epoch, seq) sequencing.
+// frame's (epoch, seq) sequencing. Attach observers before traffic
+// begins: an inbound stream whose handler provides a lock-free
+// StreamSink binds it at the stream's first frame when no observers
+// are attached, and a stream already bound stays on the sink path —
+// which bypasses delivery callbacks — for its lifetime.
 func (t *TCP) Observe(o Observer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -219,7 +230,8 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
-	ib := &inbox{node: id, inc: newEpoch(), pairs: make(map[streamKey]*pairState)}
+	ib := &inbox{node: id, inc: newEpoch(), pairs: make(map[streamKey]*pairState), sinks: make(map[streamKey]StreamSink)}
+	_, retains := h.(MessageRetainer)
 	ib.box = newMailbox(h, func(d delivery) {
 		t.mu.Lock()
 		obs := t.observers
@@ -231,6 +243,9 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 			}
 		}
 		h.HandleMessage(d.from, d.m)
+		if !retains {
+			msg.Recycle(d.m)
+		}
 	}, mailboxConfig{
 		highWater: t.opts.MailboxHighWater,
 		onPressure: func(engaged bool, depth int) {
@@ -274,7 +289,7 @@ func (t *TCP) ListenHost(host NodeID, addr string) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
-	ib := &inbox{node: host, inc: newEpoch(), pairs: make(map[streamKey]*pairState)}
+	ib := &inbox{node: host, inc: newEpoch(), pairs: make(map[streamKey]*pairState), sinks: make(map[streamKey]StreamSink)}
 	ib.box = newMailbox(nil, func(d delivery) {
 		t.mu.Lock()
 		h := t.handlers[d.to]
@@ -285,6 +300,7 @@ func (t *TCP) ListenHost(host NodeID, addr string) error {
 			// misconfiguration, not a crash — the rest of the host's
 			// traffic must keep flowing.
 			t.report(fmt.Errorf("tcp: host %d received frame for unregistered node %d", host, d.to))
+			msg.Recycle(d.m)
 			return
 		}
 		for _, o := range obs {
@@ -294,6 +310,9 @@ func (t *TCP) ListenHost(host NodeID, addr string) error {
 			}
 		}
 		h.HandleMessage(d.from, d.m)
+		if _, retains := h.(MessageRetainer); !retains {
+			msg.Recycle(d.m)
+		}
 	}, mailboxConfig{
 		highWater: t.opts.MailboxHighWater,
 		onPressure: func(engaged bool, depth int) {
@@ -411,7 +430,7 @@ func (t *TCP) acceptLoop(ln net.Listener, ib *inbox) {
 // sender re-solicits acknowledgement with its next ping.
 func (t *TCP) readLoop(conn net.Conn, ib *inbox) {
 	defer t.wg.Done()
-	dec := msg.NewDecoder(conn)
+	dec := msg.NewPooledDecoder(conn)
 	var enc *msg.Encoder // created on first ack
 	for {
 		env, err := dec.Decode()
@@ -479,25 +498,43 @@ func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 	if fresh {
 		// First frame of a (possibly new) sender incarnation: expect its
 		// stream from the beginning. Replays always restart at seq 1.
+		// Frames the old incarnation left parked in the resequencer are
+		// stale — the new epoch restarts the pair's sequence space, so
+		// their gaps can never fill — and are purged here rather than
+		// left to age out one MaxHeldPerStream eviction at a time (a
+		// restart storm would otherwise pin a full parking lot per
+		// stream, and a numerically colliding sequence number could
+		// even replay a stale frame into the new epoch's stream).
+		if ps != nil && len(ps.held) > 0 {
+			for _, hf := range ps.held {
+				msg.Recycle(hf.m)
+			}
+			t.stats.heldPurged.Add(int64(len(ps.held)))
+		}
 		ps = &pairState{epoch: env.Epoch, next: 1, held: make(map[uint64]heldFrame)}
 		ib.pairs[key] = ps
 	}
 	switch {
 	case env.Seq < ps.next:
 		t.stats.duplicates.Add(1)
+		msg.Recycle(env.Msg)
 		return ib.ackLocked(key, env.Epoch), true
 	case env.Seq > ps.next:
-		if _, dup := ps.held[env.Seq]; !dup {
-			if len(ps.held) >= t.opts.MaxHeldPerStream {
-				// The stream's parking lot is full — a buggy or hostile
-				// sender far ahead of its own sequence space could
-				// otherwise pin unbounded memory here. Dropping is safe:
-				// the cumulative ack never covers this frame, so the
-				// sender's replay buffer re-delivers it once the gap
-				// actually fills (or the connection cycles).
-				t.stats.heldDropped.Add(1)
-				return msg.Envelope{}, false
-			}
+		switch _, dup := ps.held[env.Seq]; {
+		case dup:
+			// A replayed copy of a frame already parked: drop the copy.
+			msg.Recycle(env.Msg)
+		case len(ps.held) >= t.opts.MaxHeldPerStream:
+			// The stream's parking lot is full — a buggy or hostile
+			// sender far ahead of its own sequence space could
+			// otherwise pin unbounded memory here. Dropping is safe:
+			// the cumulative ack never covers this frame, so the
+			// sender's replay buffer re-delivers it once the gap
+			// actually fills (or the connection cycles).
+			t.stats.heldDropped.Add(1)
+			msg.Recycle(env.Msg)
+			return msg.Envelope{}, false
+		default:
 			ps.held[env.Seq] = heldFrame{m: env.Msg, from: from, to: to}
 			t.stats.resequenced.Add(1)
 		}
@@ -506,7 +543,7 @@ func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 		}
 		return msg.Envelope{}, false
 	}
-	ib.box.put(delivery{from: from, to: to, m: env.Msg, seq: ps.next, epoch: ps.epoch})
+	t.deliverLocked(ib, key, delivery{from: from, to: to, m: env.Msg, seq: ps.next, epoch: ps.epoch})
 	ps.next++
 	for {
 		hf, ok := ps.held[ps.next]
@@ -514,13 +551,50 @@ func (t *TCP) receive(ib *inbox, env msg.Envelope) (msg.Envelope, bool) {
 			break
 		}
 		delete(ps.held, ps.next)
-		ib.box.put(delivery{from: hf.from, to: hf.to, m: hf.m, seq: ps.next, epoch: ps.epoch})
+		t.deliverLocked(ib, key, delivery{from: hf.from, to: hf.to, m: hf.m, seq: ps.next, epoch: ps.epoch})
 		ps.next++
 	}
 	if fresh || ps.next-1 >= ps.acked+tcpAckStride {
 		return ib.ackLocked(key, env.Epoch), true
 	}
 	return msg.Envelope{}, false
+}
+
+// sinkLocked (ib.mu held) resolves the stream's lock-free delivery
+// sink, binding it on first use. A stream binds at its first sequenced
+// data frame: if the destination's handler provides sinks and no
+// observers are attached, every subsequent in-order frame of the
+// stream bypasses the dispatch mailbox. The nil verdict is memoized
+// too — a stream is either on the sink path or the mailbox path for
+// its whole life, never both, so the two can never reorder against
+// each other. Streams whose first frame targets a not-yet-registered
+// node stay unmemoized and retry the bind on the next frame.
+func (t *TCP) sinkLocked(ib *inbox, key streamKey, to NodeID) StreamSink {
+	if sink, resolved := ib.sinks[key]; resolved {
+		return sink
+	}
+	t.mu.Lock()
+	h := t.handlers[to]
+	observed := len(t.observers) > 0
+	t.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	var sink StreamSink
+	if sp, ok := h.(SinkProvider); ok && !observed {
+		sink = sp.BindStream()
+	}
+	ib.sinks[key] = sink
+	return sink
+}
+
+// deliverLocked (ib.mu held) hands one in-order frame to the stream's
+// sink when it has one, else to the dispatch mailbox.
+func (t *TCP) deliverLocked(ib *inbox, key streamKey, d delivery) {
+	if sink := t.sinkLocked(ib, key, d.to); sink != nil && sink.DeliverStream(d.from, d.to, d.m) {
+		return
+	}
+	ib.box.put(d)
 }
 
 // ackLocked (ib.mu held) builds the cumulative acknowledgement for one

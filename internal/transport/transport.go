@@ -33,6 +33,45 @@ type HandlerFunc func(from NodeID, m msg.Message)
 // HandleMessage implements Handler.
 func (f HandlerFunc) HandleMessage(from NodeID, m msg.Message) { f(from, m) }
 
+// MessageRetainer marks a Handler whose HandleMessage retains the
+// delivered message past the call — typically by enqueuing it for an
+// asynchronous consumer (the engine's shard ingress does this). The TCP
+// transport decodes hot-path messages into pooled structs and recycles
+// each one as soon as the handler returns; a retaining handler must
+// implement this marker to take ownership instead, and then becomes
+// responsible for calling msg.Recycle itself once the message has been
+// consumed. Handlers that finish with the message inside HandleMessage
+// (every synchronous protocol step) need nothing.
+type MessageRetainer interface {
+	// RetainsMessages is a marker; it is never called.
+	RetainsMessages()
+}
+
+// StreamSink accepts the in-order deliveries of one inbound frame
+// stream on a lock-free path, bypassing the dispatch mailbox. The
+// transport calls DeliverStream under its per-stream resequencing lock,
+// so calls for one sink are serialized and arrive in exact stream
+// order; the sink must preserve that order per destination.
+// DeliverStream takes ownership of m (the sink's consumer recycles
+// pooled frames); a false return means the sink does not own the
+// destination and the caller must deliver through its regular path —
+// the verdict must be stable per destination, or per-pair FIFO breaks.
+type StreamSink interface {
+	DeliverStream(from, to NodeID, m msg.Message) bool
+}
+
+// SinkProvider is implemented by handlers (the engine Host's inbound
+// shim) that can consume deliveries through a StreamSink. The TCP
+// transport binds one sink per inbound stream, lazily at the stream's
+// first sequenced frame, and keeps it for the stream's lifetime —
+// across reconnects and sender epoch changes, whose frames must not
+// race each other through different paths. Binding is skipped while
+// transport observers are attached: observer callbacks fire on the
+// dispatch path, and a sink would route around them.
+type SinkProvider interface {
+	BindStream() StreamSink
+}
+
 // Transport routes messages between registered nodes.
 type Transport interface {
 	// Register attaches the handler for a node. It must be called

@@ -32,7 +32,7 @@ func newCollector(want int) *collector {
 }
 
 func (c *collector) HandleMessage(from transport.NodeID, m msg.Message) {
-	p, ok := m.(msg.Probe)
+	p, ok := msg.Deref(m).(msg.Probe) // TCP delivers pooled pointer forms
 	if !ok {
 		return
 	}
@@ -183,7 +183,9 @@ func TestTCPCarriesEveryMessageKind(t *testing.T) {
 	}
 	got := make(chan rcv, len(kinds))
 	net.Register(1, transport.HandlerFunc(func(_ transport.NodeID, m msg.Message) {
-		got <- rcv{m: m}
+		// Deref before retaining: pooled pointer forms are recycled as
+		// soon as this handler returns.
+		got <- rcv{m: msg.Deref(m)}
 	}))
 	net.Register(0, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
 	for _, m := range kinds {

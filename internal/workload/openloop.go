@@ -101,6 +101,26 @@ type OpenLoopConfig struct {
 	MaxEvents int `json:"max_events,omitempty"`
 	// SettleNs bounds the host-mode post-admission grace period.
 	SettleNs int64 `json:"settle_ns,omitempty"`
+	// Interrupt, when non-nil, aborts the run early once it becomes
+	// readable (callers close it; cmhload does on SIGINT/SIGTERM).
+	// Admission stops, the settle phase is skipped, and the report is
+	// returned with Interrupted set — partial but well-formed. The
+	// deferred oracle audit is skipped too: it is only exact at
+	// quiescence, which an interrupted run never reached.
+	Interrupt <-chan struct{} `json:"-"`
+}
+
+// interrupted reports whether the run's interrupt channel is readable.
+func (cfg *OpenLoopConfig) interrupted() bool {
+	if cfg.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-cfg.Interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 // Validate rejects configurations the generator cannot run safely. It
@@ -280,8 +300,13 @@ type Report struct {
 	DetectMaxUs  int64   `json:"detect_max_us"`
 	DetectMeanUs float64 `json:"detect_mean_us"`
 
-	EventsExhausted bool          `json:"events_exhausted,omitempty"`
-	Declarations    []Declaration `json:"declarations,omitempty"`
+	EventsExhausted bool `json:"events_exhausted,omitempty"`
+	// Interrupted marks a run cut short through OpenLoopConfig.Interrupt
+	// (cmhload sets it on SIGINT/SIGTERM): every figure is a valid
+	// partial measurement, but the admission window was not completed
+	// and no quiescence audit ran.
+	Interrupted  bool          `json:"interrupted,omitempty"`
+	Declarations []Declaration `json:"declarations,omitempty"`
 }
 
 // olSpec is the retained script of an admitted transaction (retry
@@ -771,18 +796,44 @@ func runOpenLoopSim(cfg OpenLoopConfig) (*Report, error) {
 	// "none", deadlocked agents stop generating events after their one
 	// detection round. MaxEvents is the runaway guard.
 	steps := 0
+	interrupted := false
 	for steps < cfg.MaxEvents && sched.Step() {
 		steps++
+		// The interrupt poll is amortized: one channel peek per 4096
+		// virtual events keeps the loop hot while still stopping within
+		// microseconds of a signal.
+		if steps&4095 == 0 && cfg.interrupted() {
+			interrupted = true
+			break
+		}
 	}
 	rep := r.report()
-	rep.EventsExhausted = sched.Pending() > 0
-	if cfg.CheckOracle {
+	rep.Interrupted = interrupted
+	rep.EventsExhausted = !interrupted && sched.Pending() > 0
+	if cfg.CheckOracle && !interrupted {
 		rep.UncoveredCycles = r.uncoveredCycles()
 	}
 	r.mu.Lock()
 	err = r.runErr
 	r.mu.Unlock()
 	return rep, err
+}
+
+// sleepOrInterrupt sleeps for d unless the interrupt channel becomes
+// readable first, reporting whether it was interrupted.
+func sleepOrInterrupt(d time.Duration, interrupt <-chan struct{}) bool {
+	if interrupt == nil {
+		time.Sleep(d)
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-interrupt:
+		return true
+	case <-t.C:
+		return false
+	}
 }
 
 // wallTimers is the real-time ddb.Timers for host runs.
@@ -822,17 +873,25 @@ func runOpenLoopHost(cfg OpenLoopConfig) (*Report, error) {
 
 	// Pacer: absolute-time schedule; sleeps only when comfortably
 	// ahead, so sub-millisecond gaps batch into small bursts rather
-	// than being stretched by sleep granularity.
+	// than being stretched by sleep granularity. Sleeps race the
+	// interrupt channel so a signal stops admission immediately instead
+	// of after the next gap.
 	start := time.Now()
 	deadline := start.Add(time.Duration(cfg.DurationNs))
 	next := start
-	for {
+	interrupted := false
+	for !interrupted {
 		next = next.Add(time.Duration(r.nextGapNs()))
 		if next.After(deadline) {
 			break
 		}
 		if d := time.Until(next); d > time.Millisecond {
-			time.Sleep(d)
+			interrupted = sleepOrInterrupt(d, cfg.Interrupt)
+		} else {
+			interrupted = cfg.interrupted()
+		}
+		if interrupted {
+			break
 		}
 		arrivals <- struct{}{}
 		if cfg.MaxTxns > 0 && r.startedCount() >= cfg.MaxTxns {
@@ -845,11 +904,16 @@ func runOpenLoopHost(cfg OpenLoopConfig) (*Report, error) {
 
 	// Settle: poll the activity signature until it goes quiet (or the
 	// grace budget runs out — stuck work is reported, not waited on).
+	// An interrupted run skips settling: the caller asked for the exit,
+	// not for in-flight transactions to finish.
 	const poll = 25 * time.Millisecond
 	quietFor, waited := time.Duration(0), time.Duration(0)
 	prev := r.progress()
-	for quietFor < 8*poll && waited < time.Duration(cfg.SettleNs) {
-		time.Sleep(poll)
+	for !interrupted && quietFor < 8*poll && waited < time.Duration(cfg.SettleNs) {
+		if sleepOrInterrupt(poll, cfg.Interrupt) {
+			interrupted = true
+			break
+		}
 		waited += poll
 		if cur := r.progress(); cur == prev {
 			quietFor += poll
@@ -859,12 +923,18 @@ func runOpenLoopHost(cfg OpenLoopConfig) (*Report, error) {
 	}
 	host.Drain()
 	var uncovered int64
-	if cfg.CheckOracle {
+	if cfg.CheckOracle && !interrupted {
 		r.auditDeferred()
 		uncovered = r.uncoveredCycles()
 	}
 	rep := r.report()
 	rep.UncoveredCycles = uncovered
+	rep.Interrupted = interrupted
+	// The deferred audit never ran, so the report must not claim an
+	// oracle verdict.
+	if interrupted {
+		rep.OracleChecked = false
+	}
 	rep.DurationSec = admitSec
 	if rep.DurationSec > 0 {
 		rep.CommitsPerSec = float64(rep.Committed) / rep.DurationSec

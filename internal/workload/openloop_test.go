@@ -257,6 +257,68 @@ func TestOpenLoopHostSmoke(t *testing.T) {
 	}
 }
 
+// TestOpenLoopInterruptStopsEarly closes the interrupt channel shortly
+// into a run whose admission window is far longer, on both runtimes:
+// RunOpenLoop must return promptly with a well-formed partial report
+// marked Interrupted, skipping the settle phase and the deferred audit.
+func TestOpenLoopInterruptStopsEarly(t *testing.T) {
+	interrupt := make(chan struct{})
+	cfg := OpenLoopConfig{
+		Runtime:     RuntimeHost,
+		Sites:       64,
+		Shards:      4,
+		Keys:        48,
+		Dist:        "uniform",
+		RatePerSec:  2000,
+		DurationNs:  int64(time.Hour),
+		Mix:         TxnMix{MinSteps: 2, MaxSteps: 3, WriteFrac: 0.9},
+		ThinkNs:     int64(200 * time.Microsecond),
+		HoldNs:      int64(500 * time.Microsecond),
+		DelayNs:     int64(2 * time.Millisecond),
+		Victim:      VictimNone,
+		Seed:        7,
+		CheckOracle: true,
+		SettleNs:    int64(time.Hour),
+		Interrupt:   interrupt,
+	}
+	time.AfterFunc(300*time.Millisecond, func() { close(interrupt) })
+	start := time.Now()
+	rep, err := RunOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("interrupted run took %v to return", elapsed)
+	}
+	if !rep.Interrupted {
+		t.Fatal("report not marked Interrupted")
+	}
+	if rep.Started == 0 {
+		t.Fatal("no transactions admitted before the interrupt: partial report is empty")
+	}
+	if rep.OracleChecked {
+		t.Fatal("interrupted run claims an oracle verdict it never computed")
+	}
+
+	// Sim leg: a pre-closed channel stops the event loop almost at once.
+	simCfg := cfg
+	simCfg.Runtime = RuntimeSim
+	simCfg.CheckOracle = false
+	closed := make(chan struct{})
+	close(closed)
+	simCfg.Interrupt = closed
+	simRep, err := RunOpenLoop(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simRep.Interrupted {
+		t.Fatal("sim report not marked Interrupted")
+	}
+	if simRep.EventsExhausted {
+		t.Fatal("interrupted sim run misreported as events-exhausted")
+	}
+}
+
 func TestOpenLoopHostResolvingRun(t *testing.T) {
 	cfg := OpenLoopConfig{
 		Runtime:    RuntimeHost,
