@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-compare check fuzz-smoke chaos-smoke host-smoke load-smoke cover experiments examples clean
+.PHONY: all build vet lint test race bench bench-json bench-compare check fuzz-smoke chaos-smoke crash-smoke host-smoke load-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -41,7 +41,7 @@ bench-json:
 	$(GO) run ./cmd/cmhbench -json | tee BENCH_baseline.json
 
 # The perf-regression gate: re-measure the gated experiments (E13, E16,
-# E17, E18) on the current tree and fail on a >10% throughput drop, ANY
+# E17, E18, E19) on the current tree and fail on a >10% throughput drop, ANY
 # allocs/op increase (encode and decode rows both count), or a p99
 # detection-latency blowup (> 3x baseline) against the committed
 # baseline (CI runs this as the bench-compare job).
@@ -58,6 +58,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLockManager -fuzztime=10s ./internal/ddb
 	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeIngress -fuzztime=10s ./internal/conformance
 	$(GO) test -run='^$$' -fuzz=FuzzOpenLoopConfig -fuzztime=10s ./internal/workload
+	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=10s ./internal/wal
+	$(GO) test -run='^$$' -fuzz=FuzzWALSegment -fuzztime=10s ./internal/wal
 
 # Seeded fault-injection conformance under the race detector: the six
 # committed chaos schedules (crash / restart / partition / delay / dup)
@@ -66,6 +68,17 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race ./internal/faultinject/
 	$(GO) test -race -run 'TestFaultScheduleConformance|TestWirePerturbationMatchesFaultFreeBaseline|TestTCPChaosConformance|TestTCPMuxChaosConformance' ./internal/conformance/
+
+# Durable crash/restore smoke under the race detector: the WAL and
+# engine checkpoint unit tests, the ≥8-seed sim + TCP crash/restore
+# conformance sweeps (verdicts byte-identical to the fault-free
+# baseline), and the cmhnode kill-and-resume restart test (CI runs
+# this as the crash-smoke job).
+crash-smoke:
+	$(GO) test -race ./internal/wal/
+	$(GO) test -race -run 'TestSimCrashRestoreConformance|TestTCPCrashRestoreConformance' ./internal/conformance/
+	$(GO) test -race -run 'Checkpoint|Restore|WAL' ./internal/engine/
+	$(GO) test -race -run 'TestHostModeDurableRestart|TestWALDirRequiresHostMode' ./cmd/cmhnode/
 
 # Host-scale smoke: 8192 processes co-hosted on one sharded runtime
 # behind ONE multiplexed listener, full request ring, deadlock detected
@@ -84,7 +97,7 @@ load-smoke:
 # Combined statement coverage of the engine and harness packages (CI
 # enforces a floor on this number).
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/...,./internal/msg/...,./internal/workload/...,./internal/metrics/... ./internal/... ./cmd/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/engine/...,./internal/core/...,./internal/ddb/...,./internal/conformance/...,./internal/faultinject/...,./internal/msg/...,./internal/workload/...,./internal/metrics/...,./internal/wal/... ./internal/... ./cmd/...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).

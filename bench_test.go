@@ -375,6 +375,36 @@ func BenchmarkE18Pipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkE19Recovery re-measures both recovery legs and asserts the
+// design's ordering claim outright: the durable restore (checkpoint
+// load + local tail replay) must beat blank wire re-derivation on
+// recovery rate — not by a margin (that is the perf gate's job) but
+// in direction, every run.
+func BenchmarkE19Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E19Recovery()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var blank, durable float64
+		for _, r := range rows {
+			switch r.Mode {
+			case "blank-wire":
+				blank = r.KFramesPerSec
+			case "durable-restore":
+				durable = r.KFramesPerSec
+			}
+		}
+		if blank <= 0 || durable <= 0 {
+			b.Fatalf("E19: dead rows: %+v", rows)
+		}
+		if durable <= blank {
+			b.Fatalf("E19: durable restore (%.1f kframes/s) did not beat wire re-derivation (%.1f kframes/s)",
+				durable, blank)
+		}
+	}
+}
+
 func BenchmarkE14CrashRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.E14CrashRecovery()

@@ -77,6 +77,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -112,6 +113,10 @@ func run(args []string, out io.Writer) error {
 
 		procs  = fs.Int("procs", 1, "processes to co-host on this node's sharded runtime (>1 switches to host mode: ONE listener for all of them)")
 		shards = fs.Int("shards", 4, "single-writer shards of the host runtime (host mode only)")
+
+		walDir    = fs.String("wal-dir", "", "checkpoint + write-ahead log directory (host mode only; empty = durability off)")
+		ckptEvery = fs.Duration("checkpoint-interval", 2*time.Second, "periodic checkpoint cadence when -wal-dir is set (0 = final checkpoint only)")
+		fsyncMode = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,8 +125,19 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	syncPolicy, err := wal.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		return fmt.Errorf("-fsync: %w", err)
+	}
+	if *walDir != "" && *procs <= 1 {
+		return fmt.Errorf("-wal-dir requires host mode (-procs > 1): checkpoints and the delivery log belong to the sharded engine.Host")
+	}
 	if *procs > 1 {
-		return runHostMode(out, *idFlag, *listen, *procs, *shards, *initiate, *timeout, *maxBatch, codec)
+		return runHostMode(out, hostConfig{
+			idFlag: *idFlag, listen: *listen, procs: *procs, shards: *shards,
+			initiate: *initiate, timeout: *timeout, maxBatch: *maxBatch, codec: codec,
+			walDir: *walDir, ckptEvery: *ckptEvery, sync: syncPolicy,
+		})
 	}
 	self := id.Proc(*idFlag)
 
@@ -319,6 +335,19 @@ func parseCodec(name string) (msg.WireFormat, error) {
 	return 0, fmt.Errorf("unknown -codec %q (want binary or gob)", name)
 }
 
+// hostConfig carries the host-mode flags.
+type hostConfig struct {
+	idFlag, procs, shards int
+	listen                string
+	initiate              bool
+	timeout               time.Duration
+	maxBatch              int
+	codec                 msg.WireFormat
+	walDir                string
+	ckptEvery             time.Duration
+	sync                  wal.SyncPolicy
+}
+
 // runHostMode runs -procs co-located processes on one sharded
 // engine.Host over ONE multiplexed TCP listener — the scaling
 // deployment. The processes are wired into a request ring (the
@@ -327,63 +356,181 @@ func parseCodec(name string) (msg.WireFormat, error) {
 // with the host's shard statistics. The pre-host deployment would have
 // opened one loopback listener and one dispatcher goroutine per
 // process; host mode demonstrably opens one listener total.
-func runHostMode(out io.Writer, idFlag int, listen string, procs, shards int, initiate bool, timeout time.Duration, maxBatch int, codec msg.WireFormat) error {
-	hostID := transport.NodeID(1 + idFlag) // host ids must be positive
+//
+// With -wal-dir the host is durable (DESIGN.md §11): every sequenced
+// wire delivery is journaled write-ahead, checkpoints are written every
+// -checkpoint-interval and at shutdown (the graceful-exit paths and
+// SIGINT/SIGTERM alike), and a restart pointed at the same directory
+// resumes from the newest checkpoint plus the deterministic tail
+// replay instead of rebuilding the ring from scratch.
+func runHostMode(out io.Writer, cfg hostConfig) error {
+	hostID := transport.NodeID(1 + cfg.idFlag) // host ids must be positive
 	net := transport.NewTCPWithOptions(transport.TCPOptions{
-		MaxBatch: maxBatch,
-		Codec:    codec,
+		MaxBatch: cfg.maxBatch,
+		Codec:    cfg.codec,
 		OnError: func(err error) {
 			fmt.Fprintf(os.Stderr, "cmhnode host %v: transport: %v\n", hostID, err)
 		},
 	})
 	defer net.Close()
-	if err := net.ListenHost(hostID, listen); err != nil {
+	if err := net.ListenHost(hostID, cfg.listen); err != nil {
 		return err
 	}
-	for i := 0; i < procs; i++ {
+	for i := 0; i < cfg.procs; i++ {
 		net.AssignNode(transport.NodeID(i), hostID)
 	}
-	host := engine.NewHost(engine.Options{Shards: shards, Transport: net})
+	host := engine.NewHost(engine.Options{Shards: cfg.shards, Transport: net})
 	defer host.Close()
 
+	var wlog *wal.Log
+	if cfg.walDir != "" {
+		w, err := wal.Open(wal.Options{Dir: cfg.walDir, Sync: cfg.sync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		wlog = w
+		host.AttachWAL(wlog, engine.DurabilityHooks{Incarnation: func() uint64 {
+			inc, _ := net.Incarnation(hostID)
+			return inc
+		}})
+	}
+
 	detected := make(chan id.Tag, 1)
-	ps := make([]*core.Process, procs)
-	for i := 0; i < procs; i++ {
-		cfg := core.Config{
+	ps := make([]*core.Process, cfg.procs)
+	for i := 0; i < cfg.procs; i++ {
+		pcfg := core.Config{
 			ID:        id.Proc(i),
 			Transport: host,
 			Policy:    core.InitiateManually,
 		}
 		if i == 0 {
-			cfg.OnDeadlock = func(tag id.Tag) {
+			pcfg.OnDeadlock = func(tag id.Tag) {
 				select {
 				case detected <- tag:
 				default:
 				}
 			}
 		}
-		p, err := core.NewProcess(cfg)
+		p, err := core.NewProcess(pcfg)
 		if err != nil {
 			return err
 		}
 		ps[i] = p
 	}
-	fmt.Fprintf(out, "host %v listening on %s: %d processes on %d shards, %d listener(s)\n",
-		hostID, net.HostAddr(hostID), procs, shards, net.ListenerCount())
 
-	for i := 0; i < procs; i++ {
-		if err := ps[i].Request(id.Proc((i + 1) % procs)); err != nil {
+	// Restore before serving traffic — it establishes the durability
+	// generation even on a blank directory, and on a restart it loads
+	// the newest checkpoint, replays the log tail, and primes the
+	// transport's resequencer with the pre-crash incarnation.
+	resumed := false
+	if wlog != nil {
+		if err := net.SetDeliveryLog(hostID, host); err != nil {
 			return err
 		}
+		st, err := host.Restore()
+		if err != nil {
+			return err
+		}
+		if st.Found {
+			if err := net.PrimeInbox(hostID, st.Inc, st.Cursors); err != nil {
+				return err
+			}
+		}
+		if err := host.FinishRestore(); err != nil {
+			return err
+		}
+		resumed = st.Found
+		fmt.Fprintf(out, "host %v: durable in %s (fsync=%v): resumed=%v snapshots=%d tail replayed=%d stale-gen dropped=%d gen=%d\n",
+			hostID, cfg.walDir, cfg.sync, st.Found, st.SnapshotsRestored, st.TailReplayed, st.StaleGenDropped, st.Gen)
 	}
-	fmt.Fprintf(out, "host %v: request ring of %d processes wired (total deadlock)\n", hostID, procs)
-	if !initiate {
+
+	// The graceful-exit tail every return path shares: a final
+	// checkpoint anchoring the run's state, then the durability table.
+	finish := func() {
+		if wlog == nil {
+			return
+		}
+		if err := host.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "cmhnode host %v: final checkpoint: %v\n", hostID, err)
+		} else {
+			fmt.Fprintf(out, "host %v: final checkpoint written (seq=%d)\n", hostID, wlog.Stats().LastCheckpointSeq)
+		}
+		hs, ws := host.Stats(), wlog.Stats()
+		fmt.Fprint(out, metrics.DurabilityStatsTable(metrics.DurabilityCounters{
+			CheckpointsTaken:   hs.CheckpointsTaken,
+			RecordsAppended:    hs.RecordsAppended,
+			TailReplayed:       hs.TailReplayed,
+			TornRecordsDropped: hs.TornRecordsDropped,
+			StaleGenDropped:    hs.StaleGenDropped,
+			MutedReplaySends:   hs.MutedReplaySends,
+			WALErrors:          hs.WALErrors,
+			LogRecords:         ws.Records,
+			LogSegments:        ws.Segments,
+			LogSyncs:           ws.Syncs,
+			LastCheckpointSeq:  ws.LastCheckpointSeq,
+		}))
+	}
+
+	if wlog != nil && cfg.ckptEvery > 0 {
+		stopCkpt := make(chan struct{})
+		defer close(stopCkpt)
+		go func() {
+			tick := time.NewTicker(cfg.ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					if err := host.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "cmhnode host %v: checkpoint: %v\n", hostID, err)
+					}
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(out, "host %v listening on %s: %d processes on %d shards, %d listener(s)\n",
+		hostID, net.HostAddr(hostID), cfg.procs, cfg.shards, net.ListenerCount())
+
+	if resumed {
+		fmt.Fprintf(out, "host %v: request ring restored from checkpoint (%d processes)\n", hostID, cfg.procs)
+	} else {
+		for i := 0; i < cfg.procs; i++ {
+			if err := ps[i].Request(id.Proc((i + 1) % cfg.procs)); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "host %v: request ring of %d processes wired (total deadlock)\n", hostID, cfg.procs)
+	}
+	if !cfg.initiate {
 		host.Drain()
 		st := host.Stats()
 		fmt.Fprintf(out, "host %v: idle (intra-host sends=%d, batches=%d, max batch=%d); pass -initiate to detect\n",
 			hostID, st.IntraSends, st.Batches, st.MaxBatch)
+		finish()
 		return nil
 	}
+
+	// A restored snapshot can already carry the verdict: if the crash
+	// landed after a process declared, re-initiating is a no-op for it
+	// and OnDeadlock never fires again. Report the restored declaration
+	// instead of waiting out the timeout.
+	if resumed {
+		for i := 0; i < cfg.procs; i++ {
+			if tag, ok := ps[i].Deadlocked(); ok {
+				fmt.Fprintf(out, "host %v: DEADLOCK (restored): declared pre-crash by computation %v (%d-process cycle)\n",
+					hostID, tag, cfg.procs)
+				finish()
+				return nil
+			}
+		}
+	}
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigC)
 
 	start := time.Now()
 	if _, ok := ps[0].StartProbe(); !ok {
@@ -394,12 +541,21 @@ func runHostMode(out io.Writer, idFlag int, listen string, procs, shards int, in
 		elapsed := time.Since(start)
 		st := host.Stats()
 		fmt.Fprintf(out, "host %v: DEADLOCK detected by computation %v in %v (%d-process cycle)\n",
-			hostID, tag, elapsed.Round(time.Microsecond), procs)
+			hostID, tag, elapsed.Round(time.Microsecond), cfg.procs)
 		fmt.Fprintf(out, "host %v: intra-host sends=%d remote sends=%d batches=%d max batch=%d ring events=%d ring spills=%d\n",
 			hostID, st.IntraSends, st.RemoteSends, st.Batches, st.MaxBatch, st.RingEvents, st.RingSpills)
+		finish()
 		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("host mode: no verdict after %v", timeout)
+	case sig := <-sigC:
+		fmt.Fprintf(out, "host %v: %v — checkpointing and shutting down\n", hostID, sig)
+		if !net.Drain(2 * time.Second) {
+			fmt.Fprintf(out, "host %v: drain incomplete after 2s; queued frames survive in the log, not the wire\n", hostID)
+		}
+		finish()
+		return nil
+	case <-time.After(cfg.timeout):
+		finish()
+		return fmt.Errorf("host mode: no verdict after %v", cfg.timeout)
 	}
 }
 

@@ -207,3 +207,59 @@ func TestRunSurvivesUnreachablePeer(t *testing.T) {
 		t.Fatalf("missing -net-stats table:\n%s", out.String())
 	}
 }
+
+// TestHostModeDurableRestart runs host mode twice against the same
+// -wal-dir: the first run wires the request ring, drains, and writes
+// its final checkpoint; the second must resume from that checkpoint
+// (ring restored, not re-wired) and detect the cycle it inherited.
+func TestHostModeDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	var first bytes.Buffer
+	if err := run([]string{
+		"-procs", "5", "-shards", "2", "-wal-dir", dir, "-checkpoint-interval", "0",
+	}, &first); err != nil {
+		t.Fatalf("first run: %v\n%s", err, first.String())
+	}
+	for _, want := range []string{"resumed=false", "request ring of 5 processes wired", "final checkpoint written", "checkpoints taken"} {
+		if !strings.Contains(first.String(), want) {
+			t.Fatalf("first run output missing %q:\n%s", want, first.String())
+		}
+	}
+
+	var second bytes.Buffer
+	if err := run([]string{
+		"-procs", "5", "-shards", "2", "-wal-dir", dir, "-checkpoint-interval", "0",
+		"-initiate", "-timeout", "15s",
+	}, &second); err != nil {
+		t.Fatalf("second run: %v\n%s", err, second.String())
+	}
+	for _, want := range []string{"resumed=true", "request ring restored from checkpoint", "DEADLOCK detected"} {
+		if !strings.Contains(second.String(), want) {
+			t.Fatalf("second run output missing %q:\n%s", want, second.String())
+		}
+	}
+
+	// Third run: the second run's final checkpoint carries the verdict
+	// itself. Re-initiating is a no-op for an already-declared process,
+	// so the host must report the restored declaration — not hang to
+	// the timeout waiting for an OnDeadlock that can never fire again.
+	var third bytes.Buffer
+	if err := run([]string{
+		"-procs", "5", "-shards", "2", "-wal-dir", dir, "-checkpoint-interval", "0",
+		"-initiate", "-timeout", "15s",
+	}, &third); err != nil {
+		t.Fatalf("third run: %v\n%s", err, third.String())
+	}
+	if !strings.Contains(third.String(), "DEADLOCK (restored): declared pre-crash") {
+		t.Fatalf("third run did not surface the restored verdict:\n%s", third.String())
+	}
+}
+
+// TestWALDirRequiresHostMode pins the flag pairing.
+func TestWALDirRequiresHostMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-wal-dir", t.TempDir()}, &out)
+	if err == nil || !strings.Contains(err.Error(), "host mode") {
+		t.Fatalf("single-proc -wal-dir accepted: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package commdl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/id"
+)
+
+// Checkpoint serialization (engine.Snapshotter): exactly the state
+// Snapshot() fingerprints — blocking status, episode and sequence
+// counters, dependent set, the per-initiator diffusing-computation
+// table and the declaration latch. Counters are excluded. Neither
+// method serializes through the Runner; the Host calls them with the
+// owning shard parked (checkpoint barrier) or before traffic.
+
+// commdlStateVersion versions the layout.
+const commdlStateVersion = 1
+
+// MarshalState implements engine.Snapshotter.
+func (p *Process) MarshalState() []byte {
+	w := engine.NewSnapWriter(128)
+	w.U8(commdlStateVersion)
+	w.Bool(p.blocked)
+	w.U64(p.episode)
+	w.U64(p.nextSeq)
+	w.Bool(p.declared)
+
+	deps := make([]id.Proc, 0, len(p.dependents))
+	for d := range p.dependents {
+		deps = append(deps, d)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	w.Len(len(deps))
+	for _, d := range deps {
+		w.I32(int32(d))
+	}
+
+	inits := make([]id.Proc, 0, len(p.comps))
+	for k := range p.comps {
+		inits = append(inits, k)
+	}
+	sort.Slice(inits, func(i, j int) bool { return inits[i] < inits[j] })
+	w.Len(len(inits))
+	for _, k := range inits {
+		cs := p.comps[k]
+		w.I32(int32(k))
+		w.U64(cs.latest)
+		w.I32(int32(cs.engager))
+		w.Bool(cs.wait)
+		w.I64(int64(cs.num))
+	}
+	return w.Bytes()
+}
+
+// RestoreState implements engine.Snapshotter.
+func (p *Process) RestoreState(data []byte) error {
+	r := engine.NewSnapReader(data)
+	if v := r.U8(); v != commdlStateVersion && r.Err() == nil {
+		return fmt.Errorf("commdl: state version %d (want %d)", v, commdlStateVersion)
+	}
+	blocked := r.Bool()
+	episode := r.U64()
+	nextSeq := r.U64()
+	declared := r.Bool()
+
+	dependents := make(map[id.Proc]struct{})
+	for n := r.Len(); n > 0; n-- {
+		dependents[id.Proc(r.I32())] = struct{}{}
+	}
+	comps := make(map[id.Proc]*compState)
+	for n := r.Len(); n > 0; n-- {
+		k := id.Proc(r.I32())
+		comps[k] = &compState{
+			latest:  r.U64(),
+			engager: id.Proc(r.I32()),
+			wait:    r.Bool(),
+			num:     int(r.I64()),
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("commdl: restore state: %w", err)
+	}
+
+	p.blocked = blocked
+	p.episode = episode
+	p.nextSeq = nextSeq
+	p.declared = declared
+	p.dependents = dependents
+	p.comps = comps
+	return nil
+}

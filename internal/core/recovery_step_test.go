@@ -1,0 +1,48 @@
+package core_test
+
+// The Step* variants of the failure surface are the engine-facing
+// entry points: the sharded Host invokes them already serialized on
+// the owning shard loop, bypassing the per-process Runner the public
+// PeerDown/PeerUp/Reannounce wrappers go through. They must make the
+// same protocol moves as the wrappers they mirror.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestStepVariantsMirrorPublicFailureAPI(t *testing.T) {
+	h := newRecoveryHarness(t, 3)
+	h.request(t, 0, 1)
+
+	// A live wait edge re-announces (Request{Rejoin}, idempotent at the
+	// receiver); a peer we are not waiting on does not.
+	if !h.procs[0].StepReannounce(1) {
+		t.Fatal("StepReannounce(1) = false with a live wait edge")
+	}
+	h.sched.Run()
+	if h.procs[0].StepReannounce(2) {
+		t.Fatal("StepReannounce(2) = true with no edge")
+	}
+
+	// StepPeerUp clears incarnation fences without touching the edge;
+	// StepPeerDown severs it and reports the aborted wait.
+	h.procs[0].StepPeerUp(1)
+	h.sched.Run()
+	if n := len(h.aborted); n != 0 {
+		t.Fatalf("StepPeerUp aborted %d waits", n)
+	}
+	h.procs[0].StepPeerDown(1)
+	h.sched.Run()
+	if n := len(h.aborted); n != 1 {
+		t.Fatalf("StepPeerDown aborted %d waits, want 1", n)
+	}
+	if w := h.aborted[0]; w != (core.WaitAborted{Waiter: 0, Peer: 1}) {
+		t.Fatalf("aborted %+v", w)
+	}
+	// The edge is gone: nothing left to re-announce.
+	if h.procs[0].StepReannounce(1) {
+		t.Fatal("StepReannounce(1) = true after StepPeerDown severed the edge")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/id"
+)
+
+// Checkpoint serialization (engine.Snapshotter). MarshalState captures
+// exactly the algorithmic state Snapshot() fingerprints — edge sets,
+// computation numbering, the §4.3 latest table, the declaration latch,
+// the §5 S_j set and WFGD duplicate-suppression memory — and nothing
+// else: observability counters describe the run, static config is
+// re-supplied by the constructor, and timers are not persisted (a
+// restored edge's delay timer restarts; §4.3 only needs "has existed
+// continuously for T", which a fresh window re-establishes
+// conservatively).
+//
+// Neither method serializes through the Runner: the Host invokes them
+// with the owning shard parked (checkpoint barrier) or before traffic
+// (restore), which is the serialization.
+
+// coreStateVersion versions the layout.
+const coreStateVersion = 1
+
+// MarshalState implements engine.Snapshotter. Maps are written in
+// sorted key order so equal states marshal to equal bytes.
+func (p *Process) MarshalState() []byte {
+	w := engine.NewSnapWriter(256)
+	w.U8(coreStateVersion)
+
+	writeProcSet(w, p.waitingFor)
+	w.Len(len(p.edgeInstance))
+	for _, k := range sortedProcKeys(p.edgeInstance) {
+		w.I32(int32(k))
+		w.U64(p.edgeInstance[k])
+	}
+	writeProcSet(w, p.pendingIn)
+	w.U64(p.nextN)
+	w.Len(len(p.latest))
+	for _, k := range sortedProcKeys(p.latest) {
+		w.I32(int32(k))
+		w.U64(p.latest[k])
+	}
+	w.Bool(p.deadlocked)
+	w.I32(int32(p.declaredTag.Initiator))
+	w.U64(p.declaredTag.N)
+
+	edges := make([]id.Edge, 0, len(p.blackPaths))
+	for e := range p.blackPaths {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	w.Len(len(edges))
+	for _, e := range edges {
+		w.I32(int32(e.From))
+		w.I32(int32(e.To))
+	}
+
+	nbrs := make([]id.Proc, 0, len(p.sentWFGD))
+	for k := range p.sentWFGD {
+		nbrs = append(nbrs, k)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	w.Len(len(nbrs))
+	for _, k := range nbrs {
+		keys := make([]string, 0, len(p.sentWFGD[k]))
+		for key := range p.sentWFGD[k] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		w.I32(int32(k))
+		w.Len(len(keys))
+		for _, key := range keys {
+			w.Str(key)
+		}
+	}
+	return w.Bytes()
+}
+
+// RestoreState implements engine.Snapshotter, replacing the process's
+// algorithmic state wholesale.
+func (p *Process) RestoreState(data []byte) error {
+	r := engine.NewSnapReader(data)
+	if v := r.U8(); v != coreStateVersion && r.Err() == nil {
+		return fmt.Errorf("core: state version %d (want %d)", v, coreStateVersion)
+	}
+
+	waitingFor := readProcSet(r)
+	edgeInstance := make(map[id.Proc]uint64)
+	for n := r.Len(); n > 0; n-- {
+		k := id.Proc(r.I32())
+		edgeInstance[k] = r.U64()
+	}
+	pendingIn := readProcSet(r)
+	nextN := r.U64()
+	latest := make(map[id.Proc]uint64)
+	for n := r.Len(); n > 0; n-- {
+		k := id.Proc(r.I32())
+		latest[k] = r.U64()
+	}
+	deadlocked := r.Bool()
+	declaredTag := id.Tag{Initiator: id.Proc(r.I32()), N: r.U64()}
+
+	blackPaths := make(map[id.Edge]struct{})
+	for n := r.Len(); n > 0; n-- {
+		e := id.Edge{From: id.Proc(r.I32()), To: id.Proc(r.I32())}
+		blackPaths[e] = struct{}{}
+	}
+
+	sentWFGD := make(map[id.Proc]map[string]struct{})
+	for n := r.Len(); n > 0; n-- {
+		k := id.Proc(r.I32())
+		keys := make(map[string]struct{})
+		for kn := r.Len(); kn > 0; kn-- {
+			keys[r.Str()] = struct{}{}
+		}
+		sentWFGD[k] = keys
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: restore state: %w", err)
+	}
+
+	p.waitingFor = waitingFor
+	p.edgeInstance = edgeInstance
+	p.pendingIn = pendingIn
+	p.nextN = nextN
+	p.latest = latest
+	p.deadlocked = deadlocked
+	p.declaredTag = declaredTag
+	p.blackPaths = blackPaths
+	p.sentWFGD = sentWFGD
+	return nil
+}
+
+func writeProcSet(w *engine.SnapWriter, s map[id.Proc]struct{}) {
+	w.Len(len(s))
+	for _, k := range sortedProcs(s) {
+		w.I32(int32(k))
+	}
+}
+
+func readProcSet(r *engine.SnapReader) map[id.Proc]struct{} {
+	s := make(map[id.Proc]struct{})
+	for n := r.Len(); n > 0; n-- {
+		s[id.Proc(r.I32())] = struct{}{}
+	}
+	return s
+}
+
+func sortedProcKeys[V any](m map[id.Proc]V) []id.Proc {
+	keys := make([]id.Proc, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -55,3 +55,22 @@ type RecoveryLogic interface {
 type ReannouncingLogic interface {
 	StepReannounce(peer transport.NodeID) bool
 }
+
+// Snapshotter is implemented by engines whose complete protocol state
+// can be serialized into a checkpoint and reconstituted after a crash.
+// MarshalState must capture everything the engine's Snapshot()
+// fingerprint enumerates — the wait/lock graph, probe computations,
+// dedup frontiers, declaration state — and must be deterministic:
+// equal states marshal to equal bytes (iterate maps in sorted key
+// order). Observability counters are excluded, matching the Snapshot
+// philosophy: they describe the run, not the state.
+//
+// Both methods are invoked by the Host on the process's owning shard
+// (or while every shard is parked at a checkpoint barrier), so they
+// need no locking of their own. RestoreState replaces the process's
+// state wholesale; it is only called on a freshly constructed process
+// before any message delivery.
+type Snapshotter interface {
+	MarshalState() []byte
+	RestoreState(data []byte) error
+}

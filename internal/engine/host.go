@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Options configures a Host. The zero value is valid: one shard, no
@@ -67,6 +68,31 @@ type Host struct {
 	remoteRecvs atomic.Uint64
 	ringSpills  atomic.Uint64
 
+	// Durability state (checkpoint.go). walLog is nil until AttachWAL;
+	// every field below is idle — and off the hot path — without it.
+	// walGate is the checkpoint cut: LogDelivery holds it shared per
+	// frame, Checkpoint exclusively while marshaling. walLogged and
+	// walStepped count journaled frames and their completed steps; the
+	// cut waits for equality, which is what makes a checkpoint a
+	// consistent prefix of the log. replaying marks the restore window:
+	// observers are bypassed (they would double-count the original
+	// deliveries) and remote sends are muted (their frames are already
+	// on the wire or covered by a peer's replay buffer).
+	walLog     atomic.Pointer[wal.Log]
+	walGen     atomic.Uint64
+	walHooks   DurabilityHooks
+	walGate    sync.RWMutex
+	walMu      sync.Mutex
+	walScratch []byte
+	walLogged  atomic.Uint64
+	walStepped atomic.Uint64
+	walErrs    atomic.Uint64
+	replaying  atomic.Bool
+	mutedSends atomic.Uint64
+	ckpts      atomic.Uint64
+	replayed   atomic.Uint64
+	staleGen   atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -78,6 +104,7 @@ type proc struct {
 	logic Logic
 	rec   RecoveryLogic
 	ann   ReannouncingLogic
+	snap  Snapshotter
 	sh    *shard
 }
 
@@ -102,6 +129,22 @@ type HostStats struct {
 	// ring was full or a spill was still in flight.
 	RingEvents uint64
 	RingSpills uint64
+	// Durability counters, all zero without an attached WAL.
+	// CheckpointsTaken counts completed checkpoints; RecordsAppended
+	// counts envelope frames journaled to the WAL; TailReplayed counts
+	// frames re-delivered from the log by Restore; TornRecordsDropped
+	// counts corrupt/torn log regions truncated at open;
+	// StaleGenDropped counts replayed records fenced for carrying a
+	// stale durability generation; MutedReplaySends counts remote
+	// sends suppressed during replay; WALErrors counts append/encode
+	// failures (frames delivered but not journaled).
+	CheckpointsTaken   uint64
+	RecordsAppended    uint64
+	TailReplayed       uint64
+	TornRecordsDropped uint64
+	StaleGenDropped    uint64
+	MutedReplaySends   uint64
+	WALErrors          uint64
 }
 
 // NewHost starts the shard loops and returns the Host. Close must be
@@ -185,6 +228,7 @@ func (h *Host) Register(node transport.NodeID, handler transport.Handler) {
 	p.logic, _ = handler.(Logic)
 	p.rec, _ = handler.(RecoveryLogic)
 	p.ann, _ = handler.(ReannouncingLogic)
+	p.snap, _ = handler.(Snapshotter)
 	h.mu.Lock()
 	h.procs[node] = p
 	snap := make(map[transport.NodeID]*proc, len(h.procs))
@@ -210,6 +254,16 @@ func (s inboundShim) HandleMessage(from transport.NodeID, m msg.Message) {
 	s.p.sh.enqueue(event{p: s.p, from: from, m: m})
 }
 
+// HandleSequenced implements transport.SequencedHandler: a dispatch-
+// path delivery that went through the resequencer — and therefore
+// through the write-ahead log when one is attached — is flagged so
+// deliver can account its step against the log (the checkpoint cut
+// waits for logged == stepped).
+func (s inboundShim) HandleSequenced(from transport.NodeID, m msg.Message, epoch, seq uint64) {
+	s.h.remoteRecvs.Add(1)
+	s.p.sh.enqueue(event{p: s.p, from: from, m: m, seqd: true})
+}
+
 // RetainsMessages marks the shim as taking ownership of delivered
 // messages (transport.MessageRetainer): HandleMessage enqueues the
 // message for the shard loop, so the transport must not recycle it on
@@ -229,6 +283,20 @@ func (h *Host) Send(from, to transport.NodeID, m msg.Message) {
 		return
 	}
 	p := h.proc(to)
+	if h.replaying.Load() {
+		// WAL tail replay: intra-host cascades re-derive deterministic
+		// local state, but remote sends are muted — their originals
+		// left on the wire before the crash (or are re-sent by the
+		// peer's replay buffer), and observers never see replay
+		// traffic, or quiescence counters would double-count.
+		if p != nil {
+			h.intraSends.Add(1)
+			p.sh.enqueue(event{p: p, from: from, m: m})
+			return
+		}
+		h.mutedSends.Add(1)
+		return
+	}
 	for _, o := range h.observerList() {
 		o.OnSend(from, to, m)
 	}
@@ -288,8 +356,10 @@ func (h *Host) eachRecovery(visit func(p *proc)) {
 // pooled frame's ownership chain (a no-op for value messages, which is
 // everything intra-host senders produce).
 func (h *Host) deliver(ev event) {
-	for _, o := range h.observerList() {
-		o.OnDeliver(ev.from, ev.p.node, ev.m)
+	if !h.replaying.Load() {
+		for _, o := range h.observerList() {
+			o.OnDeliver(ev.from, ev.p.node, ev.m)
+		}
 	}
 	if ev.p.logic != nil {
 		ev.p.logic.Step(ev.from, ev.m)
@@ -297,15 +367,29 @@ func (h *Host) deliver(ev event) {
 		ev.p.h.HandleMessage(ev.from, ev.m)
 	}
 	msg.Recycle(ev.m)
+	if ev.seqd {
+		// Counted after the step so the checkpoint cut's
+		// logged == stepped equality means "fully applied".
+		h.walStepped.Add(1)
+	}
 }
 
 // Stats returns a snapshot of the Host's counters.
 func (h *Host) Stats() HostStats {
 	st := HostStats{
-		IntraSends:  h.intraSends.Load(),
-		RemoteSends: h.remoteSends.Load(),
-		RemoteRecvs: h.remoteRecvs.Load(),
-		RingSpills:  h.ringSpills.Load(),
+		IntraSends:       h.intraSends.Load(),
+		RemoteSends:      h.remoteSends.Load(),
+		RemoteRecvs:      h.remoteRecvs.Load(),
+		RingSpills:       h.ringSpills.Load(),
+		CheckpointsTaken: h.ckpts.Load(),
+		RecordsAppended:  h.walLogged.Load(),
+		TailReplayed:     h.replayed.Load(),
+		StaleGenDropped:  h.staleGen.Load(),
+		MutedReplaySends: h.mutedSends.Load(),
+		WALErrors:        h.walErrs.Load(),
+	}
+	if w := h.walLog.Load(); w != nil {
+		st.TornRecordsDropped = w.Stats().TornRecordsDropped
 	}
 	for _, s := range h.shards {
 		b, e, m := s.counters()
@@ -347,12 +431,16 @@ func (h *Host) Close() {
 
 // event is one unit of shard work: a message delivery (p/from/m) or a
 // function step (fn, with done closed on completion when non-nil).
+// seqd marks a delivery that arrived through the transport's
+// resequencer — journaled by the WAL when one is attached — so deliver
+// can count its step for the checkpoint cut.
 type event struct {
 	p    *proc
 	from transport.NodeID
 	m    msg.Message
 	fn   func()
 	done chan struct{}
+	seqd bool
 }
 
 // shard is one single-writer event loop. All state of every process
@@ -523,6 +611,19 @@ func (s *shard) counters() (batches, events uint64, maxBatch int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.batches, s.events, s.maxBatch
+}
+
+// shardEvents sums the events every shard loop has executed — the
+// fixpoint detector for the drain loops in the checkpoint cut and the
+// restore replay (a full Drain pass that executes nothing proves every
+// cross-shard cascade has settled).
+func (h *Host) shardEvents() uint64 {
+	var n uint64
+	for _, s := range h.shards {
+		_, e, _ := s.counters()
+		n += e
+	}
+	return n
 }
 
 // close marks the shard closed and wakes the loop; queued and ringed

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// annLogic counts deliveries and re-announcements — the minimal
+// handler implementing Logic and ReannouncingLogic.
+type annLogic struct {
+	steps       atomic.Uint64
+	reannounced atomic.Uint64
+	lastPeer    atomic.Uint64
+}
+
+func (l *annLogic) HandleMessage(from transport.NodeID, m msg.Message) { l.Step(from, m) }
+func (l *annLogic) Step(transport.NodeID, msg.Message)                 { l.steps.Add(1) }
+func (l *annLogic) StepReannounce(peer transport.NodeID) bool {
+	l.reannounced.Add(1)
+	l.lastPeer.Store(uint64(peer))
+	return true
+}
+
+// TestHostReannounceFansOut checks the recovery fallback: Reannounce
+// reaches every hosted process implementing ReannouncingLogic, on its
+// owning shard, and skips plain handlers.
+func TestHostReannounceFansOut(t *testing.T) {
+	h := NewHost(Options{Shards: 2})
+	defer h.Close()
+	if h.WAL() != nil {
+		t.Fatal("WAL() non-nil with nothing attached")
+	}
+	logics := []*annLogic{new(annLogic), new(annLogic)}
+	h.Register(1, logics[0])
+	h.Register(2, logics[1])
+	// A handler without the interface must be skipped, not crashed on.
+	h.Register(3, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+
+	h.Reannounce(9)
+	h.Drain()
+	for i, l := range logics {
+		if got := l.reannounced.Load(); got != 1 {
+			t.Fatalf("proc %d re-announced %d times, want 1", i+1, got)
+		}
+		if got := transport.NodeID(l.lastPeer.Load()); got != 9 {
+			t.Fatalf("proc %d re-announced to %v, want 9", i+1, got)
+		}
+	}
+}
+
+// TestInboundShimPaths drives the dispatch-path shim directly: the
+// plain and sequenced entry points must both land the message on the
+// owning shard, and the shim must declare message retention.
+func TestInboundShimPaths(t *testing.T) {
+	h := NewHost(Options{Shards: 1})
+	defer h.Close()
+	l := new(annLogic)
+	h.Register(4, l)
+	h.mu.RLock()
+	p := h.procs[4]
+	h.mu.RUnlock()
+
+	s := inboundShim{h: h, p: p}
+	s.RetainsMessages()
+	s.HandleMessage(7, msg.Probe{})
+	s.HandleSequenced(7, msg.Probe{}, 1, 1)
+	h.Drain()
+	if got := l.steps.Load(); got != 2 {
+		t.Fatalf("stepped %d deliveries, want 2", got)
+	}
+	if hs := h.Stats(); hs.RemoteRecvs != 2 {
+		t.Fatalf("RemoteRecvs = %d, want 2", hs.RemoteRecvs)
+	}
+}

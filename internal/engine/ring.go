@@ -136,7 +136,9 @@ func (ss *streamSession) DeliverStream(from, to transport.NodeID, m msg.Message)
 	ss.h.remoteRecvs.Add(1)
 	sh := p.sh
 	st := &ss.shards[sh.idx]
-	ev := event{p: p, from: from, m: m}
+	// Sink deliveries are always sequenced (only the resequencer calls
+	// DeliverStream), so they count toward the checkpoint cut.
+	ev := event{p: p, from: from, m: m, seqd: true}
 	if sh.closedA.Load() {
 		msg.Recycle(m) // shard gone mid-shutdown: the frame is dropped either way
 		return true

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Minimal binary state serialization for engine snapshots. The three
+// engines' MarshalState implementations and the Host's checkpoint
+// envelope all use the same two types: fixed-width little-endian
+// fields, length-prefixed byte strings, and a latching decode error so
+// restore code reads fields linearly and checks once at the end.
+// Deliberately not a general codec — snapshots are written and read by
+// the same binary, and the checkpoint file carries its own CRC, so
+// there is no tagging and no cross-version negotiation beyond the
+// version byte each engine writes first.
+
+// SnapWriter builds a snapshot byte string.
+type SnapWriter struct {
+	b []byte
+}
+
+// NewSnapWriter returns a writer with an optional capacity hint.
+func NewSnapWriter(capHint int) *SnapWriter {
+	return &SnapWriter{b: make([]byte, 0, capHint)}
+}
+
+func (w *SnapWriter) U8(v uint8)   { w.b = append(w.b, v) }
+func (w *SnapWriter) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *SnapWriter) U64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *SnapWriter) I32(v int32)  { w.U32(uint32(v)) }
+func (w *SnapWriter) I64(v int64)  { w.U64(uint64(v)) }
+
+func (w *SnapWriter) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Blob writes a length-prefixed byte string.
+func (w *SnapWriter) Blob(p []byte) {
+	w.U32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Str writes a length-prefixed string.
+func (w *SnapWriter) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Len writes a collection length. Snapshots iterate maps in sorted key
+// order so that equal states marshal to equal bytes.
+func (w *SnapWriter) Len(n int) { w.U32(uint32(n)) }
+
+// Bytes returns the accumulated snapshot.
+func (w *SnapWriter) Bytes() []byte { return w.b }
+
+// ErrSnapTruncated is the latched error of a SnapReader that ran out
+// of bytes — a snapshot from a different layout version, or corruption
+// that slipped past the checkpoint CRC.
+var ErrSnapTruncated = errors.New("engine: truncated snapshot")
+
+// SnapReader consumes a snapshot produced by SnapWriter. All getters
+// return zero values after the first failure; check Err once at the
+// end (and after any length read used to size a loop).
+type SnapReader struct {
+	b   []byte
+	err error
+}
+
+// NewSnapReader returns a reader over b (not copied).
+func NewSnapReader(b []byte) *SnapReader { return &SnapReader{b: b} }
+
+func (r *SnapReader) take(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.err = ErrSnapTruncated
+		return nil
+	}
+	p := r.b[:n]
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *SnapReader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *SnapReader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *SnapReader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *SnapReader) I32() int32  { return int32(r.U32()) }
+func (r *SnapReader) I64() int64  { return int64(r.U64()) }
+func (r *SnapReader) Bool() bool  { return r.U8() != 0 }
+func (r *SnapReader) Str() string { return string(r.Blob()) }
+
+// Blob reads a length-prefixed byte string, aliasing the input.
+func (r *SnapReader) Blob() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
+
+// Len reads a collection length, bounds-checked against the remaining
+// input so a corrupt length cannot size a huge allocation.
+func (r *SnapReader) Len() int {
+	n := int(r.U32())
+	if r.err == nil && n > len(r.b) {
+		r.err = ErrSnapTruncated
+		return 0
+	}
+	return n
+}
+
+// Err returns the latched error, if any.
+func (r *SnapReader) Err() error { return r.err }

@@ -48,7 +48,7 @@ const allocSuffix = "AllocsPerOp"
 // perf-path experiments whose rows are throughput and allocation
 // figures. The correctness experiments (exact counts, bounds) are
 // covered by the test suite instead.
-var DefaultCompareIDs = []string{"E13", "E16", "E17", "E18"}
+var DefaultCompareIDs = []string{"E13", "E16", "E17", "E18", "E19"}
 
 // DefaultTolerance is the relative throughput drop tolerated before the
 // comparison fails (0.10 = 10%).

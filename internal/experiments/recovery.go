@@ -1,0 +1,335 @@
+package experiments
+
+// E19 — durable recovery cost: how fast a crashed host gets its state
+// back. Two legs over the same two-host loopback topology. The blank
+// leg recovers the pre-crash state the only way a log-less host can —
+// the surviving peer re-derives it over the wire, frame by frame. The
+// durable leg loads the newest checkpoint and replays only the
+// post-checkpoint WAL tail locally, at memory speed, with no wire
+// traffic at all. Both legs report their recovery rate in the
+// KFramesPerSec column so cmhbench -compare gates them in CI alongside
+// the other perf experiments; the contrast between the two rows is the
+// quantitative case for DESIGN.md §11's checkpoint-plus-tail model.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// E19Row is one recovery leg.
+type E19Row struct {
+	// Mode is "blank-wire" (re-derive everything from the surviving
+	// peer) or "durable-restore" (checkpoint load + local tail replay).
+	Mode  string
+	Procs int
+	// Frames is the number of frames the recovery had to re-process:
+	// the whole history for the blank leg, only the post-checkpoint
+	// tail for the durable leg.
+	Frames int
+	// CheckpointFrames is the prefix the checkpoint made skippable
+	// (zero on the blank leg — nothing is skippable without one).
+	CheckpointFrames int
+	// RecoverMs is crash-to-recovered wall time: from the first step of
+	// rebuilding the host to the instant its pre-crash state is back.
+	RecoverMs float64
+	// KFramesPerSec is Frames recovered per second, in thousands — the
+	// gated recovery rate.
+	KFramesPerSec float64
+	// SnapshotsRestored and TailReplayed echo the engine's RestoreStats
+	// on the durable leg (zero on the blank leg).
+	SnapshotsRestored int
+	TailReplayed      uint64
+}
+
+// E19Recovery measures both recovery paths once.
+func E19Recovery() ([]E19Row, *metrics.Table, error) {
+	const (
+		shards = 4
+		pre    = 20000 // frames delivered before the checkpoint
+		tail   = 20000 // frames delivered after it, lost with the crash
+	)
+	table := metrics.NewTable(
+		"E19 — recovery time: blank wire re-derivation vs checkpoint load + WAL tail replay",
+		"mode", "procs", "frames", "ckpt_frames", "recover_ms", "kframes_per_s", "snapshots", "tail_replayed")
+	blank, err := blankRecoveryLeg(shards, pre, tail)
+	if err != nil {
+		return nil, nil, err
+	}
+	durable, err := durableRecoveryLeg(shards, pre, tail)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []E19Row{blank, durable}
+	for _, row := range rows {
+		table.AddRow(row.Mode, row.Procs, row.Frames, row.CheckpointFrames,
+			row.RecoverMs, row.KFramesPerSec, row.SnapshotsRestored, row.TailReplayed)
+	}
+	return rows, table, nil
+}
+
+const e19Procs = 8
+
+// e19Sender builds the surviving peer: a host-multiplexed TCP endpoint
+// that pumps probe frames at host 2's processes and counts nothing.
+func e19Sender() (*transport.TCP, error) {
+	tcpA := transport.NewTCPWithOptions(transport.TCPOptions{MaxBatch: 64})
+	if err := tcpA.ListenHost(1, "127.0.0.1:0"); err != nil {
+		tcpA.Close()
+		return nil, err
+	}
+	e19Assign(tcpA)
+	tcpA.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
+	return tcpA, nil
+}
+
+func e19Assign(tr *transport.TCP) {
+	tr.AssignNode(1, 1)
+	for r := 0; r < e19Procs; r++ {
+		tr.AssignNode(transport.NodeID(100+r), 2)
+	}
+}
+
+// e19Procs100 registers the hosted processes on a fresh engine Host and
+// returns the delivery counter (probes with no local black edge are
+// discarded, so the discard counters count deliveries).
+func e19Procs100(host *engine.Host) (func() uint64, error) {
+	ps := make([]*core.Process, e19Procs)
+	for r := 0; r < e19Procs; r++ {
+		p, err := core.NewProcess(core.Config{
+			ID:        id.Proc(100 + r),
+			Transport: host,
+			Policy:    core.InitiateManually,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ps[r] = p
+	}
+	return func() uint64 {
+		var n uint64
+		for _, p := range ps {
+			n += p.Stats().ProbesDiscarded
+		}
+		return n
+	}, nil
+}
+
+// e19Pump sends frames[lo,hi) from the sender and waits for the
+// receiver's delivery counter to reach want.
+func e19Pump(tcpA *transport.TCP, lo, hi int, arrived func() uint64, want uint64) error {
+	for i := lo; i < hi; i++ {
+		tcpA.Send(1, transport.NodeID(100+i%e19Procs), msg.Probe{Tag: id.Tag{Initiator: 1, N: uint64(i)}})
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for arrived() != want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d/%d frames after 60s", arrived(), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// blankRecoveryLeg crashes a log-less host and recovers by having the
+// surviving peer re-send the entire history over the wire.
+func blankRecoveryLeg(shards, pre, tail int) (E19Row, error) {
+	row := E19Row{Mode: "blank-wire", Procs: e19Procs, Frames: pre + tail}
+	fail := func(err error) (E19Row, error) { return row, fmt.Errorf("E19 blank: %w", err) }
+
+	tcpA, err := e19Sender()
+	if err != nil {
+		return fail(err)
+	}
+	defer tcpA.Close()
+
+	buildB := func(peer *transport.TCP) (*transport.TCP, *engine.Host, func() uint64, error) {
+		tb := transport.NewTCPWithOptions(transport.TCPOptions{MaxBatch: 64})
+		if err := tb.ListenHost(2, "127.0.0.1:0"); err != nil {
+			tb.Close()
+			return nil, nil, nil, err
+		}
+		e19Assign(tb)
+		hb := engine.NewHost(engine.Options{Shards: shards, Transport: tb})
+		arrived, err := e19Procs100(hb)
+		if err != nil {
+			hb.Close()
+			tb.Close()
+			return nil, nil, nil, err
+		}
+		tb.SetHostPeer(1, peer.HostAddr(1))
+		peer.SetHostPeer(2, tb.HostAddr(2))
+		return tb, hb, arrived, nil
+	}
+
+	tcpB, hostB, arrived, err := buildB(tcpA)
+	if err != nil {
+		return fail(err)
+	}
+	if err := e19Pump(tcpA, 0, pre+tail, arrived, uint64(pre+tail)); err != nil {
+		hostB.Close()
+		tcpB.Close()
+		return fail(err)
+	}
+	// Crash: the host's derived state is gone with the process. The
+	// sender endpoint is rebuilt too — a log-less restart hands the
+	// blank inbox a fresh incarnation, so the old link's in-flight
+	// rebase would resend frames the inbox cannot deduplicate; a fresh
+	// outbound stream is the clean re-derivation channel. (The durable
+	// leg keeps its sender: PrimeInbox restores the old incarnation.)
+	hostB.Close()
+	tcpB.Close()
+	tcpA.Close()
+	tcpA2, err := e19Sender()
+	if err != nil {
+		return fail(err)
+	}
+	defer tcpA2.Close()
+
+	start := time.Now()
+	tcpB2, hostB2, arrived2, err := buildB(tcpA2)
+	if err != nil {
+		return fail(err)
+	}
+	defer hostB2.Close()
+	defer tcpB2.Close()
+	if err := e19Pump(tcpA2, 0, pre+tail, arrived2, uint64(pre+tail)); err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start)
+	row.RecoverMs = float64(elapsed.Nanoseconds()) / 1e6
+	row.KFramesPerSec = float64(row.Frames) / elapsed.Seconds() / 1e3
+	return row, nil
+}
+
+// durableRecoveryLeg crashes a WAL-attached host after a checkpoint and
+// a tail of further deliveries, then recovers from disk alone:
+// checkpoint load plus local tail replay, no wire traffic.
+func durableRecoveryLeg(shards, pre, tail int) (E19Row, error) {
+	row := E19Row{Mode: "durable-restore", Procs: e19Procs, Frames: tail, CheckpointFrames: pre}
+	fail := func(err error) (E19Row, error) { return row, fmt.Errorf("E19 durable: %w", err) }
+
+	dir, err := os.MkdirTemp("", "cmh-e19-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	tcpA, err := e19Sender()
+	if err != nil {
+		return fail(err)
+	}
+	defer tcpA.Close()
+
+	// The experiment measures replay, not append durability, so the
+	// ingest side runs SyncNever; Close and rotation still sync, and
+	// the crash here is a process death, not a power cut.
+	buildB := func() (*wal.Log, *transport.TCP, *engine.Host, func() uint64, engine.RestoreStats, error) {
+		var st engine.RestoreStats
+		w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncNever})
+		if err != nil {
+			return nil, nil, nil, nil, st, err
+		}
+		tb := transport.NewTCPWithOptions(transport.TCPOptions{MaxBatch: 64})
+		failB := func(err error) (*wal.Log, *transport.TCP, *engine.Host, func() uint64, engine.RestoreStats, error) {
+			tb.Close()
+			w.Close()
+			return nil, nil, nil, nil, st, err
+		}
+		if err := tb.ListenHost(2, "127.0.0.1:0"); err != nil {
+			return failB(err)
+		}
+		e19Assign(tb)
+		hb := engine.NewHost(engine.Options{Shards: shards, Transport: tb})
+		failHost := func(err error) (*wal.Log, *transport.TCP, *engine.Host, func() uint64, engine.RestoreStats, error) {
+			hb.Close()
+			return failB(err)
+		}
+		hb.AttachWAL(w, engine.DurabilityHooks{Incarnation: func() uint64 {
+			inc, _ := tb.Incarnation(2)
+			return inc
+		}})
+		arrived, err := e19Procs100(hb)
+		if err != nil {
+			return failHost(err)
+		}
+		if err := tb.SetDeliveryLog(2, hb); err != nil {
+			return failHost(err)
+		}
+		st, err = hb.Restore()
+		if err != nil {
+			return failHost(err)
+		}
+		if st.Found {
+			if err := tb.PrimeInbox(2, st.Inc, st.Cursors); err != nil {
+				return failHost(err)
+			}
+		}
+		if err := hb.FinishRestore(); err != nil {
+			return failHost(err)
+		}
+		tb.SetHostPeer(1, tcpA.HostAddr(1))
+		tcpA.SetHostPeer(2, tb.HostAddr(2))
+		return w, tb, hb, arrived, st, nil
+	}
+
+	wlog, tcpB, hostB, arrived, _, err := buildB()
+	if err != nil {
+		return fail(err)
+	}
+	if err := e19Pump(tcpA, 0, pre, arrived, uint64(pre)); err != nil {
+		hostB.Close()
+		tcpB.Close()
+		wlog.Close()
+		return fail(err)
+	}
+	if err := hostB.Checkpoint(); err != nil {
+		hostB.Close()
+		tcpB.Close()
+		wlog.Close()
+		return fail(err)
+	}
+	if err := e19Pump(tcpA, pre, pre+tail, arrived, uint64(pre+tail)); err != nil {
+		hostB.Close()
+		tcpB.Close()
+		wlog.Close()
+		return fail(err)
+	}
+	// Crash without a final checkpoint: the tail exists only in the log.
+	hostB.Close()
+	tcpB.Close()
+	wlog.Close()
+
+	start := time.Now()
+	wlog2, tcpB2, hostB2, _, st, err := buildB()
+	if err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start)
+	defer wlog2.Close()
+	defer tcpB2.Close()
+	defer hostB2.Close()
+
+	if !st.Found {
+		return fail(fmt.Errorf("restore found no checkpoint"))
+	}
+	if st.SnapshotsRestored != e19Procs {
+		return fail(fmt.Errorf("restored %d of %d process snapshots", st.SnapshotsRestored, e19Procs))
+	}
+	if st.TailReplayed != uint64(tail) {
+		return fail(fmt.Errorf("replayed %d of %d tail frames", st.TailReplayed, tail))
+	}
+	row.RecoverMs = float64(elapsed.Nanoseconds()) / 1e6
+	row.KFramesPerSec = float64(row.Frames) / elapsed.Seconds() / 1e3
+	row.SnapshotsRestored = st.SnapshotsRestored
+	row.TailReplayed = st.TailReplayed
+	return row, nil
+}

@@ -164,6 +164,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E19",
+			Claim: "durable recovery: checkpoint load + local WAL tail replay restores a crashed host orders of magnitude faster than wire re-derivation",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E19Recovery()
+				return r, t, err
+			},
+		},
 	}
 }
 

@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func TestParseDurableGrammar(t *testing.T) {
+	src := "crash-durable:2@40ms; restore:2@90ms"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 || p.Events[0].Kind != CrashDurable || p.Events[1].Kind != Restore {
+		t.Fatalf("parsed %+v", p.Events)
+	}
+	if p.Events[0].Node != 2 || p.Events[1].Node != 2 {
+		t.Fatalf("parsed nodes %+v", p.Events)
+	}
+	if got := p.String(); got != src {
+		t.Fatalf("String() = %q, want %q", got, src)
+	}
+}
+
+func TestValidateDurablePairing(t *testing.T) {
+	for _, bad := range []string{
+		"restore:1@5ms",                             // never crashed
+		"crash:1@5ms; restore:1@10ms",               // blank crash needs restart
+		"crash-durable:1@5ms; restart:1@10ms",       // durable crash needs restore
+		"crash-durable:1@5ms; crash:1@10ms",         // double crash
+		"crash-durable:1@5ms; crash-durable:1@10ms", // double durable crash
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted an unsound plan", bad)
+		}
+	}
+	if _, err := Parse("crash-durable:1@5ms; restore:1@10ms; crash-durable:1@20ms; restore:1@30ms"); err != nil {
+		t.Errorf("repeated durable crash/restore cycles rejected: %v", err)
+	}
+}
+
+// TestDurableCrashHoldsInboundUntilRestore pins the semantics the
+// recovery layer depends on: frames in flight to (or sent at) a
+// durably-crashed node are parked, never dropped, and all arrive in
+// order after the restore — with the node keeping its incarnation.
+func TestDurableCrashHoldsInboundUntilRestore(t *testing.T) {
+	trace := func() ([]string, []string, NetStats) {
+		sched, net, rec := build(13, 5*sim.Millisecond)
+		var captured, restored bool
+		net.opts.OnCrashDurable = func(transport.NodeID) { captured = true }
+		net.opts.OnRestore = func(transport.NodeID) { restored = true }
+		for i := 1; i <= 3; i++ {
+			net.Send(0, 1, probe(uint64(i))) // in flight at the crash
+		}
+		net.CrashDurable(1)
+		for i := 4; i <= 6; i++ {
+			net.Send(0, 1, probe(uint64(i))) // sent while down
+		}
+		net.Send(1, 2, probe(99)) // a dead process sends nothing
+		sched.After(50*sim.Millisecond, func() { net.Restore(1) })
+		sched.Run()
+		if !captured || !restored {
+			t.Fatal("durable hooks did not fire")
+		}
+		return rec.delivered, rec.verdicts, net.Stats()
+	}
+	d1, v1, s1 := trace()
+	d2, v2, s2 := trace()
+	if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(v1, v2) || s1 != s2 {
+		t.Fatal("identical seed produced different traces")
+	}
+	if len(d1) != 6 {
+		t.Fatalf("delivered %d frames, want all 6 held ones: %v", len(d1), d1)
+	}
+	for i, want := range []string{"{(p1,n=1)}", "{(p1,n=2)}", "{(p1,n=3)}", "{(p1,n=4)}", "{(p1,n=5)}", "{(p1,n=6)}"} {
+		if d1[i] != "0->1 "+want {
+			t.Fatalf("delivery %d = %q, want %q (order lost across the crash)", i, d1[i], "0->1 "+want)
+		}
+	}
+	if s1.HeldAtCrash != 6 {
+		t.Errorf("HeldAtCrash = %d, want 6", s1.HeldAtCrash)
+	}
+	if s1.DroppedDead != 1 {
+		t.Errorf("DroppedDead = %d, want 1 (the dead node's send)", s1.DroppedDead)
+	}
+	// Down verdicts from both survivors after the lease delay, reversed
+	// at restore.
+	wantV := []string{"down 0:1", "down 2:1", "up 0:1", "up 2:1"}
+	if !reflect.DeepEqual(v1, wantV) {
+		t.Errorf("verdicts = %v, want %v", v1, wantV)
+	}
+}
+
+// TestFastRestoreSkipsDownAnnouncement: a restore inside the lease
+// window goes unannounced, like a fast restart.
+func TestFastRestoreSkipsDownAnnouncement(t *testing.T) {
+	sched, net, rec := build(14, 20*sim.Millisecond)
+	net.Send(0, 1, probe(1))
+	net.CrashDurable(1)
+	sched.After(5*sim.Millisecond, func() { net.Restore(1) })
+	sched.Run()
+	wantV := []string{"up 0:1", "up 2:1"}
+	if !reflect.DeepEqual(rec.verdicts, wantV) {
+		t.Fatalf("verdicts = %v, want %v", rec.verdicts, wantV)
+	}
+	if len(rec.delivered) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(rec.delivered))
+	}
+}
+
+// TestInstallAppliesDurablePlan runs the plan verbs through Install.
+func TestInstallAppliesDurablePlan(t *testing.T) {
+	sched, net, rec := build(15, 5*sim.Millisecond)
+	p, err := Parse("crash-durable:1@10ms; restore:1@60ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	sched.After(20*sim.Millisecond, func() { net.Send(0, 1, probe(7)) })
+	sched.Run()
+	if len(rec.delivered) != 1 || rec.delivered[0] != "0->1 {(p1,n=7)}" {
+		t.Fatalf("delivered %v, want the held frame after restore", rec.delivered)
+	}
+}
+
+func TestDriveTCPDurableHooks(t *testing.T) {
+	p, err := Parse("crash-durable:1@1ms; restore:1@5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plain driver and a hookless durable driver must refuse.
+	if _, err := DriveTCP(nil, p); err == nil {
+		t.Fatal("DriveTCP accepted a durable plan without hooks")
+	}
+	tcp := transport.NewTCP()
+	defer tcp.Close()
+	crashed := make(chan transport.NodeID, 1)
+	restoredCh := make(chan transport.NodeID, 1)
+	stop, err := DriveTCPDurable(tcp, p, TCPDurableHooks{
+		OnCrashDurable: func(n transport.NodeID) { crashed <- n },
+		OnRestore:      func(n transport.NodeID) { restoredCh <- n },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	select {
+	case n := <-crashed:
+		if n != 1 {
+			t.Fatalf("crash hook node = %d, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("crash hook never fired")
+	}
+	select {
+	case n := <-restoredCh:
+		if n != 1 {
+			t.Fatalf("restore hook node = %d, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("restore hook never fired")
+	}
+}

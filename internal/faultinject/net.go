@@ -37,6 +37,14 @@ type NetOptions struct {
 	// before any PeerUp announcement, so re-announcements from
 	// survivors find the fresh incarnation listening.
 	OnRestart func(transport.NodeID)
+	// OnCrashDurable fires at a durable-crash instant; the harness uses
+	// it to capture the dying process's checkpoint (MarshalState — the
+	// sim analogue of the WAL having journaled every delivered frame).
+	OnCrashDurable func(transport.NodeID)
+	// OnRestore fires at the restore instant, before held frames are
+	// released or any PeerUp announced; the harness re-registers a
+	// process reconstituted from the captured state.
+	OnRestore func(transport.NodeID)
 	// Listener receives peer-down/up verdicts; nil disables them.
 	Listener Listener
 }
@@ -49,6 +57,10 @@ type NetStats struct {
 	// HeldAtPartition counts messages parked across the cut; all of
 	// them were re-scheduled at heal.
 	HeldAtPartition uint64
+	// HeldAtCrash counts messages parked at a durably-crashed node; all
+	// of them were re-scheduled at restore — the durable model loses no
+	// delivered-or-in-flight frame (the TCP sender's replay buffer).
+	HeldAtCrash uint64
 	// DupsInjected / DupsFiltered count wire-level duplicates created
 	// by Dup events and removed again before delivery; equality at
 	// quiescence is the exactly-once check.
@@ -63,10 +75,15 @@ type link struct{ from, to transport.NodeID }
 
 type pair struct{ observer, peer transport.NodeID }
 
-// heldMsg is one message parked at a partition cut.
+// heldMsg is one message parked at a partition cut or a durably-crashed
+// node. seq is the global send order, stamped at dispatch: a frame in
+// flight at a durable crash parks later (at its delivery instant) than
+// frames sent while the node was down, and the release must follow send
+// order per link — the durable transport replays by sequence number.
 type heldMsg struct {
 	m              msg.Message
 	fromInc, toInc uint64
+	seq            uint64
 	dup            bool
 }
 
@@ -87,6 +104,8 @@ type Net struct {
 	inFlight  int
 
 	crashed map[transport.NodeID]bool
+	durable map[transport.NodeID]bool
+	heldDur map[link][]heldMsg
 	inc     map[transport.NodeID]uint64
 
 	partitioned bool
@@ -97,6 +116,7 @@ type Net struct {
 	delayUntil sim.Time
 	delayExtra sim.Duration
 	dupBudget  int
+	sendSeq    uint64
 
 	downAnnounced map[pair]bool
 	stats         NetStats
@@ -117,6 +137,8 @@ func NewNet(sched *sim.Scheduler, opts NetOptions) *Net {
 		handlers:      make(map[transport.NodeID]transport.Handler),
 		lastAt:        make(map[link]sim.Time),
 		crashed:       make(map[transport.NodeID]bool),
+		durable:       make(map[transport.NodeID]bool),
+		heldDur:       make(map[link][]heldMsg),
 		inc:           make(map[transport.NodeID]uint64),
 		side:          make(map[transport.NodeID]int),
 		held:          make(map[link][]heldMsg),
@@ -171,6 +193,10 @@ func (n *Net) apply(ev Event) {
 		n.delayUntil = n.sched.Now() + sim.Time(ev.Span)
 	case Dup:
 		n.dupBudget += ev.Count
+	case CrashDurable:
+		n.CrashDurable(ev.Node)
+	case Restore:
+		n.Restore(ev.Node)
 	}
 }
 
@@ -182,9 +208,10 @@ func (n *Net) Send(from, to transport.NodeID, m msg.Message) {
 	if m == nil {
 		panic("faultinject: send of nil message")
 	}
-	if n.crashed[from] {
+	if n.crashed[from] || n.durable[from] {
 		// A dead process sends nothing; a straggler callback that fires
-		// after its node crashed is part of the state that died.
+		// after its node crashed is part of the state that died. (For a
+		// durable crash the restored process re-derives it from replay.)
 		n.stats.DroppedDead++
 		return
 	}
@@ -202,10 +229,17 @@ func (n *Net) Send(from, to transport.NodeID, m msg.Message) {
 // dispatch routes one wire frame: park it at a partition cut or
 // schedule its delivery.
 func (n *Net) dispatch(from, to transport.NodeID, h heldMsg) {
+	n.sendSeq++
+	h.seq = n.sendSeq
 	l := link{from: from, to: to}
 	if n.partitioned && n.side[from] != n.side[to] {
 		n.held[l] = append(n.held[l], h)
 		n.stats.HeldAtPartition++
+		return
+	}
+	if n.durable[to] {
+		n.heldDur[l] = append(n.heldDur[l], h)
+		n.stats.HeldAtCrash++
 		return
 	}
 	n.schedule(l, h)
@@ -234,6 +268,14 @@ func (n *Net) deliver(l link, h heldMsg) {
 		n.stats.DupsFiltered++
 		return
 	}
+	if n.durable[l.to] {
+		// The receiver durably crashed while this frame was in flight:
+		// the durable transport holds it (the survivor's replay buffer
+		// keeps every unacked frame) and re-delivers after restore.
+		n.heldDur[l] = append(n.heldDur[l], h)
+		n.stats.HeldAtCrash++
+		return
+	}
 	if n.crashed[l.from] || n.crashed[l.to] ||
 		n.inc[l.from] != h.fromInc || n.inc[l.to] != h.toInc {
 		// An endpoint died (or was reincarnated) while the message was
@@ -258,7 +300,7 @@ func (n *Net) deliver(l link, h heldMsg) {
 // down then (a restart inside the lease window goes unannounced,
 // modeling a reboot faster than the failure detector).
 func (n *Net) Crash(node transport.NodeID) {
-	if n.crashed[node] {
+	if n.crashed[node] || n.durable[node] {
 		return
 	}
 	n.crashed[node] = true
@@ -294,6 +336,78 @@ func (n *Net) Restart(node transport.NodeID) {
 	}
 	for _, o := range n.nodesSorted() {
 		if o == node || n.crashed[o] {
+			continue
+		}
+		delete(n.downAnnounced, pair{observer: o, peer: node})
+		n.announceUp(o, node)
+	}
+}
+
+// CrashDurable kills a node whose state survives on stable storage
+// (DESIGN.md §11): the process stops — straggler sends die with it —
+// but inbound frames are held, not dropped, because the durable
+// transport re-delivers them after recovery. Survivors are told one
+// lease delay later, exactly as for a blank crash: the failure detector
+// cannot see what kind of death it was.
+func (n *Net) CrashDurable(node transport.NodeID) {
+	if n.crashed[node] || n.durable[node] {
+		return
+	}
+	n.durable[node] = true
+	if n.opts.OnCrashDurable != nil {
+		n.opts.OnCrashDurable(node)
+	}
+	n.sched.After(n.opts.LeaseDelay, func() {
+		if !n.durable[node] {
+			return
+		}
+		for _, o := range n.nodesSorted() {
+			if o != node && !n.crashed[o] && !n.durable[o] {
+				n.announceDown(o, node)
+			}
+		}
+	})
+}
+
+// Restore revives a durably-crashed node under the SAME incarnation —
+// recovery from checkpoint plus log replay is a reconnect, not a blank
+// restart, so in-flight frames of the old incarnation remain valid.
+// OnRestore re-registers the reconstituted process first, then the held
+// inbound frames are released in link order, then every live survivor
+// gets a PeerUp.
+func (n *Net) Restore(node transport.NodeID) {
+	if !n.durable[node] {
+		return
+	}
+	n.durable[node] = false
+	if n.opts.OnRestore != nil {
+		n.opts.OnRestore(node)
+	}
+	links := make([]link, 0, len(n.heldDur))
+	for l := range n.heldDur {
+		if l.to == node {
+			links = append(links, l)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].from != links[j].from {
+			return links[i].from < links[j].from
+		}
+		return links[i].to < links[j].to
+	})
+	for _, l := range links {
+		held := n.heldDur[l]
+		// Send order, not park order: a frame in flight at the crash
+		// parked at its delivery instant, after frames sent while the
+		// node was down. The transport replays by sequence number.
+		sort.Slice(held, func(i, j int) bool { return held[i].seq < held[j].seq })
+		for _, h := range held {
+			n.schedule(l, h)
+		}
+		delete(n.heldDur, l)
+	}
+	for _, o := range n.nodesSorted() {
+		if o == node || n.crashed[o] || n.durable[o] {
 			continue
 		}
 		delete(n.downAnnounced, pair{observer: o, peer: node})

@@ -52,6 +52,16 @@ const (
 	// the TCP transport's reconnect-and-replay machinery guarantees the
 	// frames still arrive — connections die, messages do not.
 	Drop
+	// CrashDurable kills a node whose state survives on stable storage
+	// (DESIGN.md §11): the process stops, but inbound frames are held —
+	// not dropped — because the durable transport would re-deliver them
+	// after recovery (the survivor's replay buffer keeps every unacked
+	// frame). The matching Restore revives the node.
+	CrashDurable
+	// Restore revives a durably-crashed node from its checkpoint and
+	// WAL tail under the SAME incarnation (recovery is a reconnect, not
+	// a blank restart); held inbound frames are released in order.
+	Restore
 )
 
 // String names the kind as it appears in the plan grammar.
@@ -71,6 +81,10 @@ func (k EventKind) String() string {
 		return "dup"
 	case Drop:
 		return "drop"
+	case CrashDurable:
+		return "crash-durable"
+	case Restore:
+		return "restore"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -102,6 +116,7 @@ type Plan struct {
 // `kind[:args]@offset`, e.g.
 //
 //	crash:2@40ms; restart:2@90ms
+//	crash-durable:2@40ms; restore:2@90ms
 //	partition:0,1|2@20ms; heal@50ms
 //	delay:5ms:30ms@10ms; dup:3@10ms
 //	drop@1s; drop@2s
@@ -139,14 +154,20 @@ func parseEvent(s string) (Event, error) {
 	kind, args, _ := strings.Cut(strings.TrimSpace(head), ":")
 	ev := Event{At: offset}
 	switch kind {
-	case "crash", "restart":
+	case "crash", "restart", "crash-durable", "restore":
 		node, err := strconv.Atoi(args)
 		if err != nil {
 			return Event{}, fmt.Errorf("fault %q: bad node %q", s, args)
 		}
-		ev.Kind = Crash
-		if kind == "restart" {
+		switch kind {
+		case "crash":
+			ev.Kind = Crash
+		case "restart":
 			ev.Kind = Restart
+		case "crash-durable":
+			ev.Kind = CrashDurable
+		case "restore":
+			ev.Kind = Restore
 		}
 		ev.Node = transport.NodeID(node)
 	case "partition":
@@ -213,9 +234,12 @@ func parseNodes(s string) ([]transport.NodeID, error) {
 // sorted, every partition healed (a plan must not end the run inside an
 // outage, or "held until heal" silently becomes "dropped"), restarts
 // only for nodes crashed earlier, no double crash without a restart
-// between.
+// between, and the durable pairing — a restore revives exactly a
+// crash-durable (a blank restart would abandon the held frames, and a
+// restore of a blank crash would invent state that died).
 func (p Plan) Validate() error {
 	down := map[transport.NodeID]bool{}
+	durable := map[transport.NodeID]bool{}
 	partitions, heals := 0, 0
 	var last time.Duration
 	for _, ev := range p.Events {
@@ -225,15 +249,31 @@ func (p Plan) Validate() error {
 		last = ev.At
 		switch ev.Kind {
 		case Crash:
-			if down[ev.Node] {
+			if down[ev.Node] || durable[ev.Node] {
 				return fmt.Errorf("plan: node %d crashed twice without a restart", ev.Node)
 			}
 			down[ev.Node] = true
 		case Restart:
+			if durable[ev.Node] {
+				return fmt.Errorf("plan: restart of durably-crashed node %d (use restore)", ev.Node)
+			}
 			if !down[ev.Node] {
 				return fmt.Errorf("plan: restart of node %d that never crashed", ev.Node)
 			}
 			down[ev.Node] = false
+		case CrashDurable:
+			if down[ev.Node] || durable[ev.Node] {
+				return fmt.Errorf("plan: node %d crashed twice without a restart", ev.Node)
+			}
+			durable[ev.Node] = true
+		case Restore:
+			if down[ev.Node] {
+				return fmt.Errorf("plan: restore of node %d after a blank crash (use restart)", ev.Node)
+			}
+			if !durable[ev.Node] {
+				return fmt.Errorf("plan: restore of node %d that never durably crashed", ev.Node)
+			}
+			durable[ev.Node] = false
 		case Partition:
 			if partitions > heals {
 				return fmt.Errorf("plan: nested partition at %v (heal the first one)", ev.At)
@@ -258,7 +298,7 @@ func (p Plan) String() string {
 	for _, ev := range p.Events {
 		var s string
 		switch ev.Kind {
-		case Crash, Restart:
+		case Crash, Restart, CrashDurable, Restore:
 			s = fmt.Sprintf("%s:%d", ev.Kind, ev.Node)
 		case Partition:
 			s = fmt.Sprintf("partition:%s|%s", joinNodes(ev.SideA), joinNodes(ev.SideB))

@@ -15,14 +15,44 @@ import (
 // the frames still arrive exactly once in order. Crash, restart and
 // partition faults are simulator-only, where process state and the
 // failure detector are modeled deterministically; expressing them here
-// would mean killing real OS processes mid-test.
+// would mean killing real OS processes mid-test. For crash-durable and
+// restore, use DriveTCPDurable with hooks.
 func DriveTCP(t *transport.TCP, p Plan) (func(), error) {
+	return DriveTCPDurable(t, p, TCPDurableHooks{})
+}
+
+// TCPDurableHooks receive the durable-recovery verbs a plan schedules
+// against a live TCP deployment. The harness owning the hosts supplies
+// them: OnCrashDurable abandons the host (kill without a final
+// checkpoint — the WAL and checkpoints on disk are all that survive),
+// OnRestore rebuilds it via AttachWAL → Restore → PrimeInbox →
+// FinishRestore. Both run on the driver goroutine; they may block (the
+// plan's later offsets still anchor to plan start, so a slow restore
+// delays subsequent events rather than skipping them).
+type TCPDurableHooks struct {
+	OnCrashDurable func(transport.NodeID)
+	OnRestore      func(transport.NodeID)
+}
+
+// DriveTCPDurable is DriveTCP plus the durable-recovery verbs, wired to
+// the caller's hooks.
+func DriveTCPDurable(t *transport.TCP, p Plan, hooks TCPDurableHooks) (func(), error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	for _, ev := range p.Events {
-		if ev.Kind != Drop {
-			return nil, fmt.Errorf("faultinject: %v events are sim-only; the TCP driver takes drop storms", ev.Kind)
+		switch ev.Kind {
+		case Drop:
+		case CrashDurable:
+			if hooks.OnCrashDurable == nil {
+				return nil, fmt.Errorf("faultinject: crash-durable event without an OnCrashDurable hook")
+			}
+		case Restore:
+			if hooks.OnRestore == nil {
+				return nil, fmt.Errorf("faultinject: restore event without an OnRestore hook")
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: %v events are sim-only; the TCP driver takes drop storms and durable crash/restore", ev.Kind)
 		}
 	}
 	done := make(chan struct{})
@@ -33,7 +63,14 @@ func DriveTCP(t *transport.TCP, p Plan) (func(), error) {
 			case <-done:
 				return
 			case <-time.After(time.Until(start.Add(ev.At))):
-				t.DropConnections()
+				switch ev.Kind {
+				case Drop:
+					t.DropConnections()
+				case CrashDurable:
+					hooks.OnCrashDurable(ev.Node)
+				case Restore:
+					hooks.OnRestore(ev.Node)
+				}
 			}
 		}
 	}()

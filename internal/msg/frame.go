@@ -1,0 +1,70 @@
+package msg
+
+// Standalone envelope-frame helpers for callers that persist frames
+// outside a live connection — the write-ahead envelope log re-uses the
+// §9 wire encoding byte for byte, so a logged record is exactly the
+// frame the transport delivered and the two codecs can never drift.
+//
+// The stream-oriented Encoder/Decoder pair stays the wire API: these
+// helpers frame single envelopes into and out of caller-owned byte
+// slices, with no stream version byte and no pooled-message ownership
+// (a decoded message is always a fresh value — a log replayed hours
+// later must not hand out pointers into a connection's recycle pool).
+
+// AppendEnvelopeFrame appends the complete §9 binary encoding of env
+// (length prefix included) to dst and returns the grown slice. On a
+// rejected message dst is returned unchanged with one of the package's
+// sentinel errors.
+func AppendEnvelopeFrame(dst []byte, env Envelope) ([]byte, error) {
+	return appendFrame(dst, env)
+}
+
+// DecodeEnvelopeFrame decodes one §9 binary frame from the front of b,
+// returning the envelope and the number of bytes consumed. It fails
+// with ErrTruncatedFrame when b ends mid-frame and with the codec's
+// other sentinel errors on structural corruption; a failed decode
+// consumes nothing. Messages decode into their value forms, never the
+// connection pools'.
+func DecodeEnvelopeFrame(b []byte) (Envelope, int, error) {
+	if len(b) < 4 {
+		return Envelope{}, 0, ErrTruncatedFrame
+	}
+	n := int(le.Uint32(b))
+	switch {
+	case n < binHdrTail:
+		return Envelope{}, 0, ErrBadFrame
+	case n > maxFrameLen:
+		return Envelope{}, 0, ErrFrameTooLarge
+	}
+	if len(b) < 4+n {
+		return Envelope{}, 0, ErrTruncatedFrame
+	}
+	f := b[4 : 4+n]
+	env := Envelope{
+		Ctl:     f[0],
+		From:    int32(le.Uint32(f[2:])),
+		To:      int32(le.Uint32(f[6:])),
+		SrcHost: int32(le.Uint32(f[10:])),
+		Seq:     le.Uint64(f[14:]),
+		Epoch:   le.Uint64(f[22:]),
+		Ack:     le.Uint64(f[30:]),
+		Inc:     le.Uint64(f[38:]),
+	}
+	tag := f[1]
+	payload := f[binHdrTail:]
+	if env.Ctl != CtlData {
+		if env.Ctl > CtlAck {
+			return Envelope{}, 0, ErrUnknownCtl
+		}
+		if tag != tagNone || len(payload) != 0 {
+			return Envelope{}, 0, ErrBadFrame
+		}
+		return env, 4 + n, nil
+	}
+	m, err := binDecodePayload(tag, payload, false)
+	if err != nil {
+		return Envelope{}, 0, err
+	}
+	env.Msg = m
+	return env, 4 + n, nil
+}

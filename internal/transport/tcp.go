@@ -90,6 +90,10 @@ type inbox struct {
 
 	mu    sync.Mutex
 	pairs map[streamKey]*pairState
+	// lg, when non-nil, journals every committed in-order delivery
+	// before it leaves the resequencer (write-ahead of the ack — see
+	// DeliveryLog). Set before traffic via SetDeliveryLog.
+	lg DeliveryLog
 	// sinks memoizes the per-stream lock-free delivery sink (nil when
 	// the stream's handler does not provide one, or observers were
 	// attached at bind time). Keyed per stream — NOT per pairState —
@@ -232,6 +236,7 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 	}
 	ib := &inbox{node: id, inc: newEpoch(), pairs: make(map[streamKey]*pairState), sinks: make(map[streamKey]StreamSink)}
 	_, retains := h.(MessageRetainer)
+	seqh, _ := h.(SequencedHandler)
 	ib.box = newMailbox(h, func(d delivery) {
 		t.mu.Lock()
 		obs := t.observers
@@ -242,7 +247,11 @@ func (t *TCP) RegisterAddr(id NodeID, addr string, h Handler) error {
 				so.OnSequencedDeliver(d.from, id, d.epoch, d.seq, d.m)
 			}
 		}
-		h.HandleMessage(d.from, d.m)
+		if seqh != nil && d.seq != 0 {
+			seqh.HandleSequenced(d.from, d.m, d.epoch, d.seq)
+		} else {
+			h.HandleMessage(d.from, d.m)
+		}
 		if !retains {
 			msg.Recycle(d.m)
 		}
@@ -309,7 +318,11 @@ func (t *TCP) ListenHost(host NodeID, addr string) error {
 				so.OnSequencedDeliver(d.from, d.to, d.epoch, d.seq, d.m)
 			}
 		}
-		h.HandleMessage(d.from, d.m)
+		if seqh, ok := h.(SequencedHandler); ok && d.seq != 0 {
+			seqh.HandleSequenced(d.from, d.m, d.epoch, d.seq)
+		} else {
+			h.HandleMessage(d.from, d.m)
+		}
 		if _, retains := h.(MessageRetainer); !retains {
 			msg.Recycle(d.m)
 		}
@@ -589,8 +602,14 @@ func (t *TCP) sinkLocked(ib *inbox, key streamKey, to NodeID) StreamSink {
 }
 
 // deliverLocked (ib.mu held) hands one in-order frame to the stream's
-// sink when it has one, else to the dispatch mailbox.
+// sink when it has one, else to the dispatch mailbox. When a delivery
+// log is attached the frame is journaled first — this is the single
+// choke point both delivery paths share, and it runs before readLoop
+// writes the acknowledgement, which is what makes the log write-ahead.
 func (t *TCP) deliverLocked(ib *inbox, key streamKey, d delivery) {
+	if ib.lg != nil {
+		ib.lg.LogDelivery(key.id, key.host, d.epoch, d.seq, d.from, d.to, d.m)
+	}
 	if sink := t.sinkLocked(ib, key, d.to); sink != nil && sink.DeliverStream(d.from, d.to, d.m) {
 		return
 	}

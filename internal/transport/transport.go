@@ -72,6 +72,34 @@ type SinkProvider interface {
 	BindStream() StreamSink
 }
 
+// SequencedHandler is an optional Handler extension for dispatch-path
+// deliveries that carry stream sequencing. When a delivered frame was
+// resequenced (seq != 0) and the handler implements this interface, the
+// transport calls HandleSequenced instead of HandleMessage, so the
+// handler can account the delivery against the write-ahead log's
+// record stream (the engine Host's checkpoint cut relies on knowing
+// every logged frame has been stepped). The MessageRetainer contract
+// applies to both entry points alike.
+type SequencedHandler interface {
+	Handler
+	HandleSequenced(from NodeID, m msg.Message, epoch, seq uint64)
+}
+
+// DeliveryLog is the durability hook of an inbox: when attached (see
+// TCP.SetDeliveryLog), LogDelivery is called for every sequenced frame
+// at the moment the resequencer commits it for delivery — under the
+// per-stream lock, before the frame reaches a sink or mailbox and,
+// crucially, before the acknowledgement covering it is written back to
+// the sender. A LogDelivery that fsyncs therefore gives log-before-ack
+// durability: every acknowledged frame is on disk, and every frame not
+// on disk is still in the sender's replay buffer. LogDelivery may
+// block (the checkpoint cut does, briefly); it must not call back into
+// the transport. The message is only borrowed for the duration of the
+// call.
+type DeliveryLog interface {
+	LogDelivery(stream NodeID, streamIsHost bool, epoch, seq uint64, from, to NodeID, m msg.Message)
+}
+
 // Transport routes messages between registered nodes.
 type Transport interface {
 	// Register attaches the handler for a node. It must be called

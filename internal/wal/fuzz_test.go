@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALRecord drives the record parser with arbitrary bytes — torn
+// prefixes, bit flips, hostile length fields — and checks the parser's
+// contract: it never panics, never over-consumes, errors only with its
+// two sentinels, and round-trips every record it accepts.
+func FuzzWALRecord(f *testing.F) {
+	// Committed seeds: a clean record, an empty payload, a torn tail,
+	// a length-field attack, and a CRC flip.
+	clean := appendRecord(nil, KindEnvelope, 42, []byte("seed-envelope-frame"))
+	f.Add(clean)
+	f.Add(appendRecord(nil, KindEnvelope, 0, nil))
+	f.Add(clean[:len(clean)-3])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1})
+	flipped := append([]byte(nil), clean...)
+	flipped[recHdrLen+2] ^= 0x08
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), clean...), clean...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, gen, payload, n, err := parseRecord(data)
+		if err != nil {
+			if err != ErrTornRecord && err != ErrBadRecord {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("error consumed %d bytes", n)
+			}
+			return
+		}
+		if n < recHdrLen+recBodyMin || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Accepted records must re-encode to the exact bytes parsed:
+		// the log's scan/truncate logic depends on byte-precise
+		// framing.
+		re := appendRecord(nil, kind, gen, payload)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data[:n], re)
+		}
+	})
+}
+
+// FuzzWALSegment feeds whole segment images to the open-time verifier:
+// whatever the bytes, it must report a keep-offset inside the data and
+// a record count consistent with re-parsing the kept prefix.
+func FuzzWALSegment(f *testing.F) {
+	good := append([]byte(nil), segMagic...)
+	good = appendRecord(good, KindEnvelope, 7, []byte("one"))
+	good = appendRecord(good, KindEnvelope, 7, []byte("two"))
+	f.Add(good)
+	f.Add(good[:len(good)-2])
+	f.Add([]byte("CMHWAL"))
+	f.Add(append([]byte(nil), segMagic...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keep, records, ok := verifySegment(data)
+		if keep < 0 || keep > len(data) {
+			t.Fatalf("keep=%d out of range [0,%d]", keep, len(data))
+		}
+		if ok && keep != len(data) {
+			t.Fatalf("ok but keep=%d != len=%d", keep, len(data))
+		}
+		if keep > 0 {
+			// The kept prefix must itself verify cleanly.
+			k2, r2, ok2 := verifySegment(data[:keep])
+			if !ok2 || k2 != keep || r2 != records {
+				t.Fatalf("kept prefix unstable: %d/%d/%v vs %d/%d", k2, r2, ok2, keep, records)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+// Package wal implements the durability layer for a detector host: a
+// write-ahead envelope log plus engine-state checkpoints. Records
+// re-use the §9 binary wire codec for their payloads, so the log is a
+// byte-exact journal of what the transport delivered; replaying the
+// tail after the newest checkpoint reconstructs the host's state
+// deterministically (DESIGN.md §11).
+//
+// The log is a sequence of fixed-header records across numbered
+// segment files. Each record carries its own CRC32C, so a torn write
+// at the physical end of the log (or a bit flip anywhere) is detected
+// on open and the log is truncated back to its last committed record
+// instead of poisoning replay.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record layout, little-endian:
+//
+//	u32 n    — body length (kind + gen + payload), so n >= recBodyMin
+//	u32 crc  — CRC32C (Castagnoli) over the body
+//	u8  kind — record type (KindEnvelope, ...)
+//	u64 gen  — durability generation the record was appended under
+//	payload  — kind-specific bytes (§9 envelope frame for KindEnvelope)
+//
+// The generation is part of every record rather than a segment header
+// so that a single segment can span a crash/restore cycle and replay
+// can fence records from a stale timeline record by record.
+const (
+	recHdrLen  = 8       // n + crc
+	recBodyMin = 9       // kind + gen
+	recBodyMax = 1 << 24 // matches the codec's maxFrameLen scale
+)
+
+// Record kinds.
+const (
+	// KindEnvelope marks a payload holding one §9 binary envelope
+	// frame exactly as the transport delivered it.
+	KindEnvelope byte = 1
+)
+
+// Sentinel parse errors. ErrTornRecord covers truncation (the bytes
+// end mid-record); ErrBadRecord covers structural corruption (bad
+// length or CRC mismatch). Open treats both as the end of the
+// committed log.
+var (
+	ErrTornRecord = errors.New("wal: torn record")
+	ErrBadRecord  = errors.New("wal: bad record")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends one encoded record to dst and returns the grown
+// slice.
+func appendRecord(dst []byte, kind byte, gen uint64, payload []byte) []byte {
+	n := recBodyMin + len(payload)
+	var hdr [recHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	start := len(dst)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint64(dst, gen)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start+recHdrLen:], castagnoli)
+	binary.LittleEndian.PutUint32(dst[start+4:], crc)
+	return dst
+}
+
+// parseRecord decodes one record from the front of b, returning the
+// kind, generation, payload (aliasing b — copy before retaining), and
+// bytes consumed. A short buffer yields ErrTornRecord; a structurally
+// invalid or CRC-failing record yields ErrBadRecord. Nothing is
+// consumed on error.
+func parseRecord(b []byte) (kind byte, gen uint64, payload []byte, consumed int, err error) {
+	if len(b) < recHdrLen {
+		return 0, 0, nil, 0, ErrTornRecord
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < recBodyMin || n > recBodyMax {
+		return 0, 0, nil, 0, ErrBadRecord
+	}
+	if len(b) < recHdrLen+n {
+		return 0, 0, nil, 0, ErrTornRecord
+	}
+	body := b[recHdrLen : recHdrLen+n]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(b[4:]) {
+		return 0, 0, nil, 0, ErrBadRecord
+	}
+	return body[0], binary.LittleEndian.Uint64(body[1:]), body[recBodyMin:], recHdrLen + n, nil
+}

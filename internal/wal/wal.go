@@ -1,0 +1,412 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// segMagic opens every segment file. The trailing version byte gates
+// future layout changes; today only version 1 exists.
+var segMagic = []byte{'C', 'M', 'H', 'W', 'A', 'L', 0, 1}
+
+const (
+	segMagicLen    = 8
+	defaultSegSize = 8 << 20 // rotate segments at 8 MiB
+	defaultSyncGap = 50 * time.Millisecond
+)
+
+// SyncPolicy selects when appended records are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a record handed back from
+	// Append is durable. Combined with the transport's log-before-ack
+	// ordering this is the lossless configuration (DESIGN.md §11).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery):
+	// bounded loss window, near-SyncNever append cost.
+	SyncInterval
+	// SyncNever leaves flushing to the OS; rotation and Close still
+	// sync. Records since the last sync can be lost to a crash.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the cmhnode -fsync flag values onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or never)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory, created if absent. Segments and
+	// checkpoints for one host share it; two hosts must not.
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this
+	// size (default 8 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval ticker period (default 50ms).
+	SyncEvery time.Duration
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Records is the number of committed records in the log, the
+	// recovered prefix included.
+	Records uint64
+	// RecordsAppended counts appends by this process.
+	RecordsAppended uint64
+	// TornRecordsDropped counts corrupt or torn regions truncated at
+	// Open — one per contiguous region, since record boundaries inside
+	// a torn region are unknowable.
+	TornRecordsDropped uint64
+	// Syncs counts explicit fsyncs of the active segment.
+	Syncs uint64
+	// Segments is the live segment-file count.
+	Segments int
+	// CheckpointsTaken counts checkpoints written by this process.
+	CheckpointsTaken uint64
+	// LastCheckpointSeq is the sequence number of the newest
+	// checkpoint on disk (0 when none).
+	LastCheckpointSeq uint64
+}
+
+// Log is an append-only record log over numbered segment files, safe
+// for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segIdx   uint64
+	segIdxs  []uint64 // live segment indices, ascending
+	segOff   int64
+	count    uint64 // committed records (LSN of the last record)
+	appended uint64
+	torn     uint64
+	syncs    uint64
+	dirty    bool
+	buf      []byte
+	ckpts    uint64
+	ckptSeq  uint64
+	closed   bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (or creates) the log in opts.Dir, verifying every segment
+// record by record. The first torn or corrupt record ends the
+// committed log: the file is truncated back to it and any later
+// segments are deleted, so replay never sees an uncommitted suffix.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegSize
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncGap
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Log{opts: opts}
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	if seqs, err := checkpointSeqs(opts.Dir); err != nil {
+		return nil, err
+	} else if len(seqs) > 0 {
+		w.ckptSeq = seqs[len(seqs)-1]
+	}
+	if opts.Sync == SyncInterval {
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+func segName(idx uint64) string { return fmt.Sprintf("wal-%08d.seg", idx) }
+
+// recover scans the directory, truncates the torn tail, and positions
+// the log for appending.
+func (w *Log) recover() error {
+	ents, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); n == 1 {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	if len(idxs) == 0 {
+		return w.startSegment(1)
+	}
+	for at, idx := range idxs {
+		path := filepath.Join(w.opts.Dir, segName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		keep, recs, ok := verifySegment(data)
+		w.count += recs
+		if !ok || int64(keep) < int64(len(data)) {
+			// Torn or corrupt suffix: truncate here, drop later
+			// segments entirely — their records follow the tear and
+			// are not part of the committed log.
+			w.torn++
+			if err := os.Truncate(path, int64(keep)); err != nil {
+				return err
+			}
+			for _, later := range idxs[at+1:] {
+				if err := os.Remove(filepath.Join(w.opts.Dir, segName(later))); err != nil {
+					return err
+				}
+				w.torn++
+			}
+			idxs = idxs[:at+1]
+			break
+		}
+	}
+	w.segIdxs = idxs
+	last := idxs[len(idxs)-1]
+	f, err := os.OpenFile(filepath.Join(w.opts.Dir, segName(last)), os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if off < segMagicLen {
+		// Header itself was torn; rewrite it.
+		if _, err := f.WriteAt(segMagic, 0); err != nil {
+			f.Close()
+			return err
+		}
+		off = segMagicLen
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.f, w.segIdx, w.segOff = f, last, off
+	return nil
+}
+
+// verifySegment walks one segment's bytes and reports the byte offset
+// of the last committed record's end, the committed record count, and
+// whether the segment is fully intact (header valid and no trailing
+// garbage).
+func verifySegment(data []byte) (keep int, records uint64, ok bool) {
+	if len(data) < segMagicLen || string(data[:segMagicLen]) != string(segMagic) {
+		return 0, 0, false
+	}
+	off := segMagicLen
+	for off < len(data) {
+		_, _, _, n, err := parseRecord(data[off:])
+		if err != nil {
+			return off, records, false
+		}
+		off += n
+		records++
+	}
+	return off, records, true
+}
+
+func (w *Log) startSegment(idx uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.opts.Dir, segName(idx)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.segIdx, w.segOff = f, idx, segMagicLen
+	w.segIdxs = append(w.segIdxs, idx)
+	return nil
+}
+
+// Append commits one record and returns its LSN (1-based position in
+// the log). Under SyncAlways the record is durable on return.
+func (w *Log) Append(kind byte, gen uint64, payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if w.segOff >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	w.buf = appendRecord(w.buf[:0], kind, gen, payload)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return 0, err
+	}
+	w.segOff += int64(len(w.buf))
+	w.count++
+	w.appended++
+	w.dirty = true
+	if w.opts.Sync == SyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return w.count, nil
+}
+
+func (w *Log) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return w.startSegment(w.segIdx + 1)
+}
+
+func (w *Log) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.syncs++
+	return nil
+}
+
+// Sync fsyncs any unsynced appends.
+func (w *Log) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *Log) syncLoop() {
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	defer close(w.syncDone)
+	for {
+		select {
+		case <-t.C:
+			_ = w.Sync()
+		case <-w.stopSync:
+			return
+		}
+	}
+}
+
+// NextLSN returns the LSN the next Append will get. The checkpoint
+// frontier recorded at a quiescent cut is NextLSN()-1: every committed
+// record at or below it is reflected in the checkpointed state.
+func (w *Log) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count + 1
+}
+
+// Scan replays every committed record in log order. The payload slice
+// is only valid during the callback. Scanning reads the segments back
+// from the filesystem, so it observes appends made by this process
+// whether or not they have been fsynced.
+func (w *Log) Scan(fn func(lsn uint64, kind byte, gen uint64, payload []byte) error) error {
+	w.mu.Lock()
+	idxs := append([]uint64(nil), w.segIdxs...)
+	w.mu.Unlock()
+	var lsn uint64
+	for _, idx := range idxs {
+		data, err := os.ReadFile(filepath.Join(w.opts.Dir, segName(idx)))
+		if err != nil {
+			return err
+		}
+		off := segMagicLen
+		for off < len(data) {
+			kind, gen, payload, n, err := parseRecord(data[off:])
+			if err != nil {
+				return fmt.Errorf("wal: segment %d offset %d: %w", idx, off, err)
+			}
+			lsn++
+			if err := fn(lsn, kind, gen, payload); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the log's counters.
+func (w *Log) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Records:            w.count,
+		RecordsAppended:    w.appended,
+		TornRecordsDropped: w.torn,
+		Syncs:              w.syncs,
+		Segments:           len(w.segIdxs),
+		CheckpointsTaken:   w.ckpts,
+		LastCheckpointSeq:  w.ckptSeq,
+	}
+}
+
+// Close syncs and closes the active segment. Further appends fail.
+func (w *Log) Close() error {
+	if w.stopSync != nil {
+		close(w.stopSync)
+		<-w.syncDone
+		w.stopSync = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
