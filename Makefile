@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-compare check fuzz-smoke chaos-smoke crash-smoke host-smoke load-smoke cover experiments examples clean
+.PHONY: all build vet lint test race bench bench-json bench-compare check fuzz-smoke chaos-smoke crash-smoke host-smoke load-smoke cluster-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -41,10 +41,11 @@ bench-json:
 	$(GO) run ./cmd/cmhbench -json | tee BENCH_baseline.json
 
 # The perf-regression gate: re-measure the gated experiments (E13, E16,
-# E17, E18, E19) on the current tree and fail on a >10% throughput drop, ANY
-# allocs/op increase (encode and decode rows both count), or a p99
-# detection-latency blowup (> 3x baseline) against the committed
-# baseline (CI runs this as the bench-compare job).
+# E17, E18, E19, E20) on the current tree and fail on a >10% throughput
+# drop, ANY allocs/op increase (encode and decode rows both count), or
+# a latency blowup (> 3x baseline: E17's detection p99, E20's migration
+# unavailability window) against the committed baseline (CI runs this
+# as the bench-compare job).
 bench-compare:
 	$(GO) run ./cmd/cmhbench -compare BENCH_baseline.json
 
@@ -60,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzOpenLoopConfig -fuzztime=10s ./internal/workload
 	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=10s ./internal/wal
 	$(GO) test -run='^$$' -fuzz=FuzzWALSegment -fuzztime=10s ./internal/wal
+	$(GO) test -run='^$$' -fuzz=FuzzClusterWire -fuzztime=10s ./internal/cluster
 
 # Seeded fault-injection conformance under the race detector: the six
 # committed chaos schedules (crash / restart / partition / delay / dup)
@@ -93,6 +95,18 @@ host-smoke:
 load-smoke:
 	$(GO) run ./cmd/cmhload -runtime sim -procs 8 -keys 96 -dist zipfian -theta 0.9 -rate 800 -duration 1s -max-txns 600 -txn-min 2 -txn-max 4 -write-frac 0.8 -think 300us -hold 800us -delay 2ms -victim none -retry=false -check -seed 3 -min-committed 1 > /dev/null
 	$(GO) run ./cmd/cmhload -runtime host -procs 64 -shards 4 -keys 4096 -dist zipfian -theta 0.9 -rate 1500 -duration 1s -max-txns 1500 -txn-min 2 -txn-max 3 -write-frac 0.5 -think 0 -hold 200us -delay 2ms -victim none -retry=false -check -seed 7 -min-committed 1 > /dev/null
+
+# Cluster control-plane smoke under the race detector: the full
+# cluster package (gossip membership, placement ring, wire codec,
+# live-migration FIFO), the ≥8-seed RunCluster conformance sweep
+# (verdicts byte-identical to the sim across placements and a mid-run
+# migration), and the cmhnode -seed/-join CLI demo with its
+# leave-before-checkpoint ordering (CI runs this as the cluster-smoke
+# job).
+cluster-smoke:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestClusterConformance' ./internal/conformance/
+	$(GO) test -race -run 'TestClusterMode' ./cmd/cmhnode/
 
 # Combined statement coverage of the engine and harness packages (CI
 # enforces a floor on this number).

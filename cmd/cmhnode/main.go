@@ -69,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
@@ -114,6 +115,11 @@ func run(args []string, out io.Writer) error {
 		procs  = fs.Int("procs", 1, "processes to co-host on this node's sharded runtime (>1 switches to host mode: ONE listener for all of them)")
 		shards = fs.Int("shards", 4, "single-writer shards of the host runtime (host mode only)")
 
+		seedFlag    = fs.Bool("seed", false, "cluster mode: bootstrap a new cluster as its seed host")
+		joinFlag    = fs.String("join", "", "cluster mode: join an existing cluster through these members, host=addr[,host=addr...] (host@addr also accepted)")
+		clusterSize = fs.Int("cluster-size", 1, "cluster mode: hosts to wait for before placing processes on the ring")
+		gossipEvery = fs.Duration("gossip-interval", 100*time.Millisecond, "cluster mode: membership gossip cadence")
+
 		walDir    = fs.String("wal-dir", "", "checkpoint + write-ahead log directory (host mode only; empty = durability off)")
 		ckptEvery = fs.Duration("checkpoint-interval", 2*time.Second, "periodic checkpoint cadence when -wal-dir is set (0 = final checkpoint only)")
 		fsyncMode = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
@@ -129,8 +135,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-fsync: %w", err)
 	}
-	if *walDir != "" && *procs <= 1 {
-		return fmt.Errorf("-wal-dir requires host mode (-procs > 1): checkpoints and the delivery log belong to the sharded engine.Host")
+	clusterMode := *seedFlag || *joinFlag != ""
+	if *walDir != "" && *procs <= 1 && !clusterMode {
+		return fmt.Errorf("-wal-dir requires host mode (-procs > 1) or cluster mode (-seed/-join): checkpoints and the delivery log belong to the sharded engine.Host")
+	}
+	if clusterMode {
+		if *seedFlag && *joinFlag != "" {
+			return fmt.Errorf("-seed and -join are mutually exclusive: a node either bootstraps the cluster or joins one")
+		}
+		return runClusterMode(out, clusterConfig{
+			idFlag: *idFlag, listen: *listen, procs: *procs, shards: *shards,
+			join: *joinFlag, size: *clusterSize, gossip: *gossipEvery,
+			initiate: *initiate, timeout: *timeout, settle: *settle,
+			maxBatch: *maxBatch, codec: codec, verbose: *verbose,
+			walDir: *walDir, sync: syncPolicy,
+		})
 	}
 	if *procs > 1 {
 		return runHostMode(out, hostConfig{
@@ -376,9 +395,14 @@ func runHostMode(out io.Writer, cfg hostConfig) error {
 	if err := net.ListenHost(hostID, cfg.listen); err != nil {
 		return err
 	}
-	for i := 0; i < cfg.procs; i++ {
-		net.AssignNode(transport.NodeID(i), hostID)
+	sp := transport.StaticPlacement{
+		Hosts: map[transport.NodeID]transport.NodeID{},
+		Addrs: map[transport.NodeID]string{hostID: net.HostAddr(hostID)},
 	}
+	for i := 0; i < cfg.procs; i++ {
+		sp.Hosts[transport.NodeID(i)] = hostID
+	}
+	net.SetResolver(sp)
 	host := engine.NewHost(engine.Options{Shards: cfg.shards, Transport: net})
 	defer host.Close()
 
@@ -447,30 +471,7 @@ func runHostMode(out io.Writer, cfg hostConfig) error {
 
 	// The graceful-exit tail every return path shares: a final
 	// checkpoint anchoring the run's state, then the durability table.
-	finish := func() {
-		if wlog == nil {
-			return
-		}
-		if err := host.Checkpoint(); err != nil {
-			fmt.Fprintf(os.Stderr, "cmhnode host %v: final checkpoint: %v\n", hostID, err)
-		} else {
-			fmt.Fprintf(out, "host %v: final checkpoint written (seq=%d)\n", hostID, wlog.Stats().LastCheckpointSeq)
-		}
-		hs, ws := host.Stats(), wlog.Stats()
-		fmt.Fprint(out, metrics.DurabilityStatsTable(metrics.DurabilityCounters{
-			CheckpointsTaken:   hs.CheckpointsTaken,
-			RecordsAppended:    hs.RecordsAppended,
-			TailReplayed:       hs.TailReplayed,
-			TornRecordsDropped: hs.TornRecordsDropped,
-			StaleGenDropped:    hs.StaleGenDropped,
-			MutedReplaySends:   hs.MutedReplaySends,
-			WALErrors:          hs.WALErrors,
-			LogRecords:         ws.Records,
-			LogSegments:        ws.Segments,
-			LogSyncs:           ws.Syncs,
-			LastCheckpointSeq:  ws.LastCheckpointSeq,
-		}))
-	}
+	finish := func() { durableFinish(out, hostID, host, wlog) }
 
 	if wlog != nil && cfg.ckptEvery > 0 {
 		stopCkpt := make(chan struct{})
@@ -556,6 +557,319 @@ func runHostMode(out io.Writer, cfg hostConfig) error {
 	case <-time.After(cfg.timeout):
 		finish()
 		return fmt.Errorf("host mode: no verdict after %v", cfg.timeout)
+	}
+}
+
+// durableFinish is the graceful-exit tail host and cluster mode share:
+// a final checkpoint anchoring the run's state, then the durability
+// table. A nil wlog (durability off) makes it a no-op.
+func durableFinish(out io.Writer, hostID transport.NodeID, host *engine.Host, wlog *wal.Log) {
+	if wlog == nil {
+		return
+	}
+	if err := host.Checkpoint(); err != nil {
+		fmt.Fprintf(os.Stderr, "cmhnode host %v: final checkpoint: %v\n", hostID, err)
+	} else {
+		fmt.Fprintf(out, "host %v: final checkpoint written (seq=%d)\n", hostID, wlog.Stats().LastCheckpointSeq)
+	}
+	hs, ws := host.Stats(), wlog.Stats()
+	fmt.Fprint(out, metrics.DurabilityStatsTable(metrics.DurabilityCounters{
+		CheckpointsTaken:   hs.CheckpointsTaken,
+		RecordsAppended:    hs.RecordsAppended,
+		TailReplayed:       hs.TailReplayed,
+		TornRecordsDropped: hs.TornRecordsDropped,
+		StaleGenDropped:    hs.StaleGenDropped,
+		MutedReplaySends:   hs.MutedReplaySends,
+		WALErrors:          hs.WALErrors,
+		LogRecords:         ws.Records,
+		LogSegments:        ws.Segments,
+		LogSyncs:           ws.Syncs,
+		LastCheckpointSeq:  ws.LastCheckpointSeq,
+	}))
+}
+
+// clusterConfig carries the cluster-mode flags.
+type clusterConfig struct {
+	idFlag, procs, shards int
+	listen                string
+	join                  string
+	size                  int
+	gossip                time.Duration
+	initiate              bool
+	timeout               time.Duration
+	settle                time.Duration
+	maxBatch              int
+	codec                 msg.WireFormat
+	verbose               bool
+	walDir                string
+	sync                  wal.SyncPolicy
+}
+
+// parseClusterSeeds parses the -join list: host=addr or host@addr,
+// comma-separated. Host ids must be positive (the wire reserves
+// non-positive ids for control-plane endpoints).
+func parseClusterSeeds(s string) ([]cluster.Member, error) {
+	var ms []cluster.Member
+	for _, spec := range strings.Split(s, ",") {
+		spec = strings.TrimSpace(spec)
+		sep := "="
+		if !strings.Contains(spec, "=") && strings.Contains(spec, "@") {
+			sep = "@"
+		}
+		parts := strings.SplitN(spec, sep, 2)
+		if len(parts) != 2 || parts[1] == "" {
+			return nil, fmt.Errorf("bad -join entry %q (want host=addr or host@addr)", spec)
+		}
+		h, err := strconv.Atoi(parts[0])
+		if err != nil || h <= 0 {
+			return nil, fmt.Errorf("bad host id in -join entry %q: want a positive integer", spec)
+		}
+		ms = append(ms, cluster.Member{Host: transport.NodeID(h), Addr: parts[1]})
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("-join lists no members")
+	}
+	return ms, nil
+}
+
+// runClusterMode runs one self-assembling cluster host: gossip
+// membership (seeded by -seed or joined through -join), consistent-hash
+// placement of the -procs global processes onto whichever hosts are
+// alive, and directory-resolved host links — no -peer, no per-pair
+// wiring. Once -cluster-size hosts are alive, each host spawns the
+// processes the ring assigns to it, wires its share of the global
+// request ring (process n waits on n%procs+1 — the canonical total
+// deadlock), and the host owning process 1 initiates when -initiate is
+// set; the WFGD computation informs every other host of the verdict.
+//
+// With -wal-dir the host journals deliveries and writes a final
+// checkpoint on exit; restart-resume stays host-mode-only because a
+// rejoining host receives a fresh ring placement, so the directory must
+// be blank at start. On SIGINT/SIGTERM the host gossips a leave
+// tombstone and flushes it BEFORE the final checkpoint: peers observe
+// leave-not-crash and rebalance immediately instead of waiting out the
+// lease timeout on a host that is provably gone.
+func runClusterMode(out io.Writer, cfg clusterConfig) error {
+	if cfg.procs < 1 {
+		return fmt.Errorf("cluster mode: -procs must be >= 1")
+	}
+	if cfg.idFlag < 0 {
+		return fmt.Errorf("cluster mode: -id must be >= 0")
+	}
+	var seeds []cluster.Member
+	if cfg.join != "" {
+		var err error
+		if seeds, err = parseClusterSeeds(cfg.join); err != nil {
+			return err
+		}
+	}
+	hostID := transport.NodeID(1 + cfg.idFlag) // host ids must be positive
+	net := transport.NewTCPWithOptions(transport.TCPOptions{
+		MaxBatch: cfg.maxBatch,
+		Codec:    cfg.codec,
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "cmhnode host %v: transport: %v\n", hostID, err)
+		},
+	})
+	defer net.Close()
+	if err := net.ListenHost(hostID, cfg.listen); err != nil {
+		return err
+	}
+	dir := cluster.NewDirectory(hostID, net.HostAddr(hostID), 1)
+	net.SetResolver(dir)
+	eng := engine.NewHost(engine.Options{
+		Shards:    cfg.shards,
+		Transport: net,
+		HostID:    hostID,
+		ShardOf:   func(n transport.NodeID) int { return cluster.ShardIndex(n, cfg.shards) },
+	})
+	defer eng.Close()
+
+	var wlog *wal.Log
+	if cfg.walDir != "" {
+		w, err := wal.Open(wal.Options{Dir: cfg.walDir, Sync: cfg.sync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		wlog = w
+		eng.AttachWAL(wlog, engine.DurabilityHooks{Incarnation: func() uint64 {
+			inc, _ := net.Incarnation(hostID)
+			return inc
+		}})
+		if err := net.SetDeliveryLog(hostID, eng); err != nil {
+			return err
+		}
+		st, err := eng.Restore()
+		if err != nil {
+			return err
+		}
+		if st.Found {
+			return fmt.Errorf("cluster mode needs a fresh -wal-dir: %s holds a checkpoint, and a rejoining host gets a fresh ring placement (restart resume is host-mode only)", cfg.walDir)
+		}
+		if err := eng.FinishRestore(); err != nil {
+			return err
+		}
+	}
+
+	detected := make(chan id.Tag, 1)
+	var procMu sync.Mutex
+	procs := map[transport.NodeID]*core.Process{}
+	agent, err := cluster.New(cluster.Config{
+		Host: hostID, TCP: net, Engine: eng, Dir: dir,
+		Spawn: func(node transport.NodeID) {
+			p, perr := core.NewProcess(core.Config{
+				ID:        id.Proc(node),
+				Transport: eng,
+				Policy:    core.InitiateManually,
+				OnDeadlock: func(tag id.Tag) {
+					select {
+					case detected <- tag:
+					default:
+					}
+				},
+				OnProtocolError: func(e core.ProtocolError) {
+					fmt.Fprintf(os.Stderr, "cmhnode host %v: ingress: %v\n", hostID, e)
+				},
+			})
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "cmhnode host %v: spawn %v: %v\n", hostID, node, perr)
+				return
+			}
+			procMu.Lock()
+			procs[node] = p
+			procMu.Unlock()
+		},
+		GossipInterval: cfg.gossip,
+		Seed:           int64(hostID),
+		OnEvent: func(kind string, node, host transport.NodeID) {
+			if cfg.verbose {
+				fmt.Fprintf(os.Stderr, "cmhnode host %v: cluster: %s node=%d host=%d\n", hostID, kind, node, host)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	agent.Start()
+	defer agent.Stop()
+	if len(seeds) > 0 {
+		agent.Join(seeds)
+	}
+	fmt.Fprintf(out, "host %v listening on %s (cluster mode: %d global processes, %d shards)\n",
+		hostID, net.HostAddr(hostID), cfg.procs, cfg.shards)
+
+	// Membership: the ring is a pure function of the set of alive hosts,
+	// so once this host sees -cluster-size alive members every converged
+	// host computes the identical placement.
+	if cfg.size > 1 {
+		deadline := time.Now().Add(cfg.timeout)
+		for len(dir.AliveHosts()) < cfg.size {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster mode: %d of %d hosts alive after %v", len(dir.AliveHosts()), cfg.size, cfg.timeout)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	fmt.Fprintf(out, "host %v: membership converged: hosts %v\n", hostID, dir.AliveHosts())
+	// Give the slower hosts a beat to reach the same member view before
+	// cross-host frames start arriving for their processes.
+	time.Sleep(cfg.settle)
+
+	// Place and spawn the locally-owned share of processes 1..procs (the
+	// wire reserves non-positive ids for control-plane endpoints).
+	local := 0
+	for n := transport.NodeID(1); n <= transport.NodeID(cfg.procs); n++ {
+		if owner, ok := dir.Lookup(n); ok && owner == hostID {
+			agent.SpawnLocal(n)
+			local++
+		}
+	}
+	fmt.Fprintf(out, "host %v: ring placed %d of %d processes here\n", hostID, local, cfg.procs)
+	time.Sleep(cfg.settle)
+
+	// Each host wires its share of the global request ring: process n
+	// waits on n%procs+1. Cross-host requests ride directory-resolved
+	// links; the union over all hosts is the canonical total deadlock.
+	if cfg.procs > 1 {
+		procMu.Lock()
+		owned := make([]*core.Process, 0, len(procs))
+		targets := make([]id.Proc, 0, len(procs))
+		for n, p := range procs {
+			owned = append(owned, p)
+			targets = append(targets, id.Proc(int(n)%cfg.procs+1))
+		}
+		procMu.Unlock()
+		for i, p := range owned {
+			if err := p.Request(targets[i]); err != nil {
+				return fmt.Errorf("cluster mode: request: %w", err)
+			}
+		}
+		fmt.Fprintf(out, "host %v: wired %d request-ring edges\n", hostID, len(owned))
+	}
+
+	if cfg.initiate {
+		time.Sleep(cfg.settle) // let every host wire its edges first
+		procMu.Lock()
+		initiator := procs[1]
+		procMu.Unlock()
+		if initiator != nil {
+			if tag, ok := initiator.StartProbe(); ok {
+				fmt.Fprintf(out, "host %v: initiated probe computation %v\n", hostID, tag)
+			}
+		}
+	}
+
+	finish := func() { durableFinish(out, hostID, eng, wlog) }
+	localProcs := func() []*core.Process {
+		procMu.Lock()
+		defer procMu.Unlock()
+		ps := make([]*core.Process, 0, len(procs))
+		for _, p := range procs {
+			ps = append(ps, p)
+		}
+		return ps
+	}
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	deadline := time.After(cfg.timeout)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case tag := <-detected:
+			fmt.Fprintf(out, "host %v: DEADLOCK detected by computation %v (%d processes across %d hosts)\n",
+				hostID, tag, cfg.procs, len(dir.AliveHosts()))
+			finish()
+			return nil
+		case <-tick.C:
+			for _, p := range localProcs() {
+				if edges := p.BlackPaths(); len(edges) > 0 {
+					fmt.Fprintf(out, "host %v: informed of deadlocked edges %v\n", hostID, edges)
+					finish()
+					return nil
+				}
+			}
+		case sig := <-sigC:
+			// Leave-before-checkpoint: gossip the tombstone and flush it
+			// while the links are healthy, so peers see an explicit leave
+			// (immediate rebalance) instead of a lease-timeout crash
+			// verdict; only then anchor the final checkpoint.
+			fmt.Fprintf(out, "host %v: %v — leaving the member map, then checkpointing\n", hostID, sig)
+			agent.Leave()
+			if !net.Drain(2 * time.Second) {
+				fmt.Fprintf(out, "host %v: drain incomplete after 2s; tombstone may arrive via gossip instead\n", hostID)
+			}
+			fmt.Fprintf(out, "host %v: left the member map (tombstone gossiped)\n", hostID)
+			finish()
+			return nil
+		case <-deadline:
+			fmt.Fprintf(out, "host %v: no verdict after %v (%d local processes)\n", hostID, cfg.timeout, len(localProcs()))
+			finish()
+			return nil
+		}
 	}
 }
 

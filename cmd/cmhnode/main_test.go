@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"sync"
 	"syscall"
@@ -261,5 +263,109 @@ func TestWALDirRequiresHostMode(t *testing.T) {
 	err := run([]string{"-wal-dir", t.TempDir()}, &out)
 	if err == nil || !strings.Contains(err.Error(), "host mode") {
 		t.Fatalf("single-proc -wal-dir accepted: %v", err)
+	}
+}
+
+// TestClusterModeDetectsAcrossHosts boots a three-host cluster in one
+// process: a seed and two joiners (one using host=addr, one host@addr),
+// six global processes placed by the consistent-hash ring, each host
+// wiring its share of the request ring — no -peer, no per-pair flags.
+// The host owning process 1 initiates and must detect the cross-host
+// cycle; every host must return cleanly.
+func TestClusterModeDetectsAcrossHosts(t *testing.T) {
+	var seedOut syncBuffer
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	common := []string{
+		"-procs", "6", "-shards", "2", "-cluster-size", "3",
+		"-gossip-interval", "10ms", "-settle", "250ms",
+		"-initiate", "-timeout", "15s",
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = run(append([]string{"-id", "0", "-seed", "-listen", "127.0.0.1:0"}, common...), &seedOut)
+	}()
+	waitFor(t, &seedOut, "listening on", 5*time.Second)
+	m := regexp.MustCompile(`listening on (\S+)`).FindStringSubmatch(seedOut.String())
+	if m == nil {
+		t.Fatalf("seed printed no address:\n%s", seedOut.String())
+	}
+	seedAddr := m[1]
+
+	joinOuts := make([]syncBuffer, 2)
+	for i, join := range []string{"1=" + seedAddr, "1@" + seedAddr} {
+		wg.Add(1)
+		go func(i int, join string) {
+			defer wg.Done()
+			errs[i+1] = run(append([]string{
+				"-id", fmt.Sprint(i + 1), "-join", join, "-listen", "127.0.0.1:0",
+			}, common...), &joinOuts[i])
+		}(i, join)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("cluster hosts did not finish:\nseed:\n%s\njoin1:\n%s\njoin2:\n%s",
+			seedOut.String(), joinOuts[0].String(), joinOuts[1].String())
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+	}
+	all := seedOut.String() + joinOuts[0].String() + joinOuts[1].String()
+	if !strings.Contains(all, "DEADLOCK detected") {
+		t.Fatalf("no host detected the cross-host cycle:\n%s", all)
+	}
+	for i, s := range []string{seedOut.String(), joinOuts[0].String(), joinOuts[1].String()} {
+		if !strings.Contains(s, "membership converged: hosts [1 2 3]") {
+			t.Fatalf("host %d never converged on the full member map:\n%s", i, s)
+		}
+		if strings.Contains(s, "no verdict") {
+			t.Fatalf("host %d timed out instead of learning the verdict:\n%s", i, s)
+		}
+	}
+}
+
+// TestClusterModeLeavesBeforeCheckpoint pins the shutdown ordering: on
+// SIGINT a durable cluster host must gossip its leave tombstone (and
+// flush it) BEFORE writing the final checkpoint, so peers observe
+// leave-not-crash while the links are still healthy.
+func TestClusterModeLeavesBeforeCheckpoint(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "0", "-seed", "-listen", "127.0.0.1:0",
+			"-procs", "2", "-shards", "2", "-cluster-size", "1",
+			"-gossip-interval", "10ms", "-settle", "20ms",
+			"-wal-dir", t.TempDir(), "-timeout", "30s",
+		}, &out)
+	}()
+	waitFor(t, &out, "request-ring edges", 10*time.Second)
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("cluster host did not shut down on SIGINT:\n%s", out.String())
+	}
+	s := out.String()
+	left := strings.Index(s, "left the member map")
+	ckpt := strings.Index(s, "final checkpoint written")
+	if left < 0 || ckpt < 0 {
+		t.Fatalf("shutdown output missing leave or checkpoint markers:\n%s", s)
+	}
+	if left > ckpt {
+		t.Fatalf("final checkpoint written before the leave tombstone (leave@%d, ckpt@%d):\n%s", left, ckpt, s)
 	}
 }

@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/id"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// --- membership ---
+
+func TestMemberSupersedence(t *testing.T) {
+	mm := MemberMap{}
+	if !mm.Merge([]Member{{Host: 1, Addr: "a:1", Inc: 1, Ver: 1, Status: StatusAlive}}) {
+		t.Fatal("first merge should change the map")
+	}
+	// Lower version loses.
+	if mm.Merge([]Member{{Host: 1, Addr: "stale", Inc: 1, Ver: 0, Status: StatusLeft}}) {
+		t.Fatal("stale version must not merge")
+	}
+	// Same (Inc, Ver): higher status wins — deterministic conflict pick.
+	if !mm.Merge([]Member{{Host: 1, Inc: 1, Ver: 1, Status: StatusSuspect}}) {
+		t.Fatal("status precedence must break the tie")
+	}
+	if mm[1].Addr != "a:1" {
+		t.Fatalf("empty address must inherit the known one, got %q", mm[1].Addr)
+	}
+	// Tombstone at a version cannot be resurrected by an alive echo at
+	// the same version.
+	mm.Merge([]Member{{Host: 1, Inc: 1, Ver: 5, Status: StatusLeft}})
+	if mm.Merge([]Member{{Host: 1, Inc: 1, Ver: 5, Status: StatusAlive}}) || mm[1].Status != StatusLeft {
+		t.Fatal("tombstone resurrected by an equal-version alive entry")
+	}
+	// A new incarnation supersedes everything from the old one.
+	if !mm.Merge([]Member{{Host: 1, Addr: "a:2", Inc: 2, Ver: 1, Status: StatusAlive}}) {
+		t.Fatal("new incarnation must supersede")
+	}
+	if mm[1].Status != StatusAlive || mm[1].Addr != "a:2" {
+		t.Fatalf("unexpected entry after incarnation bump: %+v", mm[1])
+	}
+	// Junk host ids are rejected.
+	if mm.Merge([]Member{{Host: 0, Ver: 9}, {Host: -3, Ver: 9}}) {
+		t.Fatal("non-positive host ids must be rejected")
+	}
+}
+
+// --- ring ---
+
+// TestRingDeterminism: the ring is a pure function of the host set —
+// every permutation of the input builds an identical placement.
+func TestRingDeterminism(t *testing.T) {
+	perms := [][]transport.NodeID{
+		{1, 2, 3, 4}, {4, 3, 2, 1}, {2, 4, 1, 3},
+	}
+	base := BuildRing(perms[0])
+	for _, p := range perms[1:] {
+		r := BuildRing(p)
+		for n := transport.NodeID(1); n <= 500; n++ {
+			a, _ := base.Lookup(n)
+			b, _ := r.Lookup(n)
+			if a != b {
+				t.Fatalf("node %d: placement %d vs %d across permutations", n, a, b)
+			}
+		}
+	}
+	if _, ok := (&Ring{}).Lookup(1); ok {
+		t.Fatal("empty ring must report no owner")
+	}
+	if got := base.Hosts(); !reflect.DeepEqual(got, []transport.NodeID{1, 2, 3, 4}) {
+		t.Fatalf("Hosts() = %v", got)
+	}
+}
+
+// TestRingChurnBound: adding or removing one host moves at most 2N/K of
+// N keys — consistent hashing's defining property (satellite (c)).
+func TestRingChurnBound(t *testing.T) {
+	const N = 4000
+	for _, k := range []int{3, 5, 8} {
+		hosts := make([]transport.NodeID, k)
+		for i := range hosts {
+			hosts[i] = transport.NodeID(i + 1)
+		}
+		before := BuildRing(hosts)
+		grown := BuildRing(append(append([]transport.NodeID{}, hosts...), transport.NodeID(k+1)))
+		shrunk := BuildRing(hosts[1:])
+		var movedJoin, movedLeave int
+		for n := transport.NodeID(1); n <= N; n++ {
+			b, _ := before.Lookup(n)
+			if g, _ := grown.Lookup(n); g != b {
+				if g != transport.NodeID(k+1) {
+					t.Fatalf("K=%d node %d moved %d→%d on join, not to the joiner", k, n, b, g)
+				}
+				movedJoin++
+			}
+			if s, _ := shrunk.Lookup(n); s != b {
+				if b != hosts[0] {
+					t.Fatalf("K=%d node %d moved %d→%d on leave of host %d", k, n, b, s, hosts[0])
+				}
+				movedLeave++
+			}
+		}
+		if bound := 2 * N / k; movedJoin > bound || movedLeave > bound {
+			t.Fatalf("K=%d churn join=%d leave=%d exceeds 2N/K=%d", k, movedJoin, movedLeave, bound)
+		}
+	}
+}
+
+func TestShardIndexInRange(t *testing.T) {
+	for n := transport.NodeID(1); n <= 200; n++ {
+		if s := ShardIndex(n, 4); s < 0 || s > 3 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if ShardIndex(n, 1) != 0 || ShardIndex(n, 0) != 0 {
+			t.Fatal("degenerate shard counts must pin to 0")
+		}
+	}
+}
+
+// --- wire ---
+
+func wireSamples() []Payload {
+	return []Payload{
+		Sync{From: 3, ReplyWanted: true,
+			Members: []Member{
+				{Host: 1, Addr: "127.0.0.1:9001", Inc: 2, Ver: 7, Status: StatusAlive},
+				{Host: 2, Inc: 1, Ver: 3, Status: StatusLeft},
+			},
+			Routes: []Route{{Node: 40, Host: 2, Ver: 1}},
+		},
+		Sync{From: 1},
+		Prepare{Node: 17, From: 1},
+		PrepareAck{Node: 17, From: 2},
+		State{Node: 17, From: 1, RouteVer: 3, Snapshot: []byte{1, 2, 3},
+			Frames: []engine.MigratedFrame{
+				{From: 5, M: msg.Request{Rejoin: true}},
+				{From: 6, M: msg.Probe{Tag: id.Tag{Initiator: 5, N: 2}}},
+			},
+		},
+		State{Node: 9, From: 2, RouteVer: 1},
+		FlushMarker{Node: 17, Origin: 3, Ver: 3},
+		FlushAck{Node: 17, Ver: 3},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, in := range wireSamples() {
+		out, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("sample %d: decode: %v", i, err)
+		}
+		norm := func(p Payload) Payload {
+			switch v := p.(type) {
+			case Sync:
+				if len(v.Members) == 0 {
+					v.Members = nil
+				}
+				if len(v.Routes) == 0 {
+					v.Routes = nil
+				}
+				return v
+			case State:
+				if len(v.Snapshot) == 0 {
+					v.Snapshot = nil
+				}
+				if len(v.Frames) == 0 {
+					v.Frames = nil
+				}
+				return v
+			}
+			return p
+		}
+		if !reflect.DeepEqual(norm(in), norm(out)) {
+			t.Fatalf("sample %d: round trip mismatch:\n in: %#v\nout: %#v", i, in, out)
+		}
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	good := Encode(FlushAck{Node: 1, Ver: 2})
+	cases := map[string][]byte{
+		"empty":         {},
+		"version":       append([]byte{9}, good[1:]...),
+		"unknown kind":  {wireVersion, 200, 0, 0, 0, 0},
+		"trailing byte": append(append([]byte{}, good...), 0),
+		"truncated":     good[:len(good)-1],
+		"bad status": Encode(Sync{From: 1, Members: []Member{{Host: 1, Status: 9,
+			Addr: "x"}}}),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("%s: decode accepted malformed payload % x", name, b)
+		}
+	}
+	// Every truncation prefix of every sample must be rejected, never
+	// panic.
+	for i, p := range wireSamples() {
+		enc := Encode(p)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := Decode(enc[:cut]); err == nil {
+				t.Fatalf("sample %d: prefix of %d/%d bytes accepted", i, cut, len(enc))
+			}
+		}
+	}
+}
+
+// TestWireStateFrameValidation: shipped frames must address the
+// migrating node itself — a frame for another node is a forgery.
+func TestWireStateFrameValidation(t *testing.T) {
+	fb, err := msg.AppendEnvelopeFrame(nil, msg.Envelope{From: 5, To: 99, Msg: msg.Request{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := engine.NewSnapWriter(64)
+	w.U8(wireVersion)
+	w.U8(kindState)
+	w.I32(17) // node
+	w.I32(1)  // from
+	w.U64(1)  // route ver
+	w.Blob(nil)
+	w.Len(1)
+	w.Blob(fb)
+	if _, err := Decode(w.Bytes()); err == nil {
+		t.Fatal("frame addressed to a different node must be rejected")
+	}
+}
+
+// --- directory ---
+
+func TestDirectoryResolution(t *testing.T) {
+	d := NewDirectory(1, "127.0.0.1:9001", 1)
+	d.Merge([]Member{
+		{Host: 2, Addr: "127.0.0.1:9002", Inc: 1, Ver: 1, Status: StatusAlive},
+		{Host: 3, Addr: "127.0.0.1:9003", Inc: 1, Ver: 1, Status: StatusAlive},
+	})
+	// Agents resolve by the negative-id convention, no state needed.
+	for _, h := range []transport.NodeID{1, 2, 3, 99} {
+		if got, ok := d.HostOf(-h); !ok || got != h {
+			t.Fatalf("HostOf(%d) = %d, %v", -h, got, ok)
+		}
+	}
+	// Ring placement is total over positive ids and lands on a member.
+	owner, ok := d.Lookup(42)
+	if !ok || owner < 1 || owner > 3 {
+		t.Fatalf("Lookup(42) = %d, %v", owner, ok)
+	}
+	// A committed override beats the ring; a pending one does not.
+	other := transport.NodeID(1 + owner%3)
+	if fresh := d.MergeRoutes([]Route{{Node: 42, Host: other, Ver: 1}}); len(fresh) != 1 {
+		t.Fatalf("MergeRoutes fresh = %v", fresh)
+	}
+	if h, _ := d.Lookup(42); h != owner {
+		t.Fatal("pending route must not influence resolution")
+	}
+	// Re-merging the same pending version is not fresh again.
+	if fresh := d.MergeRoutes([]Route{{Node: 42, Host: other, Ver: 1}}); len(fresh) != 0 {
+		t.Fatal("same pending version reported fresh twice")
+	}
+	d.CommitRoute(Route{Node: 42, Host: other, Ver: 1})
+	if h, _ := d.Lookup(42); h != other {
+		t.Fatalf("committed route ignored: Lookup = %d, want %d", h, other)
+	}
+	if _, pending := d.PendingRoute(42); pending {
+		t.Fatal("commit must clear the matching pending entry")
+	}
+	// Stale versions are ignored everywhere.
+	d.CommitRoute(Route{Node: 42, Host: owner, Ver: 1})
+	if h, _ := d.Lookup(42); h != other {
+		t.Fatal("stale commit overwrote a newer route")
+	}
+	if fresh := d.MergeRoutes([]Route{{Node: 42, Host: owner, Ver: 1}}); len(fresh) != 0 {
+		t.Fatal("route at committed version reported fresh")
+	}
+	if got := d.RouteVer(42); got != 1 {
+		t.Fatalf("RouteVer = %d", got)
+	}
+	if addr, ok := d.AddrOf(2); !ok || addr != "127.0.0.1:9002" {
+		t.Fatalf("AddrOf(2) = %q, %v", addr, ok)
+	}
+	if _, ok := d.AddrOf(9); ok {
+		t.Fatal("AddrOf of an unknown host must fail")
+	}
+}
+
+// TestDirectoryConvergence: two directories that merge each other's
+// views agree on fingerprint and on the placement of every process —
+// the deterministic-placement acceptance check in unit form.
+func TestDirectoryConvergence(t *testing.T) {
+	a := NewDirectory(1, "h1", 1)
+	b := NewDirectory(2, "h2", 1)
+	a.Merge(b.Members())
+	b.Merge(a.Members())
+	a.CommitRoute(Route{Node: 7, Host: 2, Ver: 1})
+	b.MergeRoutes(a.Routes())
+	for _, r := range a.Routes() {
+		b.CommitRoute(r)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("converged directories disagree: %x vs %x\na: %+v\nb: %+v",
+			a.Fingerprint(), b.Fingerprint(), a.Members(), b.Members())
+	}
+	for n := transport.NodeID(1); n <= 300; n++ {
+		ha, _ := a.Lookup(n)
+		hb, _ := b.Lookup(n)
+		if ha != hb {
+			t.Fatalf("node %d placed on %d by a, %d by b", n, ha, hb)
+		}
+	}
+	// A status change diverges the fingerprint until re-merged.
+	a.MarkLeft(2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint blind to a tombstone")
+	}
+	b.Merge(a.Members())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("re-merge did not reconverge")
+	}
+	if hosts := a.AliveHosts(); len(hosts) != 1 || hosts[0] != 1 {
+		t.Fatalf("alive after leave = %v", hosts)
+	}
+}
+
+// TestDirectoryLeaveRebalances: tombstoning a host moves its processes
+// to survivors and nothing else.
+func TestDirectoryLeaveRebalances(t *testing.T) {
+	d := NewDirectory(1, "h1", 1)
+	d.Merge([]Member{
+		{Host: 2, Addr: "h2", Inc: 1, Ver: 1, Status: StatusAlive},
+		{Host: 3, Addr: "h3", Inc: 1, Ver: 1, Status: StatusAlive},
+	})
+	before := map[transport.NodeID]transport.NodeID{}
+	for n := transport.NodeID(1); n <= 300; n++ {
+		before[n], _ = d.Lookup(n)
+	}
+	d.MarkLeft(3)
+	for n := transport.NodeID(1); n <= 300; n++ {
+		h, ok := d.Lookup(n)
+		if !ok || h == 3 {
+			t.Fatalf("node %d still on departed host (ok=%v h=%d)", n, ok, h)
+		}
+		if before[n] != 3 && h != before[n] {
+			t.Fatalf("node %d moved %d→%d though its host survived", n, before[n], h)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusAlive: "alive", StatusSuspect: "suspect", StatusLeft: "left", 0: "status(?)",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// FuzzClusterWire is satellite (d): hostile control payloads must
+// decode-or-reject — never panic, never accept trailing garbage — and
+// a rejected payload must leave nothing applied (Decode is pure, so
+// rejection-without-effects holds by construction; the fuzz target
+// additionally pins the re-encode fixpoint for accepted inputs).
+func FuzzClusterWire(f *testing.F) {
+	for _, p := range wireSamples() {
+		f.Add(Encode(p))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{wireVersion, kindSync})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must re-encode to a payload that decodes to
+		// the same value (canonical form round trip).
+		enc := Encode(p)
+		p2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if fmt.Sprintf("%#v", p) != fmt.Sprintf("%#v", p2) {
+			t.Fatalf("round trip diverged:\n p: %#v\np2: %#v", p, p2)
+		}
+	})
+}
+
+// TestRingBalance pins the load spread: with vnodes the keyspace must
+// split near-evenly, no host grabbing a multiple of its fair share.
+// (Regression: vnode points hashed without the avalanche round cluster
+// on one arc — one host of three owned 89% of 4000 keys.)
+func TestRingBalance(t *testing.T) {
+	const n = 4000
+	for _, k := range []int{2, 3, 5, 8} {
+		hosts := make([]transport.NodeID, k)
+		for i := range hosts {
+			hosts[i] = transport.NodeID(i + 1)
+		}
+		ring := BuildRing(hosts)
+		counts := map[transport.NodeID]int{}
+		for key := 1; key <= n; key++ {
+			h, ok := ring.Lookup(transport.NodeID(key))
+			if !ok {
+				t.Fatalf("k=%d: lookup failed", k)
+			}
+			counts[h]++
+		}
+		fair := float64(n) / float64(k)
+		for h, c := range counts {
+			if share := float64(c) / fair; share > 1.7 || share < 0.4 {
+				t.Errorf("k=%d: host %d owns %d of %d keys (%.2fx fair share)", k, h, c, n, share)
+			}
+		}
+		if len(counts) != k {
+			t.Errorf("k=%d: only %d hosts own keys: %v", k, len(counts), counts)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package cluster is the control plane that turns hand-wired host-mux
+// topology into a self-assembling fleet: seed-node gossip membership, a
+// consistent-hash placement ring over the live members, a replicated
+// routing directory every node resolves process addresses through, and
+// live migration of a process between hosts with per-pair FIFO
+// preserved end to end (DESIGN.md §12).
+//
+// The control plane deliberately owns no wire machinery of its own.
+// Every control message rides the existing transport as a msg.Cluster
+// frame on the ordinary host-pair links — sequenced, resequenced,
+// replayed across reconnects — so gossip and migration inherit exactly
+// the delivery guarantees the paper's proofs demand of application
+// traffic (§2.4: received correctly, in finite time, in the order
+// sent).
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Status is a member's liveness verdict in the member map.
+type Status uint8
+
+// Member statuses, in increasing precedence at equal (Inc, Ver): a
+// tombstone outranks a suspicion outranks liveness, so a leave or a
+// failure verdict can never be resurrected by a stale gossip echo.
+const (
+	StatusAlive Status = iota + 1
+	StatusSuspect
+	StatusLeft
+)
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	case StatusLeft:
+		return "left"
+	default:
+		return "status(?)"
+	}
+}
+
+// Member is one host's entry in the versioned member map.
+//
+// Inc is the host's incarnation — bumped each time the host process
+// restarts, mirroring the envelope-stream incarnations of PR 4: an
+// entry from a newer incarnation always supersedes anything the old
+// one published. Ver orders updates within an incarnation (liveness
+// flaps, the leave tombstone).
+type Member struct {
+	Host   transport.NodeID
+	Addr   string
+	Inc    uint64
+	Ver    uint64
+	Status Status
+}
+
+// supersedes reports whether a should replace b in a merge: higher
+// incarnation first, then higher version, then status precedence as the
+// deterministic tie-break (every host must resolve a conflict the same
+// way or the maps diverge).
+func supersedes(a, b Member) bool {
+	if a.Inc != b.Inc {
+		return a.Inc > b.Inc
+	}
+	if a.Ver != b.Ver {
+		return a.Ver > b.Ver
+	}
+	return a.Status > b.Status
+}
+
+// MemberMap is the replicated membership view: one entry per host ever
+// heard of, tombstones included. It is a plain map — the Directory owns
+// the locking.
+type MemberMap map[transport.NodeID]Member
+
+// Merge folds a gossiped batch of entries in, returning whether
+// anything changed. An incoming entry with an empty address inherits
+// the known one (a liveness flap gossiped by a third party may not
+// carry the address).
+func (mm MemberMap) Merge(in []Member) bool {
+	changed := false
+	for _, m := range in {
+		if m.Host <= 0 {
+			continue // host ids are positive; reject junk defensively
+		}
+		cur, known := mm[m.Host]
+		if known && !supersedes(m, cur) {
+			continue
+		}
+		if m.Addr == "" && known {
+			m.Addr = cur.Addr
+		}
+		mm[m.Host] = m
+		changed = true
+	}
+	return changed
+}
+
+// Alive returns the sorted ids of the members currently considered
+// placement-eligible. Sorting makes the ring build order — and
+// therefore the ring — identical on every host that holds the same
+// map.
+func (mm MemberMap) Alive() []transport.NodeID {
+	hosts := make([]transport.NodeID, 0, len(mm))
+	for h, m := range mm {
+		if m.Status == StatusAlive {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}
+
+// Snapshot returns the entries sorted by host id — the canonical form
+// gossip payloads and tests use.
+func (mm MemberMap) Snapshot() []Member {
+	out := make([]Member, 0, len(mm))
+	for _, m := range mm {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}

@@ -63,9 +63,23 @@ func RunTCPCrashRestore(spec Spec, shards int, walDir string, crash bool) (strin
 		}
 		return muxHostB
 	}
-	for i := 0; i < spec.N; i++ {
-		tcpA.AssignNode(transport.NodeID(i), hostOf(i))
+	// muxPlace builds the split placement as a resolver; host B's address
+	// changes across the crash rebuild, so each build installs a fresh
+	// placement carrying the reborn listener on both endpoints.
+	muxPlace := func(addrB string) transport.StaticPlacement {
+		sp := transport.StaticPlacement{
+			Hosts: map[transport.NodeID]transport.NodeID{},
+			Addrs: map[transport.NodeID]string{muxHostA: tcpA.HostAddr(muxHostA)},
+		}
+		if addrB != "" {
+			sp.Addrs[muxHostB] = addrB
+		}
+		for i := 0; i < spec.N; i++ {
+			sp.Hosts[transport.NodeID(i)] = hostOf(i)
+		}
+		return sp
 	}
+	tcpA.SetResolver(muxPlace(""))
 	hostA := engine.NewHost(engine.Options{Shards: shards, Transport: tcpA})
 	defer hostA.Close()
 	hostA.Observe(counters)
@@ -145,9 +159,8 @@ func RunTCPCrashRestore(spec Spec, shards int, walDir string, crash bool) (strin
 		if err := tb.ListenHost(muxHostB, "127.0.0.1:0"); err != nil {
 			return fail(err)
 		}
-		for i := 0; i < spec.N; i++ {
-			tb.AssignNode(transport.NodeID(i), hostOf(i))
-		}
+		sp := muxPlace(tb.HostAddr(muxHostB))
+		tb.SetResolver(sp)
 		hb := engine.NewHost(engine.Options{Shards: shards, Transport: tb})
 		failHost := func(err error) error {
 			hb.Close()
@@ -179,8 +192,7 @@ func RunTCPCrashRestore(spec Spec, shards int, walDir string, crash bool) (strin
 		if err := hb.FinishRestore(); err != nil {
 			return failHost(err)
 		}
-		tb.SetHostPeer(muxHostA, tcpA.HostAddr(muxHostA))
-		tcpA.SetHostPeer(muxHostB, tb.HostAddr(muxHostB))
+		tcpA.SetResolver(sp)
 		tcpB, hostB, wlog = tb, hb, w
 		return nil
 	}

@@ -212,19 +212,23 @@ func muxTopology(spec Spec, shards int) (place splitPlacement, counters *metrics
 		tcpB.Close()
 		return
 	}
-	tcpA.SetHostPeer(muxHostB, tcpB.HostAddr(muxHostB))
-	tcpB.SetHostPeer(muxHostA, tcpA.HostAddr(muxHostA))
-
 	split := spec.N / 2
+	sp := transport.StaticPlacement{
+		Hosts: map[transport.NodeID]transport.NodeID{},
+		Addrs: map[transport.NodeID]string{
+			muxHostA: tcpA.HostAddr(muxHostA),
+			muxHostB: tcpB.HostAddr(muxHostB),
+		},
+	}
 	for i := 0; i < spec.N; i++ {
-		node := transport.NodeID(i)
 		h := muxHostA
 		if i >= split {
 			h = muxHostB
 		}
-		tcpA.AssignNode(node, h)
-		tcpB.AssignNode(node, h)
+		sp.Hosts[transport.NodeID(i)] = h
 	}
+	tcpA.SetResolver(sp)
+	tcpB.SetResolver(sp)
 
 	hostA := engine.NewHost(engine.Options{Shards: shards, Transport: tcpA})
 	hostB := engine.NewHost(engine.Options{Shards: shards, Transport: tcpB})

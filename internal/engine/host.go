@@ -23,6 +23,17 @@ type Options struct {
 	// unhosted node panics, matching the in-process transports'
 	// contract.
 	Transport transport.Transport
+	// HostID names this engine's host in a host-multiplexed topology
+	// (0 when unhosted). Migration forwarding needs it: frames relayed
+	// for a moved process are pinned to this host's own outbound stream
+	// (transport.HostSender) so they cannot interleave with the original
+	// sender's future direct stream to the new host.
+	HostID transport.NodeID
+	// ShardOf overrides the default node%Shards pinning — the hook the
+	// cluster layer uses to let placement decide shard affinity. It must
+	// be a pure function of the id; an out-of-range return falls back to
+	// the default.
+	ShardOf func(node transport.NodeID) int
 }
 
 // Host multiplexes many engine processes onto N single-writer shards
@@ -45,12 +56,36 @@ type Options struct {
 // forward to the underlying transport; inbound frames from it are
 // enqueued on the owning shard via the registered shim.
 type Host struct {
-	under  transport.Transport
-	shards []*shard
+	under   transport.Transport
+	shards  []*shard
+	hostID  transport.NodeID
+	shardOf func(node transport.NodeID) int
 
 	mu     sync.RWMutex
 	procs  map[transport.NodeID]*proc
 	closed bool
+
+	// pendingPark (h.mu) marks nodes whose next Register must land
+	// parked — the migration target's shell registration (see
+	// PrepareMigration in migrate.go).
+	pendingPark map[transport.NodeID]bool
+
+	// gates is the outbound send-gate table of the migration flush
+	// protocol (migrate.go): nil on the hot path, one atomic load per
+	// send otherwise. gateMu serializes copy-on-write republishes.
+	gates  atomic.Pointer[map[transport.NodeID]*sendGate]
+	gateMu sync.Mutex
+
+	// ctlHook, when set, intercepts msg.Cluster frames addressed to
+	// hosted processes on the delivery path — the cluster agent's
+	// flush markers ride the data streams of the very processes they
+	// fence (migrate.go).
+	ctlHook atomic.Pointer[func(from, to transport.NodeID, c msg.Cluster)]
+
+	migsOut      atomic.Uint64
+	migsIn       atomic.Uint64
+	migForwarded atomic.Uint64
+	migReplayed  atomic.Uint64
 
 	// procsA is the lock-free read side of procs: a copy-on-write
 	// snapshot republished by Register, so Send and the stream-sink
@@ -106,6 +141,12 @@ type proc struct {
 	ann   ReannouncingLogic
 	snap  Snapshotter
 	sh    *shard
+	// mig is non-nil while the process is migrating (parked or
+	// forwarding). It is written only before the proc is published
+	// (Register of a migration shell) or on the owning shard's loop
+	// goroutine (Park/Extract/Install), and read on that same
+	// goroutine by deliver — nil on every non-migrating hot path.
+	mig *migration
 }
 
 // HostStats is a snapshot of a Host's traffic counters.
@@ -129,6 +170,14 @@ type HostStats struct {
 	// ring was full or a spill was still in flight.
 	RingEvents uint64
 	RingSpills uint64
+	// Migration counters (migrate.go). MigrationsOut/In count completed
+	// extract/install handoffs; FramesForwarded counts frames relayed
+	// to a process's new host; FramesReplayed counts parked frames
+	// stepped by an install (shipped plus shell-parked).
+	MigrationsOut   uint64
+	MigrationsIn    uint64
+	FramesForwarded uint64
+	FramesReplayed  uint64
 	// Durability counters, all zero without an attached WAL.
 	// CheckpointsTaken counts completed checkpoints; RecordsAppended
 	// counts envelope frames journaled to the WAL; TailReplayed counts
@@ -155,8 +204,10 @@ func NewHost(opts Options) *Host {
 		n = 1
 	}
 	h := &Host{
-		under: opts.Transport,
-		procs: make(map[transport.NodeID]*proc),
+		under:   opts.Transport,
+		hostID:  opts.HostID,
+		shardOf: opts.ShardOf,
+		procs:   make(map[transport.NodeID]*proc),
 	}
 	h.shards = make([]*shard, n)
 	for i := range h.shards {
@@ -179,9 +230,15 @@ func (h *Host) proc(node transport.NodeID) *proc {
 }
 
 // ShardOf returns the index of the shard that owns node. Affinity is a
-// pure function of the id, so it is stable across registration order,
-// peer churn, and restarts.
+// pure function of the id (the Options.ShardOf override or the default
+// node%Shards), so it is stable across registration order, peer churn,
+// and restarts.
 func (h *Host) ShardOf(node transport.NodeID) int {
+	if h.shardOf != nil {
+		if i := h.shardOf(node); i >= 0 && i < len(h.shards) {
+			return i
+		}
+	}
 	return int(uint32(node) % uint32(len(h.shards)))
 }
 
@@ -230,6 +287,12 @@ func (h *Host) Register(node transport.NodeID, handler transport.Handler) {
 	p.ann, _ = handler.(ReannouncingLogic)
 	p.snap, _ = handler.(Snapshotter)
 	h.mu.Lock()
+	if h.pendingPark[node] {
+		// The registration is a migration shell: it parks every delivery
+		// until InstallMigration replays the shipped state into it.
+		p.mig = &migration{}
+		delete(h.pendingPark, node)
+	}
 	h.procs[node] = p
 	snap := make(map[transport.NodeID]*proc, len(h.procs))
 	for k, v := range h.procs {
@@ -297,6 +360,9 @@ func (h *Host) Send(from, to transport.NodeID, m msg.Message) {
 		h.mutedSends.Add(1)
 		return
 	}
+	if h.gateSend(from, to, m) {
+		return
+	}
 	for _, o := range h.observerList() {
 		o.OnSend(from, to, m)
 	}
@@ -356,6 +422,26 @@ func (h *Host) eachRecovery(visit func(p *proc)) {
 // pooled frame's ownership chain (a no-op for value messages, which is
 // everything intra-host senders produce).
 func (h *Host) deliver(ev event) {
+	if mg := ev.p.mig; mg != nil {
+		// The process is migrating: park the frame (pre-snapshot, or a
+		// shell awaiting install) or relay it to the new host. Neither
+		// path steps the process here, and observers stay silent — the
+		// frame's one OnDeliver fires where it is finally stepped.
+		h.deliverMigrating(ev, mg)
+		return
+	}
+	if hook := h.ctlHook.Load(); hook != nil {
+		if c, ok := ev.m.(msg.Cluster); ok {
+			// A cluster control frame riding the process's data stream (a
+			// migration flush marker): consumed by the agent, invisible to
+			// the process and the observers.
+			(*hook)(ev.from, ev.p.node, c)
+			if ev.seqd {
+				h.walStepped.Add(1)
+			}
+			return
+		}
+	}
 	if !h.replaying.Load() {
 		for _, o := range h.observerList() {
 			o.OnDeliver(ev.from, ev.p.node, ev.m)
@@ -381,6 +467,10 @@ func (h *Host) Stats() HostStats {
 		RemoteSends:      h.remoteSends.Load(),
 		RemoteRecvs:      h.remoteRecvs.Load(),
 		RingSpills:       h.ringSpills.Load(),
+		MigrationsOut:    h.migsOut.Load(),
+		MigrationsIn:     h.migsIn.Load(),
+		FramesForwarded:  h.migForwarded.Load(),
+		FramesReplayed:   h.migReplayed.Load(),
 		CheckpointsTaken: h.ckpts.Load(),
 		RecordsAppended:  h.walLogged.Load(),
 		TailReplayed:     h.replayed.Load(),

@@ -1,0 +1,358 @@
+package engine
+
+// Live migration of a hosted process between hosts — the engine half of
+// the cluster layer's move protocol (internal/cluster drives it; see
+// DESIGN.md §12). The Host contributes four primitives, each executing
+// on the migrating process's own shard loop so it is serialized with
+// every delivery to that process:
+//
+//   - PrepareMigration + Register: the target host creates a "shell"
+//     process whose registration lands parked — frames that arrive
+//     before the state does are buffered, never dropped by the host
+//     demultiplexer and never stepped out of order.
+//   - Park: the source host stops stepping the process; deliveries
+//     accumulate in the park buffer. Because the shard queue is FIFO,
+//     every frame enqueued before Park's own queue slot has already
+//     been stepped — parking *is* the drain of the shard queue.
+//   - ExtractMigration: one shard step collects the parked frames,
+//     snapshots the process (Snapshotter), hands both to the shipper,
+//     and flips the process to forwarding mode. From then on the proc
+//     entry stays registered forever as a forwarder: every frame still
+//     routed here is relayed to the new host on this host's own
+//     outbound stream (transport.HostSender), so relayed frames ride
+//     the same resequenced link as the shipped state and can never
+//     interleave with a sender's future direct stream.
+//   - InstallMigration: one shard step on the target restores the
+//     snapshot into the shell, then steps the shipped frames and the
+//     shell-parked frames in arrival order. Per-pair FIFO holds end to
+//     end: shipped frames preceded every forwarded frame on the
+//     source, and forwarded frames preceded the install on the
+//     source→target link.
+//
+// Senders on third hosts are fenced by send gates (GateSends /
+// UngateSends) and an in-band flush marker — a msg.Cluster frame
+// addressed to the migrating process itself, so it trails every
+// earlier frame of that sender through the old route and is consumed
+// by the control hook (SetControlHook) wherever the process's delivery
+// path finally runs it.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// MigratedFrame is one in-flight delivery captured by a migration:
+// parked on the source before the snapshot cut, or parked in the
+// target's shell before the install. M is always in value form
+// (pool-backed frames are dereferenced at park time), so a frame can be
+// held, serialized, and replayed without pool-ownership hazards.
+type MigratedFrame struct {
+	From transport.NodeID
+	M    msg.Message
+}
+
+// migration is the per-proc migration state. It is written only before
+// the proc is published or on the owning shard's loop goroutine, and
+// read there by deliver.
+type migration struct {
+	// forwarding: the process has been extracted; every delivery is
+	// relayed to its new host. The proc entry remains registered in
+	// this mode indefinitely — it both serves stale routes and funnels
+	// co-hosted senders onto the host's ordered outbound stream.
+	forwarding bool
+	// parked buffers deliveries while the process is parked (source)
+	// or a shell awaiting install (target).
+	parked []MigratedFrame
+}
+
+// deliverMigrating handles one delivery to a migrating process on its
+// shard loop: park it or relay it. The frame's single OnDeliver fires
+// where it is eventually stepped (the install on the target), so
+// observer counters still balance sends against deliveries exactly
+// once. WAL step accounting is settled here — the frame has left this
+// host's delivery pipeline for good.
+func (h *Host) deliverMigrating(ev event, mg *migration) {
+	if ev.seqd {
+		h.walStepped.Add(1)
+	}
+	if !mg.forwarding {
+		mg.parked = append(mg.parked, MigratedFrame{From: ev.from, M: msg.Deref(ev.m)})
+		msg.Recycle(ev.m)
+		return
+	}
+	h.migForwarded.Add(1)
+	fwd := msg.Deref(ev.m)
+	if hs, ok := h.under.(transport.HostSender); ok && h.hostID > 0 {
+		hs.SendFromHost(h.hostID, ev.from, ev.p.node, fwd)
+	} else if h.under != nil {
+		h.under.Send(ev.from, ev.p.node, fwd)
+	}
+	msg.Recycle(ev.m)
+}
+
+// SetControlHook installs the interceptor for msg.Cluster frames that
+// arrive addressed to hosted processes (migration flush markers travel
+// in-band on process streams). The hook runs on shard loop goroutines;
+// it must not block on work that itself waits for a shard.
+func (h *Host) SetControlHook(hook func(from, to transport.NodeID, c msg.Cluster)) {
+	if hook == nil {
+		h.ctlHook.Store(nil)
+		return
+	}
+	h.ctlHook.Store(&hook)
+}
+
+// PrepareMigration marks node so that its next Register on this host
+// lands parked — the migration target calls it immediately before
+// constructing the shell process, guaranteeing no frame arriving ahead
+// of the shipped state is dropped or stepped early.
+func (h *Host) PrepareMigration(node transport.NodeID) {
+	h.mu.Lock()
+	if h.pendingPark == nil {
+		h.pendingPark = make(map[transport.NodeID]bool)
+	}
+	h.pendingPark[node] = true
+	h.mu.Unlock()
+}
+
+// Park stops stepping node: subsequent deliveries accumulate in its
+// park buffer until ExtractMigration ships them. The parking step
+// itself drains the shard queue of everything enqueued before it.
+func (h *Host) Park(node transport.NodeID) error {
+	p := h.proc(node)
+	if p == nil {
+		return fmt.Errorf("engine: park node %d: not hosted here", node)
+	}
+	h.Runner(node).Exec(func() {
+		if p.mig == nil {
+			p.mig = &migration{}
+		}
+	})
+	return nil
+}
+
+// ExtractMigration performs the snapshot cut for node in one shard
+// step: collect the parked frames, marshal the process state, hand both
+// to ship, and — only if ship succeeds — flip the process to forwarding
+// mode. ship typically encodes and transmits the state message to the
+// target host; running it inside the same shard step guarantees that it
+// is enqueued on the outbound stream before any forwarded frame. On a
+// ship error the process stays parked with its frames intact.
+func (h *Host) ExtractMigration(node transport.NodeID, ship func(state []byte, parked []MigratedFrame) error) error {
+	p := h.proc(node)
+	if p == nil {
+		return fmt.Errorf("engine: extract node %d: not hosted here", node)
+	}
+	if p.snap == nil {
+		return fmt.Errorf("engine: extract node %d: handler does not implement Snapshotter", node)
+	}
+	var err error
+	h.Runner(node).Exec(func() {
+		if p.mig == nil {
+			p.mig = &migration{}
+		}
+		if p.mig.forwarding {
+			err = fmt.Errorf("engine: extract node %d: already extracted", node)
+			return
+		}
+		parked := p.mig.parked
+		p.mig.parked = nil
+		if err = ship(p.snap.MarshalState(), parked); err != nil {
+			p.mig.parked = parked
+			return
+		}
+		p.mig.forwarding = true
+		h.migsOut.Add(1)
+	})
+	return err
+}
+
+// InstallMigration completes a move on the target host: restore the
+// shipped snapshot into the parked shell, then step the shipped frames
+// and the shell-parked frames in arrival order, then clear the
+// migration state so subsequent deliveries step directly. One shard
+// step — nothing can interleave.
+func (h *Host) InstallMigration(node transport.NodeID, state []byte, shipped []MigratedFrame) error {
+	p := h.proc(node)
+	if p == nil {
+		return fmt.Errorf("engine: install node %d: not hosted here", node)
+	}
+	if p.snap == nil {
+		return fmt.Errorf("engine: install node %d: handler does not implement Snapshotter", node)
+	}
+	var err error
+	h.Runner(node).Exec(func() {
+		mg := p.mig
+		if mg == nil || mg.forwarding {
+			err = fmt.Errorf("engine: install node %d: no parked shell", node)
+			return
+		}
+		if err = p.snap.RestoreState(state); err != nil {
+			return
+		}
+		local := mg.parked
+		mg.parked = nil
+		p.mig = nil
+		for _, f := range shipped {
+			h.stepInstalled(p, f)
+		}
+		for _, f := range local {
+			h.stepInstalled(p, f)
+		}
+		h.migReplayed.Add(uint64(len(shipped) + len(local)))
+		h.migsIn.Add(1)
+	})
+	return err
+}
+
+// stepInstalled replays one parked frame into the freshly installed
+// process on its shard loop — the frame's one and only step and
+// OnDeliver. A parked flush marker still routes to the control hook:
+// its acknowledgement was waiting on exactly this moment.
+func (h *Host) stepInstalled(p *proc, f MigratedFrame) {
+	if hook := h.ctlHook.Load(); hook != nil {
+		if c, ok := f.M.(msg.Cluster); ok {
+			(*hook)(f.From, p.node, c)
+			return
+		}
+	}
+	for _, o := range h.observerList() {
+		o.OnDeliver(f.From, p.node, f.M)
+	}
+	if p.logic != nil {
+		p.logic.Step(f.From, f.M)
+	} else {
+		p.h.HandleMessage(f.From, f.M)
+	}
+	msg.Recycle(f.M)
+}
+
+// sendGate buffers outbound sends to one migrating destination while
+// the sender's flush marker drains the old route (the FIFO fence of the
+// re-route protocol). released marks the gate spent: once the flush
+// loop has observed an empty buffer under the lock, late racers send
+// normally — their frames provably follow every flushed one.
+type sendGate struct {
+	mu       sync.Mutex
+	buf      []gatedSend
+	released bool
+}
+
+type gatedSend struct {
+	from, to transport.NodeID
+	m        msg.Message
+}
+
+// gateSend parks one outbound message when its destination is gated,
+// reporting true. OnSend observers fire at gate time — that is when the
+// sender handed the message to the transport layer, and the quiescence
+// counters must see it. The hot path (no gates anywhere) is a single
+// atomic nil load.
+func (h *Host) gateSend(from, to transport.NodeID, m msg.Message) bool {
+	gp := h.gates.Load()
+	if gp == nil {
+		return false
+	}
+	g := (*gp)[to]
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	if g.released {
+		g.mu.Unlock()
+		return false
+	}
+	g.buf = append(g.buf, gatedSend{from: from, to: to, m: m})
+	g.mu.Unlock()
+	for _, o := range h.observerList() {
+		o.OnSend(from, to, m)
+	}
+	return true
+}
+
+// GateSends installs a send gate for node: every subsequent Host.Send
+// to it parks until UngateSends. Idempotent.
+func (h *Host) GateSends(node transport.NodeID) {
+	h.gateMu.Lock()
+	defer h.gateMu.Unlock()
+	next := make(map[transport.NodeID]*sendGate)
+	if cur := h.gates.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	if next[node] == nil {
+		next[node] = &sendGate{}
+		h.gates.Store(&next)
+	}
+}
+
+// UngateSends drains node's send gate through the normal routing path
+// (which by now resolves the new placement) and removes it. The steal
+// loop preserves order against concurrent senders: a sender either
+// parks before the final empty check — and is flushed — or observes the
+// released flag and sends normally, strictly after every flushed frame.
+func (h *Host) UngateSends(node transport.NodeID) {
+	h.gateMu.Lock()
+	var g *sendGate
+	if cur := h.gates.Load(); cur != nil {
+		g = (*cur)[node]
+	}
+	h.gateMu.Unlock()
+	if g == nil {
+		return
+	}
+	for {
+		g.mu.Lock()
+		if len(g.buf) == 0 {
+			g.released = true
+			g.mu.Unlock()
+			break
+		}
+		batch := g.buf
+		g.buf = nil
+		g.mu.Unlock()
+		for _, s := range batch {
+			h.sendUngated(s.from, s.to, s.m)
+		}
+	}
+	h.gateMu.Lock()
+	if cur := h.gates.Load(); cur != nil && (*cur)[node] == g {
+		next := make(map[transport.NodeID]*sendGate)
+		for k, v := range *cur {
+			if k != node {
+				next[k] = v
+			}
+		}
+		if len(next) == 0 {
+			h.gates.Store(nil)
+		} else {
+			h.gates.Store(&next)
+		}
+	}
+	h.gateMu.Unlock()
+}
+
+// sendUngated routes one flushed frame without re-firing OnSend (that
+// fired at gate time) and without re-checking the gate (the flush is
+// the gate's own drain).
+func (h *Host) sendUngated(from, to transport.NodeID, m msg.Message) {
+	if h.closedA.Load() {
+		msg.Recycle(m)
+		return
+	}
+	if p := h.proc(to); p != nil {
+		h.intraSends.Add(1)
+		p.sh.enqueue(event{p: p, from: from, m: m})
+		return
+	}
+	if h.under == nil {
+		msg.Recycle(m)
+		return
+	}
+	h.remoteSends.Add(1)
+	h.under.Send(from, to, m)
+}

@@ -253,14 +253,15 @@ func TestHostRingDeliveryOverTCP(t *testing.T) {
 	if err := tcpB.ListenHost(2, "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	tcpA.SetHostPeer(2, tcpB.HostAddr(2))
-	tcpB.SetHostPeer(1, tcpA.HostAddr(1))
-	for _, tr := range []*transport.TCP{tcpA, tcpB} {
-		tr.AssignNode(10, 1)
-		for r := 0; r < receivers; r++ {
-			tr.AssignNode(transport.NodeID(100+r), 2)
-		}
+	sp := transport.StaticPlacement{
+		Hosts: map[transport.NodeID]transport.NodeID{10: 1},
+		Addrs: map[transport.NodeID]string{1: tcpA.HostAddr(1), 2: tcpB.HostAddr(2)},
 	}
+	for r := 0; r < receivers; r++ {
+		sp.Hosts[transport.NodeID(100+r)] = 2
+	}
+	tcpA.SetResolver(sp)
+	tcpB.SetResolver(sp)
 
 	hostA := engineHost(t, Options{Shards: 1, Transport: tcpA})
 	hostB := engineHost(t, Options{Shards: 2, Transport: tcpB})

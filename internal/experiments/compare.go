@@ -24,9 +24,13 @@ var throughputFields = map[string]bool{
 }
 
 // latencyFields are the lower-is-better figures: the p99 block-to-
-// declaration latency columns of the gated rows (detectlat.go, E17).
+// declaration latency columns of the gated rows (detectlat.go, E17)
+// and the live-migration unavailability window (E20). Rows where the
+// baseline is 0 are skipped, which is how E20's non-migration phases
+// stay out of the gate.
 var latencyFields = map[string]bool{
 	"DetectP99Us": true,
+	"MigrateMs":   true,
 }
 
 // LatencySlackFactor scales the tolerance for latencyFields: a latency
@@ -48,7 +52,7 @@ const allocSuffix = "AllocsPerOp"
 // perf-path experiments whose rows are throughput and allocation
 // figures. The correctness experiments (exact counts, bounds) are
 // covered by the test suite instead.
-var DefaultCompareIDs = []string{"E13", "E16", "E17", "E18", "E19"}
+var DefaultCompareIDs = []string{"E13", "E16", "E17", "E18", "E19", "E20"}
 
 // DefaultTolerance is the relative throughput drop tolerated before the
 // comparison fails (0.10 = 10%).

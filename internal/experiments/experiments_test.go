@@ -277,8 +277,8 @@ func TestRunAllSubset(t *testing.T) {
 		}
 		ids[s.ID] = true
 	}
-	if len(ids) != 19 {
-		t.Fatalf("expected 19 experiments, have %d", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("expected 20 experiments, have %d", len(ids))
 	}
 }
 

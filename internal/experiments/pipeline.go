@@ -88,14 +88,15 @@ func pipelineLeg(shards, frames int) (E18Row, error) {
 	if err := tcpB.ListenHost(2, "127.0.0.1:0"); err != nil {
 		return fail(err)
 	}
-	tcpA.SetHostPeer(2, tcpB.HostAddr(2))
-	tcpB.SetHostPeer(1, tcpA.HostAddr(1))
-	for _, tr := range []*transport.TCP{tcpA, tcpB} {
-		tr.AssignNode(1, 1)
-		for r := 0; r < procs; r++ {
-			tr.AssignNode(transport.NodeID(100+r), 2)
-		}
+	sp := transport.StaticPlacement{
+		Hosts: map[transport.NodeID]transport.NodeID{1: 1},
+		Addrs: map[transport.NodeID]string{1: tcpA.HostAddr(1), 2: tcpB.HostAddr(2)},
 	}
+	for r := 0; r < procs; r++ {
+		sp.Hosts[transport.NodeID(100+r)] = 2
+	}
+	tcpA.SetResolver(sp)
+	tcpB.SetResolver(sp)
 	tcpA.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
 
 	host := engine.NewHost(engine.Options{Shards: shards, Transport: tcpB})

@@ -86,16 +86,30 @@ func e19Sender() (*transport.TCP, error) {
 		tcpA.Close()
 		return nil, err
 	}
-	e19Assign(tcpA)
+	tcpA.SetResolver(e19Placement(tcpA.HostAddr(1), ""))
 	tcpA.Register(1, transport.HandlerFunc(func(transport.NodeID, msg.Message) {}))
 	return tcpA, nil
 }
 
-func e19Assign(tr *transport.TCP) {
-	tr.AssignNode(1, 1)
-	for r := 0; r < e19Procs; r++ {
-		tr.AssignNode(transport.NodeID(100+r), 2)
+// e19Placement builds the static two-host topology — node 1 on host 1,
+// the hosted processes on host 2 — as a placement resolver. Addresses
+// are filled in as listeners come up; a restarted endpoint installs a
+// fresh placement carrying its reborn address on both sides.
+func e19Placement(addrA, addrB string) transport.StaticPlacement {
+	sp := transport.StaticPlacement{
+		Hosts: map[transport.NodeID]transport.NodeID{1: 1},
+		Addrs: map[transport.NodeID]string{},
 	}
+	if addrA != "" {
+		sp.Addrs[1] = addrA
+	}
+	if addrB != "" {
+		sp.Addrs[2] = addrB
+	}
+	for r := 0; r < e19Procs; r++ {
+		sp.Hosts[transport.NodeID(100+r)] = 2
+	}
+	return sp
 }
 
 // e19Procs100 registers the hosted processes on a fresh engine Host and
@@ -157,7 +171,8 @@ func blankRecoveryLeg(shards, pre, tail int) (E19Row, error) {
 			tb.Close()
 			return nil, nil, nil, err
 		}
-		e19Assign(tb)
+		sp := e19Placement(peer.HostAddr(1), tb.HostAddr(2))
+		tb.SetResolver(sp)
 		hb := engine.NewHost(engine.Options{Shards: shards, Transport: tb})
 		arrived, err := e19Procs100(hb)
 		if err != nil {
@@ -165,8 +180,7 @@ func blankRecoveryLeg(shards, pre, tail int) (E19Row, error) {
 			tb.Close()
 			return nil, nil, nil, err
 		}
-		tb.SetHostPeer(1, peer.HostAddr(1))
-		peer.SetHostPeer(2, tb.HostAddr(2))
+		peer.SetResolver(sp)
 		return tb, hb, arrived, nil
 	}
 
@@ -247,7 +261,8 @@ func durableRecoveryLeg(shards, pre, tail int) (E19Row, error) {
 		if err := tb.ListenHost(2, "127.0.0.1:0"); err != nil {
 			return failB(err)
 		}
-		e19Assign(tb)
+		sp := e19Placement(tcpA.HostAddr(1), tb.HostAddr(2))
+		tb.SetResolver(sp)
 		hb := engine.NewHost(engine.Options{Shards: shards, Transport: tb})
 		failHost := func(err error) (*wal.Log, *transport.TCP, *engine.Host, func() uint64, engine.RestoreStats, error) {
 			hb.Close()
@@ -276,8 +291,7 @@ func durableRecoveryLeg(shards, pre, tail int) (E19Row, error) {
 		if err := hb.FinishRestore(); err != nil {
 			return failHost(err)
 		}
-		tb.SetHostPeer(1, tcpA.HostAddr(1))
-		tcpA.SetHostPeer(2, tb.HostAddr(2))
+		tcpA.SetResolver(sp)
 		return w, tb, hb, arrived, st, nil
 	}
 

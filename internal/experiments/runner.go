@@ -172,6 +172,14 @@ func All() []Spec {
 				return r, t, err
 			},
 		},
+		{
+			ID:    "E20",
+			Claim: "live migration: a process moves between cluster hosts mid-storm with zero lost frames; downtime and the forwarded/replayed tail quantified",
+			Run: func() (any, *metrics.Table, error) {
+				r, t, err := E20Migration()
+				return r, t, err
+			},
+		},
 	}
 }
 

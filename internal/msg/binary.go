@@ -120,6 +120,7 @@ const (
 	tagCommWork         byte = 12
 	tagCommQuery        byte = 13
 	tagCommReply        byte = 14
+	tagCluster          byte = 15
 )
 
 // le is the wire byte order.
@@ -201,6 +202,8 @@ func binTagSize(m Message) (tag byte, size int, ok bool) {
 			return 0, 0, false
 		}
 		return tagCommReply, 12, true
+	case Cluster:
+		return tagCluster, 4 + len(v.Payload), true
 	}
 	return 0, 0, false
 }
@@ -331,6 +334,9 @@ func appendPayload(dst []byte, m Message) []byte {
 		return appendU64(appendU32(dst, uint32(v.Init)), v.Seq)
 	case *CommReply:
 		return appendU64(appendU32(dst, uint32(v.Init)), v.Seq)
+	case Cluster:
+		dst = appendU32(dst, uint32(len(v.Payload)))
+		return append(dst, v.Payload...)
 	}
 	return dst // unreachable: binTagSize vetted the type
 }
@@ -607,6 +613,23 @@ func binDecodePayload(tag byte, b []byte, pooled bool) (Message, error) {
 			return p, nil
 		}
 		return CommReply{Init: id.Proc(int32(le.Uint32(b[0:]))), Seq: le.Uint64(b[4:])}, nil
+	case tagCluster:
+		if len(b) < 4 {
+			return nil, ErrBadFrame
+		}
+		count := int(le.Uint32(b[0:]))
+		if len(b) != 4+count {
+			return nil, ErrBadFrame
+		}
+		// The payload must be copied out of the decoder's reusable
+		// scratch: the cluster layer holds gossip/migration payloads
+		// across frame boundaries.
+		var p []byte
+		if count > 0 {
+			p = make([]byte, count)
+			copy(p, b[4:])
+		}
+		return Cluster{Payload: p}, nil
 	}
 	return nil, ErrUnknownTag
 }

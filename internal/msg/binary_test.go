@@ -40,6 +40,7 @@ func allWireMessages() []Message {
 		CommWork{},
 		CommQuery{Init: 3, Seq: 99},
 		CommReply{Init: 3, Seq: 99},
+		Cluster{Payload: []byte{0x01, 0xde, 0xad, 0xbe, 0xef}},
 	}
 }
 
@@ -60,6 +61,10 @@ func sameMessage(a, b Message) bool {
 		case BaselineDecision:
 			if len(v.Deadlocked) == 0 {
 				return BaselineDecision{}
+			}
+		case Cluster:
+			if len(v.Payload) == 0 {
+				return Cluster{}
 			}
 		}
 		return m
@@ -387,6 +392,45 @@ func TestFormatSniffing(t *testing.T) {
 		if p, ok := env.Msg.(Probe); !ok || p.Tag.N != 8 {
 			t.Fatalf("%v: decoded %#v", f, env.Msg)
 		}
+	}
+}
+
+// TestBinaryClusterPayload pins the two properties the cluster layer
+// depends on: a decoded Cluster payload is an independent copy (not a
+// view of the decoder's reusable scratch), and a count that disagrees
+// with the frame length is rejected, never over-read.
+func TestBinaryClusterPayload(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoderFormat(&buf, WireBinary)
+	payload := []byte{9, 8, 7, 6}
+	for i := 0; i < 2; i++ {
+		if err := enc.EncodeBuffered(Envelope{From: 1, To: 2, Seq: uint64(i + 1), Epoch: 1,
+			Msg: Cluster{Payload: payload}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	first, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := first.Msg.(Cluster).Payload
+	saved := append([]byte(nil), got...)
+	if _, err := dec.Decode(); err != nil { // reuses the scratch buffer
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, saved) {
+		t.Fatalf("payload aliased decoder scratch: now % x, was % x", got, saved)
+	}
+	// Count/length disagreement is ErrBadFrame.
+	if _, err := binDecodePayload(tagCluster, []byte{5, 0, 0, 0, 1, 2}, false); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := binDecodePayload(tagCluster, []byte{1, 0, 0}, false); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated count: err = %v, want ErrBadFrame", err)
 	}
 }
 

@@ -117,6 +117,7 @@ func init() {
 	gob.Register(CommWork{})
 	gob.Register(CommQuery{})
 	gob.Register(CommReply{})
+	gob.Register(Cluster{})
 }
 
 // Encoder writes envelopes to a stream in one WireFormat.

@@ -35,6 +35,7 @@ const (
 	KindCommWork
 	KindCommQuery
 	KindCommReply
+	KindCluster
 )
 
 var kindNames = map[Kind]string{
@@ -52,6 +53,7 @@ var kindNames = map[Kind]string{
 	KindCommWork:         "comm-work",
 	KindCommQuery:        "comm-query",
 	KindCommReply:        "comm-reply",
+	KindCluster:          "cluster",
 }
 
 // String returns the lower-case name of the kind.
@@ -266,8 +268,24 @@ type CommReply struct {
 // Kind implements Message.
 func (CommReply) Kind() Kind { return KindCommReply }
 
+// Cluster is the control-plane carrier of internal/cluster: membership
+// gossip, routing-directory updates, and live-migration state transfer
+// all ride in Payload, whose inner encoding belongs to that package
+// (decode-or-reject, SnapReader-style). The transport treats a Cluster
+// message like any other data frame — sequenced, resequenced, replayed
+// — which is exactly why the control plane uses it: gossip and
+// migration inherit the per-pair FIFO and no-loss guarantees the
+// paper's proofs demand of application traffic.
+type Cluster struct {
+	Payload []byte
+}
+
+// Kind implements Message.
+func (Cluster) Kind() Kind { return KindCluster }
+
 // Compile-time interface checks.
 var (
+	_ Message = Cluster{}
 	_ Message = CommWork{}
 	_ Message = CommQuery{}
 	_ Message = CommReply{}

@@ -61,23 +61,27 @@ func TestHostMuxOneListenerAndLinkPerHostPair(t *testing.T) {
 	if err := tb.ListenHost(hostB, "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	ta.SetHostPeer(hostB, tb.HostAddr(hostB))
-	tb.SetHostPeer(hostA, ta.HostAddr(hostA))
-
-	// Nodes 0..7 live on host A, 8..15 on host B; both sides know the
-	// full assignment.
-	handlers := make(map[NodeID]*recordingHandler)
+	// Nodes 0..7 live on host A, 8..15 on host B; both sides share one
+	// placement resolver carrying the full assignment.
+	sp := StaticPlacement{
+		Hosts: map[NodeID]NodeID{},
+		Addrs: map[NodeID]string{hostA: ta.HostAddr(hostA), hostB: tb.HostAddr(hostB)},
+	}
 	for i := 0; i < 2*perHost; i++ {
-		n := NodeID(i)
 		host := hostA
 		if i >= perHost {
 			host = hostB
 		}
-		ta.AssignNode(n, host)
-		tb.AssignNode(n, host)
+		sp.Hosts[NodeID(i)] = host
+	}
+	ta.SetResolver(sp)
+	tb.SetResolver(sp)
+	handlers := make(map[NodeID]*recordingHandler)
+	for i := 0; i < 2*perHost; i++ {
+		n := NodeID(i)
 		h := &recordingHandler{}
 		handlers[n] = h
-		if host == hostA {
+		if sp.Hosts[n] == hostA {
 			ta.Register(n, h)
 		} else {
 			tb.Register(n, h)
@@ -131,8 +135,18 @@ func TestHostMuxPerPairFIFO(t *testing.T) {
 	if err := tb.ListenHost(hostB, "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	ta.SetHostPeer(hostB, tb.HostAddr(hostB))
-	tb.SetHostPeer(hostA, ta.HostAddr(hostA))
+	sp := StaticPlacement{
+		Hosts: map[NodeID]NodeID{},
+		Addrs: map[NodeID]string{hostA: ta.HostAddr(hostA), hostB: tb.HostAddr(hostB)},
+	}
+	for r := 0; r < receivers; r++ {
+		sp.Hosts[NodeID(100+r)] = hostB
+	}
+	for s := 0; s < senders; s++ {
+		sp.Hosts[NodeID(s)] = hostA
+	}
+	ta.SetResolver(sp)
+	tb.SetResolver(sp)
 
 	type rec struct {
 		mu   sync.Mutex
@@ -141,8 +155,6 @@ func TestHostMuxPerPairFIFO(t *testing.T) {
 	recs := make(map[NodeID]*rec)
 	for r := 0; r < receivers; r++ {
 		n := NodeID(100 + r)
-		ta.AssignNode(n, hostB)
-		tb.AssignNode(n, hostB)
 		rc := &rec{seen: make(map[NodeID][]int)}
 		recs[n] = rc
 		tb.Register(n, HandlerFunc(func(from NodeID, m msg.Message) {
@@ -152,10 +164,7 @@ func TestHostMuxPerPairFIFO(t *testing.T) {
 		}))
 	}
 	for s := 0; s < senders; s++ {
-		n := NodeID(s)
-		ta.AssignNode(n, hostA)
-		tb.AssignNode(n, hostA)
-		ta.Register(n, HandlerFunc(func(NodeID, msg.Message) {}))
+		ta.Register(NodeID(s), HandlerFunc(func(NodeID, msg.Message) {}))
 	}
 
 	var wg sync.WaitGroup
@@ -198,8 +207,8 @@ func TestHostMuxPerPairFIFO(t *testing.T) {
 }
 
 // TestHostMuxCoexistsWithLegacyNodes pins the compatibility contract:
-// nodes never assigned to a host keep the per-node listener and
-// per-pair links, and can converse with hosted nodes over the same
+// nodes the placement resolver does not know keep the per-node listener
+// and per-pair links, and can converse with hosted nodes over the same
 // transport instance.
 func TestHostMuxCoexistsWithLegacyNodes(t *testing.T) {
 	host := NodeID(3001)
@@ -208,11 +217,13 @@ func TestHostMuxCoexistsWithLegacyNodes(t *testing.T) {
 	if err := tr.ListenHost(host, "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	tr.SetHostPeer(host, tr.HostAddr(host))
+	tr.SetResolver(StaticPlacement{
+		Hosts: map[NodeID]NodeID{10: host}, // node 20 unplaced: legacy path
+		Addrs: map[NodeID]string{host: tr.HostAddr(host)},
+	})
 
 	hosted := &recordingHandler{}
 	legacy := &recordingHandler{}
-	tr.AssignNode(10, host)
 	tr.Register(10, hosted) // no listener
 	tr.Register(20, legacy) // legacy loopback listener
 

@@ -68,6 +68,12 @@ type TCP struct {
 	handlers  map[NodeID]Handler
 	hostBoxes map[NodeID]*inbox
 
+	// resolver, when set, answers placement and address questions the
+	// static tables above cannot: node→host from a routing directory,
+	// host→addr from a member map. Static entries win, so hand-wired
+	// shims and the directory can coexist during the migration window.
+	resolver PlacementResolver
+
 	// done unblocks backoff sleeps and dial attempts on Close.
 	done  chan struct{}
 	wg    sync.WaitGroup
@@ -213,8 +219,19 @@ func (t *TCP) Stats() TCPStats {
 // behaviour: its own listener and accept loop.
 func (t *TCP) Register(id NodeID, h Handler) {
 	t.mu.Lock()
-	if host, hosted := t.hostOf[id]; hosted {
+	if host, hosted := t.resolveHostLocked(id); hosted {
 		if _, local := t.hostLns[host]; !local {
+			if t.resolver != nil && len(t.hostLns) > 0 {
+				// Dynamic placement: a migration target registers its
+				// shell process while the resolver still maps the node to
+				// the old host (routes flip only after the cut). Inbound
+				// frames dispatch by destination id, so the handler works
+				// regardless of which placement outbound resolution
+				// reports; record it and let the routing catch up.
+				t.handlers[id] = h
+				t.mu.Unlock()
+				return
+			}
 			t.mu.Unlock()
 			panic(fmt.Sprintf("tcp: register node %d: assigned to host %d, which has no local listener (ListenHost first, or the node belongs on the remote host)", id, host))
 		}
@@ -361,9 +378,38 @@ func (t *TCP) ListenHost(host NodeID, addr string) error {
 	return nil
 }
 
+// SetResolver installs the placement resolver consulted whenever the
+// static AssignNode/SetHostPeer tables have no entry for a node or
+// host. Install it before traffic begins; the resolver is read on every
+// Send and each dial cycle, so a live directory (the cluster layer's)
+// re-routes links as membership changes without any per-pair wiring.
+func (t *TCP) SetResolver(r PlacementResolver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resolver = r
+}
+
+// resolveHostLocked (t.mu held) maps a node to its owning host: the
+// static AssignNode table first, then the placement resolver. ok=false
+// means the node uses legacy per-node addressing.
+func (t *TCP) resolveHostLocked(node NodeID) (NodeID, bool) {
+	if h, ok := t.hostOf[node]; ok {
+		return h, true
+	}
+	if t.resolver != nil {
+		return t.resolver.HostOf(node)
+	}
+	return 0, false
+}
+
 // SetHostPeer records (or updates) the address of a host running
 // elsewhere. Nodes assigned to that host become reachable through its
 // one multiplexed link.
+//
+// Deprecated: hand-wired host directories are superseded by the
+// directory API — install a PlacementResolver (transport.StaticPlacement
+// or the cluster layer's Directory) via SetResolver instead. The shim
+// remains for one release; static entries still take precedence.
 func (t *TCP) SetHostPeer(host NodeID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -383,6 +429,11 @@ func (t *TCP) HostAddr(host NodeID) string {
 // the per-node listener. Assign before registering or sending; the
 // assignment of a remote node routes sends, the assignment of a local
 // node additionally suppresses its loopback listener.
+//
+// Deprecated: per-node pinning is superseded by the directory API —
+// install a PlacementResolver (transport.StaticPlacement or the cluster
+// layer's Directory) via SetResolver instead. The shim remains for one
+// release; static assignments still take precedence over the resolver.
 func (t *TCP) AssignNode(node, host NodeID) {
 	if host <= 0 {
 		panic(fmt.Sprintf("tcp: assign node %d: host ids must be positive, got %d", node, host))
@@ -638,6 +689,26 @@ func (ib *inbox) ackLocked(key streamKey, epoch uint64) msg.Envelope {
 // (dial and write errors are retried and surfaced through OnError).
 // The first send on an ordered pair creates the link.
 func (t *TCP) Send(from, to NodeID, m msg.Message) {
+	t.send(0, from, to, m)
+}
+
+// SendFromHost implements HostSender: the frame rides srcHost's own
+// outbound stream to the destination's host, regardless of which host
+// the nominal sender resolves to. Migration forwarding is the one
+// caller: host A relays frames for a moved process on A's own stream so
+// they can never interleave with the original sender's future direct
+// stream to the new host.
+func (t *TCP) SendFromHost(srcHost, from, to NodeID, m msg.Message) {
+	if srcHost <= 0 {
+		panic(fmt.Sprintf("tcp: send from host %d: host ids must be positive", srcHost))
+	}
+	t.send(srcHost, from, to, m)
+}
+
+// send stamps the message with the link's next sequence number and
+// enqueues it; pinnedSrc, when nonzero, overrides the sender-side host
+// resolution (see SendFromHost).
+func (t *TCP) send(pinnedSrc, from, to NodeID, m msg.Message) {
 	if m == nil {
 		panic("tcp: send of nil message")
 	}
@@ -652,11 +723,13 @@ func (t *TCP) Send(from, to NodeID, m msg.Message) {
 	// stream, stamped with SrcHost), everything else keeps the legacy
 	// per-node-pair link.
 	srcKey, srcHost := from, int32(0)
-	if h, hosted := t.hostOf[from]; hosted {
+	if pinnedSrc != 0 {
+		srcKey, srcHost = pinnedSrc, int32(pinnedSrc)
+	} else if h, hosted := t.resolveHostLocked(from); hosted {
 		srcKey, srcHost = h, int32(h)
 	}
 	dstKey, dstIsHost := to, false
-	if h, hosted := t.hostOf[to]; hosted {
+	if h, hosted := t.resolveHostLocked(to); hosted {
 		dstKey, dstIsHost = h, true
 	}
 	k := link{from: srcKey, to: dstKey}
@@ -796,8 +869,13 @@ func (t *TCP) peerAddr(id NodeID, host bool) (string, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if host {
-		addr, ok := t.hostAddrs[id]
-		return addr, ok
+		if addr, ok := t.hostAddrs[id]; ok {
+			return addr, ok
+		}
+		if t.resolver != nil {
+			return t.resolver.AddrOf(id)
+		}
+		return "", false
 	}
 	addr, ok := t.addrs[id]
 	return addr, ok
@@ -856,4 +934,7 @@ func (t *TCP) Close() {
 	}
 }
 
-var _ Transport = (*TCP)(nil)
+var (
+	_ Transport  = (*TCP)(nil)
+	_ HostSender = (*TCP)(nil)
+)

@@ -100,6 +100,62 @@ type DeliveryLog interface {
 	LogDelivery(stream NodeID, streamIsHost bool, epoch, seq uint64, from, to NodeID, m msg.Message)
 }
 
+// PlacementResolver maps process ids to the hosts that own them and
+// hosts to dialable addresses. The TCP transport consults it (see
+// TCP.SetResolver) whenever its static tables — AssignNode/SetHostPeer
+// wiring — have no answer, which is how the cluster layer's replicated
+// routing directory replaces hand-wired pair-by-pair topology: host
+// links are dialed on demand from whatever the member map currently
+// says. Implementations must be safe for concurrent use; the transport
+// calls them under its own locks, so they must not call back into the
+// transport.
+type PlacementResolver interface {
+	// HostOf returns the host that owns node, or ok=false when the
+	// node's placement is unknown (the transport then falls back to
+	// per-node addressing).
+	HostOf(node NodeID) (host NodeID, ok bool)
+	// AddrOf returns the dial address of a host listener, or ok=false
+	// when the host is not (or no longer) a member.
+	AddrOf(host NodeID) (addr string, ok bool)
+}
+
+// StaticPlacement is a fixed PlacementResolver for topologies known at
+// construction time. It is the directory-API replacement for per-pair
+// AssignNode/SetHostPeer wiring: build the two maps once, install with
+// SetResolver, and the transport resolves every node and dials every
+// host link from them on demand. The maps must not be mutated after the
+// resolver is installed.
+type StaticPlacement struct {
+	// Hosts maps node id → owning host id.
+	Hosts map[NodeID]NodeID
+	// Addrs maps host id → listener dial address.
+	Addrs map[NodeID]string
+}
+
+// HostOf implements PlacementResolver.
+func (s StaticPlacement) HostOf(node NodeID) (NodeID, bool) {
+	h, ok := s.Hosts[node]
+	return h, ok
+}
+
+// AddrOf implements PlacementResolver.
+func (s StaticPlacement) AddrOf(host NodeID) (string, bool) {
+	a, ok := s.Addrs[host]
+	return a, ok
+}
+
+// HostSender is implemented by transports that can pin an outbound
+// message onto a specific source host's frame stream regardless of the
+// nominal sender. Live migration needs it: when host A forwards frames
+// for a process that moved to host B, the original sender may live on a
+// third host X — forwarding with X as the stream source would let A's
+// copy collide with X's own (future) stream to B, so A pins forwarded
+// frames to its own A→B stream instead. From/To still name the node
+// endpoints; only the link and the envelope's SrcHost change.
+type HostSender interface {
+	SendFromHost(srcHost, from, to NodeID, m msg.Message)
+}
+
 // Transport routes messages between registered nodes.
 type Transport interface {
 	// Register attaches the handler for a node. It must be called
